@@ -1,0 +1,195 @@
+//! Simplified Duet semantic matcher (Mitra et al. 2017; paper §4).
+//!
+//! The paper classifies whether an event/topic phrase matches a document
+//! with "Duet-based semantic matching": a *local* channel over exact term
+//! interactions and a *distributed* channel over learned representations.
+//! This reproduction keeps both channels as feature extractors — local:
+//! overlap/LCS/bigram statistics; distributed: embedding cosine — feeding a
+//! small MLP trained with logistic loss (DESIGN.md S4: scale reduced, signal
+//! structure preserved).
+
+use giant_nn::{act, loss, Adam, Linear, Matrix};
+use giant_text::embedding::PhraseEncoder;
+use giant_text::Vocab;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Number of match features.
+pub const DUET_FEATURE_DIM: usize = 6;
+
+/// Extracts the local + distributed match features for (phrase, text).
+pub fn duet_features(
+    phrase: &[String],
+    text: &[String],
+    encoder: &PhraseEncoder,
+    vocab: &Vocab,
+) -> Vec<f64> {
+    // Local channel.
+    let pset: HashSet<&str> = phrase.iter().map(|s| s.as_str()).collect();
+    let tset: HashSet<&str> = text.iter().map(|s| s.as_str()).collect();
+    let overlap = if pset.is_empty() {
+        0.0
+    } else {
+        pset.intersection(&tset).count() as f64 / pset.len() as f64
+    };
+    let lcs = giant_text::lcs_len(phrase, text) as f64 / phrase.len().max(1) as f64;
+    fn bigrams(xs: &[String]) -> HashSet<(&str, &str)> {
+        xs.windows(2)
+            .map(|w| (w[0].as_str(), w[1].as_str()))
+            .collect()
+    }
+    let pb = bigrams(phrase);
+    let tb = bigrams(text);
+    let bigram_overlap = if pb.is_empty() {
+        0.0
+    } else {
+        pb.intersection(&tb).count() as f64 / pb.len() as f64
+    };
+    // Distributed channel.
+    let ids = |xs: &[String]| -> Vec<giant_text::TokenId> {
+        xs.iter().filter_map(|t| vocab.get(t)).collect()
+    };
+    let cos = giant_text::embedding::cosine(
+        &encoder.encode(&ids(phrase)),
+        &encoder.encode(&ids(text)),
+    ) as f64;
+    let len_ratio = phrase.len() as f64 / text.len().max(1) as f64;
+    let exact_span = f64::from(
+        text.windows(phrase.len().max(1))
+            .any(|w| w.iter().zip(phrase).all(|(a, b)| a == b)),
+    );
+    vec![overlap, lcs, bigram_overlap, cos, len_ratio.min(1.0), exact_span]
+}
+
+/// Duet MLP parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DuetConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Epochs.
+    pub epochs: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for DuetConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 8,
+            lr: 0.05,
+            epochs: 60,
+            seed: 3,
+        }
+    }
+}
+
+/// The trained matcher.
+#[derive(Debug)]
+pub struct DuetMatcher {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl DuetMatcher {
+    /// Trains on `(features, is_match)` pairs.
+    pub fn train(examples: &[(Vec<f64>, bool)], cfg: DuetConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut model = Self {
+            l1: Linear::new(DUET_FEATURE_DIM, cfg.hidden, &mut rng),
+            l2: Linear::new(cfg.hidden, 1, &mut rng),
+        };
+        let mut opt = Adam::new(cfg.lr);
+        for _ in 0..cfg.epochs {
+            for (f, y) in examples {
+                let x = Matrix::from_vec(1, DUET_FEATURE_DIM, f.clone());
+                let h_pre = model.l1.forward(&x);
+                let h = act::relu(&h_pre);
+                let logit = model.l2.forward(&h);
+                let (_, dl) = loss::bce_with_logits(&logit, &[f64::from(*y)]);
+                let dh = model.l2.backward(&dl);
+                let dh_pre = act::relu_backward(&h_pre, &dh);
+                let _ = model.l1.backward(&dh_pre);
+                let mut params = model.l1.params_mut();
+                params.extend(model.l2.params_mut());
+                opt.step(&mut params);
+            }
+        }
+        model
+    }
+
+    /// Match probability.
+    pub fn score(&self, features: &[f64]) -> f64 {
+        let x = Matrix::from_vec(1, DUET_FEATURE_DIM, features.to_vec());
+        let h = act::relu(&self.l1.forward_inference(&x));
+        let logit = self.l2.forward_inference(&h);
+        act::sigmoid(logit.get(0, 0))
+    }
+
+    /// Hard decision at 0.5.
+    pub fn matches(&self, features: &[f64]) -> bool {
+        self.score(features) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giant_text::embedding::{SgnsConfig, WordEmbeddings};
+
+    fn toks(s: &str) -> Vec<String> {
+        giant_text::tokenize(s)
+    }
+
+    fn encoder_fixture() -> (Vocab, PhraseEncoder) {
+        let mut vocab = Vocab::new();
+        let sents: Vec<Vec<giant_text::TokenId>> = (0..30)
+            .map(|_| {
+                toks("quanta corp launches lineup market reacts strongly")
+                    .iter()
+                    .map(|t| vocab.intern(t))
+                    .collect()
+            })
+            .collect();
+        let emb = WordEmbeddings::train(&sents, vocab.len(), &SgnsConfig::default());
+        (vocab, PhraseEncoder::new(emb))
+    }
+
+    #[test]
+    fn features_separate_match_from_mismatch() {
+        let (vocab, enc) = encoder_fixture();
+        let phrase = toks("quanta corp launches lineup");
+        let pos = duet_features(&phrase, &toks("breaking quanta corp launches lineup today"), &enc, &vocab);
+        let neg = duet_features(&phrase, &toks("completely different text about nothing"), &enc, &vocab);
+        assert_eq!(pos.len(), DUET_FEATURE_DIM);
+        assert!(pos[0] > neg[0]); // overlap
+        assert!(pos[1] > neg[1]); // lcs
+        assert!(pos[5] > neg[5]); // exact span
+    }
+
+    #[test]
+    fn matcher_learns_threshold() {
+        let mut examples = Vec::new();
+        for i in 0..30 {
+            let x = i as f64 / 30.0;
+            examples.push((vec![0.9, 0.9, 0.8, 0.7 + 0.1 * x, 0.5, 1.0], true));
+            examples.push((vec![0.1 * x, 0.1, 0.0, 0.1, 0.3, 0.0], false));
+        }
+        let m = DuetMatcher::train(&examples, DuetConfig::default());
+        assert!(m.matches(&[0.9, 0.9, 0.8, 0.75, 0.5, 1.0]));
+        assert!(!m.matches(&[0.05, 0.1, 0.0, 0.1, 0.3, 0.0]));
+        let hi = m.score(&[1.0, 1.0, 1.0, 0.9, 0.5, 1.0]);
+        let lo = m.score(&[0.0, 0.0, 0.0, 0.0, 0.3, 0.0]);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn empty_phrase_is_safe() {
+        let (vocab, enc) = encoder_fixture();
+        let f = duet_features(&[], &toks("some text"), &enc, &vocab);
+        assert_eq!(f.len(), DUET_FEATURE_DIM);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,30 @@
+//! # giant-apps — the applications of the Attention Ontology (paper §4–5)
+//!
+//! * [`storytree`] — story-tree formation (Figure 5): correlated-event
+//!   retrieval, the eq. (8)–(11) similarity, hierarchical clustering and
+//!   time-ordered branch assembly.
+//! * [`tagging`] — document tagging: concepts via key-entity parents with
+//!   TF-IDF coherence plus the probabilistic fallback (eq. 12–14);
+//!   events/topics via LCS + the Duet matcher.
+//! * [`duet`] — the simplified Duet semantic matcher (local + distributed
+//!   channels → MLP).
+//! * [`query`] — query conceptualization and correlate-based
+//!   recommendations.
+//! * [`recommend`] — the news-feed A/B simulator behind Figures 6–7.
+
+pub mod duet;
+pub mod query;
+pub mod recommend;
+pub mod storytree;
+pub mod tagging;
+
+pub use duet::{duet_features, DuetConfig, DuetMatcher, DUET_FEATURE_DIM};
+pub use query::{QueryUnderstander, QueryUnderstanding};
+pub use recommend::{
+    simulate_by_kind,
+    ground_truth_tags, simulate_feed, FeedSimConfig, KindSeries, SimDoc, SimResult, TagStrategy,
+};
+pub use storytree::{
+    build_story_tree, retrieve_related, EventSimilarity, StoryEvent, StoryTree, StoryTreeConfig,
+};
+pub use tagging::{DocTags, DocumentTagger, TaggingConfig};

@@ -1,0 +1,172 @@
+//! Query understanding (paper §4): conceptualization and rewriting.
+//!
+//! "If a query conveys a concept p_c, we can rewrite it by concatenating q
+//! with each of the entities e_i that have isA relationship with p_c… If a
+//! query conveys an entity e, we can perform query recommendation by
+//! recommending the entities that have correlate relationship with e."
+
+use giant_ontology::{NodeId, NodeKind, Ontology};
+use std::collections::HashMap;
+
+/// The interpretation of one query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryUnderstanding {
+    /// Concept conveyed by the query, if any.
+    pub concept: Option<NodeId>,
+    /// Entity conveyed by the query, if any.
+    pub entity: Option<NodeId>,
+    /// Rewrites `"q e_i"` for the concept's instances.
+    pub rewrites: Vec<String>,
+    /// Recommended correlated entities (by descending edge weight).
+    pub recommendations: Vec<NodeId>,
+}
+
+/// Query conceptualizer over a constructed ontology.
+pub struct QueryUnderstander<'a> {
+    /// The ontology.
+    pub ontology: &'a Ontology,
+    /// Entity surface → node.
+    pub entity_nodes: &'a HashMap<String, NodeId>,
+    /// Maximum rewrites / recommendations returned.
+    pub max_results: usize,
+}
+
+impl QueryUnderstander<'_> {
+    fn find_contained(&self, query_tokens: &[String], kind: NodeKind) -> Option<NodeId> {
+        // Longest contained phrase of the requested kind wins.
+        let mut best: Option<(usize, NodeId)> = None;
+        for node in self.ontology.nodes_of_kind(kind) {
+            let toks = &node.phrase.tokens;
+            if toks.is_empty() || toks.len() > query_tokens.len() {
+                continue;
+            }
+            let contained = (0..=query_tokens.len() - toks.len())
+                .any(|i| &query_tokens[i..i + toks.len()] == toks.as_slice());
+            if contained && best.map(|(l, _)| toks.len() > l).unwrap_or(true) {
+                best = Some((toks.len(), node.id));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Analyzes one query.
+    pub fn understand(&self, query: &str) -> QueryUnderstanding {
+        let tokens = giant_text::tokenize(query);
+        let mut out = QueryUnderstanding::default();
+        out.concept = self.find_contained(&tokens, NodeKind::Concept);
+        out.entity = self.find_contained(&tokens, NodeKind::Entity);
+
+        if let Some(c) = out.concept {
+            let mut children: Vec<NodeId> = self
+                .ontology
+                .children_of(c)
+                .into_iter()
+                .filter(|&n| self.ontology.node(n).kind == NodeKind::Entity)
+                .collect();
+            children.sort_by(|a, b| {
+                self.ontology
+                    .node(*b)
+                    .support
+                    .total_cmp(&self.ontology.node(*a).support)
+                    .then(a.0.cmp(&b.0))
+            });
+            out.rewrites = children
+                .into_iter()
+                .take(self.max_results)
+                .map(|e| format!("{query} {}", self.ontology.node(e).phrase.surface()))
+                .collect();
+        }
+        if let Some(e) = out.entity {
+            let mut correlates = self.ontology.correlates_of(e);
+            correlates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+            out.recommendations = correlates
+                .into_iter()
+                .take(self.max_results)
+                .map(|(n, _)| n)
+                .collect();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giant_ontology::Phrase;
+
+    fn fixture() -> (Ontology, HashMap<String, NodeId>) {
+        let mut o = Ontology::new();
+        let cars = o.add_node(NodeKind::Concept, Phrase::from_text("electric cars"), 5.0);
+        let v = o.add_node(NodeKind::Entity, Phrase::from_text("veltro x9"), 3.0);
+        let k = o.add_node(NodeKind::Entity, Phrase::from_text("kario s4"), 9.0);
+        let z = o.add_node(NodeKind::Entity, Phrase::from_text("zelda gt2"), 1.0);
+        o.add_is_a(cars, v, 1.0).unwrap();
+        o.add_is_a(cars, k, 1.0).unwrap();
+        o.add_correlate(v, k, 0.9).unwrap();
+        o.add_correlate(v, z, 0.4).unwrap();
+        let mut map = HashMap::new();
+        for (s, n) in [("veltro x9", v), ("kario s4", k), ("zelda gt2", z)] {
+            map.insert(s.to_owned(), n);
+        }
+        (o, map)
+    }
+
+    #[test]
+    fn concept_query_is_rewritten_with_instances() {
+        let (o, map) = fixture();
+        let qu = QueryUnderstander {
+            ontology: &o,
+            entity_nodes: &map,
+            max_results: 5,
+        };
+        let u = qu.understand("best electric cars");
+        assert!(u.concept.is_some());
+        assert_eq!(u.rewrites.len(), 2);
+        // Higher-support instance first.
+        assert_eq!(u.rewrites[0], "best electric cars kario s4");
+        assert!(u.rewrites[1].ends_with("veltro x9"));
+    }
+
+    #[test]
+    fn entity_query_gets_correlate_recommendations() {
+        let (o, map) = fixture();
+        let qu = QueryUnderstander {
+            ontology: &o,
+            entity_nodes: &map,
+            max_results: 5,
+        };
+        let u = qu.understand("veltro x9 review");
+        let e = u.entity.unwrap();
+        assert_eq!(o.node(e).phrase.surface(), "veltro x9");
+        // Strongest correlate first.
+        assert_eq!(o.node(u.recommendations[0]).phrase.surface(), "kario s4");
+        assert_eq!(u.recommendations.len(), 2);
+    }
+
+    #[test]
+    fn unknown_query_is_empty() {
+        let (o, map) = fixture();
+        let qu = QueryUnderstander {
+            ontology: &o,
+            entity_nodes: &map,
+            max_results: 5,
+        };
+        let u = qu.understand("meaning of life");
+        assert!(u.concept.is_none());
+        assert!(u.entity.is_none());
+        assert!(u.rewrites.is_empty());
+        assert!(u.recommendations.is_empty());
+    }
+
+    #[test]
+    fn max_results_caps_output() {
+        let (o, map) = fixture();
+        let qu = QueryUnderstander {
+            ontology: &o,
+            entity_nodes: &map,
+            max_results: 1,
+        };
+        let u = qu.understand("electric cars");
+        assert_eq!(u.rewrites.len(), 1);
+    }
+}

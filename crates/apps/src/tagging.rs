@@ -1,0 +1,398 @@
+//! Document tagging (paper §4): concepts via key-entity parents + TF-IDF
+//! coherence with a probabilistic fallback (eq. 12–14); events/topics via
+//! LCS matching combined with the Duet matcher.
+
+use crate::duet::{duet_features, DuetMatcher};
+use giant_ontology::{NodeId, NodeKind, Ontology};
+use giant_text::embedding::PhraseEncoder;
+use giant_text::{TfIdf, Vocab};
+use std::collections::{HashMap, HashSet};
+
+/// Tagging thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct TaggingConfig {
+    /// Minimum TF-IDF coherence between document title and concept context.
+    pub coherence_threshold: f64,
+    /// Minimum probability for the eq. (12) fallback.
+    pub fallback_threshold: f64,
+    /// Minimum LCS fraction of the event phrase for event/topic tagging.
+    pub lcs_min_fraction: f64,
+    /// Minimum mining support for a concept to be used as a tag (one-off
+    /// noise phrases have little click mass behind them).
+    pub min_concept_support: f64,
+}
+
+impl Default for TaggingConfig {
+    fn default() -> Self {
+        Self {
+            coherence_threshold: 0.12,
+            fallback_threshold: 0.05,
+            lcs_min_fraction: 0.8,
+            min_concept_support: 0.0,
+        }
+    }
+}
+
+/// Tags assigned to one document.
+#[derive(Debug, Clone, Default)]
+pub struct DocTags {
+    /// Concept tags with scores.
+    pub concepts: Vec<(NodeId, f64)>,
+    /// Event tags with scores.
+    pub events: Vec<(NodeId, f64)>,
+    /// Topic tags with scores.
+    pub topics: Vec<(NodeId, f64)>,
+}
+
+/// The document tagger. Context representations of mined concepts (phrase +
+/// top clicked titles) come from the pipeline's metadata.
+pub struct DocumentTagger<'a> {
+    /// The constructed ontology.
+    pub ontology: &'a Ontology,
+    /// Entity surface → node (dictionary + mined).
+    pub entity_nodes: &'a HashMap<String, NodeId>,
+    /// Concept node → context-enriched tokens.
+    pub concept_contexts: &'a HashMap<NodeId, Vec<String>>,
+    /// Event/topic phrases to match: `(node, tokens)`.
+    pub event_phrases: &'a [(NodeId, Vec<String>)],
+    /// TF-IDF table over titles.
+    pub tfidf: &'a TfIdf,
+    /// Trained Duet matcher.
+    pub duet: &'a DuetMatcher,
+    /// Phrase encoder + vocab for Duet's distributed channel.
+    pub encoder: &'a PhraseEncoder,
+    /// Vocabulary for the encoder.
+    pub vocab: &'a Vocab,
+    /// Thresholds.
+    pub config: TaggingConfig,
+}
+
+impl DocumentTagger<'_> {
+    /// Finds the key entities of a document by dictionary matching over the
+    /// title and body.
+    pub fn key_entities(&self, title_tokens: &[String], sentences: &[Vec<String>]) -> Vec<NodeId> {
+        let mut found = Vec::new();
+        let mut seen = HashSet::new();
+        for (surface, &node) in self.entity_nodes {
+            let toks = giant_text::tokenize(surface);
+            let hit = contains_seq(title_tokens, &toks)
+                || sentences.iter().any(|s| contains_seq(s, &toks));
+            if hit && seen.insert(node) {
+                found.push(node);
+            }
+        }
+        found.sort_by_key(|n| n.0);
+        found
+    }
+
+    /// Tags one document.
+    pub fn tag(&self, title: &str, sentences: &[String]) -> DocTags {
+        let title_tokens = giant_text::tokenize(title);
+        let sent_tokens: Vec<Vec<String>> =
+            sentences.iter().map(|s| giant_text::tokenize(s)).collect();
+        let entities = self.key_entities(&title_tokens, &sent_tokens);
+
+        let mut tags = DocTags::default();
+        // --- Concepts via parents of the key entities (matching approach).
+        let mut seen = HashSet::new();
+        let mut any_parent = false;
+        for &e in &entities {
+            for parent in self.ontology.parents_of(e) {
+                let node = self.ontology.node(parent);
+                if node.kind != NodeKind::Concept
+                    || node.support < self.config.min_concept_support
+                    || !seen.insert(parent)
+                {
+                    continue;
+                }
+                any_parent = true;
+                let ctx = self
+                    .concept_contexts
+                    .get(&parent)
+                    .cloned()
+                    .unwrap_or_else(|| self.ontology.node(parent).phrase.tokens.clone());
+                let score = self.tfidf.similarity(
+                    title_tokens.iter().map(|s| s.as_str()),
+                    ctx.iter().map(|s| s.as_str()),
+                );
+                if score >= self.config.coherence_threshold {
+                    tags.concepts.push((parent, score));
+                }
+            }
+        }
+        // --- Probabilistic fallback (eq. 12–14) when no parent was usable.
+        if !any_parent && !entities.is_empty() {
+            let probs = self.fallback_concepts(&entities, &sent_tokens);
+            for (c, p) in probs {
+                if p >= self.config.fallback_threshold {
+                    tags.concepts.push((c, p));
+                }
+            }
+        }
+        tags.concepts
+            .sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        // Relative cut: weak tags far below the best coherent tag are noise.
+        if let Some(best) = tags.concepts.first().map(|(_, s)| *s) {
+            tags.concepts.retain(|(_, s)| *s >= 0.6 * best);
+        }
+
+        // --- Events & topics: LCS + Duet over title + first sentence (§4).
+        let mut target = title_tokens.clone();
+        if let Some(first) = sent_tokens.first() {
+            target.extend(first.iter().cloned());
+        }
+        for (node, phrase) in self.event_phrases {
+            if phrase.is_empty() {
+                continue;
+            }
+            let lcs = giant_text::lcs_len(phrase, &target) as f64 / phrase.len() as f64;
+            if lcs < self.config.lcs_min_fraction {
+                continue;
+            }
+            let feats = duet_features(phrase, &target, self.encoder, self.vocab);
+            if self.duet.matches(&feats) {
+                let kind = self.ontology.node(*node).kind;
+                let entry = (*node, lcs);
+                match kind {
+                    NodeKind::Event => tags.events.push(entry),
+                    NodeKind::Topic => tags.topics.push(entry),
+                    _ => {}
+                }
+            }
+        }
+        tags.events.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        tags.topics.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        tags
+    }
+
+    /// Eq. (12)–(14): `P(p_c|d) = Σ_i P(p_c|e_i) P(e_i|d)` with
+    /// `P(p_c|x_j) = 1/|P^c_{x_j}|` for context words `x_j` of the entity.
+    fn fallback_concepts(
+        &self,
+        entities: &[NodeId],
+        sentences: &[Vec<String>],
+    ) -> Vec<(NodeId, f64)> {
+        // Document frequency of each entity (eq. 12's P(e|d)).
+        let ent_tokens: Vec<(NodeId, Vec<String>)> = entities
+            .iter()
+            .map(|&e| (e, self.ontology.node(e).phrase.tokens.clone()))
+            .collect();
+        let mut mention_count: HashMap<NodeId, f64> = HashMap::new();
+        for s in sentences {
+            for (e, toks) in &ent_tokens {
+                if contains_seq(s, toks) {
+                    *mention_count.entry(*e).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        let total_mentions: f64 = mention_count.values().sum::<f64>().max(1.0);
+
+        // Concepts indexed by contained token (P^c_{x_j}).
+        let mut concepts_with_token: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        for c in self.ontology.nodes_of_kind(NodeKind::Concept) {
+            for t in &c.phrase.tokens {
+                concepts_with_token.entry(t.as_str()).or_default().push(c.id);
+            }
+        }
+
+        let mut scores: HashMap<NodeId, f64> = HashMap::new();
+        for (e, toks) in &ent_tokens {
+            let p_e_d = mention_count.get(e).copied().unwrap_or(0.0) / total_mentions;
+            if p_e_d == 0.0 {
+                continue;
+            }
+            // Context words: tokens co-occurring with the entity in a sentence.
+            let mut ctx_counts: HashMap<&str, f64> = HashMap::new();
+            let mut ctx_total = 0.0;
+            for s in sentences {
+                if !contains_seq(s, toks) {
+                    continue;
+                }
+                for t in s {
+                    if toks.contains(t) {
+                        continue;
+                    }
+                    *ctx_counts.entry(t.as_str()).or_insert(0.0) += 1.0;
+                    ctx_total += 1.0;
+                }
+            }
+            if ctx_total == 0.0 {
+                continue;
+            }
+            for (x, cnt) in ctx_counts {
+                let Some(cands) = concepts_with_token.get(x) else {
+                    continue;
+                };
+                let p_c_x = 1.0 / cands.len() as f64;
+                let p_x_e = cnt / ctx_total;
+                for &c in cands {
+                    *scores.entry(c).or_insert(0.0) += p_c_x * p_x_e * p_e_d;
+                }
+            }
+        }
+        let mut out: Vec<(NodeId, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        out
+    }
+}
+
+fn contains_seq(haystack: &[String], needle: &[String]) -> bool {
+    !needle.is_empty()
+        && haystack.len() >= needle.len()
+        && (0..=haystack.len() - needle.len())
+            .any(|i| &haystack[i..i + needle.len()] == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duet::DuetConfig;
+    use giant_ontology::Phrase;
+    use giant_text::embedding::{SgnsConfig, WordEmbeddings};
+
+    struct Fixture {
+        ontology: Ontology,
+        entity_nodes: HashMap<String, NodeId>,
+        contexts: HashMap<NodeId, Vec<String>>,
+        events: Vec<(NodeId, Vec<String>)>,
+        tfidf: TfIdf,
+        duet: DuetMatcher,
+        encoder: PhraseEncoder,
+        vocab: Vocab,
+    }
+
+    fn fixture() -> Fixture {
+        let mut ontology = Ontology::new();
+        let concept =
+            ontology.add_node(NodeKind::Concept, Phrase::from_text("electric cars"), 1.0);
+        let veltro = ontology.add_node(NodeKind::Entity, Phrase::from_text("veltro x9"), 1.0);
+        let kario = ontology.add_node(NodeKind::Entity, Phrase::from_text("kario s4"), 1.0);
+        ontology.add_is_a(concept, veltro, 1.0).unwrap();
+        let event = ontology.add_event(Phrase::from_text("quanta motors recalls veltro x9"), 1.0, 4);
+        let mut entity_nodes = HashMap::new();
+        entity_nodes.insert("veltro x9".to_owned(), veltro);
+        entity_nodes.insert("kario s4".to_owned(), kario);
+        let mut contexts = HashMap::new();
+        contexts.insert(
+            concept,
+            giant_text::tokenize("electric cars top 10 electric cars of 2018"),
+        );
+        let mut tfidf = TfIdf::new();
+        for t in [
+            "top 10 electric cars of 2018",
+            "veltro x9 review",
+            "quanta motors recalls veltro x9",
+            "unrelated title entirely",
+        ] {
+            let toks = giant_text::tokenize(t);
+            tfidf.add_doc(toks.iter().map(|s| s.as_str()));
+        }
+        // Tiny encoder.
+        let mut vocab = Vocab::new();
+        let sents: Vec<Vec<giant_text::TokenId>> = (0..20)
+            .map(|_| {
+                giant_text::tokenize("quanta motors recalls veltro x9 electric cars")
+                    .iter()
+                    .map(|t| vocab.intern(t))
+                    .collect()
+            })
+            .collect();
+        let emb = WordEmbeddings::train(&sents, vocab.len(), &SgnsConfig::default());
+        let encoder = PhraseEncoder::new(emb);
+        // Duet trained on synthetic separable features.
+        let mut examples = Vec::new();
+        for _ in 0..20 {
+            examples.push((vec![0.95, 0.95, 0.9, 0.6, 0.5, 1.0], true));
+            examples.push((vec![0.1, 0.15, 0.0, 0.1, 0.3, 0.0], false));
+        }
+        let duet = DuetMatcher::train(&examples, DuetConfig::default());
+        let events = vec![(event, giant_text::tokenize("quanta motors recalls veltro x9"))];
+        Fixture {
+            ontology,
+            entity_nodes,
+            contexts,
+            events,
+            tfidf,
+            duet,
+            encoder,
+            vocab,
+        }
+    }
+
+    fn tagger(f: &Fixture) -> DocumentTagger<'_> {
+        DocumentTagger {
+            ontology: &f.ontology,
+            entity_nodes: &f.entity_nodes,
+            concept_contexts: &f.contexts,
+            event_phrases: &f.events,
+            tfidf: &f.tfidf,
+            duet: &f.duet,
+            encoder: &f.encoder,
+            vocab: &f.vocab,
+            config: TaggingConfig::default(),
+        }
+    }
+
+    #[test]
+    fn concept_tag_via_entity_parent() {
+        let f = fixture();
+        let t = tagger(&f);
+        let tags = t.tag(
+            "veltro x9 review of 2018 electric cars",
+            &["veltro x9 is great".to_owned()],
+        );
+        assert!(!tags.concepts.is_empty(), "expected a concept tag");
+        let concept = f.ontology.find(NodeKind::Concept, "electric cars").unwrap();
+        assert_eq!(tags.concepts[0].0, concept);
+    }
+
+    #[test]
+    fn event_tag_requires_lcs_and_duet() {
+        let f = fixture();
+        let t = tagger(&f);
+        let tags = t.tag(
+            "breaking : quanta motors recalls veltro x9",
+            &["the recall affects thousands".to_owned()],
+        );
+        assert_eq!(tags.events.len(), 1);
+        // A document without the phrase gets no event tag.
+        let tags = t.tag("veltro x9 wins design award", &[]);
+        assert!(tags.events.is_empty());
+    }
+
+    #[test]
+    fn fallback_fires_when_no_parents_exist(){
+        let f = fixture();
+        let t = tagger(&f);
+        // kario s4 has no parent concept; context words "electric"/"cars"
+        // point to the concept via eq. (13)-(14).
+        let tags = t.tag(
+            "kario s4 first look",
+            &["kario s4 joins the electric cars wave".to_owned()],
+        );
+        let concept = f.ontology.find(NodeKind::Concept, "electric cars").unwrap();
+        assert!(
+            tags.concepts.iter().any(|(c, _)| *c == concept),
+            "fallback failed: {tags:?}"
+        );
+    }
+
+    #[test]
+    fn no_entities_no_tags() {
+        let f = fixture();
+        let t = tagger(&f);
+        let tags = t.tag("totally unrelated text", &["nothing here".to_owned()]);
+        assert!(tags.concepts.is_empty());
+        assert!(tags.events.is_empty());
+    }
+
+    #[test]
+    fn key_entities_found_in_title_and_body() {
+        let f = fixture();
+        let t = tagger(&f);
+        let title = giant_text::tokenize("veltro x9 arrives");
+        let body = vec![giant_text::tokenize("kario s4 responds")];
+        let ents = t.key_entities(&title, &body);
+        assert_eq!(ents.len(), 2);
+    }
+}

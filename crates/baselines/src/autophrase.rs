@@ -1,0 +1,254 @@
+//! AutoPhrase-style quality phrase mining (Shang et al. 2018; paper §5.2).
+//!
+//! Substitution note: full AutoPhrase couples distant KB supervision with
+//! POS-guided segmentation over a massive corpus. This scaled-down analogue
+//! keeps the two load-bearing ideas — (1) candidate n-grams scored by
+//! frequency, completeness and a POS-pattern prior, (2) a knowledge-base
+//! seed list that boosts known-quality phrases — and follows the paper's
+//! evaluation protocol (top-5 phrases concatenated in input order).
+
+use giant_text::{Lexicon, PosTag, StopWords};
+use std::collections::{HashMap, HashSet};
+
+/// AutoPhrase-analogue parameters.
+#[derive(Debug, Clone)]
+pub struct AutoPhraseConfig {
+    /// Maximum candidate n-gram length.
+    pub max_len: usize,
+    /// Minimum corpus frequency.
+    pub min_freq: usize,
+    /// Score boost for phrases found in the seed knowledge base.
+    pub kb_boost: f64,
+    /// Phrases kept (paper protocol: 5).
+    pub top_k: usize,
+}
+
+impl Default for AutoPhraseConfig {
+    fn default() -> Self {
+        Self {
+            max_len: 4,
+            min_freq: 2,
+            kb_boost: 2.0,
+            top_k: 5,
+        }
+    }
+}
+
+/// A corpus-level phrase miner.
+#[derive(Debug)]
+pub struct AutoPhrase {
+    scores: HashMap<Vec<String>, f64>,
+    cfg: AutoPhraseConfig,
+}
+
+impl AutoPhrase {
+    /// Mines quality phrases from the corpus sequences, boosting `kb` seeds.
+    pub fn mine(
+        corpus: &[Vec<String>],
+        kb: &HashSet<Vec<String>>,
+        lexicon: &Lexicon,
+        stopwords: &StopWords,
+        cfg: AutoPhraseConfig,
+    ) -> Self {
+        // Count candidate n-grams.
+        let mut freq: HashMap<Vec<String>, usize> = HashMap::new();
+        for seq in corpus {
+            for len in 1..=cfg.max_len.min(seq.len()) {
+                for start in 0..=seq.len() - len {
+                    let gram = &seq[start..start + len];
+                    // Boundaries must be content tokens.
+                    if stopwords.is_stop(&gram[0]) || stopwords.is_stop(&gram[len - 1]) {
+                        continue;
+                    }
+                    *freq.entry(gram.to_vec()).or_insert(0) += 1;
+                }
+            }
+        }
+        let total: f64 = freq.values().map(|&c| c as f64).sum::<f64>().max(1.0);
+        let mut scores = HashMap::new();
+        for (gram, count) in freq {
+            if count < cfg.min_freq {
+                continue;
+            }
+            // POS-pattern prior: (ADJ|NOUN)* NOUN is a quality noun phrase.
+            let tags: Vec<PosTag> = gram.iter().map(|t| lexicon.tag(t)).collect();
+            let np_like = tags.last().map(|t| t.is_nominal()).unwrap_or(false)
+                && tags
+                    .iter()
+                    .all(|t| t.is_nominal() || *t == PosTag::Adjective || *t == PosTag::Numeral);
+            let pos_bonus = if np_like { 2.0 } else { 0.5 };
+            // Frequency in log scale, longer grams slightly preferred
+            // (completeness), KB seeds boosted.
+            let mut s = (count as f64 / total).ln().exp().max(1e-9);
+            s = s.powf(0.5) * pos_bonus * (1.0 + 0.2 * gram.len() as f64);
+            if kb.contains(&gram) {
+                s *= cfg.kb_boost;
+            }
+            scores.insert(gram, s);
+        }
+        Self { scores, cfg }
+    }
+
+    /// Quality score of a phrase (0 when unmined).
+    pub fn score(&self, gram: &[String]) -> f64 {
+        self.scores.get(gram).copied().unwrap_or(0.0)
+    }
+
+    /// Number of mined phrases.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when nothing was mined.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// The paper's protocol for one cluster: top-k corpus phrases present in
+    /// the cluster, concatenated in first-appearance order.
+    pub fn extract_phrase(&self, queries: &[String], titles: &[String]) -> Option<Vec<String>> {
+        let sequences: Vec<Vec<String>> = queries
+            .iter()
+            .chain(titles)
+            .map(|s| giant_text::tokenize(s))
+            .collect();
+        // Candidate grams present in the cluster.
+        let mut present: Vec<(&Vec<String>, f64, usize)> = Vec::new(); // (gram, score, first pos)
+        let flat: Vec<&str> = sequences.iter().flatten().map(|s| s.as_str()).collect();
+        for (gram, &score) in &self.scores {
+            let mut first = None;
+            'outer: for start in 0..flat.len() {
+                if start + gram.len() <= flat.len()
+                    && gram.iter().zip(&flat[start..]).all(|(a, b)| a == b)
+                {
+                    first = Some(start);
+                    break 'outer;
+                }
+            }
+            if let Some(pos) = first {
+                present.push((gram, score, pos));
+            }
+        }
+        if present.is_empty() {
+            return None;
+        }
+        present.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.2.cmp(&b.2)));
+        let mut top: Vec<(usize, &Vec<String>)> = present
+            .into_iter()
+            .take(self.cfg.top_k)
+            .map(|(g, _, p)| (p, g))
+            .collect();
+        top.sort_by_key(|(p, _)| *p);
+        // Concatenate without repeating tokens already emitted.
+        let mut out: Vec<String> = Vec::new();
+        for (_, gram) in top {
+            for t in gram {
+                if !out.contains(t) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<String>> {
+        [
+            "best electric cars of 2018",
+            "electric cars buying guide",
+            "top electric cars list",
+            "random words appear here",
+        ]
+        .iter()
+        .map(|s| giant_text::tokenize(s))
+        .collect()
+    }
+
+    fn lexicon() -> Lexicon {
+        let mut lx = Lexicon::with_closed_class();
+        lx.insert("cars", PosTag::Noun);
+        lx.insert("guide", PosTag::Noun);
+        lx.insert("electric", PosTag::Adjective);
+        lx
+    }
+
+    #[test]
+    fn frequent_noun_phrases_score_high() {
+        let ap = AutoPhrase::mine(
+            &corpus(),
+            &HashSet::new(),
+            &lexicon(),
+            &StopWords::standard(),
+            AutoPhraseConfig::default(),
+        );
+        let ec = giant_text::tokenize("electric cars");
+        assert!(ap.score(&ec) > 0.0);
+        // Higher than a random one-off bigram.
+        let rw = giant_text::tokenize("random words");
+        assert!(ap.score(&ec) > ap.score(&rw));
+    }
+
+    #[test]
+    fn kb_boost_applies() {
+        let sw = StopWords::standard();
+        let lx = lexicon();
+        let mut kb = HashSet::new();
+        kb.insert(giant_text::tokenize("electric cars"));
+        let boosted = AutoPhrase::mine(&corpus(), &kb, &lx, &sw, AutoPhraseConfig::default());
+        let plain = AutoPhrase::mine(&corpus(), &HashSet::new(), &lx, &sw, AutoPhraseConfig::default());
+        let ec = giant_text::tokenize("electric cars");
+        assert!(boosted.score(&ec) > plain.score(&ec));
+    }
+
+    #[test]
+    fn extract_phrase_covers_cluster_tokens() {
+        let ap = AutoPhrase::mine(
+            &corpus(),
+            &HashSet::new(),
+            &lexicon(),
+            &StopWords::standard(),
+            AutoPhraseConfig::default(),
+        );
+        let queries = vec!["best electric cars".to_owned()];
+        let titles = vec!["electric cars buying guide".to_owned()];
+        let phrase = ap.extract_phrase(&queries, &titles).unwrap();
+        assert!(phrase.contains(&"electric".to_owned()));
+        assert!(phrase.contains(&"cars".to_owned()));
+        // No duplicate tokens in the concatenation.
+        let mut dedup = phrase.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), phrase.len());
+    }
+
+    #[test]
+    fn cluster_without_known_phrases_yields_none() {
+        let ap = AutoPhrase::mine(
+            &corpus(),
+            &HashSet::new(),
+            &lexicon(),
+            &StopWords::standard(),
+            AutoPhraseConfig::default(),
+        );
+        assert_eq!(
+            ap.extract_phrase(&["zzz qqq".to_owned()], &[]),
+            None
+        );
+    }
+
+    #[test]
+    fn stopword_boundaries_are_rejected() {
+        let ap = AutoPhrase::mine(
+            &corpus(),
+            &HashSet::new(),
+            &lexicon(),
+            &StopWords::standard(),
+            AutoPhraseConfig::default(),
+        );
+        // "of 2018" starts with a stop word — never a candidate.
+        assert_eq!(ap.score(&giant_text::tokenize("of 2018")), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Evaluation metrics (paper §5.2):
+//!
+//! * **EM** — exact match of predicted vs gold phrase.
+//! * **F1** — token-overlap F1 in the SQuAD style [52].
+//! * **COV** — fraction of non-empty predictions.
+//! * **F1-macro / F1-micro / F1-weighted** — for the 4-class key-element task.
+
+use std::collections::HashMap;
+
+/// Exact-match score of one prediction (1.0 or 0.0; empty predictions score
+/// 0 unless the gold is empty too).
+pub fn exact_match(pred: &[String], gold: &[String]) -> f64 {
+    f64::from(pred == gold)
+}
+
+/// SQuAD-style token-overlap F1 for one prediction (multiset intersection).
+pub fn token_f1(pred: &[String], gold: &[String]) -> f64 {
+    if pred.is_empty() || gold.is_empty() {
+        return f64::from(pred.is_empty() && gold.is_empty());
+    }
+    let mut counts: HashMap<&str, i64> = HashMap::new();
+    for t in gold {
+        *counts.entry(t.as_str()).or_insert(0) += 1;
+    }
+    let mut overlap = 0i64;
+    for t in pred {
+        let c = counts.entry(t.as_str()).or_insert(0);
+        if *c > 0 {
+            overlap += 1;
+            *c -= 1;
+        }
+    }
+    if overlap == 0 {
+        return 0.0;
+    }
+    let precision = overlap as f64 / pred.len() as f64;
+    let recall = overlap as f64 / gold.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Aggregate phrase-mining scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiningEval {
+    /// Mean exact match over all examples (empty prediction = miss).
+    pub em: f64,
+    /// Mean token F1 over all examples.
+    pub f1: f64,
+    /// Fraction of non-empty predictions.
+    pub cov: f64,
+}
+
+/// Evaluates predictions against golds. `None` / empty predictions count
+/// toward EM/F1 as zero and lower COV.
+pub fn evaluate_phrases(preds: &[Option<Vec<String>>], golds: &[Vec<String>]) -> MiningEval {
+    assert_eq!(preds.len(), golds.len());
+    let n = preds.len().max(1) as f64;
+    let mut em = 0.0;
+    let mut f1 = 0.0;
+    let mut cov = 0.0;
+    for (p, g) in preds.iter().zip(golds) {
+        match p {
+            Some(p) if !p.is_empty() => {
+                cov += 1.0;
+                em += exact_match(p, g);
+                f1 += token_f1(p, g);
+            }
+            _ => {}
+        }
+    }
+    MiningEval {
+        em: em / n,
+        f1: f1 / n,
+        cov: cov / n,
+    }
+}
+
+/// Per-class and averaged F1 for a multi-class token task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassEval {
+    /// Unweighted mean of per-class F1.
+    pub f1_macro: f64,
+    /// Global F1 over all decisions (equals accuracy for single-label).
+    pub f1_micro: f64,
+    /// Support-weighted mean of per-class F1.
+    pub f1_weighted: f64,
+    /// Per-class F1 indexed by class id.
+    pub per_class: Vec<f64>,
+}
+
+/// Computes macro/micro/weighted F1 from parallel label vectors.
+pub fn multiclass_f1(preds: &[usize], golds: &[usize], n_classes: usize) -> MultiClassEval {
+    assert_eq!(preds.len(), golds.len());
+    let mut tp = vec![0f64; n_classes];
+    let mut fp = vec![0f64; n_classes];
+    let mut fneg = vec![0f64; n_classes];
+    let mut support = vec![0f64; n_classes];
+    for (&p, &g) in preds.iter().zip(golds) {
+        assert!(p < n_classes && g < n_classes, "class id out of range");
+        support[g] += 1.0;
+        if p == g {
+            tp[p] += 1.0;
+        } else {
+            fp[p] += 1.0;
+            fneg[g] += 1.0;
+        }
+    }
+    let f1 = |tp: f64, fp: f64, fneg: f64| -> f64 {
+        let denom = 2.0 * tp + fp + fneg;
+        if denom == 0.0 {
+            0.0
+        } else {
+            2.0 * tp / denom
+        }
+    };
+    let per_class: Vec<f64> = (0..n_classes)
+        .map(|c| f1(tp[c], fp[c], fneg[c]))
+        .collect();
+    let total: f64 = support.iter().sum();
+    let f1_macro = per_class.iter().sum::<f64>() / n_classes.max(1) as f64;
+    let f1_micro = f1(
+        tp.iter().sum::<f64>(),
+        fp.iter().sum::<f64>(),
+        fneg.iter().sum::<f64>(),
+    );
+    let f1_weighted = if total == 0.0 {
+        0.0
+    } else {
+        per_class
+            .iter()
+            .zip(&support)
+            .map(|(f, s)| f * s / total)
+            .sum()
+    };
+    MultiClassEval {
+        f1_macro,
+        f1_micro,
+        f1_weighted,
+        per_class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split(' ').map(|t| t.to_owned()).collect()
+    }
+
+    #[test]
+    fn em_is_strict() {
+        assert_eq!(exact_match(&toks("a b"), &toks("a b")), 1.0);
+        assert_eq!(exact_match(&toks("a b"), &toks("b a")), 0.0);
+        assert_eq!(exact_match(&[], &toks("a")), 0.0);
+    }
+
+    #[test]
+    fn f1_overlap() {
+        assert_eq!(token_f1(&toks("a b"), &toks("a b")), 1.0);
+        // pred {a,b,c} vs gold {a,b}: p=2/3, r=1 → f1 = 0.8.
+        assert!((token_f1(&toks("a b c"), &toks("a b")) - 0.8).abs() < 1e-12);
+        assert_eq!(token_f1(&toks("x"), &toks("a b")), 0.0);
+        // Multiset: duplicate tokens only count once per gold occurrence.
+        assert!((token_f1(&toks("a a"), &toks("a")) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_counts_empty_as_miss() {
+        let preds = vec![Some(toks("a b")), None, Some(vec![])];
+        let golds = vec![toks("a b"), toks("c"), toks("d")];
+        let e = evaluate_phrases(&preds, &golds);
+        assert!((e.em - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.f1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.cov - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiclass_f1_known_values() {
+        // 2 classes: preds [0,0,1,1], golds [0,1,1,1].
+        let e = multiclass_f1(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        // class0: tp=1 fp=1 fn=0 → f1=2/3; class1: tp=2 fp=0 fn=1 → 0.8.
+        assert!((e.per_class[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.per_class[1] - 0.8).abs() < 1e-12);
+        assert!((e.f1_macro - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+        // micro = accuracy = 3/4.
+        assert!((e.f1_micro - 0.75).abs() < 1e-12);
+        // weighted: support 1 and 3 → (2/3*1 + 0.8*3)/4.
+        assert!((e.f1_weighted - (2.0 / 3.0 + 2.4) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let e = multiclass_f1(&[0, 1, 2, 3], &[0, 1, 2, 3], 4);
+        assert_eq!(e.f1_micro, 1.0);
+        assert_eq!(e.f1_macro, 1.0);
+        assert_eq!(e.f1_weighted, 1.0);
+    }
+
+    #[test]
+    fn absent_class_gets_zero_f1_in_macro() {
+        let e = multiclass_f1(&[0, 0], &[0, 0], 2);
+        assert_eq!(e.per_class[1], 0.0);
+        assert_eq!(e.f1_macro, 0.5);
+        assert_eq!(e.f1_weighted, 1.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! LSTM and (Bi)LSTM-CRF sequence-tagging baselines (paper §5.2).
+//!
+//! "LSTM-CRF-Q/LSTM-CRF-T … consists of a word embedding layer, a BiLSTM
+//! layer with hidden size 25 for each direction, and a CRF layer which
+//! predicts whether each word belongs to the output phrase by BIO tags."
+//! The plain LSTM variant "replaces the CRF layer with a softmax layer".
+//!
+//! The same tagger serves the 4-class key-element task (Table 7) by setting
+//! `n_classes = 4` and feeding role labels instead of BIO tags.
+
+use giant_nn::{loss, Adam, BiLstm, EmbeddingLayer, LinearChainCrf, Linear, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// BIO tag ids used for phrase tagging.
+pub mod bio {
+    /// Outside the phrase.
+    pub const O: usize = 0;
+    /// Phrase beginning.
+    pub const B: usize = 1;
+    /// Phrase continuation.
+    pub const I: usize = 2;
+    /// Number of BIO tags.
+    pub const COUNT: usize = 3;
+}
+
+/// Tagger hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TaggerConfig {
+    /// Word-embedding width (the paper used 200-d pretrained vectors; ours
+    /// are trained from scratch on the task).
+    pub embed_dim: usize,
+    /// BiLSTM hidden per direction (paper: 25).
+    pub hidden: usize,
+    /// Tag-set size.
+    pub n_classes: usize,
+    /// True = CRF decoding, false = independent softmax (the LSTM baseline).
+    pub use_crf: bool,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TaggerConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 24,
+            hidden: 25,
+            n_classes: bio::COUNT,
+            use_crf: true,
+            lr: 0.01,
+            epochs: 20,
+            seed: 11,
+        }
+    }
+}
+
+/// A BiLSTM(+CRF) token tagger.
+#[derive(Debug)]
+pub struct LstmTagger {
+    cfg: TaggerConfig,
+    vocab: HashMap<String, usize>,
+    embedding: EmbeddingLayer,
+    bilstm: BiLstm,
+    proj: Linear,
+    crf: Option<LinearChainCrf>,
+}
+
+const UNK: usize = 0;
+
+impl LstmTagger {
+    /// The configuration the tagger was trained with.
+    pub fn config(&self) -> &TaggerConfig {
+        &self.cfg
+    }
+
+    fn token_ids(&self, tokens: &[String]) -> Vec<usize> {
+        tokens
+            .iter()
+            .map(|t| self.vocab.get(t).copied().unwrap_or(UNK))
+            .collect()
+    }
+
+    /// Trains on `(tokens, tag ids)` sequences.
+    pub fn train(sequences: &[(Vec<String>, Vec<usize>)], cfg: TaggerConfig) -> Self {
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        vocab.insert("<unk>".to_owned(), UNK);
+        for (toks, _) in sequences {
+            for t in toks {
+                let next = vocab.len();
+                vocab.entry(t.clone()).or_insert(next);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let embedding = EmbeddingLayer::new(vocab.len(), cfg.embed_dim, &mut rng);
+        let bilstm = BiLstm::new(cfg.embed_dim, cfg.hidden, &mut rng);
+        let proj = Linear::new(2 * cfg.hidden, cfg.n_classes, &mut rng);
+        let crf = cfg.use_crf.then(|| LinearChainCrf::new(cfg.n_classes, &mut rng));
+        let mut model = Self {
+            cfg,
+            vocab,
+            embedding,
+            bilstm,
+            proj,
+            crf,
+        };
+        let mut opt = Adam::new(cfg.lr);
+        for _ in 0..cfg.epochs {
+            for (tokens, tags) in sequences {
+                if tokens.is_empty() {
+                    continue;
+                }
+                assert_eq!(tokens.len(), tags.len());
+                let ids = model.token_ids(tokens);
+                let x = model.embedding.forward(&ids);
+                let h = model.bilstm.forward(&x);
+                let emissions = model.proj.forward(&h);
+                let d_em = if let Some(crf) = model.crf.as_mut() {
+                    let (_, d_em) = crf.nll(&emissions, tags);
+                    d_em
+                } else {
+                    let (_, d_logits) = loss::softmax_cross_entropy(&emissions, tags, None);
+                    d_logits
+                };
+                let dh = model.proj.backward(&d_em);
+                let dx = model.bilstm.backward(&dh);
+                model.embedding.backward(&dx);
+                let mut params = model.embedding.params_mut();
+                params.extend(model.bilstm.params_mut());
+                params.extend(model.proj.params_mut());
+                if let Some(crf) = model.crf.as_mut() {
+                    params.extend(crf.params_mut());
+                }
+                opt.step(&mut params);
+            }
+        }
+        model
+    }
+
+    /// Tags a token sequence.
+    pub fn predict(&self, tokens: &[String]) -> Vec<usize> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let ids = self.token_ids(tokens);
+        let x = self.embedding.forward_inference(&ids);
+        let h = self.bilstm.forward_inference(&x);
+        let emissions = self.proj.forward_inference(&h);
+        if let Some(crf) = &self.crf {
+            crf.viterbi(&emissions)
+        } else {
+            (0..emissions.rows())
+                .map(|r| argmax(emissions.row(r)))
+                .collect()
+        }
+    }
+
+    /// Extracts the phrase tokens tagged `B`/`I` (in order).
+    pub fn predict_phrase(&self, tokens: &[String]) -> Option<Vec<String>> {
+        let tags = self.predict(tokens);
+        let phrase: Vec<String> = tokens
+            .iter()
+            .zip(&tags)
+            .filter(|(_, &t)| t == bio::B || t == bio::I)
+            .map(|(tok, _)| tok.clone())
+            .collect();
+        if phrase.is_empty() {
+            None
+        } else {
+            Some(phrase)
+        }
+    }
+}
+
+fn argmax(row: &[f64]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Builds BIO labels for `tokens` given the gold phrase token set: members
+/// of the gold set get `B` at each span start and `I` inside.
+pub fn bio_labels(tokens: &[String], gold: &[String]) -> Vec<usize> {
+    let gold_set: std::collections::HashSet<&str> = gold.iter().map(|s| s.as_str()).collect();
+    let mut labels = vec![bio::O; tokens.len()];
+    let mut prev_in = false;
+    for (i, t) in tokens.iter().enumerate() {
+        if gold_set.contains(t.as_str()) {
+            labels[i] = if prev_in { bio::I } else { bio::B };
+            prev_in = true;
+        } else {
+            prev_in = false;
+        }
+    }
+    labels
+}
+
+/// Re-export for shape checks in integration code.
+pub fn emissions_dim(m: &Matrix) -> (usize, usize) {
+    (m.rows(), m.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        giant_text::tokenize(s)
+    }
+
+    fn training_data() -> Vec<(Vec<String>, Vec<usize>)> {
+        // Wrapper words are O; content tokens are the phrase.
+        [
+            ("best electric cars", "electric cars"),
+            ("what are the animated films", "animated films"),
+            ("top pop singers 2018", "pop singers"),
+            ("best marathon runners", "marathon runners"),
+            ("what are the budget phones", "budget phones"),
+        ]
+        .iter()
+        .map(|(q, g)| {
+            let t = toks(q);
+            let labels = bio_labels(&t, &toks(g));
+            (t, labels)
+        })
+        .collect()
+    }
+
+    #[test]
+    fn bio_labels_mark_spans() {
+        let labels = bio_labels(&toks("best electric cars list"), &toks("electric cars"));
+        assert_eq!(labels, vec![bio::O, bio::B, bio::I, bio::O]);
+        // Discontiguous gold tokens start new B spans.
+        let labels = bio_labels(&toks("cars that are electric"), &toks("electric cars"));
+        assert_eq!(labels, vec![bio::B, bio::O, bio::O, bio::B]);
+    }
+
+    #[test]
+    fn crf_tagger_learns_wrapper_vs_content() {
+        let model = LstmTagger::train(&training_data(), TaggerConfig::default());
+        // Seen pattern, unseen content words → <unk> embeddings + transition
+        // structure still recover the span shape.
+        let pred = model.predict(&toks("best electric cars"));
+        assert_eq!(pred, vec![bio::O, bio::B, bio::I]);
+        let phrase = model.predict_phrase(&toks("top pop singers 2018")).unwrap();
+        assert_eq!(phrase, toks("pop singers"));
+    }
+
+    #[test]
+    fn softmax_variant_trains_too() {
+        let cfg = TaggerConfig {
+            use_crf: false,
+            ..TaggerConfig::default()
+        };
+        let model = LstmTagger::train(&training_data(), cfg);
+        let pred = model.predict(&toks("best electric cars"));
+        assert_eq!(pred.len(), 3);
+        // In-sample must be solid even without CRF.
+        assert_eq!(pred[1], bio::B);
+    }
+
+    #[test]
+    fn four_class_mode() {
+        let cfg = TaggerConfig {
+            n_classes: 4,
+            epochs: 25,
+            ..TaggerConfig::default()
+        };
+        // entity entity trigger other.
+        let data: Vec<(Vec<String>, Vec<usize>)> = vec![
+            (toks("quanta corp launches lineup"), vec![1, 1, 2, 0]),
+            (toks("velor labs launches update"), vec![1, 1, 2, 0]),
+            (toks("mira group recalls model"), vec![1, 1, 2, 0]),
+        ];
+        let model = LstmTagger::train(&data, cfg);
+        let pred = model.predict(&toks("quanta corp launches lineup"));
+        assert_eq!(pred, vec![1, 1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_sequence_predicts_empty() {
+        let model = LstmTagger::train(&training_data(), TaggerConfig::default());
+        assert!(model.predict(&[]).is_empty());
+        assert_eq!(model.predict_phrase(&[]), None);
+    }
+}

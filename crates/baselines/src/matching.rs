@@ -1,0 +1,177 @@
+//! The Match / Align / MatchAlign baselines (paper §5.2), built on the core
+//! bootstrapping and alignment primitives.
+//!
+//! * **Match** — extract concepts from the cluster's queries with patterns
+//!   learned by bootstrapping on the training queries.
+//! * **Align** — query–title alignment on the cluster.
+//! * **MatchAlign** — both; "we select the most frequent result if multiple
+//!   phrases are extracted".
+
+use giant_core::align::align_query_title;
+use giant_core::bootstrap::{Bootstrapper, Pattern};
+use giant_text::StopWords;
+use std::collections::HashMap;
+
+/// The Match baseline: a bootstrapped pattern extractor.
+#[derive(Debug)]
+pub struct MatchBaseline {
+    boot: Bootstrapper,
+}
+
+impl MatchBaseline {
+    /// Bootstraps patterns from the training queries (no support threshold).
+    pub fn train(train_queries: &[String], rounds: usize) -> Self {
+        Self::train_with_support(train_queries, rounds, 1)
+    }
+
+    /// Bootstraps patterns, keeping only those with at least `min_support`
+    /// distinct supporting concepts (the realistic setting for Table 5).
+    pub fn train_with_support(
+        train_queries: &[String],
+        rounds: usize,
+        min_support: usize,
+    ) -> Self {
+        let tokenized: Vec<Vec<String>> =
+            train_queries.iter().map(|q| giant_text::tokenize(q)).collect();
+        Self {
+            boot: Bootstrapper::run_with_support(
+                &tokenized,
+                &Pattern::default_seeds(),
+                rounds,
+                min_support,
+            ),
+        }
+    }
+
+    /// Number of learned patterns.
+    pub fn n_patterns(&self) -> usize {
+        self.boot.patterns.len()
+    }
+
+    /// All pattern extractions over the cluster queries.
+    fn extractions(&self, queries: &[String]) -> Vec<Vec<String>> {
+        queries
+            .iter()
+            .filter_map(|q| self.boot.extract_best(&giant_text::tokenize(q)))
+            .collect()
+    }
+
+    /// Predicts the cluster phrase (most frequent extraction).
+    pub fn predict(&self, queries: &[String]) -> Option<Vec<String>> {
+        most_frequent(self.extractions(queries))
+    }
+}
+
+/// The Align baseline: first successful query–title chunk, preferring the
+/// highest-weighted query and title.
+pub fn align_predict(
+    queries: &[String],
+    titles: &[String],
+    stopwords: &StopWords,
+) -> Option<Vec<String>> {
+    for q in queries {
+        let qt = giant_text::tokenize(q);
+        for t in titles {
+            if let Some(chunk) = align_query_title(&qt, &giant_text::tokenize(t), stopwords) {
+                return Some(chunk);
+            }
+        }
+    }
+    None
+}
+
+/// The MatchAlign baseline: pool Match and Align extractions, return the
+/// most frequent.
+pub fn match_align_predict(
+    matcher: &MatchBaseline,
+    queries: &[String],
+    titles: &[String],
+    stopwords: &StopWords,
+) -> Option<Vec<String>> {
+    let mut all = matcher.extractions(queries);
+    for q in queries {
+        let qt = giant_text::tokenize(q);
+        for t in titles {
+            if let Some(chunk) = align_query_title(&qt, &giant_text::tokenize(t), stopwords) {
+                all.push(chunk);
+            }
+        }
+    }
+    most_frequent(all)
+}
+
+fn most_frequent(extractions: Vec<Vec<String>>) -> Option<Vec<String>> {
+    if extractions.is_empty() {
+        return None;
+    }
+    let mut counts: HashMap<Vec<String>, usize> = HashMap::new();
+    for e in extractions {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.len().cmp(&a.0.len())).then(b.0.cmp(&a.0)))
+        .map(|(e, _)| e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn match_baseline_extracts_with_learned_patterns() {
+        let train = owned(&[
+            "best electric cars",
+            "electric cars list",
+            "best budget phones",
+        ]);
+        let m = MatchBaseline::train(&train, 3);
+        assert!(m.n_patterns() >= 2);
+        // "{} list" was learned; it extracts from an unseen cluster.
+        let pred = m.predict(&owned(&["animated films list"])).unwrap();
+        assert_eq!(pred, giant_text::tokenize("animated films"));
+    }
+
+    #[test]
+    fn match_returns_none_without_pattern() {
+        let m = MatchBaseline::train(&owned(&["best electric cars"]), 2);
+        assert_eq!(m.predict(&owned(&["completely different query"])), None);
+    }
+
+    #[test]
+    fn align_uses_first_matching_title() {
+        let sw = StopWords::standard();
+        let pred = align_predict(
+            &owned(&["best electric cars"]),
+            &owned(&["no match here", "top electric family cars 2018"]),
+            &sw,
+        )
+        .unwrap();
+        assert_eq!(pred, giant_text::tokenize("electric family cars"));
+    }
+
+    #[test]
+    fn match_align_prefers_majority() {
+        let train = owned(&["best electric cars", "electric cars list"]);
+        let m = MatchBaseline::train(&train, 3);
+        // Three queries extract "electric cars" via patterns; one title
+        // aligns to the same → clear majority.
+        let queries = owned(&["best electric cars", "electric cars list"]);
+        let titles = owned(&["great electric cars here"]);
+        let pred = match_align_predict(&m, &queries, &titles, &StopWords::standard()).unwrap();
+        assert_eq!(pred, giant_text::tokenize("electric cars"));
+    }
+
+    #[test]
+    fn most_frequent_tie_breaks_deterministically() {
+        let a = giant_text::tokenize("alpha beta");
+        let b = giant_text::tokenize("gamma");
+        let x = most_frequent(vec![a.clone(), b.clone()]);
+        let y = most_frequent(vec![b, a]);
+        assert_eq!(x, y);
+    }
+}

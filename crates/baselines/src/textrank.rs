@@ -1,0 +1,179 @@
+//! TextRank baseline (Mihalcea & Tarau 2004; paper §5.2).
+//!
+//! "A classical graph-based keyword extraction model… we extract the top 5
+//! keywords or phrases from queries and titles, and concatenate them in the
+//! same order with the query/title to get the extracted phrase."
+
+use giant_text::StopWords;
+use std::collections::HashMap;
+
+/// TextRank parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TextRankConfig {
+    /// Co-occurrence window (tokens).
+    pub window: usize,
+    /// PageRank damping factor.
+    pub damping: f64,
+    /// Power-iteration rounds.
+    pub iterations: usize,
+    /// Keywords kept (paper protocol: 5).
+    pub top_k: usize,
+}
+
+impl Default for TextRankConfig {
+    fn default() -> Self {
+        Self {
+            window: 3,
+            damping: 0.85,
+            iterations: 30,
+            top_k: 5,
+        }
+    }
+}
+
+/// Ranks content words of the token sequences by TextRank score.
+pub fn textrank_keywords(
+    sequences: &[Vec<String>],
+    stopwords: &StopWords,
+    cfg: &TextRankConfig,
+) -> Vec<(String, f64)> {
+    // Build the co-occurrence graph over content tokens.
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    let mut words: Vec<&str> = Vec::new();
+    let mut edges: HashMap<(usize, usize), f64> = HashMap::new();
+    for seq in sequences {
+        let content: Vec<&str> = seq
+            .iter()
+            .map(|t| t.as_str())
+            .filter(|t| !stopwords.is_stop(t))
+            .collect();
+        let ids: Vec<usize> = content
+            .iter()
+            .map(|w| {
+                *index.entry(w).or_insert_with(|| {
+                    words.push(w);
+                    words.len() - 1
+                })
+            })
+            .collect();
+        for i in 0..ids.len() {
+            for j in i + 1..(i + cfg.window).min(ids.len()) {
+                if ids[i] == ids[j] {
+                    continue;
+                }
+                *edges.entry((ids[i], ids[j])).or_insert(0.0) += 1.0;
+                *edges.entry((ids[j], ids[i])).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    let n = words.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out_weight = vec![0.0f64; n];
+    for (&(i, _), w) in &edges {
+        out_weight[i] += w;
+    }
+    // Power iteration.
+    let mut score = vec![1.0 / n as f64; n];
+    for _ in 0..cfg.iterations {
+        let mut next = vec![(1.0 - cfg.damping) / n as f64; n];
+        for (&(i, j), w) in &edges {
+            if out_weight[i] > 0.0 {
+                next[j] += cfg.damping * score[i] * w / out_weight[i];
+            }
+        }
+        score = next;
+    }
+    let mut ranked: Vec<(String, f64)> = words
+        .iter()
+        .zip(&score)
+        .map(|(w, s)| (w.to_string(), *s))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// The full baseline protocol: top-k keywords re-ordered by first appearance
+/// in the inputs and concatenated into a phrase.
+pub fn textrank_phrase(
+    queries: &[String],
+    titles: &[String],
+    stopwords: &StopWords,
+    cfg: &TextRankConfig,
+) -> Option<Vec<String>> {
+    let sequences: Vec<Vec<String>> = queries
+        .iter()
+        .chain(titles)
+        .map(|s| giant_text::tokenize(s))
+        .collect();
+    let ranked = textrank_keywords(&sequences, stopwords, cfg);
+    if ranked.is_empty() {
+        return None;
+    }
+    let top: Vec<&str> = ranked.iter().take(cfg.top_k).map(|(w, _)| w.as_str()).collect();
+    // "Concatenate them in the same order with the query/title": order by
+    // first appearance across the inputs.
+    let mut order: Vec<(usize, &str)> = Vec::new();
+    let flat: Vec<&str> = sequences.iter().flatten().map(|s| s.as_str()).collect();
+    for w in &top {
+        if let Some(pos) = flat.iter().position(|t| t == w) {
+            order.push((pos, w));
+        }
+    }
+    order.sort_unstable();
+    Some(order.into_iter().map(|(_, w)| w.to_owned()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_words_rank_highest() {
+        let sw = StopWords::standard();
+        let seqs: Vec<Vec<String>> = [
+            "electric cars are great",
+            "electric cars guide",
+            "the best electric cars",
+            "boring unrelated sentence here",
+        ]
+        .iter()
+        .map(|s| giant_text::tokenize(s))
+        .collect();
+        let ranked = textrank_keywords(&seqs, &sw, &TextRankConfig::default());
+        let top2: Vec<&str> = ranked.iter().take(2).map(|(w, _)| w.as_str()).collect();
+        assert!(top2.contains(&"electric"));
+        assert!(top2.contains(&"cars"));
+    }
+
+    #[test]
+    fn phrase_preserves_input_order() {
+        let sw = StopWords::standard();
+        let queries = vec!["best electric cars".to_owned()];
+        let titles = vec!["top electric cars of 2018".to_owned()];
+        let phrase = textrank_phrase(&queries, &titles, &sw, &TextRankConfig::default()).unwrap();
+        let e = phrase.iter().position(|t| t == "electric");
+        let c = phrase.iter().position(|t| t == "cars");
+        assert!(e.is_some() && c.is_some());
+        assert!(e < c, "input order must be preserved: {phrase:?}");
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        let sw = StopWords::standard();
+        assert_eq!(textrank_phrase(&[], &[], &sw, &TextRankConfig::default()), None);
+    }
+
+    #[test]
+    fn top_k_caps_phrase_length() {
+        let sw = StopWords::standard();
+        let queries = vec!["alpha beta gamma delta epsilon zeta eta theta".to_owned()];
+        let cfg = TextRankConfig {
+            top_k: 3,
+            ..TextRankConfig::default()
+        };
+        let phrase = textrank_phrase(&queries, &[], &sw, &cfg).unwrap();
+        assert!(phrase.len() <= 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Ablation benches (DESIGN.md §4): runtime costs of the design choices the
+//! paper made, with the quality side printed once at startup.
+//!
+//! * A1 — first-edge-wins QTIG dedup vs keeping parallel edges.
+//! * A2 — ATSP decoding vs naive first-occurrence ordering.
+//! * A3 — R-GCN depth (1 / 3 / 5 layers).
+//! * A4 — exact Held–Karp vs Lin–Kernighan-style heuristic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use giant_core::gctsp::{GctspConfig, GctspNet};
+use giant_core::qtig::Qtig;
+use giant_core::train::build_cluster_qtig;
+use giant_text::Annotator;
+use giant_tsp::{held_karp_path, lin_kernighan_path, CostMatrix};
+use std::hint::black_box;
+
+fn inputs() -> (Vec<String>, Vec<String>) {
+    (
+        vec![
+            "best electric cars".to_owned(),
+            "electric cars like veltro x9".to_owned(),
+            "which cars are truly electric these days".to_owned(),
+        ],
+        vec![
+            "top 10 electric cars of 2018".to_owned(),
+            "electric family cars buying guide".to_owned(),
+            "cars that are truly electric , a review".to_owned(),
+        ],
+    )
+}
+
+fn annotated(ann: &Annotator, qs: &[String], ts: &[String]) -> Vec<giant_text::AnnotatedText> {
+    qs.iter().chain(ts).map(|t| ann.annotate(t)).collect()
+}
+
+/// A2's naive competitor: positives ordered by first occurrence in the
+/// concatenated inputs (no ATSP).
+fn naive_order(qtig: &Qtig, positives: &[usize]) -> Vec<usize> {
+    let mut order: Vec<(usize, usize)> = positives
+        .iter()
+        .map(|&p| {
+            let pos = qtig
+                .inputs
+                .iter()
+                .flatten()
+                .position(|&n| n == p)
+                .unwrap_or(usize::MAX);
+            (pos, p)
+        })
+        .collect();
+    order.sort_unstable();
+    order.into_iter().map(|(_, p)| p).collect()
+}
+
+fn ablation_quality_report() {
+    let ann = Annotator::default();
+    // A2 quality: a cluster whose *first* input is reordered. Naive ordering
+    // follows that input and emits the wrong order; ATSP decoding recovers
+    // the canonical one from the remaining inputs.
+    let queries = vec!["cars that are electric".to_owned()];
+    let titles = vec!["top electric cars of 2018".to_owned()];
+    let qtig = build_cluster_qtig(&ann, &queries, &titles);
+    let pos: Vec<usize> = ["electric", "cars"]
+        .iter()
+        .map(|t| qtig.node_id(t).expect("token"))
+        .collect();
+    let atsp: Vec<String> = giant_core::decode::atsp_decode(&qtig, &pos)
+        .into_iter()
+        .map(|i| qtig.nodes[i].token.clone())
+        .collect();
+    let naive: Vec<String> = naive_order(&qtig, &pos)
+        .into_iter()
+        .map(|i| qtig.nodes[i].token.clone())
+        .collect();
+    eprintln!(
+        "[ablation A2] atsp order = {atsp:?}, naive order = {naive:?} (gold: [electric, cars])"
+    );
+
+    // A1 quality proxy: edge counts (parallel edges inflate the graph the
+    // R-GCN must aggregate over).
+    let (qs, ts) = inputs();
+    let texts = annotated(&ann, &qs, &ts);
+    let dedup = Qtig::build(&texts);
+    let all = Qtig::build_with_options(&texts, true);
+    eprintln!(
+        "[ablation A1] first-edge-wins: {} edges; keep-parallel: {} edges",
+        dedup.edges.len(),
+        all.edges.len()
+    );
+
+    // A4 quality: heuristic vs exact cost on a random instance.
+    let costs = random_costs(11);
+    let (exact, _) = held_karp_path(&costs, 0, 10);
+    let (heur, _) = lin_kernighan_path(&costs, 0, 10);
+    eprintln!(
+        "[ablation A4] exact cost {exact:.1}, heuristic cost {heur:.1} (+{:.1}%)",
+        100.0 * (heur - exact) / exact.max(1e-9)
+    );
+}
+
+fn random_costs(n: usize) -> CostMatrix {
+    let mut state = 7u64;
+    let mut rows = vec![vec![0.0; n]; n];
+    for (i, row) in rows.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            if i != j {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *v = ((state >> 33) % 97) as f64 + 1.0;
+            }
+        }
+    }
+    CostMatrix::from_rows(rows)
+}
+
+fn bench_a1_qtig_dedup(c: &mut Criterion) {
+    let ann = Annotator::default();
+    let (qs, ts) = inputs();
+    let texts = annotated(&ann, &qs, &ts);
+    c.bench_function("a1_qtig_first_edge_wins", |b| {
+        b.iter(|| black_box(Qtig::build(&texts)))
+    });
+    c.bench_function("a1_qtig_keep_parallel", |b| {
+        b.iter(|| black_box(Qtig::build_with_options(&texts, true)))
+    });
+}
+
+fn bench_a2_decode(c: &mut Criterion) {
+    let ann = Annotator::default();
+    let (qs, ts) = inputs();
+    let qtig = build_cluster_qtig(&ann, &qs, &ts);
+    let pos: Vec<usize> = ["electric", "cars"]
+        .iter()
+        .map(|t| qtig.node_id(t).expect("token"))
+        .collect();
+    c.bench_function("a2_atsp_decode", |b| {
+        b.iter(|| black_box(giant_core::decode::atsp_decode(&qtig, &pos)))
+    });
+    c.bench_function("a2_naive_order", |b| {
+        b.iter(|| black_box(naive_order(&qtig, &pos)))
+    });
+}
+
+fn bench_a3_depth(c: &mut Criterion) {
+    let ann = Annotator::default();
+    let (qs, ts) = inputs();
+    let qtig = build_cluster_qtig(&ann, &qs, &ts);
+    for layers in [1usize, 3, 5] {
+        let net = GctspNet::new(GctspConfig {
+            layers,
+            ..GctspConfig::default()
+        });
+        c.bench_function(&format!("a3_rgcn_forward_{layers}_layers"), |b| {
+            b.iter(|| black_box(net.forward_inference(&qtig)))
+        });
+    }
+}
+
+fn bench_a4_solvers(c: &mut Criterion) {
+    let costs = random_costs(11);
+    c.bench_function("a4_exact_held_karp_n11", |b| {
+        b.iter(|| black_box(held_karp_path(&costs, 0, 10)))
+    });
+    c.bench_function("a4_heuristic_lk_n11", |b| {
+        b.iter(|| black_box(lin_kernighan_path(&costs, 0, 10)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn all(c: &mut Criterion) {
+    ablation_quality_report();
+    bench_a1_qtig_dedup(c);
+    bench_a2_decode(c);
+    bench_a3_depth(c);
+    bench_a4_solvers(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Component micro-benchmarks: the performance *shape* behind §5.1's
+//! throughput numbers (the paper reports 27k concepts/day mined and 350
+//! docs/s tagged on a 10-docker deployment; we report single-thread costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use giant::adapter::GiantSetup;
+use giant_core::gctsp::{GctspConfig, GctspNet};
+use giant_core::train::build_cluster_qtig;
+use giant_data::WorldConfig;
+use giant_graph::cluster::{extract_cluster, ClusterConfig};
+use giant_text::Annotator;
+use giant_tsp::{held_karp_path, lin_kernighan_path, CostMatrix};
+use std::hint::black_box;
+
+fn cluster_inputs() -> (Vec<String>, Vec<String>) {
+    let queries = vec![
+        "best electric cars".to_owned(),
+        "electric cars for commuting in grivelport".to_owned(),
+        "what are the electric cars".to_owned(),
+        "electric cars list".to_owned(),
+    ];
+    let titles = vec![
+        "top 10 electric cars of 2018".to_owned(),
+        "electric family cars buying guide".to_owned(),
+        "the best electric cars : veltro x9 and kario s4".to_owned(),
+        "cars that are truly electric , a review".to_owned(),
+        "weekly roundup : electric luxury cars to watch".to_owned(),
+    ];
+    (queries, titles)
+}
+
+fn bench_qtig(c: &mut Criterion) {
+    let ann = Annotator::default();
+    let (queries, titles) = cluster_inputs();
+    c.bench_function("qtig_build_9_inputs", |b| {
+        b.iter(|| black_box(build_cluster_qtig(&ann, &queries, &titles)))
+    });
+}
+
+fn bench_gctsp_inference(c: &mut Criterion) {
+    let ann = Annotator::default();
+    let (queries, titles) = cluster_inputs();
+    let qtig = build_cluster_qtig(&ann, &queries, &titles);
+    let net = GctspNet::new(GctspConfig::default());
+    c.bench_function("gctsp_forward_5layer_h32", |b| {
+        b.iter(|| black_box(net.forward_inference(&qtig)))
+    });
+    c.bench_function("gctsp_predict_and_decode", |b| {
+        b.iter(|| {
+            let pos = net.predict_positive_nodes(&qtig);
+            black_box(giant_core::decode::decode_tokens(&qtig, &pos))
+        })
+    });
+}
+
+fn bench_tsp(c: &mut Criterion) {
+    let n = 12;
+    let mut rows = vec![vec![0.0; n]; n];
+    let mut state = 123u64;
+    for (i, row) in rows.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            if i != j {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *v = ((state >> 33) % 97) as f64 + 1.0;
+            }
+        }
+    }
+    let costs = CostMatrix::from_rows(rows);
+    c.bench_function("atsp_held_karp_n12", |b| {
+        b.iter(|| black_box(held_karp_path(&costs, 0, n - 1)))
+    });
+    c.bench_function("atsp_lin_kernighan_n12", |b| {
+        b.iter(|| black_box(lin_kernighan_path(&costs, 0, n - 1)))
+    });
+}
+
+fn bench_random_walk(c: &mut Criterion) {
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    let graph = setup.log.build_click_graph();
+    let sw = setup.world.stopwords();
+    let seed = graph.query_ids().next().expect("non-empty graph");
+    c.bench_function("cluster_extraction_random_walk", |b| {
+        b.iter(|| black_box(extract_cluster(&graph, seed, &sw, &ClusterConfig::default())))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_qtig, bench_gctsp_inference, bench_tsp, bench_random_walk
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 5: a story tree built from mined events (the paper shows the
+//! 2018 China–US trade story; ours shows the synthetic topic with the most
+//! mined events).
+
+use giant_apps::storytree::{build_story_tree, retrieve_related, StoryTreeConfig};
+use giant_bench::{Experiment, ExperimentConfig};
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig::default());
+    let events = exp.story_events();
+    println!("mined events available: {}", events.len());
+    // Seed: the event with the most correlated peers.
+    let seed_idx = (0..events.len())
+        .max_by_key(|&i| retrieve_related(&events[i], &events).len())
+        .expect("no events mined");
+    let seed = events[seed_idx].clone();
+    let related: Vec<_> = retrieve_related(&seed, &events)
+        .into_iter()
+        .cloned()
+        .collect();
+    println!(
+        "seed event: {:?} ({} related)",
+        seed.tokens.join(" "),
+        related.len()
+    );
+    let sim = exp.event_similarity();
+    let tree = build_story_tree(seed, related, &sim, &StoryTreeConfig::default());
+    println!("\n=== Figure 5: story tree ===");
+    print!("{}", tree.render());
+    println!(
+        "\n{} events in {} branches, time-ordered within each branch",
+        tree.n_events(),
+        tree.branches.len()
+    );
+}

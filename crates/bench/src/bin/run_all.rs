@@ -1,0 +1,154 @@
+//! Regenerates every table and figure in sequence (the per-experiment
+//! binaries share the build through a single Experiment instance where
+//! possible). Output is the material recorded in EXPERIMENTS.md.
+
+use giant::adapter::GiantSetup;
+use giant_apps::recommend::{simulate_by_kind, simulate_feed, FeedSimConfig, TagStrategy};
+use giant_apps::storytree::{build_story_tree, retrieve_related, StoryTreeConfig};
+use giant_bench::methods::{eval_concept_baselines, eval_event_baselines, eval_key_elements};
+use giant_bench::report::{print_figure_series, print_table};
+use giant_bench::truth::{judge_doc_tags, judge_edges};
+use giant_bench::{Experiment, ExperimentConfig};
+use giant_core::gctsp::GctspConfig;
+use giant_ontology::{EdgeKind, NodeKind};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let cfg = ExperimentConfig::default();
+    eprintln!("[run_all] building experiment (world/datasets/models/pipeline)...");
+    let exp = Experiment::build(cfg);
+    eprintln!("[run_all] built in {:.1?}", t0.elapsed());
+
+    // ---- Table 1 ---------------------------------------------------------
+    let stats = exp.output.ontology.stats();
+    let days = cfg.world.n_days as f64;
+    println!("=== Table 1: Nodes in the attention ontology ===");
+    println!("{:<12}{:>10}{:>12}", "kind", "quantity", "grow/day");
+    for kind in NodeKind::ALL {
+        let n = stats.nodes_by_kind[kind.index()];
+        let grow = if matches!(kind, NodeKind::Concept | NodeKind::Event | NodeKind::Topic) {
+            format!("{:.1}", n as f64 / days)
+        } else {
+            "-".into()
+        };
+        println!("{:<12}{n:>10}{grow:>12}", kind.name());
+    }
+
+    // ---- Table 2 ---------------------------------------------------------
+    let judgements = judge_edges(&exp.setup.world, &exp.output);
+    println!("\n=== Table 2: Edges in the attention ontology ===");
+    println!("{:<12}{:>10}{:>10}{:>12}", "kind", "quantity", "judged", "accuracy");
+    for kind in EdgeKind::ALL {
+        let j = judgements[kind.index()];
+        println!(
+            "{:<12}{:>10}{:>10}{:>11.1}%",
+            kind.name(),
+            j.total,
+            j.judged,
+            100.0 * j.accuracy()
+        );
+    }
+
+    // ---- Tables 5-7 -------------------------------------------------------
+    let gctsp = GctspConfig {
+        epochs: 8,
+        ..GctspConfig::default()
+    };
+    print_table(
+        "Table 5: Compare concept mining approaches",
+        &["EM", "F1", "COV"],
+        &eval_concept_baselines(&exp.setup, gctsp),
+    );
+    print_table(
+        "Table 6: Compare event mining approaches",
+        &["EM", "F1", "COV"],
+        &eval_event_baselines(&exp.setup, gctsp),
+    );
+    let mut open_cfg = cfg.world;
+    open_cfg.seed = cfg.world.seed + 1000;
+    let open_setup = GiantSetup::generate(open_cfg);
+    print_table(
+        "Table 7: Event key elements recognition (open inventory)",
+        &["F1-macro", "F1-micro", "F1-wtd"],
+        &eval_key_elements(
+            &exp.setup,
+            &open_setup,
+            GctspConfig {
+                n_classes: 4,
+                epochs: 8,
+                ..GctspConfig::default()
+            },
+        ),
+    );
+
+    // ---- Figure 5 ----------------------------------------------------------
+    let events = exp.story_events();
+    if let Some(seed_idx) =
+        (0..events.len()).max_by_key(|&i| retrieve_related(&events[i], &events).len())
+    {
+        let seed = events[seed_idx].clone();
+        let related: Vec<_> = retrieve_related(&seed, &events)
+            .into_iter()
+            .cloned()
+            .collect();
+        let tree = build_story_tree(
+            seed,
+            related,
+            &exp.event_similarity(),
+            &StoryTreeConfig::default(),
+        );
+        println!("\n=== Figure 5: story tree ===");
+        print!("{}", tree.render());
+    }
+
+    // ---- §5.3 tagging precision -------------------------------------------
+    let duet = exp.train_duet();
+    let docs = exp.tagged_docs(&duet);
+    let (cp, ep) = judge_doc_tags(
+        &exp.setup.world,
+        &exp.setup.corpus,
+        &exp.output.ontology,
+        &docs,
+    );
+    println!("\n=== §5.3 Document tagging precision ===");
+    println!("concept tagging precision: {:.1}%  (paper: 88%)", 100.0 * cp);
+    println!("event tagging precision:   {:.1}%  (paper: 96%)", 100.0 * ep);
+
+    // ---- Figures 6-7 --------------------------------------------------------
+    let fcfg = FeedSimConfig::default();
+    let all = simulate_feed(
+        &exp.setup.world,
+        &exp.setup.corpus,
+        &docs,
+        &fcfg,
+        TagStrategy::AllTags,
+    );
+    let base = simulate_feed(
+        &exp.setup.world,
+        &exp.setup.corpus,
+        &docs,
+        &fcfg,
+        TagStrategy::CategoryEntity,
+    );
+    print_figure_series(
+        "Figure 6: CTR with/without extracted tags",
+        &["all tags", "category+entity"],
+        &[&all.daily_ctr, &base.daily_ctr],
+    );
+    println!(
+        "average: all tags {:.2}% vs category+entity {:.2}%",
+        all.avg_ctr, base.avg_ctr
+    );
+    let kinds = simulate_by_kind(&exp.setup.world, &exp.setup.corpus, &docs, &fcfg);
+    println!("\n=== Figure 7: average CTR by tag kind ===");
+    for kind in [
+        NodeKind::Topic,
+        NodeKind::Event,
+        NodeKind::Entity,
+        NodeKind::Concept,
+        NodeKind::Category,
+    ] {
+        println!("  {:<10}{:>7.2}%", kind.name(), kinds.avg[kind.index()]);
+    }
+    eprintln!("\n[run_all] total {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,48 @@
+//! Table 4: showcases of mined events with categories, topics and involved
+//! entities.
+
+use giant_bench::{Experiment, ExperimentConfig};
+use giant_ontology::NodeKind;
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig::default());
+    let o = &exp.output.ontology;
+    println!("=== Table 4: Showcases of events, topics, involved entities ===");
+    println!("{:<18}{:<34}{:<36}{}", "category", "topic", "event", "entities");
+    println!("{}", "-".repeat(120));
+    let mut shown = 0;
+    for m in exp.output.mined_of_kind(NodeKind::Event) {
+        let cats: Vec<String> = o
+            .parents_of(m.node)
+            .into_iter()
+            .filter(|&p| o.node(p).kind == NodeKind::Category)
+            .map(|p| o.node(p).phrase.surface())
+            .collect();
+        let topics: Vec<String> = o
+            .parents_of(m.node)
+            .into_iter()
+            .filter(|&p| o.node(p).kind == NodeKind::Topic)
+            .map(|p| o.node(p).phrase.surface())
+            .collect();
+        let entities: Vec<String> = m
+            .entities
+            .iter()
+            .map(|&e| o.node(e).phrase.surface())
+            .collect();
+        if topics.is_empty() || entities.is_empty() {
+            continue;
+        }
+        println!(
+            "{:<18}{:<34}{:<36}{}",
+            cats.first().cloned().unwrap_or_default(),
+            topics[0],
+            m.tokens.join(" "),
+            entities.join(", ")
+        );
+        shown += 1;
+        if shown >= 8 {
+            break;
+        }
+    }
+    println!("\n(paper examples: 'singers win music awards' <- 'Jay Chou won the Golden Melody Awards in 2002')");
+}

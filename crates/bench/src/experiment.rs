@@ -1,0 +1,234 @@
+//! Shared experiment setup: world → datasets → models → pipeline output,
+//! plus the tagged-document view the recommendation figures need.
+
+use giant_apps::duet::{DuetConfig, DuetMatcher};
+use giant_apps::recommend::SimDoc;
+use giant_apps::storytree::{EventSimilarity, StoryEvent};
+use giant_apps::tagging::{DocumentTagger, TaggingConfig};
+use giant_core::train::GiantModels;
+use giant_core::{GiantConfig, GiantOutput};
+use giant_data::WorldConfig;
+use giant_ontology::{NodeId, NodeKind};
+use giant_text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
+use giant_text::{TfIdf, Vocab};
+use std::collections::HashMap;
+
+pub use giant::adapter::{GiantSetup, ModelTrainConfig};
+
+/// Experiment-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// World scale.
+    pub world: WorldConfig,
+    /// Model training configuration.
+    pub train: ModelTrainConfig,
+    /// Pipeline configuration.
+    pub giant: GiantConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            world: WorldConfig::experiment(),
+            train: ModelTrainConfig::default(),
+            giant: GiantConfig::default(),
+        }
+    }
+}
+
+/// A fully initialised experiment: everything the table/figure binaries use.
+pub struct Experiment {
+    /// Data bundle.
+    pub setup: GiantSetup,
+    /// Trained GCTSP models (phrase + role).
+    pub models: GiantModels,
+    /// Pipeline product.
+    pub output: GiantOutput,
+    /// Word embeddings over the corpus (shared by story tree / Duet).
+    pub encoder: PhraseEncoder,
+    /// Vocabulary for the encoder.
+    pub vocab: Vocab,
+    /// TF-IDF table over titles.
+    pub tfidf: TfIdf,
+    /// Configuration used.
+    pub config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Builds the full experiment (takes a few seconds in release mode).
+    pub fn build(config: ExperimentConfig) -> Self {
+        let setup = GiantSetup::generate(config.world);
+        let (models, _) = setup.train_models(&config.train);
+        let output = setup.run_pipeline(&models, &config.giant);
+        let mut vocab = Vocab::new();
+        let sents = setup.corpus.embedding_corpus(&mut vocab);
+        let emb = WordEmbeddings::train(&sents, vocab.len(), &SgnsConfig::default());
+        let encoder = PhraseEncoder::new(emb);
+        let mut tfidf = TfIdf::new();
+        for d in &setup.corpus.docs {
+            let toks = giant_text::tokenize(&d.title);
+            tfidf.add_doc(toks.iter().map(|s| s.as_str()));
+        }
+        Self {
+            setup,
+            models,
+            output,
+            encoder,
+            vocab,
+            tfidf,
+            config,
+        }
+    }
+
+    /// Trains the Duet matcher on (mined event phrase, matching/non-matching
+    /// title) pairs from the pipeline output.
+    pub fn train_duet(&self) -> DuetMatcher {
+        let mut examples = Vec::new();
+        let events = self.output.mined_of_kind(NodeKind::Event);
+        for (i, m) in events.iter().enumerate() {
+            let Some(pos_title) = m.top_titles.first() else {
+                continue;
+            };
+            let pos = giant_apps::duet_features(
+                &m.tokens,
+                &giant_text::tokenize(pos_title),
+                &self.encoder,
+                &self.vocab,
+            );
+            examples.push((pos, true));
+            // Negative: another event's title.
+            if let Some(other) = events.get((i + 1) % events.len()) {
+                if other.node != m.node {
+                    if let Some(neg_title) = other.top_titles.first() {
+                        let neg = giant_apps::duet_features(
+                            &m.tokens,
+                            &giant_text::tokenize(neg_title),
+                            &self.encoder,
+                            &self.vocab,
+                        );
+                        examples.push((neg, false));
+                    }
+                }
+            }
+        }
+        DuetMatcher::train(&examples, DuetConfig::default())
+    }
+
+    /// Builds the document tagger over the pipeline output and tags the
+    /// whole corpus, producing the [`SimDoc`] view plus per-doc tags. Each
+    /// document additionally carries its (production-known) category tags.
+    pub fn tagged_docs(&self, duet: &DuetMatcher) -> Vec<SimDoc> {
+        // Concept contexts from mining metadata.
+        let mut concept_contexts: HashMap<NodeId, Vec<String>> = HashMap::new();
+        for m in self.output.mined_of_kind(NodeKind::Concept) {
+            let mut ctx = m.tokens.clone();
+            for t in &m.top_titles {
+                ctx.extend(giant_text::tokenize(t));
+            }
+            concept_contexts.insert(m.node, ctx);
+        }
+        let event_phrases: Vec<(NodeId, Vec<String>)> = self
+            .output
+            .mined
+            .iter()
+            .filter(|m| matches!(m.kind, NodeKind::Event | NodeKind::Topic))
+            .map(|m| (m.node, m.tokens.clone()))
+            .collect();
+        // Noise concepts come from single odd clusters and carry little
+        // click mass; half the median support separates them from the real
+        // ones without assuming any ground truth.
+        let mut supports: Vec<f64> = self
+            .output
+            .mined_of_kind(NodeKind::Concept)
+            .iter()
+            .map(|m| m.support)
+            .collect();
+        supports.sort_by(|a, b| a.total_cmp(b));
+        let min_support = supports
+            .get(supports.len() / 2)
+            .copied()
+            .unwrap_or(0.0)
+            * 0.5;
+        let tagger = DocumentTagger {
+            ontology: &self.output.ontology,
+            entity_nodes: &self.output.entity_nodes,
+            concept_contexts: &concept_contexts,
+            event_phrases: &event_phrases,
+            tfidf: &self.tfidf,
+            duet,
+            encoder: &self.encoder,
+            vocab: &self.vocab,
+            config: TaggingConfig {
+                min_concept_support: min_support,
+                ..TaggingConfig::default()
+            },
+        };
+        self.setup
+            .corpus
+            .docs
+            .iter()
+            .map(|d| {
+                let tags_out = tagger.tag(&d.title, &d.sentences);
+                let mut tags: Vec<(NodeId, NodeKind)> = Vec::new();
+                // Category tags are known to the feed system.
+                for cat in [d.leaf_category, d.sub_category] {
+                    if let Some(&n) = self.output.category_nodes.get(&cat) {
+                        tags.push((n, NodeKind::Category));
+                    }
+                }
+                // Entity tags from dictionary matching.
+                let title_toks = giant_text::tokenize(&d.title);
+                let sent_toks: Vec<Vec<String>> =
+                    d.sentences.iter().map(|s| giant_text::tokenize(s)).collect();
+                for e in tagger.key_entities(&title_toks, &sent_toks) {
+                    tags.push((e, NodeKind::Entity));
+                }
+                for (c, _) in &tags_out.concepts {
+                    tags.push((*c, NodeKind::Concept));
+                }
+                for (e, _) in &tags_out.events {
+                    tags.push((*e, NodeKind::Event));
+                    // Topic tags follow from the event's topic parents.
+                    for p in self.output.ontology.parents_of(*e) {
+                        if self.output.ontology.node(p).kind == NodeKind::Topic {
+                            tags.push((p, NodeKind::Topic));
+                        }
+                    }
+                }
+                for (t, _) in &tags_out.topics {
+                    tags.push((*t, NodeKind::Topic));
+                }
+                SimDoc {
+                    id: d.id,
+                    day: d.day,
+                    tags,
+                }
+            })
+            .collect()
+    }
+
+    /// The mined events as story-tree inputs.
+    pub fn story_events(&self) -> Vec<StoryEvent> {
+        self.output
+            .mined_of_kind(NodeKind::Event)
+            .into_iter()
+            .map(|m| StoryEvent {
+                node: m.node,
+                tokens: m.tokens.clone(),
+                trigger: m.trigger.clone(),
+                entities: m.entities.clone(),
+                day: m.day.unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// The story-tree similarity oracle over this experiment's resources.
+    pub fn event_similarity(&self) -> EventSimilarity<'_> {
+        EventSimilarity {
+            encoder: &self.encoder,
+            vocab: &self.vocab,
+            tfidf: &self.tfidf,
+            ontology: &self.output.ontology,
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Plain-text table/series formatting for the experiment binaries.
+
+use crate::methods::MethodRow;
+
+/// Prints an aligned table with a title, headers and numeric rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[MethodRow]) {
+    println!("\n=== {title} ===");
+    let name_w = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("method".len()))
+        .max()
+        .unwrap_or(8)
+        + 2;
+    print!("{:<name_w$}", "method");
+    for h in headers {
+        print!("{h:>10}");
+    }
+    println!();
+    println!("{}", "-".repeat(name_w + headers.len() * 10));
+    for r in rows {
+        print!("{:<name_w$}", r.name);
+        for s in &r.scores {
+            print!("{s:>10.4}");
+        }
+        println!();
+    }
+}
+
+/// Prints one or more daily series side by side (figures 6–7).
+pub fn print_figure_series(title: &str, labels: &[&str], series: &[&[f64]]) {
+    println!("\n=== {title} ===");
+    assert_eq!(labels.len(), series.len());
+    print!("{:<6}", "day");
+    for l in labels {
+        print!("{l:>14}");
+    }
+    println!();
+    println!("{}", "-".repeat(6 + labels.len() * 14));
+    let days = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for d in 0..days {
+        print!("{d:<6}");
+        for s in series {
+            match s.get(d) {
+                Some(v) => print!("{v:>13.2}%"),
+                None => print!("{:>14}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let rows = vec![
+            MethodRow {
+                name: "TextRank".into(),
+                scores: vec![0.19, 0.73, 1.0],
+            },
+            MethodRow {
+                name: "GCTSP-Net".into(),
+                scores: vec![0.78, 0.95, 1.0],
+            },
+        ];
+        print_table("Table 5", &["EM", "F1", "COV"], &rows);
+    }
+
+    #[test]
+    fn series_prints_mismatched_lengths() {
+        print_figure_series("Figure 6", &["a", "b"], &[&[1.0, 2.0], &[3.0]]);
+    }
+}

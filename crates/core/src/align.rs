@@ -1,0 +1,156 @@
+//! Query–title alignment (paper §3.1; also the `Align` baseline of §5.2).
+//!
+//! "The query-title alignment strategy is inspired by the observation that a
+//! concept in a query is usually mentioned in the clicked titles associated
+//! with the query, yet possibly in a more detailed manner… we align a query
+//! with its top clicked titles to find a title chunk which fully contains
+//! the query tokens in the same order and potentially contains extra tokens
+//! within its span. Such a title chunk is selected as a candidate concept."
+
+use giant_text::StopWords;
+
+/// Finds the *shortest* title chunk containing all content (non-stop) query
+/// tokens in order. Returns the chunk tokens, or `None` when the title does
+/// not contain them in order.
+pub fn align_query_title(
+    query_tokens: &[String],
+    title_tokens: &[String],
+    stopwords: &StopWords,
+) -> Option<Vec<String>> {
+    let content: Vec<&str> = query_tokens
+        .iter()
+        .map(|t| t.as_str())
+        .filter(|t| !stopwords.is_stop(t))
+        .collect();
+    if content.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, usize)> = None; // [start, end] inclusive
+    for start in 0..title_tokens.len() {
+        if title_tokens[start] != content[0] {
+            continue;
+        }
+        // Greedy in-order match from `start`.
+        let mut ci = 1;
+        let mut end = start;
+        for (ti, tok) in title_tokens.iter().enumerate().skip(start + 1) {
+            if ci >= content.len() {
+                break;
+            }
+            if tok == content[ci] {
+                ci += 1;
+                end = ti;
+            }
+        }
+        if content.len() == 1 {
+            end = start;
+            ci = 1;
+        }
+        if ci == content.len() {
+            let len = end - start;
+            if best.map(|(s, e)| len < e - s).unwrap_or(true) {
+                best = Some((start, end));
+            }
+        }
+    }
+    best.map(|(s, e)| title_tokens[s..=e].to_vec())
+}
+
+/// Aligns a query against several titles (click-mass ordered) and returns
+/// the first successful chunk — the paper selects the candidate from the top
+/// clicked titles.
+pub fn align_query_titles(
+    query_tokens: &[String],
+    titles: &[Vec<String>],
+    stopwords: &StopWords,
+) -> Option<Vec<String>> {
+    titles
+        .iter()
+        .find_map(|t| align_query_title(query_tokens, t, stopwords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        giant_text::tokenize(s)
+    }
+
+    #[test]
+    fn expands_query_with_inserted_tokens() {
+        let sw = StopWords::standard();
+        let chunk = align_query_title(
+            &toks("best electric cars"),
+            &toks("top 10 electric family cars of 2018"),
+            &sw,
+        )
+        .unwrap();
+        // "electric … cars" with the insertion kept: the more detailed form.
+        assert_eq!(chunk, toks("electric family cars"));
+    }
+
+    #[test]
+    fn exact_match_returns_span() {
+        let sw = StopWords::standard();
+        let chunk =
+            align_query_title(&toks("electric cars"), &toks("electric cars guide"), &sw).unwrap();
+        assert_eq!(chunk, toks("electric cars"));
+    }
+
+    #[test]
+    fn out_of_order_title_fails() {
+        let sw = StopWords::standard();
+        assert_eq!(
+            align_query_title(&toks("electric cars"), &toks("cars that are electric"), &sw),
+            None
+        );
+    }
+
+    #[test]
+    fn missing_token_fails() {
+        let sw = StopWords::standard();
+        assert_eq!(
+            align_query_title(&toks("electric cars"), &toks("electric bikes guide"), &sw),
+            None
+        );
+    }
+
+    #[test]
+    fn shortest_chunk_wins() {
+        let sw = StopWords::standard();
+        // Two possible spans; the tight one is preferred.
+        let chunk = align_query_title(
+            &toks("electric cars"),
+            &toks("electric city buses and vans electric cars"),
+            &sw,
+        )
+        .unwrap();
+        assert_eq!(chunk, toks("electric cars"));
+    }
+
+    #[test]
+    fn stopword_only_query_yields_none() {
+        let sw = StopWords::standard();
+        assert_eq!(
+            align_query_title(&toks("what is the best"), &toks("anything"), &sw),
+            None
+        );
+    }
+
+    #[test]
+    fn multi_title_fallback() {
+        let sw = StopWords::standard();
+        let titles = vec![toks("unrelated title"), toks("great electric cars here")];
+        let chunk = align_query_titles(&toks("electric cars"), &titles, &sw).unwrap();
+        assert_eq!(chunk, toks("electric cars"));
+    }
+
+    #[test]
+    fn single_content_token() {
+        let sw = StopWords::standard();
+        let chunk = align_query_title(&toks("the miyazaki"), &toks("about miyazaki films"), &sw)
+            .unwrap();
+        assert_eq!(chunk, toks("miyazaki"));
+    }
+}

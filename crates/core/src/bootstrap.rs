@@ -1,0 +1,230 @@
+//! Pattern–concept duality bootstrapping (paper §3.1, Training Dataset
+//! Construction; also the `Match` baseline of §5.2).
+//!
+//! "We can extract a set of concepts from queries following a set of
+//! patterns, and we can learn a set of new patterns from a set of queries
+//! with extracted concepts. Thus, we can start from a set of seed patterns,
+//! and iteratively accumulate more and more patterns and concepts."
+
+use std::collections::BTreeSet;
+
+/// A query pattern: fixed prefix tokens + fixed suffix tokens around a
+/// non-empty concept slot.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pattern {
+    /// Tokens before the slot.
+    pub prefix: Vec<String>,
+    /// Tokens after the slot.
+    pub suffix: Vec<String>,
+}
+
+impl Pattern {
+    /// Builds a pattern from surface strings.
+    pub fn new(prefix: &str, suffix: &str) -> Self {
+        Self {
+            prefix: giant_text::tokenize(prefix),
+            suffix: giant_text::tokenize(suffix),
+        }
+    }
+
+    /// The default seed patterns (English analogues of the paper's Chinese
+    /// wrapper patterns).
+    pub fn default_seeds() -> Vec<Pattern> {
+        vec![Pattern::new("best", ""), Pattern::new("top", "2018")]
+    }
+
+    /// Extracts the slot tokens if `query` matches this pattern with a
+    /// non-empty slot.
+    pub fn extract(&self, query: &[String]) -> Option<Vec<String>> {
+        let n = self.prefix.len() + self.suffix.len();
+        if query.len() <= n {
+            return None;
+        }
+        if !query.starts_with(&self.prefix[..]) || !query.ends_with(&self.suffix[..]) {
+            return None;
+        }
+        Some(query[self.prefix.len()..query.len() - self.suffix.len()].to_vec())
+    }
+
+    /// Learns the pattern that would extract `concept` from `query`, if the
+    /// concept occurs as a contiguous slice.
+    pub fn learn(query: &[String], concept: &[String]) -> Option<Pattern> {
+        if concept.is_empty() || query.len() < concept.len() {
+            return None;
+        }
+        (0..=query.len() - concept.len())
+            .find(|&i| &query[i..i + concept.len()] == concept)
+            .map(|i| Pattern {
+                prefix: query[..i].to_vec(),
+                suffix: query[i + concept.len()..].to_vec(),
+            })
+    }
+
+    /// True for the trivial pattern (empty prefix and suffix), which matches
+    /// everything and must not join the pool.
+    pub fn is_trivial(&self) -> bool {
+        self.prefix.is_empty() && self.suffix.is_empty()
+    }
+}
+
+/// The accumulated state of a bootstrapping run.
+#[derive(Debug, Clone, Default)]
+pub struct Bootstrapper {
+    /// Learned patterns (sorted for determinism).
+    pub patterns: BTreeSet<Pattern>,
+    /// Extracted concepts (token lists, sorted).
+    pub concepts: BTreeSet<Vec<String>>,
+}
+
+impl Bootstrapper {
+    /// Runs `rounds` of pattern–concept bootstrapping over the query corpus
+    /// with no pattern-support threshold (kept for small corpora and tests).
+    pub fn run(queries: &[Vec<String>], seeds: &[Pattern], rounds: usize) -> Self {
+        Self::run_with_support(queries, seeds, rounds, 1)
+    }
+
+    /// Runs bootstrapping, admitting a learned pattern only when it extracts
+    /// at least `min_support` *distinct* known concepts from the corpus.
+    /// Real bootstrapped extractors threshold support to prevent semantic
+    /// drift (Brin 1998); the threshold is also what bounds Match's coverage
+    /// on heterogeneous query logs (Table 5).
+    pub fn run_with_support(
+        queries: &[Vec<String>],
+        seeds: &[Pattern],
+        rounds: usize,
+        min_support: usize,
+    ) -> Self {
+        let mut state = Bootstrapper {
+            patterns: seeds.iter().cloned().collect(),
+            concepts: BTreeSet::new(),
+        };
+        for _ in 0..rounds {
+            let before = (state.patterns.len(), state.concepts.len());
+            // Patterns → concepts.
+            let mut new_concepts = Vec::new();
+            for q in queries {
+                for p in &state.patterns {
+                    if let Some(c) = p.extract(q) {
+                        new_concepts.push(c);
+                    }
+                }
+            }
+            state.concepts.extend(new_concepts);
+            // Concepts → patterns (candidates tallied by distinct support).
+            let mut candidate_support: std::collections::BTreeMap<Pattern, BTreeSet<&Vec<String>>> =
+                std::collections::BTreeMap::new();
+            for q in queries {
+                for c in &state.concepts {
+                    if let Some(p) = Pattern::learn(q, c) {
+                        if !p.is_trivial() {
+                            candidate_support.entry(p).or_default().insert(c);
+                        }
+                    }
+                }
+            }
+            for (p, support) in candidate_support {
+                if support.len() >= min_support {
+                    state.patterns.insert(p);
+                }
+            }
+            if (state.patterns.len(), state.concepts.len()) == before {
+                break; // fixed point
+            }
+        }
+        state
+    }
+
+    /// Extracts a concept from a single query using any learned pattern,
+    /// preferring the most specific (longest prefix+suffix) match.
+    pub fn extract_best(&self, query: &[String]) -> Option<Vec<String>> {
+        self.patterns
+            .iter()
+            .filter_map(|p| {
+                p.extract(query)
+                    .map(|c| (p.prefix.len() + p.suffix.len(), c))
+            })
+            .max_by_key(|(spec, _)| *spec)
+            .map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        giant_text::tokenize(s)
+    }
+
+    #[test]
+    fn extract_and_learn_are_inverse() {
+        let p = Pattern::new("best", "");
+        let q = toks("best electric cars");
+        let c = p.extract(&q).unwrap();
+        assert_eq!(c, toks("electric cars"));
+        let learned = Pattern::learn(&q, &c).unwrap();
+        assert_eq!(learned, p);
+    }
+
+    #[test]
+    fn no_match_no_extraction() {
+        let p = Pattern::new("best", "");
+        assert_eq!(p.extract(&toks("worst electric cars")), None);
+        assert_eq!(p.extract(&toks("best")), None); // empty slot
+        let p2 = Pattern::new("top", "2018");
+        assert_eq!(p2.extract(&toks("top electric cars")), None);
+        assert_eq!(p2.extract(&toks("top electric cars 2018")), Some(toks("electric cars")));
+    }
+
+    #[test]
+    fn bootstrapping_discovers_unseeded_patterns() {
+        // "best X" is seeded. "X list" is not — but "electric cars" appears
+        // in both forms, so the second round learns the "{} list" pattern
+        // and uses it to extract the *unseen* concept "budget phones".
+        let queries: Vec<Vec<String>> = [
+            "best electric cars",
+            "electric cars list",
+            "budget phones list",
+        ]
+        .iter()
+        .map(|q| toks(q))
+        .collect();
+        let b = Bootstrapper::run(&queries, &[Pattern::new("best", "")], 4);
+        assert!(b.concepts.contains(&toks("electric cars")));
+        assert!(
+            b.concepts.contains(&toks("budget phones")),
+            "bootstrapping failed to propagate: {:?}",
+            b.concepts
+        );
+        assert!(b.patterns.contains(&Pattern::new("", "list")));
+    }
+
+    #[test]
+    fn trivial_pattern_is_rejected() {
+        // A query that IS a known concept would learn the match-everything
+        // pattern; it must be filtered.
+        let queries: Vec<Vec<String>> = ["best electric cars", "electric cars"]
+            .iter()
+            .map(|q| toks(q))
+            .collect();
+        let b = Bootstrapper::run(&queries, &[Pattern::new("best", "")], 3);
+        assert!(b.patterns.iter().all(|p| !p.is_trivial()));
+    }
+
+    #[test]
+    fn extract_best_prefers_specific_patterns() {
+        let mut b = Bootstrapper::default();
+        b.patterns.insert(Pattern::new("best", ""));
+        b.patterns.insert(Pattern::new("best", "2018"));
+        let c = b.extract_best(&toks("best electric cars 2018")).unwrap();
+        // The more specific pattern strips the year.
+        assert_eq!(c, toks("electric cars"));
+    }
+
+    #[test]
+    fn fixed_point_terminates_early() {
+        let queries = vec![toks("unrelated query")];
+        let b = Bootstrapper::run(&queries, &Pattern::default_seeds(), 100);
+        assert!(b.concepts.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! ATSP decoding (paper §3.1, "Node Ordering with ATSP Decoding").
+//!
+//! The classified positive nodes are ordered by solving an asymmetric TSP
+//! over a *modified* QTIG:
+//!
+//! 1. drop all syntactic dependency edges,
+//! 2. make `seq` edges unidirectional (input reading order),
+//! 3. connect `sos` to the first predicted-positive token of each input and
+//!    the last predicted-positive token of each input to `eos`,
+//! 4. the distance between two predicted nodes is the BFS shortest-path
+//!    length in this graph.
+//!
+//! The route `sos → … → eos` is then solved by `giant-tsp` (exact Held–Karp
+//! up to 13 intermediates, Lin–Kernighan-style beyond).
+
+use crate::qtig::{Qtig, EOS, SOS};
+use giant_graph::DiGraph;
+use giant_tsp::{solve_path, CostMatrix};
+use std::collections::HashSet;
+
+/// Builds the directed-seq decode graph of §3.1.
+fn decode_graph(qtig: &Qtig, positive: &HashSet<usize>) -> DiGraph<()> {
+    let mut g = DiGraph::with_nodes(qtig.n_nodes());
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut add = |g: &mut DiGraph<()>, a: usize, b: usize| {
+        if a != b && seen.insert((a, b)) {
+            g.add_edge(a, b, ());
+        }
+    };
+    for seq in &qtig.inputs {
+        // Interior tokens (inputs include sos/eos at the ends).
+        let interior = &seq[1..seq.len().saturating_sub(1)];
+        for w in interior.windows(2) {
+            add(&mut g, w[0], w[1]);
+        }
+        // sos → first positive, last positive → eos ("we remove the
+        // influence of prefixing and suffixing tokens").
+        if let Some(&first) = interior.iter().find(|t| positive.contains(t)) {
+            add(&mut g, SOS, first);
+        }
+        if let Some(&last) = interior.iter().rev().find(|t| positive.contains(t)) {
+            add(&mut g, last, EOS);
+        }
+    }
+    g
+}
+
+/// Orders the predicted positive nodes into a phrase (node-id order).
+///
+/// Duplicates in `positive` are ignored; `sos`/`eos` are filtered out. An
+/// empty input yields an empty phrase.
+pub fn atsp_decode(qtig: &Qtig, positive: &[usize]) -> Vec<usize> {
+    let pos_set: HashSet<usize> = positive
+        .iter()
+        .copied()
+        .filter(|&n| n != SOS && n != EOS && n < qtig.n_nodes())
+        .collect();
+    if pos_set.is_empty() {
+        return Vec::new();
+    }
+    let mut nodes: Vec<usize> = pos_set.iter().copied().collect();
+    nodes.sort_unstable(); // deterministic matrix layout
+    let g = decode_graph(qtig, &pos_set);
+
+    // Cost matrix over [sos, positives…, eos].
+    let n = nodes.len() + 2;
+    let mut costs = CostMatrix::infeasible(n);
+    let index_of = |i: usize| -> usize {
+        if i == 0 {
+            SOS
+        } else if i == n - 1 {
+            EOS
+        } else {
+            nodes[i - 1]
+        }
+    };
+    for i in 0..n {
+        let src = index_of(i);
+        let hops = g.bfs_hops(src);
+        for (j, cost_j) in (0..n).map(|j| (j, index_of(j))).collect::<Vec<_>>() {
+            if i == j {
+                continue;
+            }
+            if let Some(h) = hops[cost_j] {
+                costs.set(i, j, h as f64);
+            }
+        }
+    }
+    // Returning to sos is free once eos is reached (tour closure is formal).
+    costs.set(n - 1, 0, 0.0);
+
+    let (_, path) = solve_path(&costs, 0, n - 1);
+    path.into_iter()
+        .filter(|&i| i != 0 && i != n - 1)
+        .map(index_of)
+        .collect()
+}
+
+/// Convenience: decode and return the token strings.
+pub fn decode_tokens(qtig: &Qtig, positive: &[usize]) -> Vec<String> {
+    atsp_decode(qtig, positive)
+        .into_iter()
+        .map(|i| qtig.nodes[i].token.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giant_text::Annotator;
+
+    fn qtig_of(texts: &[&str]) -> Qtig {
+        let ann = Annotator::default();
+        let inputs: Vec<_> = texts.iter().map(|t| ann.annotate(t)).collect();
+        Qtig::build(&inputs)
+    }
+
+    fn ids(q: &Qtig, toks: &[&str]) -> Vec<usize> {
+        toks.iter().map(|t| q.node_id(t).unwrap()).collect()
+    }
+
+    #[test]
+    fn orders_by_reading_order() {
+        let q = qtig_of(&["what are the miyazaki animated films"]);
+        // Feed positives shuffled; decode must restore reading order.
+        let pos = ids(&q, &["films", "miyazaki", "animated"]);
+        let out = decode_tokens(&q, &pos);
+        assert_eq!(out, vec!["miyazaki", "animated", "films"]);
+    }
+
+    #[test]
+    fn recovers_order_across_inputs() {
+        // The full phrase order only exists across two inputs: the query has
+        // "miyazaki films", a title has "miyazaki animated films".
+        let q = qtig_of(&["miyazaki films", "review miyazaki animated films"]);
+        let pos = ids(&q, &["animated", "films", "miyazaki"]);
+        let out = decode_tokens(&q, &pos);
+        assert_eq!(out, vec!["miyazaki", "animated", "films"]);
+    }
+
+    #[test]
+    fn prefix_tokens_do_not_leak_into_route() {
+        // "review" precedes the positives in the title but must not appear.
+        let q = qtig_of(&["review famous miyazaki films"]);
+        let pos = ids(&q, &["miyazaki", "films"]);
+        let out = decode_tokens(&q, &pos);
+        assert_eq!(out, vec!["miyazaki", "films"]);
+    }
+
+    #[test]
+    fn skips_over_negative_gaps() {
+        // Positives separated by a negative token: path length 2 through the
+        // gap still orders them correctly.
+        let q = qtig_of(&["miyazaki famous films"]);
+        let pos = ids(&q, &["miyazaki", "films"]);
+        let out = decode_tokens(&q, &pos);
+        assert_eq!(out, vec!["miyazaki", "films"]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let q = qtig_of(&["alpha beta"]);
+        assert!(atsp_decode(&q, &[]).is_empty());
+        // sos/eos are filtered even if passed.
+        assert!(atsp_decode(&q, &[SOS, EOS]).is_empty());
+        let single = ids(&q, &["beta"]);
+        assert_eq!(decode_tokens(&q, &single), vec!["beta"]);
+    }
+
+    #[test]
+    fn unique_output_even_with_duplicate_positives() {
+        let q = qtig_of(&["alpha beta gamma"]);
+        let a = q.node_id("alpha").unwrap();
+        let out = atsp_decode(&q, &[a, a, a]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn handles_many_positives_via_heuristic() {
+        // 16 positive tokens forces the LK-style path (> EXACT_LIMIT).
+        let text = "a0 a1 a2 a3 a4 a5 a6 a7 a8 a9 b0 b1 b2 b3 b4 b5";
+        let q = qtig_of(&[text]);
+        let toks: Vec<&str> = text.split(' ').collect();
+        let pos = ids(&q, &toks);
+        let out = decode_tokens(&q, &pos);
+        assert_eq!(out, toks);
+    }
+}

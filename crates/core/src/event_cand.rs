@@ -1,0 +1,158 @@
+//! Event candidate extraction, a.k.a. CoverRank (paper §3.1 and the
+//! `CoverRank` baseline of §5.2).
+//!
+//! "We split the original unsegmented document titles into subtitles by
+//! punctuations and spaces… we only keep the set of subtitles with lengths
+//! between L_l and L_h. For each remaining subtitle, we score it by counting
+//! how many unique non-stop query tokens [are] within it. The subtitles with
+//! the same score will be sorted by its click-through rate. Finally, we
+//! select the top ranked subtitle as a candidate event phrase."
+
+use giant_text::StopWords;
+use std::collections::HashSet;
+
+/// A scored subtitle candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtitleCandidate {
+    /// Subtitle tokens.
+    pub tokens: Vec<String>,
+    /// Count of unique non-stop query tokens covered.
+    pub coverage: usize,
+    /// Click mass of the source title (tie-break).
+    pub click_mass: f64,
+}
+
+/// Ranks the subtitles of clicked titles by query-token coverage.
+///
+/// `titles` pairs each title string with its click mass; `l_min`/`l_max`
+/// bound the subtitle token count (we count tokens where the paper counted
+/// Chinese characters — DESIGN.md S1).
+pub fn cover_rank(
+    queries: &[Vec<String>],
+    titles: &[(String, f64)],
+    stopwords: &StopWords,
+    l_min: usize,
+    l_max: usize,
+) -> Vec<SubtitleCandidate> {
+    let query_content: HashSet<&str> = queries
+        .iter()
+        .flatten()
+        .map(|t| t.as_str())
+        .filter(|t| !stopwords.is_stop(t))
+        .collect();
+    let mut cands = Vec::new();
+    let mut seen: HashSet<Vec<String>> = HashSet::new();
+    for (title, mass) in titles {
+        for sub in giant_text::tokenize::subtitles(title) {
+            let tokens = giant_text::tokenize(&sub);
+            if tokens.len() < l_min || tokens.len() > l_max {
+                continue;
+            }
+            if !seen.insert(tokens.clone()) {
+                continue;
+            }
+            let coverage = tokens
+                .iter()
+                .map(|t| t.as_str())
+                .collect::<HashSet<_>>()
+                .intersection(&query_content)
+                .count();
+            cands.push(SubtitleCandidate {
+                tokens,
+                coverage,
+                click_mass: *mass,
+            });
+        }
+    }
+    cands.sort_by(|a, b| {
+        b.coverage
+            .cmp(&a.coverage)
+            .then(b.click_mass.total_cmp(&a.click_mass))
+            .then(a.tokens.len().cmp(&b.tokens.len()))
+    });
+    cands
+}
+
+/// The top-ranked candidate event phrase, if any subtitle survived.
+pub fn best_event_candidate(
+    queries: &[Vec<String>],
+    titles: &[(String, f64)],
+    stopwords: &StopWords,
+    l_min: usize,
+    l_max: usize,
+) -> Option<Vec<String>> {
+    cover_rank(queries, titles, stopwords, l_min, l_max)
+        .into_iter()
+        .next()
+        .map(|c| c.tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        giant_text::tokenize(s)
+    }
+
+    #[test]
+    fn selects_subtitle_covering_query() {
+        let sw = StopWords::standard();
+        let queries = vec![toks("quanta corp launches veltro x9")];
+        let titles = vec![
+            ("breaking : quanta corp launches veltro x9 , lineup expected".to_owned(), 10.0),
+            ("market wrap for the week".to_owned(), 50.0),
+        ];
+        let best = best_event_candidate(&queries, &titles, &sw, 3, 12).unwrap();
+        assert_eq!(best, toks("quanta corp launches veltro x9"));
+    }
+
+    #[test]
+    fn length_filter_applies() {
+        let sw = StopWords::standard();
+        let queries = vec![toks("alpha beta")];
+        let titles = vec![("alpha beta , x".to_owned(), 1.0)];
+        // l_min 3 excludes both "alpha beta" (2) and "x" (1).
+        assert_eq!(best_event_candidate(&queries, &titles, &sw, 3, 12), None);
+        // Relaxed bounds admit the 2-token subtitle.
+        let best = best_event_candidate(&queries, &titles, &sw, 2, 12).unwrap();
+        assert_eq!(best, toks("alpha beta"));
+    }
+
+    #[test]
+    fn ties_break_by_click_mass() {
+        let sw = StopWords::standard();
+        let queries = vec![toks("gamma delta epsilon")];
+        let titles = vec![
+            ("gamma delta epsilon news today".to_owned(), 1.0),
+            ("gamma delta epsilon report today".to_owned(), 9.0),
+        ];
+        let ranked = cover_rank(&queries, &titles, &sw, 3, 12);
+        assert_eq!(ranked[0].click_mass, 9.0);
+        assert_eq!(ranked[0].coverage, 3);
+    }
+
+    #[test]
+    fn duplicate_subtitles_counted_once() {
+        let sw = StopWords::standard();
+        let queries = vec![toks("alpha beta gamma")];
+        let titles = vec![
+            ("alpha beta gamma now".to_owned(), 1.0),
+            ("alpha beta gamma now".to_owned(), 2.0),
+        ];
+        let ranked = cover_rank(&queries, &titles, &sw, 3, 12);
+        assert_eq!(ranked.len(), 1);
+    }
+
+    #[test]
+    fn stop_words_do_not_score() {
+        let sw = StopWords::standard();
+        let queries = vec![toks("what is the alpha launch")];
+        let titles = vec![
+            ("what is the best of the what".to_owned(), 99.0), // only stop words
+            ("alpha launch confirmed".to_owned(), 1.0),
+        ];
+        let best = best_event_candidate(&queries, &titles, &sw, 3, 12).unwrap();
+        assert_eq!(best, toks("alpha launch confirmed"));
+    }
+}

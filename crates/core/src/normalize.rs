@@ -1,0 +1,201 @@
+//! Attention-phrase normalization (paper §3.1).
+//!
+//! "The same user attention may be expressed by slightly different phrases…
+//! we examine whether a new phrase p_n is similar to an existing phrase p_e
+//! by two criteria: i) the non-stop words in p_n shall be similar (same or
+//! synonyms) with that in p_e, and ii) the TF-IDF similarity between their
+//! context-enriched representations shall be above a threshold δ_m. The
+//! context-enriched representation of a phrase is obtained by using itself
+//! as a query and concatenating the top 5 clicked titles."
+//!
+//! Substitution note: the synthetic world has no synonym dictionary, so
+//! criterion (i) reduces to equality of the non-stop token sets (the paper's
+//! "same or synonyms" with an empty synonym table).
+
+use giant_text::{StopWords, TfIdf};
+use std::collections::HashSet;
+
+/// A canonical phrase plus its merged variants and enriched context.
+#[derive(Debug, Clone)]
+pub struct MergedPhrase {
+    /// Canonical tokens (the first phrase that created the group).
+    pub tokens: Vec<String>,
+    /// Later variants merged into this group.
+    pub variants: Vec<Vec<String>>,
+    /// Context-enriched representation tokens (phrase + top clicked titles).
+    pub context: Vec<String>,
+    /// Accumulated support.
+    pub support: f64,
+}
+
+/// Deduplicates mined phrases per §3.1.
+#[derive(Debug)]
+pub struct Normalizer {
+    tfidf: TfIdf,
+    stopwords: StopWords,
+    delta_m: f64,
+    merged: Vec<MergedPhrase>,
+}
+
+impl Normalizer {
+    /// Creates a normalizer. `tfidf` should be built over the title corpus
+    /// so context similarities are meaningful.
+    pub fn new(tfidf: TfIdf, stopwords: StopWords, delta_m: f64) -> Self {
+        Self {
+            tfidf,
+            stopwords,
+            delta_m,
+            merged: Vec::new(),
+        }
+    }
+
+    /// Context-enriched representation: the phrase tokens plus the tokens of
+    /// its top clicked titles.
+    pub fn context_repr(&self, tokens: &[String], top_titles: &[String]) -> Vec<String> {
+        let mut ctx = tokens.to_vec();
+        for t in top_titles.iter().take(5) {
+            ctx.extend(giant_text::tokenize(t));
+        }
+        ctx
+    }
+
+    fn content_set<'a>(&self, tokens: &'a [String]) -> HashSet<&'a str> {
+        tokens
+            .iter()
+            .map(|t| t.as_str())
+            .filter(|t| !self.stopwords.is_stop(t))
+            .collect()
+    }
+
+    /// True when the two phrases satisfy both §3.1 criteria.
+    pub fn are_similar(
+        &self,
+        a_tokens: &[String],
+        a_context: &[String],
+        b_tokens: &[String],
+        b_context: &[String],
+    ) -> bool {
+        if self.content_set(a_tokens) != self.content_set(b_tokens) {
+            return false;
+        }
+        let sim = self.tfidf.similarity(
+            a_context.iter().map(|s| s.as_str()),
+            b_context.iter().map(|s| s.as_str()),
+        );
+        sim >= self.delta_m
+    }
+
+    /// Merges `tokens` into an existing group or creates a new one; returns
+    /// the group index.
+    pub fn merge_or_insert(
+        &mut self,
+        tokens: Vec<String>,
+        top_titles: &[String],
+        support: f64,
+    ) -> usize {
+        let context = self.context_repr(&tokens, top_titles);
+        for (i, g) in self.merged.iter().enumerate() {
+            if self.are_similar(&tokens, &context, &g.tokens, &g.context) {
+                let g = &mut self.merged[i];
+                if g.tokens != tokens && !g.variants.contains(&tokens) {
+                    g.variants.push(tokens);
+                }
+                g.support += support;
+                return i;
+            }
+        }
+        self.merged.push(MergedPhrase {
+            tokens,
+            variants: Vec::new(),
+            context,
+            support,
+        });
+        self.merged.len() - 1
+    }
+
+    /// The merged groups.
+    pub fn groups(&self) -> &[MergedPhrase] {
+        &self.merged
+    }
+
+    /// Consumes the normalizer, returning the groups.
+    pub fn into_groups(self) -> Vec<MergedPhrase> {
+        self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        giant_text::tokenize(s)
+    }
+
+    fn normalizer() -> Normalizer {
+        let mut tfidf = TfIdf::new();
+        for t in [
+            "top 10 electric cars of 2018",
+            "electric family cars buying guide",
+            "the best budget phones",
+            "budget phones of the year",
+            "marathon runners to watch",
+        ] {
+            tfidf.add_doc(toks(t).iter().map(|s| s.to_string()).collect::<Vec<_>>().iter().map(|s| s.as_str()));
+        }
+        Normalizer::new(tfidf, StopWords::standard(), 0.5)
+    }
+
+    #[test]
+    fn same_content_same_context_merges() {
+        let mut n = normalizer();
+        let titles = vec![
+            "top 10 electric cars of 2018".to_owned(),
+            "electric family cars buying guide".to_owned(),
+        ];
+        let a = n.merge_or_insert(toks("electric cars"), &titles, 1.0);
+        // Different wrappers, same content tokens, same context.
+        let b = n.merge_or_insert(toks("the electric cars"), &titles, 2.0);
+        assert_eq!(a, b);
+        assert_eq!(n.groups().len(), 1);
+        assert_eq!(n.groups()[0].support, 3.0);
+        assert_eq!(n.groups()[0].variants.len(), 1);
+    }
+
+    #[test]
+    fn different_content_never_merges() {
+        let mut n = normalizer();
+        let titles = vec!["top 10 electric cars of 2018".to_owned()];
+        let a = n.merge_or_insert(toks("electric cars"), &titles, 1.0);
+        let b = n.merge_or_insert(toks("budget phones"), &titles, 1.0);
+        assert_ne!(a, b);
+        assert_eq!(n.groups().len(), 2);
+    }
+
+    #[test]
+    fn same_content_different_context_stays_separate() {
+        // Same non-stop tokens but disjoint click contexts → below δ_m.
+        let mut n = normalizer();
+        let a = n.merge_or_insert(
+            toks("electric cars"),
+            &["top 10 electric cars of 2018".to_owned()],
+            1.0,
+        );
+        let b = n.merge_or_insert(
+            toks("electric cars"),
+            &["marathon runners to watch".to_owned()],
+            1.0,
+        );
+        assert_ne!(a, b, "disjoint contexts must not merge");
+    }
+
+    #[test]
+    fn exact_duplicate_does_not_grow_variants() {
+        let mut n = normalizer();
+        let titles = vec!["top 10 electric cars of 2018".to_owned()];
+        n.merge_or_insert(toks("electric cars"), &titles, 1.0);
+        n.merge_or_insert(toks("electric cars"), &titles, 1.0);
+        assert_eq!(n.groups()[0].variants.len(), 0);
+        assert_eq!(n.groups()[0].support, 2.0);
+    }
+}

@@ -1,0 +1,689 @@
+//! The end-to-end GIANT pipeline: Algorithm 1 (attention mining) followed by
+//! §3.2 (attention linking), producing the Attention Ontology.
+//!
+//! The pipeline is data-source agnostic: it consumes a [`PipelineInput`]
+//! (click graph + documents + category tree + session streams + an entity
+//! dictionary + an annotator) and two trained GCTSP-Net models. The `giant`
+//! facade crate adapts `giant-data`'s synthetic world into this form.
+
+use crate::config::GiantConfig;
+use crate::decode::decode_tokens;
+use crate::derive::{common_pattern_discovery, common_suffix_discovery, CpdEvent};
+use crate::link::{
+    category_links, concept_entity_features, ConceptEntityClassifier, CorrelateConfig,
+    CorrelateModel,
+};
+use crate::normalize::Normalizer;
+
+use crate::train::GiantModels;
+use giant_graph::cluster::extract_cluster;
+use giant_graph::{ClickGraph, DocId};
+use giant_nn::GbdtConfig;
+use giant_ontology::{EventRole, NodeId, NodeKind, Ontology, Phrase};
+use giant_text::{Annotator, NerTag, PosTag, TfIdf};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// One document, pipeline view.
+#[derive(Debug, Clone)]
+pub struct DocRecord {
+    /// Dense id matching the click graph's [`DocId`].
+    pub id: usize,
+    /// Title text.
+    pub title: String,
+    /// Body sentences.
+    pub sentences: Vec<String>,
+    /// Leaf category id (ancestors come from the category table).
+    pub leaf_category: usize,
+    /// Publication day.
+    pub day: u32,
+}
+
+/// One category-tree node, pipeline view.
+#[derive(Debug, Clone)]
+pub struct CategoryRecord {
+    /// Dense id.
+    pub id: usize,
+    /// Name tokens.
+    pub tokens: Vec<String>,
+    /// Tree level (1–3).
+    pub level: u8,
+    /// Parent id.
+    pub parent: Option<usize>,
+}
+
+/// Everything the pipeline consumes.
+#[derive(Debug)]
+pub struct PipelineInput {
+    /// The bipartite search click graph.
+    pub click_graph: ClickGraph,
+    /// Documents, indexed by click-graph doc id.
+    pub docs: Vec<DocRecord>,
+    /// The pre-defined category tree (paper: 1,206 categories, 3 levels).
+    pub categories: Vec<CategoryRecord>,
+    /// Consecutive-query session streams.
+    pub sessions: Vec<Vec<String>>,
+    /// Entity dictionary: known entity surfaces with NER tags (stands in for
+    /// the pre-existing entity base every production taxonomy starts from).
+    pub entities: Vec<(Vec<String>, NerTag)>,
+    /// The NLP annotator.
+    pub annotator: Annotator,
+}
+
+/// A mined attention node with its mining metadata.
+#[derive(Debug, Clone)]
+pub struct MinedAttention {
+    /// Ontology node id.
+    pub node: NodeId,
+    /// Node kind (Concept/Event/Topic).
+    pub kind: NodeKind,
+    /// Phrase tokens.
+    pub tokens: Vec<String>,
+    /// Recognised trigger (events).
+    pub trigger: Option<String>,
+    /// Involved entity nodes (events).
+    pub entities: Vec<NodeId>,
+    /// Recognised location tokens (events).
+    pub location: Option<Vec<String>>,
+    /// Earliest clicked-document day (events).
+    pub day: Option<u32>,
+    /// Accumulated click support.
+    pub support: f64,
+    /// The queries whose clusters produced this phrase.
+    pub source_queries: Vec<String>,
+    /// Top clicked titles (context-enriched representation).
+    pub top_titles: Vec<String>,
+    /// Clicked doc ids (category voting).
+    pub clicked_docs: Vec<usize>,
+}
+
+/// The pipeline's product.
+#[derive(Debug)]
+pub struct GiantOutput {
+    /// The constructed Attention Ontology.
+    pub ontology: Ontology,
+    /// Mined attentions with metadata, in creation order.
+    pub mined: Vec<MinedAttention>,
+    /// Category id → ontology node.
+    pub category_nodes: HashMap<usize, NodeId>,
+    /// Entity surface → ontology node.
+    pub entity_nodes: HashMap<String, NodeId>,
+    /// Diagnostics: edges rejected (would have closed an isA cycle).
+    pub rejected_edges: usize,
+}
+
+impl GiantOutput {
+    /// Mined attentions of one kind.
+    pub fn mined_of_kind(&self, kind: NodeKind) -> Vec<&MinedAttention> {
+        self.mined.iter().filter(|m| m.kind == kind).collect()
+    }
+}
+
+/// Runs the full pipeline.
+pub fn run_pipeline(input: &PipelineInput, models: &GiantModels, cfg: &GiantConfig) -> GiantOutput {
+    let mut out = GiantOutput {
+        ontology: Ontology::new(),
+        mined: Vec::new(),
+        category_nodes: HashMap::new(),
+        entity_nodes: HashMap::new(),
+        rejected_edges: 0,
+    };
+    register_categories(input, &mut out);
+    register_entities(input, &mut out);
+    mine_attentions(input, models, cfg, &mut out);
+    recognize_event_elements(input, models, &mut out);
+    link_categories(input, cfg, &mut out);
+    link_concept_entities(input, cfg, &mut out);
+    derive_parent_concepts(input, cfg, &mut out);
+    derive_topics(input, cfg, &mut out);
+    link_correlates(input, cfg, &mut out);
+    out
+}
+
+fn register_categories(input: &PipelineInput, out: &mut GiantOutput) {
+    for c in &input.categories {
+        let node = out.ontology.add_node(
+            NodeKind::Category,
+            Phrase::new(c.tokens.iter().cloned()),
+            0.0,
+        );
+        out.category_nodes.insert(c.id, node);
+    }
+    for c in &input.categories {
+        if let Some(p) = c.parent {
+            let parent = out.category_nodes[&p];
+            let child = out.category_nodes[&c.id];
+            if out.ontology.add_is_a(parent, child, 1.0).is_err() {
+                out.rejected_edges += 1;
+            }
+        }
+    }
+}
+
+fn register_entities(input: &PipelineInput, out: &mut GiantOutput) {
+    for (tokens, _ner) in &input.entities {
+        let node = out
+            .ontology
+            .add_node(NodeKind::Entity, Phrase::new(tokens.iter().cloned()), 0.0);
+        out.entity_nodes.insert(tokens.join(" "), node);
+    }
+}
+
+/// All category ids of a doc: its leaf plus every ancestor.
+fn doc_category_chain(input: &PipelineInput, leaf: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(3);
+    let mut cur = Some(leaf);
+    while let Some(c) = cur {
+        out.push(c);
+        cur = input.categories.get(c).and_then(|r| r.parent);
+    }
+    out
+}
+
+/// Phase 1: Algorithm 1 — cluster, classify, decode, normalize.
+fn mine_attentions(
+    input: &PipelineInput,
+    models: &GiantModels,
+    cfg: &GiantConfig,
+    out: &mut GiantOutput,
+) {
+    let stopwords = &input.annotator.stopwords;
+    // TF-IDF over titles for normalization contexts.
+    let mut tfidf = TfIdf::new();
+    for d in &input.docs {
+        let toks = giant_text::tokenize(&d.title);
+        tfidf.add_doc(toks.iter().map(|s| s.as_str()));
+    }
+    let mut concept_norm = Normalizer::new(tfidf.clone(), stopwords.clone(), cfg.delta_m);
+    let mut event_norm = Normalizer::new(tfidf, stopwords.clone(), cfg.delta_m);
+    // Group metadata keyed by (is_event, group index).
+    #[derive(Default, Clone)]
+    struct GroupMeta {
+        queries: Vec<String>,
+        titles: Vec<String>,
+        docs: Vec<usize>,
+        day: Option<u32>,
+    }
+    let mut concept_meta: Vec<GroupMeta> = Vec::new();
+    let mut event_meta: Vec<GroupMeta> = Vec::new();
+
+    let entity_surfaces: HashSet<String> = out.entity_nodes.keys().cloned().collect();
+    let mut covered: HashSet<String> = HashSet::new();
+
+    for q in input.click_graph.query_ids() {
+        let qtext = input.click_graph.query_text(q).to_owned();
+        if covered.contains(&qtext) {
+            continue;
+        }
+        let cluster = extract_cluster(&input.click_graph, q, stopwords, &cfg.cluster);
+        // Mark the whole cluster covered: its queries express one attention.
+        for (cq, _) in &cluster.queries {
+            covered.insert(input.click_graph.query_text(*cq).to_owned());
+        }
+        let queries: Vec<String> = cluster
+            .queries
+            .iter()
+            .map(|(cq, _)| input.click_graph.query_text(*cq).to_owned())
+            .collect();
+        let titles: Vec<String> = cluster
+            .docs
+            .iter()
+            .filter_map(|(d, _)| input.docs.get(d.index()).map(|doc| doc.title.clone()))
+            .collect();
+        if titles.is_empty() {
+            continue;
+        }
+        let qtig = crate::train::build_cluster_qtig(&input.annotator, &queries, &titles);
+        let positives = models.phrase_model.predict_positive_nodes(&qtig);
+        let tokens = decode_tokens(&qtig, &positives);
+        if tokens.is_empty() || tokens.iter().all(|t| stopwords.is_stop(t)) {
+            continue;
+        }
+        let surface = tokens.join(" ");
+        // Entity queries re-discover dictionary entities; skip those.
+        if entity_surfaces.contains(&surface) {
+            continue;
+        }
+        let is_event = tokens
+            .iter()
+            .any(|t| input.annotator.lexicon.tag(t) == PosTag::Verb);
+        let support = input.click_graph.query_clicks(q);
+        let clicked: Vec<usize> = cluster.docs.iter().map(|(d, _)| d.index()).collect();
+        let top_titles: Vec<String> = titles.iter().take(5).cloned().collect();
+        let day = clicked
+            .iter()
+            .filter_map(|&d| input.docs.get(d).map(|doc| doc.day))
+            .min();
+        let (norm, meta) = if is_event {
+            (&mut event_norm, &mut event_meta)
+        } else {
+            (&mut concept_norm, &mut concept_meta)
+        };
+        let gi = norm.merge_or_insert(tokens, &top_titles, support);
+        if gi == meta.len() {
+            meta.push(GroupMeta::default());
+        }
+        let m = &mut meta[gi];
+        m.queries.extend(queries);
+        m.titles = top_titles;
+        m.docs.extend(clicked);
+        m.day = match (m.day, day) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    // Materialise ontology nodes from the normalized groups.
+    for (norm, meta, kind) in [
+        (concept_norm, concept_meta, NodeKind::Concept),
+        (event_norm, event_meta, NodeKind::Event),
+    ] {
+        for (g, m) in norm.into_groups().into_iter().zip(meta) {
+            let phrase = Phrase::new(g.tokens.iter().cloned());
+            let node = if kind == NodeKind::Event {
+                out.ontology
+                    .add_event(phrase, g.support, m.day.unwrap_or(0))
+            } else {
+                out.ontology.add_node(kind, phrase, g.support)
+            };
+            for v in &g.variants {
+                out.ontology.add_alias(node, Phrase::new(v.iter().cloned()));
+            }
+            out.mined.push(MinedAttention {
+                node,
+                kind,
+                tokens: g.tokens,
+                trigger: None,
+                entities: Vec::new(),
+                location: None,
+                day: m.day,
+                support: g.support,
+                source_queries: m.queries,
+                top_titles: m.titles,
+                clicked_docs: m.docs,
+            });
+        }
+    }
+}
+
+/// Phase 2a: 4-class GCTSP over event clusters → trigger/entity/location +
+/// involve edges (§3.2 "Edges between Attentions and Entities").
+fn recognize_event_elements(input: &PipelineInput, models: &GiantModels, out: &mut GiantOutput) {
+    for mi in 0..out.mined.len() {
+        if out.mined[mi].kind != NodeKind::Event {
+            continue;
+        }
+        let (queries, titles) = {
+            let m = &out.mined[mi];
+            (m.source_queries.clone(), m.top_titles.clone())
+        };
+        let qtig = crate::train::build_cluster_qtig(&input.annotator, &queries, &titles);
+        let classes = models.role_model.predict_classes(&qtig);
+        let role_of = |tok: &str| -> EventRole {
+            qtig.node_id(tok)
+                .map(|i| EventRole::from_index(classes[i]))
+                .unwrap_or(EventRole::Other)
+        };
+        let tokens = out.mined[mi].tokens.clone();
+        // Trigger: first trigger-class token of the phrase.
+        let trigger = tokens
+            .iter()
+            .find(|t| role_of(t) == EventRole::Trigger)
+            .cloned();
+        // Location: contiguous location-class tokens.
+        let loc_tokens: Vec<String> = tokens
+            .iter()
+            .filter(|t| role_of(t) == EventRole::Location)
+            .cloned()
+            .collect();
+        // Entities: match contiguous entity-class spans against the
+        // dictionary (longest match first).
+        let mut entity_nodes = Vec::new();
+        let flags: Vec<bool> = tokens.iter().map(|t| role_of(t) == EventRole::Entity).collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            if !flags[i] {
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j + 1 < tokens.len() && flags[j + 1] {
+                j += 1;
+            }
+            // Longest dictionary match inside [i, j].
+            let mut matched = false;
+            for end in (i..=j).rev() {
+                let surface = tokens[i..=end].join(" ");
+                if let Some(&node) = out.entity_nodes.get(&surface) {
+                    entity_nodes.push(node);
+                    i = end + 1;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                // Unknown entity: create a node (the ontology grows).
+                let surface = tokens[i..=j].join(" ");
+                let node = out.ontology.add_node(
+                    NodeKind::Entity,
+                    Phrase::new(tokens[i..=j].iter().cloned()),
+                    0.0,
+                );
+                out.entity_nodes.insert(surface, node);
+                entity_nodes.push(node);
+                i = j + 1;
+            }
+        }
+        let event_node = out.mined[mi].node;
+        for &e in &entity_nodes {
+            if out.ontology.add_involve(event_node, e, 1.0).is_err() {
+                out.rejected_edges += 1;
+            }
+        }
+        let m = &mut out.mined[mi];
+        m.trigger = trigger;
+        m.entities = entity_nodes;
+        m.location = if loc_tokens.is_empty() {
+            None
+        } else {
+            Some(loc_tokens)
+        };
+    }
+}
+
+/// Phase 2b: attention ↔ category edges via `P(g|p) > δ_g`.
+fn link_categories(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput) {
+    for mi in 0..out.mined.len() {
+        let chains: Vec<Vec<usize>> = out.mined[mi]
+            .clicked_docs
+            .iter()
+            .filter_map(|&d| input.docs.get(d))
+            .map(|doc| doc_category_chain(input, doc.leaf_category))
+            .collect();
+        let node = out.mined[mi].node;
+        for (cat, p) in category_links(&chains, cfg.delta_g) {
+            if let Some(&cat_node) = out.category_nodes.get(&cat) {
+                if out.ontology.add_is_a(cat_node, node, p).is_err() {
+                    out.rejected_edges += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Phase 2c: concept ↔ entity isA edges via the GBDT classifier, trained on
+/// the automatically constructed dataset of Figure 4.
+fn link_concept_entities(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput) {
+    // Resolve query text → mined concept index / dictionary entity surface.
+    let mut query_to_concept: HashMap<&str, usize> = HashMap::new();
+    for (mi, m) in out.mined.iter().enumerate() {
+        if m.kind == NodeKind::Concept {
+            for q in &m.source_queries {
+                query_to_concept.insert(q.as_str(), mi);
+            }
+        }
+    }
+    let entity_list: Vec<(Vec<String>, String)> = input
+        .entities
+        .iter()
+        .map(|(t, _)| (t.clone(), t.join(" ")))
+        .collect();
+    let find_entity = |query: &str| -> Option<usize> {
+        let qt = giant_text::tokenize(query);
+        entity_list
+            .iter()
+            .position(|(toks, _)| crate::util::contains_seq(&qt, toks).is_some())
+    };
+
+    // Session pair counts: (concept idx, entity idx) → count.
+    let mut session_counts: HashMap<(usize, usize), f64> = HashMap::new();
+    for s in &input.sessions {
+        for w in s.windows(2) {
+            let (Some(&c), Some(e)) = (query_to_concept.get(w[0].as_str()), find_entity(&w[1]))
+            else {
+                continue;
+            };
+            *session_counts.entry((c, e)).or_insert(0.0) += 1.0;
+        }
+    }
+
+    // Tokenized doc bodies (reused many times below).
+    let doc_sentences: Vec<Vec<Vec<String>>> = input
+        .docs
+        .iter()
+        .map(|d| d.sentences.iter().map(|s| giant_text::tokenize(s)).collect())
+        .collect();
+    let doc_titles: Vec<Vec<String>> = input
+        .docs
+        .iter()
+        .map(|d| giant_text::tokenize(&d.title))
+        .collect();
+
+    // Positives: session pair + entity mentioned in a doc clicked from the
+    // concept's queries. Negatives: same-domain entity randomly inserted.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5e55);
+    let mut examples: Vec<(Vec<f64>, bool)> = Vec::new();
+    let mut candidates: Vec<(usize, usize, Vec<f64>)> = Vec::new();
+    let mut keys: Vec<(usize, usize)> = session_counts.keys().copied().collect();
+    keys.sort_unstable();
+    for (ci, ei) in keys {
+        let m = &out.mined[ci];
+        let (etoks, _) = &entity_list[ei];
+        // Find a clicked doc mentioning the entity.
+        let Some(&doc) = m.clicked_docs.iter().find(|&&d| {
+            doc_sentences
+                .get(d)
+                .map(|ss| ss.iter().any(|s| crate::util::contains_seq(s, etoks).is_some()))
+                .unwrap_or(false)
+        }) else {
+            continue;
+        };
+        let feats = concept_entity_features(
+            &m.tokens,
+            etoks,
+            &doc_titles[doc],
+            &doc_sentences[doc],
+            session_counts[&(ci, ei)],
+        );
+        examples.push((feats.clone(), true));
+        candidates.push((ci, ei, feats));
+        // Negative: another entity, inserted at a random position.
+        let neg = rng.random_range(0..entity_list.len());
+        if neg != ei && !session_counts.contains_key(&(ci, neg)) {
+            let (ntoks, _) = &entity_list[neg];
+            let mut sents = doc_sentences[doc].clone();
+            if !sents.is_empty() {
+                let si = rng.random_range(0..sents.len());
+                let pos = rng.random_range(0..=sents[si].len());
+                for (k, t) in ntoks.iter().enumerate() {
+                    sents[si].insert(pos + k, t.clone());
+                }
+            }
+            let feats =
+                concept_entity_features(&m.tokens, ntoks, &doc_titles[doc], &sents, 0.0);
+            examples.push((feats, false));
+        }
+    }
+    if examples.iter().filter(|(_, y)| *y).count() < 2
+        || examples.iter().filter(|(_, y)| !*y).count() < 2
+    {
+        return; // not enough signal to train a classifier
+    }
+    let clf = ConceptEntityClassifier::train(
+        &examples,
+        GbdtConfig {
+            n_trees: 30,
+            ..GbdtConfig::default()
+        },
+    );
+    for (ci, ei, feats) in candidates {
+        if clf.predict(&feats) {
+            let concept_node = out.mined[ci].node;
+            let entity_node = out.entity_nodes[&entity_list[ei].1];
+            if out.ontology.add_is_a(concept_node, entity_node, clf.predict_proba(&feats)).is_err()
+            {
+                out.rejected_edges += 1;
+            }
+        }
+    }
+}
+
+/// Phase 2d: Common Suffix Discovery → parent concepts (§3.1 derivation +
+/// §3.2 "link two concepts by isA if one is the suffix of another").
+fn derive_parent_concepts(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput) {
+    let concept_idx: Vec<usize> = out
+        .mined
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.kind == NodeKind::Concept)
+        .map(|(i, _)| i)
+        .collect();
+    let phrases: Vec<Vec<String>> = concept_idx
+        .iter()
+        .map(|&i| out.mined[i].tokens.clone())
+        .collect();
+    let derived = common_suffix_discovery(
+        &phrases,
+        &input.annotator.lexicon,
+        &input.annotator.stopwords,
+        cfg.csd_min_children,
+    );
+    for d in derived {
+        let support: f64 = d
+            .children
+            .iter()
+            .map(|&c| out.mined[concept_idx[c]].support)
+            .sum();
+        let parent =
+            out.ontology
+                .add_node(NodeKind::Concept, Phrase::new(d.tokens.iter().cloned()), support);
+        for &c in &d.children {
+            let child = out.mined[concept_idx[c]].node;
+            if parent == child {
+                continue;
+            }
+            if out.ontology.add_is_a(parent, child, 1.0).is_err() {
+                out.rejected_edges += 1;
+            }
+        }
+    }
+}
+
+/// Phase 2e: Common Pattern Discovery → topics, plus topic edges
+/// (topic --isA--> event members; topic --involve--> contained concept).
+fn derive_topics(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput) {
+    let mut cpd_events = Vec::new();
+    for m in out.mined.iter().filter(|m| m.kind == NodeKind::Event) {
+        // Use the first involved entity's span within the phrase.
+        let Some(&entity) = m.entities.first() else {
+            continue;
+        };
+        let etoks = &out.ontology.node(entity).phrase.tokens;
+        let Some(start) = crate::util::contains_seq(&m.tokens, etoks) else {
+            continue;
+        };
+        cpd_events.push(CpdEvent {
+            node: m.node,
+            tokens: m.tokens.clone(),
+            entity_span: (start, start + etoks.len()),
+            entity,
+            support: m.support,
+        });
+    }
+    let topics = common_pattern_discovery(
+        &cpd_events,
+        &out.ontology,
+        cfg.cpd_min_events,
+        cfg.topic_min_support,
+    );
+    for t in topics {
+        let node =
+            out.ontology
+                .add_node(NodeKind::Topic, Phrase::new(t.tokens.iter().cloned()), t.support);
+        for &e in &t.events {
+            if out.ontology.add_is_a(node, e, 1.0).is_err() {
+                out.rejected_edges += 1;
+            }
+        }
+        // "We connect a concept to a topic if the concept is contained in
+        // the topic phrase."
+        if out.ontology.add_involve(node, t.concept, 1.0).is_err() {
+            out.rejected_edges += 1;
+        }
+        out.mined.push(MinedAttention {
+            node,
+            kind: NodeKind::Topic,
+            tokens: t.tokens,
+            trigger: None,
+            entities: Vec::new(),
+            location: None,
+            day: None,
+            support: t.support,
+            source_queries: Vec::new(),
+            top_titles: Vec::new(),
+            clicked_docs: Vec::new(),
+        });
+    }
+    let _ = input;
+}
+
+/// Phase 2f: entity ↔ entity correlate edges from hinge-loss embeddings over
+/// sentence/query co-occurrence pairs.
+fn link_correlates(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput) {
+    let entity_list: Vec<(Vec<String>, String)> = input
+        .entities
+        .iter()
+        .map(|(t, _)| (t.clone(), t.join(" ")))
+        .collect();
+    // Co-occurrence positives: entities in the same body sentence.
+    let mut positives: Vec<(usize, usize)> = Vec::new();
+    for d in &input.docs {
+        for s in &d.sentences {
+            let toks = giant_text::tokenize(s);
+            let present: Vec<usize> = entity_list
+                .iter()
+                .enumerate()
+                .filter(|(_, (et, _))| crate::util::contains_seq(&toks, et).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            for i in 0..present.len() {
+                for j in i + 1..present.len() {
+                    positives.push((present[i], present[j]));
+                }
+            }
+        }
+    }
+    if positives.is_empty() {
+        return;
+    }
+    let model = CorrelateModel::train(
+        entity_list.len(),
+        &positives,
+        &CorrelateConfig {
+            seed: cfg.seed ^ 0xc0,
+            threshold_percentile: cfg.correlate_threshold_percentile,
+            ..CorrelateConfig::default()
+        },
+    );
+    for (a, b, d) in model.correlated_pairs() {
+        let na = out.entity_nodes[&entity_list[a].1];
+        let nb = out.entity_nodes[&entity_list[b].1];
+        if out.ontology.add_correlate(na, nb, 1.0 / (1.0 + d)).is_err() {
+            out.rejected_edges += 1;
+        }
+    }
+}
+
+/// Lookup helper: the clicked docs of a query as pipeline doc ids.
+pub fn clicked_doc_ids(graph: &ClickGraph, query: &str) -> Vec<usize> {
+    graph
+        .query_id(query)
+        .map(|q| graph.docs_of(q).iter().map(|(d, _)| d.index()).collect())
+        .unwrap_or_default()
+}
+
+/// Converts a click-graph [`DocId`] into a pipeline doc index.
+pub fn doc_id(d: DocId) -> usize {
+    d.index()
+}

@@ -1,0 +1,158 @@
+//! Training utilities: from labeled query–title clusters to trained
+//! GCTSP-Net models (binary phrase model + 4-class role model).
+
+use crate::gctsp::{GctspConfig, GctspNet};
+use crate::qtig::Qtig;
+use giant_ontology::EventRole;
+use giant_text::Annotator;
+use std::collections::HashMap;
+
+/// One labeled cluster (a CMD/EMD example in core-owned form).
+#[derive(Debug, Clone)]
+pub struct TrainingCluster {
+    /// Correlated queries, most representative first.
+    pub queries: Vec<String>,
+    /// Top clicked titles, click-mass ordered.
+    pub titles: Vec<String>,
+    /// Gold phrase tokens.
+    pub gold_tokens: Vec<String>,
+    /// Token roles (event clusters only).
+    pub roles: Option<HashMap<String, EventRole>>,
+}
+
+/// Annotates a cluster's queries and titles (in that order) and builds the
+/// QTIG — the exact construction used at mining time.
+pub fn build_cluster_qtig(annotator: &Annotator, queries: &[String], titles: &[String]) -> Qtig {
+    let mut inputs = Vec::with_capacity(queries.len() + titles.len());
+    for q in queries {
+        inputs.push(annotator.annotate(q));
+    }
+    for t in titles {
+        inputs.push(annotator.annotate(t));
+    }
+    Qtig::build(&inputs)
+}
+
+/// Trains the binary phrase-mining model on clusters, returning the model
+/// and its final-epoch loss.
+pub fn train_phrase_model(
+    clusters: &[TrainingCluster],
+    annotator: &Annotator,
+    cfg: GctspConfig,
+) -> (GctspNet, f64) {
+    assert_eq!(cfg.n_classes, 2, "phrase model is binary");
+    let examples: Vec<(Qtig, Vec<usize>)> = clusters
+        .iter()
+        .map(|c| {
+            let qtig = build_cluster_qtig(annotator, &c.queries, &c.titles);
+            let labels = qtig.binary_labels(&c.gold_tokens);
+            (qtig, labels)
+        })
+        .collect();
+    let mut net = GctspNet::new(cfg);
+    let loss = net.train(&examples);
+    (net, loss)
+}
+
+/// Trains the 4-class key-element model (entity/trigger/location/other) on
+/// event clusters that carry role labels.
+pub fn train_role_model(
+    clusters: &[TrainingCluster],
+    annotator: &Annotator,
+    cfg: GctspConfig,
+) -> (GctspNet, f64) {
+    assert_eq!(cfg.n_classes, 4, "role model has 4 classes");
+    let examples: Vec<(Qtig, Vec<usize>)> = clusters
+        .iter()
+        .filter_map(|c| {
+            let roles = c.roles.as_ref()?;
+            let qtig = build_cluster_qtig(annotator, &c.queries, &c.titles);
+            let classes: HashMap<String, usize> = roles
+                .iter()
+                .map(|(tok, role)| (tok.clone(), role.index()))
+                .collect();
+            let labels = qtig.class_labels(&classes);
+            Some((qtig, labels))
+        })
+        .collect();
+    let mut net = GctspNet::new(cfg);
+    let loss = net.train(&examples);
+    (net, loss)
+}
+
+/// The two trained models the pipeline needs.
+#[derive(Debug, Clone)]
+pub struct GiantModels {
+    /// Binary node classifier for phrase mining.
+    pub phrase_model: GctspNet,
+    /// 4-class node classifier for event key elements.
+    pub role_model: GctspNet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(concept: &str) -> TrainingCluster {
+        TrainingCluster {
+            queries: vec![format!("best {concept}"), format!("{concept} list")],
+            titles: vec![format!("top 10 {concept} of 2018")],
+            gold_tokens: giant_text::tokenize(concept),
+            roles: None,
+        }
+    }
+
+    fn small_cfg(n_classes: usize) -> GctspConfig {
+        GctspConfig {
+            hidden: 10,
+            layers: 3,
+            n_bases: 3,
+            feat_dim: 6,
+            epochs: 30,
+            n_classes,
+            ..GctspConfig::default()
+        }
+    }
+
+    #[test]
+    fn phrase_model_trains_to_low_loss() {
+        let ann = Annotator::default();
+        let clusters: Vec<TrainingCluster> = ["electric cars", "animated films", "pop singers"]
+            .iter()
+            .map(|c| cluster(c))
+            .collect();
+        let (net, loss) = train_phrase_model(&clusters, &ann, small_cfg(2));
+        assert!(loss < 0.4, "loss {loss}");
+        // In-sample prediction recovers gold.
+        let q = build_cluster_qtig(&ann, &clusters[0].queries, &clusters[0].titles);
+        let pos = net.predict_positive_nodes(&q);
+        let toks: Vec<&str> = pos.iter().map(|&i| q.nodes[i].token.as_str()).collect();
+        assert!(toks.contains(&"electric"));
+        assert!(toks.contains(&"cars"));
+    }
+
+    #[test]
+    fn role_model_requires_roles() {
+        let ann = Annotator::default();
+        let mut c = cluster("quanta corp launches q7");
+        let mut roles = HashMap::new();
+        for t in ["quanta", "corp"] {
+            roles.insert(t.to_owned(), EventRole::Entity);
+        }
+        roles.insert("launches".to_owned(), EventRole::Trigger);
+        roles.insert("q7".to_owned(), EventRole::Other);
+        c.roles = Some(roles);
+        let unlabeled = cluster("electric cars"); // no roles → filtered
+        let (net, _) = train_role_model(&[c.clone(), unlabeled], &ann, small_cfg(4));
+        let q = build_cluster_qtig(&ann, &c.queries, &c.titles);
+        let classes = net.predict_classes(&q);
+        assert_eq!(classes.len(), q.n_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn phrase_model_rejects_wrong_class_count() {
+        let ann = Annotator::default();
+        let _ = train_phrase_model(&[cluster("x y")], &ann, small_cfg(4));
+    }
+}

@@ -1,0 +1,35 @@
+//! Small shared token-sequence helpers.
+
+/// First index where `needle` occurs contiguously in `haystack`.
+pub fn contains_seq(haystack: &[String], needle: &[String]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (0..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split(' ').map(|t| t.to_owned()).collect()
+    }
+
+    #[test]
+    fn finds_first_occurrence() {
+        assert_eq!(contains_seq(&toks("a b c b c"), &toks("b c")), Some(1));
+        assert_eq!(contains_seq(&toks("a b c"), &toks("c d")), None);
+        assert_eq!(contains_seq(&toks("a"), &toks("a")), Some(0));
+    }
+
+    #[test]
+    fn empty_needle_is_none() {
+        assert_eq!(contains_seq(&toks("a b"), &[]), None);
+    }
+
+    #[test]
+    fn needle_longer_than_haystack() {
+        assert_eq!(contains_seq(&toks("a"), &toks("a b")), None);
+    }
+}

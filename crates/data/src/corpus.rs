@@ -1,0 +1,365 @@
+//! Synthetic document generation.
+//!
+//! Documents carry the properties the mining algorithms exploit:
+//! * concept-doc titles contain the concept tokens *in order*, usually with
+//!   extra tokens inserted inside the span (what the Align strategy needs)
+//!   and occasionally reordered (what only the QTIG/R-GCN handles),
+//! * event-doc titles contain the event phrase as one punctuation-delimited
+//!   subtitle (what CoverRank needs),
+//! * bodies mention member entities, entity pairs (correlate mining) and the
+//!   owning concept (concept–entity classifier context).
+
+use crate::world::World;
+use giant_text::vocab::{TokenId, Vocab};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Why a document exists (ground truth for evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocSource {
+    /// Written about a concept.
+    Concept(usize),
+    /// Written about a single entity.
+    Entity(usize),
+    /// Reporting an event.
+    Event(usize),
+}
+
+/// One synthetic document.
+#[derive(Debug, Clone)]
+pub struct SynthDoc {
+    /// Dense id (index into [`Corpus::docs`]).
+    pub id: usize,
+    /// Title text.
+    pub title: String,
+    /// Body sentences.
+    pub sentences: Vec<String>,
+    /// Owning domain index.
+    pub domain: usize,
+    /// Level-2 category id.
+    pub sub_category: usize,
+    /// Level-3 (leaf) category id.
+    pub leaf_category: usize,
+    /// Publication day.
+    pub day: u32,
+    /// Generation ground truth.
+    pub source: DocSource,
+    /// Entities mentioned in title or body.
+    pub mentioned_entities: Vec<usize>,
+}
+
+/// Corpus-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Documents per concept.
+    pub docs_per_concept: usize,
+    /// Documents per event.
+    pub docs_per_event: usize,
+    /// Documents per entity.
+    pub docs_per_entity: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            docs_per_concept: 4,
+            docs_per_event: 3,
+            docs_per_entity: 1,
+        }
+    }
+}
+
+/// The generated document collection.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// All documents, id = index.
+    pub docs: Vec<SynthDoc>,
+}
+
+impl Corpus {
+    /// Documents whose ground-truth source is the given concept.
+    pub fn concept_docs(&self, c: usize) -> Vec<&SynthDoc> {
+        self.docs
+            .iter()
+            .filter(|d| d.source == DocSource::Concept(c))
+            .collect()
+    }
+
+    /// Documents whose ground-truth source is the given event.
+    pub fn event_docs(&self, e: usize) -> Vec<&SynthDoc> {
+        self.docs
+            .iter()
+            .filter(|d| d.source == DocSource::Event(e))
+            .collect()
+    }
+
+    /// Documents whose ground-truth source is the given entity.
+    pub fn entity_docs(&self, e: usize) -> Vec<&SynthDoc> {
+        self.docs
+            .iter()
+            .filter(|d| d.source == DocSource::Entity(e))
+            .collect()
+    }
+
+    /// Interns every title and body sentence as token-id sequences — the
+    /// SGNS training corpus.
+    pub fn embedding_corpus(&self, vocab: &mut Vocab) -> Vec<Vec<TokenId>> {
+        let mut out = Vec::with_capacity(self.docs.len() * 3);
+        for d in &self.docs {
+            let toks = giant_text::tokenize(&d.title);
+            out.push(toks.iter().map(|t| vocab.intern(t)).collect());
+            for s in &d.sentences {
+                let toks = giant_text::tokenize(s);
+                out.push(toks.iter().map(|t| vocab.intern(t)).collect());
+            }
+        }
+        out
+    }
+}
+
+fn leaf_of(_world: &World, sub: usize, news: bool) -> usize {
+    // Leaves were generated right after their sub in order [news, reviews].
+    let base = sub + 1;
+    if news {
+        base
+    } else {
+        base + 1
+    }
+}
+
+/// Generates the corpus for `world`.
+pub fn generate_corpus(world: &World, cfg: &CorpusConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(world.config.seed ^ 0x00c0_ffee);
+    let mut docs: Vec<SynthDoc> = Vec::new();
+
+    // --- Concept documents -------------------------------------------------
+    for c in &world.concepts {
+        let surface = c.tokens.join(" ");
+        let domain_spec = &world.domains[c.domain];
+        for k in 0..cfg.docs_per_concept {
+            let insertion =
+                domain_spec.modifiers[(c.id + k + 1) % domain_spec.modifiers.len()].to_owned();
+            let m1 = world.entities[c.members[k % c.members.len()]].tokens.join(" ");
+            let m2 = world.entities[c.members[(k + 1) % c.members.len()]]
+                .tokens
+                .join(" ");
+            let with_insertion = |ins: &str| {
+                let mut t = c.tokens.clone();
+                t.insert(t.len() - 1, ins.to_owned());
+                t.join(" ")
+            };
+            let insertion2 =
+                domain_spec.modifiers[(c.id + k + 3) % domain_spec.modifiers.len()].to_owned();
+            // Concept style groups (matching the query groups in clicks.rs):
+            // groups A/B keep one exact-phrase title; group C titles always
+            // carry an insertion or reorder, so exact query-title alignment
+            // has nothing exact to find (the Align EM gap of Table 5).
+            let exact_allowed = c.id % 3 != 2;
+            let title = match k % 4 {
+                0 if exact_allowed => format!("top 10 {surface} of 2018"),
+                0 => format!("weekly roundup : {} to watch", with_insertion(&insertion2)),
+                1 => format!("{} buying guide", with_insertion(&insertion)),
+                2 if exact_allowed => format!("the best {surface} : {m1} and {m2}"),
+                2 => format!("the best {} : {m1} and {m2}", with_insertion(&insertion)),
+                // Reordered: only order-insensitive extractors recover this.
+                _ => {
+                    let head = c.tokens.last().expect("non-empty concept").clone();
+                    let mods = c.tokens[..c.tokens.len() - 1].join(" ");
+                    format!("{head} that are truly {mods} , a review")
+                }
+            };
+            let sentences = vec![
+                format!("{m1} is one of the {surface} on the market"),
+                format!("{m1} and {m2} are both {surface}"),
+                format!("many readers pick {m2} this year"),
+            ];
+            docs.push(SynthDoc {
+                id: docs.len(),
+                title,
+                sentences,
+                domain: c.domain,
+                sub_category: c.sub_category,
+                leaf_category: leaf_of(world, c.sub_category, rng.random_range(0..4) == 0),
+                day: rng.random_range(0..world.config.n_days),
+                source: DocSource::Concept(c.id),
+                mentioned_entities: vec![
+                    c.members[k % c.members.len()],
+                    c.members[(k + 1) % c.members.len()],
+                ],
+            });
+        }
+    }
+
+    // --- Event documents -----------------------------------------------
+    for e in &world.events {
+        let surface = e.tokens.join(" ");
+        let object = e.object.join(" ");
+        for k in 0..cfg.docs_per_event {
+            let title = match k % 3 {
+                0 => format!("breaking : {surface} , {object} expected"),
+                1 => format!("report : {surface} this week"),
+                _ => format!("{surface} , what we know so far"),
+            };
+            let subject = world.entities[e.subject].tokens.join(" ");
+            let mut sentences = vec![
+                format!("{subject} {} {object} this week", e.trigger),
+                format!("analysts discuss what {subject} does next"),
+            ];
+            if let Some(loc) = &e.location {
+                sentences.push(format!("the news comes from {}", loc.join(" ")));
+            }
+            docs.push(SynthDoc {
+                id: docs.len(),
+                title,
+                sentences,
+                domain: e.domain,
+                sub_category: e.sub_category,
+                leaf_category: leaf_of(world, e.sub_category, true),
+                day: (e.day + k as u32 % 2).min(world.config.n_days - 1),
+                source: DocSource::Event(e.id),
+                mentioned_entities: vec![e.subject],
+            });
+        }
+    }
+
+    // --- Entity documents ----------------------------------------------
+    for ent in &world.entities {
+        let name = ent.tokens.join(" ");
+        for k in 0..cfg.docs_per_entity {
+            let concept_surface = ent
+                .concepts
+                .first()
+                .map(|&c| world.concepts[c].tokens.join(" "));
+            let title = match k % 2 {
+                0 => format!("{name} review : specs and price"),
+                _ => format!("{name} profile and news"),
+            };
+            let mut sentences = vec![format!("everything about {name} in one place")];
+            if let Some(cs) = &concept_surface {
+                sentences.push(format!("{name} is one of the {cs}"));
+            }
+            docs.push(SynthDoc {
+                id: docs.len(),
+                title,
+                sentences,
+                domain: ent.domain,
+                sub_category: ent.sub_category,
+                leaf_category: leaf_of(world, ent.sub_category, false),
+                day: rng.random_range(0..world.config.n_days),
+                source: DocSource::Entity(ent.id),
+                mentioned_entities: vec![ent.id],
+            });
+        }
+    }
+
+    Corpus { docs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn setup() -> (World, Corpus) {
+        let w = World::generate(WorldConfig::tiny());
+        let c = generate_corpus(&w, &CorpusConfig::default());
+        (w, c)
+    }
+
+    #[test]
+    fn doc_counts_match_config() {
+        let (w, corpus) = setup();
+        let cfg = CorpusConfig::default();
+        let expected = w.concepts.len() * cfg.docs_per_concept
+            + w.events.len() * cfg.docs_per_event
+            + w.entities.len() * cfg.docs_per_entity;
+        assert_eq!(corpus.docs.len(), expected);
+        // Ids are dense indices.
+        for (i, d) in corpus.docs.iter().enumerate() {
+            assert_eq!(d.id, i);
+        }
+    }
+
+    #[test]
+    fn concept_titles_contain_concept_tokens_in_order_mostly() {
+        let (w, corpus) = setup();
+        for c in &w.concepts {
+            let docs = corpus.concept_docs(c.id);
+            assert_eq!(docs.len(), 4);
+            let mut in_order = 0;
+            for d in docs {
+                let toks = giant_text::tokenize(&d.title);
+                if contains_in_order(&toks, &c.tokens) {
+                    in_order += 1;
+                }
+            }
+            // Templates 0..=2 preserve order; template 3 reorders.
+            assert!(in_order >= 3, "concept {} only {in_order} in-order", c.id);
+        }
+    }
+
+    #[test]
+    fn event_phrase_is_a_subtitle_of_most_docs() {
+        let (w, corpus) = setup();
+        for e in &w.events {
+            let surface = e.tokens.join(" ");
+            let docs = corpus.event_docs(e.id);
+            // At least one doc carries the phrase as an *exact* subtitle
+            // (CoverRank's success case) and every doc contains it verbatim
+            // somewhere (possibly inside a longer subtitle — CoverRank's
+            // failure case, deliberate: Table 6's EM gap).
+            let exact = docs
+                .iter()
+                .filter(|d| {
+                    giant_text::tokenize::subtitles(&d.title)
+                        .iter()
+                        .any(|s| s == &surface)
+                })
+                .count();
+            assert!(exact >= 1, "no exact subtitle for {surface:?}");
+            for d in &docs {
+                assert!(d.title.contains(&surface), "phrase missing from {:?}", d.title);
+                assert!(d.day >= e.day);
+            }
+        }
+    }
+
+    #[test]
+    fn entity_docs_mention_parent_concept() {
+        let (w, corpus) = setup();
+        for ent in &w.entities {
+            if ent.concepts.is_empty() {
+                continue;
+            }
+            let cs = w.concepts[ent.concepts[0]].tokens.join(" ");
+            let docs = corpus.entity_docs(ent.id);
+            assert!(!docs.is_empty());
+            assert!(docs[0].sentences.iter().any(|s| s.contains(&cs)));
+        }
+    }
+
+    #[test]
+    fn leaf_categories_are_children_of_sub() {
+        let (w, corpus) = setup();
+        for d in &corpus.docs {
+            let leaf = &w.categories[d.leaf_category];
+            assert_eq!(leaf.level, 3);
+            assert_eq!(leaf.parent, Some(d.sub_category));
+        }
+    }
+
+    #[test]
+    fn embedding_corpus_covers_titles_and_bodies() {
+        let (_, corpus) = setup();
+        let mut vocab = giant_text::Vocab::new();
+        let sents = corpus.embedding_corpus(&mut vocab);
+        let expected: usize = corpus.docs.iter().map(|d| 1 + d.sentences.len()).sum();
+        assert_eq!(sents.len(), expected);
+        assert!(vocab.len() > 50);
+    }
+
+    fn contains_in_order(haystack: &[String], needle: &[String]) -> bool {
+        let mut it = haystack.iter();
+        needle.iter().all(|n| it.any(|h| h == n))
+    }
+}

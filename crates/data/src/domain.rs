@@ -1,0 +1,203 @@
+//! Domain templates: the fixed linguistic material of the synthetic world.
+//!
+//! Each root category ("domain") contributes head nouns for concepts,
+//! adjective modifiers, entity kinds, event trigger verbs, and query wrapper
+//! templates. Keeping these in const tables makes the world linguistically
+//! coherent ("electric cars", not "electric singers") and fully deterministic.
+
+use giant_text::NerTag;
+
+/// Kinds of entities a domain can contain (maps to name generator + NER tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityFlavor {
+    /// People (athletes, actors, singers…).
+    Person,
+    /// Companies, teams, studios.
+    Organization,
+    /// Physical products (cars, phones…).
+    Product,
+    /// Creative works (films, series, games…).
+    Work,
+}
+
+impl EntityFlavor {
+    /// The NER tag entities of this flavor carry.
+    pub fn ner(self) -> NerTag {
+        match self {
+            EntityFlavor::Person => NerTag::Person,
+            EntityFlavor::Organization => NerTag::Organization,
+            EntityFlavor::Product => NerTag::Product,
+            EntityFlavor::Work => NerTag::Work,
+        }
+    }
+}
+
+/// A root-category template.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Root category name.
+    pub name: &'static str,
+    /// Second-level category names.
+    pub subcategories: &'static [&'static str],
+    /// Concept head nouns (plural, as users search them).
+    pub heads: &'static [&'static str],
+    /// Adjective modifiers combined with heads to form concepts.
+    pub modifiers: &'static [&'static str],
+    /// Entity flavors present in this domain.
+    pub flavors: &'static [EntityFlavor],
+    /// Event trigger verbs.
+    pub triggers: &'static [&'static str],
+    /// Extra object nouns appearing after triggers in events
+    /// ("… wins the championship").
+    pub objects: &'static [&'static str],
+}
+
+/// The eight domains of the default synthetic world.
+pub const DOMAINS: &[DomainSpec] = &[
+    DomainSpec {
+        name: "technology",
+        subcategories: &["smartphones", "laptops", "wearables"],
+        heads: &["phones", "laptops", "tablets", "smartwatches"],
+        modifiers: &["budget", "flagship", "foldable", "rugged", "compact", "gaming"],
+        flavors: &[EntityFlavor::Product, EntityFlavor::Organization],
+        triggers: &["launches", "unveils", "recalls", "discontinues"],
+        objects: &["lineup", "update", "battery issue", "flagship model"],
+    },
+    DomainSpec {
+        name: "cars",
+        subcategories: &["sedans", "suvs", "electric vehicles"],
+        heads: &["cars", "sedans", "suvs", "minivans"],
+        modifiers: &["economy", "electric", "hybrid", "luxury", "family", "offroad"],
+        flavors: &[EntityFlavor::Product, EntityFlavor::Organization],
+        triggers: &["recalls", "unveils", "discontinues", "redesigns"],
+        objects: &["model", "engine", "safety rating", "production line"],
+    },
+    DomainSpec {
+        name: "entertainment",
+        subcategories: &["films", "drama series", "celebrities"],
+        heads: &["films", "series", "documentaries", "actors"],
+        modifiers: &["animated", "classic", "crime", "romantic", "indie", "awarded"],
+        flavors: &[EntityFlavor::Work, EntityFlavor::Person],
+        triggers: &["premieres", "wins", "casts", "renews"],
+        objects: &["award", "sequel", "season", "lead role"],
+    },
+    DomainSpec {
+        name: "sports",
+        subcategories: &["running", "football", "esports"],
+        heads: &["runners", "teams", "matches", "tournaments"],
+        modifiers: &["marathon", "olympic", "national", "veteran", "rookie", "champion"],
+        flavors: &[EntityFlavor::Person, EntityFlavor::Organization],
+        triggers: &["wins", "breaks", "joins", "retires"],
+        objects: &["record", "final", "title", "league"],
+    },
+    DomainSpec {
+        name: "music",
+        subcategories: &["pop", "concerts", "albums"],
+        heads: &["singers", "bands", "albums", "concerts"],
+        modifiers: &["pop", "indie", "jazz", "touring", "debut", "platinum"],
+        flavors: &[EntityFlavor::Person, EntityFlavor::Work],
+        triggers: &["releases", "announces", "cancels", "headlines"],
+        objects: &["album", "tour", "single", "festival"],
+    },
+    DomainSpec {
+        name: "games",
+        subcategories: &["moba", "rpg", "shooters"],
+        heads: &["games", "heroes", "studios", "expansions"],
+        modifiers: &["moba", "openworld", "tactical", "coop", "ranked", "casual"],
+        flavors: &[EntityFlavor::Work, EntityFlavor::Organization],
+        triggers: &["patches", "nerfs", "releases", "delays"],
+        objects: &["expansion", "season pass", "balance patch", "beta"],
+    },
+    DomainSpec {
+        name: "finance",
+        subcategories: &["stocks", "banking", "trade"],
+        heads: &["stocks", "funds", "banks", "currencies"],
+        modifiers: &["growth", "dividend", "overseas", "tech", "green", "smallcap"],
+        flavors: &[EntityFlavor::Organization, EntityFlavor::Product],
+        triggers: &["raises", "cuts", "bans", "imposes"],
+        objects: &["tariffs", "rates", "forecast", "earnings"],
+    },
+    DomainSpec {
+        name: "travel",
+        subcategories: &["destinations", "airlines", "hotels"],
+        heads: &["destinations", "resorts", "airlines", "beaches"],
+        modifiers: &["tropical", "budget", "seaside", "historic", "remote", "alpine"],
+        flavors: &[EntityFlavor::Organization, EntityFlavor::Product],
+        triggers: &["opens", "suspends", "expands", "rebrands"],
+        objects: &["route", "terminal", "resort", "service"],
+    },
+];
+
+/// Concept query wrapper templates; `{}` is the concept surface. These are
+/// the *pattern-style* wrappers a bootstrapper can learn (group A queries).
+pub const CONCEPT_QUERY_TEMPLATES: &[&str] = &[
+    "{}",
+    "best {}",
+    "what are the {}",
+    "{} list",
+    "top {} 2018",
+    "recommended {}",
+];
+
+/// Content nouns used to decorate group-B/C concept queries ("{} for
+/// commuting"). The pool is large enough that most (template × noun)
+/// combinations are rare, so bootstrapped patterns with realistic support
+/// thresholds cannot cover them — mirroring the paper's low Match coverage.
+pub const DECORATION_NOUNS: &[&str] = &[
+    "commuting", "students", "beginners", "winter", "families", "streaming",
+    "collectors", "professionals", "weekends", "summer", "veterans", "kids",
+    "enthusiasts", "travellers", "creators", "seniors", "newcomers", "experts",
+    "hobbyists", "parents", "gamers", "critics", "readers", "fans",
+];
+
+/// Entity query wrapper templates.
+pub const ENTITY_QUERY_TEMPLATES: &[&str] = &["{}", "{} review", "{} price", "{} news"];
+
+/// Event query wrapper templates; `{}` is the event surface.
+pub const EVENT_QUERY_TEMPLATES: &[&str] = &["{}", "{} news", "why {}"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_are_well_formed() {
+        assert!(DOMAINS.len() >= 6);
+        for d in DOMAINS {
+            assert!(!d.heads.is_empty(), "{} has no heads", d.name);
+            assert!(d.modifiers.len() >= 3, "{} has too few modifiers", d.name);
+            assert!(!d.flavors.is_empty());
+            assert!(!d.triggers.is_empty());
+            assert!(!d.objects.is_empty());
+            assert_eq!(d.subcategories.len(), 3);
+        }
+    }
+
+    #[test]
+    fn modifiers_are_single_tokens_and_not_stopwords() {
+        let sw = giant_text::StopWords::standard();
+        for d in DOMAINS {
+            for m in d.modifiers {
+                assert!(!m.contains(' '), "multi-token modifier {m}");
+                assert!(!sw.is_stop(m), "modifier {m} is a stop word");
+            }
+            for h in d.heads {
+                assert!(!sw.is_stop(h), "head {h} is a stop word");
+            }
+        }
+    }
+
+    #[test]
+    fn flavor_ner_mapping() {
+        assert_eq!(EntityFlavor::Person.ner(), NerTag::Person);
+        assert_eq!(EntityFlavor::Product.ner(), NerTag::Product);
+    }
+
+    #[test]
+    fn domain_names_unique() {
+        let mut names: Vec<&str> = DOMAINS.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DOMAINS.len());
+    }
+}

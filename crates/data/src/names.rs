@@ -1,0 +1,163 @@
+//! Deterministic synthetic name generation.
+//!
+//! Entities in the synthetic world need plausible, *unique*, multi-token
+//! names whose tokens do not collide with the closed-class vocabulary —
+//! otherwise the gazetteer and the gold phrase labels become ambiguous.
+//! Names are composed from syllables with a seeded RNG; the generator
+//! guarantees uniqueness by retrying with growing length.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashSet;
+
+const SYLLABLES: &[&str] = &[
+    "ka", "zo", "mi", "ren", "ta", "vel", "qua", "lor", "ni", "sha", "bek", "ru", "dan", "pol",
+    "gri", "mo", "li", "xan", "tor", "fe", "del", "sar", "vin", "ost", "pra", "ju", "hale", "nor",
+];
+
+const ORG_SUFFIXES: &[&str] = &["corp", "labs", "motors", "media", "group", "holdings"];
+const PLACE_SUFFIXES: &[&str] = &["ville", "ton", "burg", "port", "field"];
+const MODEL_LETTERS: &[&str] = &["x", "s", "z", "q", "m", "gt"];
+
+/// Generates unique lowercase names from syllables.
+#[derive(Debug)]
+pub struct NameGen {
+    used: HashSet<String>,
+}
+
+impl Default for NameGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NameGen {
+    /// Fresh generator with an empty used-name set.
+    pub fn new() -> Self {
+        Self {
+            used: HashSet::new(),
+        }
+    }
+
+    /// Marks a name as taken (e.g. closed-class words), so it is never
+    /// generated.
+    pub fn reserve(&mut self, name: &str) {
+        self.used.insert(name.to_owned());
+    }
+
+    fn word(&mut self, rng: &mut StdRng, syllables: usize) -> String {
+        let mut w = String::new();
+        for _ in 0..syllables {
+            w.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+        }
+        w
+    }
+
+    fn unique_word(&mut self, rng: &mut StdRng, base_syllables: usize) -> String {
+        for attempt in 0..64 {
+            let extra = attempt / 8; // grow length if collisions persist
+            let w = self.word(rng, base_syllables + extra);
+            if self.used.insert(w.clone()) {
+                return w;
+            }
+        }
+        // Deterministic fallback that cannot collide: counter suffix.
+        let w = format!("n{}", self.used.len());
+        self.used.insert(w.clone());
+        w
+    }
+
+    /// Two-token person name ("zorenka velmi").
+    pub fn person(&mut self, rng: &mut StdRng) -> Vec<String> {
+        vec![self.unique_word(rng, 2), self.unique_word(rng, 2)]
+    }
+
+    /// Organization name ("qualor motors").
+    pub fn organization(&mut self, rng: &mut StdRng) -> Vec<String> {
+        vec![
+            self.unique_word(rng, 2),
+            ORG_SUFFIXES[rng.random_range(0..ORG_SUFFIXES.len())].to_owned(),
+        ]
+    }
+
+    /// Product name with a model code ("veltro x9").
+    pub fn product(&mut self, rng: &mut StdRng) -> Vec<String> {
+        let model = format!(
+            "{}{}",
+            MODEL_LETTERS[rng.random_range(0..MODEL_LETTERS.len())],
+            rng.random_range(1..10)
+        );
+        vec![self.unique_word(rng, 2), model]
+    }
+
+    /// Creative-work title ("shadow of grimor" style, 2 tokens here).
+    pub fn work(&mut self, rng: &mut StdRng) -> Vec<String> {
+        vec![self.unique_word(rng, 2), self.unique_word(rng, 1)]
+    }
+
+    /// Place name ("grivelton").
+    pub fn place(&mut self, rng: &mut StdRng) -> Vec<String> {
+        let mut base = self.unique_word(rng, 2);
+        base.push_str(PLACE_SUFFIXES[rng.random_range(0..PLACE_SUFFIXES.len())]);
+        vec![base]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_unique() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ng = NameGen::new();
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            let p = ng.person(&mut rng).join(" ");
+            assert!(seen.insert(p.clone()), "duplicate person {p}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut ng = NameGen::new();
+            (0..10).flat_map(|_| ng.organization(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut ng = NameGen::new();
+            (0..10).flat_map(|_| ng.organization(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reserved_names_are_skipped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ng = NameGen::new();
+        // Reserve every 2-syllable combination's likely first outputs by
+        // generating, then confirm reserve prevents regeneration.
+        let first = ng.person(&mut rng);
+        let mut ng2 = NameGen::new();
+        ng2.reserve(&first[0]);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let second = ng2.person(&mut rng2);
+        assert_ne!(first[0], second[0]);
+    }
+
+    #[test]
+    fn shapes_match_entity_kinds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ng = NameGen::new();
+        assert_eq!(ng.person(&mut rng).len(), 2);
+        assert_eq!(ng.organization(&mut rng).len(), 2);
+        let prod = ng.product(&mut rng);
+        assert_eq!(prod.len(), 2);
+        assert!(prod[1].chars().next().unwrap().is_ascii_alphabetic());
+        assert!(prod[1].chars().last().unwrap().is_ascii_digit());
+        assert_eq!(ng.place(&mut rng).len(), 1);
+    }
+}

@@ -1,0 +1,740 @@
+//! The synthetic world: the generating ground truth behind every experiment.
+//!
+//! Substitution note (DESIGN.md S1): GIANT consumed Tencent's proprietary
+//! search click logs. Every GIANT component, however, consumes only the
+//! *structure* of those logs — token overlap between queries and clicked
+//! titles, co-click mass, session adjacency — never the language itself. The
+//! world generator reproduces exactly those structures with a seeded RNG and
+//! keeps the generating truth around, so accuracy metrics that the paper had
+//! to obtain from human judges (edge accuracy, tagging precision) are
+//! computable mechanically.
+//!
+//! The world contains, mirroring paper §2:
+//! * a 3-level category tree (domain → subcategory → facet leaf),
+//! * entities with NER flavors and generated names,
+//! * concepts = modifier(s) + head noun with member entities,
+//! * events generated in topic groups (same trigger/object, different
+//!   subject entity sharing a concept) so Common Pattern Discovery has
+//!   something real to find,
+//! * topics = the concept-generalised event patterns.
+
+use crate::domain::{DomainSpec, EntityFlavor, DOMAINS};
+use crate::names::NameGen;
+use giant_text::{Gazetteer, Lexicon, NerTag, PosTag, StopWords};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// World-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// How many of the [`DOMAINS`] templates to instantiate.
+    pub n_domains: usize,
+    /// Entities generated per subcategory.
+    pub entities_per_sub: usize,
+    /// Concepts generated per subcategory.
+    pub concepts_per_sub: usize,
+    /// Member entities per concept (clamped to available entities).
+    pub members_per_concept: usize,
+    /// Topic groups per subcategory.
+    pub topics_per_sub: usize,
+    /// Events per topic group (≥ 2 so patterns repeat).
+    pub events_per_topic: usize,
+    /// Simulated day horizon (paper's A/B window is 31 days).
+    pub n_days: u32,
+    /// Global pool of location names.
+    pub n_locations: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            n_domains: DOMAINS.len(),
+            entities_per_sub: 6,
+            concepts_per_sub: 3,
+            members_per_concept: 4,
+            topics_per_sub: 2,
+            events_per_topic: 2,
+            n_days: 31,
+            n_locations: 12,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// The larger world used by the experiment harness (bigger test splits
+    /// for Tables 5-7).
+    pub fn experiment() -> Self {
+        Self {
+            entities_per_sub: 8,
+            concepts_per_sub: 6,
+            members_per_concept: 4,
+            topics_per_sub: 3,
+            events_per_topic: 3,
+            ..Self::default()
+        }
+    }
+
+    /// A smaller world for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_domains: 2,
+            entities_per_sub: 4,
+            concepts_per_sub: 2,
+            members_per_concept: 3,
+            topics_per_sub: 1,
+            events_per_topic: 2,
+            n_locations: 4,
+            ..Self::default()
+        }
+    }
+}
+
+/// A category node in the 3-level tree.
+#[derive(Debug, Clone)]
+pub struct CategoryDef {
+    /// Index into `World::categories`.
+    pub id: usize,
+    /// Lowercased name tokens.
+    pub tokens: Vec<String>,
+    /// 1 (domain), 2 (subcategory) or 3 (facet leaf).
+    pub level: u8,
+    /// Parent category id (None for domains).
+    pub parent: Option<usize>,
+}
+
+/// A ground-truth entity.
+#[derive(Debug, Clone)]
+pub struct EntityDef {
+    /// Index into `World::entities`.
+    pub id: usize,
+    /// Name tokens.
+    pub tokens: Vec<String>,
+    /// NER tag of the entity.
+    pub ner: NerTag,
+    /// Owning domain index.
+    pub domain: usize,
+    /// Owning level-2 category id.
+    pub sub_category: usize,
+    /// Concepts (ids) this entity belongs to; filled by concept generation.
+    pub concepts: Vec<usize>,
+}
+
+/// A ground-truth concept: modifier(s) + head noun.
+#[derive(Debug, Clone)]
+pub struct ConceptDef {
+    /// Index into `World::concepts`.
+    pub id: usize,
+    /// Full phrase tokens, e.g. `["electric", "cars"]`.
+    pub tokens: Vec<String>,
+    /// The head noun (token-level suffix shared with sibling concepts).
+    pub head: String,
+    /// Owning domain index.
+    pub domain: usize,
+    /// Owning level-2 category id.
+    pub sub_category: usize,
+    /// Member entity ids.
+    pub members: Vec<usize>,
+}
+
+/// A ground-truth event.
+#[derive(Debug, Clone)]
+pub struct EventDef {
+    /// Index into `World::events`.
+    pub id: usize,
+    /// Full phrase tokens: subject ++ trigger ++ object (++ "in" location).
+    pub tokens: Vec<String>,
+    /// Subject entity id.
+    pub subject: usize,
+    /// Trigger verb.
+    pub trigger: String,
+    /// Object tokens after the trigger.
+    pub object: Vec<String>,
+    /// When the object is itself an entity ("kalex mira joins venlor
+    /// group"), its id — the roles task must label those tokens Entity.
+    pub object_entity: Option<usize>,
+    /// Location tokens, when the event has one.
+    pub location: Option<Vec<String>>,
+    /// Day index in `[0, n_days)`.
+    pub day: u32,
+    /// Owning topic id.
+    pub topic: usize,
+    /// Owning domain index.
+    pub domain: usize,
+    /// Owning level-2 category id.
+    pub sub_category: usize,
+}
+
+/// A ground-truth topic: the concept-generalised event pattern.
+#[derive(Debug, Clone)]
+pub struct TopicDef {
+    /// Index into `World::topics`.
+    pub id: usize,
+    /// Phrase tokens: concept ++ trigger ++ object.
+    pub tokens: Vec<String>,
+    /// The generalising concept id (subjects of member events belong to it).
+    pub concept: usize,
+    /// The shared trigger.
+    pub trigger: String,
+    /// The shared object tokens.
+    pub object: Vec<String>,
+    /// Member event ids.
+    pub events: Vec<usize>,
+    /// Owning domain index.
+    pub domain: usize,
+}
+
+/// The generated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Generation parameters.
+    pub config: WorldConfig,
+    /// Category tree (levels 1–3), domains first.
+    pub categories: Vec<CategoryDef>,
+    /// All entities.
+    pub entities: Vec<EntityDef>,
+    /// All concepts.
+    pub concepts: Vec<ConceptDef>,
+    /// All events.
+    pub events: Vec<EventDef>,
+    /// All topics.
+    pub topics: Vec<TopicDef>,
+    /// Location name token-lists.
+    pub locations: Vec<Vec<String>>,
+    /// Domain templates actually used.
+    pub domains: Vec<DomainSpec>,
+}
+
+impl World {
+    /// Generates a world from `config`.
+    pub fn generate(config: WorldConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let domains: Vec<DomainSpec> = DOMAINS[..config.n_domains.min(DOMAINS.len())].to_vec();
+        let mut names = NameGen::new();
+        // Reserve all static vocabulary so generated names never collide.
+        for d in &domains {
+            for w in d
+                .heads
+                .iter()
+                .chain(d.modifiers)
+                .chain(d.triggers)
+                .chain(d.subcategories)
+            {
+                for tok in w.split(' ') {
+                    names.reserve(tok);
+                }
+            }
+            for o in d.objects {
+                for tok in o.split(' ') {
+                    names.reserve(tok);
+                }
+            }
+        }
+        for w in giant_text::stopwords::DEFAULT_STOPWORDS {
+            names.reserve(w);
+        }
+        for w in crate::domain::DECORATION_NOUNS {
+            names.reserve(w);
+        }
+
+        // --- Category tree -------------------------------------------------
+        let mut categories = Vec::new();
+        let mut sub_ids: Vec<Vec<usize>> = Vec::new(); // per domain
+        for (di, d) in domains.iter().enumerate() {
+            let dom_id = categories.len();
+            categories.push(CategoryDef {
+                id: dom_id,
+                tokens: giant_text::tokenize(d.name),
+                level: 1,
+                parent: None,
+            });
+            let mut subs = Vec::new();
+            for s in d.subcategories {
+                let sub_id = categories.len();
+                categories.push(CategoryDef {
+                    id: sub_id,
+                    tokens: giant_text::tokenize(s),
+                    level: 2,
+                    parent: Some(dom_id),
+                });
+                subs.push(sub_id);
+                for facet in ["news", "reviews"] {
+                    let leaf_id = categories.len();
+                    let mut toks = giant_text::tokenize(s);
+                    toks.push(facet.to_owned());
+                    categories.push(CategoryDef {
+                        id: leaf_id,
+                        tokens: toks,
+                        level: 3,
+                        parent: Some(sub_id),
+                    });
+                }
+            }
+            sub_ids.push(subs);
+            let _ = di;
+        }
+
+        // --- Entities -------------------------------------------------------
+        let mut entities: Vec<EntityDef> = Vec::new();
+        for (di, d) in domains.iter().enumerate() {
+            for &sub in &sub_ids[di] {
+                for k in 0..config.entities_per_sub {
+                    let flavor = d.flavors[k % d.flavors.len()];
+                    let tokens = match flavor {
+                        EntityFlavor::Person => names.person(&mut rng),
+                        EntityFlavor::Organization => names.organization(&mut rng),
+                        EntityFlavor::Product => names.product(&mut rng),
+                        EntityFlavor::Work => names.work(&mut rng),
+                    };
+                    entities.push(EntityDef {
+                        id: entities.len(),
+                        tokens,
+                        ner: flavor.ner(),
+                        domain: di,
+                        sub_category: sub,
+                        concepts: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        // --- Locations ------------------------------------------------------
+        // Half the locations deliberately reuse the leading name word of an
+        // organization/product entity ("velkamo" the city vs "velkamo
+        // corp") — cities named after companies and vice versa are common.
+        // Word identity alone then cannot decide Entity vs Location in the
+        // roles task; span-aware NER can (Table 7's GCTSP margin).
+        let mut locations: Vec<Vec<String>> = Vec::with_capacity(config.n_locations);
+        {
+            let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for i in 0..config.n_locations {
+                if i % 2 == 0 && !entities.is_empty() {
+                    let mut picked = None;
+                    for probe in 0..entities.len() {
+                        let cand = &entities[(i * 13 + probe) % entities.len()].tokens[0];
+                        if cand.len() > 3 && used.insert(cand.clone()) {
+                            picked = Some(vec![cand.clone()]);
+                            break;
+                        }
+                    }
+                    if let Some(loc) = picked {
+                        locations.push(loc);
+                        continue;
+                    }
+                }
+                let fresh = names.place(&mut rng);
+                used.insert(fresh[0].clone());
+                locations.push(fresh);
+            }
+        }
+
+        // --- Concepts ---------------------------------------------------
+        let mut concepts: Vec<ConceptDef> = Vec::new();
+        for (di, d) in domains.iter().enumerate() {
+            for (si, &sub) in sub_ids[di].iter().enumerate() {
+                let sub_entities: Vec<usize> = entities
+                    .iter()
+                    .filter(|e| e.sub_category == sub)
+                    .map(|e| e.id)
+                    .collect();
+                for k in 0..config.concepts_per_sub {
+                    // Rotate heads within a sub so siblings share the head
+                    // noun (Common Suffix Discovery needs shared suffixes);
+                    // vary the modifier. Every 4th concept carries TWO
+                    // modifiers ("rugged electric cars") — together with the
+                    // cross-modifier decorated queries this makes single-
+                    // query tagging genuinely ambiguous (Table 5's gap
+                    // between LSTM-CRF and the cluster-aware GCTSP-Net).
+                    let head = d.heads[si % d.heads.len()];
+                    let modifier = d.modifiers[(si + k) % d.modifiers.len()];
+                    let mut tokens = vec![modifier.to_owned()];
+                    if k % 4 == 3 {
+                        let second = d.modifiers[(si + k + 2) % d.modifiers.len()];
+                        if second != modifier {
+                            tokens.push(second.to_owned());
+                        }
+                    }
+                    tokens.extend(giant_text::tokenize(head));
+                    // Deterministic member sample.
+                    let mut members = Vec::new();
+                    let m = config.members_per_concept.min(sub_entities.len());
+                    let offset = if sub_entities.is_empty() {
+                        0
+                    } else {
+                        rng.random_range(0..sub_entities.len())
+                    };
+                    for j in 0..m {
+                        members.push(sub_entities[(offset + j) % sub_entities.len()]);
+                    }
+                    let cid = concepts.len();
+                    for &e in &members {
+                        entities[e].concepts.push(cid);
+                    }
+                    concepts.push(ConceptDef {
+                        id: cid,
+                        tokens,
+                        head: head.to_owned(),
+                        domain: di,
+                        sub_category: sub,
+                        members,
+                    });
+                }
+            }
+        }
+
+        // --- Topics & events ----------------------------------------------
+        let mut topics: Vec<TopicDef> = Vec::new();
+        let mut events: Vec<EventDef> = Vec::new();
+        for (di, d) in domains.iter().enumerate() {
+            for &sub in &sub_ids[di] {
+                let sub_concepts: Vec<usize> = concepts
+                    .iter()
+                    .filter(|c| c.sub_category == sub && !c.members.is_empty())
+                    .map(|c| c.id)
+                    .collect();
+                if sub_concepts.is_empty() {
+                    continue;
+                }
+                for t in 0..config.topics_per_sub {
+                    let concept = sub_concepts[t % sub_concepts.len()];
+                    let trigger = d.triggers[(t + di) % d.triggers.len()];
+                    let members = &concepts[concept].members;
+                    // Structural variant shared by the whole topic (events in
+                    // a topic must share trigger + object for CPD):
+                    //   0: subject trigger object-nouns
+                    //   1: … with "in <location>"
+                    //   2: object is another entity ("x joins venlor group")
+                    //   3: … with a varying preposition before the location
+                    //   4: the location IS the object ("opens grivelport") —
+                    //      post-trigger tokens are then ambiguous between
+                    //      Entity and Location and only NER knowledge
+                    //      disambiguates.
+                    // The variety is what keeps the 4-class roles task
+                    // (Table 7) from collapsing into positional shortcuts.
+                    let variant = (t + di + sub) % 5;
+                    let mut object_location: Option<Vec<String>> = None;
+                    let (object, object_entity) = if variant == 2 && members.len() > 1 {
+                        let oe = members[members.len() - 1];
+                        (entities[oe].tokens.clone(), Some(oe))
+                    } else if variant == 4 && !locations.is_empty() {
+                        let loc = locations[(t + sub) % locations.len()].clone();
+                        object_location = Some(loc.clone());
+                        (loc, None)
+                    } else {
+                        (
+                            giant_text::tokenize(d.objects[(t * 2 + di) % d.objects.len()]),
+                            None,
+                        )
+                    };
+                    let mut topic_tokens = concepts[concept].tokens.clone();
+                    topic_tokens.push(trigger.to_owned());
+                    topic_tokens.extend(object.iter().cloned());
+                    let topic_id = topics.len();
+                    let mut member_events = Vec::new();
+                    for e_idx in 0..config.events_per_topic {
+                        let subject = if Some(members[e_idx % members.len()]) == object_entity {
+                            members[(e_idx + 1) % members.len()]
+                        } else {
+                            members[e_idx % members.len()]
+                        };
+                        let mut tokens = entities[subject].tokens.clone();
+                        tokens.push(trigger.to_owned());
+                        tokens.extend(object.iter().cloned());
+                        let location = if variant == 4 {
+                            object_location.clone()
+                        } else if matches!(variant, 1 | 3) && !locations.is_empty() {
+                            let loc = &locations[rng.random_range(0..locations.len())];
+                            let prep = match (variant, e_idx % 2) {
+                                (1, _) => "in",
+                                (_, 0) => "at",
+                                _ => "near",
+                            };
+                            tokens.push(prep.to_owned());
+                            tokens.extend(loc.iter().cloned());
+                            Some(loc.clone())
+                        } else {
+                            None
+                        };
+                        if variant == 0 && e_idx % 2 == 1 {
+                            // Trailing time expression, role Other.
+                            tokens.push("2018".to_owned());
+                        }
+                        let day = rng.random_range(0..config.n_days);
+                        let eid = events.len();
+                        events.push(EventDef {
+                            id: eid,
+                            tokens,
+                            subject,
+                            trigger: trigger.to_owned(),
+                            object: object.clone(),
+                            object_entity,
+                            location,
+                            day,
+                            topic: topic_id,
+                            domain: di,
+                            sub_category: sub,
+                        });
+                        member_events.push(eid);
+                    }
+                    topics.push(TopicDef {
+                        id: topic_id,
+                        tokens: topic_tokens,
+                        concept,
+                        trigger: trigger.to_owned(),
+                        object,
+                        events: member_events,
+                        domain: di,
+                    });
+                }
+            }
+        }
+
+        Self {
+            config,
+            categories,
+            entities,
+            concepts,
+            events,
+            topics,
+            locations,
+            domains,
+        }
+    }
+
+    /// Builds the POS lexicon covering the whole world vocabulary.
+    pub fn lexicon(&self) -> Lexicon {
+        let mut lx = Lexicon::with_closed_class();
+        for d in &self.domains {
+            for h in d.heads {
+                for t in h.split(' ') {
+                    lx.insert(t, PosTag::Noun);
+                }
+            }
+            for m in d.modifiers {
+                lx.insert(m, PosTag::Adjective);
+            }
+            for tr in d.triggers {
+                lx.insert(tr, PosTag::Verb);
+            }
+            for o in d.objects {
+                for t in o.split(' ') {
+                    lx.insert(t, PosTag::Noun);
+                }
+            }
+            for s in d.subcategories {
+                for t in s.split(' ') {
+                    lx.insert(t, PosTag::Noun);
+                }
+            }
+        }
+        for e in &self.entities {
+            for t in &e.tokens {
+                lx.insert(t, PosTag::ProperNoun);
+            }
+        }
+        for l in &self.locations {
+            for t in l {
+                lx.insert(t, PosTag::ProperNoun);
+            }
+        }
+        // Query wrapper / title nouns.
+        for w in ["review", "reviews", "price", "news", "guide", "specs", "profile", "week"] {
+            lx.insert(w, PosTag::Noun);
+        }
+        for w in crate::domain::DECORATION_NOUNS {
+            lx.insert(w, PosTag::Noun);
+        }
+        lx
+    }
+
+    /// Builds the NER gazetteer (entities + locations).
+    pub fn gazetteer(&self) -> Gazetteer {
+        let mut g = Gazetteer::new();
+        for e in &self.entities {
+            g.insert(&e.tokens.join(" "), e.ner);
+        }
+        for l in &self.locations {
+            g.insert(&l.join(" "), NerTag::Location);
+        }
+        g
+    }
+
+    /// The stop-word list used throughout.
+    pub fn stopwords(&self) -> StopWords {
+        StopWords::standard()
+    }
+
+    /// Full annotator over the world vocabulary.
+    pub fn annotator(&self) -> giant_text::Annotator {
+        giant_text::Annotator::new(self.lexicon(), self.gazetteer(), self.stopwords())
+    }
+
+    /// The level-1 (domain) category id for a level-2 id.
+    pub fn domain_of_sub(&self, sub: usize) -> usize {
+        self.categories[sub].parent.expect("level-2 has parent")
+    }
+
+    /// True when entity `e` is a member of concept `c` (ground truth).
+    pub fn is_member(&self, c: usize, e: usize) -> bool {
+        self.concepts[c].members.contains(&e)
+    }
+
+    /// Ground-truth correlate pairs: entities sharing at least one concept.
+    pub fn correlated_entities(&self, e: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &c in &self.entities[e].concepts {
+            for &m in &self.concepts[c].members {
+                if m != e && !out.contains(&m) {
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig::tiny());
+        let b = World::generate(WorldConfig::tiny());
+        assert_eq!(a.entities.len(), b.entities.len());
+        for (x, y) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(x.tokens, y.tokens);
+        }
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.tokens, y.tokens);
+            assert_eq!(x.day, y.day);
+        }
+    }
+
+    #[test]
+    fn category_tree_has_three_levels() {
+        let w = World::generate(WorldConfig::tiny());
+        let l1 = w.categories.iter().filter(|c| c.level == 1).count();
+        let l2 = w.categories.iter().filter(|c| c.level == 2).count();
+        let l3 = w.categories.iter().filter(|c| c.level == 3).count();
+        assert_eq!(l1, 2);
+        assert_eq!(l2, 6);
+        assert_eq!(l3, 12);
+        // Parents are consistent.
+        for c in &w.categories {
+            match c.level {
+                1 => assert!(c.parent.is_none()),
+                _ => {
+                    let p = &w.categories[c.parent.unwrap()];
+                    assert_eq!(p.level, c.level - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concepts_share_heads_within_sub() {
+        // CSD requires sibling concepts with a common token suffix.
+        let w = World::generate(WorldConfig::default());
+        let mut by_head: std::collections::HashMap<&str, usize> = Default::default();
+        for c in &w.concepts {
+            *by_head.entry(c.head.as_str()).or_default() += 1;
+            assert_eq!(c.tokens.last().map(|s| s.as_str()), c.head.split(' ').next_back());
+            assert!(c.tokens.len() >= 2);
+        }
+        assert!(by_head.values().any(|&n| n >= 2), "no shared heads at all");
+    }
+
+    #[test]
+    fn concept_members_are_sub_local_and_registered() {
+        let w = World::generate(WorldConfig::tiny());
+        for c in &w.concepts {
+            assert!(!c.members.is_empty());
+            for &m in &c.members {
+                assert_eq!(w.entities[m].sub_category, c.sub_category);
+                assert!(w.entities[m].concepts.contains(&c.id));
+            }
+        }
+    }
+
+    #[test]
+    fn events_share_pattern_within_topic() {
+        let w = World::generate(WorldConfig::default());
+        assert!(!w.topics.is_empty());
+        for t in &w.topics {
+            assert!(t.events.len() >= 2);
+            let subjects: HashSet<usize> =
+                t.events.iter().map(|&e| w.events[e].subject).collect();
+            for &e in &t.events {
+                let ev = &w.events[e];
+                assert_eq!(ev.trigger, t.trigger);
+                assert_eq!(ev.object, t.object);
+                assert_eq!(ev.topic, t.id);
+                // Subject belongs to the generalising concept.
+                assert!(w.concepts[t.concept].members.contains(&ev.subject));
+                assert!(ev.day < w.config.n_days);
+            }
+            // Topic phrase = concept ++ trigger ++ object.
+            let mut expect = w.concepts[t.concept].tokens.clone();
+            expect.push(t.trigger.clone());
+            expect.extend(t.object.iter().cloned());
+            assert_eq!(t.tokens, expect);
+            let _ = subjects;
+        }
+    }
+
+    #[test]
+    fn entity_names_do_not_collide_with_static_vocab() {
+        let w = World::generate(WorldConfig::default());
+        let mut static_vocab: HashSet<&str> = HashSet::new();
+        for d in &w.domains {
+            static_vocab.extend(d.heads.iter().flat_map(|h| h.split(' ')));
+            static_vocab.extend(d.modifiers.iter().copied());
+            static_vocab.extend(d.triggers.iter().copied());
+        }
+        for e in &w.entities {
+            for t in &e.tokens {
+                // Model codes like "x9" are fine; name words must not collide.
+                if t.len() > 2 {
+                    assert!(!static_vocab.contains(t.as_str()), "collision: {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn annotator_tags_world_tokens() {
+        let w = World::generate(WorldConfig::tiny());
+        let ann = w.annotator();
+        let ev = &w.events[0];
+        let out = ann.annotate_tokens(ev.tokens.clone());
+        // Trigger is a verb, subject tokens are proper nouns with NER.
+        let trig_pos = ev.tokens.iter().position(|t| *t == ev.trigger).unwrap();
+        assert_eq!(out.tokens[trig_pos].pos, giant_text::PosTag::Verb);
+        assert!(out.tokens[0].ner.is_entity());
+    }
+
+    #[test]
+    fn event_tokens_contain_subject_then_trigger() {
+        let w = World::generate(WorldConfig::default());
+        for e in &w.events {
+            let subj = &w.entities[e.subject].tokens;
+            assert!(e.tokens.starts_with(subj));
+            assert_eq!(e.tokens[subj.len()], e.trigger);
+        }
+    }
+
+    #[test]
+    fn correlated_entities_share_concepts() {
+        let w = World::generate(WorldConfig::tiny());
+        let c = &w.concepts[0];
+        if c.members.len() >= 2 {
+            let a = c.members[0];
+            let b = c.members[1];
+            assert!(w.correlated_entities(a).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The bipartite search click graph `G_sc = (Q, D, E)` of paper §3.1.
+//!
+//! Edges carry click counts `c(q_i, d_j)`; the transport probabilities
+//!
+//! ```text
+//! P(d_j | q_i) = c(q_i, d_j) / Σ_{d_k ∈ N(q_i)} c(q_i, d_k)      (eq. 1)
+//! P(q_i | d_j) = c(q_i, d_j) / Σ_{q_k ∈ N(d_j)} c(q_k, d_j)      (eq. 2)
+//! ```
+//!
+//! drive the random walk in [`crate::walk`].
+
+use std::collections::HashMap;
+
+/// Dense id of a query node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense id of a document node. Document payloads (title, category, time)
+/// live in the data layer; the click graph only stores the linkage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Weighted bipartite query–document click graph.
+#[derive(Debug, Clone, Default)]
+pub struct ClickGraph {
+    queries: Vec<String>,
+    query_index: HashMap<String, QueryId>,
+    /// Per-query outgoing clicks `(doc, count)`.
+    q_edges: Vec<Vec<(DocId, f64)>>,
+    /// Per-doc incoming clicks `(query, count)`.
+    d_edges: Vec<Vec<(QueryId, f64)>>,
+    total_clicks: f64,
+}
+
+impl ClickGraph {
+    /// An empty click graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a query string, returning its id.
+    pub fn intern_query(&mut self, query: &str) -> QueryId {
+        if let Some(&id) = self.query_index.get(query) {
+            return id;
+        }
+        let id = QueryId(self.queries.len() as u32);
+        self.queries.push(query.to_owned());
+        self.query_index.insert(query.to_owned(), id);
+        self.q_edges.push(Vec::new());
+        id
+    }
+
+    /// Ensures doc storage covers `doc`.
+    fn ensure_doc(&mut self, doc: DocId) {
+        if doc.index() >= self.d_edges.len() {
+            self.d_edges.resize(doc.index() + 1, Vec::new());
+        }
+    }
+
+    /// Records `count` clicks from `query` to `doc` (accumulates).
+    pub fn add_clicks(&mut self, query: &str, doc: DocId, count: f64) -> QueryId {
+        assert!(count >= 0.0, "negative click count");
+        let q = self.intern_query(query);
+        self.ensure_doc(doc);
+        match self.q_edges[q.index()].iter_mut().find(|(d, _)| *d == doc) {
+            Some((_, c)) => *c += count,
+            None => self.q_edges[q.index()].push((doc, count)),
+        }
+        match self.d_edges[doc.index()].iter_mut().find(|(qq, _)| *qq == q) {
+            Some((_, c)) => *c += count,
+            None => self.d_edges[doc.index()].push((q, count)),
+        }
+        self.total_clicks += count;
+        q
+    }
+
+    /// Number of query nodes.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of document slots (max doc id + 1).
+    pub fn n_docs(&self) -> usize {
+        self.d_edges.len()
+    }
+
+    /// Total click mass.
+    pub fn total_clicks(&self) -> f64 {
+        self.total_clicks
+    }
+
+    /// The query string for `q`.
+    pub fn query_text(&self, q: QueryId) -> &str {
+        &self.queries[q.index()]
+    }
+
+    /// Id of an existing query string.
+    pub fn query_id(&self, query: &str) -> Option<QueryId> {
+        self.query_index.get(query).copied()
+    }
+
+    /// All query ids.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        (0..self.queries.len() as u32).map(QueryId)
+    }
+
+    /// `(doc, count)` pairs clicked from `q`.
+    pub fn docs_of(&self, q: QueryId) -> &[(DocId, f64)] {
+        &self.q_edges[q.index()]
+    }
+
+    /// `(query, count)` pairs that clicked `d`.
+    pub fn queries_of(&self, d: DocId) -> &[(QueryId, f64)] {
+        if d.index() < self.d_edges.len() {
+            &self.d_edges[d.index()]
+        } else {
+            &[]
+        }
+    }
+
+    /// Raw click count `c(q, d)`.
+    pub fn clicks(&self, q: QueryId, d: DocId) -> f64 {
+        self.q_edges[q.index()]
+            .iter()
+            .find(|(dd, _)| *dd == d)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+
+    /// Total clicks issued from `q`.
+    pub fn query_clicks(&self, q: QueryId) -> f64 {
+        self.q_edges[q.index()].iter().map(|(_, c)| c).sum()
+    }
+
+    /// Total clicks received by `d`.
+    pub fn doc_clicks(&self, d: DocId) -> f64 {
+        self.queries_of(d).iter().map(|(_, c)| c).sum()
+    }
+
+    /// Transport probability `P(d | q)` (eq. 1). Zero when `q` has no clicks.
+    pub fn p_doc_given_query(&self, q: QueryId, d: DocId) -> f64 {
+        let total = self.query_clicks(q);
+        if total == 0.0 {
+            0.0
+        } else {
+            self.clicks(q, d) / total
+        }
+    }
+
+    /// Transport probability `P(q | d)` (eq. 2). Zero when `d` has no clicks.
+    pub fn p_query_given_doc(&self, q: QueryId, d: DocId) -> f64 {
+        let total = self.doc_clicks(d);
+        if total == 0.0 {
+            0.0
+        } else {
+            self.clicks(q, d) / total
+        }
+    }
+
+    /// Top-`k` documents of `q` by click count (ties broken by doc id for
+    /// determinism). Used for context-enriched phrase representations.
+    pub fn top_docs(&self, q: QueryId, k: usize) -> Vec<DocId> {
+        let mut pairs: Vec<(DocId, f64)> = self.docs_of(q).to_vec();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        pairs.into_iter().take(k).map(|(d, _)| d).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> ClickGraph {
+        let mut g = ClickGraph::new();
+        g.add_clicks("family road trip vehicles", DocId(0), 10.0);
+        g.add_clicks("family road trip vehicles", DocId(1), 30.0);
+        g.add_clicks("honda odyssey review", DocId(1), 20.0);
+        g.add_clicks("honda odyssey review", DocId(2), 5.0);
+        g
+    }
+
+    #[test]
+    fn accumulates_clicks() {
+        let mut g = sample();
+        let q = g.add_clicks("family road trip vehicles", DocId(0), 5.0);
+        assert_eq!(g.clicks(q, DocId(0)), 15.0);
+        assert_eq!(g.n_queries(), 2);
+        assert_eq!(g.n_docs(), 3);
+        assert_eq!(g.total_clicks(), 70.0);
+    }
+
+    #[test]
+    fn transport_probabilities_match_eq1_eq2() {
+        let g = sample();
+        let q0 = g.query_id("family road trip vehicles").unwrap();
+        let q1 = g.query_id("honda odyssey review").unwrap();
+        assert!((g.p_doc_given_query(q0, DocId(1)) - 0.75).abs() < 1e-12);
+        assert!((g.p_doc_given_query(q0, DocId(0)) - 0.25).abs() < 1e-12);
+        assert!((g.p_query_given_doc(q0, DocId(1)) - 0.6).abs() < 1e-12);
+        assert!((g.p_query_given_doc(q1, DocId(1)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_edges_have_zero_probability() {
+        let g = sample();
+        let q1 = g.query_id("honda odyssey review").unwrap();
+        assert_eq!(g.clicks(q1, DocId(0)), 0.0);
+        assert_eq!(g.p_doc_given_query(q1, DocId(0)), 0.0);
+        assert_eq!(g.p_query_given_doc(q1, DocId(7)), 0.0);
+    }
+
+    #[test]
+    fn top_docs_ordering() {
+        let g = sample();
+        let q0 = g.query_id("family road trip vehicles").unwrap();
+        assert_eq!(g.top_docs(q0, 2), vec![DocId(1), DocId(0)]);
+        assert_eq!(g.top_docs(q0, 1), vec![DocId(1)]);
+    }
+
+    proptest! {
+        /// P(·|q) over the clicked docs of q always sums to 1 (or q has no mass).
+        #[test]
+        fn doc_distribution_normalizes(edges in proptest::collection::vec(
+            (0u32..6, 0u32..6, 1u32..50), 1..40)
+        ) {
+            let mut g = ClickGraph::new();
+            for (q, d, c) in &edges {
+                g.add_clicks(&format!("q{q}"), DocId(*d), *c as f64);
+            }
+            for q in g.query_ids() {
+                let s: f64 = g.docs_of(q).iter()
+                    .map(|(d, _)| g.p_doc_given_query(q, *d)).sum();
+                prop_assert!((s - 1.0).abs() < 1e-9);
+            }
+            for d in 0..g.n_docs() {
+                let d = DocId(d as u32);
+                if g.doc_clicks(d) > 0.0 {
+                    let s: f64 = g.queries_of(d).iter()
+                        .map(|(q, _)| g.p_query_given_doc(*q, d)).sum();
+                    prop_assert!((s - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

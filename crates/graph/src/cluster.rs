@@ -1,0 +1,200 @@
+//! Query–doc cluster extraction (paper §3.1, "Query-Doc Clustering").
+//!
+//! "For each visited query or document, we keep it if its visiting
+//! probability is above a threshold δ_v and the number of non-stop words in
+//! q is more than a half." We read the second condition as: more than half of
+//! the candidate query's non-stop words must also occur in the seed query's
+//! neighbourhood vocabulary (seed's own tokens), which keeps topically drifted
+//! queries out of the cluster.
+
+use crate::click::{ClickGraph, DocId, QueryId};
+use crate::walk::{walk_from, WalkConfig};
+use giant_text::StopWords;
+use std::collections::HashSet;
+
+/// Cluster-extraction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Visit-probability threshold `δ_v`.
+    pub delta_v: f64,
+    /// Random-walk parameters.
+    pub walk: WalkConfig,
+    /// Cap on queries kept per cluster.
+    pub max_queries: usize,
+    /// Cap on documents kept per cluster.
+    pub max_docs: usize,
+    /// Minimum fraction of a candidate query's non-stop words that must
+    /// appear in the seed query ("more than a half").
+    pub min_overlap: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            delta_v: 0.01,
+            walk: WalkConfig::default(),
+            max_queries: 10,
+            max_docs: 20,
+            min_overlap: 0.5,
+        }
+    }
+}
+
+/// A cluster of correlated queries and documents around a seed query,
+/// ordered by random-walk weight (the order matters: QTIG construction
+/// prefers edges from higher-weighted inputs).
+#[derive(Debug, Clone)]
+pub struct QueryDocCluster {
+    /// The seed query.
+    pub seed: QueryId,
+    /// Kept queries with weights, descending (seed first).
+    pub queries: Vec<(QueryId, f64)>,
+    /// Kept documents with weights, descending.
+    pub docs: Vec<(DocId, f64)>,
+}
+
+impl QueryDocCluster {
+    /// Query ids only, in weight order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.queries.iter().map(|(q, _)| *q).collect()
+    }
+
+    /// Document ids only, in weight order.
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        self.docs.iter().map(|(d, _)| *d).collect()
+    }
+}
+
+/// Extracts the query–doc cluster `(Q_q, D_q)` around `seed`.
+pub fn extract_cluster(
+    g: &ClickGraph,
+    seed: QueryId,
+    stopwords: &StopWords,
+    cfg: &ClusterConfig,
+) -> QueryDocCluster {
+    let walk = walk_from(g, seed, &cfg.walk);
+    let seed_tokens: HashSet<String> = giant_text::tokenize(g.query_text(seed))
+        .into_iter()
+        .filter(|t| !stopwords.is_stop(t))
+        .collect();
+
+    let mut queries = Vec::new();
+    for (q, p) in walk.ordered_queries() {
+        if queries.len() >= cfg.max_queries {
+            break;
+        }
+        if q == seed {
+            queries.push((q, p));
+            continue;
+        }
+        if p < cfg.delta_v {
+            continue;
+        }
+        let cand: Vec<String> = giant_text::tokenize(g.query_text(q))
+            .into_iter()
+            .filter(|t| !stopwords.is_stop(t))
+            .collect();
+        if cand.is_empty() {
+            continue;
+        }
+        let overlap = cand.iter().filter(|t| seed_tokens.contains(*t)).count();
+        if (overlap as f64) / (cand.len() as f64) > cfg.min_overlap {
+            queries.push((q, p));
+        }
+    }
+    // The seed always leads the cluster even if the walk damped it.
+    if queries.first().map(|(q, _)| *q) != Some(seed) {
+        queries.retain(|(q, _)| *q != seed);
+        queries.insert(0, (seed, 1.0));
+    }
+
+    let docs = walk
+        .ordered_docs()
+        .into_iter()
+        .filter(|(_, p)| *p >= cfg.delta_v)
+        .take(cfg.max_docs)
+        .collect();
+
+    QueryDocCluster {
+        seed,
+        queries,
+        docs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> ClickGraph {
+        let mut g = ClickGraph::new();
+        // A tight cluster about miyazaki films.
+        g.add_clicks("miyazaki animated films", DocId(0), 20.0);
+        g.add_clicks("miyazaki animated films", DocId(1), 15.0);
+        g.add_clicks("famous miyazaki films", DocId(0), 10.0);
+        g.add_clicks("famous miyazaki films", DocId(2), 5.0);
+        g.add_clicks("classic animated films miyazaki", DocId(1), 8.0);
+        // A drifted query sharing one doc but about something else.
+        g.add_clicks("tokyo travel guide", DocId(1), 9.0);
+        g.add_clicks("tokyo travel guide", DocId(3), 40.0);
+        g
+    }
+
+    #[test]
+    fn cluster_keeps_related_queries() {
+        let g = graph();
+        let seed = g.query_id("miyazaki animated films").unwrap();
+        let c = extract_cluster(&g, seed, &StopWords::standard(), &ClusterConfig::default());
+        let texts: Vec<&str> = c.query_ids().iter().map(|q| g.query_text(*q)).collect();
+        assert_eq!(texts[0], "miyazaki animated films");
+        assert!(texts.contains(&"famous miyazaki films"));
+        assert!(texts.contains(&"classic animated films miyazaki"));
+    }
+
+    #[test]
+    fn cluster_drops_drifted_queries() {
+        let g = graph();
+        let seed = g.query_id("miyazaki animated films").unwrap();
+        let c = extract_cluster(&g, seed, &StopWords::standard(), &ClusterConfig::default());
+        let texts: Vec<&str> = c.query_ids().iter().map(|q| g.query_text(*q)).collect();
+        // "tokyo travel guide" shares doc 1 but zero content tokens.
+        assert!(!texts.contains(&"tokyo travel guide"));
+    }
+
+    #[test]
+    fn docs_are_weight_ordered_and_thresholded() {
+        let g = graph();
+        let seed = g.query_id("miyazaki animated films").unwrap();
+        let c = extract_cluster(&g, seed, &StopWords::standard(), &ClusterConfig::default());
+        assert!(!c.docs.is_empty());
+        for w in c.docs.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(c.docs.iter().all(|(_, p)| *p >= 0.01));
+    }
+
+    #[test]
+    fn caps_are_respected() {
+        let g = graph();
+        let seed = g.query_id("miyazaki animated films").unwrap();
+        let cfg = ClusterConfig {
+            max_queries: 1,
+            max_docs: 1,
+            ..ClusterConfig::default()
+        };
+        let c = extract_cluster(&g, seed, &StopWords::standard(), &cfg);
+        assert_eq!(c.queries.len(), 1);
+        assert_eq!(c.queries[0].0, seed);
+        assert!(c.docs.len() <= 1);
+    }
+
+    #[test]
+    fn stopword_only_queries_are_skipped() {
+        let mut g = ClickGraph::new();
+        g.add_clicks("miyazaki films", DocId(0), 10.0);
+        g.add_clicks("what is the best", DocId(0), 10.0);
+        let seed = g.query_id("miyazaki films").unwrap();
+        let c = extract_cluster(&g, seed, &StopWords::standard(), &ClusterConfig::default());
+        assert_eq!(c.queries.len(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! A small directed multigraph with typed edges.
+//!
+//! Used by the ATSP decoder (BFS shortest-path costs over the directed-seq
+//! QTIG variant) and as the backing store for ontology adjacency. Nodes are
+//! dense `usize` ids; edge payloads are generic.
+
+use std::collections::VecDeque;
+
+/// Directed graph with dense node ids and typed edges.
+#[derive(Debug, Clone)]
+pub struct DiGraph<R> {
+    out: Vec<Vec<(u32, R)>>,
+    incoming: Vec<Vec<(u32, R)>>,
+    n_edges: usize,
+}
+
+impl<R> Default for DiGraph<R> {
+    fn default() -> Self {
+        Self {
+            out: Vec::new(),
+            incoming: Vec::new(),
+            n_edges: 0,
+        }
+    }
+}
+
+impl<R: Clone> DiGraph<R> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            out: vec![Vec::new(); n],
+            incoming: vec![Vec::new(); n],
+            n_edges: 0,
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.out.push(Vec::new());
+        self.incoming.push(Vec::new());
+        self.out.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Adds a directed edge `u -> v` with payload `rel`.
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, rel: R) {
+        assert!(u < self.n_nodes() && v < self.n_nodes(), "node out of range");
+        self.out[u].push((v as u32, rel.clone()));
+        self.incoming[v].push((u as u32, rel));
+        self.n_edges += 1;
+    }
+
+    /// Outgoing `(target, payload)` pairs of `u`.
+    pub fn out_edges(&self, u: usize) -> &[(u32, R)] {
+        &self.out[u]
+    }
+
+    /// Incoming `(source, payload)` pairs of `v`.
+    pub fn in_edges(&self, v: usize) -> &[(u32, R)] {
+        &self.incoming[v]
+    }
+
+    /// True when any `u -> v` edge exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.out[u].iter().any(|(t, _)| *t as usize == v)
+    }
+
+    /// True when an edge `u -> v` or `v -> u` exists.
+    pub fn has_edge_undirected(&self, u: usize, v: usize) -> bool {
+        self.has_edge(u, v) || self.has_edge(v, u)
+    }
+
+    /// BFS hop distance from `src` to every node (`None` when unreachable).
+    pub fn bfs_hops(&self, src: usize) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.n_nodes()];
+        let mut q = VecDeque::new();
+        dist[src] = Some(0);
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u].expect("visited");
+            for (v, _) in &self.out[u] {
+                let v = *v as usize;
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True when a path `src -> … -> dst` exists.
+    pub fn reachable(&self, src: usize, dst: usize) -> bool {
+        self.bfs_hops(src)[dst].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph<&'static str> {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1, "a");
+        g.add_edge(1, 3, "b");
+        g.add_edge(0, 2, "c");
+        g.add_edge(2, 3, "d");
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = diamond();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(g.has_edge_undirected(1, 0));
+        assert_eq!(g.out_edges(0).len(), 2);
+        assert_eq!(g.in_edges(3).len(), 2);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let g = diamond();
+        let d = g.bfs_hops(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(1), Some(2)]);
+        let d3 = g.bfs_hops(3);
+        assert_eq!(d3[0], None);
+        assert!(g.reachable(0, 3));
+        assert!(!g.reachable(3, 0));
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g: DiGraph<u8> = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 1);
+        assert_eq!(g.n_nodes(), 2);
+        assert!(g.has_edge(a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn edge_bounds_checked() {
+        let mut g: DiGraph<u8> = DiGraph::with_nodes(1);
+        g.add_edge(0, 5, 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1, "x");
+        g.add_edge(0, 1, "y");
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.out_edges(0).len(), 2);
+    }
+}

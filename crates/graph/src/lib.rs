@@ -1,0 +1,25 @@
+//! # giant-graph — click-graph substrate for the GIANT reproduction
+//!
+//! GIANT mines user attentions from a *search click graph*: the bipartite
+//! graph whose left nodes are queries, right nodes are documents, and whose
+//! weighted edges count how often a query led to a click on a document
+//! (paper §3.1). This crate provides:
+//!
+//! * [`digraph`] — a generic directed graph with typed edges and BFS hop
+//!   distances (used by the QTIG ATSP decoder and the ontology).
+//! * [`click`] — the bipartite [`ClickGraph`](click::ClickGraph) with the
+//!   transport probabilities of eq. (1)/(2).
+//! * [`walk`] — random walk with restart computing deterministic visit
+//!   probabilities from a seed query.
+//! * [`cluster`] — query–doc cluster extraction with the visit-probability
+//!   threshold `δ_v` and the "more than half non-stop-word overlap" filter.
+
+pub mod click;
+pub mod cluster;
+pub mod digraph;
+pub mod walk;
+
+pub use click::{ClickGraph, DocId, QueryId};
+pub use cluster::{extract_cluster, ClusterConfig, QueryDocCluster};
+pub use digraph::DiGraph;
+pub use walk::{walk_from, WalkConfig, WalkResult};

@@ -1,0 +1,191 @@
+//! Random walk with restart over the click graph.
+//!
+//! Paper §3.1: "From query q, we perform random walk according to transport
+//! probabilities calculated above and compute the weights of visited queries
+//! and documents." We compute the *stationary visit probabilities* exactly by
+//! power iteration instead of Monte-Carlo sampling — the result is the same
+//! quantity, deterministic, and cheap because each walk only touches the
+//! seed's local neighbourhood.
+
+use crate::click::{ClickGraph, DocId, QueryId};
+use std::collections::BTreeMap;
+
+/// Random-walk parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkConfig {
+    /// Restart probability back to the seed query at every step.
+    pub restart: f64,
+    /// Maximum power-iteration rounds (one round = query step + doc step).
+    pub max_iter: usize,
+    /// L1 convergence tolerance.
+    pub tol: f64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            restart: 0.3,
+            max_iter: 12,
+            tol: 1e-8,
+        }
+    }
+}
+
+/// Visit probabilities produced by [`walk_from`].
+#[derive(Debug, Clone, Default)]
+pub struct WalkResult {
+    /// Visit probability per reached query.
+    pub query_probs: BTreeMap<QueryId, f64>,
+    /// Visit probability per reached document.
+    pub doc_probs: BTreeMap<DocId, f64>,
+}
+
+impl WalkResult {
+    /// Queries ordered by decreasing probability (ties by id, deterministic).
+    pub fn ordered_queries(&self) -> Vec<(QueryId, f64)> {
+        let mut v: Vec<(QueryId, f64)> = self.query_probs.iter().map(|(k, p)| (*k, *p)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        v
+    }
+
+    /// Documents ordered by decreasing probability (ties by id).
+    pub fn ordered_docs(&self) -> Vec<(DocId, f64)> {
+        let mut v: Vec<(DocId, f64)> = self.doc_probs.iter().map(|(k, p)| (*k, *p)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        v
+    }
+}
+
+/// Runs a random walk with restart from `seed`, alternating
+/// query→doc (eq. 1) and doc→query (eq. 2) steps, and returns visit
+/// probabilities over the touched neighbourhood.
+pub fn walk_from(g: &ClickGraph, seed: QueryId, cfg: &WalkConfig) -> WalkResult {
+    // BTreeMaps keep the f64 accumulation order fixed, so the walk is
+    // bit-for-bit reproducible across runs (HashMap iteration order is not).
+    let mut qp: BTreeMap<QueryId, f64> = BTreeMap::new();
+    qp.insert(seed, 1.0);
+    let mut dp: BTreeMap<DocId, f64> = BTreeMap::new();
+
+    for _ in 0..cfg.max_iter {
+        // Query layer -> doc layer.
+        let mut next_dp: BTreeMap<DocId, f64> = BTreeMap::new();
+        for (&q, &p) in &qp {
+            if p == 0.0 {
+                continue;
+            }
+            let total = g.query_clicks(q);
+            if total == 0.0 {
+                continue;
+            }
+            for (d, c) in g.docs_of(q) {
+                *next_dp.entry(*d).or_insert(0.0) += p * (c / total);
+            }
+        }
+        // Doc layer -> query layer, with restart mass returning to the seed.
+        let mut next_qp: BTreeMap<QueryId, f64> = BTreeMap::new();
+        next_qp.insert(seed, cfg.restart);
+        for (&d, &p) in &next_dp {
+            if p == 0.0 {
+                continue;
+            }
+            let total = g.doc_clicks(d);
+            if total == 0.0 {
+                continue;
+            }
+            for (q, c) in g.queries_of(d) {
+                *next_qp.entry(*q).or_insert(0.0) += (1.0 - cfg.restart) * p * (c / total);
+            }
+        }
+        let delta: f64 = next_qp
+            .iter()
+            .map(|(q, p)| (p - qp.get(q).copied().unwrap_or(0.0)).abs())
+            .sum::<f64>()
+            + qp.iter()
+                .filter(|(q, _)| !next_qp.contains_key(q))
+                .map(|(_, p)| p.abs())
+                .sum::<f64>();
+        qp = next_qp;
+        dp = next_dp;
+        if delta < cfg.tol {
+            break;
+        }
+    }
+    WalkResult {
+        query_probs: qp,
+        doc_probs: dp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disconnected components; the walk must stay inside the seed's.
+    fn two_component_graph() -> ClickGraph {
+        let mut g = ClickGraph::new();
+        // Component A: q0, q1 share doc 0; q1 also clicks doc 1.
+        g.add_clicks("qa0", DocId(0), 10.0);
+        g.add_clicks("qa1", DocId(0), 10.0);
+        g.add_clicks("qa1", DocId(1), 10.0);
+        // Component B: q2 clicks doc 2.
+        g.add_clicks("qb2", DocId(2), 50.0);
+        g
+    }
+
+    #[test]
+    fn walk_stays_in_component() {
+        let g = two_component_graph();
+        let seed = g.query_id("qa0").unwrap();
+        let r = walk_from(&g, seed, &WalkConfig::default());
+        assert!(r.query_probs.contains_key(&g.query_id("qa1").unwrap()));
+        assert!(!r.query_probs.contains_key(&g.query_id("qb2").unwrap()));
+        assert!(!r.doc_probs.contains_key(&DocId(2)));
+    }
+
+    #[test]
+    fn seed_has_highest_query_probability() {
+        let g = two_component_graph();
+        let seed = g.query_id("qa0").unwrap();
+        let r = walk_from(&g, seed, &WalkConfig::default());
+        let ordered = r.ordered_queries();
+        assert_eq!(ordered[0].0, seed);
+        // All probabilities in (0, 1].
+        for (_, p) in &ordered {
+            assert!(*p > 0.0 && *p <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn query_mass_is_conserved() {
+        let g = two_component_graph();
+        let seed = g.query_id("qa0").unwrap();
+        let r = walk_from(&g, seed, &WalkConfig::default());
+        // After a doc->query step all doc mass (plus restart) lands on
+        // queries, so the query layer always sums to 1.
+        let total: f64 = r.query_probs.values().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total query mass = {total}");
+    }
+
+    #[test]
+    fn stronger_coclick_means_higher_probability() {
+        let mut g = ClickGraph::new();
+        g.add_clicks("seed", DocId(0), 100.0);
+        g.add_clicks("seed", DocId(1), 1.0);
+        g.add_clicks("close", DocId(0), 100.0);
+        g.add_clicks("far", DocId(1), 100.0);
+        let seed = g.query_id("seed").unwrap();
+        let r = walk_from(&g, seed, &WalkConfig::default());
+        let close = r.query_probs[&g.query_id("close").unwrap()];
+        let far = r.query_probs[&g.query_id("far").unwrap()];
+        assert!(close > far, "close={close} far={far}");
+    }
+
+    #[test]
+    fn isolated_seed_keeps_all_mass() {
+        let mut g = ClickGraph::new();
+        let seed = g.intern_query("lonely");
+        let r = walk_from(&g, seed, &WalkConfig::default());
+        assert_eq!(r.query_probs.len(), 1);
+        assert!(r.doc_probs.is_empty());
+    }
+}

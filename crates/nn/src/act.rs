@@ -1,0 +1,104 @@
+//! Activation functions and their backward rules.
+
+use crate::matrix::Matrix;
+
+/// Elementwise ReLU.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward through ReLU: `dx = dy ⊙ 1[x > 0]`.
+pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!((x.rows(), x.cols()), (dy.rows(), dy.cols()));
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&xv, &g)| if xv > 0.0 { g } else { 0.0 })
+        .collect();
+    Matrix::from_vec(x.rows(), x.cols(), data)
+}
+
+/// Scalar logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Scalar tanh (re-exported for symmetry with [`sigmoid`]).
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Row-wise softmax with the max-subtraction trick.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out.set(r, c, e);
+            sum += e;
+        }
+        for c in 0..x.cols() {
+            out.set(r, c, out.get(r, c) / sum);
+        }
+    }
+    out
+}
+
+/// Numerically stable `ln(Σ exp(xᵢ))`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    max + xs.iter().map(|&x| (x - max).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 0.0]);
+        let dy = Matrix::from_vec(1, 3, vec![10.0, 10.0, 10.0]);
+        assert_eq!(relu_backward(&x, &dy).data(), &[0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalise() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = softmax_rows(&x);
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // Larger logits get larger probabilities; huge logits don't overflow.
+        assert!(s.get(0, 2) > s.get(0, 0));
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+    }
+}

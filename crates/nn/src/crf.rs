@@ -1,0 +1,314 @@
+//! Linear-chain conditional random field.
+//!
+//! The LSTM-CRF baselines (paper §5.2) put a CRF on top of BiLSTM emissions
+//! and decode BIO tags with Viterbi. This implementation provides the exact
+//! negative log-likelihood, its gradient via forward–backward expected
+//! counts, and Viterbi decoding — all in log space.
+
+use crate::act::log_sum_exp;
+use crate::matrix::Matrix;
+use crate::param::Parameter;
+use rand::Rng;
+
+/// Linear-chain CRF over `K` tags.
+#[derive(Debug, Clone)]
+pub struct LinearChainCrf {
+    /// Transition scores `(K × K)`: `transitions[i][j]` scores `i → j`.
+    pub transitions: Parameter,
+    /// Start scores `(1 × K)`.
+    pub start: Parameter,
+    /// End scores `(1 × K)`.
+    pub end: Parameter,
+    k: usize,
+}
+
+impl LinearChainCrf {
+    /// New CRF with small random scores.
+    pub fn new<R: Rng>(k: usize, rng: &mut R) -> Self {
+        let mut t = Parameter::xavier(k, k, rng);
+        t.value.scale(0.1);
+        let mut s = Parameter::xavier(1, k, rng);
+        s.value.scale(0.1);
+        let mut e = Parameter::xavier(1, k, rng);
+        e.value.scale(0.1);
+        Self {
+            transitions: t,
+            start: s,
+            end: e,
+            k,
+        }
+    }
+
+    /// Number of tags.
+    pub fn n_tags(&self) -> usize {
+        self.k
+    }
+
+    /// Unnormalised score of a tag path.
+    pub fn path_score(&self, emissions: &Matrix, tags: &[usize]) -> f64 {
+        assert_eq!(emissions.rows(), tags.len());
+        if tags.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.start.value.get(0, tags[0]) + emissions.get(0, tags[0]);
+        for t in 1..tags.len() {
+            s += self.transitions.value.get(tags[t - 1], tags[t]) + emissions.get(t, tags[t]);
+        }
+        s + self.end.value.get(0, tags[tags.len() - 1])
+    }
+
+    fn forward_alphas(&self, emissions: &Matrix) -> Vec<Vec<f64>> {
+        let t_len = emissions.rows();
+        let k = self.k;
+        let mut alpha = vec![vec![0.0; k]; t_len];
+        for j in 0..k {
+            alpha[0][j] = self.start.value.get(0, j) + emissions.get(0, j);
+        }
+        let mut scratch = vec![0.0; k];
+        for t in 1..t_len {
+            for j in 0..k {
+                for i in 0..k {
+                    scratch[i] = alpha[t - 1][i] + self.transitions.value.get(i, j);
+                }
+                alpha[t][j] = log_sum_exp(&scratch) + emissions.get(t, j);
+            }
+        }
+        alpha
+    }
+
+    fn backward_betas(&self, emissions: &Matrix) -> Vec<Vec<f64>> {
+        let t_len = emissions.rows();
+        let k = self.k;
+        let mut beta = vec![vec![0.0; k]; t_len];
+        for j in 0..k {
+            beta[t_len - 1][j] = self.end.value.get(0, j);
+        }
+        let mut scratch = vec![0.0; k];
+        for t in (0..t_len - 1).rev() {
+            for i in 0..k {
+                for j in 0..k {
+                    scratch[j] =
+                        self.transitions.value.get(i, j) + emissions.get(t + 1, j) + beta[t + 1][j];
+                }
+                beta[t][i] = log_sum_exp(&scratch);
+            }
+        }
+        beta
+    }
+
+    /// Log partition function.
+    pub fn log_partition(&self, emissions: &Matrix) -> f64 {
+        if emissions.rows() == 0 {
+            return 0.0;
+        }
+        let alpha = self.forward_alphas(emissions);
+        let last = alpha.last().expect("non-empty");
+        let terms: Vec<f64> = (0..self.k)
+            .map(|j| last[j] + self.end.value.get(0, j))
+            .collect();
+        log_sum_exp(&terms)
+    }
+
+    /// Negative log-likelihood of `tags`; accumulates parameter gradients and
+    /// returns `(nll, d_emissions)`.
+    pub fn nll(&mut self, emissions: &Matrix, tags: &[usize]) -> (f64, Matrix) {
+        let t_len = emissions.rows();
+        assert_eq!(tags.len(), t_len);
+        assert!(t_len > 0, "empty sequence");
+        let k = self.k;
+        let alpha = self.forward_alphas(emissions);
+        let beta = self.backward_betas(emissions);
+        let log_z = {
+            let last = alpha.last().expect("non-empty");
+            let terms: Vec<f64> = (0..k).map(|j| last[j] + self.end.value.get(0, j)).collect();
+            log_sum_exp(&terms)
+        };
+        let nll = log_z - self.path_score(emissions, tags);
+
+        // Unary marginals -> emission gradient, start/end gradients.
+        let mut d_em = Matrix::zeros(t_len, k);
+        for t in 0..t_len {
+            for j in 0..k {
+                let p = (alpha[t][j] + beta[t][j] - log_z).exp();
+                d_em.set(t, j, p);
+            }
+            d_em.add_at(t, tags[t], -1.0);
+        }
+        for j in 0..k {
+            let p0 = (alpha[0][j] + beta[0][j] - log_z).exp();
+            self.start.grad.add_at(0, j, p0);
+            let pt = (alpha[t_len - 1][j] + beta[t_len - 1][j] - log_z).exp();
+            self.end.grad.add_at(0, j, pt);
+        }
+        self.start.grad.add_at(0, tags[0], -1.0);
+        self.end.grad.add_at(0, tags[t_len - 1], -1.0);
+
+        // Pairwise marginals -> transition gradient.
+        for t in 0..t_len - 1 {
+            for i in 0..k {
+                for j in 0..k {
+                    let p = (alpha[t][i]
+                        + self.transitions.value.get(i, j)
+                        + emissions.get(t + 1, j)
+                        + beta[t + 1][j]
+                        - log_z)
+                        .exp();
+                    self.transitions.grad.add_at(i, j, p);
+                }
+            }
+            self.transitions.grad.add_at(tags[t], tags[t + 1], -1.0);
+        }
+        (nll, d_em)
+    }
+
+    /// Viterbi decoding: the highest-scoring tag path.
+    pub fn viterbi(&self, emissions: &Matrix) -> Vec<usize> {
+        let t_len = emissions.rows();
+        if t_len == 0 {
+            return Vec::new();
+        }
+        let k = self.k;
+        let mut score = vec![vec![f64::NEG_INFINITY; k]; t_len];
+        let mut back = vec![vec![0usize; k]; t_len];
+        for j in 0..k {
+            score[0][j] = self.start.value.get(0, j) + emissions.get(0, j);
+        }
+        for t in 1..t_len {
+            for j in 0..k {
+                let (bi, bs) = (0..k)
+                    .map(|i| (i, score[t - 1][i] + self.transitions.value.get(i, j)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("k > 0");
+                score[t][j] = bs + emissions.get(t, j);
+                back[t][j] = bi;
+            }
+        }
+        let mut best = (0..k)
+            .max_by(|&a, &b| {
+                (score[t_len - 1][a] + self.end.value.get(0, a))
+                    .total_cmp(&(score[t_len - 1][b] + self.end.value.get(0, b)))
+            })
+            .expect("k > 0");
+        let mut tags = vec![best; t_len];
+        for t in (1..t_len).rev() {
+            best = back[t][best];
+            tags[t - 1] = best;
+        }
+        tags
+    }
+
+    /// Parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.transitions, &mut self.start, &mut self.end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_paths(t_len: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut paths = vec![Vec::new()];
+        for _ in 0..t_len {
+            let mut next = Vec::new();
+            for p in &paths {
+                for j in 0..k {
+                    let mut q = p.clone();
+                    q.push(j);
+                    next.push(q);
+                }
+            }
+            paths = next;
+        }
+        paths
+    }
+
+    #[test]
+    fn log_partition_equals_brute_force() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let crf = LinearChainCrf::new(3, &mut rng);
+        let em = Matrix::xavier(4, 3, &mut rng);
+        let brute: Vec<f64> = all_paths(4, 3)
+            .iter()
+            .map(|p| crf.path_score(&em, p))
+            .collect();
+        let z_brute = crate::act::log_sum_exp(&brute);
+        let z = crf.log_partition(&em);
+        assert!((z - z_brute).abs() < 1e-9, "{z} vs {z_brute}");
+    }
+
+    #[test]
+    fn viterbi_equals_brute_force_argmax() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let crf = LinearChainCrf::new(3, &mut rng);
+        let em = Matrix::xavier(5, 3, &mut rng);
+        let best_brute = all_paths(5, 3)
+            .into_iter()
+            .max_by(|a, b| crf.path_score(&em, a).total_cmp(&crf.path_score(&em, b)))
+            .unwrap();
+        assert_eq!(crf.viterbi(&em), best_brute);
+    }
+
+    #[test]
+    fn nll_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut crf = LinearChainCrf::new(3, &mut rng);
+        let em = Matrix::xavier(4, 3, &mut rng);
+        let tags = vec![0usize, 2, 1, 1];
+        let (_, d_em) = crf.nll(&em, &tags);
+        crate::gradcheck::check_param_grads(
+            &mut crf,
+            |c| {
+                let alpha_nll = {
+                    let z = c.log_partition(&em);
+                    z - c.path_score(&em, &tags)
+                };
+                alpha_nll
+            },
+            |c| vec![&mut c.transitions, &mut c.start, &mut c.end],
+            1e-6,
+            1e-5,
+        );
+        // Emission gradient check.
+        let eps = 1e-6;
+        for t in 0..4 {
+            for j in 0..3 {
+                let mut ep = em.clone();
+                ep.add_at(t, j, eps);
+                let mut emn = em.clone();
+                emn.add_at(t, j, -eps);
+                let lp = crf.log_partition(&ep) - crf.path_score(&ep, &tags);
+                let lm = crf.log_partition(&emn) - crf.path_score(&emn, &tags);
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - d_em.get(t, j)).abs() < 1e-6,
+                    "d_em({t},{j}): {num} vs {}",
+                    d_em.get(t, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nll_is_nonnegative_and_zero_only_when_certain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut crf = LinearChainCrf::new(2, &mut rng);
+        let em = Matrix::from_vec(3, 2, vec![50.0, 0.0, 50.0, 0.0, 0.0, 50.0]);
+        let (nll_good, _) = crf.nll(&em, &[0, 0, 1]);
+        let (nll_bad, _) = crf.nll(&em, &[1, 1, 0]);
+        assert!(nll_good >= -1e-9);
+        assert!(nll_bad > nll_good + 10.0);
+    }
+
+    #[test]
+    fn single_token_sequence() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut crf = LinearChainCrf::new(3, &mut rng);
+        let em = Matrix::from_vec(1, 3, vec![0.0, 10.0, 0.0]);
+        assert_eq!(crf.viterbi(&em), vec![1]);
+        let (nll, _) = crf.nll(&em, &[1]);
+        assert!(nll < 1.0);
+    }
+}

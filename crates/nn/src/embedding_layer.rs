@@ -1,0 +1,107 @@
+//! Embedding table: looks up rows by id; backward scatters gradients.
+
+use crate::matrix::Matrix;
+use crate::param::Parameter;
+use rand::Rng;
+
+/// A trainable `(n_values × dim)` lookup table.
+#[derive(Debug, Clone)]
+pub struct EmbeddingLayer {
+    /// The table.
+    pub table: Parameter,
+    cache_ids: Option<Vec<usize>>,
+}
+
+impl EmbeddingLayer {
+    /// Xavier-initialised table.
+    pub fn new<R: Rng>(n_values: usize, dim: usize, rng: &mut R) -> Self {
+        Self {
+            table: Parameter::xavier(n_values, dim, rng),
+            cache_ids: None,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+
+    /// Number of embeddable values.
+    pub fn n_values(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Gathers rows for `ids`; caches ids for backward. Ids out of range
+    /// panic (callers bucket their features first).
+    pub fn forward(&mut self, ids: &[usize]) -> Matrix {
+        let out = self.forward_inference(ids);
+        self.cache_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Gather without caching.
+    pub fn forward_inference(&self, ids: &[usize]) -> Matrix {
+        let dim = self.dim();
+        let mut out = Matrix::zeros(ids.len(), dim);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.n_values(), "embedding id {id} out of range");
+            out.row_mut(r).copy_from_slice(self.table.value.row(id));
+        }
+        out
+    }
+
+    /// Scatters `dy` rows into the table gradient.
+    pub fn backward(&mut self, dy: &Matrix) {
+        let ids = self.cache_ids.as_ref().expect("forward before backward");
+        assert_eq!(dy.rows(), ids.len());
+        for (r, &id) in ids.iter().enumerate() {
+            let g = dy.row(r).to_vec();
+            let grow = self.table.grad.row_mut(id);
+            for (gv, dv) in grow.iter_mut().zip(&g) {
+                *gv += dv;
+            }
+        }
+    }
+
+    /// The table parameter, for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gather_returns_table_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut e = EmbeddingLayer::new(5, 3, &mut rng);
+        let out = e.forward(&[2, 2, 4]);
+        assert_eq!(out.row(0), e.table.value.row(2));
+        assert_eq!(out.row(1), e.table.value.row(2));
+        assert_eq!(out.row(2), e.table.value.row(4));
+    }
+
+    #[test]
+    fn backward_accumulates_repeated_ids() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut e = EmbeddingLayer::new(3, 2, &mut rng);
+        let _ = e.forward(&[1, 1, 0]);
+        let dy = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        e.backward(&dy);
+        assert_eq!(e.table.grad.row(1), &[4.0, 6.0]); // rows 0+1 summed
+        assert_eq!(e.table.grad.row(0), &[5.0, 6.0]);
+        assert_eq!(e.table.grad.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut e = EmbeddingLayer::new(2, 2, &mut rng);
+        let _ = e.forward(&[5]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Finite-difference gradient verification.
+//!
+//! Every manually derived backward pass in this crate is checked against
+//! central differences. The helper perturbs each weight of each parameter,
+//! re-evaluates the loss, and compares with the analytic gradient.
+
+use crate::param::Parameter;
+
+/// Verifies the analytic gradients stored in `params(model)` against central
+/// finite differences of `loss(model)`.
+///
+/// The caller must have already run forward+backward so that `grad` holds the
+/// analytic gradient of the *same* loss the closure computes. The closure
+/// must not mutate cached state in a way that changes the loss (use
+/// inference-style forwards inside it).
+///
+/// Panics with a descriptive message when any component deviates more than
+/// `tol_abs + tol_rel * |analytic|`.
+pub fn check_param_grads<M>(
+    model: &mut M,
+    loss: impl Fn(&mut M) -> f64,
+    params: impl Fn(&mut M) -> Vec<&mut Parameter>,
+    tol_abs: f64,
+    tol_rel: f64,
+) {
+    let eps = 1e-5;
+    let n_params = params(model).len();
+    for pi in 0..n_params {
+        let n_weights = params(model)[pi].n_weights();
+        for wi in 0..n_weights {
+            let analytic = params(model)[pi].grad.data()[wi];
+            let orig = params(model)[pi].value.data()[wi];
+            params(model)[pi].value.data_mut()[wi] = orig + eps;
+            let lp = loss(model);
+            params(model)[pi].value.data_mut()[wi] = orig - eps;
+            let lm = loss(model);
+            params(model)[pi].value.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let err = (numeric - analytic).abs();
+            let tol = tol_abs + tol_rel * analytic.abs();
+            assert!(
+                err <= tol,
+                "grad mismatch: param {pi} weight {wi}: numeric {numeric:.9} vs analytic {analytic:.9} (err {err:.2e} > tol {tol:.2e})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    struct Quadratic {
+        p: Parameter,
+    }
+
+    #[test]
+    fn accepts_correct_gradient() {
+        // loss = sum(p^2)/2, grad = p.
+        let mut model = Quadratic {
+            p: Parameter::from_value(Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0])),
+        };
+        model.p.grad = model.p.value.clone();
+        check_param_grads(
+            &mut model,
+            |m| m.p.value.data().iter().map(|v| v * v).sum::<f64>() / 2.0,
+            |m| vec![&mut m.p],
+            1e-7,
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grad mismatch")]
+    fn rejects_wrong_gradient() {
+        let mut model = Quadratic {
+            p: Parameter::from_value(Matrix::from_vec(1, 2, vec![1.0, 1.0])),
+        };
+        model.p.grad = Matrix::from_vec(1, 2, vec![5.0, 5.0]); // wrong
+        check_param_grads(
+            &mut model,
+            |m| m.p.value.data().iter().map(|v| v * v).sum::<f64>() / 2.0,
+            |m| vec![&mut m.p],
+            1e-7,
+            1e-6,
+        );
+    }
+}

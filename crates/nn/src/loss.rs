@@ -1,0 +1,210 @@
+//! Losses: softmax cross-entropy, binary cross-entropy with logits, hinge.
+//!
+//! Each returns `(loss, d_logits)` so callers can feed the gradient straight
+//! into a module's `backward`.
+
+use crate::act::{sigmoid, softmax_rows};
+use crate::matrix::Matrix;
+
+/// Mean softmax cross-entropy over rows; `targets[r]` is the gold class of
+/// row `r`. Optional per-row weights rescale each row's contribution (the
+/// GCTSP trainer up-weights the rare positive class).
+///
+/// Returns `(mean loss, d_logits)`.
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    targets: &[usize],
+    row_weights: Option<&[f64]>,
+) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "row/target mismatch");
+    if let Some(w) = row_weights {
+        assert_eq!(w.len(), targets.len());
+    }
+    let probs = softmax_rows(logits);
+    let n = logits.rows().max(1) as f64;
+    let total_weight: f64 = row_weights
+        .map(|w| w.iter().sum())
+        .unwrap_or(n)
+        .max(1e-12);
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target class out of range");
+        let w = row_weights.map(|w| w[r]).unwrap_or(1.0);
+        let p = probs.get(r, t).max(1e-300);
+        loss -= w * p.ln();
+        grad.add_at(r, t, -1.0);
+        for c in 0..logits.cols() {
+            grad.set(r, c, grad.get(r, c) * w / total_weight);
+        }
+    }
+    (loss / total_weight, grad)
+}
+
+/// Mean binary cross-entropy with logits; `targets[i] ∈ {0.0, 1.0}` per
+/// element of a 1-column logit matrix.
+///
+/// Returns `(mean loss, d_logits)`.
+pub fn bce_with_logits(logits: &Matrix, targets: &[f64]) -> (f64, Matrix) {
+    assert_eq!(logits.cols(), 1, "bce expects a single logit column");
+    assert_eq!(logits.rows(), targets.len());
+    let n = targets.len().max(1) as f64;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(logits.rows(), 1);
+    for (r, &y) in targets.iter().enumerate() {
+        let z = logits.get(r, 0);
+        // Stable form: max(z,0) - z*y + ln(1 + e^{-|z|}).
+        loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        grad.set(r, 0, (sigmoid(z) - y) / n);
+    }
+    (loss / n, grad)
+}
+
+/// Pairwise hinge loss for embedding training (§3.2, correlate edges):
+/// `max(0, margin + d_pos - d_neg)` where `d` are squared Euclidean
+/// distances. Returns the loss and the gradients w.r.t. the three vectors
+/// (anchor, positive, negative).
+pub fn hinge_triplet(
+    anchor: &[f64],
+    positive: &[f64],
+    negative: &[f64],
+    margin: f64,
+) -> (f64, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let d = anchor.len();
+    assert_eq!(positive.len(), d);
+    assert_eq!(negative.len(), d);
+    let d_pos: f64 = anchor
+        .iter()
+        .zip(positive)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    let d_neg: f64 = anchor
+        .iter()
+        .zip(negative)
+        .map(|(a, n)| (a - n) * (a - n))
+        .sum();
+    let loss = (margin + d_pos - d_neg).max(0.0);
+    let mut ga = vec![0.0; d];
+    let mut gp = vec![0.0; d];
+    let mut gn = vec![0.0; d];
+    if loss > 0.0 {
+        for i in 0..d {
+            ga[i] = 2.0 * (anchor[i] - positive[i]) - 2.0 * (anchor[i] - negative[i]);
+            gp[i] = -2.0 * (anchor[i] - positive[i]);
+            gn[i] = 2.0 * (anchor[i] - negative[i]);
+        }
+    }
+    (loss, ga, gp, gn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets, None);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus.add_at(r, c, eps);
+                let mut minus = logits.clone();
+                minus.add_at(r, c, -eps);
+                let (lp, _) = softmax_cross_entropy(&plus, &targets, None);
+                let (lm, _) = softmax_cross_entropy(&minus, &targets, None);
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - grad.get(r, c)).abs() < 1e-6,
+                    "({r},{c}): num {num} vs analytic {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ce_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(2, 2, vec![0.3, -0.4, 0.8, 0.1]);
+        let targets = [1usize, 0];
+        let weights = [3.0, 1.0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets, Some(&weights));
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut plus = logits.clone();
+                plus.add_at(r, c, eps);
+                let mut minus = logits.clone();
+                minus.add_at(r, c, -eps);
+                let (lp, _) = softmax_cross_entropy(&plus, &targets, Some(&weights));
+                let (lm, _) = softmax_cross_entropy(&minus, &targets, Some(&weights));
+                let num = (lp - lm) / (2.0 * eps);
+                assert!((num - grad.get(r, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(3, 1, vec![0.7, -1.2, 0.0]);
+        let targets = [1.0, 0.0, 1.0];
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-6;
+        for r in 0..3 {
+            let mut plus = logits.clone();
+            plus.add_at(r, 0, eps);
+            let mut minus = logits.clone();
+            minus.add_at(r, 0, -eps);
+            let (lp, _) = bce_with_logits(&plus, &targets);
+            let (lm, _) = bce_with_logits(&minus, &targets);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad.get(r, 0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bce_loss_is_low_for_confident_correct() {
+        let logits = Matrix::from_vec(2, 1, vec![8.0, -8.0]);
+        let (loss, _) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn hinge_zero_when_separated() {
+        let a = [0.0, 0.0];
+        let p = [0.1, 0.0];
+        let n = [5.0, 5.0];
+        let (loss, ga, _, _) = hinge_triplet(&a, &p, &n, 1.0);
+        assert_eq!(loss, 0.0);
+        assert!(ga.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn hinge_gradient_matches_finite_difference() {
+        let a = vec![0.2, -0.3];
+        let p = vec![0.5, 0.1];
+        let n = vec![0.4, -0.2];
+        let (_, ga, gp, gn) = hinge_triplet(&a, &p, &n, 1.0);
+        let eps = 1e-6;
+        let f = |a: &[f64], p: &[f64], n: &[f64]| hinge_triplet(a, p, n, 1.0).0;
+        for i in 0..2 {
+            let mut ap = a.clone();
+            ap[i] += eps;
+            let mut am = a.clone();
+            am[i] -= eps;
+            assert!(((f(&ap, &p, &n) - f(&am, &p, &n)) / (2.0 * eps) - ga[i]).abs() < 1e-6);
+            let mut pp = p.clone();
+            pp[i] += eps;
+            let mut pm = p.clone();
+            pm[i] -= eps;
+            assert!(((f(&a, &pp, &n) - f(&a, &pm, &n)) / (2.0 * eps) - gp[i]).abs() < 1e-6);
+            let mut np = n.clone();
+            np[i] += eps;
+            let mut nm = n.clone();
+            nm[i] -= eps;
+            assert!(((f(&a, &p, &np) - f(&a, &p, &nm)) / (2.0 * eps) - gn[i]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! LSTM and BiLSTM with full backpropagation through time.
+//!
+//! Used by the LSTM-CRF / LSTM baselines (paper §5.2: BiLSTM hidden 25 per
+//! direction) and the TextSummary encoder/decoder. Gate layout in the fused
+//! weight matrices is `[input | forget | candidate | output]`, each `h` wide.
+
+use crate::act::sigmoid;
+use crate::matrix::Matrix;
+use crate::param::Parameter;
+use rand::Rng;
+
+/// Cached per-sequence forward state for BPTT.
+#[derive(Debug, Clone)]
+struct LstmCache {
+    x: Matrix,
+    /// Post-activation gates per step, each `(1 × 4h)` packed into `(T × 4h)`.
+    gates: Matrix,
+    /// Cell states `(T × h)`.
+    c: Matrix,
+    /// Hidden states `(T × h)`.
+    h: Matrix,
+}
+
+/// Unidirectional LSTM over a `(T × d_in)` sequence.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input weights `(d_in × 4h)`.
+    pub w: Parameter,
+    /// Recurrent weights `(h × 4h)`.
+    pub u: Parameter,
+    /// Bias `(1 × 4h)` (forget gate initialised to 1).
+    pub b: Parameter,
+    hidden: usize,
+    cache: Option<LstmCache>,
+}
+
+impl Lstm {
+    /// New LSTM with Xavier weights and forget-gate bias 1.
+    pub fn new<R: Rng>(d_in: usize, hidden: usize, rng: &mut R) -> Self {
+        let mut b = Parameter::zeros(1, 4 * hidden);
+        for j in hidden..2 * hidden {
+            b.value.set(0, j, 1.0);
+        }
+        Self {
+            w: Parameter::xavier(d_in, 4 * hidden, rng),
+            u: Parameter::xavier(hidden, 4 * hidden, rng),
+            b,
+            hidden,
+            cache: None,
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input size.
+    pub fn d_in(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Runs the sequence, returning hidden states `(T × h)` and caching for
+    /// backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (h_seq, cache) = self.run(x);
+        self.cache = Some(cache);
+        h_seq
+    }
+
+    /// Forward without caching.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        self.run(x).0
+    }
+
+    fn run(&self, x: &Matrix) -> (Matrix, LstmCache) {
+        let t_len = x.rows();
+        let h = self.hidden;
+        let mut gates = Matrix::zeros(t_len, 4 * h);
+        let mut cs = Matrix::zeros(t_len, h);
+        let mut hs = Matrix::zeros(t_len, h);
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        for t in 0..t_len {
+            // a = x_t W + h_{t-1} U + b
+            let mut a = vec![0.0; 4 * h];
+            for (j, aj) in a.iter_mut().enumerate() {
+                *aj = self.b.value.get(0, j);
+            }
+            let xt = x.row(t);
+            for (k, &xv) in xt.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let wrow = self.w.value.row(k);
+                for (aj, wv) in a.iter_mut().zip(wrow) {
+                    *aj += xv * wv;
+                }
+            }
+            for (k, &hv) in h_prev.iter().enumerate() {
+                if hv == 0.0 {
+                    continue;
+                }
+                let urow = self.u.value.row(k);
+                for (aj, uv) in a.iter_mut().zip(urow) {
+                    *aj += hv * uv;
+                }
+            }
+            for j in 0..h {
+                let i_g = sigmoid(a[j]);
+                let f_g = sigmoid(a[h + j]);
+                let g_g = a[2 * h + j].tanh();
+                let o_g = sigmoid(a[3 * h + j]);
+                let c = f_g * c_prev[j] + i_g * g_g;
+                let hh = o_g * c.tanh();
+                gates.set(t, j, i_g);
+                gates.set(t, h + j, f_g);
+                gates.set(t, 2 * h + j, g_g);
+                gates.set(t, 3 * h + j, o_g);
+                cs.set(t, j, c);
+                hs.set(t, j, hh);
+            }
+            h_prev.copy_from_slice(hs.row(t));
+            c_prev.copy_from_slice(cs.row(t));
+        }
+        let cache = LstmCache {
+            x: x.clone(),
+            gates,
+            c: cs,
+            h: hs.clone(),
+        };
+        (hs, cache)
+    }
+
+    /// BPTT: takes `d h_seq`, accumulates weight grads, returns `dx`.
+    pub fn backward(&mut self, dh_seq: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("forward before backward");
+        let t_len = cache.x.rows();
+        let h = self.hidden;
+        assert_eq!(dh_seq.rows(), t_len);
+        assert_eq!(dh_seq.cols(), h);
+        let mut dx = Matrix::zeros(t_len, cache.x.cols());
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        for t in (0..t_len).rev() {
+            let mut da = vec![0.0; 4 * h];
+            let c_prev: Vec<f64> = if t == 0 {
+                vec![0.0; h]
+            } else {
+                cache.c.row(t - 1).to_vec()
+            };
+            for j in 0..h {
+                let i_g = cache.gates.get(t, j);
+                let f_g = cache.gates.get(t, h + j);
+                let g_g = cache.gates.get(t, 2 * h + j);
+                let o_g = cache.gates.get(t, 3 * h + j);
+                let c_t = cache.c.get(t, j);
+                let tc = c_t.tanh();
+                let dh = dh_seq.get(t, j) + dh_next[j];
+                let d_o = dh * tc;
+                let dc = dh * o_g * (1.0 - tc * tc) + dc_next[j];
+                let d_i = dc * g_g;
+                let d_g = dc * i_g;
+                let d_f = dc * c_prev[j];
+                dc_next[j] = dc * f_g;
+                da[j] = d_i * i_g * (1.0 - i_g);
+                da[h + j] = d_f * f_g * (1.0 - f_g);
+                da[2 * h + j] = d_g * (1.0 - g_g * g_g);
+                da[3 * h + j] = d_o * o_g * (1.0 - o_g);
+            }
+            // Accumulate parameter grads and input/recurrent grads.
+            let xt = cache.x.row(t).to_vec();
+            for (k, &xv) in xt.iter().enumerate() {
+                let wgrow = self.w.grad.row_mut(k);
+                for (gj, &daj) in wgrow.iter_mut().zip(&da) {
+                    *gj += xv * daj;
+                }
+            }
+            if t > 0 {
+                let hprev = cache.h.row(t - 1).to_vec();
+                for (k, &hv) in hprev.iter().enumerate() {
+                    let ugrow = self.u.grad.row_mut(k);
+                    for (gj, &daj) in ugrow.iter_mut().zip(&da) {
+                        *gj += hv * daj;
+                    }
+                }
+            }
+            for (j, &daj) in da.iter().enumerate() {
+                self.b.grad.add_at(0, j, daj);
+            }
+            // dx_t = da Wᵀ ; dh_{t-1} = da Uᵀ
+            for k in 0..cache.x.cols() {
+                let wrow = self.w.value.row(k);
+                let v: f64 = wrow.iter().zip(&da).map(|(w, d)| w * d).sum();
+                dx.set(t, k, v);
+            }
+            for (k, dh) in dh_next.iter_mut().enumerate() {
+                let urow = self.u.value.row(k);
+                *dh = urow.iter().zip(&da).map(|(u, d)| u * d).sum();
+            }
+        }
+        dx
+    }
+
+    /// Parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.w, &mut self.u, &mut self.b]
+    }
+}
+
+/// Bidirectional LSTM: concatenates forward and (time-reversed) backward
+/// hidden states into `(T × 2h)`.
+#[derive(Debug, Clone)]
+pub struct BiLstm {
+    /// Forward-direction LSTM.
+    pub fwd: Lstm,
+    /// Backward-direction LSTM (runs on the reversed sequence).
+    pub bwd: Lstm,
+}
+
+impl BiLstm {
+    /// New BiLSTM; each direction has `hidden` units.
+    pub fn new<R: Rng>(d_in: usize, hidden: usize, rng: &mut R) -> Self {
+        Self {
+            fwd: Lstm::new(d_in, hidden, rng),
+            bwd: Lstm::new(d_in, hidden, rng),
+        }
+    }
+
+    /// Output size (`2 × hidden`).
+    pub fn d_out(&self) -> usize {
+        2 * self.fwd.hidden()
+    }
+
+    fn reverse_rows(x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            out.row_mut(r).copy_from_slice(x.row(x.rows() - 1 - r));
+        }
+        out
+    }
+
+    /// Forward pass returning `(T × 2h)`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let hf = self.fwd.forward(x);
+        let hb_rev = self.bwd.forward(&Self::reverse_rows(x));
+        Matrix::hcat(&hf, &Self::reverse_rows(&hb_rev))
+    }
+
+    /// Forward without caching.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let hf = self.fwd.forward_inference(x);
+        let hb_rev = self.bwd.forward_inference(&Self::reverse_rows(x));
+        Matrix::hcat(&hf, &Self::reverse_rows(&hb_rev))
+    }
+
+    /// Backward: splits the gradient, routes through both directions.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let h = self.fwd.hidden();
+        let (df, db) = dy.hsplit(h);
+        let mut dx = self.fwd.backward(&df);
+        let dxb_rev = self.bwd.backward(&Self::reverse_rows(&db));
+        dx.add_assign(&Self::reverse_rows(&dxb_rev));
+        dx
+    }
+
+    /// Parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut p = self.fwd.params_mut();
+        p.extend(self.bwd.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sq_loss(y: &Matrix) -> f64 {
+        y.data().iter().map(|v| v * v).sum::<f64>() / 2.0
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Lstm::new(3, 4, &mut rng);
+        let x = Matrix::xavier(5, 3, &mut rng);
+        let h1 = l.forward(&x);
+        let h2 = l.forward_inference(&x);
+        assert_eq!((h1.rows(), h1.cols()), (5, 4));
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn lstm_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Matrix::xavier(4, 2, &mut rng);
+        let mut l = Lstm::new(2, 3, &mut rng);
+        let h = l.forward(&x);
+        let dx = l.backward(&h); // d(sq_loss)/dh = h
+        crate::gradcheck::check_param_grads(
+            &mut l,
+            |l| sq_loss(&l.forward_inference(&x)),
+            |l| vec![&mut l.w, &mut l.u, &mut l.b],
+            1e-6,
+            1e-5,
+        );
+        // Input gradient check.
+        let eps = 1e-5;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.add_at(r, c, eps);
+                let mut xm = x.clone();
+                xm.add_at(r, c, -eps);
+                let num = (sq_loss(&l.forward_inference(&xp)) - sq_loss(&l.forward_inference(&xm)))
+                    / (2.0 * eps);
+                assert!(
+                    (num - dx.get(r, c)).abs() < 1e-5,
+                    "dx({r},{c}): {num} vs {}",
+                    dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bilstm_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Matrix::xavier(3, 2, &mut rng);
+        let mut l = BiLstm::new(2, 2, &mut rng);
+        let h = l.forward(&x);
+        assert_eq!(h.cols(), 4);
+        let dx = l.backward(&h);
+        crate::gradcheck::check_param_grads(
+            &mut l,
+            |l| sq_loss(&l.forward_inference(&x)),
+            |l| l.params_mut(),
+            1e-6,
+            1e-5,
+        );
+        let eps = 1e-5;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.add_at(r, c, eps);
+                let mut xm = x.clone();
+                xm.add_at(r, c, -eps);
+                let num = (sq_loss(&l.forward_inference(&xp)) - sq_loss(&l.forward_inference(&xm)))
+                    / (2.0 * eps);
+                assert!((num - dx.get(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn bilstm_backward_direction_sees_future() {
+        // With a backward direction, position 0's output must depend on the
+        // last input; a unidirectional LSTM's position-0 output must not.
+        let mut rng = StdRng::seed_from_u64(3);
+        let bi = BiLstm::new(1, 2, &mut rng);
+        let x1 = Matrix::from_vec(3, 1, vec![1.0, 0.0, 0.0]);
+        let x2 = Matrix::from_vec(3, 1, vec![1.0, 0.0, 5.0]);
+        let h1 = bi.forward_inference(&x1);
+        let h2 = bi.forward_inference(&x2);
+        assert_ne!(h1.row(0), h2.row(0), "bidirectional must see the future");
+        let uni = Lstm::new(1, 2, &mut rng);
+        let u1 = uni.forward_inference(&x1);
+        let u2 = uni.forward_inference(&x2);
+        assert_eq!(u1.row(0), u2.row(0), "unidirectional must be causal");
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = Lstm::new(2, 3, &mut rng);
+        let h = l.forward_inference(&Matrix::zeros(0, 2));
+        assert_eq!(h.rows(), 0);
+    }
+}

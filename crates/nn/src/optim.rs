@@ -1,0 +1,152 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Both operate on a slice of `&mut Parameter` that must be supplied in the
+//! same order on every step (state is positional).
+
+use crate::param::Parameter;
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update and clears gradients.
+    pub fn step(&mut self, params: &mut [&mut Parameter]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.n_weights()]).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "param set changed");
+        for (p, vel) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            assert_eq!(vel.len(), p.n_weights(), "param shape changed");
+            let g = p.grad.data().to_vec();
+            let val = p.value.data_mut();
+            for i in 0..val.len() {
+                vel[i] = self.momentum * vel[i] - self.lr * g[i];
+                val[i] += vel[i];
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with the standard betas (0.9, 0.999).
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one update and clears gradients.
+    pub fn step(&mut self, params: &mut [&mut Parameter]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.n_weights()]).collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "param set changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (pi, p) in params.iter_mut().enumerate() {
+            assert_eq!(self.m[pi].len(), p.n_weights(), "param shape changed");
+            let g = p.grad.data().to_vec();
+            let val = p.value.data_mut();
+            let (m, v) = (&mut self.m[pi], &mut self.v[pi]);
+            for i in 0..val.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                val[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// Minimise f(x) = (x - 3)^2 with each optimizer; both must converge.
+    fn quadratic_descent(mut step: impl FnMut(&mut Parameter, usize)) -> f64 {
+        let mut p = Parameter::from_value(Matrix::from_vec(1, 1, vec![0.0]));
+        for it in 0..500 {
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (x - 3.0));
+            step(&mut p, it);
+        }
+        p.value.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.5);
+        let x = quadratic_descent(|p, _| opt.step(&mut [p]));
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let x = quadratic_descent(|p, _| opt.step(&mut [p]));
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut p = Parameter::from_value(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        p.grad.set(0, 0, 1.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "param set changed")]
+    fn param_count_is_locked_after_first_step() {
+        let mut a = Parameter::zeros(1, 1);
+        let mut b = Parameter::zeros(1, 1);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut a]);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Trainable parameters: a value matrix plus an accumulated gradient.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A trainable weight matrix and its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Parameter {
+    /// Current weights.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+}
+
+impl Parameter {
+    /// Zero-initialised parameter (used for biases).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            value: Matrix::zeros(rows, cols),
+            grad: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Xavier-initialised parameter.
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        Self {
+            value: Matrix::xavier(rows, cols, rng),
+            grad: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Wraps an existing value matrix.
+    pub fn from_value(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar weights.
+    pub fn n_weights(&self) -> usize {
+        self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_track_value() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Parameter::xavier(3, 4, &mut rng);
+        assert_eq!(p.grad.rows(), 3);
+        assert_eq!(p.grad.cols(), 4);
+        assert_eq!(p.n_weights(), 12);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Parameter::zeros(2, 2);
+        p.grad.set(0, 0, 5.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&v| v == 0.0));
+    }
+}

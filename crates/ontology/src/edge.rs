@@ -1,0 +1,50 @@
+//! Edge (relationship) types of the Attention Ontology (paper §2).
+
+/// The three relationship types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// `source isA-parent-of destination`: the destination is an instance of
+    /// the source ("Huawei Cellphones" → "Huawei Mate20 Pro").
+    IsA,
+    /// The destination is involved in the event/topic at the source.
+    Involve,
+    /// The two nodes are highly correlated (stored symmetrically).
+    Correlate,
+}
+
+impl EdgeKind {
+    /// Every kind in stable order.
+    pub const ALL: [EdgeKind; 3] = [EdgeKind::IsA, EdgeKind::Involve, EdgeKind::Correlate];
+
+    /// Stable dense index.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|k| *k == self).expect("kind in ALL")
+    }
+
+    /// Short stable name for serialisation.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::IsA => "isA",
+            EdgeKind::Involve => "involve",
+            EdgeKind::Correlate => "correlate",
+        }
+    }
+
+    /// Parses [`EdgeKind::name`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for k in EdgeKind::ALL {
+            assert_eq!(EdgeKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(EdgeKind::parse("other"), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! Line-oriented text serialisation of the ontology.
+//!
+//! Dependency note (DESIGN.md §1): we deliberately avoid `serde` — the format
+//! is a trivial tab-separated dump (`N` node lines, then `E` edge lines) that
+//! round-trips exactly and diffs cleanly in version control.
+
+use crate::edge::EdgeKind;
+use crate::node::{NodeId, NodeKind, Phrase};
+use crate::ontology::Ontology;
+use std::fmt;
+
+/// Errors from [`load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialises the ontology. Node lines come before edge lines so `load` can
+/// stream in one pass.
+///
+/// ```text
+/// N <id> <kind> <time|-> <support> <surface> [<alias> ...]
+/// E <src> <dst> <kind> <weight>
+/// ```
+///
+/// Surfaces/aliases are tab-separated fields; tokens inside a surface are
+/// space-separated (the canonical [`Phrase::surface`] form).
+pub fn dump(o: &Ontology) -> String {
+    let mut out = String::new();
+    for n in o.nodes() {
+        out.push_str(&format!(
+            "N\t{}\t{}\t{}\t{}\t{}",
+            n.id.0,
+            n.kind.name(),
+            n.time.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            n.support,
+            n.phrase.surface()
+        ));
+        for a in &n.aliases {
+            out.push('\t');
+            out.push_str(&a.surface());
+        }
+        out.push('\n');
+    }
+    for (src, dst, kind, w) in o.edges() {
+        out.push_str(&format!("E\t{}\t{}\t{}\t{}\n", src.0, dst.0, kind.name(), w));
+    }
+    out
+}
+
+/// Parses a [`dump`] back into an ontology. Ids are reassigned densely in
+/// file order, so a dump/load round trip preserves ids.
+pub fn load(text: &str) -> Result<Ontology, ParseError> {
+    let mut o = Ontology::new();
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_owned(),
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split('\t').collect();
+        match fields[0] {
+            "N" => {
+                if fields.len() < 6 {
+                    return Err(err(line_no, "node line needs 6+ fields"));
+                }
+                let kind = NodeKind::parse(fields[2])
+                    .ok_or_else(|| err(line_no, "unknown node kind"))?;
+                let time = if fields[3] == "-" {
+                    None
+                } else {
+                    Some(
+                        fields[3]
+                            .parse::<u32>()
+                            .map_err(|_| err(line_no, "bad time"))?,
+                    )
+                };
+                let support: f64 = fields[4].parse().map_err(|_| err(line_no, "bad support"))?;
+                let id = o.add_node(kind, Phrase::from_text(fields[5]), support);
+                if let Some(t) = time {
+                    o.node_mut(id).time = Some(t);
+                }
+                for alias in &fields[6..] {
+                    o.add_alias(id, Phrase::from_text(alias));
+                }
+            }
+            "E" => {
+                if fields.len() != 5 {
+                    return Err(err(line_no, "edge line needs 5 fields"));
+                }
+                let src = NodeId(fields[1].parse().map_err(|_| err(line_no, "bad src"))?);
+                let dst = NodeId(fields[2].parse().map_err(|_| err(line_no, "bad dst"))?);
+                let kind = EdgeKind::parse(fields[3])
+                    .ok_or_else(|| err(line_no, "unknown edge kind"))?;
+                let w: f64 = fields[4].parse().map_err(|_| err(line_no, "bad weight"))?;
+                let res = match kind {
+                    EdgeKind::IsA => o.add_is_a(src, dst, w),
+                    EdgeKind::Involve => o.add_involve(src, dst, w),
+                    EdgeKind::Correlate => o.add_correlate(src, dst, w),
+                };
+                res.map_err(|e| err(line_no, &e.to_string()))?;
+            }
+            other => return Err(err(line_no, &format!("unknown record type {other:?}"))),
+        }
+    }
+    Ok(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn sample() -> Ontology {
+        let mut o = Ontology::new();
+        let cat = o.add_node(NodeKind::Category, Phrase::from_text("cars"), 5.0);
+        let con = o.add_node(NodeKind::Concept, Phrase::from_text("economy cars"), 3.0);
+        let ent = o.add_node(NodeKind::Entity, Phrase::from_text("honda civic"), 2.0);
+        let ev = o.add_event(Phrase::from_text("honda recalls civic"), 1.0, 17);
+        o.add_alias(con, Phrase::from_text("fuel efficient cars"));
+        o.add_is_a(cat, con, 1.0).unwrap();
+        o.add_is_a(con, ent, 0.8).unwrap();
+        o.add_involve(ev, ent, 1.0).unwrap();
+        o.add_correlate(ent, cat, 0.5).unwrap();
+        o
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let o = sample();
+        let text = dump(&o);
+        let o2 = load(&text).unwrap();
+        assert_eq!(o.n_nodes(), o2.n_nodes());
+        assert_eq!(o.stats(), o2.stats());
+        // Node payloads survive.
+        for (a, b) in o.nodes().iter().zip(o2.nodes()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.phrase, b.phrase);
+            assert_eq!(a.aliases, b.aliases);
+            assert_eq!(a.time, b.time);
+            assert!((a.support - b.support).abs() < 1e-12);
+        }
+        // Double round trip is identical text.
+        assert_eq!(text, dump(&o2));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(load("X\tfoo").is_err());
+        assert!(load("N\t0\tnonsense\t-\t1\tfoo").is_err());
+        assert!(load("E\t0\t1\tisA\tnot_a_number").is_err());
+        let err = load("N\t0").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let o = sample();
+        let mut text = dump(&o);
+        text.push('\n');
+        text.insert(0, '\n');
+        assert!(load(&text).is_ok());
+    }
+}

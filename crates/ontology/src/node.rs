@@ -1,0 +1,194 @@
+//! Node types of the Attention Ontology (paper §2).
+
+/// Dense node identifier within an [`crate::Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The five attention granularities of paper §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeKind {
+    /// Broad pre-defined field ("technology", "sports"); 3-level hierarchy.
+    Category,
+    /// Group of entities sharing attributes ("fuel-efficient cars").
+    Concept,
+    /// A specific instance ("Honda Civic").
+    Entity,
+    /// Collection of events sharing attributes ("cellphone explosion").
+    Topic,
+    /// Real-world incident with entities, trigger, time, location.
+    Event,
+}
+
+impl NodeKind {
+    /// Every kind in stable order.
+    pub const ALL: [NodeKind; 5] = [
+        NodeKind::Category,
+        NodeKind::Concept,
+        NodeKind::Entity,
+        NodeKind::Topic,
+        NodeKind::Event,
+    ];
+
+    /// Stable dense index.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|k| *k == self).expect("kind in ALL")
+    }
+
+    /// Short stable name used by the text serialisation.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeKind::Category => "category",
+            NodeKind::Concept => "concept",
+            NodeKind::Entity => "entity",
+            NodeKind::Topic => "topic",
+            NodeKind::Event => "event",
+        }
+    }
+
+    /// Parses [`NodeKind::name`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+/// A (possibly multiword) attention phrase. Tokens are stored separately —
+/// GIANT phrases are token lists mined from queries/titles, and suffix/
+/// pattern discovery works on tokens, not characters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Phrase {
+    /// Lowercased tokens in phrase order.
+    pub tokens: Vec<String>,
+}
+
+impl Phrase {
+    /// Builds from tokens.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(tokens: I) -> Self {
+        Self {
+            tokens: tokens.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Tokenizes a surface string.
+    pub fn from_text(text: &str) -> Self {
+        Self {
+            tokens: giant_text::tokenize(text),
+        }
+    }
+
+    /// Canonical surface form (tokens joined by single spaces).
+    pub fn surface(&self) -> String {
+        self.tokens.join(" ")
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when there are no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// True when `suffix` is a token-level suffix of `self` (and shorter).
+    pub fn has_proper_suffix(&self, suffix: &Phrase) -> bool {
+        suffix.len() < self.len() && self.tokens.ends_with(&suffix.tokens)
+    }
+}
+
+/// Token-level role inside an event/topic phrase (paper §3.2: "4-class
+/// (entity, location, trigger, other) node classification").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventRole {
+    /// Anything that is not a key element.
+    Other,
+    /// Token of a participating entity.
+    Entity,
+    /// The trigger verb.
+    Trigger,
+    /// Token of the event location.
+    Location,
+}
+
+impl EventRole {
+    /// Every role in stable order (class ids for the 4-class task).
+    pub const ALL: [EventRole; 4] = [
+        EventRole::Other,
+        EventRole::Entity,
+        EventRole::Trigger,
+        EventRole::Location,
+    ];
+
+    /// Stable dense index (class id).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|r| *r == self).expect("role in ALL")
+    }
+
+    /// Role from a class id.
+    pub fn from_index(i: usize) -> EventRole {
+        Self::ALL[i]
+    }
+}
+
+/// One node of the Attention Ontology.
+#[derive(Debug, Clone)]
+pub struct AttentionNode {
+    /// The node's id.
+    pub id: NodeId,
+    /// Granularity.
+    pub kind: NodeKind,
+    /// Canonical phrase.
+    pub phrase: Phrase,
+    /// Merged near-duplicate phrases (attention-phrase normalization, §3.1).
+    pub aliases: Vec<Phrase>,
+    /// Mining support (click mass / frequency); used for ranking.
+    pub support: f64,
+    /// Event day index (events only).
+    pub time: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trip() {
+        for k in NodeKind::ALL {
+            assert_eq!(NodeKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(NodeKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn kind_indices_dense() {
+        for (i, k) in NodeKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn phrase_surface_and_suffix() {
+        let p = Phrase::from_text("Hayao Miyazaki animated film");
+        assert_eq!(p.surface(), "hayao miyazaki animated film");
+        assert_eq!(p.len(), 4);
+        let suffix = Phrase::new(["animated", "film"]);
+        assert!(p.has_proper_suffix(&suffix));
+        assert!(!p.has_proper_suffix(&p)); // not proper
+        assert!(!p.has_proper_suffix(&Phrase::new(["miyazaki", "film"])));
+    }
+
+    #[test]
+    fn empty_phrase() {
+        let p = Phrase::from_text("");
+        assert!(p.is_empty());
+        assert_eq!(p.surface(), "");
+    }
+}

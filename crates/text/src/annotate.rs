@@ -1,0 +1,150 @@
+//! The annotation front-end: tokenize + POS + NER + stop flags + dependencies.
+//!
+//! [`Annotator`] bundles the substrate components into the single entry point
+//! the mining pipeline uses for every query and title.
+
+use crate::dep::{DepArc, DependencyParser};
+use crate::ner::{Gazetteer, NerTag};
+use crate::pos::{Lexicon, PosTag};
+use crate::stopwords::StopWords;
+
+/// One annotated token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lowercased surface form.
+    pub text: String,
+    /// Part-of-speech tag.
+    pub pos: PosTag,
+    /// Named-entity tag.
+    pub ner: NerTag,
+    /// True when the token is a stop word or punctuation.
+    pub is_stop: bool,
+}
+
+/// A fully annotated text passage.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedText {
+    /// Annotated tokens in order.
+    pub tokens: Vec<Token>,
+    /// Dependency arcs over the tokens.
+    pub arcs: Vec<DepArc>,
+}
+
+impl AnnotatedText {
+    /// The token surface forms.
+    pub fn texts(&self) -> Vec<&str> {
+        self.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when there are no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// Bundles lexicon POS tagging, gazetteer NER, stop words and dependency
+/// parsing behind one call.
+#[derive(Debug, Clone)]
+pub struct Annotator {
+    /// POS dictionary.
+    pub lexicon: Lexicon,
+    /// Entity dictionary.
+    pub gazetteer: Gazetteer,
+    /// Stop-word list.
+    pub stopwords: StopWords,
+    parser: DependencyParser,
+}
+
+impl Default for Annotator {
+    fn default() -> Self {
+        Self::new(
+            Lexicon::with_closed_class(),
+            Gazetteer::new(),
+            StopWords::standard(),
+        )
+    }
+}
+
+impl Annotator {
+    /// Creates an annotator from its components.
+    pub fn new(lexicon: Lexicon, gazetteer: Gazetteer, stopwords: StopWords) -> Self {
+        Self {
+            lexicon,
+            gazetteer,
+            stopwords,
+            parser: DependencyParser::new(),
+        }
+    }
+
+    /// Annotates a raw text passage.
+    pub fn annotate(&self, text: &str) -> AnnotatedText {
+        let toks = crate::tokenize::tokenize(text);
+        self.annotate_tokens(toks)
+    }
+
+    /// Annotates pre-tokenized (lowercased) tokens.
+    pub fn annotate_tokens(&self, toks: Vec<String>) -> AnnotatedText {
+        let pos = self.lexicon.tag_all(&toks);
+        let ner = self.gazetteer.tag_all(&toks);
+        let arcs = self.parser.parse(&pos);
+        let tokens = toks
+            .into_iter()
+            .zip(pos)
+            .zip(ner)
+            .map(|((text, pos), ner)| {
+                let is_stop = self.stopwords.is_stop(&text);
+                Token {
+                    text,
+                    pos,
+                    ner,
+                    is_stop,
+                }
+            })
+            .collect();
+        AnnotatedText { tokens, arcs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_annotation() {
+        let mut lx = Lexicon::with_closed_class();
+        lx.insert("films", PosTag::Noun);
+        lx.insert("animated", PosTag::Adjective);
+        let mut gz = Gazetteer::new();
+        gz.insert("hayao miyazaki", NerTag::Person);
+        let ann = Annotator::new(lx, gz, StopWords::standard());
+        let out = ann.annotate("What are the Hayao Miyazaki animated films?");
+        let texts = out.texts();
+        assert_eq!(
+            texts,
+            vec!["what", "are", "the", "hayao", "miyazaki", "animated", "films", "?"]
+        );
+        assert!(out.tokens[0].is_stop);
+        assert_eq!(out.tokens[3].ner, NerTag::Person);
+        assert_eq!(out.tokens[4].ner, NerTag::Person);
+        assert_eq!(out.tokens[5].pos, PosTag::Adjective);
+        assert!(!out.tokens[6].is_stop);
+        // Dependency arcs exist and reference valid indices.
+        assert!(!out.arcs.is_empty());
+        for a in &out.arcs {
+            assert!(a.head < out.len() && a.dep < out.len());
+        }
+    }
+
+    #[test]
+    fn empty_text() {
+        let ann = Annotator::default();
+        let out = ann.annotate("");
+        assert!(out.is_empty());
+        assert!(out.arcs.is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! Deterministic rule-based dependency parsing.
+//!
+//! The Query-Title Interaction Graph (paper §3.1, Figure 3) connects
+//! non-adjacent tokens with *typed syntactic dependency edges* such as
+//! `compound:nn`, `amod` and `dobj`. The production system used a statistical
+//! parser; here a deterministic head-finding parser supplies the same edge
+//! types. Because the R-GCN learns relation-specific weights from whatever
+//! annotation it is given, consistency matters more than linguistic
+//! perfection — and a rule parser is perfectly consistent between training
+//! and inference.
+
+use crate::pos::PosTag;
+
+/// Dependency relation labels emitted by [`DependencyParser`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepRel {
+    /// Noun compound (`compound:nn`): "miyazaki film".
+    Compound,
+    /// Adjectival modifier: "famous film".
+    Amod,
+    /// Adverbial modifier: "officially released".
+    Advmod,
+    /// Direct object of the clause's verb.
+    Dobj,
+    /// Nominal subject of the clause's verb.
+    Nsubj,
+    /// Determiner: "the film".
+    Det,
+    /// Numeric modifier: "5 films".
+    Num,
+    /// Preposition attached to its governor.
+    Prep,
+    /// Object of a preposition.
+    Pobj,
+    /// Conjoined verb or coordinator.
+    Conj,
+    /// Punctuation.
+    Punct,
+    /// Fallback attachment.
+    Dep,
+}
+
+impl DepRel {
+    /// Every relation in stable order (used for R-GCN relation indexing).
+    pub const ALL: [DepRel; 12] = [
+        DepRel::Compound,
+        DepRel::Amod,
+        DepRel::Advmod,
+        DepRel::Dobj,
+        DepRel::Nsubj,
+        DepRel::Det,
+        DepRel::Num,
+        DepRel::Prep,
+        DepRel::Pobj,
+        DepRel::Conj,
+        DepRel::Punct,
+        DepRel::Dep,
+    ];
+
+    /// Stable dense index of the relation.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|r| *r == self).expect("rel in ALL")
+    }
+}
+
+/// One dependency arc: `head --rel--> dependent` (indices into the token
+/// sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepArc {
+    /// Index of the governing token.
+    pub head: usize,
+    /// Index of the dependent token.
+    pub dep: usize,
+    /// Typed relation.
+    pub rel: DepRel,
+}
+
+/// Rule-based dependency parser over POS-tagged tokens.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DependencyParser;
+
+impl DependencyParser {
+    /// Creates the parser (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Parses a POS-tagged sentence into arcs. Every token except the root
+    /// receives exactly one head; the root is the first main verb, else the
+    /// last nominal token, else token 0.
+    pub fn parse(&self, tags: &[PosTag]) -> Vec<DepArc> {
+        let n = tags.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let root = Self::find_root(tags);
+        let mut head: Vec<Option<(usize, DepRel)>> = vec![None; n];
+
+        // 1. Noun phrases: maximal runs of NP-internal tags; internal tokens
+        //    attach to the NP head (the last nominal in the run).
+        let mut np_head_of = vec![usize::MAX; n]; // NP head index per token, if in an NP
+        let mut i = 0;
+        while i < n {
+            if Self::np_internal(tags[i]) {
+                let mut j = i;
+                while j + 1 < n && Self::np_internal(tags[j + 1]) {
+                    j += 1;
+                }
+                let h = (i..=j)
+                    .rev()
+                    .find(|&k| tags[k].is_nominal())
+                    .unwrap_or(j);
+                for k in i..=j {
+                    np_head_of[k] = h;
+                    if k == h {
+                        continue;
+                    }
+                    let rel = match tags[k] {
+                        PosTag::Determiner => DepRel::Det,
+                        PosTag::Numeral => DepRel::Num,
+                        PosTag::Adjective => DepRel::Amod,
+                        t if t.is_nominal() => DepRel::Compound,
+                        _ => DepRel::Dep,
+                    };
+                    head[k] = Some((h, rel));
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Attach NP heads: preposition governs the following NP head
+        //    (pobj); otherwise subject/object relative to the root verb.
+        for h in 0..n {
+            if np_head_of[h] != h || h == root {
+                continue;
+            }
+            // Find the nearest non-punct token before the NP start.
+            let np_start = (0..=h).rev().take_while(|&k| np_head_of[k] == h).last().unwrap_or(h);
+            let prev = (0..np_start).rev().find(|&k| tags[k] != PosTag::Punct);
+            if let Some(p) = prev {
+                if tags[p] == PosTag::Preposition {
+                    head[h] = Some((p, DepRel::Pobj));
+                    continue;
+                }
+            }
+            if tags[root] == PosTag::Verb {
+                let rel = if h < root { DepRel::Nsubj } else { DepRel::Dobj };
+                head[h] = Some((root, rel));
+            } else {
+                head[h] = Some((root, DepRel::Dep));
+            }
+        }
+
+        // 3. Remaining tokens.
+        for k in 0..n {
+            if k == root || head[k].is_some() {
+                continue;
+            }
+            let attach = match tags[k] {
+                PosTag::Punct => (root, DepRel::Punct),
+                PosTag::Adverb => (Self::nearest_verb(tags, k).unwrap_or(root), DepRel::Advmod),
+                PosTag::Preposition => (
+                    Self::nearest_governor_left(tags, k).unwrap_or(root),
+                    DepRel::Prep,
+                ),
+                PosTag::Verb => (root, DepRel::Conj),
+                PosTag::Conjunction => (root, DepRel::Conj),
+                _ => (root, DepRel::Dep),
+            };
+            if attach.0 != k {
+                head[k] = Some(attach);
+            } else {
+                head[k] = Some((root, DepRel::Dep));
+            }
+        }
+
+        head.iter()
+            .enumerate()
+            .filter(|(k, _)| *k != root)
+            .filter_map(|(k, h)| h.map(|(hd, rel)| DepArc { head: hd, dep: k, rel }))
+            .collect()
+    }
+
+    fn np_internal(tag: PosTag) -> bool {
+        matches!(
+            tag,
+            PosTag::Determiner | PosTag::Numeral | PosTag::Adjective
+        ) || tag.is_nominal()
+    }
+
+    fn find_root(tags: &[PosTag]) -> usize {
+        if let Some(v) = tags.iter().position(|&t| t == PosTag::Verb) {
+            return v;
+        }
+        if let Some(nn) = (0..tags.len()).rev().find(|&k| tags[k].is_nominal()) {
+            return nn;
+        }
+        0
+    }
+
+    fn nearest_verb(tags: &[PosTag], k: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, &t) in tags.iter().enumerate() {
+            if t == PosTag::Verb {
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        if i.abs_diff(k) < b.abs_diff(k) {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn nearest_governor_left(tags: &[PosTag], k: usize) -> Option<usize> {
+        (0..k)
+            .rev()
+            .find(|&i| tags[i] == PosTag::Verb || tags[i].is_nominal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::Lexicon;
+
+    fn parse(sentence: &str, lx: &Lexicon) -> (Vec<String>, Vec<DepArc>) {
+        let toks = crate::tokenize::tokenize(sentence);
+        let tags = lx.tag_all(&toks);
+        let arcs = DependencyParser::new().parse(&tags);
+        (toks, arcs)
+    }
+
+    fn lexicon() -> Lexicon {
+        let mut lx = Lexicon::with_closed_class();
+        for w in ["miyazaki", "film", "dog", "bone", "civic", "car"] {
+            lx.insert(w, PosTag::Noun);
+        }
+        lx.insert("famous", PosTag::Adjective);
+        lx.insert("eats", PosTag::Verb);
+        lx
+    }
+
+    fn has_arc(arcs: &[DepArc], toks: &[String], head: &str, dep: &str, rel: DepRel) -> bool {
+        arcs.iter().any(|a| {
+            toks[a.head] == head && toks[a.dep] == dep && a.rel == rel
+        })
+    }
+
+    #[test]
+    fn compound_and_amod() {
+        let lx = lexicon();
+        let (toks, arcs) = parse("the famous miyazaki film", &lx);
+        assert!(has_arc(&arcs, &toks, "film", "the", DepRel::Det));
+        assert!(has_arc(&arcs, &toks, "film", "famous", DepRel::Amod));
+        assert!(has_arc(&arcs, &toks, "film", "miyazaki", DepRel::Compound));
+    }
+
+    #[test]
+    fn subject_and_object() {
+        let lx = lexicon();
+        let (toks, arcs) = parse("the dog eats a bone", &lx);
+        assert!(has_arc(&arcs, &toks, "eats", "dog", DepRel::Nsubj));
+        assert!(has_arc(&arcs, &toks, "eats", "bone", DepRel::Dobj));
+    }
+
+    #[test]
+    fn every_non_root_token_has_one_head() {
+        let lx = lexicon();
+        let (toks, arcs) = parse("the famous dog eats a bone in 2018 .", &lx);
+        // n tokens, 1 root => n-1 arcs, all dependents distinct.
+        assert_eq!(arcs.len(), toks.len() - 1);
+        let mut deps: Vec<usize> = arcs.iter().map(|a| a.dep).collect();
+        deps.sort_unstable();
+        deps.dedup();
+        assert_eq!(deps.len(), toks.len() - 1);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let lx = lexicon();
+        let (_, arcs) = parse("famous famous famous", &lx);
+        assert!(arcs.iter().all(|a| a.head != a.dep));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(DependencyParser::new().parse(&[]).is_empty());
+    }
+
+    #[test]
+    fn rel_indices_dense() {
+        for (i, r) in DepRel::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

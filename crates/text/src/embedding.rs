@@ -1,0 +1,353 @@
+//! Skip-gram-with-negative-sampling (SGNS) word embeddings.
+//!
+//! Substitution note (DESIGN.md S3): the paper encodes event phrases with
+//! BERT (eq. 9) and triggers with directional skip-gram vectors (eq. 10).
+//! Both serve purely as *similarity oracles*. We train classic SGNS on the
+//! synthetic corpus, which provides the same property — words from the same
+//! topic/context end up close — while staying dependency-free and exactly
+//! reproducible from a seed.
+
+use crate::vocab::TokenId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// SGNS training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Symmetric context window size.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 10%).
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            window: 3,
+            negative: 4,
+            epochs: 5,
+            lr: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// Trained word vectors, indexed by [`TokenId`].
+#[derive(Debug, Clone)]
+pub struct WordEmbeddings {
+    dim: usize,
+    /// Input ("center") vectors, row per token; these are the embeddings.
+    vectors: Vec<f32>,
+    vocab_size: usize,
+}
+
+impl WordEmbeddings {
+    /// Trains SGNS on sentences of token ids drawn from a vocabulary of
+    /// `vocab_size` tokens.
+    pub fn train(sentences: &[Vec<TokenId>], vocab_size: usize, cfg: &SgnsConfig) -> Self {
+        let dim = cfg.dim;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scale = 0.5 / dim as f32;
+        let mut input: Vec<f32> = (0..vocab_size * dim)
+            .map(|_| (rng.random::<f32>() - 0.5) * scale * 2.0)
+            .collect();
+        let mut output = vec![0.0f32; vocab_size * dim];
+
+        // Unigram^0.75 negative-sampling table.
+        let mut counts = vec![0u64; vocab_size];
+        for s in sentences {
+            for &t in s {
+                if t.index() < vocab_size {
+                    counts[t.index()] += 1;
+                }
+            }
+        }
+        let table = build_sampling_table(&counts);
+        if table.is_empty() {
+            return Self {
+                dim,
+                vectors: input,
+                vocab_size,
+            };
+        }
+
+        let total_steps = (cfg.epochs * sentences.len()).max(1);
+        let mut step = 0usize;
+        let mut grad = vec![0.0f32; dim];
+        for epoch in 0..cfg.epochs {
+            let _ = epoch;
+            for sent in sentences {
+                step += 1;
+                let progress = step as f32 / total_steps as f32;
+                let lr = cfg.lr * (1.0 - 0.9 * progress);
+                for (ci, &center) in sent.iter().enumerate() {
+                    let c = center.index();
+                    if c >= vocab_size {
+                        continue;
+                    }
+                    let lo = ci.saturating_sub(cfg.window);
+                    let hi = (ci + cfg.window + 1).min(sent.len());
+                    for (wi, &ctx) in sent.iter().enumerate().take(hi).skip(lo) {
+                        if wi == ci || ctx.index() >= vocab_size {
+                            continue;
+                        }
+                        grad.iter_mut().for_each(|g| *g = 0.0);
+                        // Positive pair.
+                        sgd_pair(
+                            &mut input[c * dim..(c + 1) * dim],
+                            &mut output[ctx.index() * dim..(ctx.index() + 1) * dim],
+                            1.0,
+                            lr,
+                            &mut grad,
+                        );
+                        // Negative samples.
+                        for _ in 0..cfg.negative {
+                            let neg = table[rng.random_range(0..table.len())];
+                            if neg == ctx.index() {
+                                continue;
+                            }
+                            sgd_pair(
+                                &mut input[c * dim..(c + 1) * dim],
+                                &mut output[neg * dim..(neg + 1) * dim],
+                                0.0,
+                                lr,
+                                &mut grad,
+                            );
+                        }
+                        let row = &mut input[c * dim..(c + 1) * dim];
+                        for (v, g) in row.iter_mut().zip(&grad) {
+                            *v += g;
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            dim,
+            vectors: input,
+            vocab_size,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The vector for a token (zeros for out-of-range ids).
+    pub fn vector(&self, id: TokenId) -> &[f32] {
+        let i = id.index();
+        if i < self.vocab_size {
+            &self.vectors[i * self.dim..(i + 1) * self.dim]
+        } else {
+            &[]
+        }
+    }
+
+    /// Cosine similarity between two token vectors.
+    pub fn cosine(&self, a: TokenId, b: TokenId) -> f32 {
+        cosine(self.vector(a), self.vector(b))
+    }
+}
+
+/// Accumulates the SGD update for one (center, context, label) triple.
+/// `grad` receives the center-vector gradient; the context row is updated in
+/// place (word2vec's usual asymmetric update order).
+fn sgd_pair(center: &mut [f32], context: &mut [f32], label: f32, lr: f32, grad: &mut [f32]) {
+    let dot: f32 = center.iter().zip(context.iter()).map(|(a, b)| a * b).sum();
+    let pred = 1.0 / (1.0 + (-dot).exp());
+    let g = (label - pred) * lr;
+    for i in 0..center.len() {
+        grad[i] += g * context[i];
+        context[i] += g * center[i];
+    }
+}
+
+fn build_sampling_table(counts: &[u64]) -> Vec<usize> {
+    const TABLE_SIZE: usize = 1 << 14;
+    let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = weights.iter().sum();
+    if total == 0.0 {
+        return Vec::new();
+    }
+    let mut table = Vec::with_capacity(TABLE_SIZE);
+    for (i, w) in weights.iter().enumerate() {
+        let n = ((w / total) * TABLE_SIZE as f64).round() as usize;
+        table.extend(std::iter::repeat_n(i, n.max(usize::from(*w > 0.0))));
+    }
+    table
+}
+
+/// Cosine similarity of two dense vectors (0 when either is empty/zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    if a.is_empty() || b.is_empty() || a.len() != b.len() {
+        return 0.0;
+    }
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Mean-pools word vectors into a phrase vector (the BERT substitute).
+#[derive(Debug, Clone)]
+pub struct PhraseEncoder {
+    emb: WordEmbeddings,
+}
+
+impl PhraseEncoder {
+    /// Wraps trained embeddings.
+    pub fn new(emb: WordEmbeddings) -> Self {
+        Self { emb }
+    }
+
+    /// Borrow the underlying word embeddings.
+    pub fn embeddings(&self) -> &WordEmbeddings {
+        &self.emb
+    }
+
+    /// Mean of the known token vectors, L2-normalized; zeros when no token is
+    /// known.
+    pub fn encode(&self, ids: &[TokenId]) -> Vec<f32> {
+        let dim = self.emb.dim();
+        let mut acc = vec![0.0f32; dim];
+        let mut n = 0usize;
+        for &id in ids {
+            let v = self.emb.vector(id);
+            if v.is_empty() {
+                continue;
+            }
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+            n += 1;
+        }
+        if n == 0 {
+            return acc;
+        }
+        let norm: f32 = acc.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for a in acc.iter_mut() {
+                *a /= norm;
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity of two phrases.
+    pub fn phrase_similarity(&self, a: &[TokenId], b: &[TokenId]) -> f32 {
+        cosine(&self.encode(a), &self.encode(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    /// Corpus with two cleanly separated topics; SGNS must place same-topic
+    /// words closer than cross-topic words.
+    fn topic_corpus() -> (Vocab, Vec<Vec<TokenId>>) {
+        let mut v = Vocab::new();
+        let mut sents = Vec::new();
+        let topic_a = ["trade", "war", "tariffs", "imports", "exports"];
+        let topic_b = ["concert", "singer", "album", "tour", "stage"];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let topic = if rng.random::<bool>() { &topic_a } else { &topic_b };
+            let mut s = Vec::new();
+            for _ in 0..6 {
+                let w = topic[rng.random_range(0..topic.len())];
+                s.push(v.intern(w));
+            }
+            sents.push(s);
+        }
+        (v, sents)
+    }
+
+    #[test]
+    fn sgns_separates_topics() {
+        let (v, sents) = topic_corpus();
+        let emb = WordEmbeddings::train(&sents, v.len(), &SgnsConfig::default());
+        let trade = v.get("trade").unwrap();
+        let tariffs = v.get("tariffs").unwrap();
+        let concert = v.get("concert").unwrap();
+        let tour = v.get("tour").unwrap();
+        assert!(
+            emb.cosine(trade, tariffs) > emb.cosine(trade, concert),
+            "same-topic words should be closer: {} vs {}",
+            emb.cosine(trade, tariffs),
+            emb.cosine(trade, concert)
+        );
+        assert!(emb.cosine(concert, tour) > emb.cosine(tariffs, tour));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (v, sents) = topic_corpus();
+        let cfg = SgnsConfig {
+            epochs: 2,
+            ..SgnsConfig::default()
+        };
+        let e1 = WordEmbeddings::train(&sents, v.len(), &cfg);
+        let e2 = WordEmbeddings::train(&sents, v.len(), &cfg);
+        let a = v.get("trade").unwrap();
+        assert_eq!(e1.vector(a), e2.vector(a));
+    }
+
+    #[test]
+    fn phrase_encoder_mean_pooling() {
+        let (v, sents) = topic_corpus();
+        let emb = WordEmbeddings::train(&sents, v.len(), &SgnsConfig::default());
+        let enc = PhraseEncoder::new(emb);
+        let p1 = [v.get("trade").unwrap(), v.get("war").unwrap()];
+        let p2 = [v.get("tariffs").unwrap(), v.get("imports").unwrap()];
+        let p3 = [v.get("concert").unwrap(), v.get("tour").unwrap()];
+        assert!(enc.phrase_similarity(&p1, &p2) > enc.phrase_similarity(&p1, &p3));
+        // Encoded phrases are unit length (or zero).
+        let e = enc.encode(&p1);
+        let norm: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unknown_tokens_encode_to_zero() {
+        let (v, sents) = topic_corpus();
+        let emb = WordEmbeddings::train(&sents, v.len(), &SgnsConfig::default());
+        let enc = PhraseEncoder::new(emb);
+        let e = enc.encode(&[TokenId(9999)]);
+        assert!(e.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cosine_edge_cases() {
+        assert_eq!(cosine(&[], &[]), 0.0);
+        assert_eq!(cosine(&[1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_corpus_trains_without_panic() {
+        let emb = WordEmbeddings::train(&[], 4, &SgnsConfig::default());
+        assert_eq!(emb.vocab_size(), 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Named-entity tagging via gazetteer with longest-match multiword lookup.
+//!
+//! The Attention Ontology's event nodes carry entity/time/location attributes,
+//! and QTIG node features include each token's NER tag. The synthetic world
+//! knows its entities, so a gazetteer (dictionary of surface forms → tag) is a
+//! faithful and deterministic stand-in for a learned NER model. Time
+//! expressions (years, month names, dates) are recognised by rule.
+
+use std::collections::HashMap;
+
+/// Named-entity tag set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NerTag {
+    /// Not an entity.
+    None,
+    /// A person.
+    Person,
+    /// An organization / company / team.
+    Organization,
+    /// A geographic location.
+    Location,
+    /// A product (cars, phones, games…).
+    Product,
+    /// A creative work (film, series, song…).
+    Work,
+    /// A time expression.
+    Time,
+}
+
+impl NerTag {
+    /// Every tag in stable order.
+    pub const ALL: [NerTag; 7] = [
+        NerTag::None,
+        NerTag::Person,
+        NerTag::Organization,
+        NerTag::Location,
+        NerTag::Product,
+        NerTag::Work,
+        NerTag::Time,
+    ];
+
+    /// Stable dense index.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|t| *t == self).expect("tag in ALL")
+    }
+
+    /// True for any tag other than [`NerTag::None`].
+    pub fn is_entity(self) -> bool {
+        self != NerTag::None
+    }
+}
+
+const MONTHS: &[&str] = &[
+    "january", "february", "march", "april", "may", "june", "july", "august",
+    "september", "october", "november", "december",
+];
+
+/// Dictionary of entity surface forms, with greedy longest-match tagging.
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    /// Multiword entries keyed by their first token; values are
+    /// `(remaining tokens, tag)` sorted by decreasing length at build time.
+    entries: HashMap<String, Vec<(Vec<String>, NerTag)>>,
+    len: usize,
+}
+
+impl Gazetteer {
+    /// An empty gazetteer (only time rules will fire).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a (possibly multiword) surface form.
+    pub fn insert(&mut self, surface: &str, tag: NerTag) {
+        let toks = crate::tokenize::tokenize(surface);
+        if toks.is_empty() {
+            return;
+        }
+        let first = toks[0].clone();
+        let rest: Vec<String> = toks[1..].to_vec();
+        let bucket = self.entries.entry(first).or_default();
+        bucket.push((rest, tag));
+        // Longest continuation first so lookup is greedy.
+        bucket.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        self.len += 1;
+    }
+
+    /// Number of registered surface forms.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn time_rule(tok: &str) -> bool {
+        (tok.len() == 4 && tok.chars().all(|c| c.is_ascii_digit()))
+            || MONTHS.contains(&tok)
+            || tok == "today"
+            || tok == "yesterday"
+            || tok == "tomorrow"
+    }
+
+    /// Tags a lowercased token sequence. Multiword entities receive the same
+    /// tag on every covered token (the QTIG works per token, not per span).
+    pub fn tag_all(&self, tokens: &[String]) -> Vec<NerTag> {
+        let mut tags = vec![NerTag::None; tokens.len()];
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = tokens[i].as_str();
+            let mut matched = 0usize;
+            if let Some(bucket) = self.entries.get(tok) {
+                for (rest, tag) in bucket {
+                    let end = i + 1 + rest.len();
+                    if end <= tokens.len()
+                        && rest.iter().zip(&tokens[i + 1..end]).all(|(a, b)| a == b)
+                    {
+                        for t in tags.iter_mut().take(end).skip(i) {
+                            *t = *tag;
+                        }
+                        matched = 1 + rest.len();
+                        break;
+                    }
+                }
+            }
+            if matched == 0 {
+                if Self::time_rule(tok) {
+                    tags[i] = NerTag::Time;
+                }
+                i += 1;
+            } else {
+                i += matched;
+            }
+        }
+        tags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize::tokenize(s)
+    }
+
+    #[test]
+    fn tag_indices_are_dense() {
+        for (i, t) in NerTag::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn single_word_entity() {
+        let mut g = Gazetteer::new();
+        g.insert("honda", NerTag::Organization);
+        let tags = g.tag_all(&toks("the honda sedan"));
+        assert_eq!(tags, vec![NerTag::None, NerTag::Organization, NerTag::None]);
+    }
+
+    #[test]
+    fn multiword_longest_match_wins() {
+        let mut g = Gazetteer::new();
+        g.insert("iron", NerTag::Product);
+        g.insert("iron man", NerTag::Work);
+        let tags = g.tag_all(&toks("iron man returns"));
+        assert_eq!(tags, vec![NerTag::Work, NerTag::Work, NerTag::None]);
+        let tags = g.tag_all(&toks("an iron gate"));
+        assert_eq!(tags[1], NerTag::Product);
+    }
+
+    #[test]
+    fn time_rules() {
+        let g = Gazetteer::new();
+        let tags = g.tag_all(&toks("apple event in september 2018"));
+        assert_eq!(tags[3], NerTag::Time);
+        assert_eq!(tags[4], NerTag::Time);
+        assert_eq!(tags[0], NerTag::None);
+    }
+
+    #[test]
+    fn overlapping_entities_do_not_panic() {
+        let mut g = Gazetteer::new();
+        g.insert("new york", NerTag::Location);
+        g.insert("york university", NerTag::Organization);
+        // Greedy left-to-right: "new york" matched first, then "university" alone.
+        let tags = g.tag_all(&toks("new york university"));
+        assert_eq!(tags[0], NerTag::Location);
+        assert_eq!(tags[1], NerTag::Location);
+        assert_eq!(tags[2], NerTag::None);
+    }
+
+    #[test]
+    fn is_entity_flag() {
+        assert!(!NerTag::None.is_entity());
+        assert!(NerTag::Person.is_entity());
+    }
+}

@@ -1,0 +1,337 @@
+//! Part-of-speech tagging.
+//!
+//! Two taggers are provided:
+//!
+//! * [`Lexicon`] — a deterministic dictionary tagger with suffix heuristics
+//!   for unknown words. The synthetic world ships a complete lexicon, so this
+//!   is the default annotator used by the pipeline.
+//! * [`HmmTagger`] — a first-order hidden Markov model trained from a tagged
+//!   corpus and decoded with Viterbi. It exists so the substrate exercises a
+//!   *trainable* tagger exactly like the production stack, and to double-check
+//!   the lexicon tags on held-out text (tested against the lexicon in unit
+//!   tests).
+
+use std::collections::HashMap;
+
+/// Coarse part-of-speech tag set (Universal-Dependencies-like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PosTag {
+    /// Common noun.
+    Noun,
+    /// Proper noun (entity names).
+    ProperNoun,
+    /// Verb (including event triggers such as "announces").
+    Verb,
+    /// Adjective.
+    Adjective,
+    /// Adverb.
+    Adverb,
+    /// Determiner / article.
+    Determiner,
+    /// Pronoun.
+    Pronoun,
+    /// Preposition.
+    Preposition,
+    /// Conjunction.
+    Conjunction,
+    /// Numeral.
+    Numeral,
+    /// Punctuation.
+    Punct,
+    /// Anything else.
+    Other,
+}
+
+impl PosTag {
+    /// Every tag, in a stable order (used to size embedding tables).
+    pub const ALL: [PosTag; 12] = [
+        PosTag::Noun,
+        PosTag::ProperNoun,
+        PosTag::Verb,
+        PosTag::Adjective,
+        PosTag::Adverb,
+        PosTag::Determiner,
+        PosTag::Pronoun,
+        PosTag::Preposition,
+        PosTag::Conjunction,
+        PosTag::Numeral,
+        PosTag::Punct,
+        PosTag::Other,
+    ];
+
+    /// Stable dense index of the tag.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|t| *t == self).expect("tag in ALL")
+    }
+
+    /// True for noun-like tags (heads of noun phrases).
+    pub fn is_nominal(self) -> bool {
+        matches!(self, PosTag::Noun | PosTag::ProperNoun | PosTag::Pronoun)
+    }
+}
+
+/// Dictionary part-of-speech tagger with closed-class defaults and suffix
+/// heuristics for unknown words.
+#[derive(Debug, Clone, Default)]
+pub struct Lexicon {
+    entries: HashMap<String, PosTag>,
+}
+
+impl Lexicon {
+    /// An empty lexicon (falls back entirely to heuristics).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A lexicon pre-seeded with English closed-class words; open-class words
+    /// should be added by the corpus generator via [`Lexicon::insert`].
+    pub fn with_closed_class() -> Self {
+        let mut lx = Self::new();
+        for w in ["a", "an", "the", "this", "that", "these", "those"] {
+            lx.insert(w, PosTag::Determiner);
+        }
+        for w in ["i", "you", "he", "she", "it", "we", "they", "who", "what", "which"] {
+            lx.insert(w, PosTag::Pronoun);
+        }
+        for w in [
+            "of", "in", "on", "at", "to", "for", "with", "by", "from", "about", "into", "as",
+        ] {
+            lx.insert(w, PosTag::Preposition);
+        }
+        for w in ["and", "or", "but", "if", "than", "then", "so"] {
+            lx.insert(w, PosTag::Conjunction);
+        }
+        for w in [
+            "is", "are", "was", "were", "be", "been", "am", "do", "does", "did", "have", "has",
+            "had", "will", "would", "can", "could", "should", "may", "might", "must",
+        ] {
+            lx.insert(w, PosTag::Verb);
+        }
+        for w in ["very", "most", "quite", "officially", "reportedly", "newly"] {
+            lx.insert(w, PosTag::Adverb);
+        }
+        lx
+    }
+
+    /// Registers the tag of `word` (lowercased key, last writer wins).
+    pub fn insert(&mut self, word: &str, tag: PosTag) {
+        self.entries.insert(word.to_lowercase(), tag);
+    }
+
+    /// Looks up a word without applying heuristics.
+    pub fn lookup(&self, word: &str) -> Option<PosTag> {
+        self.entries.get(word).copied()
+    }
+
+    /// Tags one token: dictionary first, then shape/suffix heuristics.
+    pub fn tag(&self, word: &str) -> PosTag {
+        if crate::tokenize::is_punct(word) {
+            return PosTag::Punct;
+        }
+        if let Some(t) = self.lookup(word) {
+            return t;
+        }
+        if word.chars().all(|c| c.is_ascii_digit()) {
+            return PosTag::Numeral;
+        }
+        // Suffix heuristics for unknown open-class words.
+        if word.ends_with("ly") {
+            PosTag::Adverb
+        } else if word.ends_with("ing") || word.ends_with("ed") || word.ends_with("izes") {
+            PosTag::Verb
+        } else if word.ends_with("ous") || word.ends_with("ful") || word.ends_with("ive") {
+            PosTag::Adjective
+        } else {
+            PosTag::Noun
+        }
+    }
+
+    /// Tags a token sequence.
+    pub fn tag_all(&self, tokens: &[String]) -> Vec<PosTag> {
+        tokens.iter().map(|t| self.tag(t)).collect()
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// First-order HMM part-of-speech tagger with add-one smoothing, decoded with
+/// Viterbi in log space.
+#[derive(Debug, Clone)]
+pub struct HmmTagger {
+    /// transition[i][j] = log P(tag_j | tag_i); row `n_tags` is the start state.
+    transition: Vec<Vec<f64>>,
+    /// emission\[tag\]\[word\] = log P(word | tag).
+    emission: Vec<HashMap<String, f64>>,
+    /// log-probability for unseen (tag, word) pairs, per tag.
+    unk: Vec<f64>,
+}
+
+impl HmmTagger {
+    /// Trains from `(tokens, tags)` pairs.
+    pub fn train(corpus: &[(Vec<String>, Vec<PosTag>)]) -> Self {
+        let n = PosTag::ALL.len();
+        let mut trans = vec![vec![1.0f64; n]; n + 1]; // add-one
+        let mut emit_counts: Vec<HashMap<String, f64>> = vec![HashMap::new(); n];
+        let mut tag_totals = vec![0.0f64; n];
+        for (tokens, tags) in corpus {
+            assert_eq!(tokens.len(), tags.len(), "token/tag length mismatch");
+            let mut prev = n; // start state
+            for (tok, tag) in tokens.iter().zip(tags) {
+                let ti = tag.index();
+                trans[prev][ti] += 1.0;
+                *emit_counts[ti].entry(tok.clone()).or_insert(0.0) += 1.0;
+                tag_totals[ti] += 1.0;
+                prev = ti;
+            }
+        }
+        let transition = trans
+            .into_iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum();
+                row.into_iter().map(|c| (c / total).ln()).collect()
+            })
+            .collect();
+        // Smooth emissions with the *global* vocabulary size so that tags
+        // unseen in training do not get probability 1 for unknown words.
+        let global_vocab: std::collections::HashSet<&String> =
+            emit_counts.iter().flat_map(|m| m.keys()).collect();
+        let vocab_size = global_vocab.len() as f64 + 1.0;
+        drop(global_vocab);
+        let mut emission = Vec::with_capacity(n);
+        let mut unk = Vec::with_capacity(n);
+        for (ti, counts) in emit_counts.into_iter().enumerate() {
+            let denom = tag_totals[ti] + vocab_size;
+            let probs = counts
+                .into_iter()
+                .map(|(w, c)| (w, ((c + 1.0) / denom).ln()))
+                .collect();
+            emission.push(probs);
+            unk.push((1.0 / denom).ln());
+        }
+        Self {
+            transition,
+            emission,
+            unk,
+        }
+    }
+
+    fn emit(&self, tag: usize, word: &str) -> f64 {
+        self.emission[tag].get(word).copied().unwrap_or(self.unk[tag])
+    }
+
+    /// Viterbi-decodes the most likely tag sequence for `tokens`.
+    pub fn tag_all(&self, tokens: &[String]) -> Vec<PosTag> {
+        let n = PosTag::ALL.len();
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let t_len = tokens.len();
+        let mut score = vec![vec![f64::NEG_INFINITY; n]; t_len];
+        let mut back = vec![vec![0usize; n]; t_len];
+        for j in 0..n {
+            score[0][j] = self.transition[n][j] + self.emit(j, &tokens[0]);
+        }
+        for t in 1..t_len {
+            for j in 0..n {
+                let e = self.emit(j, &tokens[t]);
+                let (bi, bs) = (0..n)
+                    .map(|i| (i, score[t - 1][i] + self.transition[i][j]))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("n > 0");
+                score[t][j] = bs + e;
+                back[t][j] = bi;
+            }
+        }
+        let mut best = (0..n)
+            .max_by(|&a, &b| score[t_len - 1][a].total_cmp(&score[t_len - 1][b]))
+            .expect("n > 0");
+        let mut tags = vec![PosTag::ALL[best]; t_len];
+        for t in (1..t_len).rev() {
+            best = back[t][best];
+            tags[t - 1] = PosTag::ALL[best];
+        }
+        tags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize::tokenize(s)
+    }
+
+    #[test]
+    fn tag_indices_are_dense() {
+        for (i, t) in PosTag::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn lexicon_closed_class() {
+        let lx = Lexicon::with_closed_class();
+        assert_eq!(lx.tag("the"), PosTag::Determiner);
+        assert_eq!(lx.tag("of"), PosTag::Preposition);
+        assert_eq!(lx.tag("is"), PosTag::Verb);
+        assert_eq!(lx.tag(","), PosTag::Punct);
+        assert_eq!(lx.tag("2018"), PosTag::Numeral);
+    }
+
+    #[test]
+    fn lexicon_suffix_heuristics() {
+        let lx = Lexicon::with_closed_class();
+        assert_eq!(lx.tag("quickly"), PosTag::Adverb);
+        assert_eq!(lx.tag("running"), PosTag::Verb);
+        assert_eq!(lx.tag("famous"), PosTag::Adjective);
+        assert_eq!(lx.tag("car"), PosTag::Noun);
+    }
+
+    #[test]
+    fn lexicon_entries_override_heuristics() {
+        let mut lx = Lexicon::with_closed_class();
+        lx.insert("running", PosTag::Noun);
+        assert_eq!(lx.tag("running"), PosTag::Noun);
+    }
+
+    #[test]
+    fn hmm_learns_simple_patterns() {
+        // Tiny corpus: "the N V" patterns.
+        let corpus = vec![
+            (
+                toks("the dog runs"),
+                vec![PosTag::Determiner, PosTag::Noun, PosTag::Verb],
+            ),
+            (
+                toks("the cat sleeps"),
+                vec![PosTag::Determiner, PosTag::Noun, PosTag::Verb],
+            ),
+            (
+                toks("a dog sleeps"),
+                vec![PosTag::Determiner, PosTag::Noun, PosTag::Verb],
+            ),
+        ];
+        let hmm = HmmTagger::train(&corpus);
+        let tags = hmm.tag_all(&toks("the dog sleeps"));
+        assert_eq!(tags, vec![PosTag::Determiner, PosTag::Noun, PosTag::Verb]);
+        // Unknown word in noun position should still be tagged Noun thanks to
+        // the learned transition Determiner -> Noun.
+        let tags = hmm.tag_all(&toks("the zebra runs"));
+        assert_eq!(tags[1], PosTag::Noun);
+    }
+
+    #[test]
+    fn hmm_empty_input() {
+        let hmm = HmmTagger::train(&[(toks("a dog"), vec![PosTag::Determiner, PosTag::Noun])]);
+        assert!(hmm.tag_all(&[]).is_empty());
+    }
+}

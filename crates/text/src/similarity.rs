@@ -1,0 +1,112 @@
+//! Sequence and set similarity primitives.
+//!
+//! * [`lcs_len`] — longest common subsequence length, used by event/topic
+//!   document tagging ("LCS-based textural matching", §4) and by the
+//!   query–title alignment candidate extractor.
+//! * [`jaccard`] — token-set overlap, used by phrase normalization heuristics.
+//! * [`edit_distance`] — Levenshtein distance, used for near-duplicate
+//!   detection in the synthetic data generator and tests.
+
+use std::collections::HashSet;
+
+/// Longest-common-subsequence length between two sequences.
+pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    // Rolling single-row DP: O(|a|*|b|) time, O(|b|) space.
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Jaccard similarity of two token sets.
+pub fn jaccard<'a, I, J>(a: I, b: J) -> f64
+where
+    I: IntoIterator<Item = &'a str>,
+    J: IntoIterator<Item = &'a str>,
+{
+    let sa: HashSet<&str> = a.into_iter().collect();
+    let sb: HashSet<&str> = b.into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Levenshtein edit distance over characters.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    if ac.is_empty() {
+        return bc.len();
+    }
+    if bc.is_empty() {
+        return ac.len();
+    }
+    let mut prev: Vec<usize> = (0..=bc.len()).collect();
+    let mut cur = vec![0usize; bc.len() + 1];
+    for (i, ca) in ac.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in bc.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[bc.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_basic() {
+        let a = ["trade", "war", "begins"];
+        let b = ["the", "trade", "war", "officially", "begins"];
+        assert_eq!(lcs_len(&a, &b), 3);
+        assert_eq!(lcs_len::<&str>(&[], &b), 0);
+        assert_eq!(lcs_len(&a, &a), 3);
+    }
+
+    #[test]
+    fn lcs_no_overlap() {
+        assert_eq!(lcs_len(&["a", "b"], &["c", "d"]), 0);
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        assert!((jaccard(["a", "b"], ["b", "c"]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard(["a"], ["a"]), 1.0);
+        assert_eq!(jaccard::<_, [&str; 0]>(["a"], []), 0.0);
+        assert_eq!(jaccard::<[&str; 0], [&str; 0]>([], []), 1.0);
+    }
+
+    #[test]
+    fn edit_distance_basic() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+    }
+
+    #[test]
+    fn edit_distance_symmetry() {
+        for (a, b) in [("honda", "hond"), ("civic", "civil"), ("x", "yz")] {
+            assert_eq!(edit_distance(a, b), edit_distance(b, a));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Stop-word list.
+//!
+//! GIANT uses stop-word filtering in three places: the random-walk cluster
+//! filter ("the number of non-stop words in q is more than a half"),
+//! CoverRank's query-coverage score ("counting the covered nonstop query
+//! words"), and phrase normalization ("the non-stop words in p_n shall be
+//! similar"). The list therefore includes both classic function words and the
+//! *query wrapper* words users type around an attention phrase ("what",
+//! "top", "best", …), which the synthetic query generator also draws from.
+
+use std::collections::HashSet;
+
+/// Function words and query wrappers treated as stop words.
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    // articles / determiners / pronouns
+    "a", "an", "the", "this", "that", "these", "those", "my", "your", "his",
+    "her", "its", "our", "their", "it", "he", "she", "they", "we", "you", "i",
+    "who", "whom", "whose", "which",
+    // auxiliaries / copulas
+    "is", "are", "was", "were", "be", "been", "being", "am", "do", "does",
+    "did", "have", "has", "had", "will", "would", "can", "could", "should",
+    "shall", "may", "might", "must",
+    // prepositions / conjunctions / particles
+    "of", "in", "on", "at", "to", "for", "with", "by", "from", "about",
+    "as", "into", "and", "or", "but", "not", "no", "so", "if", "than", "then",
+    "there", "here", "when", "where", "how", "why", "what", "s",
+    // query wrappers seen in search logs
+    "top", "best", "list", "please", "find", "show", "me", "some", "any",
+    "most", "famous", "good", "great", "recommend", "recommended", "popular",
+];
+
+/// A fast membership set over stop words.
+#[derive(Debug, Clone)]
+pub struct StopWords {
+    set: HashSet<String>,
+}
+
+impl Default for StopWords {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl StopWords {
+    /// The default list ([`DEFAULT_STOPWORDS`]).
+    pub fn standard() -> Self {
+        Self::from_words(DEFAULT_STOPWORDS.iter().copied())
+    }
+
+    /// Builds a list from arbitrary words (lowercased on insert).
+    pub fn from_words<'a, I: IntoIterator<Item = &'a str>>(words: I) -> Self {
+        Self {
+            set: words.into_iter().map(|w| w.to_lowercase()).collect(),
+        }
+    }
+
+    /// Adds a word (lowercased).
+    pub fn insert(&mut self, w: &str) {
+        self.set.insert(w.to_lowercase());
+    }
+
+    /// True when `w` is a stop word or punctuation.
+    pub fn is_stop(&self, w: &str) -> bool {
+        crate::tokenize::is_punct(w) || self.set.contains(w)
+    }
+
+    /// Filters `tokens`, keeping only content (non-stop) tokens.
+    pub fn content_tokens<'a>(&self, tokens: &'a [String]) -> Vec<&'a str> {
+        tokens
+            .iter()
+            .map(|t| t.as_str())
+            .filter(|t| !self.is_stop(t))
+            .collect()
+    }
+
+    /// Number of non-stop tokens in `tokens`.
+    pub fn count_content(&self, tokens: &[String]) -> usize {
+        tokens.iter().filter(|t| !self.is_stop(t)).count()
+    }
+
+    /// Number of entries (excluding the implicit punctuation rule).
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_list_contains_wrappers() {
+        let sw = StopWords::standard();
+        for w in ["what", "the", "top", "best", "is"] {
+            assert!(sw.is_stop(w), "{w} should be a stop word");
+        }
+        assert!(!sw.is_stop("honda"));
+        assert!(!sw.is_stop("miyazaki"));
+    }
+
+    #[test]
+    fn punctuation_is_always_stop() {
+        let sw = StopWords::from_words([]);
+        assert!(sw.is_stop(","));
+        assert!(sw.is_stop("?"));
+    }
+
+    #[test]
+    fn content_token_filtering() {
+        let sw = StopWords::standard();
+        let toks: Vec<String> = ["what", "are", "miyazaki", "animated", "films", "?"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(sw.content_tokens(&toks), vec!["miyazaki", "animated", "films"]);
+        assert_eq!(sw.count_content(&toks), 3);
+    }
+
+    #[test]
+    fn custom_insert() {
+        let mut sw = StopWords::from_words(["foo"]);
+        assert!(sw.is_stop("foo"));
+        sw.insert("BAR");
+        assert!(sw.is_stop("bar"));
+        assert_eq!(sw.len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! TF-IDF vectors and cosine similarity over sparse term maps.
+//!
+//! GIANT uses TF-IDF similarity in several places: phrase normalization
+//! compares *context-enriched representations* (the phrase plus its top-5
+//! clicked titles, §3.1); document tagging scores concept/document coherence
+//! (§4); story-tree formation compares event entity sets (eq. 11).
+
+use std::collections::HashMap;
+
+/// Sparse vector cosine similarity.
+pub fn cosine_sparse(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Iterate the smaller map.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
+        .sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Document-frequency table with smoothed IDF.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    df: HashMap<String, u32>,
+    n_docs: u32,
+}
+
+impl TfIdf {
+    /// An empty table (IDF falls back to the uniform smoothing value).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one document's tokens to the document-frequency counts.
+    pub fn add_doc<'a, I: IntoIterator<Item = &'a str>>(&mut self, tokens: I) {
+        self.n_docs += 1;
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for t in tokens {
+            if seen.insert(t, ()).is_none() {
+                *self.df.entry(t.to_owned()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency: `ln(1 + N / (1 + df))`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.df.get(term).copied().unwrap_or(0) as f64;
+        (1.0 + self.n_docs as f64 / (1.0 + df)).ln()
+    }
+
+    /// TF-IDF vector for a token multiset.
+    pub fn vector<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        let mut total = 0.0f64;
+        for t in tokens {
+            *tf.entry(t.to_owned()).or_insert(0.0) += 1.0;
+            total += 1.0;
+        }
+        if total == 0.0 {
+            return tf;
+        }
+        for (term, v) in tf.iter_mut() {
+            *v = (*v / total) * self.idf(term);
+        }
+        tf
+    }
+
+    /// TF-IDF cosine similarity of two token multisets.
+    pub fn similarity<'a, I, J>(&self, a: I, b: J) -> f64
+    where
+        I: IntoIterator<Item = &'a str>,
+        J: IntoIterator<Item = &'a str>,
+    {
+        cosine_sparse(&self.vector(a), &self.vector(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TfIdf {
+        let mut t = TfIdf::new();
+        t.add_doc(["the", "trade", "war", "begins"]);
+        t.add_doc(["the", "trade", "deal", "signed"]);
+        t.add_doc(["the", "concert", "tour", "announced"]);
+        t
+    }
+
+    #[test]
+    fn idf_orders_by_rarity() {
+        let t = table();
+        assert!(t.idf("concert") > t.idf("trade"));
+        assert!(t.idf("trade") > t.idf("the"));
+        // Unseen terms get the highest idf.
+        assert!(t.idf("zebra") >= t.idf("concert"));
+    }
+
+    #[test]
+    fn similarity_prefers_shared_rare_terms() {
+        let t = table();
+        let s_related = t.similarity(
+            ["trade", "war", "tariffs"],
+            ["trade", "war", "escalates"],
+        );
+        let s_unrelated = t.similarity(["trade", "war"], ["concert", "tour"]);
+        assert!(s_related > s_unrelated);
+        assert!(s_related > 0.0);
+        assert_eq!(s_unrelated, 0.0);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let t = table();
+        let s = t.similarity(["trade", "war", "begins"], ["trade", "war", "begins"]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = table();
+        assert_eq!(t.similarity([], ["a"]), 0.0);
+        assert_eq!(cosine_sparse(&HashMap::new(), &HashMap::new()), 0.0);
+    }
+
+    #[test]
+    fn duplicate_tokens_count_once_for_df() {
+        let mut t = TfIdf::new();
+        t.add_doc(["a", "a", "a"]);
+        t.add_doc(["a", "b"]);
+        // df("a") must be 2 (documents), not 4 (occurrences).
+        assert!(t.idf("a") < t.idf("b"));
+    }
+}

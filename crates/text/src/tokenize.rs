@@ -1,0 +1,168 @@
+//! Deterministic tokenization and sentence splitting.
+//!
+//! The synthetic corpus is ASCII English-like text; queries and titles are
+//! short. The tokenizer lowercases, splits on whitespace, and separates
+//! punctuation into standalone tokens (QTIG treats punctuation as nodes and
+//! CoverRank splits subtitles on it, so punctuation must survive).
+
+/// Characters treated as standalone punctuation tokens.
+pub const PUNCT: &[char] = &[
+    '.', ',', ';', ':', '!', '?', '(', ')', '[', ']', '"', '\'', '-', '|', '/',
+];
+
+/// True when `tok` is a single punctuation token.
+pub fn is_punct(tok: &str) -> bool {
+    tok.chars().count() == 1 && tok.chars().all(|c| PUNCT.contains(&c))
+}
+
+/// Lowercases and tokenizes `text` into words and punctuation tokens.
+///
+/// ```
+/// let toks = giant_text::tokenize("What are Hayao Miyazaki's animated films?");
+/// assert_eq!(
+///     toks,
+///     vec!["what", "are", "hayao", "miyazaki", "'", "s", "animated", "films", "?"]
+/// );
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    tokenize_impl(text, true)
+}
+
+/// Tokenizes without lowercasing (used by NER capitalisation heuristics).
+pub fn tokenize_keep_case(text: &str) -> Vec<String> {
+    tokenize_impl(text, false)
+}
+
+fn tokenize_impl(text: &str, lowercase: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            flush(&mut cur, &mut out);
+        } else if PUNCT.contains(&ch) {
+            flush(&mut cur, &mut out);
+            out.push(ch.to_string());
+        } else {
+            if lowercase {
+                for lc in ch.to_lowercase() {
+                    cur.push(lc);
+                }
+            } else {
+                cur.push(ch);
+            }
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+fn flush(cur: &mut String, out: &mut Vec<String>) {
+    if !cur.is_empty() {
+        out.push(std::mem::take(cur));
+    }
+}
+
+/// Splits `text` into sentences on terminal punctuation (`.`, `!`, `?`, `;`).
+///
+/// Returns the raw sentence substrings with surrounding whitespace trimmed;
+/// empty segments are dropped.
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, ch) in text.char_indices() {
+        if matches!(ch, '.' | '!' | '?' | ';') {
+            let seg = text[start..i].trim();
+            if !seg.is_empty() {
+                out.push(seg);
+            }
+            start = i + ch.len_utf8();
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Splits a title into subtitles on punctuation (the event-candidate step of
+/// §3.1 splits "original unsegmented document titles into subtitles by
+/// punctuations and spaces" — we split on punctuation, keeping word spacing).
+pub fn subtitles(title: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in title.chars() {
+        if PUNCT.contains(&ch) {
+            let seg = cur.trim();
+            if !seg.is_empty() {
+                out.push(seg.to_string());
+            }
+            cur.clear();
+        } else {
+            cur.push(ch);
+        }
+    }
+    let seg = cur.trim();
+    if !seg.is_empty() {
+        out.push(seg.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_words_and_punct() {
+        assert_eq!(
+            tokenize("Honda Civic, a fuel-efficient car."),
+            vec!["honda", "civic", ",", "a", "fuel", "-", "efficient", "car", "."]
+        );
+    }
+
+    #[test]
+    fn keeps_case_when_requested() {
+        assert_eq!(
+            tokenize_keep_case("Iron Man!"),
+            vec!["Iron", "Man", "!"]
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn punct_detection() {
+        assert!(is_punct(","));
+        assert!(is_punct("|"));
+        assert!(!is_punct("a"));
+        assert!(!is_punct(",,"));
+    }
+
+    #[test]
+    fn sentence_split() {
+        let s = sentences("Trade war begins. Tariffs rise! What next? End");
+        assert_eq!(
+            s,
+            vec!["Trade war begins", "Tariffs rise", "What next", "End"]
+        );
+    }
+
+    #[test]
+    fn subtitle_split() {
+        let s = subtitles("breaking: trade war begins, markets fall");
+        assert_eq!(s, vec!["breaking", "trade war begins", "markets fall"]);
+    }
+
+    #[test]
+    fn unicode_is_not_mangled() {
+        // The production system is Chinese; our tokenizer must at least not
+        // panic or split inside multi-byte characters.
+        let toks = tokenize("宫崎骏 动画 电影");
+        assert_eq!(toks, vec!["宫崎骏", "动画", "电影"]);
+    }
+}

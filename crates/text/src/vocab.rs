@@ -1,0 +1,123 @@
+//! String interning: maps token strings to dense ids and back.
+//!
+//! Every other subsystem (click graph, QTIG, neural feature builders) works
+//! with [`TokenId`]s so that hot paths compare integers, not strings.
+
+use std::collections::HashMap;
+
+/// Dense identifier for an interned token string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional token string <-> [`TokenId`] map.
+///
+/// Ids are assigned densely in first-seen order, which keeps downstream
+/// embedding tables compact.
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    by_str: HashMap<String, TokenId>,
+    by_id: Vec<String>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> TokenId {
+        if let Some(&id) = self.by_str.get(s) {
+            return id;
+        }
+        let id = TokenId(self.by_id.len() as u32);
+        self.by_id.push(s.to_owned());
+        self.by_str.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned token.
+    pub fn get(&self, s: &str) -> Option<TokenId> {
+        self.by_str.get(s).copied()
+    }
+
+    /// Returns the string for `id`. Panics if `id` was not produced by this
+    /// vocabulary.
+    pub fn resolve(&self, id: TokenId) -> &str {
+        &self.by_id[id.index()]
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Interns every token in `tokens`, returning the id sequence.
+    pub fn intern_all<'a, I: IntoIterator<Item = &'a str>>(&mut self, tokens: I) -> Vec<TokenId> {
+        tokens.into_iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Iterates `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TokenId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("honda");
+        let b = v.intern("civic");
+        let a2 = v.intern("honda");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut v = Vocab::new();
+        for word in ["alpha", "beta", "gamma"] {
+            let id = v.intern(word);
+            assert_eq!(v.resolve(id), word);
+            assert_eq!(v.get(word), Some(id));
+        }
+        assert_eq!(v.get("delta"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocab::new();
+        let ids = v.intern_all(["a", "b", "c"]);
+        assert_eq!(ids, vec![TokenId(0), TokenId(1), TokenId(2)]);
+        let collected: Vec<&str> = v.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_vocab_reports_empty() {
+        let v = Vocab::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

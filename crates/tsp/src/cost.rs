@@ -1,0 +1,98 @@
+//! Asymmetric cost matrix.
+
+/// Dense asymmetric cost matrix. `INFEASIBLE` marks missing connections
+/// (finite but dominating, so solvers avoid them while staying total).
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+/// Cost used for pairs with no path between them.
+pub const INFEASIBLE: f64 = 1e7;
+
+impl CostMatrix {
+    /// `n × n` matrix with all off-diagonal entries infeasible.
+    pub fn infeasible(n: usize) -> Self {
+        let mut data = vec![INFEASIBLE; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        Self { n, data }
+    }
+
+    /// Builds from explicit rows; panics unless square.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for r in rows {
+            assert_eq!(r.len(), n, "cost matrix must be square");
+            data.extend(r);
+        }
+        Self { n, data }
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cost of `i → j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets the cost of `i → j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Total cost of a node sequence under this matrix.
+    pub fn path_cost(&self, path: &[usize]) -> f64 {
+        path.windows(2).map(|w| self.get(w[0], w[1])).sum()
+    }
+
+    /// True when `i → j` has a real (non-placeholder) cost.
+    pub fn is_feasible(&self, i: usize, j: usize) -> bool {
+        self.get(i, j) < INFEASIBLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_has_zero_diagonal() {
+        let c = CostMatrix::infeasible(3);
+        for i in 0..3 {
+            assert_eq!(c.get(i, i), 0.0);
+            for j in 0..3 {
+                if i != j {
+                    assert!(!c.is_feasible(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_cost_sums_edges() {
+        let c = CostMatrix::from_rows(vec![
+            vec![0.0, 2.0, 5.0],
+            vec![1.0, 0.0, 3.0],
+            vec![4.0, 6.0, 0.0],
+        ]);
+        assert_eq!(c.path_cost(&[0, 1, 2]), 5.0);
+        assert_eq!(c.path_cost(&[2, 1, 0]), 7.0); // asymmetric
+        assert_eq!(c.path_cost(&[1]), 0.0);
+        assert_eq!(c.path_cost(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn from_rows_requires_square() {
+        let _ = CostMatrix::from_rows(vec![vec![0.0, 1.0]]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Held–Karp exact dynamic program for the fixed-endpoint ATSP path.
+//!
+//! State: `dp[mask][j]` = cheapest cost of a path that starts at `start`,
+//! visits exactly the intermediate nodes in `mask`, and currently ends at
+//! intermediate `j ∈ mask`. Complexity `O(2^k · k²)` for `k` intermediates.
+
+use crate::cost::CostMatrix;
+
+/// Exact shortest `start → … → end` path visiting every node of `costs`.
+///
+/// Returns `(cost, path)`. `start == end` degenerates to a tour through the
+/// remaining nodes. Panics when the intermediate count exceeds 22 (the DP
+/// table would be too large) — callers should dispatch via
+/// [`crate::solve_path`].
+pub fn held_karp_path(costs: &CostMatrix, start: usize, end: usize) -> (f64, Vec<usize>) {
+    let n = costs.n();
+    assert!(start < n && end < n, "endpoint out of range");
+    let intermediates: Vec<usize> = (0..n).filter(|&v| v != start && v != end).collect();
+    let k = intermediates.len();
+    assert!(k <= 22, "Held-Karp limited to 22 intermediates, got {k}");
+    if k == 0 {
+        let cost = if start == end { 0.0 } else { costs.get(start, end) };
+        let path = if start == end { vec![start] } else { vec![start, end] };
+        return (cost, path);
+    }
+
+    let full = (1usize << k) - 1;
+    let mut dp = vec![f64::INFINITY; (full + 1) * k];
+    let mut parent = vec![usize::MAX; (full + 1) * k];
+    for (ji, &j) in intermediates.iter().enumerate() {
+        dp[(1 << ji) * k + ji] = costs.get(start, j);
+    }
+    for mask in 1..=full {
+        for ji in 0..k {
+            if mask & (1 << ji) == 0 {
+                continue;
+            }
+            let cur = dp[mask * k + ji];
+            if !cur.is_finite() {
+                continue;
+            }
+            for jn in 0..k {
+                if mask & (1 << jn) != 0 {
+                    continue;
+                }
+                let nmask = mask | (1 << jn);
+                let cand = cur + costs.get(intermediates[ji], intermediates[jn]);
+                if cand < dp[nmask * k + jn] {
+                    dp[nmask * k + jn] = cand;
+                    parent[nmask * k + jn] = ji;
+                }
+            }
+        }
+    }
+    // Close with the edge into `end`.
+    let (mut best_j, mut best_cost) = (0usize, f64::INFINITY);
+    for ji in 0..k {
+        let cand = dp[full * k + ji] + costs.get(intermediates[ji], end);
+        if cand < best_cost {
+            best_cost = cand;
+            best_j = ji;
+        }
+    }
+    // Reconstruct.
+    let mut order = Vec::with_capacity(k);
+    let mut mask = full;
+    let mut j = best_j;
+    while j != usize::MAX {
+        order.push(intermediates[j]);
+        let pj = parent[mask * k + j];
+        mask &= !(1 << j);
+        j = pj;
+    }
+    order.reverse();
+    let mut path = Vec::with_capacity(k + 2);
+    path.push(start);
+    path.extend(order);
+    if end != start {
+        path.push(end);
+    }
+    (best_cost, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(costs: &CostMatrix, start: usize, end: usize) -> (f64, Vec<usize>) {
+        let n = costs.n();
+        let mut mids: Vec<usize> = (0..n).filter(|&v| v != start && v != end).collect();
+        let mut best = (f64::INFINITY, Vec::new());
+        permute(&mut mids, 0, &mut |perm| {
+            let mut path = vec![start];
+            path.extend_from_slice(perm);
+            path.push(end);
+            let c = costs.path_cost(&path);
+            if c < best.0 {
+                best = (c, path);
+            }
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, i: usize, f: &mut impl FnMut(&[usize])) {
+        if i == v.len() {
+            f(v);
+            return;
+        }
+        for j in i..v.len() {
+            v.swap(i, j);
+            permute(v, i + 1, f);
+            v.swap(i, j);
+        }
+    }
+
+    fn random_costs(n: usize, seed: u64) -> CostMatrix {
+        // Simple deterministic LCG so we don't need rand here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 10.0 + 0.1
+        };
+        let mut rows = vec![vec![0.0; n]; n];
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                if i != j {
+                    *v = next();
+                }
+            }
+        }
+        CostMatrix::from_rows(rows)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        for seed in 0..8 {
+            let c = random_costs(7, seed);
+            let (hk_cost, hk_path) = held_karp_path(&c, 0, 6);
+            let (bf_cost, _) = brute_force(&c, 0, 6);
+            assert!(
+                (hk_cost - bf_cost).abs() < 1e-9,
+                "seed {seed}: HK {hk_cost} vs brute {bf_cost}"
+            );
+            assert!((c.path_cost(&hk_path) - hk_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_is_a_permutation() {
+        let c = random_costs(9, 42);
+        let (_, path) = held_karp_path(&c, 2, 5);
+        assert_eq!(path.len(), 9);
+        assert_eq!(path[0], 2);
+        assert_eq!(path[8], 5);
+        let mut sorted = path.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exploits_asymmetry() {
+        // 0 -> 1 cheap, 1 -> 0 expensive; path 0 -> 1 -> 2 must be chosen
+        // over 0 -> 2 -> 1 even though the undirected view is symmetric-ish.
+        let c = CostMatrix::from_rows(vec![
+            vec![0.0, 1.0, 10.0],
+            vec![100.0, 0.0, 1.0],
+            vec![1.0, 100.0, 0.0],
+        ]);
+        let (cost, path) = held_karp_path(&c, 0, 2);
+        assert_eq!(path, vec![0, 1, 2]);
+        assert!((cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let c = CostMatrix::from_rows(vec![vec![0.0, 3.0], vec![7.0, 0.0]]);
+        let (cost, path) = held_karp_path(&c, 0, 1);
+        assert_eq!(path, vec![0, 1]);
+        assert_eq!(cost, 3.0);
+        let single = CostMatrix::from_rows(vec![vec![0.0]]);
+        let (cost, path) = held_karp_path(&single, 0, 0);
+        assert_eq!(path, vec![0]);
+        assert_eq!(cost, 0.0);
+    }
+}

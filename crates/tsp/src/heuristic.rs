@@ -1,0 +1,234 @@
+//! Lin–Kernighan-style local search for the fixed-endpoint ATSP path.
+//!
+//! Construction: greedy nearest neighbour from `start`.
+//! Improvement: repeated best-improvement passes of two direction-preserving
+//! move families (valid under asymmetric costs because no segment is ever
+//! reversed):
+//!
+//! * **Or-opt** — relocate a segment of 1–3 consecutive intermediates to a
+//!   different position.
+//! * **Exchange** — swap the positions of two intermediates.
+//!
+//! This mirrors the sequential-improvement spirit of Lin–Kernighan while
+//! staying simple enough to verify; DESIGN.md S5 records the substitution.
+
+use crate::cost::CostMatrix;
+
+/// Number of multi-start restarts (forced first hops) attempted.
+const RESTARTS: usize = 6;
+
+/// Heuristic shortest `start → … → end` path visiting every node.
+/// Multi-start: nearest-neighbour tours with several forced first hops, each
+/// polished by local search; the best survivor wins. Returns `(cost, path)`.
+pub fn lin_kernighan_path(costs: &CostMatrix, start: usize, end: usize) -> (f64, Vec<usize>) {
+    let n = costs.n();
+    assert!(start < n && end < n, "endpoint out of range");
+    let intermediates: Vec<usize> = (0..n).filter(|&v| v != start && v != end).collect();
+    // Candidate first hops: the cheapest RESTARTS successors of `start`.
+    let mut firsts = intermediates.clone();
+    firsts.sort_by(|&a, &b| costs.get(start, a).total_cmp(&costs.get(start, b)));
+    firsts.truncate(RESTARTS.max(1));
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let starts: Vec<Option<usize>> = if firsts.is_empty() {
+        vec![None]
+    } else {
+        firsts.iter().copied().map(Some).collect()
+    };
+    for forced in starts {
+        let mut path = construct_nn(costs, start, end, &intermediates, forced);
+        improve(costs, &mut path);
+        let c = costs.path_cost(&path);
+        if best.as_ref().map(|(bc, _)| c < *bc).unwrap_or(true) {
+            best = Some((c, path));
+        }
+    }
+    best.expect("at least one construction")
+}
+
+/// Greedy nearest-neighbour path, optionally forcing the first intermediate.
+fn construct_nn(
+    costs: &CostMatrix,
+    start: usize,
+    end: usize,
+    intermediates: &[usize],
+    forced_first: Option<usize>,
+) -> Vec<usize> {
+    let mut remaining: Vec<usize> = intermediates.to_vec();
+    let mut path = Vec::with_capacity(intermediates.len() + 2);
+    path.push(start);
+    let mut cur = start;
+    if let Some(f) = forced_first {
+        let i = remaining.iter().position(|&v| v == f).expect("forced node");
+        cur = remaining.swap_remove(i);
+        path.push(cur);
+    }
+    while !remaining.is_empty() {
+        let (bi, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, costs.get(cur, v)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        cur = remaining.swap_remove(bi);
+        path.push(cur);
+    }
+    if end != start {
+        path.push(end);
+    }
+    path
+}
+
+/// Local search until no improving move exists (bounded pass count as a
+/// safety net against float cycling).
+fn improve(costs: &CostMatrix, path: &mut Vec<usize>) {
+    let n = path.len();
+    if n < 4 {
+        return;
+    }
+    const MAX_PASSES: usize = 64;
+    for _ in 0..MAX_PASSES {
+        let improved_or = or_opt_pass(costs, path);
+        let improved_swap = exchange_pass(costs, path);
+        if !improved_or && !improved_swap {
+            break;
+        }
+    }
+}
+
+/// Relocates segments of length 1..=3; returns true when any move improved.
+fn or_opt_pass(costs: &CostMatrix, path: &mut Vec<usize>) -> bool {
+    let n = path.len();
+    let mut improved = false;
+    for seg_len in 1..=3usize.min(n.saturating_sub(3)) {
+        // Segment occupies positions [i, i+seg_len), intermediates only.
+        let mut i = 1;
+        while i + seg_len <= n - 1 {
+            let before = costs.path_cost(path);
+            let seg: Vec<usize> = path[i..i + seg_len].to_vec();
+            let mut rest: Vec<usize> = Vec::with_capacity(n - seg_len);
+            rest.extend_from_slice(&path[..i]);
+            rest.extend_from_slice(&path[i + seg_len..]);
+            // Try inserting at every interior position of `rest`.
+            let mut best: Option<(f64, usize)> = None;
+            for pos in 1..rest.len() {
+                if pos == i {
+                    continue;
+                }
+                let mut cand = Vec::with_capacity(n);
+                cand.extend_from_slice(&rest[..pos]);
+                cand.extend_from_slice(&seg);
+                cand.extend_from_slice(&rest[pos..]);
+                let c = costs.path_cost(&cand);
+                if c + 1e-12 < before && best.map(|(bc, _)| c < bc).unwrap_or(true) {
+                    best = Some((c, pos));
+                }
+            }
+            if let Some((_, pos)) = best {
+                let mut cand = Vec::with_capacity(n);
+                cand.extend_from_slice(&rest[..pos]);
+                cand.extend_from_slice(&seg);
+                cand.extend_from_slice(&rest[pos..]);
+                *path = cand;
+                improved = true;
+            }
+            i += 1;
+        }
+    }
+    improved
+}
+
+/// Swaps pairs of intermediates; returns true when any swap improved.
+fn exchange_pass(costs: &CostMatrix, path: &mut [usize]) -> bool {
+    let n = path.len();
+    let mut improved = false;
+    for i in 1..n - 1 {
+        for j in i + 1..n - 1 {
+            let before = costs.path_cost(path);
+            path.swap(i, j);
+            let after = costs.path_cost(path);
+            if after + 1e-12 < before {
+                improved = true;
+            } else {
+                path.swap(i, j);
+            }
+        }
+    }
+    improved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::held_karp_path;
+
+    fn random_costs(n: usize, seed: u64) -> CostMatrix {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = || {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 10.0 + 0.1
+        };
+        let mut rows = vec![vec![0.0; n]; n];
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                if i != j {
+                    *v = next();
+                }
+            }
+        }
+        CostMatrix::from_rows(rows)
+    }
+
+    #[test]
+    fn returns_valid_permutation() {
+        let c = random_costs(12, 1);
+        let (cost, path) = lin_kernighan_path(&c, 0, 11);
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), 11);
+        let mut sorted = path.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+        assert!((c.path_cost(&path) - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_worse_than_25_percent_over_exact_on_small() {
+        for seed in 0..10 {
+            let c = random_costs(8, seed);
+            let (exact, _) = held_karp_path(&c, 0, 7);
+            let (heur, _) = lin_kernighan_path(&c, 0, 7);
+            assert!(heur + 1e-9 >= exact, "heuristic beat exact?!");
+            assert!(
+                heur <= exact * 1.25 + 1e-9,
+                "seed {seed}: heuristic {heur} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn finds_obvious_chain() {
+        // Costs strongly favour the identity order.
+        let n = 10;
+        let mut rows = vec![vec![50.0; n]; n];
+        for i in 0..n {
+            rows[i][i] = 0.0;
+            if i + 1 < n {
+                rows[i][i + 1] = 1.0;
+            }
+        }
+        let c = CostMatrix::from_rows(rows);
+        let (cost, path) = lin_kernighan_path(&c, 0, n - 1);
+        assert_eq!(path, (0..n).collect::<Vec<_>>());
+        assert!((cost - (n - 1) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_node_path() {
+        let c = CostMatrix::from_rows(vec![vec![0.0, 4.0], vec![1.0, 0.0]]);
+        let (cost, path) = lin_kernighan_path(&c, 0, 1);
+        assert_eq!(path, vec![0, 1]);
+        assert_eq!(cost, 4.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate a synthetic click log, train the GCTSP models, build
+//! the Attention Ontology, and poke at it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::data::WorldConfig;
+use giant::mining::GiantConfig;
+use giant::ontology::NodeKind;
+
+fn main() {
+    // 1. A small synthetic world: categories, entities, concepts, events,
+    //    topics, plus a corpus and a click log with ground truth.
+    println!("generating world + click log ...");
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    println!(
+        "  {} concepts, {} events, {} entities, {} docs, {} click records",
+        setup.world.concepts.len(),
+        setup.world.events.len(),
+        setup.world.entities.len(),
+        setup.corpus.docs.len(),
+        setup.log.records.len()
+    );
+
+    // 2. Train GCTSP-Net (binary phrase model + 4-class role model) on the
+    //    automatically constructed CMD/EMD datasets.
+    println!("training GCTSP-Net models ...");
+    let (models, (phrase_loss, role_loss)) = setup.train_models(&ModelTrainConfig::small());
+    println!("  phrase-model loss {phrase_loss:.4}, role-model loss {role_loss:.4}");
+
+    // 3. Run the full pipeline: Algorithm 1 (mine) + §3.2 (link).
+    println!("running the GIANT pipeline ...");
+    let output = setup.run_pipeline(&models, &GiantConfig::default());
+    let stats = output.ontology.stats();
+    println!("  nodes by kind:");
+    for kind in NodeKind::ALL {
+        println!("    {:<10}{}", kind.name(), stats.nodes_by_kind[kind.index()]);
+    }
+    println!(
+        "  edges: isA {}, involve {}, correlate {}",
+        stats.edges_by_kind[0], stats.edges_by_kind[1], stats.edges_by_kind[2]
+    );
+
+    // 4. Walk the ontology: show a mined concept with its instances.
+    for m in output.mined_of_kind(NodeKind::Concept).iter().take(3) {
+        let children = output.ontology.children_of(m.node);
+        let instances: Vec<String> = children
+            .iter()
+            .filter(|&&c| output.ontology.node(c).kind == NodeKind::Entity)
+            .map(|&c| output.ontology.node(c).phrase.surface())
+            .collect();
+        println!(
+            "  concept {:?} (support {:.0}) -> instances {:?}",
+            m.tokens.join(" "),
+            m.support,
+            instances
+        );
+    }
+
+    // 5. Round-trip the ontology through the text format.
+    let dump = giant::ontology::io::dump(&output.ontology);
+    let reloaded = giant::ontology::io::load(&dump).expect("round trip");
+    assert_eq!(reloaded.stats(), stats);
+    println!("ontology round-trips through {} bytes of text", dump.len());
+}

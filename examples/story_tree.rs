@@ -1,0 +1,93 @@
+//! Story-tree formation (paper §4, Figure 5) on a hand-built trade-war-style
+//! story: retrieval of correlated events, eq. (8)–(11) similarity,
+//! hierarchical clustering, time-ordered branches.
+//!
+//! ```text
+//! cargo run --release --example story_tree
+//! ```
+
+use giant::apps::storytree::{
+    build_story_tree, retrieve_related, EventSimilarity, StoryEvent, StoryTreeConfig,
+};
+use giant::ontology::{NodeKind, Ontology, Phrase};
+use giant::text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
+use giant::text::{TfIdf, Vocab};
+
+fn main() {
+    // Entities and events of a two-thread story (trade dispute + a concert
+    // tour that shares a country entity but not the theme).
+    let mut ontology = Ontology::new();
+    let usa = ontology.add_node(NodeKind::Entity, Phrase::from_text("astora"), 1.0);
+    let chn = ontology.add_node(NodeKind::Entity, Phrase::from_text("veymar"), 1.0);
+    let band = ontology.add_node(NodeKind::Entity, Phrase::from_text("the lorex"), 1.0);
+
+    let raw = [
+        ("astora raises tariffs on veymar goods", "raises", vec![usa, chn], 2u32),
+        ("veymar imposes new tariffs on astora products", "imposes", vec![chn, usa], 5),
+        ("astora and veymar trade consultations joint statement", "state", vec![usa, chn], 12),
+        ("astora raises tariffs again after talks stall", "raises", vec![usa, chn], 19),
+        ("the lorex announces world tour in astora", "announces", vec![band, usa], 8),
+    ];
+
+    // Word vectors: train SGNS on sentences echoing the two themes (stands
+    // in for the paper's BERT phrase encoder).
+    let mut vocab = Vocab::new();
+    let mut sents = Vec::new();
+    for _ in 0..60 {
+        for s in [
+            "astora veymar tariffs trade war imposes raises talks goods",
+            "the lorex tour concert announces stage album tickets",
+        ] {
+            sents.push(
+                giant::text::tokenize(s)
+                    .iter()
+                    .map(|t| vocab.intern(t))
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+    let encoder = PhraseEncoder::new(WordEmbeddings::train(
+        &sents,
+        vocab.len(),
+        &SgnsConfig::default(),
+    ));
+    let mut tfidf = TfIdf::new();
+    tfidf.add_doc(["astora", "veymar", "tariffs"]);
+    tfidf.add_doc(["the", "lorex", "tour"]);
+
+    let mut events = Vec::new();
+    for (text, trig, ents, day) in raw {
+        let node = ontology.add_event(Phrase::from_text(text), 1.0, day);
+        events.push(StoryEvent {
+            node,
+            tokens: giant::text::tokenize(text),
+            trigger: Some(trig.to_owned()),
+            entities: ents,
+            day,
+        });
+    }
+
+    let sim = EventSimilarity {
+        encoder: &encoder,
+        vocab: &vocab,
+        tfidf: &tfidf,
+        ontology: &ontology,
+    };
+    let seed = events[0].clone();
+    let related: Vec<StoryEvent> = retrieve_related(&seed, &events)
+        .into_iter()
+        .cloned()
+        .collect();
+    println!(
+        "seed: {:?}\nretrieved {} correlated events",
+        seed.tokens.join(" "),
+        related.len()
+    );
+    let tree = build_story_tree(seed, related, &sim, &StoryTreeConfig::default());
+    println!("\n{}", tree.render());
+    println!(
+        "{} events in {} branches — the concert thread should sit apart from the tariff thread",
+        tree.n_events(),
+        tree.branches.len()
+    );
+}

@@ -1,0 +1,190 @@
+//! Adapts the synthetic world (`giant-data`) into the data-agnostic pipeline
+//! input (`giant-core`), and bundles the common experiment setup: generate →
+//! build datasets → train models → run the pipeline.
+
+use giant_core::gctsp::GctspConfig;
+use giant_core::pipeline::{CategoryRecord, DocRecord, GiantOutput, PipelineInput};
+use giant_core::train::{train_phrase_model, train_role_model, GiantModels, TrainingCluster};
+use giant_core::GiantConfig;
+use giant_data::{
+    concept_mining_dataset, event_mining_dataset, generate_clicks, generate_corpus, ClickConfig,
+    ClickLog, Corpus, CorpusConfig, MiningDataset, MiningExample, World, WorldConfig,
+};
+
+/// Everything needed to run experiments, generated from one seed.
+pub struct GiantSetup {
+    /// The ground-truth world.
+    pub world: World,
+    /// The document corpus.
+    pub corpus: Corpus,
+    /// The click log (records, intents, sessions).
+    pub log: ClickLog,
+    /// Concept Mining Dataset analogue.
+    pub cmd: MiningDataset,
+    /// Event Mining Dataset analogue.
+    pub emd: MiningDataset,
+}
+
+/// Model-training configuration for [`GiantSetup::train_models`].
+#[derive(Debug, Clone, Copy)]
+pub struct ModelTrainConfig {
+    /// Phrase (binary) model configuration.
+    pub phrase: GctspConfig,
+    /// Role (4-class) model configuration.
+    pub role: GctspConfig,
+}
+
+impl Default for ModelTrainConfig {
+    fn default() -> Self {
+        Self {
+            phrase: GctspConfig {
+                epochs: 8,
+                ..GctspConfig::default()
+            },
+            role: GctspConfig {
+                n_classes: 4,
+                epochs: 8,
+                ..GctspConfig::default()
+            },
+        }
+    }
+}
+
+impl ModelTrainConfig {
+    /// A small configuration for tests (3-layer, few epochs).
+    pub fn small() -> Self {
+        let small = GctspConfig {
+            hidden: 16,
+            layers: 3,
+            n_bases: 3,
+            feat_dim: 6,
+            epochs: 6,
+            ..GctspConfig::default()
+        };
+        Self {
+            phrase: small,
+            role: GctspConfig {
+                n_classes: 4,
+                ..small
+            },
+        }
+    }
+}
+
+/// Converts dataset examples into the core's training form.
+pub fn to_training_clusters(examples: &[MiningExample]) -> Vec<TrainingCluster> {
+    examples
+        .iter()
+        .map(|e| TrainingCluster {
+            queries: e.queries.clone(),
+            titles: e.titles.clone(),
+            gold_tokens: e.gold_tokens.clone(),
+            roles: e.roles.clone(),
+        })
+        .collect()
+}
+
+impl GiantSetup {
+    /// Generates world, corpus, click log and datasets from `cfg`.
+    pub fn generate(cfg: WorldConfig) -> Self {
+        let world = World::generate(cfg);
+        let corpus = generate_corpus(&world, &CorpusConfig::default());
+        let log = generate_clicks(&world, &corpus, &ClickConfig::default());
+        let cmd = concept_mining_dataset(&world, &corpus, &log);
+        let emd = event_mining_dataset(&world, &corpus, &log);
+        Self {
+            world,
+            corpus,
+            log,
+            cmd,
+            emd,
+        }
+    }
+
+    /// The pipeline-input view of this setup.
+    pub fn pipeline_input(&self) -> PipelineInput {
+        let docs = self
+            .corpus
+            .docs
+            .iter()
+            .map(|d| DocRecord {
+                id: d.id,
+                title: d.title.clone(),
+                sentences: d.sentences.clone(),
+                leaf_category: d.leaf_category,
+                day: d.day,
+            })
+            .collect();
+        let categories = self
+            .world
+            .categories
+            .iter()
+            .map(|c| CategoryRecord {
+                id: c.id,
+                tokens: c.tokens.clone(),
+                level: c.level,
+                parent: c.parent,
+            })
+            .collect();
+        let entities = self
+            .world
+            .entities
+            .iter()
+            .map(|e| (e.tokens.clone(), e.ner))
+            .collect();
+        PipelineInput {
+            click_graph: self.log.build_click_graph(),
+            docs,
+            categories,
+            sessions: self.log.sessions.clone(),
+            entities,
+            annotator: self.world.annotator(),
+        }
+    }
+
+    /// Trains the phrase + role models on the CMD/EMD train splits.
+    /// Returns the models and the pair of final-epoch losses.
+    pub fn train_models(&self, cfg: &ModelTrainConfig) -> (GiantModels, (f64, f64)) {
+        let annotator = self.world.annotator();
+        let cmd_train = to_training_clusters(&self.cmd.train);
+        let emd_train = to_training_clusters(&self.emd.train);
+        let (phrase_model, l1) = train_phrase_model(&cmd_train, &annotator, cfg.phrase);
+        // The binary phrase model must also see event clusters so the
+        // pipeline can mine both kinds.
+        let mut all_train = cmd_train;
+        all_train.extend(emd_train.iter().cloned());
+        let (phrase_model_full, _) = train_phrase_model(&all_train, &annotator, cfg.phrase);
+        let (role_model, l2) = train_role_model(&emd_train, &annotator, cfg.role);
+        // Keep the CMD-only loss for reporting, ship the full model.
+        drop(phrase_model);
+        (
+            GiantModels {
+                phrase_model: phrase_model_full,
+                role_model,
+            },
+            (l1, l2),
+        )
+    }
+
+    /// Trains models and runs the full pipeline.
+    pub fn run_pipeline(&self, models: &GiantModels, cfg: &GiantConfig) -> GiantOutput {
+        giant_core::run_pipeline(&self.pipeline_input(), models, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_generates_consistent_datasets() {
+        let s = GiantSetup::generate(WorldConfig::tiny());
+        assert_eq!(s.cmd.len(), s.world.concepts.len());
+        assert_eq!(s.emd.len(), s.world.events.len());
+        let input = s.pipeline_input();
+        assert_eq!(input.docs.len(), s.corpus.docs.len());
+        assert_eq!(input.categories.len(), s.world.categories.len());
+        assert_eq!(input.entities.len(), s.world.entities.len());
+        assert!(!input.sessions.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! # giant — a Rust reproduction of GIANT (SIGMOD 2020)
+//!
+//! *GIANT: Scalable Creation of a Web-scale Ontology* (Liu, Guo, Niu, Luo,
+//! Wang, Wen, Xu; SIGMOD 2020) mines **user attention phrases** — concepts,
+//! events and topics in the language of search users — from a search click
+//! graph, and links them with categories and entities into the **Attention
+//! Ontology**: a DAG with `isA`, `involve` and `correlate` edges that powers
+//! document tagging, story trees, query conceptualization and feed
+//! recommendation.
+//!
+//! This workspace is a from-scratch reproduction (see `DESIGN.md` for the
+//! system inventory and the substitutions made for proprietary inputs):
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`text`] | tokenizer, POS/NER/dependency annotation, SGNS embeddings, TF-IDF |
+//! | [`graph`] | click graph, random walk with restart, query–doc clustering |
+//! | [`nn`] | matrices, R-GCN, LSTM/BiLSTM, CRF, GBDT — verified backward passes |
+//! | [`tsp`] | exact + heuristic asymmetric-TSP path solvers |
+//! | [`ontology`] | the Attention Ontology store (DAG invariants, stats, IO) |
+//! | [`data`] | the synthetic world, corpus, click logs, CMD/EMD datasets |
+//! | [`mining`] | QTIG, GCTSP-Net, ATSP decoding, the full pipeline (`giant-core`) |
+//! | [`baselines`] | TextRank, AutoPhrase, Match/Align, LSTM-CRF, TextSummary + metrics |
+//! | [`apps`] | story trees, document tagging, Duet, query understanding, feed simulator |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use giant::adapter::GiantSetup;
+//!
+//! // Generate a synthetic world + click log, train the models, build the AO.
+//! let setup = GiantSetup::generate(giant::data::WorldConfig::tiny());
+//! let (models, _) = setup.train_models(&Default::default());
+//! let output = setup.run_pipeline(&models, &Default::default());
+//! let stats = output.ontology.stats();
+//! println!("nodes: {:?}, edges: {:?}", stats.nodes_by_kind, stats.edges_by_kind);
+//! ```
+
+pub use giant_apps as apps;
+pub use giant_baselines as baselines;
+pub use giant_core as mining;
+pub use giant_data as data;
+pub use giant_graph as graph;
+pub use giant_nn as nn;
+pub use giant_ontology as ontology;
+pub use giant_text as text;
+pub use giant_tsp as tsp;
+
+pub mod adapter;

@@ -1,0 +1,213 @@
+//! Integration of the applications (§4) on top of a real pipeline output:
+//! story trees, query understanding, and the feed simulator all consuming
+//! the same constructed ontology.
+
+use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::apps::recommend::{simulate_feed, FeedSimConfig, TagStrategy};
+use giant::apps::storytree::{build_story_tree, retrieve_related, EventSimilarity, StoryTreeConfig};
+use giant::apps::QueryUnderstander;
+use giant::data::WorldConfig;
+use giant::mining::GiantConfig;
+use giant::ontology::NodeKind;
+use giant::text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
+use giant::text::{TfIdf, Vocab};
+use std::sync::OnceLock;
+
+struct Fixture {
+    setup: GiantSetup,
+    output: giant::mining::GiantOutput,
+    vocab: Vocab,
+    encoder: PhraseEncoder,
+    tfidf: TfIdf,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let setup = GiantSetup::generate(WorldConfig::tiny());
+        let (models, _) = setup.train_models(&ModelTrainConfig::small());
+        let output = setup.run_pipeline(&models, &GiantConfig::default());
+        let mut vocab = Vocab::new();
+        let sents = setup.corpus.embedding_corpus(&mut vocab);
+        let encoder = PhraseEncoder::new(WordEmbeddings::train(
+            &sents,
+            vocab.len(),
+            &SgnsConfig::default(),
+        ));
+        let mut tfidf = TfIdf::new();
+        for d in &setup.corpus.docs {
+            let toks = giant::text::tokenize(&d.title);
+            tfidf.add_doc(toks.iter().map(|s| s.as_str()));
+        }
+        Fixture {
+            setup,
+            output,
+            vocab,
+            encoder,
+            tfidf,
+        }
+    })
+}
+
+fn story_events(f: &Fixture) -> Vec<giant::apps::StoryEvent> {
+    f.output
+        .mined_of_kind(NodeKind::Event)
+        .into_iter()
+        .map(|m| giant::apps::StoryEvent {
+            node: m.node,
+            tokens: m.tokens.clone(),
+            trigger: m.trigger.clone(),
+            entities: m.entities.clone(),
+            day: m.day.unwrap_or(0),
+        })
+        .collect()
+}
+
+#[test]
+fn story_tree_from_mined_events() {
+    let f = fixture();
+    let events = story_events(f);
+    assert!(!events.is_empty(), "pipeline mined no events");
+    let seed_idx = (0..events.len())
+        .max_by_key(|&i| retrieve_related(&events[i], &events).len())
+        .unwrap();
+    let seed = events[seed_idx].clone();
+    let related: Vec<_> = retrieve_related(&seed, &events)
+        .into_iter()
+        .cloned()
+        .collect();
+    let sim = EventSimilarity {
+        encoder: &f.encoder,
+        vocab: &f.vocab,
+        tfidf: &f.tfidf,
+        ontology: &f.output.ontology,
+    };
+    let tree = build_story_tree(seed, related, &sim, &StoryTreeConfig::default());
+    assert!(tree.n_events() >= 1);
+    // Events sorted by day, every event in exactly one branch.
+    let days: Vec<u32> = tree.events.iter().map(|e| e.day).collect();
+    let mut sorted = days.clone();
+    sorted.sort_unstable();
+    assert_eq!(days, sorted);
+    let mut covered: Vec<usize> = tree.branches.iter().flatten().copied().collect();
+    covered.sort_unstable();
+    assert_eq!(covered, (0..tree.n_events()).collect::<Vec<_>>());
+    // Rendering is non-empty and mentions a day marker.
+    assert!(tree.render().contains("[day"));
+}
+
+#[test]
+fn query_understanding_on_constructed_ontology() {
+    let f = fixture();
+    let qu = QueryUnderstander {
+        ontology: &f.output.ontology,
+        entity_nodes: &f.output.entity_nodes,
+        max_results: 5,
+    };
+    // A concept query: find a mined concept with entity children.
+    let with_children = f
+        .output
+        .mined_of_kind(NodeKind::Concept)
+        .into_iter()
+        .find(|m| {
+            f.output
+                .ontology
+                .children_of(m.node)
+                .iter()
+                .any(|&c| f.output.ontology.node(c).kind == NodeKind::Entity)
+        });
+    if let Some(m) = with_children {
+        let u = qu.understand(&format!("best {}", m.tokens.join(" ")));
+        assert_eq!(u.concept, Some(m.node));
+        assert!(!u.rewrites.is_empty(), "expected query rewrites");
+        for r in &u.rewrites {
+            assert!(r.starts_with("best "));
+        }
+    }
+    // An entity query over a correlate-connected entity.
+    let entity_with_correlates = f
+        .setup
+        .world
+        .entities
+        .iter()
+        .map(|e| e.tokens.join(" "))
+        .find(|s| {
+            f.output
+                .entity_nodes
+                .get(s)
+                .map(|n| !f.output.ontology.correlates_of(*n).is_empty())
+                .unwrap_or(false)
+        });
+    if let Some(surface) = entity_with_correlates {
+        let u = qu.understand(&format!("{surface} review"));
+        assert!(u.entity.is_some());
+        assert!(!u.recommendations.is_empty());
+    }
+}
+
+#[test]
+fn feed_simulation_with_ground_truth_tags() {
+    let f = fixture();
+    let docs = giant::apps::ground_truth_tags(&f.setup.world, &f.setup.corpus, &|kind, id| {
+        giant::ontology::NodeId((kind.index() * 100_000 + id) as u32)
+    });
+    let cfg = FeedSimConfig {
+        n_users: 60,
+        ..FeedSimConfig::default()
+    };
+    let all = simulate_feed(&f.setup.world, &f.setup.corpus, &docs, &cfg, TagStrategy::AllTags);
+    let base = simulate_feed(
+        &f.setup.world,
+        &f.setup.corpus,
+        &docs,
+        &cfg,
+        TagStrategy::CategoryEntity,
+    );
+    assert!(all.impressions > 0);
+    assert!(
+        all.avg_ctr > base.avg_ctr,
+        "all-tags {:.2} must beat category+entity {:.2}",
+        all.avg_ctr,
+        base.avg_ctr
+    );
+}
+
+#[test]
+fn derived_nodes_have_valid_structure() {
+    let f = fixture();
+    let o = &f.output.ontology;
+    // Every topic (CPD output) must isA-parent at least one event and
+    // involve a concept whose phrase is contained in the topic phrase.
+    for t in o.nodes_of_kind(NodeKind::Topic) {
+        let children = o.children_of(t.id);
+        assert!(
+            children
+                .iter()
+                .any(|&c| o.node(c).kind == NodeKind::Event),
+            "topic {:?} has no event instances",
+            t.phrase.surface()
+        );
+        let involved = o.involved_in(t.id);
+        assert!(
+            involved
+                .iter()
+                .any(|&c| o.node(c).kind == NodeKind::Concept),
+            "topic {:?} involves no concept",
+            t.phrase.surface()
+        );
+    }
+    // CSD parents: child phrase ends with parent phrase.
+    for c in o.nodes_of_kind(NodeKind::Concept) {
+        for child in o.children_of(c.id) {
+            let child_node = o.node(child);
+            if child_node.kind == NodeKind::Concept {
+                assert!(
+                    child_node.phrase.has_proper_suffix(&c.phrase),
+                    "CSD edge violates suffix rule: {:?} -> {:?}",
+                    c.phrase.surface(),
+                    child_node.phrase.surface()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end integration: synthetic world → trained models → Algorithm 1 +
+//! linking → Attention Ontology. Verifies the pipeline against the
+//! generating ground truth.
+
+use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::data::WorldConfig;
+use giant::mining::GiantConfig;
+use giant::ontology::NodeKind;
+use std::sync::OnceLock;
+
+struct Fixture {
+    setup: GiantSetup,
+    output: giant::mining::GiantOutput,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let setup = GiantSetup::generate(WorldConfig::tiny());
+        let (models, losses) = setup.train_models(&ModelTrainConfig::small());
+        assert!(
+            losses.0.is_finite() && losses.1.is_finite(),
+            "training diverged: {losses:?}"
+        );
+        let output = setup.run_pipeline(&models, &GiantConfig::default());
+        Fixture { setup, output }
+    })
+}
+
+#[test]
+fn pipeline_mines_concepts_and_events() {
+    let f = fixture();
+    let stats = f.output.ontology.stats();
+    // Every kind of node must exist.
+    assert!(
+        stats.nodes_by_kind[NodeKind::Concept.index()] > 0,
+        "no concepts mined: {stats:?}"
+    );
+    assert!(
+        stats.nodes_by_kind[NodeKind::Event.index()] > 0,
+        "no events mined: {stats:?}"
+    );
+    assert_eq!(
+        stats.nodes_by_kind[NodeKind::Category.index()],
+        f.setup.world.categories.len()
+    );
+    assert_eq!(
+        stats.nodes_by_kind[NodeKind::Entity.index()]
+            >= f.setup.world.entities.len(),
+        true
+    );
+}
+
+#[test]
+fn mined_concepts_match_ground_truth_mostly() {
+    let f = fixture();
+    let truth: Vec<String> = f
+        .setup
+        .world
+        .concepts
+        .iter()
+        .map(|c| c.tokens.join(" "))
+        .collect();
+    let mined: Vec<String> = f
+        .output
+        .mined_of_kind(NodeKind::Concept)
+        .iter()
+        .map(|m| m.tokens.join(" "))
+        .collect();
+    let hit = truth.iter().filter(|t| mined.contains(t)).count();
+    // The tiny world has few training examples; demand a majority, not
+    // perfection.
+    assert!(
+        hit * 2 >= truth.len(),
+        "only {hit}/{} ground-truth concepts recovered; mined: {mined:?}",
+        truth.len()
+    );
+}
+
+#[test]
+fn mined_events_match_ground_truth_mostly() {
+    let f = fixture();
+    let truth: Vec<String> = f
+        .setup
+        .world
+        .events
+        .iter()
+        .map(|e| e.tokens.join(" "))
+        .collect();
+    let mined: Vec<String> = f
+        .output
+        .mined_of_kind(NodeKind::Event)
+        .iter()
+        .map(|m| m.tokens.join(" "))
+        .collect();
+    let hit = truth.iter().filter(|t| mined.contains(t)).count();
+    assert!(
+        hit * 2 >= truth.len(),
+        "only {hit}/{} ground-truth events recovered; mined: {mined:?}",
+        truth.len()
+    );
+}
+
+#[test]
+fn edges_exist_for_all_three_kinds() {
+    let f = fixture();
+    let stats = f.output.ontology.stats();
+    assert!(stats.edges_by_kind[0] > 0, "no isA edges: {stats:?}");
+    assert!(stats.edges_by_kind[1] > 0, "no involve edges: {stats:?}");
+    assert!(stats.edges_by_kind[2] > 0, "no correlate edges: {stats:?}");
+}
+
+#[test]
+fn category_links_point_to_true_categories() {
+    let f = fixture();
+    let o = &f.output.ontology;
+    // For mined concepts that exactly match a ground-truth concept, check
+    // that a linked category is an ancestor-or-self of the true category.
+    let mut checked = 0;
+    let mut correct = 0;
+    for m in f.output.mined_of_kind(NodeKind::Concept) {
+        let surface = m.tokens.join(" ");
+        let Some(truth) = f
+            .setup
+            .world
+            .concepts
+            .iter()
+            .find(|c| c.tokens.join(" ") == surface)
+        else {
+            continue;
+        };
+        let true_cats: Vec<String> = [truth.sub_category, f.setup.world.domain_of_sub(truth.sub_category)]
+            .iter()
+            .map(|&c| f.setup.world.categories[c].tokens.join(" "))
+            .collect();
+        for p in o.parents_of(m.node) {
+            let parent = o.node(p);
+            if parent.kind != NodeKind::Category {
+                continue;
+            }
+            checked += 1;
+            let name = parent.phrase.surface();
+            // Accept the leaf facets too ("<sub> news"/"<sub> reviews").
+            if true_cats.iter().any(|t| name.starts_with(t.as_str()) || t.starts_with(&name)) {
+                correct += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "no category links to check");
+    assert!(
+        correct * 10 >= checked * 8,
+        "category link accuracy too low: {correct}/{checked}"
+    );
+}
+
+#[test]
+fn concept_entity_links_respect_membership() {
+    let f = fixture();
+    let o = &f.output.ontology;
+    let mut checked = 0;
+    let mut correct = 0;
+    for m in f.output.mined_of_kind(NodeKind::Concept) {
+        let surface = m.tokens.join(" ");
+        let Some(truth) = f
+            .setup
+            .world
+            .concepts
+            .iter()
+            .find(|c| c.tokens.join(" ") == surface)
+        else {
+            continue;
+        };
+        for child in o.children_of(m.node) {
+            let node = o.node(child);
+            if node.kind != NodeKind::Entity {
+                continue;
+            }
+            checked += 1;
+            let ent_surface = node.phrase.surface();
+            let is_member = truth
+                .members
+                .iter()
+                .any(|&e| f.setup.world.entities[e].tokens.join(" ") == ent_surface);
+            if is_member {
+                correct += 1;
+            }
+        }
+    }
+    if checked > 0 {
+        assert!(
+            correct * 10 >= checked * 7,
+            "concept-entity precision too low: {correct}/{checked}"
+        );
+    }
+}
+
+#[test]
+fn correlate_edges_connect_related_entities() {
+    let f = fixture();
+    let o = &f.output.ontology;
+    let mut checked = 0;
+    let mut correct = 0;
+    for (src, dst, kind, _) in o.edges() {
+        if kind != giant::ontology::EdgeKind::Correlate {
+            continue;
+        }
+        let a = o.node(src);
+        let b = o.node(dst);
+        if a.kind != NodeKind::Entity || b.kind != NodeKind::Entity {
+            continue;
+        }
+        let find = |surface: &str| {
+            f.setup
+                .world
+                .entities
+                .iter()
+                .position(|e| e.tokens.join(" ") == surface)
+        };
+        let (Some(ea), Some(eb)) = (find(&a.phrase.surface()), find(&b.phrase.surface())) else {
+            continue;
+        };
+        checked += 1;
+        if f.setup.world.correlated_entities(ea).contains(&eb) {
+            correct += 1;
+        }
+    }
+    if checked > 0 {
+        assert!(
+            correct * 10 >= checked * 6,
+            "correlate precision too low: {correct}/{checked}"
+        );
+    }
+}
+
+#[test]
+fn ontology_round_trips_through_io() {
+    let f = fixture();
+    let text = giant::ontology::io::dump(&f.output.ontology);
+    let loaded = giant::ontology::io::load(&text).expect("round trip");
+    assert_eq!(loaded.stats(), f.output.ontology.stats());
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    // Two fresh runs with the same seeds give identical stats.
+    let s1 = GiantSetup::generate(WorldConfig::tiny());
+    let (m1, _) = s1.train_models(&ModelTrainConfig::small());
+    let o1 = s1.run_pipeline(&m1, &GiantConfig::default());
+    let s2 = GiantSetup::generate(WorldConfig::tiny());
+    let (m2, _) = s2.train_models(&ModelTrainConfig::small());
+    let o2 = s2.run_pipeline(&m2, &GiantConfig::default());
+    assert_eq!(o1.ontology.stats(), o2.ontology.stats());
+    assert_eq!(o1.mined.len(), o2.mined.len());
+}
