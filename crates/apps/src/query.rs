@@ -52,9 +52,11 @@ impl QueryUnderstander<'_> {
     /// Analyzes one query.
     pub fn understand(&self, query: &str) -> QueryUnderstanding {
         let tokens = giant_text::tokenize(query);
-        let mut out = QueryUnderstanding::default();
-        out.concept = self.find_contained(&tokens, NodeKind::Concept);
-        out.entity = self.find_contained(&tokens, NodeKind::Entity);
+        let mut out = QueryUnderstanding {
+            concept: self.find_contained(&tokens, NodeKind::Concept),
+            entity: self.find_contained(&tokens, NodeKind::Entity),
+            ..QueryUnderstanding::default()
+        };
 
         if let Some(c) = out.concept {
             let mut children: Vec<NodeId> = self

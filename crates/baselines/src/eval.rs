@@ -1,7 +1,7 @@
 //! Evaluation metrics (paper §5.2):
 //!
 //! * **EM** — exact match of predicted vs gold phrase.
-//! * **F1** — token-overlap F1 in the SQuAD style [52].
+//! * **F1** — token-overlap F1 in the SQuAD style \[52\].
 //! * **COV** — fraction of non-empty predictions.
 //! * **F1-macro / F1-micro / F1-weighted** — for the 4-class key-element task.
 

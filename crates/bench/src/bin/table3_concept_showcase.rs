@@ -7,7 +7,7 @@ fn main() {
     let exp = Experiment::build(ExperimentConfig::default());
     let o = &exp.output.ontology;
     println!("=== Table 3: Showcases of concepts, categories, instances ===");
-    println!("{:<22}{:<26}{}", "categories", "concept", "instances");
+    println!("{:<22}{:<26}instances", "categories", "concept");
     println!("{}", "-".repeat(90));
     let mut shown = 0;
     for m in exp.output.mined_of_kind(NodeKind::Concept) {

@@ -8,7 +8,7 @@ fn main() {
     let exp = Experiment::build(ExperimentConfig::default());
     let o = &exp.output.ontology;
     println!("=== Table 4: Showcases of events, topics, involved entities ===");
-    println!("{:<18}{:<34}{:<36}{}", "category", "topic", "event", "entities");
+    println!("{:<18}{:<34}{:<36}entities", "category", "topic", "event");
     println!("{}", "-".repeat(120));
     let mut shown = 0;
     for m in exp.output.mined_of_kind(NodeKind::Event) {

@@ -4,7 +4,7 @@
 //! "We split the original unsegmented document titles into subtitles by
 //! punctuations and spaces… we only keep the set of subtitles with lengths
 //! between L_l and L_h. For each remaining subtitle, we score it by counting
-//! how many unique non-stop query tokens [are] within it. The subtitles with
+//! how many unique non-stop query tokens \[are\] within it. The subtitles with
 //! the same score will be sorted by its click-through rate. Finally, we
 //! select the top ranked subtitle as a candidate event phrase."
 

@@ -13,7 +13,7 @@
 //! * [`bootstrap`] — pattern–concept duality bootstrapping.
 //! * [`align`] — query–title alignment candidates.
 //! * [`event_cand`] — CoverRank subtitle candidates.
-//! * [`derive`] — Common Suffix Discovery and Common Pattern Discovery.
+//! * [`mod@derive`] — Common Suffix Discovery and Common Pattern Discovery.
 //! * [`link`] — category links (δ_g), the concept–entity GBDT, correlate
 //!   embeddings (hinge loss).
 //! * [`train`] — dataset-to-model training helpers.

@@ -81,7 +81,7 @@ pub fn concept_entity_features(
         };
         mention_sentences += 1.0;
         first_mention.get_or_insert(si);
-        if s.iter().any(|t| *t == head) {
+        if s.contains(&head) {
             with_head = 1.0;
         }
         if let Some(cpos) = contains_seq(s, concept) {

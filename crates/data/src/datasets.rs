@@ -85,7 +85,7 @@ fn clicked_titles(
 ) -> Vec<String> {
     let mut mass: HashMap<usize, f64> = HashMap::new();
     for r in &log.records {
-        if queries.iter().any(|q| *q == r.query) {
+        if queries.contains(&r.query) {
             *mass.entry(r.doc).or_insert(0.0) += r.count;
         }
     }

@@ -7,7 +7,7 @@
 //!
 //! * [`digraph`] — a generic directed graph with typed edges and BFS hop
 //!   distances (used by the QTIG ATSP decoder and the ontology).
-//! * [`click`] — the bipartite [`ClickGraph`](click::ClickGraph) with the
+//! * [`click`] — the bipartite [`click::ClickGraph`] with the
 //!   transport probabilities of eq. (1)/(2).
 //! * [`walk`] — random walk with restart computing deterministic visit
 //!   probabilities from a seed query.

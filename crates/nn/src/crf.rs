@@ -61,8 +61,8 @@ impl LinearChainCrf {
         let t_len = emissions.rows();
         let k = self.k;
         let mut alpha = vec![vec![0.0; k]; t_len];
-        for j in 0..k {
-            alpha[0][j] = self.start.value.get(0, j) + emissions.get(0, j);
+        for (j, a) in alpha[0].iter_mut().enumerate() {
+            *a = self.start.value.get(0, j) + emissions.get(0, j);
         }
         let mut scratch = vec![0.0; k];
         for t in 1..t_len {
@@ -80,8 +80,8 @@ impl LinearChainCrf {
         let t_len = emissions.rows();
         let k = self.k;
         let mut beta = vec![vec![0.0; k]; t_len];
-        for j in 0..k {
-            beta[t_len - 1][j] = self.end.value.get(0, j);
+        for (j, b) in beta[t_len - 1].iter_mut().enumerate() {
+            *b = self.end.value.get(0, j);
         }
         let mut scratch = vec![0.0; k];
         for t in (0..t_len - 1).rev() {
@@ -145,12 +145,12 @@ impl LinearChainCrf {
 
         // Pairwise marginals -> transition gradient.
         for t in 0..t_len - 1 {
-            for i in 0..k {
-                for j in 0..k {
-                    let p = (alpha[t][i]
+            for (i, &a_ti) in alpha[t].iter().enumerate() {
+                for (j, &b_next_j) in beta[t + 1].iter().enumerate() {
+                    let p = (a_ti
                         + self.transitions.value.get(i, j)
                         + emissions.get(t + 1, j)
-                        + beta[t + 1][j]
+                        + b_next_j
                         - log_z)
                         .exp();
                     self.transitions.grad.add_at(i, j, p);
@@ -170,8 +170,8 @@ impl LinearChainCrf {
         let k = self.k;
         let mut score = vec![vec![f64::NEG_INFINITY; k]; t_len];
         let mut back = vec![vec![0usize; k]; t_len];
-        for j in 0..k {
-            score[0][j] = self.start.value.get(0, j) + emissions.get(0, j);
+        for (j, s) in score[0].iter_mut().enumerate() {
+            *s = self.start.value.get(0, j) + emissions.get(0, j);
         }
         for t in 1..t_len {
             for j in 0..k {
@@ -260,13 +260,7 @@ mod tests {
         let (_, d_em) = crf.nll(&em, &tags);
         crate::gradcheck::check_param_grads(
             &mut crf,
-            |c| {
-                let alpha_nll = {
-                    let z = c.log_partition(&em);
-                    z - c.path_score(&em, &tags)
-                };
-                alpha_nll
-            },
+            |c| c.log_partition(&em) - c.path_score(&em, &tags),
             |c| vec![&mut c.transitions, &mut c.start, &mut c.end],
             1e-6,
             1e-5,

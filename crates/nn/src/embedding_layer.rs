@@ -104,4 +104,25 @@ mod tests {
         let mut e = EmbeddingLayer::new(2, 2, &mut rng);
         let _ = e.forward(&[5]);
     }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        // Loss = ½ Σ out², so dL/dout = out; repeated ids exercise the
+        // scatter-accumulate path under the numeric check.
+        let ids = [1usize, 3, 1, 0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut e = EmbeddingLayer::new(4, 3, &mut rng);
+        let out = e.forward(&ids);
+        e.backward(&out);
+        crate::gradcheck::check_param_grads(
+            &mut e,
+            |m| {
+                let y = m.forward_inference(&ids);
+                y.data().iter().map(|v| v * v).sum::<f64>() / 2.0
+            },
+            |m| m.params_mut(),
+            1e-7,
+            1e-6,
+        );
+    }
 }

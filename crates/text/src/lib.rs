@@ -7,7 +7,7 @@
 //! substrate with the same interface obligations:
 //!
 //! * [`vocab`] — string interning ([`Vocab`], [`TokenId`]).
-//! * [`tokenize`] — lowercasing word/punctuation tokenizer and sentence split.
+//! * [`mod@tokenize`] — lowercasing word/punctuation tokenizer and sentence split.
 //! * [`stopwords`] — stop-word list including query wrapper words.
 //! * [`pos`] — part-of-speech tags, a lexicon tagger and a trainable HMM
 //!   (Viterbi) tagger.

@@ -81,7 +81,7 @@ impl Gazetteer {
         let bucket = self.entries.entry(first).or_default();
         bucket.push((rest, tag));
         // Longest continuation first so lookup is greedy.
-        bucket.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        bucket.sort_by_key(|entry| std::cmp::Reverse(entry.0.len()));
         self.len += 1;
     }
 

@@ -236,8 +236,8 @@ impl HmmTagger {
         let t_len = tokens.len();
         let mut score = vec![vec![f64::NEG_INFINITY; n]; t_len];
         let mut back = vec![vec![0usize; n]; t_len];
-        for j in 0..n {
-            score[0][j] = self.transition[n][j] + self.emit(j, &tokens[0]);
+        for (j, s) in score[0].iter_mut().enumerate() {
+            *s = self.transition[n][j] + self.emit(j, &tokens[0]);
         }
         for t in 1..t_len {
             for j in 0..n {

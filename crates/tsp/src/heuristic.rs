@@ -103,7 +103,7 @@ fn or_opt_pass(costs: &CostMatrix, path: &mut Vec<usize>) -> bool {
     for seg_len in 1..=3usize.min(n.saturating_sub(3)) {
         // Segment occupies positions [i, i+seg_len), intermediates only.
         let mut i = 1;
-        while i + seg_len <= n - 1 {
+        while i + seg_len < n {
             let before = costs.path_cost(path);
             let seg: Vec<usize> = path[i..i + seg_len].to_vec();
             let mut rest: Vec<usize> = Vec::with_capacity(n - seg_len);

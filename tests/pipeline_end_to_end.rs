@@ -44,11 +44,7 @@ fn pipeline_mines_concepts_and_events() {
         stats.nodes_by_kind[NodeKind::Category.index()],
         f.setup.world.categories.len()
     );
-    assert_eq!(
-        stats.nodes_by_kind[NodeKind::Entity.index()]
-            >= f.setup.world.entities.len(),
-        true
-    );
+    assert!(stats.nodes_by_kind[NodeKind::Entity.index()] >= f.setup.world.entities.len());
 }
 
 #[test]

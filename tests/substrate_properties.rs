@@ -1,5 +1,10 @@
 //! Cross-crate property tests: invariants that must hold for arbitrary
 //! inputs, spanning the substrates the pipeline composes.
+//!
+//! Determinism: the vendored proptest runner derives every test's input
+//! stream from a fixed workspace seed (`PROPTEST_RNG_SEED` overrides it,
+//! `PROPTEST_CASES` overrides the case count), so CI runs are exactly
+//! reproducible — a failure report's case index replays by itself.
 
 use giant::mining::qtig::Qtig;
 use giant::ontology::{NodeKind, Ontology, Phrase};

@@ -1,0 +1,217 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this workspace ships the
+//! subset of the criterion API its benches use: [`Criterion`] with the
+//! builder knobs, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both the `name/config/targets` and the
+//! positional form).
+//!
+//! Measurement model: each `bench_function` runs a warm-up for
+//! `warm_up_time`, then batches of iterations until `measurement_time`
+//! elapses (at least `sample_size` batches), and prints min / mean / max
+//! per-iteration wall-clock time. There is no statistical analysis, HTML
+//! report or baseline comparison — the numbers are honest but plain.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness configuration and registry.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            deadline: Instant::now() + self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.mode = Mode::Measure {
+            min_samples: self.sample_size,
+        };
+        b.deadline = Instant::now() + self.measurement_time;
+        b.samples.clear();
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+}
+
+enum Mode {
+    WarmUp,
+    Measure { min_samples: usize },
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    deadline: Instant,
+    /// Per-iteration nanosecond samples collected during measurement.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` (per the harness configuration)
+    /// and records per-iteration wall-clock samples.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::WarmUp => {
+                while Instant::now() < self.deadline {
+                    std::hint::black_box(routine());
+                }
+            }
+            Mode::Measure { min_samples } => {
+                // Size batches so one batch costs roughly 1/sample_size of
+                // the measurement budget, with a floor of one iteration.
+                let probe = Instant::now();
+                std::hint::black_box(routine());
+                let once = probe.elapsed().max(Duration::from_nanos(1));
+                let budget = self
+                    .deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                let per_batch = (budget.as_nanos() / min_samples as u128).max(1);
+                let batch = ((per_batch / once.as_nanos().max(1)) as u64).clamp(1, 1_000_000);
+                self.samples.push(once.as_nanos() as f64);
+                while self.samples.len() < min_samples || Instant::now() < self.deadline {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+                    self.samples.push(ns);
+                    if self.samples.len() >= min_samples && Instant::now() >= self.deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples — did the closure call Bencher::iter?)");
+        return;
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        human(min),
+        human(mean),
+        human(max),
+        samples.len()
+    );
+}
+
+/// Declares a benchmark group function that runs each target.
+///
+/// Both upstream forms are supported:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_runs_body() {
+        let mut n = 0u64;
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| n += 1));
+        assert!(n > 0, "routine never ran");
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert_eq!(human(12.0), "12.0 ns");
+        assert_eq!(human(1_500.0), "1.50 µs");
+        assert_eq!(human(2_500_000.0), "2.50 ms");
+        assert_eq!(human(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -1,0 +1,154 @@
+//! A tiny regex-subset generator backing `&str` strategies.
+//!
+//! Supported syntax — the subset the workspace's property tests use:
+//!
+//! * character classes `[a-z]`, `[a-zA-Z0-9,.!? ]` (literal chars and
+//!   `x-y` ranges; `-` first or last is literal),
+//! * literal characters outside classes (`\` escapes the next char),
+//! * repetition `{m}`, `{m,n}` (inclusive) on the preceding atom; an atom
+//!   without a repetition count appears exactly once.
+//!
+//! Anything else (alternation, groups, `*`/`+`/`?`) is rejected with a
+//! panic so a typo fails loudly instead of generating garbage.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One parsed atom: an alphabet and an inclusive repetition range.
+struct Atom {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < class.len() {
+                    if j + 2 < class.len() && class[j + 1] == '-' {
+                        let (lo, hi) = (class[j], class[j + 2]);
+                        assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                        set.extend(lo..=hi);
+                        j += 3;
+                    } else {
+                        set.push(class[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing `\\` in pattern {pattern:?}");
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c @ ('*' | '+' | '?' | '(' | ')' | '|') => {
+                panic!("unsupported regex operator {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition lower bound"),
+                    n.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let m: usize = body.trim().parse().expect("repetition count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        atoms.push(Atom { alphabet, min, max });
+    }
+    atoms
+}
+
+/// Generates a string matching `pattern` (see module docs for the subset).
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = if atom.min == atom.max {
+            atom.min
+        } else {
+            rng.random_range(atom.min..=atom.max)
+        };
+        for _ in 0..n {
+            out.push(atom.alphabet[rng.random_range(0..atom.alphabet.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_counted_repetition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad char: {s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_allows_zero_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = generate_matching("[a-zA-Z0-9,.!? ]{0,3}", &mut rng);
+            assert!(s.len() <= 3);
+            saw_empty |= s.is_empty();
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ",.!? ".contains(c)));
+        }
+        assert!(saw_empty, "zero repetitions never produced");
+    }
+
+    #[test]
+    fn literals_and_escapes_pass_through() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching(r"a\[b", &mut rng), "a[b");
+        assert_eq!(generate_matching("x{3}", &mut rng), "xxx");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex operator")]
+    fn star_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = generate_matching("[a-z]*", &mut rng);
+    }
+}

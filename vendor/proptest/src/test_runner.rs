@@ -1,0 +1,112 @@
+//! Configuration and the deterministic case loop behind [`crate::proptest!`].
+
+use crate::TestCaseError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fixed workspace seed. Every property test derives its stream from
+/// this value XOR an FNV hash of the test's name, so (a) runs are
+/// reproducible in CI and (b) distinct tests still explore distinct inputs.
+pub const DEFAULT_RNG_SEED: u64 = 0x4749_414e_5430_3230; // "GIANT2020"
+
+/// How a [`crate::proptest!`] block runs its cases.
+///
+/// Environment overrides, applied at run time (both are optional):
+///
+/// * `PROPTEST_CASES` — replaces `cases` for every block.
+/// * `PROPTEST_RNG_SEED` — replaces `rng_seed`, e.g. to explore new input
+///   streams locally while CI stays pinned to the default.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Base seed for input generation.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            rng_seed: DEFAULT_RNG_SEED,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases with the default deterministic seed.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    fn resolved(&self) -> (u32, u64) {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases);
+        let seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.rng_seed);
+        (cases, seed)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` for each case with a per-test deterministic RNG, panicking with
+/// a replayable report on the first failure. Used by the [`crate::proptest!`]
+/// expansion; not part of the public proptest API surface.
+pub fn run<F>(config: &ProptestConfig, test_name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let (cases, seed) = config.resolved();
+    let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(test_name));
+    for case in 0..cases {
+        if let Err(e) = f(&mut rng) {
+            panic!(
+                "property `{test_name}` failed at case {case}/{cases} \
+                 (PROPTEST_RNG_SEED={seed}): {e}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_the_requested_cases() {
+        let mut n = 0;
+        run(&ProptestConfig::with_cases(17), "counter", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case 3")]
+    fn run_reports_failing_case_index() {
+        let mut n = 0;
+        run(&ProptestConfig::with_cases(10), "fails", |_| {
+            if n == 3 {
+                return Err(TestCaseError::fail("boom"));
+            }
+            n += 1;
+            Ok(())
+        });
+    }
+}
