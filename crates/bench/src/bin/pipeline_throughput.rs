@@ -1,0 +1,68 @@
+//! Pipeline throughput across mining thread counts.
+//!
+//! Builds the experiment world and models once, then runs the full
+//! pipeline at 1/2/4/8 execute-phase workers, reporting wall-clock and
+//! docs/sec per configuration and asserting the byte-determinism contract
+//! (every run must serialise identically). Results land in
+//! `BENCH_pipeline.json` in the working directory.
+
+use giant_bench::{Experiment, ExperimentConfig};
+use giant_core::GiantConfig;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let config = ExperimentConfig::default();
+    // Build world + models once; only the pipeline run is timed.
+    let exp = Experiment::build(config);
+    let input = exp.setup.pipeline_input();
+    let n_docs = input.docs.len();
+
+    println!("=== Pipeline throughput (execute-phase workers) ===");
+    println!("world: {} docs, {} queries", n_docs, input.click_graph.n_queries());
+    println!("{:<10}{:>12}{:>14}{:>10}", "threads", "secs", "docs/sec", "speedup");
+    println!("{}", "-".repeat(46));
+
+    let mut baseline_dump: Option<String> = None;
+    let mut baseline_secs = 0.0f64;
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let cfg = GiantConfig {
+            threads,
+            ..config.giant
+        };
+        let start = Instant::now();
+        let output = giant_core::run_pipeline(&input, &exp.models, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        let dump = giant::ontology::io::dump(&output.ontology);
+        match &baseline_dump {
+            None => {
+                baseline_dump = Some(dump);
+                baseline_secs = secs;
+            }
+            Some(b) => assert_eq!(
+                b, &dump,
+                "determinism violated: threads={threads} produced a different ontology"
+            ),
+        }
+        let docs_per_sec = n_docs as f64 / secs;
+        let speedup = baseline_secs / secs;
+        println!("{threads:<10}{secs:>12.3}{docs_per_sec:>14.1}{speedup:>9.2}x");
+        rows.push((threads, secs, docs_per_sec, speedup));
+    }
+    println!("\nall {} runs byte-identical ✓", THREAD_COUNTS.len());
+
+    // Hand-rolled JSON: the workspace is offline, no serde.
+    let mut json = String::from("{\n  \"bench\": \"pipeline_throughput\",\n");
+    json.push_str(&format!("  \"n_docs\": {n_docs},\n  \"runs\": [\n"));
+    for (i, (threads, secs, dps, speedup)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"secs\": {secs:.6}, \"docs_per_sec\": {dps:.2}, \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

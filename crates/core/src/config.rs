@@ -28,6 +28,10 @@ pub struct GiantConfig {
     pub correlate_threshold_percentile: f64,
     /// Seed for all learned components.
     pub seed: u64,
+    /// Worker threads for the execute phase of attention mining (`0` and
+    /// `1` both run sequentially). Output is byte-identical for every
+    /// value: parallelism changes wall-clock, never the ontology.
+    pub threads: usize,
 }
 
 impl Default for GiantConfig {
@@ -46,6 +50,7 @@ impl Default for GiantConfig {
             topic_min_support: 2.0,
             correlate_threshold_percentile: 0.6,
             seed: 42,
+            threads: 1,
         }
     }
 }

@@ -16,7 +16,7 @@ use crate::link::{
 use crate::normalize::Normalizer;
 
 use crate::train::GiantModels;
-use giant_graph::cluster::extract_cluster;
+use giant_graph::plan::{plan_clusters_parallel, ClusterWorkItem};
 use giant_graph::{ClickGraph, DocId};
 use giant_nn::GbdtConfig;
 use giant_ontology::{EventRole, NodeId, NodeKind, Ontology, Phrase};
@@ -161,12 +161,23 @@ fn register_categories(input: &PipelineInput, out: &mut GiantOutput) {
     }
 }
 
+/// Registers the entity dictionary. `entity_nodes` is keyed by the joined
+/// surface, so duplicate surfaces in `input.entities` are collapsed
+/// **explicitly**: the first occurrence creates the node and every later
+/// duplicate maps to it. (The previous behaviour created a fresh ontology
+/// node per occurrence and let the `HashMap` insert silently orphan all
+/// but the last one — an ordering hazard the duplicate-surface test below
+/// pins down.)
 fn register_entities(input: &PipelineInput, out: &mut GiantOutput) {
     for (tokens, _ner) in &input.entities {
+        let surface = tokens.join(" ");
+        if out.entity_nodes.contains_key(&surface) {
+            continue;
+        }
         let node = out
             .ontology
             .add_node(NodeKind::Entity, Phrase::new(tokens.iter().cloned()), 0.0);
-        out.entity_nodes.insert(tokens.join(" "), node);
+        out.entity_nodes.insert(surface, node);
     }
 }
 
@@ -181,7 +192,96 @@ fn doc_category_chain(input: &PipelineInput, leaf: usize) -> Vec<usize> {
     out
 }
 
-/// Phase 1: Algorithm 1 — cluster, classify, decode, normalize.
+/// The execute phase's per-cluster product: one decoded attention phrase
+/// candidate with the metadata the merge phase needs.
+#[derive(Debug, Clone)]
+struct ClusterCandidate {
+    /// Decoded phrase tokens.
+    tokens: Vec<String>,
+    /// True when the phrase contains a verb (event, not concept).
+    is_event: bool,
+    /// Click support of the seed query.
+    support: f64,
+    /// All cluster query texts (QTIG inputs, seed first).
+    queries: Vec<String>,
+    /// Top clicked titles (context-enriched representation).
+    top_titles: Vec<String>,
+    /// Clicked doc ids.
+    clicked: Vec<usize>,
+    /// Earliest clicked-document day.
+    day: Option<u32>,
+}
+
+/// The expensive, **pure** per-cluster work of Algorithm 1: QTIG build,
+/// GCTSP inference and ATSP decode for one planned work item. No shared
+/// mutable state — safe to run on any worker thread in any order.
+fn mine_cluster(
+    input: &PipelineInput,
+    models: &GiantModels,
+    entity_surfaces: &HashSet<String>,
+    item: &ClusterWorkItem,
+) -> Option<ClusterCandidate> {
+    let stopwords = &input.annotator.stopwords;
+    let queries: Vec<String> = item
+        .cluster
+        .queries
+        .iter()
+        .map(|(cq, _)| input.click_graph.query_text(*cq).to_owned())
+        .collect();
+    let titles: Vec<String> = item
+        .cluster
+        .docs
+        .iter()
+        .filter_map(|(d, _)| input.docs.get(d.index()).map(|doc| doc.title.clone()))
+        .collect();
+    if titles.is_empty() {
+        return None;
+    }
+    let qtig = crate::train::build_cluster_qtig(&input.annotator, &queries, &titles);
+    let positives = models.phrase_model.predict_positive_nodes(&qtig);
+    let tokens = decode_tokens(&qtig, &positives);
+    if tokens.is_empty() || tokens.iter().all(|t| stopwords.is_stop(t)) {
+        return None;
+    }
+    // Entity queries re-discover dictionary entities; skip those.
+    if entity_surfaces.contains(&tokens.join(" ")) {
+        return None;
+    }
+    let is_event = tokens
+        .iter()
+        .any(|t| input.annotator.lexicon.tag(t) == PosTag::Verb);
+    let support = input.click_graph.query_clicks(item.seed);
+    let clicked: Vec<usize> = item.cluster.docs.iter().map(|(d, _)| d.index()).collect();
+    let top_titles: Vec<String> = titles.iter().take(5).cloned().collect();
+    let day = clicked
+        .iter()
+        .filter_map(|&d| input.docs.get(d).map(|doc| doc.day))
+        .min();
+    Some(ClusterCandidate {
+        tokens,
+        is_event,
+        support,
+        queries,
+        top_titles,
+        clicked,
+        day,
+    })
+}
+
+/// Phase 1: Algorithm 1 as plan → execute → merge.
+///
+/// * **Plan**: [`plan_clusters_parallel`] partitions the query space into
+///   disjoint [`ClusterWorkItem`]s, reproducing the old covered-set
+///   loop's seed selection exactly. The extraction walks are speculated
+///   across workers; the acceptance pass stays sequential.
+/// * **Execute** (parallel): [`mine_cluster`] runs QTIG build + GCTSP
+///   inference + decode per item on `cfg.threads` scoped workers;
+///   `giant-exec` returns candidates **in plan order** regardless of
+///   thread count or scheduling.
+/// * **Merge** (sequential, deterministic): candidates feed the
+///   [`Normalizer`]s in plan order — the same order the interleaved loop
+///   used — so the resulting ontology is byte-identical at every thread
+///   count (see `tests/golden_snapshot.rs` and `tests/determinism.rs`).
 fn mine_attentions(
     input: &PipelineInput,
     models: &GiantModels,
@@ -209,66 +309,31 @@ fn mine_attentions(
     let mut event_meta: Vec<GroupMeta> = Vec::new();
 
     let entity_surfaces: HashSet<String> = out.entity_nodes.keys().cloned().collect();
-    let mut covered: HashSet<String> = HashSet::new();
 
-    for q in input.click_graph.query_ids() {
-        let qtext = input.click_graph.query_text(q).to_owned();
-        if covered.contains(&qtext) {
-            continue;
-        }
-        let cluster = extract_cluster(&input.click_graph, q, stopwords, &cfg.cluster);
-        // Mark the whole cluster covered: its queries express one attention.
-        for (cq, _) in &cluster.queries {
-            covered.insert(input.click_graph.query_text(*cq).to_owned());
-        }
-        let queries: Vec<String> = cluster
-            .queries
-            .iter()
-            .map(|(cq, _)| input.click_graph.query_text(*cq).to_owned())
-            .collect();
-        let titles: Vec<String> = cluster
-            .docs
-            .iter()
-            .filter_map(|(d, _)| input.docs.get(d.index()).map(|doc| doc.title.clone()))
-            .collect();
-        if titles.is_empty() {
-            continue;
-        }
-        let qtig = crate::train::build_cluster_qtig(&input.annotator, &queries, &titles);
-        let positives = models.phrase_model.predict_positive_nodes(&qtig);
-        let tokens = decode_tokens(&qtig, &positives);
-        if tokens.is_empty() || tokens.iter().all(|t| stopwords.is_stop(t)) {
-            continue;
-        }
-        let surface = tokens.join(" ");
-        // Entity queries re-discover dictionary entities; skip those.
-        if entity_surfaces.contains(&surface) {
-            continue;
-        }
-        let is_event = tokens
-            .iter()
-            .any(|t| input.annotator.lexicon.tag(t) == PosTag::Verb);
-        let support = input.click_graph.query_clicks(q);
-        let clicked: Vec<usize> = cluster.docs.iter().map(|(d, _)| d.index()).collect();
-        let top_titles: Vec<String> = titles.iter().take(5).cloned().collect();
-        let day = clicked
-            .iter()
-            .filter_map(|&d| input.docs.get(d).map(|doc| doc.day))
-            .min();
-        let (norm, meta) = if is_event {
+    // Plan. The extraction walks inside planning are themselves the
+    // costliest part of mining, so the planner speculates batches of them
+    // across the same worker budget (see `plan_clusters_parallel`).
+    let plan = plan_clusters_parallel(&input.click_graph, stopwords, &cfg.cluster, cfg.threads);
+    // Execute.
+    let candidates = giant_exec::run_ordered(&plan.items, cfg.threads, |_, item| {
+        mine_cluster(input, models, &entity_surfaces, item)
+    });
+    // Merge, in plan order.
+    for cand in candidates.into_iter().flatten() {
+        let (norm, meta) = if cand.is_event {
             (&mut event_norm, &mut event_meta)
         } else {
             (&mut concept_norm, &mut concept_meta)
         };
-        let gi = norm.merge_or_insert(tokens, &top_titles, support);
+        let gi = norm.merge_or_insert(cand.tokens, &cand.top_titles, cand.support);
         if gi == meta.len() {
             meta.push(GroupMeta::default());
         }
         let m = &mut meta[gi];
-        m.queries.extend(queries);
-        m.titles = top_titles;
-        m.docs.extend(clicked);
-        m.day = match (m.day, day) {
+        m.queries.extend(cand.queries);
+        m.titles = cand.top_titles;
+        m.docs.extend(cand.clicked);
+        m.day = match (m.day, cand.day) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
@@ -686,4 +751,94 @@ pub fn clicked_doc_ids(graph: &ClickGraph, query: &str) -> Vec<usize> {
 /// Converts a click-graph [`DocId`] into a pipeline doc index.
 pub fn doc_id(d: DocId) -> usize {
     d.index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giant_text::Annotator;
+
+    fn empty_output() -> GiantOutput {
+        GiantOutput {
+            ontology: Ontology::new(),
+            mined: Vec::new(),
+            category_nodes: HashMap::new(),
+            entity_nodes: HashMap::new(),
+            rejected_edges: 0,
+        }
+    }
+
+    fn input_with_entities(entities: Vec<(Vec<String>, NerTag)>) -> PipelineInput {
+        PipelineInput {
+            click_graph: ClickGraph::new(),
+            docs: Vec::new(),
+            categories: Vec::new(),
+            sessions: Vec::new(),
+            entities,
+            annotator: Annotator::default(),
+        }
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn duplicate_entity_surfaces_do_not_drop_nodes() {
+        // Two occurrences of "quanta corp" (with different NER tags — the
+        // surface is the identity) plus one distinct entity. The ordering
+        // hazard this pins down: iterating `input.entities` into a map
+        // keyed by joined surface used to create one ontology node per
+        // occurrence and keep only the *last* in `entity_nodes`, silently
+        // orphaning the rest.
+        let input = input_with_entities(vec![
+            (toks("quanta corp"), NerTag::Organization),
+            (toks("neon sea"), NerTag::Location),
+            (toks("quanta corp"), NerTag::None),
+        ]);
+        let mut out = empty_output();
+        register_entities(&input, &mut out);
+
+        // One node per unique surface — no orphans in the ontology…
+        assert_eq!(out.ontology.stats().nodes_by_kind[NodeKind::Entity.index()], 2);
+        // …and the map resolves every surface to a live node.
+        assert_eq!(out.entity_nodes.len(), 2);
+        let quanta = out.entity_nodes["quanta corp"];
+        assert_eq!(out.ontology.node(quanta).phrase.tokens, toks("quanta corp"));
+        // First occurrence wins: the node was created when the first
+        // duplicate was seen, so its id precedes "neon sea"'s.
+        assert!(quanta < out.entity_nodes["neon sea"]);
+    }
+
+    #[test]
+    fn register_entities_is_order_insensitive_up_to_ids() {
+        // The surviving surface set must not depend on occurrence order.
+        let a = {
+            let mut out = empty_output();
+            register_entities(
+                &input_with_entities(vec![
+                    (toks("quanta corp"), NerTag::Organization),
+                    (toks("quanta corp"), NerTag::None),
+                ]),
+                &mut out,
+            );
+            out
+        };
+        let b = {
+            let mut out = empty_output();
+            register_entities(
+                &input_with_entities(vec![
+                    (toks("quanta corp"), NerTag::None),
+                    (toks("quanta corp"), NerTag::Organization),
+                ]),
+                &mut out,
+            );
+            out
+        };
+        assert_eq!(a.entity_nodes.len(), b.entity_nodes.len());
+        assert_eq!(
+            a.ontology.stats().nodes_by_kind[NodeKind::Entity.index()],
+            b.ontology.stats().nodes_by_kind[NodeKind::Entity.index()]
+        );
+    }
 }

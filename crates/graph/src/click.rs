@@ -45,6 +45,12 @@ pub struct ClickGraph {
     q_edges: Vec<Vec<(DocId, f64)>>,
     /// Per-doc incoming clicks `(query, count)`.
     d_edges: Vec<Vec<(QueryId, f64)>>,
+    /// Cached per-query totals, kept bit-identical to an in-order sum over
+    /// `q_edges[q]` (recomputed on every insert — the walk kernel reads
+    /// totals once per touched node per iteration, so lookups must be O(1)).
+    q_totals: Vec<f64>,
+    /// Cached per-doc totals (same contract as `q_totals`).
+    d_totals: Vec<f64>,
     total_clicks: f64,
 }
 
@@ -63,6 +69,7 @@ impl ClickGraph {
         self.queries.push(query.to_owned());
         self.query_index.insert(query.to_owned(), id);
         self.q_edges.push(Vec::new());
+        self.q_totals.push(0.0);
         id
     }
 
@@ -70,6 +77,7 @@ impl ClickGraph {
     fn ensure_doc(&mut self, doc: DocId) {
         if doc.index() >= self.d_edges.len() {
             self.d_edges.resize(doc.index() + 1, Vec::new());
+            self.d_totals.resize(doc.index() + 1, 0.0);
         }
     }
 
@@ -78,13 +86,32 @@ impl ClickGraph {
         assert!(count >= 0.0, "negative click count");
         let q = self.intern_query(query);
         self.ensure_doc(doc);
+        // Cached-total maintenance must stay bit-compatible with the
+        // in-order edge sum the pre-cache `query_clicks` computed at read
+        // time. Appending a new edge extends that sum on the right, so
+        // `total + count` is exact and O(1); merging into an *interior*
+        // edge changes a middle term, so only a full in-order resum
+        // reproduces the same rounding.
         match self.q_edges[q.index()].iter_mut().find(|(d, _)| *d == doc) {
-            Some((_, c)) => *c += count,
-            None => self.q_edges[q.index()].push((doc, count)),
+            Some((_, c)) => {
+                *c += count;
+                self.q_totals[q.index()] = self.q_edges[q.index()].iter().map(|(_, c)| c).sum();
+            }
+            None => {
+                self.q_edges[q.index()].push((doc, count));
+                self.q_totals[q.index()] += count;
+            }
         }
         match self.d_edges[doc.index()].iter_mut().find(|(qq, _)| *qq == q) {
-            Some((_, c)) => *c += count,
-            None => self.d_edges[doc.index()].push((q, count)),
+            Some((_, c)) => {
+                *c += count;
+                self.d_totals[doc.index()] =
+                    self.d_edges[doc.index()].iter().map(|(_, c)| c).sum();
+            }
+            None => {
+                self.d_edges[doc.index()].push((q, count));
+                self.d_totals[doc.index()] += count;
+            }
         }
         self.total_clicks += count;
         q
@@ -143,14 +170,18 @@ impl ClickGraph {
             .unwrap_or(0.0)
     }
 
-    /// Total clicks issued from `q`.
+    /// Total clicks issued from `q` (cached, O(1)).
     pub fn query_clicks(&self, q: QueryId) -> f64 {
-        self.q_edges[q.index()].iter().map(|(_, c)| c).sum()
+        self.q_totals[q.index()]
     }
 
-    /// Total clicks received by `d`.
+    /// Total clicks received by `d` (cached, O(1)).
     pub fn doc_clicks(&self, d: DocId) -> f64 {
-        self.queries_of(d).iter().map(|(_, c)| c).sum()
+        if d.index() < self.d_totals.len() {
+            self.d_totals[d.index()]
+        } else {
+            0.0
+        }
     }
 
     /// Transport probability `P(d | q)` (eq. 1). Zero when `q` has no clicks.

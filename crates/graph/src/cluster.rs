@@ -8,7 +8,7 @@
 //! queries out of the cluster.
 
 use crate::click::{ClickGraph, DocId, QueryId};
-use crate::walk::{walk_from, WalkConfig};
+use crate::walk::{WalkConfig, Walker};
 use giant_text::StopWords;
 use std::collections::HashSet;
 
@@ -72,7 +72,20 @@ pub fn extract_cluster(
     stopwords: &StopWords,
     cfg: &ClusterConfig,
 ) -> QueryDocCluster {
-    let walk = walk_from(g, seed, &cfg.walk);
+    extract_cluster_with(&mut Walker::for_graph(g), g, seed, stopwords, cfg)
+}
+
+/// [`extract_cluster`] reusing a caller-owned [`Walker`]'s buffers —
+/// identical output, no per-call walk allocations. This is what the
+/// planner hands each of its worker threads.
+pub fn extract_cluster_with(
+    walker: &mut Walker,
+    g: &ClickGraph,
+    seed: QueryId,
+    stopwords: &StopWords,
+    cfg: &ClusterConfig,
+) -> QueryDocCluster {
+    let walk = walker.walk(g, seed, &cfg.walk);
     let seed_tokens: HashSet<String> = giant_text::tokenize(g.query_text(seed))
         .into_iter()
         .filter(|t| !stopwords.is_stop(t))

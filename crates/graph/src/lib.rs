@@ -13,13 +13,17 @@
 //!   probabilities from a seed query.
 //! * [`cluster`] — query–doc cluster extraction with the visit-probability
 //!   threshold `δ_v` and the "more than half non-stop-word overlap" filter.
+//! * [`plan`] — the sequential cluster-planning pass that partitions the
+//!   query space into disjoint work items for parallel mining.
 
 pub mod click;
 pub mod cluster;
 pub mod digraph;
+pub mod plan;
 pub mod walk;
 
 pub use click::{ClickGraph, DocId, QueryId};
-pub use cluster::{extract_cluster, ClusterConfig, QueryDocCluster};
+pub use cluster::{extract_cluster, extract_cluster_with, ClusterConfig, QueryDocCluster};
 pub use digraph::DiGraph;
-pub use walk::{walk_from, WalkConfig, WalkResult};
+pub use plan::{plan_clusters, plan_clusters_parallel, ClusterPlan, ClusterWorkItem};
+pub use walk::{walk_from, WalkConfig, WalkResult, Walker};

@@ -1,0 +1,209 @@
+//! Cluster planning: the cheap sequential pass of the pipeline's
+//! plan → execute → merge architecture.
+//!
+//! [`plan_clusters`] walks every query of the click graph in id order and
+//! partitions the query space into [`ClusterWorkItem`]s, exactly
+//! reproducing the covered-set semantics the mining loop used when it was
+//! interleaved with per-cluster inference: a query seeds a cluster only if
+//! no earlier cluster already covered it, and a cluster covers every query
+//! it kept.
+//!
+//! Each work item carries two views of its cluster:
+//!
+//! * [`ClusterWorkItem::cluster`] — the **full** extraction around the
+//!   seed (may overlap earlier items; this is what QTIG construction and
+//!   inference consume, so per-cluster output is identical to the
+//!   sequential pipeline's).
+//! * [`ClusterWorkItem::owned`] — the queries this item *newly* covers.
+//!   Owned sets are pairwise disjoint and jointly cover every query id of
+//!   the graph (the invariant `tests/plan_properties.rs` proves), which is
+//!   what makes the items safe to execute concurrently: each query's
+//!   attention is attributed by exactly one item, in plan order.
+
+use crate::click::{ClickGraph, QueryId};
+use crate::cluster::{extract_cluster_with, ClusterConfig, QueryDocCluster};
+use crate::walk::Walker;
+use giant_text::StopWords;
+
+/// One unit of parallelizable mining work: a seed query plus its extracted
+/// cluster and the set of queries it owns.
+#[derive(Debug, Clone)]
+pub struct ClusterWorkItem {
+    /// The seed query (always the first entry of `cluster.queries` and of
+    /// `owned`).
+    pub seed: QueryId,
+    /// The full query–doc cluster around the seed.
+    pub cluster: QueryDocCluster,
+    /// Queries first covered by this item, in cluster-weight order.
+    pub owned: Vec<QueryId>,
+}
+
+/// The product of the planning pass: work items in deterministic plan
+/// order (ascending seed query id).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterPlan {
+    /// Work items; executing them in any order and merging results back
+    /// in *this* order reproduces the sequential pipeline byte for byte.
+    pub items: Vec<ClusterWorkItem>,
+}
+
+impl ClusterPlan {
+    /// Total queries owned across all items (equals the graph's query
+    /// count by the partition invariant).
+    pub fn owned_queries(&self) -> usize {
+        self.items.iter().map(|it| it.owned.len()).sum()
+    }
+}
+
+/// Plans disjoint cluster work items over the whole click graph
+/// (sequential reference semantics; equals [`plan_clusters_parallel`] at
+/// every thread count).
+pub fn plan_clusters(g: &ClickGraph, stopwords: &StopWords, cfg: &ClusterConfig) -> ClusterPlan {
+    plan_clusters_parallel(g, stopwords, cfg, 1)
+}
+
+/// [`plan_clusters`] with the expensive cluster extractions (random
+/// walks) spread over `threads` workers.
+///
+/// Extraction is **speculative** (`giant_exec::run_speculative`): a walk
+/// never depends on the covered set, so workers extract candidate seeds
+/// ahead of the sequential acceptance frontier, which replays the
+/// covered-set semantics strictly in query-id order. The covered flags
+/// are monotonic (false → true, written only by acceptance), so workers
+/// reading them can only *skip doomed work*, never change the plan:
+/// a producer that observes `covered[q]` declines the walk the
+/// sequential planner would never have started, and a stale read merely
+/// extracts a cluster acceptance then discards. The produced plan is
+/// therefore **identical** to [`plan_clusters`]'s for every thread
+/// count; only wall-clock changes.
+pub fn plan_clusters_parallel(
+    g: &ClickGraph,
+    stopwords: &StopWords,
+    cfg: &ClusterConfig,
+    threads: usize,
+) -> ClusterPlan {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let n = g.n_queries();
+    let covered: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let mut items: Vec<ClusterWorkItem> = Vec::new();
+    giant_exec::run_speculative(
+        n,
+        threads,
+        threads.max(1) * 4,
+        || Walker::for_graph(g),
+        |walker, i| {
+            if covered[i].load(Ordering::Acquire) {
+                return None; // already claimed: the sequential planner would skip it
+            }
+            Some(extract_cluster_with(walker, g, QueryId(i as u32), stopwords, cfg))
+        },
+        |i, produced| {
+            // Authoritative sequential state: only this closure writes
+            // `covered`, in index order.
+            if covered[i].load(Ordering::Relaxed) {
+                return; // claimed since production started: discard speculation
+            }
+            let cluster: QueryDocCluster =
+                produced.expect("uncovered seed must have been extracted");
+            let seed = QueryId(i as u32);
+            let mut owned = Vec::new();
+            for &(cq, _) in &cluster.queries {
+                if !covered[cq.index()].load(Ordering::Relaxed) {
+                    covered[cq.index()].store(true, Ordering::Release);
+                    owned.push(cq);
+                }
+            }
+            debug_assert_eq!(owned.first(), Some(&seed), "seed must own itself");
+            items.push(ClusterWorkItem {
+                seed,
+                cluster,
+                owned,
+            });
+        },
+    );
+    ClusterPlan { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::click::DocId;
+    use std::collections::HashSet;
+
+    fn graph() -> ClickGraph {
+        let mut g = ClickGraph::new();
+        g.add_clicks("miyazaki animated films", DocId(0), 20.0);
+        g.add_clicks("miyazaki animated films", DocId(1), 15.0);
+        g.add_clicks("famous miyazaki films", DocId(0), 10.0);
+        g.add_clicks("classic animated films miyazaki", DocId(1), 8.0);
+        g.add_clicks("tokyo travel guide", DocId(1), 9.0);
+        g.add_clicks("tokyo travel guide", DocId(3), 40.0);
+        g
+    }
+
+    #[test]
+    fn owned_sets_partition_the_query_space() {
+        let g = graph();
+        let plan = plan_clusters(&g, &StopWords::standard(), &ClusterConfig::default());
+        let mut seen = HashSet::new();
+        for it in &plan.items {
+            for q in &it.owned {
+                assert!(seen.insert(*q), "query {q:?} owned twice");
+            }
+        }
+        assert_eq!(seen.len(), g.n_queries(), "every query must be owned");
+        assert_eq!(plan.owned_queries(), g.n_queries());
+    }
+
+    #[test]
+    fn seeds_are_uncovered_queries_in_id_order() {
+        let g = graph();
+        let plan = plan_clusters(&g, &StopWords::standard(), &ClusterConfig::default());
+        for w in plan.items.windows(2) {
+            assert!(w[0].seed.index() < w[1].seed.index(), "plan order is seed id order");
+        }
+        for it in &plan.items {
+            assert_eq!(it.owned.first(), Some(&it.seed));
+            assert_eq!(it.cluster.seed, it.seed);
+        }
+    }
+
+    #[test]
+    fn full_cluster_may_exceed_owned_but_never_misses_it() {
+        let g = graph();
+        let plan = plan_clusters(&g, &StopWords::standard(), &ClusterConfig::default());
+        for it in &plan.items {
+            let cluster_qs: HashSet<QueryId> = it.cluster.query_ids().into_iter().collect();
+            for q in &it.owned {
+                assert!(cluster_qs.contains(q), "owned query outside its cluster");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_planner_reproduces_sequential_plan_exactly() {
+        let g = graph();
+        let sw = StopWords::standard();
+        let cfg = ClusterConfig::default();
+        let seq = plan_clusters(&g, &sw, &cfg);
+        for threads in [2, 3, 8] {
+            let par = plan_clusters_parallel(&g, &sw, &cfg, threads);
+            assert_eq!(par.items.len(), seq.items.len(), "threads={threads}");
+            for (a, b) in par.items.iter().zip(&seq.items) {
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.owned, b.owned);
+                assert_eq!(a.cluster.query_ids(), b.cluster.query_ids());
+                assert_eq!(a.cluster.doc_ids(), b.cluster.doc_ids());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_plans_nothing() {
+        let g = ClickGraph::new();
+        let plan = plan_clusters(&g, &StopWords::standard(), &ClusterConfig::default());
+        assert!(plan.items.is_empty());
+        assert_eq!(plan.owned_queries(), 0);
+    }
+}

@@ -59,60 +59,260 @@ impl WalkResult {
 /// Runs a random walk with restart from `seed`, alternating
 /// query→doc (eq. 1) and doc→query (eq. 2) steps, and returns visit
 /// probabilities over the touched neighbourhood.
+///
+/// Internally the iteration runs over **dense per-layer buffers** instead
+/// of fresh `BTreeMap`s: hub documents fan walks out to most of the
+/// component, so tree inserts and their allocations dominated the old
+/// implementation (this function is the pipeline's hottest kernel — every
+/// planned cluster pays for one walk). Determinism is preserved exactly:
+/// each layer keeps the id set it would have held as tree keys
+/// (`SparseLayer`, membership-flag exact) and sorts it before every
+/// ordered scan, so ids are visited in the same ascending order a
+/// `BTreeMap` iterates, every f64 accumulation happens in the identical
+/// sequence, and the results are bit-for-bit those of the tree-based
+/// walk. Scans touch only registered ids — never a gap between them,
+/// never the whole graph — so sparse neighbourhoods stay cheap no matter
+/// how the component's ids are distributed.
 pub fn walk_from(g: &ClickGraph, seed: QueryId, cfg: &WalkConfig) -> WalkResult {
-    // BTreeMaps keep the f64 accumulation order fixed, so the walk is
-    // bit-for-bit reproducible across runs (HashMap iteration order is not).
-    let mut qp: BTreeMap<QueryId, f64> = BTreeMap::new();
-    qp.insert(seed, 1.0);
-    let mut dp: BTreeMap<DocId, f64> = BTreeMap::new();
+    Walker::for_graph(g).walk(g, seed, cfg)
+}
 
-    for _ in 0..cfg.max_iter {
-        // Query layer -> doc layer.
-        let mut next_dp: BTreeMap<DocId, f64> = BTreeMap::new();
-        for (&q, &p) in &qp {
-            if p == 0.0 {
-                continue;
-            }
-            let total = g.query_clicks(q);
-            if total == 0.0 {
-                continue;
-            }
-            for (d, c) in g.docs_of(q) {
-                *next_dp.entry(*d).or_insert(0.0) += p * (c / total);
-            }
-        }
-        // Doc layer -> query layer, with restart mass returning to the seed.
-        let mut next_qp: BTreeMap<QueryId, f64> = BTreeMap::new();
-        next_qp.insert(seed, cfg.restart);
-        for (&d, &p) in &next_dp {
-            if p == 0.0 {
-                continue;
-            }
-            let total = g.doc_clicks(d);
-            if total == 0.0 {
-                continue;
-            }
-            for (q, c) in g.queries_of(d) {
-                *next_qp.entry(*q).or_insert(0.0) += (1.0 - cfg.restart) * p * (c / total);
-            }
-        }
-        let delta: f64 = next_qp
-            .iter()
-            .map(|(q, p)| (p - qp.get(q).copied().unwrap_or(0.0)).abs())
-            .sum::<f64>()
-            + qp.iter()
-                .filter(|(q, _)| !next_qp.contains_key(q))
-                .map(|(_, p)| p.abs())
-                .sum::<f64>();
-        qp = next_qp;
-        dp = next_dp;
-        if delta < cfg.tol {
-            break;
+/// Reusable dense walk state. One walk allocates graph-sized buffers; the
+/// planner (`giant_graph::plan::plan_clusters_parallel`) amortises them by
+/// keeping one `Walker` per participant of its `giant_exec::run_speculative`
+/// pipeline instead of reallocating per seed. Results are identical to a
+/// fresh walker's: layers are empty on entry and re-emptied on exit, so no
+/// state crosses walks.
+#[derive(Debug, Clone)]
+pub struct Walker {
+    qp: SparseLayer,
+    dp: SparseLayer,
+    next_qp: SparseLayer,
+    next_dp: SparseLayer,
+}
+
+impl Walker {
+    /// A walker sized for `g` (buffers grow if a larger graph is walked).
+    pub fn for_graph(g: &ClickGraph) -> Self {
+        Self {
+            qp: SparseLayer::with_capacity(g.n_queries()),
+            dp: SparseLayer::with_capacity(g.n_docs()),
+            next_qp: SparseLayer::with_capacity(g.n_queries()),
+            next_dp: SparseLayer::with_capacity(g.n_docs()),
         }
     }
-    WalkResult {
-        query_probs: qp,
-        doc_probs: dp,
+
+    fn ensure_capacity(&mut self, g: &ClickGraph) {
+        self.qp.grow(g.n_queries());
+        self.next_qp.grow(g.n_queries());
+        self.dp.grow(g.n_docs());
+        self.next_dp.grow(g.n_docs());
+    }
+
+    /// Runs one random walk with restart, reusing this walker's buffers.
+    /// Bit-identical to [`walk_from`].
+    pub fn walk(&mut self, g: &ClickGraph, seed: QueryId, cfg: &WalkConfig) -> WalkResult {
+        self.ensure_capacity(g);
+        let (qp, dp) = (&mut self.qp, &mut self.dp);
+        let (next_qp, next_dp) = (&mut self.next_qp, &mut self.next_dp);
+        qp.insert(seed.index(), 1.0);
+
+        for _ in 0..cfg.max_iter {
+            // Query layer -> doc layer.
+            for &qi in qp.ids() {
+                let qi = qi as usize;
+                let p = qp.get(qi);
+                if p == 0.0 {
+                    continue;
+                }
+                let q = QueryId(qi as u32);
+                let total = g.query_clicks(q);
+                if total == 0.0 {
+                    continue;
+                }
+                for (d, c) in g.docs_of(q) {
+                    next_dp.add(d.index(), p * (c / total));
+                }
+            }
+            next_dp.sort_ids();
+            // Doc layer -> query layer, restart mass returning to the seed.
+            next_qp.insert(seed.index(), cfg.restart);
+            for &di in next_dp.ids() {
+                let di = di as usize;
+                let p = next_dp.get(di);
+                if p == 0.0 {
+                    continue;
+                }
+                let d = DocId(di as u32);
+                let total = g.doc_clicks(d);
+                if total == 0.0 {
+                    continue;
+                }
+                for (q, c) in g.queries_of(d) {
+                    next_qp.add(q.index(), (1.0 - cfg.restart) * p * (c / total));
+                }
+            }
+            next_qp.sort_ids();
+            // L1 delta, in ascending id order: entries of the new state
+            // first, then vanished entries of the old — the exact term
+            // order the tree-based implementation summed in (its first
+            // clause iterated next_qp's keys, its second the old keys
+            // absent from next_qp).
+            let mut delta = 0.0f64;
+            for &qi in next_qp.ids() {
+                let qi = qi as usize;
+                delta += (next_qp.get(qi) - qp.get(qi)).abs();
+            }
+            for &qi in qp.ids() {
+                let qi = qi as usize;
+                if !next_qp.contains(qi) {
+                    delta += qp.get(qi).abs();
+                }
+            }
+            // Advance: empty the old layers, swap in the new state.
+            qp.clear();
+            std::mem::swap(qp, next_qp);
+            dp.clear();
+            std::mem::swap(dp, next_dp);
+            if delta < cfg.tol {
+                break;
+            }
+        }
+
+        // Materialise the sparse public view (ascending id order, like
+        // the trees the API exposes), then empty the layers so the next
+        // walk starts clean.
+        let mut query_probs: BTreeMap<QueryId, f64> = BTreeMap::new();
+        for &qi in qp.ids() {
+            let p = qp.get(qi as usize);
+            if p != 0.0 {
+                query_probs.insert(QueryId(qi), p);
+            }
+        }
+        let mut doc_probs: BTreeMap<DocId, f64> = BTreeMap::new();
+        for &di in dp.ids() {
+            let p = dp.get(di as usize);
+            if p != 0.0 {
+                doc_probs.insert(DocId(di), p);
+            }
+        }
+        qp.clear();
+        dp.clear();
+        WalkResult {
+            query_probs,
+            doc_probs,
+        }
+    }
+}
+
+/// One layer of sparse walk state over a dense value buffer: membership
+/// flags make insertion O(1) and the id list bounds every scan to the
+/// entries actually present (never a gap, never the whole graph). The id
+/// list mirrors a `BTreeMap`'s key set exactly — including keys holding
+/// `0.0` — and iterating it after [`SparseLayer::sort_ids`] visits keys
+/// in the same ascending order the tree would, which is what keeps every
+/// f64 accumulation bit-identical to the tree-based implementation.
+#[derive(Debug, Clone, Default)]
+struct SparseLayer {
+    vals: Vec<f64>,
+    present: Vec<bool>,
+    ids: Vec<u32>,
+    min_id: usize,
+    max_id: usize,
+}
+
+impl SparseLayer {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            vals: vec![0.0; n],
+            present: vec![false; n],
+            ids: Vec::new(),
+            min_id: usize::MAX,
+            max_id: 0,
+        }
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.vals.len() < n {
+            self.vals.resize(n, 0.0);
+            self.present.resize(n, false);
+        }
+    }
+
+    #[inline]
+    fn register(&mut self, i: usize) {
+        if !self.present[i] {
+            self.present[i] = true;
+            self.ids.push(i as u32);
+            self.min_id = self.min_id.min(i);
+            self.max_id = self.max_id.max(i);
+        }
+    }
+
+    /// Tree-`insert` analogue: sets the value, registering the id.
+    fn insert(&mut self, i: usize, v: f64) {
+        self.register(i);
+        self.vals[i] = v;
+    }
+
+    /// Tree-`entry().or_insert(0.0) +=` analogue.
+    #[inline]
+    fn add(&mut self, i: usize, term: f64) {
+        self.register(i);
+        self.vals[i] += term;
+    }
+
+    /// Value at `i` (0.0 when absent, like `get().copied().unwrap_or(0.0)`).
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        self.vals[i]
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        self.present[i]
+    }
+
+    /// Puts the id list into ascending (tree key) order. Call once per
+    /// accumulation phase, before any ordered scan. When the occupied
+    /// span is dense a membership scan rebuilds the list in O(span);
+    /// when ids are scattered across a wide span it sorts instead — so
+    /// neither contiguous components nor pathologically interleaved ones
+    /// degrade. Both paths produce the identical ascending exact id
+    /// list, keeping iteration order (and so every f64 accumulation)
+    /// independent of which one ran.
+    fn sort_ids(&mut self) {
+        if self.ids.is_empty() {
+            return;
+        }
+        let span = self.max_id - self.min_id + 1;
+        if span <= self.ids.len().saturating_mul(8) {
+            self.ids.clear();
+            for i in self.min_id..=self.max_id {
+                if self.present[i] {
+                    self.ids.push(i as u32);
+                }
+            }
+        } else {
+            self.ids.sort_unstable();
+        }
+    }
+
+    /// Registered ids (ascending iff [`SparseLayer::sort_ids`] ran after
+    /// the last insertion).
+    fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Removes every entry, restoring the all-absent invariant.
+    fn clear(&mut self) {
+        for &i in &self.ids {
+            self.vals[i as usize] = 0.0;
+            self.present[i as usize] = false;
+        }
+        self.ids.clear();
+        self.min_id = usize::MAX;
+        self.max_id = 0;
     }
 }
 

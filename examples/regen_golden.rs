@@ -1,0 +1,33 @@
+//! Regenerates the golden ontology snapshot used by `tests/golden_snapshot.rs`.
+//!
+//! Run from the repository root:
+//!
+//! ```sh
+//! cargo run --release --example regen_golden
+//! ```
+//!
+//! The snapshot pins the exact byte stream the seed-world pipeline produces
+//! (tiny world, small models, default config, seed 42). Any intentional
+//! change to pipeline output must regenerate it — and the diff of
+//! `tests/golden/ontology_seed42.txt` then *is* the behavioural diff,
+//! reviewable line by line.
+
+use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::data::WorldConfig;
+use giant::mining::GiantConfig;
+
+fn main() {
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let output = setup.run_pipeline(&models, &GiantConfig::default());
+    let dump = giant::ontology::io::dump(&output.ontology);
+    let path = std::path::Path::new("tests/golden/ontology_seed42.txt");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+    std::fs::write(path, &dump).expect("write golden snapshot");
+    println!(
+        "wrote {} ({} lines, {} bytes)",
+        path.display(),
+        dump.lines().count(),
+        dump.len()
+    );
+}

@@ -1,0 +1,25 @@
+//! Helpers shared by the integration suites (`mod common;` per binary).
+
+/// Formats the first line where two multi-line dumps diverge, or the
+/// length mismatch when one is a prefix of the other. Labels name the two
+/// sides in the report (e.g. `"threads=1"` vs `"threads=4"`).
+pub fn first_divergence(a: &str, b: &str, label_a: &str, label_b: &str) -> String {
+    a.lines()
+        .zip(b.lines())
+        .position(|(x, y)| x != y)
+        .map(|i| {
+            format!(
+                "line {}: {label_a} {:?} vs {label_b} {:?}",
+                i + 1,
+                a.lines().nth(i).unwrap(),
+                b.lines().nth(i).unwrap()
+            )
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "lengths differ: {label_a} {} vs {label_b} {} bytes",
+                a.len(),
+                b.len()
+            )
+        })
+}

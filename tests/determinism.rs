@@ -10,12 +10,23 @@ use giant::adapter::{GiantSetup, ModelTrainConfig};
 use giant::data::WorldConfig;
 use giant::mining::GiantConfig;
 
-/// One fresh end-to-end run, serialised.
-fn pipeline_dump() -> String {
+mod common;
+
+/// One fresh end-to-end run at `threads` mining workers, serialised.
+fn pipeline_dump_with_threads(threads: usize) -> String {
     let setup = GiantSetup::generate(WorldConfig::tiny());
     let (models, _) = setup.train_models(&ModelTrainConfig::small());
-    let output = setup.run_pipeline(&models, &GiantConfig::default());
+    let cfg = GiantConfig {
+        threads,
+        ..GiantConfig::default()
+    };
+    let output = setup.run_pipeline(&models, &cfg);
     giant::ontology::io::dump(&output.ontology)
+}
+
+/// One fresh end-to-end run, serialised.
+fn pipeline_dump() -> String {
+    pipeline_dump_with_threads(1)
 }
 
 #[test]
@@ -24,27 +35,41 @@ fn pipeline_ontology_serialization_is_byte_identical_across_runs() {
     let second = pipeline_dump();
     assert!(!first.is_empty(), "dump produced no output");
     if first != second {
-        // Locate the first divergent line to make failures actionable.
-        let diverged = first
-            .lines()
-            .zip(second.lines())
-            .position(|(a, b)| a != b)
-            .map(|i| {
-                format!(
-                    "line {}: {:?} vs {:?}",
-                    i + 1,
-                    first.lines().nth(i).unwrap(),
-                    second.lines().nth(i).unwrap()
-                )
-            })
-            .unwrap_or_else(|| {
-                format!(
-                    "lengths differ: {} vs {} bytes",
-                    first.len(),
-                    second.len()
-                )
-            });
+        let diverged = common::first_divergence(&first, &second, "run 1", "run 2");
         panic!("pipeline output is not byte-identical across runs; first divergence at {diverged}");
+    }
+}
+
+#[test]
+fn pipeline_output_is_thread_count_invariant() {
+    // The plan → execute → merge architecture promises that worker count
+    // changes wall-clock only, never the ontology. 7 is deliberately not a
+    // power of two and not a divisor of the work-item count: uneven shard
+    // boundaries must not leak into the merge. World generation and model
+    // training are thread-independent, so they are built once and only
+    // the pipeline re-runs per thread count.
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let dump_at = |threads: usize| {
+        let cfg = GiantConfig {
+            threads,
+            ..GiantConfig::default()
+        };
+        giant::ontology::io::dump(&setup.run_pipeline(&models, &cfg).ontology)
+    };
+    let baseline = dump_at(1);
+    assert!(!baseline.is_empty(), "dump produced no output");
+    for threads in [2, 4, 7] {
+        let dump = dump_at(threads);
+        if dump != baseline {
+            let diverged = common::first_divergence(
+                &baseline,
+                &dump,
+                "threads=1",
+                &format!("threads={threads}"),
+            );
+            panic!("pipeline output depends on thread count; first divergence at {diverged}");
+        }
     }
 }
 

@@ -1,0 +1,44 @@
+//! Golden-snapshot regression: the seed-world pipeline must reproduce the
+//! checked-in ontology dump **byte for byte**.
+//!
+//! `tests/golden/ontology_seed42.txt` was serialised from the sequential
+//! pre-refactor pipeline (tiny world, small models, default config, seed 42)
+//! and is the proof that the plan→execute→merge refactor is output-neutral:
+//! any behavioural drift — reordered nodes, changed supports, lost edges —
+//! shows up here as a line-level diff, not as a statistics-level blur.
+//!
+//! To regenerate after an *intentional* output change:
+//! `cargo run --release --example regen_golden` (then review the diff).
+
+use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::data::WorldConfig;
+use giant::mining::GiantConfig;
+
+mod common;
+
+const GOLDEN: &str = include_str!("golden/ontology_seed42.txt");
+
+#[test]
+fn pipeline_reproduces_golden_ontology_byte_for_byte() {
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let output = setup.run_pipeline(&models, &GiantConfig::default());
+    let dump = giant::ontology::io::dump(&output.ontology);
+    assert!(!dump.is_empty(), "pipeline produced an empty dump");
+    if dump != GOLDEN {
+        let mismatch = common::first_divergence(&dump, GOLDEN, "got", "golden");
+        panic!(
+            "pipeline output diverged from tests/golden/ontology_seed42.txt; \
+             first divergence at {mismatch}\n\
+             (if the change is intentional: cargo run --release --example regen_golden)"
+        );
+    }
+    // The golden world also pins the load path: a reload of the golden text
+    // must re-serialise to the same bytes.
+    let reloaded = giant::ontology::io::load(GOLDEN).expect("golden snapshot loads");
+    assert_eq!(
+        giant::ontology::io::dump(&reloaded),
+        GOLDEN,
+        "golden snapshot is not a fixed point of dump∘load"
+    );
+}
