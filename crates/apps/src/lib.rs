@@ -11,20 +11,27 @@
 //! * [`query`] — query conceptualization and correlate-based
 //!   recommendations.
 //! * [`recommend`] — the news-feed A/B simulator behind Figures 6–7.
+//! * [`serving`] — the versioned `OntologyService`: immutable read-optimized
+//!   snapshots behind one typed request/response API, every app above
+//!   reachable through `ServeRequest`.
 
 pub mod duet;
 pub mod query;
 pub mod recommend;
+pub mod serving;
 pub mod storytree;
 pub mod tagging;
 
 pub use duet::{duet_features, DuetConfig, DuetMatcher, DUET_FEATURE_DIM};
-pub use query::{QueryUnderstander, QueryUnderstanding};
+pub use query::{conceptualize, recommend as recommend_query, QueryUnderstanding, Recommendations};
 pub use recommend::{
     simulate_by_kind,
     ground_truth_tags, simulate_feed, FeedSimConfig, KindSeries, SimDoc, SimResult, TagStrategy,
 };
+pub use serving::{
+    OntologyService, ServeError, ServeRequest, ServeResources, ServeResponse, ServingFrame,
+};
 pub use storytree::{
     build_story_tree, retrieve_related, EventSimilarity, StoryEvent, StoryTree, StoryTreeConfig,
 };
-pub use tagging::{DocTags, DocumentTagger, TaggingConfig};
+pub use tagging::{DocTags, DocumentTagger, TagResources, TaggingConfig};

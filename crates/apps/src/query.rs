@@ -4,9 +4,14 @@
 //! with each of the entities e_i that have isA relationship with p_c… If a
 //! query conveys an entity e, we can perform query recommendation by
 //! recommending the entities that have correlate relationship with e."
+//!
+//! Serving note: both operations run against an [`OntologySnapshot`] —
+//! contained-phrase detection is an inverted-index lookup (O(query tokens))
+//! and instance/correlate rankings are precomputed at freeze time, so a
+//! request never scans or sorts. The `OntologyService` exposes these as
+//! `ServeRequest::Conceptualize` / `ServeRequest::Recommend`.
 
-use giant_ontology::{NodeId, NodeKind, Ontology};
-use std::collections::HashMap;
+use giant_ontology::{NodeId, NodeKind, OntologySnapshot};
 
 /// The interpretation of one query.
 #[derive(Debug, Clone, Default)]
@@ -21,107 +26,103 @@ pub struct QueryUnderstanding {
     pub recommendations: Vec<NodeId>,
 }
 
-/// Query conceptualizer over a constructed ontology.
-pub struct QueryUnderstander<'a> {
-    /// The ontology.
-    pub ontology: &'a Ontology,
-    /// Entity surface → node.
-    pub entity_nodes: &'a HashMap<String, NodeId>,
-    /// Maximum rewrites / recommendations returned.
-    pub max_results: usize,
+/// Correlate-based recommendations for an entity query.
+#[derive(Debug, Clone, Default)]
+pub struct Recommendations {
+    /// Entity conveyed by the query, if any.
+    pub entity: Option<NodeId>,
+    /// Correlated entities by descending edge weight (ties by id).
+    pub items: Vec<NodeId>,
 }
 
-impl QueryUnderstander<'_> {
-    fn find_contained(&self, query_tokens: &[String], kind: NodeKind) -> Option<NodeId> {
-        // Longest contained phrase of the requested kind wins.
-        let mut best: Option<(usize, NodeId)> = None;
-        for node in self.ontology.nodes_of_kind(kind) {
-            let toks = &node.phrase.tokens;
-            if toks.is_empty() || toks.len() > query_tokens.len() {
-                continue;
-            }
-            let contained = (0..=query_tokens.len() - toks.len())
-                .any(|i| &query_tokens[i..i + toks.len()] == toks.as_slice());
-            if contained && best.map(|(l, _)| toks.len() > l).unwrap_or(true) {
-                best = Some((toks.len(), node.id));
-            }
-        }
-        best.map(|(_, id)| id)
+/// Analyzes one query against a frozen snapshot: longest contained concept
+/// and entity phrases, instance rewrites ranked by mining support, and
+/// correlate recommendations ranked by edge weight.
+///
+/// `match_aliases` extends contained-phrase detection to alias surfaces
+/// (resolving to their canonical node); `false` reproduces the historical
+/// canonical-phrase-only behaviour exactly.
+pub fn conceptualize(
+    snapshot: &OntologySnapshot,
+    query: &str,
+    max_results: usize,
+    match_aliases: bool,
+) -> QueryUnderstanding {
+    let tokens = giant_text::tokenize(query);
+    let mut out = QueryUnderstanding {
+        concept: snapshot.find_contained(&tokens, NodeKind::Concept, match_aliases),
+        entity: snapshot.find_contained(&tokens, NodeKind::Entity, match_aliases),
+        ..QueryUnderstanding::default()
+    };
+    if let Some(c) = out.concept {
+        out.rewrites = snapshot
+            .ranked_children(c)
+            .iter()
+            .filter(|&&n| snapshot.node(n).kind == NodeKind::Entity)
+            .take(max_results)
+            .map(|&e| format!("{query} {}", snapshot.node(e).phrase.surface()))
+            .collect();
     }
-
-    /// Analyzes one query.
-    pub fn understand(&self, query: &str) -> QueryUnderstanding {
-        let tokens = giant_text::tokenize(query);
-        let mut out = QueryUnderstanding {
-            concept: self.find_contained(&tokens, NodeKind::Concept),
-            entity: self.find_contained(&tokens, NodeKind::Entity),
-            ..QueryUnderstanding::default()
-        };
-
-        if let Some(c) = out.concept {
-            let mut children: Vec<NodeId> = self
-                .ontology
-                .children_of(c)
-                .into_iter()
-                .filter(|&n| self.ontology.node(n).kind == NodeKind::Entity)
-                .collect();
-            children.sort_by(|a, b| {
-                self.ontology
-                    .node(*b)
-                    .support
-                    .total_cmp(&self.ontology.node(*a).support)
-                    .then(a.0.cmp(&b.0))
-            });
-            out.rewrites = children
-                .into_iter()
-                .take(self.max_results)
-                .map(|e| format!("{query} {}", self.ontology.node(e).phrase.surface()))
-                .collect();
-        }
-        if let Some(e) = out.entity {
-            let mut correlates = self.ontology.correlates_of(e);
-            correlates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
-            out.recommendations = correlates
-                .into_iter()
-                .take(self.max_results)
-                .map(|(n, _)| n)
-                .collect();
-        }
-        out
+    if let Some(e) = out.entity {
+        out.recommendations = snapshot
+            .ranked_correlates(e)
+            .0
+            .iter()
+            .take(max_results)
+            .copied()
+            .collect();
     }
+    out
+}
+
+/// The recommendation half of [`conceptualize`], as its own request kind:
+/// detects the entity conveyed by `query` and returns its correlate
+/// neighbourhood in precomputed rank order.
+pub fn recommend(
+    snapshot: &OntologySnapshot,
+    query: &str,
+    max_results: usize,
+    match_aliases: bool,
+) -> Recommendations {
+    let tokens = giant_text::tokenize(query);
+    let entity = snapshot.find_contained(&tokens, NodeKind::Entity, match_aliases);
+    let items = entity
+        .map(|e| {
+            snapshot
+                .ranked_correlates(e)
+                .0
+                .iter()
+                .take(max_results)
+                .copied()
+                .collect()
+        })
+        .unwrap_or_default();
+    Recommendations { entity, items }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use giant_ontology::Phrase;
+    use giant_ontology::{Ontology, Phrase};
 
-    fn fixture() -> (Ontology, HashMap<String, NodeId>) {
+    fn fixture() -> OntologySnapshot {
         let mut o = Ontology::new();
         let cars = o.add_node(NodeKind::Concept, Phrase::from_text("electric cars"), 5.0);
         let v = o.add_node(NodeKind::Entity, Phrase::from_text("veltro x9"), 3.0);
         let k = o.add_node(NodeKind::Entity, Phrase::from_text("kario s4"), 9.0);
         let z = o.add_node(NodeKind::Entity, Phrase::from_text("zelda gt2"), 1.0);
+        o.add_alias(cars, Phrase::from_text("battery powered cars"));
         o.add_is_a(cars, v, 1.0).unwrap();
         o.add_is_a(cars, k, 1.0).unwrap();
         o.add_correlate(v, k, 0.9).unwrap();
         o.add_correlate(v, z, 0.4).unwrap();
-        let mut map = HashMap::new();
-        for (s, n) in [("veltro x9", v), ("kario s4", k), ("zelda gt2", z)] {
-            map.insert(s.to_owned(), n);
-        }
-        (o, map)
+        OntologySnapshot::freeze(&o)
     }
 
     #[test]
     fn concept_query_is_rewritten_with_instances() {
-        let (o, map) = fixture();
-        let qu = QueryUnderstander {
-            ontology: &o,
-            entity_nodes: &map,
-            max_results: 5,
-        };
-        let u = qu.understand("best electric cars");
+        let s = fixture();
+        let u = conceptualize(&s, "best electric cars", 5, false);
         assert!(u.concept.is_some());
         assert_eq!(u.rewrites.len(), 2);
         // Higher-support instance first.
@@ -131,44 +132,45 @@ mod tests {
 
     #[test]
     fn entity_query_gets_correlate_recommendations() {
-        let (o, map) = fixture();
-        let qu = QueryUnderstander {
-            ontology: &o,
-            entity_nodes: &map,
-            max_results: 5,
-        };
-        let u = qu.understand("veltro x9 review");
+        let s = fixture();
+        let u = conceptualize(&s, "veltro x9 review", 5, false);
         let e = u.entity.unwrap();
-        assert_eq!(o.node(e).phrase.surface(), "veltro x9");
+        assert_eq!(s.node(e).phrase.surface(), "veltro x9");
         // Strongest correlate first.
-        assert_eq!(o.node(u.recommendations[0]).phrase.surface(), "kario s4");
+        assert_eq!(s.node(u.recommendations[0]).phrase.surface(), "kario s4");
         assert_eq!(u.recommendations.len(), 2);
+        // The dedicated Recommend request agrees.
+        let r = recommend(&s, "veltro x9 review", 5, false);
+        assert_eq!(r.entity, u.entity);
+        assert_eq!(r.items, u.recommendations);
     }
 
     #[test]
     fn unknown_query_is_empty() {
-        let (o, map) = fixture();
-        let qu = QueryUnderstander {
-            ontology: &o,
-            entity_nodes: &map,
-            max_results: 5,
-        };
-        let u = qu.understand("meaning of life");
+        let s = fixture();
+        let u = conceptualize(&s, "meaning of life", 5, false);
         assert!(u.concept.is_none());
         assert!(u.entity.is_none());
         assert!(u.rewrites.is_empty());
         assert!(u.recommendations.is_empty());
+        assert!(recommend(&s, "meaning of life", 5, false).items.is_empty());
     }
 
     #[test]
     fn max_results_caps_output() {
-        let (o, map) = fixture();
-        let qu = QueryUnderstander {
-            ontology: &o,
-            entity_nodes: &map,
-            max_results: 1,
-        };
-        let u = qu.understand("electric cars");
+        let s = fixture();
+        let u = conceptualize(&s, "electric cars", 1, false);
         assert_eq!(u.rewrites.len(), 1);
+    }
+
+    #[test]
+    fn alias_matching_is_opt_in() {
+        let s = fixture();
+        let q = "cheap battery powered cars";
+        assert!(conceptualize(&s, q, 5, false).concept.is_none());
+        let u = conceptualize(&s, q, 5, true);
+        assert!(u.concept.is_some());
+        // Alias resolves to the canonical concept, whose rewrites follow.
+        assert_eq!(u.rewrites[0], format!("{q} kario s4"));
     }
 }

@@ -1,0 +1,596 @@
+//! The versioned ontology serving layer: one typed API over immutable
+//! snapshots, with lock-free concurrent reads and hot snapshot replacement.
+//!
+//! Production framing (ROADMAP north star): the ontology is rebuilt
+//! periodically by the mining pipeline but queried continuously by the
+//! applications. [`OntologyService`] decouples the two — each `publish`
+//! freezes a build into an [`OntologySnapshot`] + [`ServeResources`] pair
+//! (a *frame*) carrying a monotonically increasing version; readers grab
+//! the current frame with a single atomic load and are never blocked by a
+//! publish, and every request is answered entirely within one frame, so a
+//! mid-batch publish can never mix two ontology versions in one response.
+//!
+//! The typed surface is [`ServeRequest`] / [`ServeResponse`]: one request
+//! kind per application (conceptualization + rewriting, correlate
+//! recommendation, document tagging, story-tree formation).
+//! [`OntologyService::serve_batch`] drives request slices through
+//! `giant_exec::run_ordered`, so batched serving returns responses in
+//! request order, byte-identical at any thread count.
+//!
+//! ## Swap mechanics
+//!
+//! `current` is an [`AtomicPtr`] into the frame `Arc` most recently
+//! published; the service additionally keeps every published frame alive in
+//! `history` (a small `Mutex`-guarded `Vec` touched only by writers). A
+//! reader announces itself on a `SeqCst` presence counter, loads the
+//! pointer and bumps the frame's strong count — the history reference
+//! guarantees the pointee outlives that window, so reads are genuinely
+//! lock-free (two atomic RMWs and a load, no locks). Each `publish`
+//! reclaims superseded frames opportunistically: after swapping, if the
+//! presence counter reads zero, no reader can still be holding a
+//! pre-swap pointer it has not yet secured (`SeqCst` total order: a later
+//! announcement forces a later pointer load, which sees the new frame), so
+//! every history entry but the new current is released. Memory therefore
+//! stays bounded at one frame in the steady state; readers overlapping the
+//! check defer reclamation to a later publish that observes a quiet
+//! window (each publish retries the check briefly), or to
+//! [`OntologyService::prune_history`] (which requires `&mut self` and so
+//! excludes readers entirely).
+
+use crate::query::{conceptualize, recommend, QueryUnderstanding, Recommendations};
+use crate::storytree::{
+    build_story_tree, retrieve_related, EventSimilarity, StoryEvent, StoryTree, StoryTreeConfig,
+};
+use crate::tagging::{DocTags, DocumentTagger, TagResources};
+use giant_ontology::{NodeId, OntologySnapshot};
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything a frame needs beyond the snapshot to answer requests.
+#[derive(Debug, Clone)]
+pub struct ServeResources {
+    /// Tagging models and metadata (also lends the encoder/vocab/TF-IDF to
+    /// story-tree similarity).
+    pub tagging: TagResources,
+    /// The mined events available to story-tree requests.
+    pub stories: Vec<StoryEvent>,
+    /// Story-tree clustering parameters.
+    pub story_config: StoryTreeConfig,
+    /// Serving policy: let contained-phrase detection match alias surfaces
+    /// (`false` reproduces canonical-only historical behaviour).
+    pub match_aliases: bool,
+    /// Default result cap for conceptualize/recommend requests.
+    pub max_results: usize,
+}
+
+/// A typed serving request.
+#[derive(Debug, Clone)]
+pub enum ServeRequest {
+    /// Query conceptualization: contained concept/entity, instance
+    /// rewrites, correlate recommendations.
+    Conceptualize {
+        /// The raw query.
+        query: String,
+    },
+    /// Correlate-based recommendation for the entity conveyed by a query.
+    Recommend {
+        /// The raw query.
+        query: String,
+    },
+    /// Full document tagging (concepts, events, topics).
+    TagDocument {
+        /// Document title.
+        title: String,
+        /// Body sentences.
+        sentences: Vec<String>,
+    },
+    /// Story-tree formation around a seed event node.
+    StoryTree {
+        /// The seed event's ontology node.
+        seed: NodeId,
+    },
+}
+
+/// The typed response for each [`ServeRequest`] kind.
+#[derive(Debug, Clone)]
+pub enum ServeResponse {
+    /// Answer to [`ServeRequest::Conceptualize`].
+    Conceptualize(QueryUnderstanding),
+    /// Answer to [`ServeRequest::Recommend`].
+    Recommend(Recommendations),
+    /// Answer to [`ServeRequest::TagDocument`].
+    TagDocument(DocTags),
+    /// Answer to [`ServeRequest::StoryTree`].
+    StoryTree(StoryTree),
+}
+
+/// Serving errors (requests referencing unknown nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The story-tree seed is not a mined event in the current frame.
+    UnknownStorySeed(NodeId),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownStorySeed(n) => {
+                write!(f, "node {} is not a mined story event in this frame", n.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One published ontology version: an immutable snapshot plus the model
+/// resources that answer requests against it.
+#[derive(Debug)]
+pub struct ServingFrame {
+    /// Monotonically increasing publish version (first publish is 1).
+    pub version: u64,
+    /// The frozen ontology.
+    pub snapshot: Arc<OntologySnapshot>,
+    /// Models and serving metadata.
+    pub resources: Arc<ServeResources>,
+}
+
+impl ServingFrame {
+    /// A document tagger borrowing this frame's snapshot and resources —
+    /// the single implementation behind `TagDocument` and harness code
+    /// that needs sub-steps like key-entity detection.
+    pub fn tagger(&self) -> DocumentTagger<'_> {
+        DocumentTagger {
+            snapshot: &self.snapshot,
+            resources: &self.resources.tagging,
+        }
+    }
+
+    /// Answers one request entirely within this frame.
+    pub fn serve(&self, req: &ServeRequest) -> Result<ServeResponse, ServeError> {
+        let res = &self.resources;
+        match req {
+            ServeRequest::Conceptualize { query } => Ok(ServeResponse::Conceptualize(
+                conceptualize(&self.snapshot, query, res.max_results, res.match_aliases),
+            )),
+            ServeRequest::Recommend { query } => Ok(ServeResponse::Recommend(recommend(
+                &self.snapshot,
+                query,
+                res.max_results,
+                res.match_aliases,
+            ))),
+            ServeRequest::TagDocument { title, sentences } => {
+                Ok(ServeResponse::TagDocument(self.tagger().tag(title, sentences)))
+            }
+            ServeRequest::StoryTree { seed } => {
+                let seed_event = res
+                    .stories
+                    .iter()
+                    .find(|e| e.node == *seed)
+                    .ok_or(ServeError::UnknownStorySeed(*seed))?;
+                let related: Vec<StoryEvent> = retrieve_related(seed_event, &res.stories)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                let sim = EventSimilarity {
+                    encoder: &res.tagging.encoder,
+                    vocab: &res.tagging.vocab,
+                    tfidf: &res.tagging.tfidf,
+                    snapshot: &self.snapshot,
+                };
+                Ok(ServeResponse::StoryTree(build_story_tree(
+                    seed_event.clone(),
+                    related,
+                    &sim,
+                    &res.story_config,
+                )))
+            }
+        }
+    }
+}
+
+/// The versioned, hot-swappable ontology serving endpoint.
+///
+/// See the [module docs](self) for the swap mechanics. All read paths
+/// (`frame`, `serve`, `serve_batch`, `version`) are lock-free; `publish`
+/// serializes writers on a small internal mutex without ever blocking
+/// readers.
+pub struct OntologyService {
+    /// Points at the live frame; owns one strong count of it.
+    current: AtomicPtr<ServingFrame>,
+    /// Readers currently inside the load→secure acquire window.
+    readers_acquiring: AtomicUsize,
+    /// Frames whose pointer a stalled reader might still hold (usually just
+    /// the live one; superseded frames are reclaimed at publish time).
+    history: Mutex<Vec<Arc<ServingFrame>>>,
+}
+
+impl fmt::Debug for OntologyService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OntologyService")
+            .field("version", &self.version())
+            .finish_non_exhaustive()
+    }
+}
+
+impl OntologyService {
+    /// Builds a service with its first published version (version 1).
+    pub fn new(snapshot: OntologySnapshot, resources: ServeResources) -> Self {
+        let svc = Self {
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            readers_acquiring: AtomicUsize::new(0),
+            history: Mutex::new(Vec::new()),
+        };
+        svc.publish(snapshot, resources);
+        svc
+    }
+
+    /// Atomically replaces the live frame with a freshly built one and
+    /// returns its version. In-flight readers keep answering from the frame
+    /// they already hold; new readers observe the new frame immediately.
+    /// Superseded frames are reclaimed here whenever no reader is inside
+    /// the acquire window, so steady-state retention is a single frame.
+    pub fn publish(&self, snapshot: OntologySnapshot, resources: ServeResources) -> u64 {
+        let mut history = self.history.lock().expect("service history poisoned");
+        let version = history.last().map(|f| f.version + 1).unwrap_or(1);
+        let frame = Arc::new(ServingFrame {
+            version,
+            snapshot: Arc::new(snapshot),
+            resources: Arc::new(resources),
+        });
+        // `current` owns one strong count (via into_raw); `history` owns
+        // another, which is what makes the readers' two-step acquire safe.
+        let ptr = Arc::into_raw(Arc::clone(&frame)) as *mut ServingFrame;
+        history.push(frame);
+        let old = self.current.swap(ptr, Ordering::SeqCst);
+        if !old.is_null() {
+            // Reclaim the superseded frame's `current` count; the frame
+            // itself stays alive through `history` for late readers.
+            unsafe { drop(Arc::from_raw(old)) };
+        }
+        // Opportunistic reclamation. SeqCst total order: if the presence
+        // counter reads 0, every reader that announced itself before that
+        // load has also left the window (secured its Arc), and any reader
+        // announcing later must load `current` after our swap and can only
+        // see the new frame — so no one can still be holding a bare
+        // pointer to a superseded frame, and dropping those history
+        // entries is sound. Outside `Arc<ServingFrame>` handles keep their
+        // frames alive independently. The window is three atomic ops, so a
+        // zero sample is overwhelmingly likely; a short bounded retry
+        // rides out momentary overlap under heavy read traffic. If every
+        // sample is nonzero (a reader descheduled mid-window), the frames
+        // are retained until the next publish or `prune_history`.
+        for _ in 0..64 {
+            if self.readers_acquiring.load(Ordering::SeqCst) == 0 {
+                history.retain(|f| std::ptr::eq(Arc::as_ptr(f), ptr));
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        version
+    }
+
+    /// The live frame (lock-free: two atomic RMWs + one load, no locks).
+    pub fn frame(&self) -> Arc<ServingFrame> {
+        self.readers_acquiring.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        debug_assert!(!ptr.is_null(), "service always holds a frame after new()");
+        // SAFETY: `ptr` came from `Arc::into_raw` in `publish`, and the
+        // pointee cannot be released while we are inside the announced
+        // window — `publish` only drops history entries when the presence
+        // counter is zero, and `prune_history` requires `&mut self`.
+        // Bumping the count and rewrapping yields an owned handle.
+        let frame = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        self.readers_acquiring.fetch_sub(1, Ordering::SeqCst);
+        frame
+    }
+
+    /// The live version number (lock-free).
+    pub fn version(&self) -> u64 {
+        self.readers_acquiring.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: same liveness argument as `frame`; read-only access
+        // entirely inside the announced window.
+        let version = unsafe { (*ptr).version };
+        self.readers_acquiring.fetch_sub(1, Ordering::SeqCst);
+        version
+    }
+
+    /// The live snapshot.
+    pub fn snapshot(&self) -> Arc<OntologySnapshot> {
+        Arc::clone(&self.frame().snapshot)
+    }
+
+    /// The live resources.
+    pub fn resources(&self) -> Arc<ServeResources> {
+        Arc::clone(&self.frame().resources)
+    }
+
+    /// Answers one request against the live frame.
+    pub fn serve(&self, req: &ServeRequest) -> Result<ServeResponse, ServeError> {
+        self.frame().serve(req)
+    }
+
+    /// Answers a batch on `threads` workers via `giant_exec::run_ordered`:
+    /// responses come back in request order, byte-identical at any thread
+    /// count, and the whole batch is answered within a single frame even if
+    /// a publish lands mid-flight.
+    pub fn serve_batch(
+        &self,
+        requests: &[ServeRequest],
+        threads: usize,
+    ) -> Vec<Result<ServeResponse, ServeError>> {
+        let frame = self.frame();
+        giant_exec::run_ordered(requests, threads, |_, req| frame.serve(req))
+    }
+
+    /// Number of frames currently retained (1 in the steady state; more
+    /// only while a reader stalls inside the acquire window across a
+    /// publish).
+    pub fn n_retained(&self) -> usize {
+        self.history.lock().expect("service history poisoned").len()
+    }
+
+    /// Drops every superseded frame unconditionally. Requires exclusive
+    /// access, which guarantees no reader is inside the lock-free acquire
+    /// window; readers that already own an `Arc` to an old frame keep it
+    /// alive themselves. Rarely needed — `publish` already reclaims
+    /// opportunistically — but closes the stalled-reader corner.
+    pub fn prune_history(&mut self) {
+        let current = *self.current.get_mut() as *const ServingFrame;
+        self.history
+            .get_mut()
+            .expect("service history poisoned")
+            .retain(|f| Arc::as_ptr(f) == current);
+    }
+}
+
+impl Drop for OntologyService {
+    fn drop(&mut self) {
+        let ptr = *self.current.get_mut();
+        if !ptr.is_null() {
+            // Release the strong count `current` owns.
+            unsafe { drop(Arc::from_raw(ptr)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duet::{DuetConfig, DuetMatcher};
+    use crate::tagging::TaggingConfig;
+    use giant_ontology::{NodeKind, Ontology, Phrase};
+    use giant_text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
+    use giant_text::{TfIdf, Vocab};
+    use std::collections::HashMap;
+
+    /// A minimal but fully wired frame over a hand-built world.
+    fn service() -> (OntologyService, NodeId) {
+        let mut o = Ontology::new();
+        let cars = o.add_node(NodeKind::Concept, Phrase::from_text("electric cars"), 5.0);
+        let v = o.add_node(NodeKind::Entity, Phrase::from_text("veltro x9"), 3.0);
+        let k = o.add_node(NodeKind::Entity, Phrase::from_text("kario s4"), 9.0);
+        o.add_is_a(cars, v, 1.0).unwrap();
+        o.add_is_a(cars, k, 1.0).unwrap();
+        o.add_correlate(v, k, 0.9).unwrap();
+        let ev = o.add_event(Phrase::from_text("veltro x9 wins award"), 1.0, 3);
+        let ev2 = o.add_event(Phrase::from_text("veltro x9 recalled"), 1.0, 7);
+        o.add_involve(ev, v, 1.0).unwrap();
+        o.add_involve(ev2, v, 1.0).unwrap();
+
+        let mut vocab = Vocab::new();
+        let sents: Vec<Vec<giant_text::TokenId>> = (0..10)
+            .map(|_| {
+                giant_text::tokenize("veltro x9 electric cars wins award recalled")
+                    .iter()
+                    .map(|t| vocab.intern(t))
+                    .collect()
+            })
+            .collect();
+        let encoder =
+            PhraseEncoder::new(WordEmbeddings::train(&sents, vocab.len(), &SgnsConfig::default()));
+        let mut tfidf = TfIdf::new();
+        tfidf.add_doc(["veltro", "x9", "electric", "cars"]);
+        let mut examples = Vec::new();
+        for _ in 0..10 {
+            examples.push((vec![0.95, 0.95, 0.9, 0.6, 0.5, 1.0], true));
+            examples.push((vec![0.1, 0.15, 0.0, 0.1, 0.3, 0.0], false));
+        }
+        let duet = DuetMatcher::train(&examples, DuetConfig::default());
+        let stories = vec![
+            StoryEvent {
+                node: ev,
+                tokens: giant_text::tokenize("veltro x9 wins award"),
+                trigger: Some("wins".into()),
+                entities: vec![v],
+                day: 3,
+            },
+            StoryEvent {
+                node: ev2,
+                tokens: giant_text::tokenize("veltro x9 recalled"),
+                trigger: Some("recalled".into()),
+                entities: vec![v],
+                day: 7,
+            },
+        ];
+        let resources = ServeResources {
+            tagging: TagResources {
+                concept_contexts: HashMap::new(),
+                event_phrases: vec![(ev, giant_text::tokenize("veltro x9 wins award"))],
+                tfidf: Arc::new(tfidf),
+                duet: Arc::new(duet),
+                encoder: Arc::new(encoder),
+                vocab: Arc::new(vocab),
+                config: TaggingConfig::default(),
+            },
+            stories,
+            story_config: StoryTreeConfig::default(),
+            match_aliases: false,
+            max_results: 5,
+        };
+        (OntologyService::new(OntologySnapshot::freeze(&o), resources), ev)
+    }
+
+    #[test]
+    fn serves_every_request_kind() {
+        let (svc, ev) = service();
+        assert_eq!(svc.version(), 1);
+        let c = svc
+            .serve(&ServeRequest::Conceptualize { query: "best electric cars".into() })
+            .unwrap();
+        let ServeResponse::Conceptualize(u) = c else { panic!("wrong response kind") };
+        assert!(u.concept.is_some());
+        assert_eq!(u.rewrites.len(), 2);
+
+        let r = svc
+            .serve(&ServeRequest::Recommend { query: "veltro x9 review".into() })
+            .unwrap();
+        let ServeResponse::Recommend(r) = r else { panic!("wrong response kind") };
+        assert_eq!(r.items.len(), 1);
+
+        let t = svc
+            .serve(&ServeRequest::TagDocument {
+                title: "veltro x9 wins award".into(),
+                sentences: vec!["a great day for electric cars".into()],
+            })
+            .unwrap();
+        assert!(matches!(t, ServeResponse::TagDocument(_)));
+
+        let s = svc.serve(&ServeRequest::StoryTree { seed: ev }).unwrap();
+        let ServeResponse::StoryTree(tree) = s else { panic!("wrong response kind") };
+        assert_eq!(tree.n_events(), 2);
+
+        // Unknown story seed is a typed error.
+        let bogus = NodeId(999);
+        assert_eq!(
+            svc.serve(&ServeRequest::StoryTree { seed: bogus }).unwrap_err(),
+            ServeError::UnknownStorySeed(bogus)
+        );
+    }
+
+    #[test]
+    fn batch_is_order_preserving_and_thread_invariant() {
+        let (svc, ev) = service();
+        let reqs: Vec<ServeRequest> = (0..24)
+            .map(|i| match i % 3 {
+                0 => ServeRequest::Conceptualize { query: format!("q{i} electric cars") },
+                1 => ServeRequest::Recommend { query: "veltro x9".into() },
+                _ => ServeRequest::StoryTree { seed: ev },
+            })
+            .collect();
+        let base: Vec<String> =
+            svc.serve_batch(&reqs, 1).iter().map(|r| format!("{r:?}")).collect();
+        for threads in [2, 4, 7] {
+            let got: Vec<String> =
+                svc.serve_batch(&reqs, threads).iter().map(|r| format!("{r:?}")).collect();
+            assert_eq!(base, got, "batch output varies at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn publish_bumps_version_and_swaps_snapshot() {
+        let (svc, _) = service();
+        let old_frame = svc.frame();
+        assert_eq!(old_frame.version, 1);
+
+        // New world: one more entity under the concept.
+        let mut o = Ontology::new();
+        let cars = o.add_node(NodeKind::Concept, Phrase::from_text("electric cars"), 5.0);
+        let z = o.add_node(NodeKind::Entity, Phrase::from_text("zelda gt2"), 4.0);
+        o.add_is_a(cars, z, 1.0).unwrap();
+        let resources = (*svc.resources()).clone();
+        let v2 = svc.publish(OntologySnapshot::freeze(&o), resources);
+        assert_eq!(v2, 2);
+        assert_eq!(svc.version(), 2);
+        // No reader was mid-acquire, so the publish reclaimed the old
+        // frame from history; `old_frame`'s own Arc keeps it usable.
+        assert_eq!(svc.n_retained(), 1);
+
+        // New frame answers from the new world…
+        let ServeResponse::Conceptualize(u) = svc
+            .serve(&ServeRequest::Conceptualize { query: "electric cars".into() })
+            .unwrap()
+        else {
+            panic!("wrong response kind")
+        };
+        assert_eq!(u.rewrites, vec!["electric cars zelda gt2".to_owned()]);
+        // …while the frame grabbed before the publish still answers from the
+        // old one (snapshot isolation for in-flight work).
+        let ServeResponse::Conceptualize(u_old) = old_frame
+            .serve(&ServeRequest::Conceptualize { query: "electric cars".into() })
+            .unwrap()
+        else {
+            panic!("wrong response kind")
+        };
+        assert_eq!(u_old.rewrites.len(), 2);
+    }
+
+    #[test]
+    fn publish_reclaims_superseded_frames() {
+        let (mut svc, _) = service();
+        for _ in 0..3 {
+            let snap = (*svc.snapshot()).clone();
+            let res = (*svc.resources()).clone();
+            svc.publish(snap, res);
+            // With no reader mid-acquire, every publish reclaims down to
+            // the live frame — memory stays bounded under republishing.
+            assert_eq!(svc.n_retained(), 1);
+        }
+        assert_eq!(svc.version(), 4);
+        // The exclusive-access prune is a no-op here but must keep serving.
+        svc.prune_history();
+        assert_eq!(svc.n_retained(), 1);
+        assert_eq!(svc.version(), 4, "prune must keep the live frame");
+        assert!(svc
+            .serve(&ServeRequest::Conceptualize { query: "electric cars".into() })
+            .is_ok());
+    }
+
+    #[test]
+    fn concurrent_reads_across_publishes() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (svc, _) = service();
+        let svc = Arc::new(svc);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut last_version = 0u64;
+                // Check-at-end: every reader completes at least one read
+                // even if the publisher finishes before it is scheduled.
+                loop {
+                    let frame = svc.frame();
+                    assert!(frame.version >= last_version, "version went backwards");
+                    last_version = frame.version;
+                    let r = frame
+                        .serve(&ServeRequest::Conceptualize { query: "electric cars".into() })
+                        .unwrap();
+                    assert!(matches!(r, ServeResponse::Conceptualize(_)));
+                    served += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                served
+            }));
+        }
+        for _ in 0..20 {
+            let snap = (*svc.snapshot()).clone();
+            let res = (*svc.resources()).clone();
+            svc.publish(snap, res);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader starved");
+        }
+        assert_eq!(svc.version(), 21);
+    }
+}

@@ -7,7 +7,7 @@
 //! mean-pooling here, DESIGN.md S3), trigger-vector cosine (`f_g`) and
 //! TF-IDF similarity of the entity sets (`f_e`).
 
-use giant_ontology::{NodeId, Ontology};
+use giant_ontology::{NodeId, OntologySnapshot};
 use giant_text::embedding::PhraseEncoder;
 use giant_text::{TfIdf, Vocab};
 use std::collections::HashSet;
@@ -35,8 +35,8 @@ pub struct EventSimilarity<'a> {
     pub vocab: &'a Vocab,
     /// TF-IDF table for entity-set similarity.
     pub tfidf: &'a TfIdf,
-    /// Ontology for resolving entity phrases.
-    pub ontology: &'a Ontology,
+    /// Frozen ontology for resolving entity phrases.
+    pub snapshot: &'a OntologySnapshot,
 }
 
 impl EventSimilarity<'_> {
@@ -70,7 +70,7 @@ impl EventSimilarity<'_> {
         let ents = |e: &StoryEvent| -> Vec<String> {
             e.entities
                 .iter()
-                .flat_map(|&n| self.ontology.node(n).phrase.tokens.clone())
+                .flat_map(|&n| self.snapshot.node(n).phrase.tokens.clone())
                 .collect()
         };
         let ea = ents(a);
@@ -214,12 +214,12 @@ pub fn build_story_tree(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use giant_ontology::{NodeKind, Phrase};
+    use giant_ontology::{NodeKind, Ontology, Phrase};
     use giant_text::embedding::{SgnsConfig, WordEmbeddings};
 
     /// A miniature trade-war world: two coherent sub-stories.
     struct Fixture {
-        ontology: Ontology,
+        snapshot: OntologySnapshot,
         vocab: Vocab,
         encoder: PhraseEncoder,
         tfidf: TfIdf,
@@ -271,7 +271,7 @@ mod tests {
             });
         }
         Fixture {
-            ontology,
+            snapshot: OntologySnapshot::freeze(&ontology),
             vocab,
             encoder,
             tfidf,
@@ -296,7 +296,7 @@ mod tests {
             encoder: &f.encoder,
             vocab: &f.vocab,
             tfidf: &f.tfidf,
-            ontology: &f.ontology,
+            snapshot: &f.snapshot,
         };
         let related: Vec<StoryEvent> = retrieve_related(&f.events[0], &f.events)
             .into_iter()
@@ -324,7 +324,7 @@ mod tests {
             encoder: &f.encoder,
             vocab: &f.vocab,
             tfidf: &f.tfidf,
-            ontology: &f.ontology,
+            snapshot: &f.snapshot,
         };
         // Force-build a tree over all four events.
         let tree = build_story_tree(
@@ -354,7 +354,7 @@ mod tests {
             encoder: &f.encoder,
             vocab: &f.vocab,
             tfidf: &f.tfidf,
-            ontology: &f.ontology,
+            snapshot: &f.snapshot,
         };
         let ab = sim.similarity(&f.events[0], &f.events[1]);
         let ba = sim.similarity(&f.events[1], &f.events[0]);

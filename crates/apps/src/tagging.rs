@@ -1,12 +1,20 @@
 //! Document tagging (paper §4): concepts via key-entity parents + TF-IDF
 //! coherence with a probabilistic fallback (eq. 12–14); events/topics via
 //! LCS matching combined with the Duet matcher.
+//!
+//! Serving note: the tagger reads an [`OntologySnapshot`] — key-entity
+//! detection is an inverted-index lookup over the entity dictionary instead
+//! of a scan of every surface, and the eq. (13) concept-token posting lists
+//! are precomputed at freeze time. Model resources (TF-IDF table, Duet
+//! matcher, phrase encoder) arrive bundled in [`TagResources`], the unit the
+//! `OntologyService` publishes alongside each snapshot version.
 
 use crate::duet::{duet_features, DuetMatcher};
-use giant_ontology::{NodeId, NodeKind, Ontology};
+use giant_ontology::{NodeId, NodeKind, OntologySnapshot};
 use giant_text::embedding::PhraseEncoder;
 use giant_text::{TfIdf, Vocab};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tagging thresholds.
 #[derive(Debug, Clone, Copy)]
@@ -44,49 +52,52 @@ pub struct DocTags {
     pub topics: Vec<(NodeId, f64)>,
 }
 
-/// The document tagger. Context representations of mined concepts (phrase +
-/// top clicked titles) come from the pipeline's metadata.
-pub struct DocumentTagger<'a> {
-    /// The constructed ontology.
-    pub ontology: &'a Ontology,
-    /// Entity surface → node (dictionary + mined).
-    pub entity_nodes: &'a HashMap<String, NodeId>,
-    /// Concept node → context-enriched tokens.
-    pub concept_contexts: &'a HashMap<NodeId, Vec<String>>,
+/// The model resources the tagger needs beyond the ontology snapshot.
+/// Shared pieces (encoder, vocab, TF-IDF, Duet) are `Arc`ed so one trained
+/// set serves many published versions without retraining.
+#[derive(Debug, Clone)]
+pub struct TagResources {
+    /// Concept node → context-enriched tokens (phrase + top clicked titles).
+    pub concept_contexts: HashMap<NodeId, Vec<String>>,
     /// Event/topic phrases to match: `(node, tokens)`.
-    pub event_phrases: &'a [(NodeId, Vec<String>)],
+    pub event_phrases: Vec<(NodeId, Vec<String>)>,
     /// TF-IDF table over titles.
-    pub tfidf: &'a TfIdf,
+    pub tfidf: Arc<TfIdf>,
     /// Trained Duet matcher.
-    pub duet: &'a DuetMatcher,
-    /// Phrase encoder + vocab for Duet's distributed channel.
-    pub encoder: &'a PhraseEncoder,
+    pub duet: Arc<DuetMatcher>,
+    /// Phrase encoder for Duet's distributed channel.
+    pub encoder: Arc<PhraseEncoder>,
     /// Vocabulary for the encoder.
-    pub vocab: &'a Vocab,
+    pub vocab: Arc<Vocab>,
     /// Thresholds.
     pub config: TaggingConfig,
 }
 
+/// The document tagger: a snapshot plus its model resources.
+pub struct DocumentTagger<'a> {
+    /// Frozen ontology.
+    pub snapshot: &'a OntologySnapshot,
+    /// Model resources.
+    pub resources: &'a TagResources,
+}
+
 impl DocumentTagger<'_> {
     /// Finds the key entities of a document by dictionary matching over the
-    /// title and body.
+    /// title and body: every entity whose canonical surface occurs as a
+    /// contiguous token run, in ascending node-id order.
     pub fn key_entities(&self, title_tokens: &[String], sentences: &[Vec<String>]) -> Vec<NodeId> {
-        let mut found = Vec::new();
-        let mut seen = HashSet::new();
-        for (surface, &node) in self.entity_nodes {
-            let toks = giant_text::tokenize(surface);
-            let hit = contains_seq(title_tokens, &toks)
-                || sentences.iter().any(|s| contains_seq(s, &toks));
-            if hit && seen.insert(node) {
-                found.push(node);
-            }
+        let mut found = std::collections::BTreeSet::new();
+        found.extend(self.snapshot.contained_nodes(title_tokens, NodeKind::Entity, false));
+        for s in sentences {
+            found.extend(self.snapshot.contained_nodes(s, NodeKind::Entity, false));
         }
-        found.sort_by_key(|n| n.0);
-        found
+        found.into_iter().collect()
     }
 
     /// Tags one document.
     pub fn tag(&self, title: &str, sentences: &[String]) -> DocTags {
+        let snap = self.snapshot;
+        let res = self.resources;
         let title_tokens = giant_text::tokenize(title);
         let sent_tokens: Vec<Vec<String>> =
             sentences.iter().map(|s| giant_text::tokenize(s)).collect();
@@ -94,28 +105,28 @@ impl DocumentTagger<'_> {
 
         let mut tags = DocTags::default();
         // --- Concepts via parents of the key entities (matching approach).
-        let mut seen = HashSet::new();
+        let mut seen = std::collections::HashSet::new();
         let mut any_parent = false;
         for &e in &entities {
-            for parent in self.ontology.parents_of(e) {
-                let node = self.ontology.node(parent);
+            for &parent in snap.parents(e) {
+                let node = snap.node(parent);
                 if node.kind != NodeKind::Concept
-                    || node.support < self.config.min_concept_support
+                    || node.support < res.config.min_concept_support
                     || !seen.insert(parent)
                 {
                     continue;
                 }
                 any_parent = true;
-                let ctx = self
+                let ctx = res
                     .concept_contexts
                     .get(&parent)
                     .cloned()
-                    .unwrap_or_else(|| self.ontology.node(parent).phrase.tokens.clone());
-                let score = self.tfidf.similarity(
+                    .unwrap_or_else(|| node.phrase.tokens.clone());
+                let score = res.tfidf.similarity(
                     title_tokens.iter().map(|s| s.as_str()),
                     ctx.iter().map(|s| s.as_str()),
                 );
-                if score >= self.config.coherence_threshold {
+                if score >= res.config.coherence_threshold {
                     tags.concepts.push((parent, score));
                 }
             }
@@ -124,7 +135,7 @@ impl DocumentTagger<'_> {
         if !any_parent && !entities.is_empty() {
             let probs = self.fallback_concepts(&entities, &sent_tokens);
             for (c, p) in probs {
-                if p >= self.config.fallback_threshold {
+                if p >= res.config.fallback_threshold {
                     tags.concepts.push((c, p));
                 }
             }
@@ -141,17 +152,17 @@ impl DocumentTagger<'_> {
         if let Some(first) = sent_tokens.first() {
             target.extend(first.iter().cloned());
         }
-        for (node, phrase) in self.event_phrases {
+        for (node, phrase) in &res.event_phrases {
             if phrase.is_empty() {
                 continue;
             }
             let lcs = giant_text::lcs_len(phrase, &target) as f64 / phrase.len() as f64;
-            if lcs < self.config.lcs_min_fraction {
+            if lcs < res.config.lcs_min_fraction {
                 continue;
             }
-            let feats = duet_features(phrase, &target, self.encoder, self.vocab);
-            if self.duet.matches(&feats) {
-                let kind = self.ontology.node(*node).kind;
+            let feats = duet_features(phrase, &target, &res.encoder, &res.vocab);
+            if res.duet.matches(&feats) {
+                let kind = snap.node(*node).kind;
                 let entry = (*node, lcs);
                 match kind {
                     NodeKind::Event => tags.events.push(entry),
@@ -167,17 +178,25 @@ impl DocumentTagger<'_> {
 
     /// Eq. (12)–(14): `P(p_c|d) = Σ_i P(p_c|e_i) P(e_i|d)` with
     /// `P(p_c|x_j) = 1/|P^c_{x_j}|` for context words `x_j` of the entity.
+    /// The concept posting lists come precomputed from the snapshot.
+    ///
+    /// Accumulation runs over `BTreeMap`s deliberately: float addition is
+    /// order-sensitive, and `HashMap`'s per-instance random iteration order
+    /// would make repeated identical requests differ in score low bits —
+    /// breaking the serving layer's byte-identical-responses guarantee.
     fn fallback_concepts(
         &self,
         entities: &[NodeId],
         sentences: &[Vec<String>],
     ) -> Vec<(NodeId, f64)> {
+        use std::collections::BTreeMap;
+        let snap = self.snapshot;
         // Document frequency of each entity (eq. 12's P(e|d)).
-        let ent_tokens: Vec<(NodeId, Vec<String>)> = entities
+        let ent_tokens: Vec<(NodeId, &[String])> = entities
             .iter()
-            .map(|&e| (e, self.ontology.node(e).phrase.tokens.clone()))
+            .map(|&e| (e, snap.node(e).phrase.tokens.as_slice()))
             .collect();
-        let mut mention_count: HashMap<NodeId, f64> = HashMap::new();
+        let mut mention_count: BTreeMap<NodeId, f64> = BTreeMap::new();
         for s in sentences {
             for (e, toks) in &ent_tokens {
                 if contains_seq(s, toks) {
@@ -187,22 +206,14 @@ impl DocumentTagger<'_> {
         }
         let total_mentions: f64 = mention_count.values().sum::<f64>().max(1.0);
 
-        // Concepts indexed by contained token (P^c_{x_j}).
-        let mut concepts_with_token: HashMap<&str, Vec<NodeId>> = HashMap::new();
-        for c in self.ontology.nodes_of_kind(NodeKind::Concept) {
-            for t in &c.phrase.tokens {
-                concepts_with_token.entry(t.as_str()).or_default().push(c.id);
-            }
-        }
-
-        let mut scores: HashMap<NodeId, f64> = HashMap::new();
+        let mut scores: BTreeMap<NodeId, f64> = BTreeMap::new();
         for (e, toks) in &ent_tokens {
             let p_e_d = mention_count.get(e).copied().unwrap_or(0.0) / total_mentions;
             if p_e_d == 0.0 {
                 continue;
             }
             // Context words: tokens co-occurring with the entity in a sentence.
-            let mut ctx_counts: HashMap<&str, f64> = HashMap::new();
+            let mut ctx_counts: BTreeMap<&str, f64> = BTreeMap::new();
             let mut ctx_total = 0.0;
             for s in sentences {
                 if !contains_seq(s, toks) {
@@ -220,9 +231,10 @@ impl DocumentTagger<'_> {
                 continue;
             }
             for (x, cnt) in ctx_counts {
-                let Some(cands) = concepts_with_token.get(x) else {
+                let cands = snap.concepts_with_token(x);
+                if cands.is_empty() {
                     continue;
-                };
+                }
                 let p_c_x = 1.0 / cands.len() as f64;
                 let p_x_e = cnt / ctx_total;
                 for &c in cands {
@@ -247,18 +259,12 @@ fn contains_seq(haystack: &[String], needle: &[String]) -> bool {
 mod tests {
     use super::*;
     use crate::duet::DuetConfig;
-    use giant_ontology::Phrase;
+    use giant_ontology::{Ontology, Phrase};
     use giant_text::embedding::{SgnsConfig, WordEmbeddings};
 
     struct Fixture {
-        ontology: Ontology,
-        entity_nodes: HashMap<String, NodeId>,
-        contexts: HashMap<NodeId, Vec<String>>,
-        events: Vec<(NodeId, Vec<String>)>,
-        tfidf: TfIdf,
-        duet: DuetMatcher,
-        encoder: PhraseEncoder,
-        vocab: Vocab,
+        snapshot: OntologySnapshot,
+        resources: TagResources,
     }
 
     fn fixture() -> Fixture {
@@ -266,12 +272,9 @@ mod tests {
         let concept =
             ontology.add_node(NodeKind::Concept, Phrase::from_text("electric cars"), 1.0);
         let veltro = ontology.add_node(NodeKind::Entity, Phrase::from_text("veltro x9"), 1.0);
-        let kario = ontology.add_node(NodeKind::Entity, Phrase::from_text("kario s4"), 1.0);
+        ontology.add_node(NodeKind::Entity, Phrase::from_text("kario s4"), 1.0);
         ontology.add_is_a(concept, veltro, 1.0).unwrap();
         let event = ontology.add_event(Phrase::from_text("quanta motors recalls veltro x9"), 1.0, 4);
-        let mut entity_nodes = HashMap::new();
-        entity_nodes.insert("veltro x9".to_owned(), veltro);
-        entity_nodes.insert("kario s4".to_owned(), kario);
         let mut contexts = HashMap::new();
         contexts.insert(
             concept,
@@ -308,28 +311,23 @@ mod tests {
         let duet = DuetMatcher::train(&examples, DuetConfig::default());
         let events = vec![(event, giant_text::tokenize("quanta motors recalls veltro x9"))];
         Fixture {
-            ontology,
-            entity_nodes,
-            contexts,
-            events,
-            tfidf,
-            duet,
-            encoder,
-            vocab,
+            snapshot: OntologySnapshot::freeze(&ontology),
+            resources: TagResources {
+                concept_contexts: contexts,
+                event_phrases: events,
+                tfidf: Arc::new(tfidf),
+                duet: Arc::new(duet),
+                encoder: Arc::new(encoder),
+                vocab: Arc::new(vocab),
+                config: TaggingConfig::default(),
+            },
         }
     }
 
     fn tagger(f: &Fixture) -> DocumentTagger<'_> {
         DocumentTagger {
-            ontology: &f.ontology,
-            entity_nodes: &f.entity_nodes,
-            concept_contexts: &f.contexts,
-            event_phrases: &f.events,
-            tfidf: &f.tfidf,
-            duet: &f.duet,
-            encoder: &f.encoder,
-            vocab: &f.vocab,
-            config: TaggingConfig::default(),
+            snapshot: &f.snapshot,
+            resources: &f.resources,
         }
     }
 
@@ -342,7 +340,7 @@ mod tests {
             &["veltro x9 is great".to_owned()],
         );
         assert!(!tags.concepts.is_empty(), "expected a concept tag");
-        let concept = f.ontology.find(NodeKind::Concept, "electric cars").unwrap();
+        let concept = f.snapshot.find(NodeKind::Concept, "electric cars").unwrap();
         assert_eq!(tags.concepts[0].0, concept);
     }
 
@@ -361,7 +359,7 @@ mod tests {
     }
 
     #[test]
-    fn fallback_fires_when_no_parents_exist(){
+    fn fallback_fires_when_no_parents_exist() {
         let f = fixture();
         let t = tagger(&f);
         // kario s4 has no parent concept; context words "electric"/"cars"
@@ -370,7 +368,7 @@ mod tests {
             "kario s4 first look",
             &["kario s4 joins the electric cars wave".to_owned()],
         );
-        let concept = f.ontology.find(NodeKind::Concept, "electric cars").unwrap();
+        let concept = f.snapshot.find(NodeKind::Concept, "electric cars").unwrap();
         assert!(
             tags.concepts.iter().any(|(c, _)| *c == concept),
             "fallback failed: {tags:?}"

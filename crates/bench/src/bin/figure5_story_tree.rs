@@ -2,7 +2,8 @@
 //! 2018 China–US trade story; ours shows the synthetic topic with the most
 //! mined events).
 
-use giant_apps::storytree::{build_story_tree, retrieve_related, StoryTreeConfig};
+use giant_apps::serving::{ServeRequest, ServeResponse};
+use giant_apps::storytree::retrieve_related;
 use giant_bench::{Experiment, ExperimentConfig};
 
 fn main() {
@@ -14,17 +15,18 @@ fn main() {
         .max_by_key(|&i| retrieve_related(&events[i], &events).len())
         .expect("no events mined");
     let seed = events[seed_idx].clone();
-    let related: Vec<_> = retrieve_related(&seed, &events)
-        .into_iter()
-        .cloned()
-        .collect();
     println!(
         "seed event: {:?} ({} related)",
         seed.tokens.join(" "),
-        related.len()
+        retrieve_related(&seed, &events).len()
     );
-    let sim = exp.event_similarity();
-    let tree = build_story_tree(seed, related, &sim, &StoryTreeConfig::default());
+    let ServeResponse::StoryTree(tree) = exp
+        .service
+        .serve(&ServeRequest::StoryTree { seed: seed.node })
+        .expect("seed is a mined event")
+    else {
+        unreachable!("StoryTree answered with a different kind")
+    };
     println!("\n=== Figure 5: story tree ===");
     print!("{}", tree.render());
     println!(

@@ -8,8 +8,7 @@ use giant_bench::{Experiment, ExperimentConfig};
 
 fn main() {
     let exp = Experiment::build(ExperimentConfig::default());
-    let duet = exp.train_duet();
-    let docs = exp.tagged_docs(&duet);
+    let docs = exp.tagged_docs();
     let cfg = FeedSimConfig::default();
     let all = simulate_feed(&exp.setup.world, &exp.setup.corpus, &docs, &cfg, TagStrategy::AllTags);
     let base = simulate_feed(

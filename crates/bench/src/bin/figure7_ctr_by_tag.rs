@@ -9,8 +9,7 @@ use giant_ontology::NodeKind;
 
 fn main() {
     let exp = Experiment::build(ExperimentConfig::default());
-    let duet = exp.train_duet();
-    let docs = exp.tagged_docs(&duet);
+    let docs = exp.tagged_docs();
     let cfg = FeedSimConfig::default();
     let kinds = simulate_by_kind(&exp.setup.world, &exp.setup.corpus, &docs, &cfg);
     print_figure_series(

@@ -4,7 +4,8 @@
 
 use giant::adapter::GiantSetup;
 use giant_apps::recommend::{simulate_by_kind, simulate_feed, FeedSimConfig, TagStrategy};
-use giant_apps::storytree::{build_story_tree, retrieve_related, StoryTreeConfig};
+use giant_apps::serving::{ServeRequest, ServeResponse};
+use giant_apps::storytree::retrieve_related;
 use giant_bench::methods::{eval_concept_baselines, eval_event_baselines, eval_key_elements};
 use giant_bench::report::{print_figure_series, print_table};
 use giant_bench::truth::{judge_doc_tags, judge_edges};
@@ -86,24 +87,19 @@ fn main() {
     if let Some(seed_idx) =
         (0..events.len()).max_by_key(|&i| retrieve_related(&events[i], &events).len())
     {
-        let seed = events[seed_idx].clone();
-        let related: Vec<_> = retrieve_related(&seed, &events)
-            .into_iter()
-            .cloned()
-            .collect();
-        let tree = build_story_tree(
-            seed,
-            related,
-            &exp.event_similarity(),
-            &StoryTreeConfig::default(),
-        );
+        let ServeResponse::StoryTree(tree) = exp
+            .service
+            .serve(&ServeRequest::StoryTree { seed: events[seed_idx].node })
+            .expect("seed is a mined event")
+        else {
+            unreachable!("StoryTree answered with a different kind")
+        };
         println!("\n=== Figure 5: story tree ===");
         print!("{}", tree.render());
     }
 
     // ---- §5.3 tagging precision -------------------------------------------
-    let duet = exp.train_duet();
-    let docs = exp.tagged_docs(&duet);
+    let docs = exp.tagged_docs();
     let (cp, ep) = judge_doc_tags(
         &exp.setup.world,
         &exp.setup.corpus,

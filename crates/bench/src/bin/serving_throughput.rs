@@ -1,0 +1,305 @@
+//! Serving latency and throughput through the versioned `OntologyService`.
+//!
+//! Builds the experiment world once, publishes it, then measures:
+//!
+//! * **p50/p99 latency per request kind** (single-threaded, per-request
+//!   timing over repeated passes of a deterministic request set);
+//! * **batched throughput at 1/2/4 worker threads** over a mixed request
+//!   stream via `serve_batch` (asserting responses are byte-identical at
+//!   every thread count);
+//! * **snapshot-index vs linear-scan conceptualization**: the same query
+//!   set answered by the snapshot's inverted phrase index and by the
+//!   pre-redesign O(total nodes) scan over the mutable ontology, with the
+//!   speedup recorded (and asserted ≥ 10× in full mode).
+//!
+//! Results land in `BENCH_serving.json`. `--smoke` runs a reduced
+//! configuration for CI.
+//!
+//! ```text
+//! cargo run --release -p giant-bench --bin serving_throughput [-- --smoke]
+//! ```
+
+use giant::adapter::ModelTrainConfig;
+use giant_apps::serving::ServeRequest;
+use giant_bench::{Experiment, ExperimentConfig};
+use giant_data::WorldConfig;
+use giant_ontology::{NodeId, NodeKind, Ontology};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The pre-redesign contained-phrase detection: a linear scan over every
+/// node of the kind, kept verbatim as the benchmark baseline.
+fn linear_find_contained(o: &Ontology, query_tokens: &[String], kind: NodeKind) -> Option<NodeId> {
+    let mut best: Option<(usize, NodeId)> = None;
+    for node in o.nodes_of_kind(kind) {
+        let toks = &node.phrase.tokens;
+        if toks.is_empty() || toks.len() > query_tokens.len() {
+            continue;
+        }
+        let contained = (0..=query_tokens.len() - toks.len())
+            .any(|i| &query_tokens[i..i + toks.len()] == toks.as_slice());
+        if contained && best.map(|(l, _)| toks.len() > l).unwrap_or(true) {
+            best = Some((toks.len(), node.id));
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+/// The pre-redesign conceptualization, kept verbatim as the benchmark
+/// baseline: linear scans, then per-request sorts, producing the same
+/// rewrites/recommendations the snapshot path produces.
+fn linear_conceptualize(
+    o: &Ontology,
+    query: &str,
+    max_results: usize,
+) -> (Vec<String>, Vec<NodeId>) {
+    let tokens = giant_text::tokenize(query);
+    let concept = linear_find_contained(o, &tokens, NodeKind::Concept);
+    let entity = linear_find_contained(o, &tokens, NodeKind::Entity);
+    let mut rewrites = Vec::new();
+    let mut recommendations = Vec::new();
+    if let Some(c) = concept {
+        let mut children: Vec<NodeId> = o
+            .children_of(c)
+            .into_iter()
+            .filter(|&n| o.node(n).kind == NodeKind::Entity)
+            .collect();
+        children.sort_by(|a, b| {
+            o.node(*b)
+                .support
+                .total_cmp(&o.node(*a).support)
+                .then(a.0.cmp(&b.0))
+        });
+        rewrites = children
+            .into_iter()
+            .take(max_results)
+            .map(|e| format!("{query} {}", o.node(e).phrase.surface()))
+            .collect();
+    }
+    if let Some(e) = entity {
+        let mut correlates = o.correlates_of(e);
+        correlates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        recommendations = correlates
+            .into_iter()
+            .take(max_results)
+            .map(|(n, _)| n)
+            .collect();
+    }
+    (rewrites, recommendations)
+}
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+struct KindStats {
+    kind: &'static str,
+    n: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn measure_kind(exp: &Experiment, kind: &'static str, reqs: &[ServeRequest], reps: usize) -> KindStats {
+    let frame = exp.service.frame();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(reqs.len() * reps);
+    for _ in 0..reps {
+        for r in reqs {
+            let t = Instant::now();
+            let resp = frame.serve(r);
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            assert!(resp.is_ok(), "{kind} request failed");
+        }
+    }
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+    KindStats {
+        kind,
+        n: lat_us.len(),
+        p50_us: percentile_us(&lat_us, 0.50),
+        p99_us: percentile_us(&lat_us, 0.99),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        ExperimentConfig {
+            world: WorldConfig::tiny(),
+            train: ModelTrainConfig::small(),
+            ..ExperimentConfig::default()
+        }
+    } else {
+        // The serving bench world: the experiment world with a scaled-up
+        // entity/concept dictionary, so a contained-phrase scan costs what
+        // it would at production node counts.
+        ExperimentConfig {
+            world: WorldConfig {
+                entities_per_sub: 24,
+                concepts_per_sub: 18,
+                members_per_concept: 5,
+                ..WorldConfig::experiment()
+            },
+            ..ExperimentConfig::default()
+        }
+    };
+    let reps = if smoke { 2 } else { 10 };
+
+    eprintln!("[serving_throughput] building experiment (smoke={smoke})...");
+    let t0 = Instant::now();
+    let exp = Experiment::build(config);
+    eprintln!("[serving_throughput] built in {:.1?}", t0.elapsed());
+
+    // --- Deterministic request sets per kind (the same probe queries the
+    // golden-equivalence suite uses).
+    let queries = giant_bench::golden_queries(&exp);
+    let conceptualize: Vec<ServeRequest> = queries
+        .iter()
+        .map(|q| ServeRequest::Conceptualize { query: q.clone() })
+        .collect();
+    let recommend: Vec<ServeRequest> = exp
+        .setup
+        .world
+        .entities
+        .iter()
+        .map(|e| ServeRequest::Recommend { query: format!("{} news", e.tokens.join(" ")) })
+        .collect();
+    let tag: Vec<ServeRequest> = exp
+        .setup
+        .corpus
+        .docs
+        .iter()
+        .take(if smoke { 40 } else { 250 })
+        .map(|d| ServeRequest::TagDocument {
+            title: d.title.clone(),
+            sentences: d.sentences.clone(),
+        })
+        .collect();
+    let stories: Vec<ServeRequest> = exp
+        .service
+        .resources()
+        .stories
+        .iter()
+        .take(if smoke { 10 } else { 40 })
+        .map(|e| ServeRequest::StoryTree { seed: e.node })
+        .collect();
+
+    // --- p50/p99 per request kind (single-threaded).
+    println!("=== Serving latency by request kind (version {}) ===", exp.service.version());
+    println!("{:<16}{:>8}{:>12}{:>12}", "kind", "n", "p50 (µs)", "p99 (µs)");
+    println!("{}", "-".repeat(48));
+    let kind_sets: [(&'static str, &[ServeRequest], usize); 4] = [
+        ("conceptualize", &conceptualize, reps.max(4)),
+        ("recommend", &recommend, reps.max(4)),
+        ("tag_document", &tag, 1),
+        ("story_tree", &stories, 1),
+    ];
+    let mut kind_stats = Vec::new();
+    for (kind, reqs, reps) in kind_sets {
+        let s = measure_kind(&exp, kind, reqs, reps);
+        println!("{:<16}{:>8}{:>12.1}{:>12.1}", s.kind, s.n, s.p50_us, s.p99_us);
+        kind_stats.push(s);
+    }
+
+    // --- Mixed-stream throughput at 1/2/4 threads.
+    let mut mixed: Vec<ServeRequest> = Vec::new();
+    mixed.extend(conceptualize.iter().cloned());
+    mixed.extend(recommend.iter().cloned());
+    mixed.extend(tag.iter().cloned());
+    mixed.extend(stories.iter().cloned());
+    println!("\n=== Batched serving throughput ({} mixed requests) ===", mixed.len());
+    println!("{:<10}{:>12}{:>14}{:>10}", "threads", "secs", "req/sec", "speedup");
+    println!("{}", "-".repeat(46));
+    let mut thread_rows = Vec::new();
+    let mut baseline: Option<(f64, Vec<String>)> = None;
+    for threads in THREAD_COUNTS {
+        let t = Instant::now();
+        let responses = exp.service.serve_batch(&mixed, threads);
+        let secs = t.elapsed().as_secs_f64();
+        let rendered: Vec<String> = responses.iter().map(|r| format!("{r:?}")).collect();
+        match &baseline {
+            None => baseline = Some((secs, rendered)),
+            Some((_, base)) => assert_eq!(
+                base, &rendered,
+                "determinism violated: threads={threads} answered differently"
+            ),
+        }
+        let qps = mixed.len() as f64 / secs;
+        let speedup = baseline.as_ref().map(|(b, _)| b / secs).unwrap_or(1.0);
+        println!("{threads:<10}{secs:>12.3}{qps:>14.1}{speedup:>9.2}x");
+        thread_rows.push((threads, secs, qps, speedup));
+    }
+    println!("all {} runs byte-identical ✓", THREAD_COUNTS.len());
+
+    // --- Snapshot index vs the pre-redesign linear scan.
+    let snapshot = &*exp.snapshot;
+    let max_results = exp.service.resources().max_results;
+    let t = Instant::now();
+    let mut idx_answers: Vec<(Vec<String>, Vec<NodeId>)> = Vec::new();
+    for rep in 0..reps {
+        for q in &queries {
+            let u = giant_apps::conceptualize(snapshot, q, max_results, false);
+            if rep == 0 {
+                idx_answers.push((u.rewrites, u.recommendations));
+            }
+        }
+    }
+    let snapshot_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut lin_answers: Vec<(Vec<String>, Vec<NodeId>)> = Vec::new();
+    for rep in 0..reps {
+        for q in &queries {
+            let a = linear_conceptualize(&exp.output.ontology, q, max_results);
+            if rep == 0 {
+                lin_answers.push(a);
+            }
+        }
+    }
+    let linear_secs = t.elapsed().as_secs_f64();
+    assert_eq!(idx_answers, lin_answers, "index and linear scan disagree on results");
+    let speedup = linear_secs / snapshot_secs;
+    println!(
+        "\n=== Conceptualization: snapshot index vs linear scan ===\n\
+         {} queries × {reps} reps: snapshot {:.4}s, linear {:.4}s → {speedup:.1}× faster",
+        queries.len(),
+        snapshot_secs,
+        linear_secs
+    );
+    if !smoke {
+        assert!(
+            speedup >= 10.0,
+            "snapshot-indexed conceptualization must be ≥10× the linear scan, got {speedup:.1}×"
+        );
+    }
+
+    // Hand-rolled JSON: the workspace is offline, no serde.
+    let mut json = String::from("{\n  \"bench\": \"serving_throughput\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"n_mixed_requests\": {},\n  \"kinds\": [\n", mixed.len()));
+    for (i, s) in kind_stats.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"n\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{}\n",
+            s.kind,
+            s.n,
+            s.p50_us,
+            s.p99_us,
+            if i + 1 < kind_stats.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"threads\": [\n");
+    for (i, (threads, secs, qps, speedup)) in thread_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"secs\": {secs:.6}, \"req_per_sec\": {qps:.2}, \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < thread_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"conceptualize\": {{\"n_queries\": {}, \"reps\": {reps}, \"snapshot_secs\": {snapshot_secs:.6}, \"linear_secs\": {linear_secs:.6}, \"speedup\": {speedup:.2}}}\n}}\n",
+        queries.len()
+    ));
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("wrote BENCH_serving.json");
+}

@@ -1,17 +1,18 @@
-//! Shared experiment setup: world → datasets → models → pipeline output,
-//! plus the tagged-document view the recommendation figures need.
+//! Shared experiment setup: world → datasets → models → pipeline output →
+//! published serving stack, plus the tagged-document view the
+//! recommendation figures need.
 
-use giant_apps::duet::{DuetConfig, DuetMatcher};
+use giant::adapter::{build_serving, ServingBuild};
 use giant_apps::recommend::SimDoc;
+use giant_apps::serving::{OntologyService, ServeRequest, ServeResponse};
 use giant_apps::storytree::{EventSimilarity, StoryEvent};
-use giant_apps::tagging::{DocumentTagger, TaggingConfig};
 use giant_core::train::GiantModels;
 use giant_core::{GiantConfig, GiantOutput};
 use giant_data::WorldConfig;
-use giant_ontology::{NodeId, NodeKind};
-use giant_text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
+use giant_ontology::{NodeId, NodeKind, OntologySnapshot};
+use giant_text::embedding::PhraseEncoder;
 use giant_text::{TfIdf, Vocab};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 pub use giant::adapter::{GiantSetup, ModelTrainConfig};
 
@@ -44,12 +45,16 @@ pub struct Experiment {
     pub models: GiantModels,
     /// Pipeline product.
     pub output: GiantOutput,
+    /// The published serving stack over `output` (version 1 live).
+    pub service: OntologyService,
+    /// Frozen ontology the service serves.
+    pub snapshot: Arc<OntologySnapshot>,
     /// Word embeddings over the corpus (shared by story tree / Duet).
-    pub encoder: PhraseEncoder,
+    pub encoder: Arc<PhraseEncoder>,
     /// Vocabulary for the encoder.
-    pub vocab: Vocab,
+    pub vocab: Arc<Vocab>,
     /// TF-IDF table over titles.
-    pub tfidf: TfIdf,
+    pub tfidf: Arc<TfIdf>,
     /// Configuration used.
     pub config: ExperimentConfig,
 }
@@ -60,19 +65,19 @@ impl Experiment {
         let setup = GiantSetup::generate(config.world);
         let (models, _) = setup.train_models(&config.train);
         let output = setup.run_pipeline(&models, &config.giant);
-        let mut vocab = Vocab::new();
-        let sents = setup.corpus.embedding_corpus(&mut vocab);
-        let emb = WordEmbeddings::train(&sents, vocab.len(), &SgnsConfig::default());
-        let encoder = PhraseEncoder::new(emb);
-        let mut tfidf = TfIdf::new();
-        for d in &setup.corpus.docs {
-            let toks = giant_text::tokenize(&d.title);
-            tfidf.add_doc(toks.iter().map(|s| s.as_str()));
-        }
+        let ServingBuild {
+            service,
+            snapshot,
+            encoder,
+            vocab,
+            tfidf,
+        } = build_serving(&setup, &output);
         Self {
             setup,
             models,
             output,
+            service,
+            snapshot,
             encoder,
             vocab,
             tfidf,
@@ -80,95 +85,40 @@ impl Experiment {
         }
     }
 
-    /// Trains the Duet matcher on (mined event phrase, matching/non-matching
-    /// title) pairs from the pipeline output.
-    pub fn train_duet(&self) -> DuetMatcher {
-        let mut examples = Vec::new();
-        let events = self.output.mined_of_kind(NodeKind::Event);
-        for (i, m) in events.iter().enumerate() {
-            let Some(pos_title) = m.top_titles.first() else {
-                continue;
-            };
-            let pos = giant_apps::duet_features(
-                &m.tokens,
-                &giant_text::tokenize(pos_title),
-                &self.encoder,
-                &self.vocab,
-            );
-            examples.push((pos, true));
-            // Negative: another event's title.
-            if let Some(other) = events.get((i + 1) % events.len()) {
-                if other.node != m.node {
-                    if let Some(neg_title) = other.top_titles.first() {
-                        let neg = giant_apps::duet_features(
-                            &m.tokens,
-                            &giant_text::tokenize(neg_title),
-                            &self.encoder,
-                            &self.vocab,
-                        );
-                        examples.push((neg, false));
-                    }
-                }
-            }
-        }
-        DuetMatcher::train(&examples, DuetConfig::default())
-    }
-
-    /// Builds the document tagger over the pipeline output and tags the
-    /// whole corpus, producing the [`SimDoc`] view plus per-doc tags. Each
-    /// document additionally carries its (production-known) category tags.
-    pub fn tagged_docs(&self, duet: &DuetMatcher) -> Vec<SimDoc> {
-        // Concept contexts from mining metadata.
-        let mut concept_contexts: HashMap<NodeId, Vec<String>> = HashMap::new();
-        for m in self.output.mined_of_kind(NodeKind::Concept) {
-            let mut ctx = m.tokens.clone();
-            for t in &m.top_titles {
-                ctx.extend(giant_text::tokenize(t));
-            }
-            concept_contexts.insert(m.node, ctx);
-        }
-        let event_phrases: Vec<(NodeId, Vec<String>)> = self
-            .output
-            .mined
+    /// Tags the whole corpus through the serving API (one `TagDocument`
+    /// request per document, batched over the pipeline's worker budget),
+    /// producing the [`SimDoc`] view. Each document additionally carries
+    /// its (production-known) category tags, dictionary entity tags, and
+    /// the topic parents of tagged events.
+    pub fn tagged_docs(&self) -> Vec<SimDoc> {
+        let requests: Vec<ServeRequest> = self
+            .setup
+            .corpus
+            .docs
             .iter()
-            .filter(|m| matches!(m.kind, NodeKind::Event | NodeKind::Topic))
-            .map(|m| (m.node, m.tokens.clone()))
+            .map(|d| ServeRequest::TagDocument {
+                title: d.title.clone(),
+                sentences: d.sentences.clone(),
+            })
             .collect();
-        // Noise concepts come from single odd clusters and carry little
-        // click mass; half the median support separates them from the real
-        // ones without assuming any ground truth.
-        let mut supports: Vec<f64> = self
-            .output
-            .mined_of_kind(NodeKind::Concept)
-            .iter()
-            .map(|m| m.support)
-            .collect();
-        supports.sort_by(|a, b| a.total_cmp(b));
-        let min_support = supports
-            .get(supports.len() / 2)
-            .copied()
-            .unwrap_or(0.0)
-            * 0.5;
-        let tagger = DocumentTagger {
-            ontology: &self.output.ontology,
-            entity_nodes: &self.output.entity_nodes,
-            concept_contexts: &concept_contexts,
-            event_phrases: &event_phrases,
-            tfidf: &self.tfidf,
-            duet,
-            encoder: &self.encoder,
-            vocab: &self.vocab,
-            config: TaggingConfig {
-                min_concept_support: min_support,
-                ..TaggingConfig::default()
-            },
-        };
+        // Pin ONE frame for both the batch and the key-entity detection
+        // below: a publish landing mid-method must not mix two ontology
+        // versions inside one SimDoc.
+        let frame = self.service.frame();
+        let responses =
+            giant_exec::run_ordered(&requests, self.config.giant.threads, |_, r| frame.serve(r));
+        let snapshot = &*self.snapshot;
         self.setup
             .corpus
             .docs
             .iter()
-            .map(|d| {
-                let tags_out = tagger.tag(&d.title, &d.sentences);
+            .zip(responses)
+            .map(|(d, resp)| {
+                let ServeResponse::TagDocument(tags_out) =
+                    resp.expect("TagDocument cannot fail")
+                else {
+                    unreachable!("TagDocument answered with a different kind")
+                };
                 let mut tags: Vec<(NodeId, NodeKind)> = Vec::new();
                 // Category tags are known to the feed system.
                 for cat in [d.leaf_category, d.sub_category] {
@@ -176,11 +126,12 @@ impl Experiment {
                         tags.push((n, NodeKind::Category));
                     }
                 }
-                // Entity tags from dictionary matching.
+                // Entity tags from dictionary matching (the same detector
+                // the tagger itself uses).
                 let title_toks = giant_text::tokenize(&d.title);
                 let sent_toks: Vec<Vec<String>> =
                     d.sentences.iter().map(|s| giant_text::tokenize(s)).collect();
-                for e in tagger.key_entities(&title_toks, &sent_toks) {
+                for e in frame.tagger().key_entities(&title_toks, &sent_toks) {
                     tags.push((e, NodeKind::Entity));
                 }
                 for (c, _) in &tags_out.concepts {
@@ -189,8 +140,8 @@ impl Experiment {
                 for (e, _) in &tags_out.events {
                     tags.push((*e, NodeKind::Event));
                     // Topic tags follow from the event's topic parents.
-                    for p in self.output.ontology.parents_of(*e) {
-                        if self.output.ontology.node(p).kind == NodeKind::Topic {
+                    for &p in snapshot.parents(*e) {
+                        if snapshot.node(p).kind == NodeKind::Topic {
                             tags.push((p, NodeKind::Topic));
                         }
                     }
@@ -209,17 +160,7 @@ impl Experiment {
 
     /// The mined events as story-tree inputs.
     pub fn story_events(&self) -> Vec<StoryEvent> {
-        self.output
-            .mined_of_kind(NodeKind::Event)
-            .into_iter()
-            .map(|m| StoryEvent {
-                node: m.node,
-                tokens: m.tokens.clone(),
-                trigger: m.trigger.clone(),
-                entities: m.entities.clone(),
-                day: m.day.unwrap_or(0),
-            })
-            .collect()
+        giant::adapter::story_events(&self.output)
     }
 
     /// The story-tree similarity oracle over this experiment's resources.
@@ -228,7 +169,7 @@ impl Experiment {
             encoder: &self.encoder,
             vocab: &self.vocab,
             tfidf: &self.tfidf,
-            ontology: &self.output.ontology,
+            snapshot: &self.snapshot,
         }
     }
 }

@@ -1,0 +1,93 @@
+//! Canonical application-output dump used by the serving-equivalence golden
+//! test (`tests/golden/serving_seed42.txt`).
+//!
+//! The format is frozen and the file was captured from the pre-redesign
+//! per-app code paths (`&Ontology` + side `HashMap`s, linear scans): one `D`
+//! line per corpus document with its full tag set, one `Q` line per probe
+//! query with conceptualization / rewrites / correlate recommendations, and
+//! an `S` block with the rendered story tree of the best-connected mined
+//! event. Today the dump is produced entirely through the versioned
+//! `OntologyService`, so any behavioural drift in the serving redesign shows
+//! up as a byte diff against the committed golden file.
+
+use crate::Experiment;
+use giant_apps::serving::{ServeRequest, ServeResponse};
+use giant_apps::storytree::retrieve_related;
+use giant_ontology::NodeKind;
+use std::fmt::Write as _;
+
+/// Probe queries exercising the conceptualize + recommend paths: one per
+/// mined concept (`best <surface>`) and one per dictionary entity
+/// (`<surface> review`), in deterministic id order.
+pub fn golden_queries(exp: &Experiment) -> Vec<String> {
+    let mut queries = Vec::new();
+    for m in exp.output.mined_of_kind(NodeKind::Concept) {
+        queries.push(format!("best {}", m.tokens.join(" ")));
+    }
+    for e in &exp.setup.world.entities {
+        queries.push(format!("{} review", e.tokens.join(" ")));
+    }
+    queries
+}
+
+/// Renders the full serving golden dump for one experiment, every answer
+/// obtained through the typed `ServeRequest` API (batched across the
+/// experiment's worker budget).
+pub fn serving_golden_dump(exp: &Experiment) -> String {
+    let mut out = String::new();
+
+    // --- Document tags (full tagging path: dictionary + concepts + duet).
+    let docs = exp.tagged_docs();
+    for d in &docs {
+        let _ = write!(out, "D {}", d.id);
+        for (node, kind) in &d.tags {
+            let _ = write!(out, " {}:{}", kind.name(), node.0);
+        }
+        out.push('\n');
+    }
+
+    // --- Query understanding: conceptualization, rewrites, recommendations.
+    let queries = golden_queries(exp);
+    let requests: Vec<ServeRequest> = queries
+        .iter()
+        .map(|q| ServeRequest::Conceptualize { query: q.clone() })
+        .collect();
+    let responses = exp.service.serve_batch(&requests, exp.config.giant.threads);
+    for (q, resp) in queries.iter().zip(responses) {
+        let ServeResponse::Conceptualize(u) = resp.expect("Conceptualize cannot fail") else {
+            unreachable!("Conceptualize answered with a different kind")
+        };
+        let fmt_node = |n: Option<giant_ontology::NodeId>| {
+            n.map(|n| n.0.to_string()).unwrap_or_else(|| "-".into())
+        };
+        let recs: Vec<String> = u.recommendations.iter().map(|n| n.0.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "Q {q}\tconcept={} entity={}\trewrites={}\trecs={}",
+            fmt_node(u.concept),
+            fmt_node(u.entity),
+            u.rewrites.join("|"),
+            recs.join(",")
+        );
+    }
+
+    // --- Story tree around the best-connected mined event.
+    let events = exp.story_events();
+    if let Some(seed_idx) =
+        (0..events.len()).max_by_key(|&i| retrieve_related(&events[i], &events).len())
+    {
+        let seed = events[seed_idx].node;
+        let ServeResponse::StoryTree(tree) = exp
+            .service
+            .serve(&ServeRequest::StoryTree { seed })
+            .expect("seed is a mined event")
+        else {
+            unreachable!("StoryTree answered with a different kind")
+        };
+        let _ = writeln!(out, "S seed={} branches={}", seed.0, tree.branches.len());
+        for line in tree.render().lines() {
+            let _ = writeln!(out, "| {line}");
+        }
+    }
+    out
+}

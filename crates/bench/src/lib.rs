@@ -6,11 +6,13 @@
 //! evaluation drivers used by those binaries and by the criterion benches.
 
 pub mod experiment;
+pub mod golden;
 pub mod methods;
 pub mod report;
 pub mod truth;
 
 pub use experiment::{Experiment, ExperimentConfig};
+pub use golden::{golden_queries, serving_golden_dump};
 pub use methods::{
     eval_concept_baselines, eval_event_baselines, eval_key_elements, MethodRow,
 };

@@ -67,7 +67,7 @@ fn category_matches(world: &World, cat_surface: &str, sub: usize) -> bool {
 pub fn judge_edges(world: &World, output: &GiantOutput) -> [EdgeJudgement; 3] {
     let o = &output.ontology;
     let mut out = [EdgeJudgement::default(); 3];
-    for (src, dst, kind, _) in o.edges() {
+    for (src, dst, kind, _) in o.edges_iter() {
         let j = &mut out[kind.index()];
         j.total += 1;
         let a = o.node(src);

@@ -111,6 +111,9 @@ pub struct GiantOutput {
     pub entity_nodes: HashMap<String, NodeId>,
     /// Diagnostics: edges rejected (would have closed an isA cycle).
     pub rejected_edges: usize,
+    /// Diagnostics: alias registrations that lost a surface collision
+    /// (first registration wins; see `AliasOutcome::Conflict`).
+    pub alias_conflicts: usize,
 }
 
 impl GiantOutput {
@@ -128,6 +131,7 @@ pub fn run_pipeline(input: &PipelineInput, models: &GiantModels, cfg: &GiantConf
         category_nodes: HashMap::new(),
         entity_nodes: HashMap::new(),
         rejected_edges: 0,
+        alias_conflicts: 0,
     };
     register_categories(input, &mut out);
     register_entities(input, &mut out);
@@ -353,7 +357,11 @@ fn mine_attentions(
                 out.ontology.add_node(kind, phrase, g.support)
             };
             for v in &g.variants {
-                out.ontology.add_alias(node, Phrase::new(v.iter().cloned()));
+                if let giant_ontology::AliasOutcome::Conflict { .. } =
+                    out.ontology.add_alias(node, Phrase::new(v.iter().cloned()))
+                {
+                    out.alias_conflicts += 1;
+                }
             }
             out.mined.push(MinedAttention {
                 node,
@@ -765,6 +773,7 @@ mod tests {
             category_nodes: HashMap::new(),
             entity_nodes: HashMap::new(),
             rejected_edges: 0,
+            alias_conflicts: 0,
         }
     }
 

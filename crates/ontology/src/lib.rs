@@ -15,7 +15,9 @@ pub mod edge;
 pub mod io;
 pub mod node;
 pub mod ontology;
+pub mod snapshot;
 
 pub use edge::EdgeKind;
 pub use node::{AttentionNode, EventRole, NodeId, NodeKind, Phrase};
-pub use ontology::{Ontology, OntologyError, OntologyStats};
+pub use ontology::{AliasOutcome, Ontology, OntologyError, OntologyStats};
+pub use snapshot::OntologySnapshot;

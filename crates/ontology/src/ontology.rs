@@ -42,6 +42,26 @@ impl fmt::Display for OntologyError {
 
 impl std::error::Error for OntologyError {}
 
+/// What happened when an alias surface was registered.
+///
+/// `(kind, surface)` lookup keys are **first-registration-wins**: once a
+/// surface maps to a node — as its canonical phrase or as an earlier alias —
+/// no later registration may rebind it. The losing registration is not an
+/// error (phrase normalization legitimately produces variants colliding with
+/// existing nodes) but callers that care can log or count the conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AliasOutcome {
+    /// The surface was free and now resolves to the node.
+    Registered,
+    /// The surface already resolves to this same node (no-op).
+    AlreadyOwn,
+    /// The surface already resolves to a *different* node, which keeps it.
+    Conflict {
+        /// The node that owns the surface.
+        existing: NodeId,
+    },
+}
+
 /// Per-kind node/edge counts (Table 1 / Table 2 support).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OntologyStats {
@@ -116,14 +136,24 @@ impl Ontology {
 
     /// Registers an alias phrase for `id` (phrase normalization merge) and
     /// indexes it so lookups by the alias surface find the node.
-    pub fn add_alias(&mut self, id: NodeId, alias: Phrase) {
+    ///
+    /// First registration wins: if `(kind, surface)` already resolves to a
+    /// different node the existing mapping is kept untouched — the alias is
+    /// neither indexed nor recorded on `id` — and the conflict is reported
+    /// via [`AliasOutcome::Conflict`] instead of silently rebinding lookups.
+    pub fn add_alias(&mut self, id: NodeId, alias: Phrase) -> AliasOutcome {
         let kind = self.nodes[id.index()].kind;
         let key = (kind, alias.surface());
-        if self.by_surface.contains_key(&key) {
-            return;
+        if let Some(&existing) = self.by_surface.get(&key) {
+            return if existing == id {
+                AliasOutcome::AlreadyOwn
+            } else {
+                AliasOutcome::Conflict { existing }
+            };
         }
         self.by_surface.insert(key, id);
         self.nodes[id.index()].aliases.push(alias);
+        AliasOutcome::Registered
     }
 
     /// Finds a node by kind and surface form (canonical or alias).
@@ -149,6 +179,25 @@ impl Ontology {
     /// All nodes.
     pub fn nodes(&self) -> &[AttentionNode] {
         &self.nodes
+    }
+
+    /// Outgoing edges of `id` as stored: `(destination, kind, weight)` in
+    /// insertion order (correlates appear in both endpoints' lists).
+    pub fn out_edges(&self, id: NodeId) -> &[(NodeId, EdgeKind, f64)] {
+        &self.out[id.index()]
+    }
+
+    /// Incoming edges of `id` as stored: `(source, kind, weight)` in
+    /// insertion order.
+    pub fn in_edges(&self, id: NodeId) -> &[(NodeId, EdgeKind, f64)] {
+        &self.inc[id.index()]
+    }
+
+    /// The surface lookup table, exactly as registration built it (canonical
+    /// phrases plus first-registration-wins aliases). The snapshot freezer
+    /// copies this rather than re-deriving ownership from node order.
+    pub(crate) fn surface_index(&self) -> &HashMap<(NodeKind, String), NodeId> {
+        &self.by_surface
     }
 
     fn check(&self, id: NodeId) -> Result<(), OntologyError> {
@@ -336,19 +385,26 @@ impl Ontology {
             .map(|(n, _)| n)
     }
 
-    /// All edges as `(src, dst, kind, weight)` (correlate listed once, in the
-    /// direction it was first added).
-    pub fn edges(&self) -> Vec<(NodeId, NodeId, EdgeKind, f64)> {
-        let mut out = Vec::new();
-        for (u, es) in self.out.iter().enumerate() {
-            for (v, k, w) in es {
-                if *k == EdgeKind::Correlate && NodeId(u as u32) > *v {
-                    continue; // count symmetric pair once
+    /// All edges as `(src, dst, kind, weight)`, lazily (correlate listed
+    /// once, in the direction it was first added). Prefer this over
+    /// [`Ontology::edges`] when streaming — it allocates nothing.
+    pub fn edges_iter(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeKind, f64)> + '_ {
+        self.out.iter().enumerate().flat_map(|(u, es)| {
+            let src = NodeId(u as u32);
+            es.iter().filter_map(move |&(v, k, w)| {
+                if k == EdgeKind::Correlate && src > v {
+                    None // count symmetric pair once
+                } else {
+                    Some((src, v, k, w))
                 }
-                out.push((NodeId(u as u32), *v, *k, *w));
-            }
-        }
-        out
+            })
+        })
+    }
+
+    /// All edges collected into a `Vec`; thin compatibility wrapper over
+    /// [`Ontology::edges_iter`].
+    pub fn edges(&self) -> Vec<(NodeId, NodeId, EdgeKind, f64)> {
+        self.edges_iter().collect()
     }
 
     /// Per-kind node/edge statistics.
@@ -472,12 +528,62 @@ mod tests {
     fn aliases_resolve_to_canonical_node() {
         let mut o = Ontology::new();
         let a = o.add_node(NodeKind::Concept, p("miyazaki animated films"), 1.0);
-        o.add_alias(a, p("famous miyazaki animated films"));
+        assert_eq!(
+            o.add_alias(a, p("famous miyazaki animated films")),
+            AliasOutcome::Registered
+        );
         assert_eq!(
             o.find(NodeKind::Concept, "famous miyazaki animated films"),
             Some(a)
         );
         assert_eq!(o.n_nodes(), 1);
+    }
+
+    #[test]
+    fn alias_surface_collision_keeps_first_registration() {
+        let mut o = Ontology::new();
+        let a = o.add_node(NodeKind::Concept, p("fuel efficient cars"), 1.0);
+        let b = o.add_node(NodeKind::Concept, p("economy cars"), 1.0);
+        // Alias colliding with another node's canonical surface: the
+        // canonical mapping survives and the conflict is reported.
+        assert_eq!(
+            o.add_alias(b, p("fuel efficient cars")),
+            AliasOutcome::Conflict { existing: a }
+        );
+        assert_eq!(o.find(NodeKind::Concept, "fuel efficient cars"), Some(a));
+        assert!(o.node(b).aliases.is_empty(), "losing alias must not be recorded");
+        // Alias colliding with an earlier alias of another node: same rule.
+        assert_eq!(o.add_alias(a, p("thrifty cars")), AliasOutcome::Registered);
+        assert_eq!(
+            o.add_alias(b, p("thrifty cars")),
+            AliasOutcome::Conflict { existing: a }
+        );
+        assert_eq!(o.find(NodeKind::Concept, "thrifty cars"), Some(a));
+        // Re-registering a node's own surface is a no-op, not a conflict.
+        assert_eq!(o.add_alias(a, p("thrifty cars")), AliasOutcome::AlreadyOwn);
+        assert_eq!(o.node(a).aliases.len(), 1, "own-surface no-op must not duplicate");
+        // A different kind is a different key space: no conflict.
+        let t = o.add_node(NodeKind::Topic, p("cars"), 1.0);
+        assert_eq!(
+            o.add_alias(t, p("fuel efficient cars")),
+            AliasOutcome::Registered
+        );
+    }
+
+    #[test]
+    fn edges_iter_matches_edges_and_allocates_lazily() {
+        let mut o = Ontology::new();
+        let a = o.add_node(NodeKind::Concept, p("a"), 1.0);
+        let b = o.add_node(NodeKind::Entity, p("b"), 1.0);
+        let c = o.add_node(NodeKind::Entity, p("c"), 1.0);
+        o.add_is_a(a, b, 1.0).unwrap();
+        o.add_correlate(b, c, 0.5).unwrap();
+        o.add_involve(a, c, 0.7).unwrap();
+        let collected: Vec<_> = o.edges_iter().collect();
+        assert_eq!(collected, o.edges());
+        assert_eq!(collected.len(), 3);
+        // Streaming consumption needs no Vec.
+        assert_eq!(o.edges_iter().filter(|(_, _, k, _)| *k == EdgeKind::Correlate).count(), 1);
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! Immutable, read-optimized freeze of a built [`Ontology`] — the data plane
+//! of the serving layer.
+//!
+//! The mutable [`Ontology`] is built once per mining run but queried millions
+//! of times by the applications (conceptualization, tagging, recommendation,
+//! story trees). [`OntologySnapshot`] trades mutability for read speed:
+//!
+//! * a **token-level inverted phrase index** (first token → phrases) so
+//!   contained-phrase lookup costs O(query tokens · bucket) instead of a
+//!   linear scan over every node of a kind — and covers aliases;
+//! * **CSR adjacency** per [`EdgeKind`], out and in, in the exact insertion
+//!   order the mutable store kept, so traversals (`ancestors`,
+//!   `descendants`, `parents`, …) return byte-identical answers;
+//! * **pre-sorted ranking lists** — isA children by `(support desc, id asc)`
+//!   and correlate neighbours by `(weight desc, id asc)` — so the serving
+//!   hot paths never sort;
+//! * a **concept-token index** for the probabilistic tagging fallback
+//!   (eq. 12–14), replacing a per-document rebuild.
+//!
+//! A snapshot is a pure function of the ontology it froze: every accessor
+//! here is defined to agree exactly with the corresponding linear-scan or
+//! traversal answer on the source `Ontology` (the serving-equivalence
+//! proptest suite enforces this on random worlds). Snapshots are `Send +
+//! Sync` and never mutated after [`OntologySnapshot::freeze`]; versioning
+//! and hot replacement live one layer up, in the `OntologyService`.
+
+use crate::edge::EdgeKind;
+use crate::node::{AttentionNode, NodeId, NodeKind};
+use crate::ontology::{Ontology, OntologyStats};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Compressed sparse rows over node ids: one row per node, parallel
+/// target/weight arrays.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds from per-node rows of `(target, weight)`.
+    fn from_rows<I: Iterator<Item = Vec<(NodeId, f64)>>>(rows: I) -> Self {
+        let mut csr = Csr {
+            offsets: vec![0],
+            targets: Vec::new(),
+            weights: Vec::new(),
+        };
+        for row in rows {
+            for (t, w) in row {
+                csr.targets.push(t);
+                csr.weights.push(w);
+            }
+            csr.offsets.push(csr.targets.len() as u32);
+        }
+        csr
+    }
+
+    #[inline]
+    fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    #[inline]
+    fn targets(&self, i: usize) -> &[NodeId] {
+        &self.targets[self.range(i)]
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> (&[NodeId], &[f64]) {
+        let r = self.range(i);
+        (&self.targets[r.clone()], &self.weights[r])
+    }
+}
+
+/// One indexed surface: a canonical phrase or an alias.
+#[derive(Debug, Clone)]
+struct PhraseEntry {
+    kind: NodeKind,
+    node: NodeId,
+    /// Full token sequence of the surface (first token is the bucket key).
+    tokens: Vec<String>,
+    /// True when this surface is an alias rather than the canonical phrase.
+    alias: bool,
+}
+
+/// An immutable, read-optimized view of one built ontology.
+#[derive(Debug, Clone)]
+pub struct OntologySnapshot {
+    nodes: Vec<AttentionNode>,
+    by_surface: HashMap<(NodeKind, String), NodeId>,
+    by_kind: [Vec<NodeId>; 5],
+    phrase_index: HashMap<String, Vec<PhraseEntry>>,
+    out: [Csr; 3],
+    inc: [Csr; 3],
+    ranked_children: Csr,
+    ranked_correlates: Csr,
+    concept_tokens: HashMap<String, Vec<NodeId>>,
+    stats: OntologyStats,
+}
+
+impl OntologySnapshot {
+    /// Freezes `o` into read-optimized structures. O(nodes + edges + total
+    /// phrase tokens); the snapshot owns copies of the node payloads and is
+    /// independent of the source afterwards.
+    pub fn freeze(o: &Ontology) -> Self {
+        let nodes: Vec<AttentionNode> = o.nodes().to_vec();
+        let n = nodes.len();
+
+        let mut by_kind: [Vec<NodeId>; 5] = Default::default();
+        for node in &nodes {
+            by_kind[node.kind.index()].push(node.id);
+        }
+
+        // Inverted phrase index over the surface table: ownership of each
+        // (kind, surface) key is exactly what registration decided
+        // (first-registration-wins), so alias collisions resolve here the
+        // same way `Ontology::find` resolves them.
+        let by_surface = o.surface_index().clone();
+        let mut phrase_index: HashMap<String, Vec<PhraseEntry>> = HashMap::new();
+        for (&(kind, ref surface), &node) in by_surface.iter() {
+            let payload = &nodes[node.index()];
+            let canonical = payload.kind == kind && payload.phrase.surface() == *surface;
+            let tokens = if canonical {
+                payload.phrase.tokens.clone()
+            } else {
+                payload
+                    .aliases
+                    .iter()
+                    .find(|a| a.surface() == *surface)
+                    .map(|a| a.tokens.clone())
+                    .unwrap_or_else(|| surface.split(' ').map(str::to_owned).collect())
+            };
+            if tokens.is_empty() {
+                continue;
+            }
+            let first = tokens[0].clone();
+            phrase_index.entry(first).or_default().push(PhraseEntry {
+                kind,
+                node,
+                tokens,
+                alias: !canonical,
+            });
+        }
+        // Longest-first inside each bucket lets `scan_contained` binary-
+        // search past every entry too long for the remaining window. The
+        // key ends on the full token sequence so it is a total order
+        // (surfaces in a bucket are distinct): bucket contents are
+        // genuinely deterministic, not left in `by_surface` iteration
+        // order for tied entries.
+        for bucket in phrase_index.values_mut() {
+            bucket.sort_by(|a, b| {
+                b.tokens
+                    .len()
+                    .cmp(&a.tokens.len())
+                    .then(a.node.cmp(&b.node))
+                    .then(a.alias.cmp(&b.alias))
+                    .then_with(|| a.tokens.cmp(&b.tokens))
+            });
+        }
+
+        // CSR adjacency per edge kind, preserving insertion order.
+        let per_kind = |kind: EdgeKind, incoming: bool| -> Csr {
+            Csr::from_rows((0..n).map(|i| {
+                let edges = if incoming {
+                    o.in_edges(NodeId(i as u32))
+                } else {
+                    o.out_edges(NodeId(i as u32))
+                };
+                edges
+                    .iter()
+                    .filter(|(_, k, _)| *k == kind)
+                    .map(|&(v, _, w)| (v, w))
+                    .collect()
+            }))
+        };
+        let out = [
+            per_kind(EdgeKind::IsA, false),
+            per_kind(EdgeKind::Involve, false),
+            per_kind(EdgeKind::Correlate, false),
+        ];
+        let inc = [
+            per_kind(EdgeKind::IsA, true),
+            per_kind(EdgeKind::Involve, true),
+            per_kind(EdgeKind::Correlate, true),
+        ];
+
+        // Pre-ranked serving lists: the sort the applications would
+        // otherwise run per request, done once at freeze time.
+        let ranked_children = Csr::from_rows((0..n).map(|i| {
+            let (ts, ws) = out[EdgeKind::IsA.index()].row(i);
+            let mut row: Vec<(NodeId, f64)> = ts.iter().copied().zip(ws.iter().copied()).collect();
+            row.sort_by(|a, b| {
+                nodes[b.0.index()]
+                    .support
+                    .total_cmp(&nodes[a.0.index()].support)
+                    .then(a.0.cmp(&b.0))
+            });
+            row
+        }));
+        let ranked_correlates = Csr::from_rows((0..n).map(|i| {
+            let (ts, ws) = out[EdgeKind::Correlate.index()].row(i);
+            let mut row: Vec<(NodeId, f64)> = ts.iter().copied().zip(ws.iter().copied()).collect();
+            row.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            row
+        }));
+
+        // Concept-token posting lists for the eq. (12)–(14) fallback. The
+        // legacy per-document rebuild pushed one posting per token
+        // *occurrence* (duplicates shrink `P(p_c|x)`), so duplicates are
+        // preserved deliberately.
+        let mut concept_tokens: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for &id in &by_kind[NodeKind::Concept.index()] {
+            for t in &nodes[id.index()].phrase.tokens {
+                concept_tokens.entry(t.clone()).or_default().push(id);
+            }
+        }
+
+        let stats = o.stats();
+        OntologySnapshot {
+            nodes,
+            by_surface,
+            by_kind,
+            phrase_index,
+            out,
+            inc,
+            ranked_children,
+            ranked_correlates,
+            concept_tokens,
+            stats,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node payload.
+    pub fn node(&self, id: NodeId) -> &AttentionNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[AttentionNode] {
+        &self.nodes
+    }
+
+    /// Ids of every node of `kind`, in id order.
+    pub fn ids_of_kind(&self, kind: NodeKind) -> &[NodeId] {
+        &self.by_kind[kind.index()]
+    }
+
+    /// All nodes of a kind, in id order.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> impl Iterator<Item = &AttentionNode> {
+        self.by_kind[kind.index()].iter().map(|id| &self.nodes[id.index()])
+    }
+
+    /// Finds a node by kind and surface form (canonical or alias).
+    pub fn find(&self, kind: NodeKind, surface: &str) -> Option<NodeId> {
+        self.by_surface.get(&(kind, surface.to_owned())).copied()
+    }
+
+    /// The longest phrase of `kind` contained (as a contiguous token run) in
+    /// `tokens`, ties broken by smallest node id. With
+    /// `include_aliases = false` this answers exactly what a linear scan
+    /// over `nodes_of_kind(kind)` canonical phrases answers; with `true`
+    /// alias surfaces compete too (resolving to their canonical node).
+    ///
+    /// Cost: O(|tokens| · bucket) token comparisons instead of O(total
+    /// phrases of the kind).
+    pub fn find_contained(
+        &self,
+        tokens: &[String],
+        kind: NodeKind,
+        include_aliases: bool,
+    ) -> Option<NodeId> {
+        let mut best: Option<(usize, NodeId)> = None;
+        self.scan_contained(tokens, kind, include_aliases, |node, len| {
+            let better = match best {
+                None => true,
+                // Strictly longer wins; at equal length the smaller id wins.
+                Some((bl, bn)) => len > bl || (len == bl && node < bn),
+            };
+            if better {
+                best = Some((len, node));
+            }
+        });
+        best.map(|(_, id)| id)
+    }
+
+    /// Every distinct node of `kind` with at least one surface contained in
+    /// `tokens`, in ascending id order.
+    pub fn contained_nodes(
+        &self,
+        tokens: &[String],
+        kind: NodeKind,
+        include_aliases: bool,
+    ) -> Vec<NodeId> {
+        let mut found = BTreeSet::new();
+        self.scan_contained(tokens, kind, include_aliases, |node, _| {
+            found.insert(node);
+        });
+        found.into_iter().collect()
+    }
+
+    /// Core of the inverted-index lookup: invokes `hit(node, phrase_len)`
+    /// for every surface of `kind` contained in `tokens`.
+    fn scan_contained<F: FnMut(NodeId, usize)>(
+        &self,
+        tokens: &[String],
+        kind: NodeKind,
+        include_aliases: bool,
+        mut hit: F,
+    ) {
+        for start in 0..tokens.len() {
+            let Some(bucket) = self.phrase_index.get(&tokens[start]) else {
+                continue;
+            };
+            let rest = &tokens[start..];
+            // Buckets are sorted longest-first: skip straight past every
+            // entry that cannot fit in the remaining token window.
+            let fits = bucket.partition_point(|e| e.tokens.len() > rest.len());
+            for entry in &bucket[fits..] {
+                if entry.kind != kind || (entry.alias && !include_aliases) {
+                    continue;
+                }
+                if rest[..entry.tokens.len()] == entry.tokens[..] {
+                    hit(entry.node, entry.tokens.len());
+                }
+            }
+        }
+    }
+
+    /// Direct isA children (instances) of `id`, in insertion order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        self.out[EdgeKind::IsA.index()].targets(id.index())
+    }
+
+    /// Direct isA parents of `id`, in insertion order.
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        self.inc[EdgeKind::IsA.index()].targets(id.index())
+    }
+
+    /// Nodes involved in event/topic `id`, in insertion order.
+    pub fn involved_in(&self, id: NodeId) -> &[NodeId] {
+        self.out[EdgeKind::Involve.index()].targets(id.index())
+    }
+
+    /// Events/topics that involve `id`, in insertion order.
+    pub fn involving(&self, id: NodeId) -> &[NodeId] {
+        self.inc[EdgeKind::Involve.index()].targets(id.index())
+    }
+
+    /// Correlate neighbours of `id` with weights, in insertion order.
+    pub fn correlates(&self, id: NodeId) -> (&[NodeId], &[f64]) {
+        self.out[EdgeKind::Correlate.index()].row(id.index())
+    }
+
+    /// Direct isA children pre-sorted by `(support desc, id asc)` — the
+    /// query-rewrite ranking, precomputed.
+    pub fn ranked_children(&self, id: NodeId) -> &[NodeId] {
+        self.ranked_children.targets(id.index())
+    }
+
+    /// Correlate neighbours pre-sorted by `(weight desc, id asc)` — the
+    /// recommendation ranking, precomputed.
+    pub fn ranked_correlates(&self, id: NodeId) -> (&[NodeId], &[f64]) {
+        self.ranked_correlates.row(id.index())
+    }
+
+    /// Concepts whose canonical phrase contains `token`, one posting per
+    /// occurrence, in id order (eq. 12–14 fallback support).
+    pub fn concepts_with_token(&self, token: &str) -> &[NodeId] {
+        self.concept_tokens.get(token).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Transitive isA ancestors with hop distance, in BFS discovery order
+    /// (identical to [`Ontology::ancestors`]).
+    pub fn ancestors(&self, id: NodeId) -> Vec<(NodeId, u32)> {
+        self.bfs(id, EdgeKind::IsA, true)
+    }
+
+    /// Transitive isA descendants with hop distance, in BFS discovery order.
+    pub fn descendants(&self, id: NodeId) -> Vec<(NodeId, u32)> {
+        self.bfs(id, EdgeKind::IsA, false)
+    }
+
+    fn bfs(&self, id: NodeId, kind: EdgeKind, up: bool) -> Vec<(NodeId, u32)> {
+        let adj = if up { &self.inc[kind.index()] } else { &self.out[kind.index()] };
+        let mut out = Vec::new();
+        let mut seen = HashSet::from([id]);
+        let mut queue = VecDeque::from([(id, 0u32)]);
+        while let Some((u, d)) = queue.pop_front() {
+            for &v in adj.targets(u.index()) {
+                if seen.insert(v) {
+                    out.push((v, d + 1));
+                    queue.push_back((v, d + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// The deepest common isA ancestor of `a` and `b` (ties by node id);
+    /// identical to [`Ontology::finest_common_ancestor`].
+    pub fn finest_common_ancestor(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let da: HashMap<NodeId, u32> = self.ancestors(a).into_iter().collect();
+        let db: HashMap<NodeId, u32> = self.ancestors(b).into_iter().collect();
+        da.iter()
+            .filter_map(|(n, d1)| db.get(n).map(|d2| (*n, d1 + d2)))
+            .min_by(|x, y| x.1.cmp(&y.1).then(x.0 .0.cmp(&y.0 .0)))
+            .map(|(n, _)| n)
+    }
+
+    /// Per-kind node/edge statistics, precomputed at freeze time.
+    pub fn stats(&self) -> &OntologyStats {
+        &self.stats
+    }
+}
+
+impl From<&Ontology> for OntologySnapshot {
+    fn from(o: &Ontology) -> Self {
+        Self::freeze(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Phrase;
+
+    fn p(s: &str) -> Phrase {
+        Phrase::from_text(s)
+    }
+
+    /// A small world exercising every structure: hierarchy, aliases,
+    /// correlates, involve edges.
+    fn sample() -> Ontology {
+        let mut o = Ontology::new();
+        let cars = o.add_node(NodeKind::Category, p("cars"), 10.0);
+        let eco = o.add_node(NodeKind::Concept, p("economy cars"), 5.0);
+        let lux = o.add_node(NodeKind::Concept, p("luxury cars"), 7.0);
+        let civic = o.add_node(NodeKind::Entity, p("honda civic"), 3.0);
+        let yaris = o.add_node(NodeKind::Entity, p("toyota yaris"), 9.0);
+        let ls = o.add_node(NodeKind::Entity, p("lexus ls"), 1.0);
+        let ev = o.add_event(p("honda recalls civic"), 2.0, 4);
+        o.add_alias(eco, p("fuel efficient cars"));
+        o.add_is_a(cars, eco, 1.0).unwrap();
+        o.add_is_a(cars, lux, 1.0).unwrap();
+        o.add_is_a(eco, civic, 1.0).unwrap();
+        o.add_is_a(eco, yaris, 1.0).unwrap();
+        o.add_is_a(lux, ls, 1.0).unwrap();
+        o.add_correlate(civic, yaris, 0.4).unwrap();
+        o.add_correlate(civic, ls, 0.9).unwrap();
+        o.add_involve(ev, civic, 1.0).unwrap();
+        o
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        giant_text::tokenize(s)
+    }
+
+    #[test]
+    fn adjacency_matches_source_order() {
+        let o = sample();
+        let s = OntologySnapshot::freeze(&o);
+        for i in 0..o.n_nodes() {
+            let id = NodeId(i as u32);
+            assert_eq!(s.children(id), o.children_of(id).as_slice());
+            assert_eq!(s.parents(id), o.parents_of(id).as_slice());
+            assert_eq!(s.involved_in(id), o.involved_in(id).as_slice());
+            assert_eq!(s.involving(id), o.involving(id).as_slice());
+            let (ts, ws) = s.correlates(id);
+            let legacy = o.correlates_of(id);
+            assert_eq!(ts.len(), legacy.len());
+            for ((t, w), (lt, lw)) in ts.iter().zip(ws).zip(&legacy) {
+                assert_eq!(t, lt);
+                assert_eq!(w, lw);
+            }
+            assert_eq!(s.ancestors(id), o.ancestors(id));
+            assert_eq!(s.descendants(id), o.descendants(id));
+        }
+        assert_eq!(s.stats(), &o.stats());
+    }
+
+    #[test]
+    fn contained_lookup_finds_longest_then_smallest_id() {
+        let o = sample();
+        let s = OntologySnapshot::freeze(&o);
+        let eco = o.find(NodeKind::Concept, "economy cars").unwrap();
+        let civic = o.find(NodeKind::Entity, "honda civic").unwrap();
+        assert_eq!(
+            s.find_contained(&toks("best economy cars 2020"), NodeKind::Concept, false),
+            Some(eco)
+        );
+        assert_eq!(
+            s.find_contained(&toks("honda civic review"), NodeKind::Entity, false),
+            Some(civic)
+        );
+        assert_eq!(s.find_contained(&toks("meaning of life"), NodeKind::Concept, false), None);
+        // Aliases only match when requested, and resolve to the canonical node.
+        let q = toks("are fuel efficient cars worth it");
+        assert_eq!(s.find_contained(&q, NodeKind::Concept, false), None);
+        assert_eq!(s.find_contained(&q, NodeKind::Concept, true), Some(eco));
+    }
+
+    #[test]
+    fn contained_nodes_collects_all_distinct_hits() {
+        let o = sample();
+        let s = OntologySnapshot::freeze(&o);
+        let civic = o.find(NodeKind::Entity, "honda civic").unwrap();
+        let yaris = o.find(NodeKind::Entity, "toyota yaris").unwrap();
+        let hits = s.contained_nodes(
+            &toks("honda civic beats toyota yaris and honda civic again"),
+            NodeKind::Entity,
+            false,
+        );
+        assert_eq!(hits, vec![civic, yaris]);
+    }
+
+    #[test]
+    fn rankings_are_presorted() {
+        let o = sample();
+        let s = OntologySnapshot::freeze(&o);
+        let eco = o.find(NodeKind::Concept, "economy cars").unwrap();
+        let civic = o.find(NodeKind::Entity, "honda civic").unwrap();
+        let yaris = o.find(NodeKind::Entity, "toyota yaris").unwrap();
+        let ls = o.find(NodeKind::Entity, "lexus ls").unwrap();
+        // yaris (9.0) outranks civic (3.0).
+        assert_eq!(s.ranked_children(eco), &[yaris, civic]);
+        // ls (0.9) outranks yaris (0.4).
+        let (ts, ws) = s.ranked_correlates(civic);
+        assert_eq!(ts, &[ls, yaris]);
+        assert_eq!(ws, &[0.9, 0.4]);
+    }
+
+    #[test]
+    fn concept_token_postings_preserve_duplicates() {
+        let mut o = Ontology::new();
+        let a = o.add_node(NodeKind::Concept, p("day by day savings"), 1.0);
+        let b = o.add_node(NodeKind::Concept, p("day trips"), 1.0);
+        let s = OntologySnapshot::freeze(&o);
+        // "day" occurs twice in `a` and once in `b`: three postings, id order.
+        assert_eq!(s.concepts_with_token("day"), &[a, a, b]);
+        assert_eq!(s.concepts_with_token("savings"), &[a]);
+        assert!(s.concepts_with_token("absent").is_empty());
+    }
+
+    #[test]
+    fn kind_listing_and_find_match_source() {
+        let o = sample();
+        let s = OntologySnapshot::freeze(&o);
+        for kind in NodeKind::ALL {
+            let legacy: Vec<NodeId> = o.nodes_of_kind(kind).map(|n| n.id).collect();
+            assert_eq!(s.ids_of_kind(kind), legacy.as_slice());
+        }
+        assert_eq!(s.find(NodeKind::Concept, "fuel efficient cars"), Some(NodeId(1)));
+        assert_eq!(s.find(NodeKind::Concept, "nope"), None);
+        assert_eq!(
+            s.finest_common_ancestor(NodeId(3), NodeId(5)),
+            o.finest_common_ancestor(NodeId(3), NodeId(5))
+        );
+    }
+}

@@ -8,18 +8,33 @@
 use std::collections::HashMap;
 
 /// Sparse vector cosine similarity.
+///
+/// Accumulation runs in sorted key order: float addition is
+/// order-sensitive, and `HashMap`'s per-instance random iteration order
+/// would make the same inputs produce answers differing in the last ulp
+/// from call to call — which the serving layer's byte-identical-responses
+/// guarantee cannot tolerate. The vectors here are short (titles, phrase
+/// contexts, entity sets), so the sort is noise.
 pub fn cosine_sparse(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    // Iterate the smaller map.
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    fn sorted(m: &HashMap<String, f64>) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = m.iter().map(|(k, x)| (k.as_str(), *x)).collect();
+        v.sort_unstable_by(|x, y| x.0.cmp(y.0));
+        v
+    }
+    let sa = sorted(a);
+    let sb = sorted(b);
+    // Iterate the smaller side, in key order, probing the larger map.
+    let (small, large) = if a.len() <= b.len() { (&sa, b) } else { (&sb, a) };
     let dot: f64 = small
         .iter()
-        .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
+        .filter_map(|(k, va)| large.get(*k).map(|vb| va * vb))
         .sum();
-    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
-    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    let norm = |v: &[(&str, f64)]| -> f64 { v.iter().map(|(_, x)| x * x).sum::<f64>().sqrt() };
+    let na = norm(&sa);
+    let nb = norm(&sb);
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {

@@ -1,20 +1,17 @@
 //! Document tagging (paper §4): build a small ontology via the pipeline,
-//! then tag fresh documents with concepts and events they never mention
-//! verbatim — the "user-centered text understanding" the paper deploys.
+//! publish it behind the versioned `OntologyService`, then tag fresh
+//! documents with concepts and events they never mention verbatim — the
+//! "user-centered text understanding" the paper deploys.
 //!
 //! ```text
 //! cargo run --release --example document_tagging
 //! ```
 
-use giant::adapter::{GiantSetup, ModelTrainConfig};
-use giant::apps::duet::{DuetConfig, DuetMatcher};
-use giant::apps::tagging::{DocumentTagger, TaggingConfig};
+use giant::adapter::{build_serving, GiantSetup, ModelTrainConfig};
+use giant::apps::serving::{ServeRequest, ServeResponse};
 use giant::data::WorldConfig;
 use giant::mining::GiantConfig;
-use giant::ontology::{NodeId, NodeKind};
-use giant::text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
-use giant::text::{TfIdf, Vocab};
-use std::collections::HashMap;
+use giant::ontology::NodeKind;
 
 fn main() {
     let setup = GiantSetup::generate(WorldConfig::tiny());
@@ -26,50 +23,21 @@ fn main() {
         output.mined_of_kind(NodeKind::Event).len()
     );
 
-    // Supporting resources for the tagger.
-    let mut vocab = Vocab::new();
-    let sents = setup.corpus.embedding_corpus(&mut vocab);
-    let encoder = PhraseEncoder::new(WordEmbeddings::train(
-        &sents,
-        vocab.len(),
-        &SgnsConfig::default(),
-    ));
-    let mut tfidf = TfIdf::new();
-    for d in &setup.corpus.docs {
-        let toks = giant::text::tokenize(&d.title);
-        tfidf.add_doc(toks.iter().map(|s| s.as_str()));
-    }
-    let mut concept_contexts: HashMap<NodeId, Vec<String>> = HashMap::new();
-    for m in output.mined_of_kind(NodeKind::Concept) {
-        let mut ctx = m.tokens.clone();
-        for t in &m.top_titles {
-            ctx.extend(giant::text::tokenize(t));
-        }
-        concept_contexts.insert(m.node, ctx);
-    }
-    let event_phrases: Vec<(NodeId, Vec<String>)> = output
-        .mined_of_kind(NodeKind::Event)
-        .iter()
-        .map(|m| (m.node, m.tokens.clone()))
-        .collect();
-    // A quick Duet matcher trained on separable features.
-    let mut examples = Vec::new();
-    for _ in 0..20 {
-        examples.push((vec![0.95, 0.95, 0.9, 0.6, 0.5, 1.0], true));
-        examples.push((vec![0.1, 0.15, 0.0, 0.1, 0.3, 0.0], false));
-    }
-    let duet = DuetMatcher::train(&examples, DuetConfig::default());
+    // One call assembles and publishes the whole serving stack: frozen
+    // snapshot, trained encoder/TF-IDF/Duet, tagging metadata.
+    let serving = build_serving(&setup, &output);
+    let service = &serving.service;
+    let snapshot = &serving.snapshot;
+    println!("serving version {}", service.version());
 
-    let tagger = DocumentTagger {
-        ontology: &output.ontology,
-        entity_nodes: &output.entity_nodes,
-        concept_contexts: &concept_contexts,
-        event_phrases: &event_phrases,
-        tfidf: &tfidf,
-        duet: &duet,
-        encoder: &encoder,
-        vocab: &vocab,
-        config: TaggingConfig::default(),
+    let tag = |title: String, sentences: Vec<String>| {
+        let ServeResponse::TagDocument(tags) = service
+            .serve(&ServeRequest::TagDocument { title, sentences })
+            .expect("TagDocument cannot fail")
+        else {
+            unreachable!("TagDocument answered with a different kind")
+        };
+        tags
     };
 
     // Tag a document that names entities but never the concept phrase —
@@ -77,25 +45,24 @@ fn main() {
     let sample_concept = output
         .mined_of_kind(NodeKind::Concept)
         .into_iter()
-        .find(|m| !output.ontology.children_of(m.node).is_empty());
+        .find(|m| !snapshot.children(m.node).is_empty());
     if let Some(m) = sample_concept {
-        let children: Vec<String> = output
-            .ontology
-            .children_of(m.node)
+        let children: Vec<String> = snapshot
+            .children(m.node)
             .iter()
-            .filter(|&&c| output.ontology.node(c).kind == NodeKind::Entity)
-            .map(|&c| output.ontology.node(c).phrase.surface())
+            .filter(|&&c| snapshot.node(c).kind == NodeKind::Entity)
+            .map(|&c| snapshot.node(c).phrase.surface())
             .collect();
         if children.len() >= 2 {
             let title = format!("{} and {} compared head to head", children[0], children[1]);
             let body = vec![format!("{} edges out {}", children[0], children[1])];
-            let tags = tagger.tag(&title, &body);
+            let tags = tag(title.clone(), body);
             println!("\ndoc: {title:?}");
             println!("  expected concept: {:?}", m.tokens.join(" "));
             for (c, score) in &tags.concepts {
                 println!(
                     "  tagged concept: {:?} (score {score:.3})",
-                    output.ontology.node(*c).phrase.surface()
+                    snapshot.node(*c).phrase.surface()
                 );
             }
         }
@@ -104,12 +71,12 @@ fn main() {
     // Tag an event document.
     if let Some(ev) = output.mined_of_kind(NodeKind::Event).first() {
         let title = format!("breaking : {}", ev.tokens.join(" "));
-        let tags = tagger.tag(&title, &["details are emerging".to_owned()]);
+        let tags = tag(title.clone(), vec!["details are emerging".to_owned()]);
         println!("\ndoc: {title:?}");
         for (e, score) in &tags.events {
             println!(
                 "  tagged event: {:?} (lcs {score:.2})",
-                output.ontology.node(*e).phrase.surface()
+                snapshot.node(*e).phrase.surface()
             );
         }
     }

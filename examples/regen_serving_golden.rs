@@ -1,0 +1,29 @@
+//! Regenerates `tests/golden/serving_seed42.txt`: the canonical application
+//! outputs (document tags, query rewrites, correlate recommendations, story
+//! tree) on the seed-42 tiny world. The serving-equivalence suite asserts
+//! that the versioned `OntologyService` reproduces this file byte-for-byte,
+//! pinning the serving API to the pre-redesign application behaviour.
+//!
+//! ```text
+//! cargo run --release --example regen_serving_golden
+//! ```
+
+use giant::adapter::ModelTrainConfig;
+use giant::data::WorldConfig;
+use giant_bench::{serving_golden_dump, Experiment, ExperimentConfig};
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig {
+        world: WorldConfig::tiny(),
+        train: ModelTrainConfig::small(),
+        ..ExperimentConfig::default()
+    });
+    let golden = serving_golden_dump(&exp);
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serving_seed42.txt");
+    std::fs::write(&path, &golden).expect("write golden");
+    println!("wrote {} ({} bytes)", path.display(), golden.len());
+    for l in golden.lines().take(4) {
+        println!("  {l}");
+    }
+}

@@ -9,7 +9,7 @@
 use giant::apps::storytree::{
     build_story_tree, retrieve_related, EventSimilarity, StoryEvent, StoryTreeConfig,
 };
-use giant::ontology::{NodeKind, Ontology, Phrase};
+use giant::ontology::{NodeKind, Ontology, OntologySnapshot, Phrase};
 use giant::text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
 use giant::text::{TfIdf, Vocab};
 
@@ -67,11 +67,14 @@ fn main() {
         });
     }
 
+    // Freeze the hand-built ontology into the read-optimized snapshot the
+    // serving layer uses.
+    let snapshot = OntologySnapshot::freeze(&ontology);
     let sim = EventSimilarity {
         encoder: &encoder,
         vocab: &vocab,
         tfidf: &tfidf,
-        ontology: &ontology,
+        snapshot: &snapshot,
     };
     let seed = events[0].clone();
     let related: Vec<StoryEvent> = retrieve_related(&seed, &events)

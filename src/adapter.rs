@@ -1,7 +1,11 @@
 //! Adapts the synthetic world (`giant-data`) into the data-agnostic pipeline
 //! input (`giant-core`), and bundles the common experiment setup: generate →
-//! build datasets → train models → run the pipeline.
+//! build datasets → train models → run the pipeline → publish for serving.
 
+use giant_apps::duet::{duet_features, DuetConfig, DuetMatcher};
+use giant_apps::serving::{OntologyService, ServeResources};
+use giant_apps::storytree::{StoryEvent, StoryTreeConfig};
+use giant_apps::tagging::{TagResources, TaggingConfig};
 use giant_core::gctsp::GctspConfig;
 use giant_core::pipeline::{CategoryRecord, DocRecord, GiantOutput, PipelineInput};
 use giant_core::train::{train_phrase_model, train_role_model, GiantModels, TrainingCluster};
@@ -10,6 +14,11 @@ use giant_data::{
     concept_mining_dataset, event_mining_dataset, generate_clicks, generate_corpus, ClickConfig,
     ClickLog, Corpus, CorpusConfig, MiningDataset, MiningExample, World, WorldConfig,
 };
+use giant_ontology::{NodeId, NodeKind, OntologySnapshot};
+use giant_text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
+use giant_text::{TfIdf, Vocab};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Everything needed to run experiments, generated from one seed.
 pub struct GiantSetup {
@@ -169,6 +178,144 @@ impl GiantSetup {
     /// Trains models and runs the full pipeline.
     pub fn run_pipeline(&self, models: &GiantModels, cfg: &GiantConfig) -> GiantOutput {
         giant_core::run_pipeline(&self.pipeline_input(), models, cfg)
+    }
+}
+
+/// A ready-to-serve bundle: the versioned [`OntologyService`] plus shared
+/// handles to the trained text resources (kept for harness code that also
+/// uses them outside the service, e.g. baseline evaluation).
+pub struct ServingBuild {
+    /// The serving endpoint, version 1 published.
+    pub service: OntologyService,
+    /// Frozen ontology of the published frame (same `Arc` the service holds).
+    pub snapshot: Arc<OntologySnapshot>,
+    /// Phrase encoder trained on the corpus.
+    pub encoder: Arc<PhraseEncoder>,
+    /// Vocabulary of the encoder.
+    pub vocab: Arc<Vocab>,
+    /// TF-IDF table over corpus titles.
+    pub tfidf: Arc<TfIdf>,
+}
+
+/// Trains the Duet matcher on (mined event phrase, matching/non-matching
+/// title) pairs from the pipeline output.
+pub fn train_duet(
+    output: &GiantOutput,
+    encoder: &PhraseEncoder,
+    vocab: &Vocab,
+) -> DuetMatcher {
+    let mut examples = Vec::new();
+    let events = output.mined_of_kind(NodeKind::Event);
+    for (i, m) in events.iter().enumerate() {
+        let Some(pos_title) = m.top_titles.first() else {
+            continue;
+        };
+        let pos = duet_features(&m.tokens, &giant_text::tokenize(pos_title), encoder, vocab);
+        examples.push((pos, true));
+        // Negative: another event's title.
+        if let Some(other) = events.get((i + 1) % events.len()) {
+            if other.node != m.node {
+                if let Some(neg_title) = other.top_titles.first() {
+                    let neg =
+                        duet_features(&m.tokens, &giant_text::tokenize(neg_title), encoder, vocab);
+                    examples.push((neg, false));
+                }
+            }
+        }
+    }
+    DuetMatcher::train(&examples, DuetConfig::default())
+}
+
+/// The mined events as story-tree inputs, in mining order.
+pub fn story_events(output: &GiantOutput) -> Vec<StoryEvent> {
+    output
+        .mined_of_kind(NodeKind::Event)
+        .into_iter()
+        .map(|m| StoryEvent {
+            node: m.node,
+            tokens: m.tokens.clone(),
+            trigger: m.trigger.clone(),
+            entities: m.entities.clone(),
+            day: m.day.unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Assembles and publishes the full serving stack for one pipeline product:
+/// trains the corpus text resources (SGNS encoder, TF-IDF, Duet), derives
+/// the tagging metadata (concept contexts, event phrases, support floor),
+/// freezes the ontology into an [`OntologySnapshot`] and publishes
+/// everything as version 1 of an [`OntologyService`].
+pub fn build_serving(setup: &GiantSetup, output: &GiantOutput) -> ServingBuild {
+    // Corpus-trained text resources.
+    let mut vocab = Vocab::new();
+    let sents = setup.corpus.embedding_corpus(&mut vocab);
+    let encoder = Arc::new(PhraseEncoder::new(WordEmbeddings::train(
+        &sents,
+        vocab.len(),
+        &SgnsConfig::default(),
+    )));
+    let vocab = Arc::new(vocab);
+    let mut tfidf = TfIdf::new();
+    for d in &setup.corpus.docs {
+        let toks = giant_text::tokenize(&d.title);
+        tfidf.add_doc(toks.iter().map(|s| s.as_str()));
+    }
+    let tfidf = Arc::new(tfidf);
+    let duet = Arc::new(train_duet(output, &encoder, &vocab));
+
+    // Tagging metadata from the mining product.
+    let mut concept_contexts: HashMap<NodeId, Vec<String>> = HashMap::new();
+    for m in output.mined_of_kind(NodeKind::Concept) {
+        let mut ctx = m.tokens.clone();
+        for t in &m.top_titles {
+            ctx.extend(giant_text::tokenize(t));
+        }
+        concept_contexts.insert(m.node, ctx);
+    }
+    let event_phrases: Vec<(NodeId, Vec<String>)> = output
+        .mined
+        .iter()
+        .filter(|m| matches!(m.kind, NodeKind::Event | NodeKind::Topic))
+        .map(|m| (m.node, m.tokens.clone()))
+        .collect();
+    // Noise concepts come from single odd clusters and carry little click
+    // mass; half the median support separates them from the real ones
+    // without assuming any ground truth.
+    let mut supports: Vec<f64> = output
+        .mined_of_kind(NodeKind::Concept)
+        .iter()
+        .map(|m| m.support)
+        .collect();
+    supports.sort_by(|a, b| a.total_cmp(b));
+    let min_support = supports.get(supports.len() / 2).copied().unwrap_or(0.0) * 0.5;
+
+    let resources = ServeResources {
+        tagging: TagResources {
+            concept_contexts,
+            event_phrases,
+            tfidf: Arc::clone(&tfidf),
+            duet,
+            encoder: Arc::clone(&encoder),
+            vocab: Arc::clone(&vocab),
+            config: TaggingConfig {
+                min_concept_support: min_support,
+                ..TaggingConfig::default()
+            },
+        },
+        stories: story_events(output),
+        story_config: StoryTreeConfig::default(),
+        match_aliases: false,
+        max_results: 5,
+    };
+    let service = OntologyService::new(OntologySnapshot::freeze(&output.ontology), resources);
+    let snapshot = service.snapshot();
+    ServingBuild {
+        service,
+        snapshot,
+        encoder,
+        vocab,
+        tfidf,
     }
 }
 

@@ -26,7 +26,8 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use giant::adapter::GiantSetup;
+//! use giant::adapter::{build_serving, GiantSetup};
+//! use giant::apps::serving::ServeRequest;
 //!
 //! // Generate a synthetic world + click log, train the models, build the AO.
 //! let setup = GiantSetup::generate(giant::data::WorldConfig::tiny());
@@ -34,6 +35,13 @@
 //! let output = setup.run_pipeline(&models, &Default::default());
 //! let stats = output.ontology.stats();
 //! println!("nodes: {:?}, edges: {:?}", stats.nodes_by_kind, stats.edges_by_kind);
+//!
+//! // Freeze the ontology and publish it behind the versioned serving API.
+//! let serving = build_serving(&setup, &output);
+//! let answer = serving.service.serve(&ServeRequest::Conceptualize {
+//!     query: "best budget phones".into(),
+//! });
+//! println!("version {}: {answer:?}", serving.service.version());
 //! ```
 
 pub use giant_apps as apps;

@@ -1,24 +1,21 @@
-//! Integration of the applications (§4) on top of a real pipeline output:
-//! story trees, query understanding, and the feed simulator all consuming
-//! the same constructed ontology.
+//! Integration of the applications (§4) on top of a real pipeline output,
+//! all consuming the same constructed ontology through the versioned
+//! `OntologyService`: story trees, query understanding, tagging and the
+//! feed simulator.
 
-use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::adapter::{build_serving, GiantSetup, ModelTrainConfig, ServingBuild};
 use giant::apps::recommend::{simulate_feed, FeedSimConfig, TagStrategy};
-use giant::apps::storytree::{build_story_tree, retrieve_related, EventSimilarity, StoryTreeConfig};
-use giant::apps::QueryUnderstander;
+use giant::apps::serving::{ServeRequest, ServeResponse};
+use giant::apps::storytree::retrieve_related;
 use giant::data::WorldConfig;
 use giant::mining::GiantConfig;
 use giant::ontology::NodeKind;
-use giant::text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
-use giant::text::{TfIdf, Vocab};
 use std::sync::OnceLock;
 
 struct Fixture {
     setup: GiantSetup,
     output: giant::mining::GiantOutput,
-    vocab: Vocab,
-    encoder: PhraseEncoder,
-    tfidf: TfIdf,
+    serving: ServingBuild,
 }
 
 fn fixture() -> &'static Fixture {
@@ -27,62 +24,32 @@ fn fixture() -> &'static Fixture {
         let setup = GiantSetup::generate(WorldConfig::tiny());
         let (models, _) = setup.train_models(&ModelTrainConfig::small());
         let output = setup.run_pipeline(&models, &GiantConfig::default());
-        let mut vocab = Vocab::new();
-        let sents = setup.corpus.embedding_corpus(&mut vocab);
-        let encoder = PhraseEncoder::new(WordEmbeddings::train(
-            &sents,
-            vocab.len(),
-            &SgnsConfig::default(),
-        ));
-        let mut tfidf = TfIdf::new();
-        for d in &setup.corpus.docs {
-            let toks = giant::text::tokenize(&d.title);
-            tfidf.add_doc(toks.iter().map(|s| s.as_str()));
-        }
+        let serving = build_serving(&setup, &output);
         Fixture {
             setup,
             output,
-            vocab,
-            encoder,
-            tfidf,
+            serving,
         }
     })
-}
-
-fn story_events(f: &Fixture) -> Vec<giant::apps::StoryEvent> {
-    f.output
-        .mined_of_kind(NodeKind::Event)
-        .into_iter()
-        .map(|m| giant::apps::StoryEvent {
-            node: m.node,
-            tokens: m.tokens.clone(),
-            trigger: m.trigger.clone(),
-            entities: m.entities.clone(),
-            day: m.day.unwrap_or(0),
-        })
-        .collect()
 }
 
 #[test]
 fn story_tree_from_mined_events() {
     let f = fixture();
-    let events = story_events(f);
+    let resources = f.serving.service.resources();
+    let events = &resources.stories;
     assert!(!events.is_empty(), "pipeline mined no events");
     let seed_idx = (0..events.len())
-        .max_by_key(|&i| retrieve_related(&events[i], &events).len())
+        .max_by_key(|&i| retrieve_related(&events[i], events).len())
         .unwrap();
-    let seed = events[seed_idx].clone();
-    let related: Vec<_> = retrieve_related(&seed, &events)
-        .into_iter()
-        .cloned()
-        .collect();
-    let sim = EventSimilarity {
-        encoder: &f.encoder,
-        vocab: &f.vocab,
-        tfidf: &f.tfidf,
-        ontology: &f.output.ontology,
+    let ServeResponse::StoryTree(tree) = f
+        .serving
+        .service
+        .serve(&ServeRequest::StoryTree { seed: events[seed_idx].node })
+        .expect("seed is a mined event")
+    else {
+        panic!("StoryTree answered with a different kind")
     };
-    let tree = build_story_tree(seed, related, &sim, &StoryTreeConfig::default());
     assert!(tree.n_events() >= 1);
     // Events sorted by day, every event in exactly one branch.
     let days: Vec<u32> = tree.events.iter().map(|e| e.day).collect();
@@ -94,15 +61,28 @@ fn story_tree_from_mined_events() {
     assert_eq!(covered, (0..tree.n_events()).collect::<Vec<_>>());
     // Rendering is non-empty and mentions a day marker.
     assert!(tree.render().contains("[day"));
+    // An unknown seed is a typed error, not a panic.
+    assert!(f
+        .serving
+        .service
+        .serve(&ServeRequest::StoryTree { seed: giant::ontology::NodeId(u32::MAX) })
+        .is_err());
 }
 
 #[test]
 fn query_understanding_on_constructed_ontology() {
     let f = fixture();
-    let qu = QueryUnderstander {
-        ontology: &f.output.ontology,
-        entity_nodes: &f.output.entity_nodes,
-        max_results: 5,
+    let snapshot = &f.serving.snapshot;
+    let serve_conceptualize = |query: String| {
+        let ServeResponse::Conceptualize(u) = f
+            .serving
+            .service
+            .serve(&ServeRequest::Conceptualize { query })
+            .expect("Conceptualize cannot fail")
+        else {
+            panic!("Conceptualize answered with a different kind")
+        };
+        u
     };
     // A concept query: find a mined concept with entity children.
     let with_children = f
@@ -110,21 +90,21 @@ fn query_understanding_on_constructed_ontology() {
         .mined_of_kind(NodeKind::Concept)
         .into_iter()
         .find(|m| {
-            f.output
-                .ontology
-                .children_of(m.node)
+            snapshot
+                .children(m.node)
                 .iter()
-                .any(|&c| f.output.ontology.node(c).kind == NodeKind::Entity)
+                .any(|&c| snapshot.node(c).kind == NodeKind::Entity)
         });
     if let Some(m) = with_children {
-        let u = qu.understand(&format!("best {}", m.tokens.join(" ")));
+        let u = serve_conceptualize(format!("best {}", m.tokens.join(" ")));
         assert_eq!(u.concept, Some(m.node));
         assert!(!u.rewrites.is_empty(), "expected query rewrites");
         for r in &u.rewrites {
             assert!(r.starts_with("best "));
         }
     }
-    // An entity query over a correlate-connected entity.
+    // An entity query over a correlate-connected entity, through both the
+    // Conceptualize and the dedicated Recommend request kinds.
     let entity_with_correlates = f
         .setup
         .world
@@ -132,16 +112,25 @@ fn query_understanding_on_constructed_ontology() {
         .iter()
         .map(|e| e.tokens.join(" "))
         .find(|s| {
-            f.output
-                .entity_nodes
-                .get(s)
-                .map(|n| !f.output.ontology.correlates_of(*n).is_empty())
+            snapshot
+                .find(NodeKind::Entity, s)
+                .map(|n| !snapshot.ranked_correlates(n).0.is_empty())
                 .unwrap_or(false)
         });
     if let Some(surface) = entity_with_correlates {
-        let u = qu.understand(&format!("{surface} review"));
+        let u = serve_conceptualize(format!("{surface} review"));
         assert!(u.entity.is_some());
         assert!(!u.recommendations.is_empty());
+        let ServeResponse::Recommend(r) = f
+            .serving
+            .service
+            .serve(&ServeRequest::Recommend { query: format!("{surface} review") })
+            .expect("Recommend cannot fail")
+        else {
+            panic!("Recommend answered with a different kind")
+        };
+        assert_eq!(r.entity, u.entity);
+        assert_eq!(r.items, u.recommendations);
     }
 }
 
@@ -175,11 +164,11 @@ fn feed_simulation_with_ground_truth_tags() {
 #[test]
 fn derived_nodes_have_valid_structure() {
     let f = fixture();
-    let o = &f.output.ontology;
+    let o = &*f.serving.snapshot;
     // Every topic (CPD output) must isA-parent at least one event and
     // involve a concept whose phrase is contained in the topic phrase.
     for t in o.nodes_of_kind(NodeKind::Topic) {
-        let children = o.children_of(t.id);
+        let children = o.children(t.id);
         assert!(
             children
                 .iter()
@@ -198,7 +187,7 @@ fn derived_nodes_have_valid_structure() {
     }
     // CSD parents: child phrase ends with parent phrase.
     for c in o.nodes_of_kind(NodeKind::Concept) {
-        for child in o.children_of(c.id) {
+        for &child in o.children(c.id) {
             let child_node = o.node(child);
             if child_node.kind == NodeKind::Concept {
                 assert!(
@@ -210,4 +199,27 @@ fn derived_nodes_have_valid_structure() {
             }
         }
     }
+}
+
+#[test]
+fn service_versioning_over_pipeline_worlds() {
+    // Publish a second pipeline build into the same service and check the
+    // version counter + snapshot swap semantics on real data.
+    let f = fixture();
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let output = setup.run_pipeline(&models, &GiantConfig::default());
+    let fresh = build_serving(&setup, &output);
+    assert_eq!(fresh.service.version(), 1);
+    let v2 = fresh.service.publish(
+        (*f.serving.snapshot).clone(),
+        (*f.serving.service.resources()).clone(),
+    );
+    assert_eq!(v2, 2);
+    assert_eq!(fresh.service.version(), 2);
+    // The republished frame serves the same answers as the original service.
+    let q = "best phones".to_owned();
+    let a = format!("{:?}", fresh.service.serve(&ServeRequest::Conceptualize { query: q.clone() }));
+    let b = format!("{:?}", f.serving.service.serve(&ServeRequest::Conceptualize { query: q }));
+    assert_eq!(a, b);
 }

@@ -196,7 +196,7 @@ fn correlate_edges_connect_related_entities() {
     let o = &f.output.ontology;
     let mut checked = 0;
     let mut correct = 0;
-    for (src, dst, kind, _) in o.edges() {
+    for (src, dst, kind, _) in o.edges_iter() {
         if kind != giant::ontology::EdgeKind::Correlate {
             continue;
         }

@@ -1,0 +1,410 @@
+//! Serving-equivalence suite: the read-optimized `OntologySnapshot` must
+//! answer every query *identically* to the legacy linear-scan/traversal
+//! answers on the mutable `Ontology`, and the applications must produce
+//! byte-identical output through the versioned `OntologyService`.
+//!
+//! Three layers of evidence:
+//!
+//! 1. **Proptests on random worlds** — phrase lookup (canonical and alias),
+//!    ranked children/correlates, ancestors/descendants, adjacency rows and
+//!    stats, each compared against a reference implementation that scans
+//!    the mutable store the way the pre-redesign applications did.
+//! 2. **Pipeline-world spot equivalence** — key-entity detection and query
+//!    conceptualization on the seed-42 world, snapshot vs the legacy
+//!    `entity_nodes`-map / `nodes_of_kind` scans.
+//! 3. **The golden file** — `tests/golden/serving_seed42.txt` was captured
+//!    from the pre-redesign per-app code paths; `serving_golden_dump` now
+//!    produces it entirely through `ServeRequest`s and must reproduce it
+//!    byte for byte.
+
+use giant::ontology::{NodeId, NodeKind, Ontology, OntologySnapshot, Phrase};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------------
+// Reference (pre-redesign) implementations.
+// ---------------------------------------------------------------------------
+
+/// The legacy contained-phrase scan: every canonical phrase of the kind, in
+/// id order, longest match wins, first (= smallest id) at equal length.
+fn ref_find_contained(o: &Ontology, query_tokens: &[String], kind: NodeKind) -> Option<NodeId> {
+    let mut best: Option<(usize, NodeId)> = None;
+    for node in o.nodes_of_kind(kind) {
+        let toks = &node.phrase.tokens;
+        if toks.is_empty() || toks.len() > query_tokens.len() {
+            continue;
+        }
+        let contained = (0..=query_tokens.len() - toks.len())
+            .any(|i| &query_tokens[i..i + toks.len()] == toks.as_slice());
+        if contained && best.map(|(l, _)| toks.len() > l).unwrap_or(true) {
+            best = Some((toks.len(), node.id));
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+/// Every surface (canonical + alias) of `kind` the registration table
+/// resolves to its node, as `(tokens, node)` pairs.
+fn ref_surfaces(o: &Ontology, kind: NodeKind) -> Vec<(Vec<String>, NodeId)> {
+    let mut out = Vec::new();
+    for node in o.nodes_of_kind(kind) {
+        out.push((node.phrase.tokens.clone(), node.id));
+        for a in &node.aliases {
+            // Ownership check: only surfaces the lookup table actually maps
+            // to this node compete (first-registration-wins).
+            if o.find(kind, &a.surface()) == Some(node.id) {
+                out.push((a.tokens.clone(), node.id));
+            }
+        }
+    }
+    out
+}
+
+/// Alias-aware contained-phrase reference: longest surface wins, smallest
+/// node id at equal length.
+fn ref_find_contained_aliases(
+    o: &Ontology,
+    query_tokens: &[String],
+    kind: NodeKind,
+) -> Option<NodeId> {
+    let mut best: Option<(usize, NodeId)> = None;
+    for (toks, node) in ref_surfaces(o, kind) {
+        if toks.is_empty() || toks.len() > query_tokens.len() {
+            continue;
+        }
+        let contained = (0..=query_tokens.len() - toks.len())
+            .any(|i| &query_tokens[i..i + toks.len()] == toks.as_slice());
+        if !contained {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bl, bn)) => toks.len() > bl || (toks.len() == bl && node < bn),
+        };
+        if better {
+            best = Some((toks.len(), node));
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+/// Legacy ranking of a concept's children: sort on demand by
+/// `(support desc, id asc)`.
+fn ref_ranked_children(o: &Ontology, id: NodeId) -> Vec<NodeId> {
+    let mut children = o.children_of(id);
+    children.sort_by(|a, b| {
+        o.node(*b)
+            .support
+            .total_cmp(&o.node(*a).support)
+            .then(a.0.cmp(&b.0))
+    });
+    children
+}
+
+/// Legacy ranking of correlates: sort on demand by `(weight desc, id asc)`.
+fn ref_ranked_correlates(o: &Ontology, id: NodeId) -> Vec<(NodeId, f64)> {
+    let mut correlates = o.correlates_of(id);
+    correlates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+    correlates
+}
+
+// ---------------------------------------------------------------------------
+// Random-world generation.
+// ---------------------------------------------------------------------------
+
+/// Small token alphabet so phrases collide, nest and alias aggressively.
+const TOKENS: [&str; 6] = ["ax", "bo", "cu", "dim", "el", "fy"];
+
+type NodeSpec = (usize, Vec<usize>, i32);
+type AliasSpec = (usize, Vec<usize>);
+type EdgeSpec = (usize, usize, usize, i32);
+
+fn phrase_of(token_ids: &[usize]) -> Phrase {
+    Phrase::new(token_ids.iter().map(|&t| TOKENS[t % TOKENS.len()].to_owned()))
+}
+
+/// Builds an ontology from generated specs; invalid edges are skipped the
+/// way the pipeline skips them (cycle/self-loop rejections).
+fn build_world(nodes: &[NodeSpec], aliases: &[AliasSpec], edges: &[EdgeSpec]) -> Ontology {
+    let mut o = Ontology::new();
+    let mut ids = Vec::new();
+    for (kind_idx, toks, support) in nodes {
+        let kind = NodeKind::ALL[kind_idx % 5];
+        let id = o.add_node(kind, phrase_of(toks), f64::from(*support % 17) + 0.5);
+        ids.push(id);
+    }
+    for (node_idx, toks) in aliases {
+        let id = ids[node_idx % ids.len()];
+        let _ = o.add_alias(id, phrase_of(toks));
+    }
+    for (a, b, kind_idx, w) in edges {
+        let (a, b) = (ids[a % ids.len()], ids[b % ids.len()]);
+        let w = f64::from(*w % 11) * 0.1 + 0.05;
+        let _ = match kind_idx % 3 {
+            0 => o.add_is_a(a, b, w),
+            1 => o.add_involve(a, b, w),
+            _ => o.add_correlate(a, b, w),
+        };
+    }
+    o
+}
+
+fn arb_specs() -> impl Strategy<Value = (Vec<NodeSpec>, Vec<AliasSpec>, Vec<EdgeSpec>)> {
+    (
+        proptest::collection::vec(
+            (0usize..5, proptest::collection::vec(0usize..6, 1..4), 0i32..100),
+            1..18,
+        ),
+        proptest::collection::vec(
+            (0usize..18, proptest::collection::vec(0usize..6, 1..4)),
+            0..12,
+        ),
+        proptest::collection::vec((0usize..18, 0usize..18, 0usize..3, 0i32..100), 0..50),
+    )
+}
+
+fn arb_query() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..6, 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Phrase lookup: the inverted index answers exactly what the legacy
+    /// linear scans answer, for every kind, with and without aliases.
+    #[test]
+    fn contained_phrase_lookup_matches_linear_scan(
+        specs in arb_specs(),
+        query in arb_query(),
+    ) {
+        let (nodes, aliases, edges) = specs;
+        let o = build_world(&nodes, &aliases, &edges);
+        let snap = OntologySnapshot::freeze(&o);
+        let query_tokens: Vec<String> =
+            query.iter().map(|&t| TOKENS[t % TOKENS.len()].to_owned()).collect();
+        for kind in NodeKind::ALL {
+            prop_assert_eq!(
+                snap.find_contained(&query_tokens, kind, false),
+                ref_find_contained(&o, &query_tokens, kind),
+                "canonical lookup diverged for {:?} on {:?}", kind, query_tokens
+            );
+            prop_assert_eq!(
+                snap.find_contained(&query_tokens, kind, true),
+                ref_find_contained_aliases(&o, &query_tokens, kind),
+                "alias lookup diverged for {:?} on {:?}", kind, query_tokens
+            );
+            // contained_nodes == every distinct canonically-contained node.
+            let mut expected: Vec<NodeId> = o
+                .nodes_of_kind(kind)
+                .filter(|n| {
+                    let toks = &n.phrase.tokens;
+                    !toks.is_empty()
+                        && toks.len() <= query_tokens.len()
+                        && (0..=query_tokens.len() - toks.len())
+                            .any(|i| &query_tokens[i..i + toks.len()] == toks.as_slice())
+                })
+                .map(|n| n.id)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(
+                snap.contained_nodes(&query_tokens, kind, false),
+                expected,
+                "contained_nodes diverged for {:?}", kind
+            );
+        }
+    }
+
+    /// Rankings, traversals, adjacency and stats are identical to the
+    /// mutable store's answers on every node.
+    #[test]
+    fn traversals_and_rankings_match_source(specs in arb_specs()) {
+        let (nodes, aliases, edges) = specs;
+        let o = build_world(&nodes, &aliases, &edges);
+        let snap = OntologySnapshot::freeze(&o);
+        prop_assert_eq!(snap.n_nodes(), o.n_nodes());
+        prop_assert_eq!(snap.stats(), &o.stats());
+        for kind in NodeKind::ALL {
+            let legacy: Vec<NodeId> = o.nodes_of_kind(kind).map(|n| n.id).collect();
+            prop_assert_eq!(snap.ids_of_kind(kind), legacy.as_slice());
+        }
+        for i in 0..o.n_nodes() {
+            let id = NodeId(i as u32);
+            let children = o.children_of(id);
+            prop_assert_eq!(snap.children(id), children.as_slice());
+            let parents = o.parents_of(id);
+            prop_assert_eq!(snap.parents(id), parents.as_slice());
+            let involved = o.involved_in(id);
+            prop_assert_eq!(snap.involved_in(id), involved.as_slice());
+            let involving = o.involving(id);
+            prop_assert_eq!(snap.involving(id), involving.as_slice());
+            prop_assert_eq!(snap.ancestors(id), o.ancestors(id));
+            prop_assert_eq!(snap.descendants(id), o.descendants(id));
+            let ranked = ref_ranked_children(&o, id);
+            prop_assert_eq!(snap.ranked_children(id), ranked.as_slice());
+            let (ts, ws) = snap.ranked_correlates(id);
+            let reference = ref_ranked_correlates(&o, id);
+            prop_assert_eq!(ts.len(), reference.len());
+            for (j, (t, w)) in reference.iter().enumerate() {
+                prop_assert_eq!(ts[j], *t);
+                prop_assert!((ws[j] - w).abs() == 0.0, "weight mismatch at {}", j);
+            }
+            // Unordered surface lookup agrees everywhere it is defined.
+            let node = snap.node(id);
+            prop_assert_eq!(
+                snap.find(node.kind, &node.phrase.surface()),
+                o.find(node.kind, &node.phrase.surface())
+            );
+        }
+    }
+
+    /// The concept-token posting lists equal the per-call index the legacy
+    /// tagging fallback rebuilt (duplicates preserved, id order).
+    #[test]
+    fn concept_token_postings_match_legacy_rebuild(specs in arb_specs()) {
+        let (nodes, aliases, edges) = specs;
+        let o = build_world(&nodes, &aliases, &edges);
+        let snap = OntologySnapshot::freeze(&o);
+        let mut legacy: std::collections::HashMap<&str, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for c in o.nodes_of_kind(NodeKind::Concept) {
+            for t in &c.phrase.tokens {
+                legacy.entry(t.as_str()).or_default().push(c.id);
+            }
+        }
+        for t in TOKENS {
+            let expected = legacy.get(t).cloned().unwrap_or_default();
+            prop_assert_eq!(snap.concepts_with_token(t), expected.as_slice());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-world equivalence + the golden byte-identity test.
+// ---------------------------------------------------------------------------
+
+mod pipeline_world {
+    use super::*;
+    use giant_bench::{golden_queries, serving_golden_dump, Experiment, ExperimentConfig};
+    use giant::adapter::ModelTrainConfig;
+    use giant::apps::serving::{ServeRequest, ServeResponse};
+    use giant::data::WorldConfig;
+    use std::sync::OnceLock;
+
+    fn experiment() -> &'static Experiment {
+        static EXP: OnceLock<Experiment> = OnceLock::new();
+        EXP.get_or_init(|| {
+            Experiment::build(ExperimentConfig {
+                world: WorldConfig::tiny(),
+                train: ModelTrainConfig::small(),
+                ..ExperimentConfig::default()
+            })
+        })
+    }
+
+    /// Key-entity detection through the snapshot equals the legacy scan
+    /// over the pipeline's `entity_nodes` surface map, on every corpus doc.
+    #[test]
+    fn key_entities_match_entity_nodes_scan() {
+        let exp = experiment();
+        let snap = &*exp.snapshot;
+        fn contains_seq(haystack: &[String], needle: &[String]) -> bool {
+            !needle.is_empty()
+                && haystack.len() >= needle.len()
+                && (0..=haystack.len() - needle.len())
+                    .any(|i| &haystack[i..i + needle.len()] == needle)
+        }
+        for d in &exp.setup.corpus.docs {
+            let title = giant::text::tokenize(&d.title);
+            let sentences: Vec<Vec<String>> =
+                d.sentences.iter().map(|s| giant::text::tokenize(s)).collect();
+            // Legacy: scan every surface in the pipeline's entity map.
+            let mut legacy: Vec<NodeId> = Vec::new();
+            let mut seen = HashSet::new();
+            for (surface, &node) in &exp.output.entity_nodes {
+                let toks = giant::text::tokenize(surface);
+                let hit = contains_seq(&title, &toks)
+                    || sentences.iter().any(|s| contains_seq(s, &toks));
+                if hit && seen.insert(node) {
+                    legacy.push(node);
+                }
+            }
+            legacy.sort_by_key(|n| n.0);
+            // Snapshot: inverted-index lookup over canonical entity phrases.
+            let mut found: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+            found.extend(snap.contained_nodes(&title, NodeKind::Entity, false));
+            for s in &sentences {
+                found.extend(snap.contained_nodes(s, NodeKind::Entity, false));
+            }
+            let snapshot_found: Vec<NodeId> = found.into_iter().collect();
+            assert_eq!(snapshot_found, legacy, "key entities diverged on doc {}", d.id);
+        }
+    }
+
+    /// Query understanding through the service equals the legacy
+    /// linear-scan + sort-on-demand implementation on every probe query.
+    #[test]
+    fn conceptualize_matches_legacy_understander() {
+        let exp = experiment();
+        let o = &exp.output.ontology;
+        let max_results = exp.service.resources().max_results;
+        for q in golden_queries(exp) {
+            let ServeResponse::Conceptualize(u) = exp
+                .service
+                .serve(&ServeRequest::Conceptualize { query: q.clone() })
+                .expect("Conceptualize cannot fail")
+            else {
+                panic!("Conceptualize answered with a different kind")
+            };
+            let tokens = giant::text::tokenize(&q);
+            let concept = ref_find_contained(o, &tokens, NodeKind::Concept);
+            let entity = ref_find_contained(o, &tokens, NodeKind::Entity);
+            assert_eq!(u.concept, concept, "concept diverged on {q:?}");
+            assert_eq!(u.entity, entity, "entity diverged on {q:?}");
+            let rewrites: Vec<String> = concept
+                .map(|c| {
+                    ref_ranked_children(o, c)
+                        .into_iter()
+                        .filter(|&n| o.node(n).kind == NodeKind::Entity)
+                        .take(max_results)
+                        .map(|e| format!("{q} {}", o.node(e).phrase.surface()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            assert_eq!(u.rewrites, rewrites, "rewrites diverged on {q:?}");
+            let recs: Vec<NodeId> = entity
+                .map(|e| {
+                    ref_ranked_correlates(o, e)
+                        .into_iter()
+                        .take(max_results)
+                        .map(|(n, _)| n)
+                        .collect()
+                })
+                .unwrap_or_default();
+            assert_eq!(u.recommendations, recs, "recommendations diverged on {q:?}");
+        }
+    }
+
+    /// The committed golden file — captured from the pre-redesign app code
+    /// paths on the seed-42 world — must be reproduced byte-for-byte
+    /// through the `OntologyService`.
+    #[test]
+    fn app_outputs_byte_identical_to_pre_redesign_golden() {
+        let exp = experiment();
+        let dump = serving_golden_dump(exp);
+        let golden = include_str!("golden/serving_seed42.txt");
+        if dump != golden {
+            let diverged = dump
+                .lines()
+                .zip(golden.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| format!("line {}: now {:?} vs golden {:?}",
+                    i + 1,
+                    dump.lines().nth(i).unwrap(),
+                    golden.lines().nth(i).unwrap()))
+                .unwrap_or_else(|| format!(
+                    "lengths differ: now {} vs golden {} bytes", dump.len(), golden.len()));
+            panic!("serving output drifted from the pre-redesign golden; first divergence at {diverged}");
+        }
+    }
+}
