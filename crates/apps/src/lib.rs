@@ -16,6 +16,7 @@
 //!   reachable through `ServeRequest`.
 
 pub mod duet;
+pub mod incremental;
 pub mod query;
 pub mod recommend;
 pub mod serving;
@@ -23,6 +24,7 @@ pub mod storytree;
 pub mod tagging;
 
 pub use duet::{duet_features, DuetConfig, DuetMatcher, DUET_FEATURE_DIM};
+pub use incremental::{mined_metadata, refresh_resources, IncrementalDriver, IngestReport, MinedMetadata};
 pub use query::{conceptualize, recommend as recommend_query, QueryUnderstanding, Recommendations};
 pub use recommend::{
     simulate_by_kind,

@@ -335,11 +335,42 @@ impl OntologyService {
         self.history.lock().expect("service history poisoned").len()
     }
 
+    /// Prunes history through `&self`, keeping the newest `keep` frames
+    /// (clamped to at least the live one). Returns the number of frames
+    /// retained. This is the pruning entry point for shared-`Arc` users —
+    /// an `IncrementalDriver` publishing from one thread while readers
+    /// serve from others.
+    ///
+    /// Safety mirrors `publish`'s opportunistic reclamation: superseded
+    /// frames are dropped only inside a quiet window (the `SeqCst`
+    /// presence counter reads zero, so no reader can be holding a bare
+    /// frame pointer it has not yet secured; any later reader loads
+    /// `current`, which is always retained — `publish` pushes the frame
+    /// and swaps the pointer under the same history lock held here, so the
+    /// newest history entry *is* the live frame). If the window never goes
+    /// quiet within the bounded retry, nothing is dropped and the caller
+    /// may simply try again later; readers are never blocked either way.
+    pub fn retain_last(&self, keep: usize) -> usize {
+        let keep = keep.max(1);
+        let mut history = self.history.lock().expect("service history poisoned");
+        if history.len() > keep {
+            for _ in 0..64 {
+                if self.readers_acquiring.load(Ordering::SeqCst) == 0 {
+                    let drop_from = history.len() - keep;
+                    history.drain(..drop_from);
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        history.len()
+    }
+
     /// Drops every superseded frame unconditionally. Requires exclusive
     /// access, which guarantees no reader is inside the lock-free acquire
     /// window; readers that already own an `Arc` to an old frame keep it
-    /// alive themselves. Rarely needed — `publish` already reclaims
-    /// opportunistically — but closes the stalled-reader corner.
+    /// alive themselves. Shared-`Arc` callers use
+    /// [`OntologyService::retain_last`] instead.
     pub fn prune_history(&mut self) {
         let current = *self.current.get_mut() as *const ServingFrame;
         self.history
@@ -549,6 +580,74 @@ mod tests {
         assert!(svc
             .serve(&ServeRequest::Conceptualize { query: "electric cars".into() })
             .is_ok());
+    }
+
+    #[test]
+    fn retain_last_prunes_through_a_shared_reference() {
+        // The regression this pins: history pruning used to require
+        // `&mut self`, which is unusable once the service lives in an
+        // `Arc` shared with readers — exactly the incremental driver's
+        // shape. `retain_last` must work through `&self`.
+        let (svc, _) = service();
+        let svc = Arc::new(svc);
+        for _ in 0..5 {
+            let snap = (*svc.snapshot()).clone();
+            let res = (*svc.resources()).clone();
+            svc.publish(snap, res);
+        }
+        assert_eq!(svc.version(), 6);
+        // Publish reclaims opportunistically, so history is already lean;
+        // retain_last through &self (no &mut anywhere) must keep serving
+        // and never drop the live frame.
+        let retained = svc.retain_last(3);
+        assert!((1..=3).contains(&retained));
+        assert_eq!(svc.version(), 6, "live frame must survive pruning");
+        assert!(svc
+            .serve(&ServeRequest::Conceptualize { query: "electric cars".into() })
+            .is_ok());
+        // keep = 0 clamps to the live frame.
+        assert_eq!(svc.retain_last(0), 1);
+        assert_eq!(svc.version(), 6);
+    }
+
+    #[test]
+    fn retain_last_keeps_depth_under_concurrent_readers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (svc, _) = service();
+        let svc = Arc::new(svc);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut served = 0u64;
+                loop {
+                    let frame = svc.frame();
+                    let r = frame
+                        .serve(&ServeRequest::Conceptualize { query: "electric cars".into() })
+                        .unwrap();
+                    assert!(matches!(r, ServeResponse::Conceptualize(_)));
+                    served += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                served
+            }));
+        }
+        for _ in 0..10 {
+            let snap = (*svc.snapshot()).clone();
+            let res = (*svc.resources()).clone();
+            svc.publish(snap, res);
+            let retained = svc.retain_last(2);
+            assert!(retained >= 1, "retain_last must never drop the live frame");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader starved");
+        }
+        assert_eq!(svc.version(), 11);
     }
 
     #[test]

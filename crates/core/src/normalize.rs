@@ -13,7 +13,7 @@
 //! "same or synonyms" with an empty synonym table).
 
 use giant_text::{StopWords, TfIdf};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// A canonical phrase plus its merged variants and enriched context.
 #[derive(Debug, Clone)]
@@ -29,24 +29,53 @@ pub struct MergedPhrase {
 }
 
 /// Deduplicates mined phrases per §3.1.
+///
+/// Criterion (i) is content-token **set equality**, so groups are indexed
+/// by a canonical content key: a candidate is compared (criterion (ii),
+/// TF-IDF context cosine) only against the groups sharing its key, in
+/// insertion order — the same first-match the full scan would find, at
+/// O(bucket) instead of O(groups) per candidate. Byte-identical output,
+/// and the pipeline's merge phase stops being quadratic in the number of
+/// mined groups.
 #[derive(Debug)]
-pub struct Normalizer {
-    tfidf: TfIdf,
+pub struct Normalizer<'a> {
+    tfidf: &'a TfIdf,
     stopwords: StopWords,
     delta_m: f64,
     merged: Vec<MergedPhrase>,
+    /// Content key → group indices with that key, ascending (insertion
+    /// order).
+    by_content: HashMap<String, Vec<usize>>,
 }
 
-impl Normalizer {
+impl<'a> Normalizer<'a> {
     /// Creates a normalizer. `tfidf` should be built over the title corpus
-    /// so context similarities are meaningful.
-    pub fn new(tfidf: TfIdf, stopwords: StopWords, delta_m: f64) -> Self {
+    /// so context similarities are meaningful (borrowed: the table is
+    /// shared with the linking stages and can be large).
+    pub fn new(tfidf: &'a TfIdf, stopwords: StopWords, delta_m: f64) -> Self {
         Self {
             tfidf,
             stopwords,
             delta_m,
             merged: Vec::new(),
+            by_content: HashMap::new(),
         }
+    }
+
+    /// The canonical content key: the sorted, deduplicated non-stop tokens.
+    /// Two phrases have equal content *sets* iff their keys are equal.
+    fn content_key(&self, tokens: &[String]) -> String {
+        let set: BTreeSet<&str> = tokens
+            .iter()
+            .map(|t| t.as_str())
+            .filter(|t| !self.stopwords.is_stop(t))
+            .collect();
+        let mut key = String::new();
+        for t in set {
+            key.push_str(t);
+            key.push('\u{1f}');
+        }
+        key
     }
 
     /// Context-enriched representation: the phrase tokens plus the tokens of
@@ -59,7 +88,7 @@ impl Normalizer {
         ctx
     }
 
-    fn content_set<'a>(&self, tokens: &'a [String]) -> HashSet<&'a str> {
+    fn content_set<'t>(&self, tokens: &'t [String]) -> HashSet<&'t str> {
         tokens
             .iter()
             .map(|t| t.as_str())
@@ -94,23 +123,49 @@ impl Normalizer {
         support: f64,
     ) -> usize {
         let context = self.context_repr(&tokens, top_titles);
-        for (i, g) in self.merged.iter().enumerate() {
-            if self.are_similar(&tokens, &context, &g.tokens, &g.context) {
-                let g = &mut self.merged[i];
-                if g.tokens != tokens && !g.variants.contains(&tokens) {
-                    g.variants.push(tokens);
+        self.merge_or_insert_with_context(tokens, context, support)
+    }
+
+    /// [`Normalizer::merge_or_insert`] with a caller-supplied context
+    /// representation — callers that already hold
+    /// `context_repr(&tokens, top_titles)` (the mining cache memoizes it
+    /// per candidate) skip re-tokenizing the titles on every merge.
+    pub fn merge_or_insert_with_context(
+        &mut self,
+        tokens: Vec<String>,
+        context: Vec<String>,
+        support: f64,
+    ) -> usize {
+        let key = self.content_key(&tokens);
+        // Only groups with the identical content set can satisfy criterion
+        // (i); among them, the first (insertion order) passing criterion
+        // (ii) wins — exactly the full scan's first match.
+        if let Some(bucket) = self.by_content.get(&key) {
+            for &i in bucket {
+                let g = &self.merged[i];
+                let sim = self.tfidf.similarity(
+                    context.iter().map(|s| s.as_str()),
+                    g.context.iter().map(|s| s.as_str()),
+                );
+                if sim >= self.delta_m {
+                    let g = &mut self.merged[i];
+                    if g.tokens != tokens && !g.variants.contains(&tokens) {
+                        g.variants.push(tokens);
+                    }
+                    g.support += support;
+                    return i;
                 }
-                g.support += support;
-                return i;
             }
         }
+        let i = self.merged.len();
         self.merged.push(MergedPhrase {
             tokens,
             variants: Vec::new(),
             context,
             support,
         });
-        self.merged.len() - 1
+        self.by_content.entry(key).or_default().push(i);
+        i
     }
 
     /// The merged groups.
@@ -132,7 +187,7 @@ mod tests {
         giant_text::tokenize(s)
     }
 
-    fn normalizer() -> Normalizer {
+    fn tfidf() -> TfIdf {
         let mut tfidf = TfIdf::new();
         for t in [
             "top 10 electric cars of 2018",
@@ -143,12 +198,17 @@ mod tests {
         ] {
             tfidf.add_doc(toks(t).iter().map(|s| s.to_string()).collect::<Vec<_>>().iter().map(|s| s.as_str()));
         }
+        tfidf
+    }
+
+    fn normalizer(tfidf: &TfIdf) -> Normalizer<'_> {
         Normalizer::new(tfidf, StopWords::standard(), 0.5)
     }
 
     #[test]
     fn same_content_same_context_merges() {
-        let mut n = normalizer();
+        let t = tfidf();
+        let mut n = normalizer(&t);
         let titles = vec![
             "top 10 electric cars of 2018".to_owned(),
             "electric family cars buying guide".to_owned(),
@@ -164,7 +224,8 @@ mod tests {
 
     #[test]
     fn different_content_never_merges() {
-        let mut n = normalizer();
+        let t = tfidf();
+        let mut n = normalizer(&t);
         let titles = vec!["top 10 electric cars of 2018".to_owned()];
         let a = n.merge_or_insert(toks("electric cars"), &titles, 1.0);
         let b = n.merge_or_insert(toks("budget phones"), &titles, 1.0);
@@ -175,7 +236,8 @@ mod tests {
     #[test]
     fn same_content_different_context_stays_separate() {
         // Same non-stop tokens but disjoint click contexts → below δ_m.
-        let mut n = normalizer();
+        let t = tfidf();
+        let mut n = normalizer(&t);
         let a = n.merge_or_insert(
             toks("electric cars"),
             &["top 10 electric cars of 2018".to_owned()],
@@ -191,7 +253,8 @@ mod tests {
 
     #[test]
     fn exact_duplicate_does_not_grow_variants() {
-        let mut n = normalizer();
+        let t = tfidf();
+        let mut n = normalizer(&t);
         let titles = vec!["top 10 electric cars of 2018".to_owned()];
         n.merge_or_insert(toks("electric cars"), &titles, 1.0);
         n.merge_or_insert(toks("electric cars"), &titles, 1.0);

@@ -6,6 +6,10 @@
 //! dictionary + an annotator) and two trained GCTSP-Net models. The `giant`
 //! facade crate adapts `giant-data`'s synthetic world into this form.
 
+use crate::cache::{
+    CacheStats, EntityLookupCache, MineEntry, MineFingerprint, MineOutcome, PipelineCaches,
+    TextCache,
+};
 use crate::config::GiantConfig;
 use crate::decode::decode_tokens;
 use crate::derive::{common_pattern_discovery, common_suffix_discovery, CpdEvent};
@@ -16,14 +20,15 @@ use crate::link::{
 use crate::normalize::Normalizer;
 
 use crate::train::GiantModels;
-use giant_graph::plan::{plan_clusters_parallel, ClusterWorkItem};
+use giant_graph::plan::{plan_clusters_cached, plan_clusters_parallel, ClusterWorkItem};
 use giant_graph::{ClickGraph, DocId};
 use giant_nn::GbdtConfig;
 use giant_ontology::{EventRole, NodeId, NodeKind, Ontology, Phrase};
-use giant_text::{Annotator, NerTag, PosTag, TfIdf};
+use giant_text::{Annotator, NerTag, PosTag};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// One document, pipeline view.
 #[derive(Debug, Clone)]
@@ -98,6 +103,39 @@ pub struct MinedAttention {
     pub clicked_docs: Vec<usize>,
 }
 
+/// Wall-clock spent per pipeline stage, in execution order. Purely
+/// diagnostic — never part of the determinism contract (two identical runs
+/// produce identical ontologies and *different* timings).
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    entries: Vec<(&'static str, f64)>,
+}
+
+impl StageTimings {
+    /// Records `secs` against `stage` (accumulates on repeated names).
+    pub fn record(&mut self, stage: &'static str, secs: f64) {
+        match self.entries.iter_mut().find(|(n, _)| *n == stage) {
+            Some((_, s)) => *s += secs,
+            None => self.entries.push((stage, secs)),
+        }
+    }
+
+    /// Seconds recorded for `stage`, if any.
+    pub fn get(&self, stage: &str) -> Option<f64> {
+        self.entries.iter().find(|(n, _)| *n == stage).map(|(_, s)| *s)
+    }
+
+    /// All `(stage, secs)` rows in execution order.
+    pub fn entries(&self) -> &[(&'static str, f64)] {
+        &self.entries
+    }
+
+    /// Total recorded seconds.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, s)| s).sum()
+    }
+}
+
 /// The pipeline's product.
 #[derive(Debug)]
 pub struct GiantOutput {
@@ -114,6 +152,11 @@ pub struct GiantOutput {
     /// Diagnostics: alias registrations that lost a surface collision
     /// (first registration wins; see `AliasOutcome::Conflict`).
     pub alias_conflicts: usize,
+    /// Diagnostics: per-stage wall clock of this run.
+    pub timings: StageTimings,
+    /// Diagnostics: cache effectiveness of this run (all-miss for the
+    /// uncached [`run_pipeline`]).
+    pub cache_stats: CacheStats,
 }
 
 impl GiantOutput {
@@ -125,6 +168,34 @@ impl GiantOutput {
 
 /// Runs the full pipeline.
 pub fn run_pipeline(input: &PipelineInput, models: &GiantModels, cfg: &GiantConfig) -> GiantOutput {
+    run_impl(input, models, cfg, None)
+}
+
+/// [`run_pipeline`] reusing (and refilling) cross-run [`PipelineCaches`].
+///
+/// The output is **byte-identical** to an uncached [`run_pipeline`] over
+/// the same input provided the cache validity contract holds: the caches
+/// were only ever filled by runs over ancestors of this input (documents
+/// and queries append-only, texts immutable) and
+/// [`PipelineCaches::invalidate`] was called with every batch of
+/// click-graph edits since the previous run. `giant-incr` owns that
+/// bookkeeping; calling this directly with hand-managed caches is possible
+/// but easy to get wrong.
+pub fn run_pipeline_cached(
+    input: &PipelineInput,
+    models: &GiantModels,
+    cfg: &GiantConfig,
+    caches: &mut PipelineCaches,
+) -> GiantOutput {
+    run_impl(input, models, cfg, Some(caches))
+}
+
+fn run_impl(
+    input: &PipelineInput,
+    models: &GiantModels,
+    cfg: &GiantConfig,
+    caches: Option<&mut PipelineCaches>,
+) -> GiantOutput {
     let mut out = GiantOutput {
         ontology: Ontology::new(),
         mined: Vec::new(),
@@ -132,17 +203,61 @@ pub fn run_pipeline(input: &PipelineInput, models: &GiantModels, cfg: &GiantConf
         entity_nodes: HashMap::new(),
         rejected_edges: 0,
         alias_conflicts: 0,
+        timings: StageTimings::default(),
+        cache_stats: CacheStats::default(),
     };
-    register_categories(input, &mut out);
-    register_entities(input, &mut out);
-    mine_attentions(input, models, cfg, &mut out);
-    recognize_event_elements(input, models, &mut out);
-    link_categories(input, cfg, &mut out);
-    link_concept_entities(input, cfg, &mut out);
-    derive_parent_concepts(input, cfg, &mut out);
-    derive_topics(input, cfg, &mut out);
-    link_correlates(input, cfg, &mut out);
+    let mut timings = StageTimings::default();
+    // Split the cache struct into independently borrowed parts; the
+    // uncached path builds a throwaway text cache (same derivations a
+    // fresh whole-corpus pass produces — `TextCache::sync` from empty *is*
+    // that pass).
+    let mut local_text = TextCache::default();
+    type RoleMap = HashMap<String, Vec<EventRole>>;
+    type MineCaches<'a> =
+        Option<(&'a mut giant_graph::plan::PlanCache, &'a mut HashMap<u32, MineEntry>)>;
+    let (mine_caches, text, roles, lookup): (
+        MineCaches<'_>,
+        &TextCache,
+        Option<&mut RoleMap>,
+        Option<&mut EntityLookupCache>,
+    ) = match caches {
+        Some(c) => {
+            timed(&mut timings, "text_sync", || c.text.sync(input));
+            (
+                Some((&mut c.plan, &mut c.mine)),
+                &c.text,
+                Some(&mut c.roles),
+                Some(&mut c.entity_lookup),
+            )
+        }
+        None => {
+            timed(&mut timings, "text_sync", || local_text.sync(input));
+            (None, &local_text, None, None)
+        }
+    };
+    timed(&mut timings, "register_categories", || register_categories(input, &mut out));
+    timed(&mut timings, "register_entities", || register_entities(input, &mut out));
+    mine_attentions(input, models, cfg, &mut out, mine_caches, text, &mut timings);
+    timed(&mut timings, "event_elements", || {
+        recognize_event_elements(input, models, &mut out, roles)
+    });
+    timed(&mut timings, "link_categories", || link_categories(input, cfg, &mut out));
+    timed(&mut timings, "link_concept_entities", || {
+        link_concept_entities(input, cfg, &mut out, text, lookup)
+    });
+    timed(&mut timings, "derive_concepts", || derive_parent_concepts(input, cfg, &mut out));
+    timed(&mut timings, "derive_topics", || derive_topics(input, cfg, &mut out));
+    timed(&mut timings, "link_correlates", || link_correlates(input, cfg, &mut out, text));
+    out.timings = timings;
     out
+}
+
+/// Runs `f`, recording its wall clock against `name`.
+fn timed<R>(timings: &mut StageTimings, name: &'static str, f: impl FnOnce() -> R) -> R {
+    let t = Instant::now();
+    let r = f();
+    timings.record(name, t.elapsed().as_secs_f64());
+    r
 }
 
 fn register_categories(input: &PipelineInput, out: &mut GiantOutput) {
@@ -199,7 +314,7 @@ fn doc_category_chain(input: &PipelineInput, leaf: usize) -> Vec<usize> {
 /// The execute phase's per-cluster product: one decoded attention phrase
 /// candidate with the metadata the merge phase needs.
 #[derive(Debug, Clone)]
-struct ClusterCandidate {
+pub(crate) struct ClusterCandidate {
     /// Decoded phrase tokens.
     tokens: Vec<String>,
     /// True when the phrase contains a verb (event, not concept).
@@ -214,17 +329,25 @@ struct ClusterCandidate {
     clicked: Vec<usize>,
     /// Earliest clicked-document day.
     day: Option<u32>,
+    /// Context-enriched representation (phrase tokens + tokenized top
+    /// titles), precomputed once at mining time so the merge phase never
+    /// re-tokenizes; bit-equal to `Normalizer::context_repr` on the same
+    /// inputs.
+    context: Vec<String>,
 }
 
 /// The expensive, **pure** per-cluster work of Algorithm 1: QTIG build,
-/// GCTSP inference and ATSP decode for one planned work item. No shared
-/// mutable state — safe to run on any worker thread in any order.
-fn mine_cluster(
+/// GCTSP inference and ATSP decode for one planned work item, minus the
+/// entity filter (re-applied per run by [`MineOutcome::resolve`], because
+/// the entity dictionary may grow between incremental runs without
+/// touching the cluster). No shared mutable state — safe to run on any
+/// worker thread in any order, and safe to memoize under the
+/// [`MineFingerprint`] contract.
+fn mine_cluster_raw(
     input: &PipelineInput,
     models: &GiantModels,
-    entity_surfaces: &HashSet<String>,
     item: &ClusterWorkItem,
-) -> Option<ClusterCandidate> {
+) -> MineOutcome {
     let stopwords = &input.annotator.stopwords;
     let queries: Vec<String> = item
         .cluster
@@ -239,18 +362,15 @@ fn mine_cluster(
         .filter_map(|(d, _)| input.docs.get(d.index()).map(|doc| doc.title.clone()))
         .collect();
     if titles.is_empty() {
-        return None;
+        return MineOutcome::Dead;
     }
     let qtig = crate::train::build_cluster_qtig(&input.annotator, &queries, &titles);
     let positives = models.phrase_model.predict_positive_nodes(&qtig);
     let tokens = decode_tokens(&qtig, &positives);
     if tokens.is_empty() || tokens.iter().all(|t| stopwords.is_stop(t)) {
-        return None;
+        return MineOutcome::Dead;
     }
-    // Entity queries re-discover dictionary entities; skip those.
-    if entity_surfaces.contains(&tokens.join(" ")) {
-        return None;
-    }
+    let surface = tokens.join(" ");
     let is_event = tokens
         .iter()
         .any(|t| input.annotator.lexicon.tag(t) == PosTag::Verb);
@@ -261,15 +381,35 @@ fn mine_cluster(
         .iter()
         .filter_map(|&d| input.docs.get(d).map(|doc| doc.day))
         .min();
-    Some(ClusterCandidate {
-        tokens,
-        is_event,
-        support,
-        queries,
-        top_titles,
-        clicked,
-        day,
-    })
+    let mut context = tokens.clone();
+    for t in top_titles.iter().take(5) {
+        context.extend(giant_text::tokenize(t));
+    }
+    MineOutcome::Decoded {
+        surface,
+        cand: ClusterCandidate {
+            tokens,
+            is_event,
+            support,
+            queries,
+            top_titles,
+            clicked,
+            day,
+            context,
+        },
+    }
+}
+
+/// [`mine_cluster_raw`] with the entity filter applied — the uncached
+/// execute path (identical semantics to the cached path's raw + resolve
+/// composition by construction: it *is* that composition).
+fn mine_cluster(
+    input: &PipelineInput,
+    models: &GiantModels,
+    entity_surfaces: &HashSet<String>,
+    item: &ClusterWorkItem,
+) -> Option<ClusterCandidate> {
+    mine_cluster_raw(input, models, item).resolve(entity_surfaces)
 }
 
 /// Phase 1: Algorithm 1 as plan → execute → merge.
@@ -291,16 +431,14 @@ fn mine_attentions(
     models: &GiantModels,
     cfg: &GiantConfig,
     out: &mut GiantOutput,
+    caches: Option<(&mut giant_graph::plan::PlanCache, &mut HashMap<u32, MineEntry>)>,
+    text: &TextCache,
+    timings: &mut StageTimings,
 ) {
     let stopwords = &input.annotator.stopwords;
-    // TF-IDF over titles for normalization contexts.
-    let mut tfidf = TfIdf::new();
-    for d in &input.docs {
-        let toks = giant_text::tokenize(&d.title);
-        tfidf.add_doc(toks.iter().map(|s| s.as_str()));
-    }
-    let mut concept_norm = Normalizer::new(tfidf.clone(), stopwords.clone(), cfg.delta_m);
-    let mut event_norm = Normalizer::new(tfidf, stopwords.clone(), cfg.delta_m);
+    // TF-IDF over titles (shared text cache) for normalization contexts.
+    let mut concept_norm = Normalizer::new(&text.tfidf, stopwords.clone(), cfg.delta_m);
+    let mut event_norm = Normalizer::new(&text.tfidf, stopwords.clone(), cfg.delta_m);
     // Group metadata keyed by (is_event, group index).
     #[derive(Default, Clone)]
     struct GroupMeta {
@@ -314,22 +452,99 @@ fn mine_attentions(
 
     let entity_surfaces: HashSet<String> = out.entity_nodes.keys().cloned().collect();
 
-    // Plan. The extraction walks inside planning are themselves the
-    // costliest part of mining, so the planner speculates batches of them
-    // across the same worker budget (see `plan_clusters_parallel`).
-    let plan = plan_clusters_parallel(&input.click_graph, stopwords, &cfg.cluster, cfg.threads);
-    // Execute.
-    let candidates = giant_exec::run_ordered(&plan.items, cfg.threads, |_, item| {
-        mine_cluster(input, models, &entity_surfaces, item)
-    });
+    // Plan + execute. The extraction walks inside planning are themselves
+    // the costliest part of mining, so the planner speculates batches of
+    // them across the same worker budget (see `plan_clusters_parallel`).
+    // With caches, seeds whose walk footprint survived invalidation skip
+    // the walk (`plan_clusters_cached`) and clusters whose fingerprint is
+    // unchanged skip inference entirely — both reproduce the uncached
+    // bytes exactly (see `crate::cache`).
+    let candidates: Vec<Option<ClusterCandidate>> = match caches {
+        Some((plan_cache, mine_cache)) => {
+            let t = Instant::now();
+            let plan = plan_clusters_cached(
+                &input.click_graph,
+                stopwords,
+                &cfg.cluster,
+                cfg.threads,
+                plan_cache,
+            );
+            timings.record("mine.plan", t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let mine = &*mine_cache;
+            let plan_reused = &plan.reused;
+            let results: Vec<(Option<ClusterCandidate>, Option<MineEntry>)> =
+                giant_exec::run_ordered(&plan.items, cfg.threads, |i, item| {
+                    if plan_reused.get(i).copied().unwrap_or(false) {
+                        // The planner certifies this cluster unchanged
+                        // since the seed's last fold as an item, and the
+                        // mine entry is rewritten on every mismatch — so
+                        // a plan-reused item's entry is fresh without
+                        // re-fingerprinting (see `ClusterPlan::reused`).
+                        if let Some(e) = mine.get(&item.seed.0) {
+                            return (e.outcome.resolve(&entity_surfaces), None);
+                        }
+                    }
+                    let fp = MineFingerprint::of(item, &input.click_graph);
+                    if let Some(e) = mine.get(&item.seed.0) {
+                        if e.fp == fp {
+                            // Hit: the memoized outcome is what mining
+                            // would decode; only the entity filter may
+                            // have changed since, so re-apply it.
+                            return (e.outcome.resolve(&entity_surfaces), None);
+                        }
+                    }
+                    let outcome = mine_cluster_raw(input, models, item);
+                    let cand = outcome.resolve(&entity_surfaces);
+                    (cand, Some(MineEntry { fp, outcome }))
+                });
+            let mut stats = CacheStats {
+                plan_reused: plan_cache.reused,
+                plan_walked: plan_cache.walked,
+                ..CacheStats::default()
+            };
+            let mut candidates = Vec::with_capacity(results.len());
+            for (item, (cand, fresh)) in plan.items.iter().zip(results) {
+                match fresh {
+                    Some(entry) => {
+                        stats.clusters_mined += 1;
+                        mine_cache.insert(item.seed.0, entry);
+                    }
+                    None => stats.clusters_reused += 1,
+                }
+                candidates.push(cand);
+            }
+            out.cache_stats = stats;
+            timings.record("mine.execute", t.elapsed().as_secs_f64());
+            candidates
+        }
+        None => {
+            let t = Instant::now();
+            let plan =
+                plan_clusters_parallel(&input.click_graph, stopwords, &cfg.cluster, cfg.threads);
+            timings.record("mine.plan", t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let candidates = giant_exec::run_ordered(&plan.items, cfg.threads, |_, item| {
+                mine_cluster(input, models, &entity_surfaces, item)
+            });
+            out.cache_stats = CacheStats {
+                plan_walked: plan.items.len(),
+                clusters_mined: plan.items.len(),
+                ..CacheStats::default()
+            };
+            timings.record("mine.execute", t.elapsed().as_secs_f64());
+            candidates
+        }
+    };
     // Merge, in plan order.
+    let t = Instant::now();
     for cand in candidates.into_iter().flatten() {
         let (norm, meta) = if cand.is_event {
             (&mut event_norm, &mut event_meta)
         } else {
             (&mut concept_norm, &mut concept_meta)
         };
-        let gi = norm.merge_or_insert(cand.tokens, &cand.top_titles, cand.support);
+        let gi = norm.merge_or_insert_with_context(cand.tokens, cand.context, cand.support);
         if gi == meta.len() {
             meta.push(GroupMeta::default());
         }
@@ -378,11 +593,23 @@ fn mine_attentions(
             });
         }
     }
+    timings.record("mine.merge", t.elapsed().as_secs_f64());
 }
 
 /// Phase 2a: 4-class GCTSP over event clusters → trigger/entity/location +
 /// involve edges (§3.2 "Edges between Attentions and Entities").
-fn recognize_event_elements(input: &PipelineInput, models: &GiantModels, out: &mut GiantOutput) {
+///
+/// The expensive step — QTIG build + role inference per event — is a pure
+/// function of `(source_queries, top_titles, tokens)`, so with a cache the
+/// per-token roles are memoized under exactly that key; the span matching
+/// and node creation below always re-run (they read and grow the shared
+/// entity map in mining order).
+fn recognize_event_elements(
+    input: &PipelineInput,
+    models: &GiantModels,
+    out: &mut GiantOutput,
+    mut roles_cache: Option<&mut HashMap<String, Vec<EventRole>>>,
+) {
     for mi in 0..out.mined.len() {
         if out.mined[mi].kind != NodeKind::Event {
             continue;
@@ -391,29 +618,52 @@ fn recognize_event_elements(input: &PipelineInput, models: &GiantModels, out: &m
             let m = &out.mined[mi];
             (m.source_queries.clone(), m.top_titles.clone())
         };
-        let qtig = crate::train::build_cluster_qtig(&input.annotator, &queries, &titles);
-        let classes = models.role_model.predict_classes(&qtig);
-        let role_of = |tok: &str| -> EventRole {
-            qtig.node_id(tok)
-                .map(|i| EventRole::from_index(classes[i]))
-                .unwrap_or(EventRole::Other)
-        };
         let tokens = out.mined[mi].tokens.clone();
+        let infer = || -> Vec<EventRole> {
+            let qtig = crate::train::build_cluster_qtig(&input.annotator, &queries, &titles);
+            let classes = models.role_model.predict_classes(&qtig);
+            tokens
+                .iter()
+                .map(|t| {
+                    qtig.node_id(t)
+                        .map(|i| EventRole::from_index(classes[i]))
+                        .unwrap_or(EventRole::Other)
+                })
+                .collect()
+        };
+        // Per-position roles; a token string always maps to one QTIG node,
+        // so this equals the historical per-string lookup.
+        let roles: Vec<EventRole> = match roles_cache.as_deref_mut() {
+            Some(cache) => {
+                let key = role_cache_key(&queries, &titles, &tokens);
+                match cache.get(&key) {
+                    Some(r) => r.clone(),
+                    None => {
+                        let r = infer();
+                        cache.insert(key, r.clone());
+                        r
+                    }
+                }
+            }
+            None => infer(),
+        };
         // Trigger: first trigger-class token of the phrase.
         let trigger = tokens
             .iter()
-            .find(|t| role_of(t) == EventRole::Trigger)
-            .cloned();
+            .zip(&roles)
+            .find(|(_, r)| **r == EventRole::Trigger)
+            .map(|(t, _)| t.clone());
         // Location: contiguous location-class tokens.
         let loc_tokens: Vec<String> = tokens
             .iter()
-            .filter(|t| role_of(t) == EventRole::Location)
-            .cloned()
+            .zip(&roles)
+            .filter(|(_, r)| **r == EventRole::Location)
+            .map(|(t, _)| t.clone())
             .collect();
         // Entities: match contiguous entity-class spans against the
         // dictionary (longest match first).
         let mut entity_nodes = Vec::new();
-        let flags: Vec<bool> = tokens.iter().map(|t| role_of(t) == EventRole::Entity).collect();
+        let flags: Vec<bool> = roles.iter().map(|r| *r == EventRole::Entity).collect();
         let mut i = 0;
         while i < tokens.len() {
             if !flags[i] {
@@ -465,6 +715,19 @@ fn recognize_event_elements(input: &PipelineInput, models: &GiantModels, out: &m
     }
 }
 
+/// The exact inputs of one event's role inference, as a cache key.
+fn role_cache_key(queries: &[String], titles: &[String], tokens: &[String]) -> String {
+    let mut key = String::new();
+    for section in [queries, titles, tokens] {
+        for s in section {
+            key.push_str(s);
+            key.push('\u{1f}');
+        }
+        key.push('\u{1e}');
+    }
+    key
+}
+
 /// Phase 2b: attention ↔ category edges via `P(g|p) > δ_g`.
 fn link_categories(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput) {
     for mi in 0..out.mined.len() {
@@ -486,8 +749,16 @@ fn link_categories(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutp
 }
 
 /// Phase 2c: concept ↔ entity isA edges via the GBDT classifier, trained on
-/// the automatically constructed dataset of Figure 4.
-fn link_concept_entities(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput) {
+/// the automatically constructed dataset of Figure 4. Tokenized doc views
+/// come from the shared [`TextCache`]; the per-query entity containment
+/// scan is memoized across runs when a lookup cache is supplied.
+fn link_concept_entities(
+    input: &PipelineInput,
+    cfg: &GiantConfig,
+    out: &mut GiantOutput,
+    text: &TextCache,
+    mut lookup: Option<&mut EntityLookupCache>,
+) {
     // Resolve query text → mined concept index / dictionary entity surface.
     let mut query_to_concept: HashMap<&str, usize> = HashMap::new();
     for (mi, m) in out.mined.iter().enumerate() {
@@ -502,11 +773,16 @@ fn link_concept_entities(input: &PipelineInput, cfg: &GiantConfig, out: &mut Gia
         .iter()
         .map(|(t, _)| (t.clone(), t.join(" ")))
         .collect();
-    let find_entity = |query: &str| -> Option<usize> {
-        let qt = giant_text::tokenize(query);
-        entity_list
-            .iter()
-            .position(|(toks, _)| crate::util::contains_seq(&qt, toks).is_some())
+    let mut find_entity = |query: &str| -> Option<usize> {
+        match lookup.as_deref_mut() {
+            Some(c) => c.find(query, &entity_list),
+            None => {
+                let qt = giant_text::tokenize(query);
+                entity_list
+                    .iter()
+                    .position(|(toks, _)| crate::util::contains_seq(&qt, toks).is_some())
+            }
+        }
     };
 
     // Session pair counts: (concept idx, entity idx) → count.
@@ -521,17 +797,9 @@ fn link_concept_entities(input: &PipelineInput, cfg: &GiantConfig, out: &mut Gia
         }
     }
 
-    // Tokenized doc bodies (reused many times below).
-    let doc_sentences: Vec<Vec<Vec<String>>> = input
-        .docs
-        .iter()
-        .map(|d| d.sentences.iter().map(|s| giant_text::tokenize(s)).collect())
-        .collect();
-    let doc_titles: Vec<Vec<String>> = input
-        .docs
-        .iter()
-        .map(|d| giant_text::tokenize(&d.title))
-        .collect();
+    // Tokenized doc bodies (shared text cache).
+    let doc_sentences = &text.sentences;
+    let doc_titles = &text.titles;
 
     // Positives: session pair + entity mentioned in a doc clicked from the
     // concept's queries. Negatives: same-domain entity randomly inserted.
@@ -543,11 +811,13 @@ fn link_concept_entities(input: &PipelineInput, cfg: &GiantConfig, out: &mut Gia
     for (ci, ei) in keys {
         let m = &out.mined[ci];
         let (etoks, _) = &entity_list[ei];
-        // Find a clicked doc mentioning the entity.
+        // Find a clicked doc mentioning the entity (the presence index
+        // answers "does any sentence of d contain entity ei" exactly).
+        let ei_key = ei as u32;
         let Some(&doc) = m.clicked_docs.iter().find(|&&d| {
-            doc_sentences
+            text.entity_presence
                 .get(d)
-                .map(|ss| ss.iter().any(|s| crate::util::contains_seq(s, etoks).is_some()))
+                .map(|rows| rows.iter().any(|row| row.binary_search(&ei_key).is_ok()))
                 .unwrap_or(false)
         }) else {
             continue;
@@ -702,8 +972,15 @@ fn derive_topics(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput
 }
 
 /// Phase 2f: entity ↔ entity correlate edges from hinge-loss embeddings over
-/// sentence/query co-occurrence pairs.
-fn link_correlates(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutput) {
+/// sentence/query co-occurrence pairs. The per-sentence entity presence
+/// comes from the shared [`TextCache`] (ascending entity order per
+/// sentence — exactly what the historical inline scan produced).
+fn link_correlates(
+    input: &PipelineInput,
+    cfg: &GiantConfig,
+    out: &mut GiantOutput,
+    text: &TextCache,
+) {
     let entity_list: Vec<(Vec<String>, String)> = input
         .entities
         .iter()
@@ -711,18 +988,11 @@ fn link_correlates(input: &PipelineInput, cfg: &GiantConfig, out: &mut GiantOutp
         .collect();
     // Co-occurrence positives: entities in the same body sentence.
     let mut positives: Vec<(usize, usize)> = Vec::new();
-    for d in &input.docs {
-        for s in &d.sentences {
-            let toks = giant_text::tokenize(s);
-            let present: Vec<usize> = entity_list
-                .iter()
-                .enumerate()
-                .filter(|(_, (et, _))| crate::util::contains_seq(&toks, et).is_some())
-                .map(|(i, _)| i)
-                .collect();
+    for rows in &text.entity_presence {
+        for present in rows {
             for i in 0..present.len() {
                 for j in i + 1..present.len() {
-                    positives.push((present[i], present[j]));
+                    positives.push((present[i] as usize, present[j] as usize));
                 }
             }
         }
@@ -774,6 +1044,8 @@ mod tests {
             entity_nodes: HashMap::new(),
             rejected_edges: 0,
             alias_conflicts: 0,
+            timings: StageTimings::default(),
+            cache_stats: CacheStats::default(),
         }
     }
 

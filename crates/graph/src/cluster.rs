@@ -8,7 +8,7 @@
 //! queries out of the cluster.
 
 use crate::click::{ClickGraph, DocId, QueryId};
-use crate::walk::{WalkConfig, Walker};
+use crate::walk::{WalkConfig, WalkFootprint, WalkResult, Walker};
 use giant_text::StopWords;
 use std::collections::HashSet;
 
@@ -86,6 +86,33 @@ pub fn extract_cluster_with(
     cfg: &ClusterConfig,
 ) -> QueryDocCluster {
     let walk = walker.walk(g, seed, &cfg.walk);
+    cluster_from_walk(&walk, g, seed, stopwords, cfg)
+}
+
+/// [`extract_cluster_with`] plus the walk's [`WalkFootprint`] — the
+/// invalidation key the incremental planner stores beside a cached cluster.
+/// The cluster itself is bit-identical to the untracked extraction's: the
+/// selection below reads only the walk result and immutable query texts, so
+/// the footprint of the *walk* is the footprint of the whole extraction.
+pub fn extract_cluster_tracked(
+    walker: &mut Walker,
+    g: &ClickGraph,
+    seed: QueryId,
+    stopwords: &StopWords,
+    cfg: &ClusterConfig,
+) -> (QueryDocCluster, WalkFootprint) {
+    let (walk, footprint) = walker.walk_tracked(g, seed, &cfg.walk);
+    (cluster_from_walk(&walk, g, seed, stopwords, cfg), footprint)
+}
+
+/// The shared selection pass: walk result → kept queries and docs.
+fn cluster_from_walk(
+    walk: &WalkResult,
+    g: &ClickGraph,
+    seed: QueryId,
+    stopwords: &StopWords,
+    cfg: &ClusterConfig,
+) -> QueryDocCluster {
     let seed_tokens: HashSet<String> = giant_text::tokenize(g.query_text(seed))
         .into_iter()
         .filter(|t| !stopwords.is_stop(t))
@@ -199,6 +226,24 @@ mod tests {
         assert_eq!(c.queries.len(), 1);
         assert_eq!(c.queries[0].0, seed);
         assert!(c.docs.len() <= 1);
+    }
+
+    #[test]
+    fn tracked_extraction_matches_untracked() {
+        let g = graph();
+        let sw = StopWords::standard();
+        let cfg = ClusterConfig::default();
+        for q in g.query_ids() {
+            let plain = extract_cluster(&g, q, &sw, &cfg);
+            let (tracked, fp) =
+                extract_cluster_tracked(&mut Walker::for_graph(&g), &g, q, &sw, &cfg);
+            assert_eq!(plain.seed, tracked.seed);
+            assert_eq!(plain.queries, tracked.queries);
+            assert_eq!(plain.docs, tracked.docs);
+            // Every kept node was necessarily touched by the walk.
+            assert!(tracked.queries.iter().all(|(qq, _)| fp.queries.contains(&qq.0)));
+            assert!(tracked.docs.iter().all(|(d, _)| fp.docs.contains(&d.0)));
+        }
     }
 
     #[test]

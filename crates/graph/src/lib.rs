@@ -23,7 +23,7 @@ pub mod plan;
 pub mod walk;
 
 pub use click::{ClickGraph, DocId, QueryId};
-pub use cluster::{extract_cluster, extract_cluster_with, ClusterConfig, QueryDocCluster};
+pub use cluster::{extract_cluster, extract_cluster_tracked, extract_cluster_with, ClusterConfig, QueryDocCluster};
 pub use digraph::DiGraph;
-pub use plan::{plan_clusters, plan_clusters_parallel, ClusterPlan, ClusterWorkItem};
-pub use walk::{walk_from, WalkConfig, WalkResult, Walker};
+pub use plan::{plan_clusters, plan_clusters_cached, plan_clusters_parallel, ClusterPlan, ClusterWorkItem, DirtySet, PlanCache};
+pub use walk::{walk_from, WalkConfig, WalkFootprint, WalkResult, Walker};

@@ -19,6 +19,18 @@ pub struct WalkConfig {
     pub max_iter: usize,
     /// L1 convergence tolerance.
     pub tol: f64,
+    /// Frontier prune: after each accumulation step, nodes holding less
+    /// than this visit probability are dropped from the layer (their mass
+    /// vanishes). Cluster extraction keeps only nodes above `δ_v` (0.01 —
+    /// 0.03 in this repo), so carrying mass orders of magnitude below it
+    /// across hub documents buys nothing but cost — on realistic logs a
+    /// few uniform noise clicks weld the graph into one giant component,
+    /// and an unpruned walk then reads (and depends on) *every* node of
+    /// it. Pruning keeps the walk local: footprints shrink from the
+    /// component to the meaningful neighbourhood, which is what makes
+    /// walks fast and incremental invalidation selective. `0.0` restores
+    /// the exhaustive behaviour.
+    pub min_mass: f64,
 }
 
 impl Default for WalkConfig {
@@ -27,6 +39,7 @@ impl Default for WalkConfig {
             restart: 0.3,
             max_iter: 12,
             tol: 1e-8,
+            min_mass: 3e-3,
         }
     }
 }
@@ -77,6 +90,40 @@ pub fn walk_from(g: &ClickGraph, seed: QueryId, cfg: &WalkConfig) -> WalkResult 
     Walker::for_graph(g).walk(g, seed, cfg)
 }
 
+/// The set of graph nodes whose edge lists (or cached totals) a walk
+/// **read**: every query/document that carried nonzero mass in any
+/// iteration. The walk's output is a pure function of exactly these nodes'
+/// adjacency — if none of them changed between two graphs, re-walking the
+/// same seed on the new graph reproduces the old result bit for bit (the
+/// incremental planner's invalidation rule; see [`crate::plan::PlanCache`]).
+///
+/// The argument is inductive: the walk starts as `{seed}`, and each
+/// iteration's frontier is computed only from the edges and totals of nodes
+/// already carrying mass. If every such node is unchanged, every iteration
+/// — and therefore the result — is unchanged. A graph edit can only steer
+/// the walk by touching a node the walk actually reads, and any such node
+/// is in this set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalkFootprint {
+    /// Touched query ids, ascending.
+    pub queries: Vec<u32>,
+    /// Touched doc ids, ascending.
+    pub docs: Vec<u32>,
+}
+
+impl WalkFootprint {
+    /// Total touched nodes.
+    pub fn len(&self) -> usize {
+        self.queries.len() + self.docs.len()
+    }
+
+    /// True when nothing was touched (never the case for a real walk — the
+    /// seed is always read).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty() && self.docs.is_empty()
+    }
+}
+
 /// Reusable dense walk state. One walk allocates graph-sized buffers; the
 /// planner (`giant_graph::plan::plan_clusters_parallel`) amortises them by
 /// keeping one `Walker` per participant of its `giant_exec::run_speculative`
@@ -89,6 +136,10 @@ pub struct Walker {
     dp: SparseLayer,
     next_qp: SparseLayer,
     next_dp: SparseLayer,
+    /// Touched-query flags for footprint tracking (empty outside walks).
+    tq: TouchSet,
+    /// Touched-doc flags for footprint tracking.
+    td: TouchSet,
 }
 
 impl Walker {
@@ -99,6 +150,8 @@ impl Walker {
             dp: SparseLayer::with_capacity(g.n_docs()),
             next_qp: SparseLayer::with_capacity(g.n_queries()),
             next_dp: SparseLayer::with_capacity(g.n_docs()),
+            tq: TouchSet::with_capacity(g.n_queries()),
+            td: TouchSet::with_capacity(g.n_docs()),
         }
     }
 
@@ -107,15 +160,52 @@ impl Walker {
         self.next_qp.grow(g.n_queries());
         self.dp.grow(g.n_docs());
         self.next_dp.grow(g.n_docs());
+        self.tq.grow(g.n_queries());
+        self.td.grow(g.n_docs());
     }
 
     /// Runs one random walk with restart, reusing this walker's buffers.
     /// Bit-identical to [`walk_from`].
     pub fn walk(&mut self, g: &ClickGraph, seed: QueryId, cfg: &WalkConfig) -> WalkResult {
+        self.walk_impl(g, seed, cfg, false)
+    }
+
+    /// [`Walker::walk`] plus the walk's [`WalkFootprint`]. The probability
+    /// result is bit-identical to the untracked walk's — tracking only
+    /// records which nodes the iteration read, it never alters the
+    /// arithmetic or its order.
+    pub fn walk_tracked(
+        &mut self,
+        g: &ClickGraph,
+        seed: QueryId,
+        cfg: &WalkConfig,
+    ) -> (WalkResult, WalkFootprint) {
+        let result = self.walk_impl(g, seed, cfg, true);
+        let footprint = WalkFootprint {
+            queries: self.tq.drain_sorted(),
+            docs: self.td.drain_sorted(),
+        };
+        (result, footprint)
+    }
+
+    fn walk_impl(
+        &mut self,
+        g: &ClickGraph,
+        seed: QueryId,
+        cfg: &WalkConfig,
+        track: bool,
+    ) -> WalkResult {
         self.ensure_capacity(g);
         let (qp, dp) = (&mut self.qp, &mut self.dp);
         let (next_qp, next_dp) = (&mut self.next_qp, &mut self.next_dp);
+        let (tq, td) = (&mut self.tq, &mut self.td);
         qp.insert(seed.index(), 1.0);
+        if track {
+            // The seed's adjacency is read even when max_iter is 0 in
+            // spirit (the result depends on the seed existing), so it is
+            // always part of the footprint.
+            tq.touch(seed.index());
+        }
 
         for _ in 0..cfg.max_iter {
             // Query layer -> doc layer.
@@ -124,6 +214,11 @@ impl Walker {
                 let p = qp.get(qi);
                 if p == 0.0 {
                     continue;
+                }
+                if track {
+                    // Both `query_clicks` and `docs_of` of this node are
+                    // read below: the walk depends on its adjacency.
+                    tq.touch(qi);
                 }
                 let q = QueryId(qi as u32);
                 let total = g.query_clicks(q);
@@ -134,6 +229,7 @@ impl Walker {
                     next_dp.add(d.index(), p * (c / total));
                 }
             }
+            next_dp.prune_below(cfg.min_mass);
             next_dp.sort_ids();
             // Doc layer -> query layer, restart mass returning to the seed.
             next_qp.insert(seed.index(), cfg.restart);
@@ -142,6 +238,9 @@ impl Walker {
                 let p = next_dp.get(di);
                 if p == 0.0 {
                     continue;
+                }
+                if track {
+                    td.touch(di);
                 }
                 let d = DocId(di as u32);
                 let total = g.doc_clicks(d);
@@ -152,6 +251,7 @@ impl Walker {
                     next_qp.add(q.index(), (1.0 - cfg.restart) * p * (c / total));
                 }
             }
+            next_qp.prune_below(cfg.min_mass);
             next_qp.sort_ids();
             // L1 delta, in ascending id order: entries of the new state
             // first, then vanished entries of the old — the exact term
@@ -304,6 +404,32 @@ impl SparseLayer {
         &self.ids
     }
 
+    /// Drops every entry holding less than `min` (their mass vanishes and
+    /// the id is unregistered, so later scans never visit them). A no-op
+    /// at `min <= 0.0`. Value-based and order-independent, so pruning
+    /// keeps the walk deterministic at every thread count.
+    fn prune_below(&mut self, min: f64) {
+        if min <= 0.0 {
+            return;
+        }
+        let mut kept = Vec::with_capacity(self.ids.len());
+        let (mut min_id, mut max_id) = (usize::MAX, 0usize);
+        for &i in &self.ids {
+            let idx = i as usize;
+            if self.vals[idx] < min {
+                self.vals[idx] = 0.0;
+                self.present[idx] = false;
+            } else {
+                kept.push(i);
+                min_id = min_id.min(idx);
+                max_id = max_id.max(idx);
+            }
+        }
+        self.ids = kept;
+        self.min_id = min_id;
+        self.max_id = max_id;
+    }
+
     /// Removes every entry, restoring the all-absent invariant.
     fn clear(&mut self) {
         for &i in &self.ids {
@@ -313,6 +439,49 @@ impl SparseLayer {
         self.ids.clear();
         self.min_id = usize::MAX;
         self.max_id = 0;
+    }
+}
+
+/// A reusable membership set over dense ids: O(1) insert, drained into a
+/// sorted id list once per tracked walk. Like [`SparseLayer`] it grows
+/// monotonically with the graph and is emptied after every use so no state
+/// crosses walks.
+#[derive(Debug, Clone, Default)]
+struct TouchSet {
+    present: Vec<bool>,
+    ids: Vec<u32>,
+}
+
+impl TouchSet {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            present: vec![false; n],
+            ids: Vec::new(),
+        }
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.present.len() < n {
+            self.present.resize(n, false);
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, i: usize) {
+        if !self.present[i] {
+            self.present[i] = true;
+            self.ids.push(i as u32);
+        }
+    }
+
+    /// Returns the touched ids ascending and resets the set to empty.
+    fn drain_sorted(&mut self) -> Vec<u32> {
+        for &i in &self.ids {
+            self.present[i as usize] = false;
+        }
+        let mut out = std::mem::take(&mut self.ids);
+        out.sort_unstable();
+        out
     }
 }
 
@@ -387,5 +556,54 @@ mod tests {
         let r = walk_from(&g, seed, &WalkConfig::default());
         assert_eq!(r.query_probs.len(), 1);
         assert!(r.doc_probs.is_empty());
+    }
+
+    #[test]
+    fn tracked_walk_is_bit_identical_and_reports_the_component() {
+        let g = two_component_graph();
+        let seed = g.query_id("qa0").unwrap();
+        let cfg = WalkConfig::default();
+        let plain = walk_from(&g, seed, &cfg);
+        let mut w = Walker::for_graph(&g);
+        let (tracked, fp) = w.walk_tracked(&g, seed, &cfg);
+        assert_eq!(plain.query_probs, tracked.query_probs);
+        assert_eq!(plain.doc_probs, tracked.doc_probs);
+        // Footprint covers exactly the seed's component, ascending.
+        assert!(fp.queries.contains(&seed.0));
+        assert!(fp.queries.contains(&g.query_id("qa1").unwrap().0));
+        assert!(!fp.queries.contains(&g.query_id("qb2").unwrap().0));
+        assert!(fp.docs.contains(&0) && fp.docs.contains(&1) && !fp.docs.contains(&2));
+        assert!(fp.queries.windows(2).all(|w| w[0] < w[1]));
+        assert!(fp.docs.windows(2).all(|w| w[0] < w[1]));
+        assert!(!fp.is_empty() && fp.len() == fp.queries.len() + fp.docs.len());
+    }
+
+    #[test]
+    fn tracked_and_untracked_walks_interleave_cleanly() {
+        // Tracking state must not leak across walks on a reused walker.
+        let g = two_component_graph();
+        let a = g.query_id("qa0").unwrap();
+        let b = g.query_id("qb2").unwrap();
+        let cfg = WalkConfig::default();
+        let mut w = Walker::for_graph(&g);
+        let (_, fp_a) = w.walk_tracked(&g, a, &cfg);
+        let plain_b = w.walk(&g, b, &cfg);
+        let (tracked_b, fp_b) = w.walk_tracked(&g, b, &cfg);
+        assert_eq!(plain_b.query_probs, tracked_b.query_probs);
+        // B's footprint is disjoint from A's (separate components) — no
+        // carry-over from the earlier tracked walk.
+        assert!(fp_b.queries.iter().all(|q| !fp_a.queries.contains(q)));
+        assert_eq!(fp_b.queries, vec![b.0]);
+        assert_eq!(fp_b.docs, vec![2]);
+    }
+
+    #[test]
+    fn isolated_seed_footprint_is_just_the_seed() {
+        let mut g = ClickGraph::new();
+        let seed = g.intern_query("lonely");
+        let mut w = Walker::for_graph(&g);
+        let (_, fp) = w.walk_tracked(&g, seed, &WalkConfig::default());
+        assert_eq!(fp.queries, vec![seed.0]);
+        assert!(fp.docs.is_empty());
     }
 }

@@ -1,0 +1,86 @@
+//! The ingestion unit: everything one round of log collection delivers.
+
+use giant_core::pipeline::DocRecord;
+use giant_text::NerTag;
+
+/// One aggregated click observation: `count` clicks from `query` onto doc
+/// `doc`, in arrival order within a batch. Matches the click-log record
+/// shape of `giant-data`.
+#[derive(Debug, Clone)]
+pub struct ClickEvent {
+    /// Query text (interned into the click graph on first sight).
+    pub query: String,
+    /// Clicked document id. Must exist once the batch's own docs are
+    /// appended — a click can never arrive before its document.
+    pub doc: usize,
+    /// Click count (≥ 0, accumulates onto any existing edge).
+    pub count: f64,
+}
+
+/// One batch of fresh log data to fold into the live ontology.
+///
+/// Ordering matters and is preserved end to end: queries are interned, doc
+/// ids assigned and f64 click mass accumulated in exactly the order the
+/// events appear, which is what makes a fold sequence reproduce the
+/// union-built [`giant_core::pipeline::PipelineInput`] bit for bit.
+///
+/// Documents are **append-only**: `docs` must extend the accumulated doc
+/// space densely (ids `n, n+1, …`), and no later batch may modify an
+/// existing document. The category tree is fixed at
+/// [`crate::IncrementalState::new`] time (the paper treats it as a
+/// pre-defined input, not a mined artifact).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    /// New documents, ids continuing the accumulated doc space.
+    pub docs: Vec<DocRecord>,
+    /// Click events, in arrival order.
+    pub clicks: Vec<ClickEvent>,
+    /// New consecutive-query session streams.
+    pub sessions: Vec<Vec<String>>,
+    /// New dictionary entities (appended after all earlier ones;
+    /// first-occurrence-wins surface semantics are order-preserving).
+    pub entities: Vec<(Vec<String>, NerTag)>,
+}
+
+impl DeltaBatch {
+    /// An empty batch (folding it is a no-op rebuild).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the batch carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+            && self.clicks.is_empty()
+            && self.sessions.is_empty()
+            && self.entities.is_empty()
+    }
+
+    /// Total click mass carried by the batch.
+    pub fn click_mass(&self) -> f64 {
+        self.clicks.iter().map(|c| c.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_mass() {
+        let mut b = DeltaBatch::new();
+        assert!(b.is_empty());
+        b.clicks.push(ClickEvent {
+            query: "solar panels".into(),
+            doc: 0,
+            count: 2.5,
+        });
+        b.clicks.push(ClickEvent {
+            query: "solar panels".into(),
+            doc: 1,
+            count: 1.5,
+        });
+        assert!(!b.is_empty());
+        assert_eq!(b.click_mass(), 4.0);
+    }
+}

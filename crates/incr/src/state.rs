@@ -1,0 +1,256 @@
+//! The long-lived incremental folder.
+
+use crate::batch::DeltaBatch;
+use giant_core::cache::{CacheStats, PipelineCaches};
+use giant_core::pipeline::{CategoryRecord, GiantOutput, PipelineInput, StageTimings};
+use giant_core::train::GiantModels;
+use giant_core::GiantConfig;
+use giant_graph::plan::DirtySet;
+use giant_graph::{ClickGraph, DocId};
+use giant_ontology::{Ontology, OntologyDelta};
+use giant_text::Annotator;
+use std::fmt;
+use std::time::Instant;
+
+/// Batch validation errors. A failed fold leaves the state **untouched**:
+/// validation runs to completion before any mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoldError {
+    /// A batch document's id does not densely extend the doc space.
+    NonContiguousDoc {
+        /// The id the batch should have used.
+        expected: usize,
+        /// The id it carried.
+        got: usize,
+    },
+    /// A click references a document that does not exist even after the
+    /// batch's own documents are appended.
+    ClickToMissingDoc {
+        /// Offending click's query text.
+        query: String,
+        /// Offending doc id.
+        doc: usize,
+        /// Doc-space size after the batch.
+        n_docs: usize,
+    },
+    /// A click carries negative mass.
+    NegativeClicks {
+        /// Offending click's query text.
+        query: String,
+    },
+}
+
+impl fmt::Display for FoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldError::NonContiguousDoc { expected, got } => {
+                write!(f, "batch doc id {got} does not extend the doc space (expected {expected})")
+            }
+            FoldError::ClickToMissingDoc { query, doc, n_docs } => write!(
+                f,
+                "click {query:?} → doc {doc} references a document beyond the {n_docs}-doc space"
+            ),
+            FoldError::NegativeClicks { query } => {
+                write!(f, "click {query:?} carries negative mass")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FoldError {}
+
+/// What one fold did, for ingest reports and benches.
+#[derive(Debug)]
+pub struct FoldReport {
+    /// The rebuilt pipeline product over the accumulated input (node ids
+    /// identical to the live ontology's — resource refreshers index it
+    /// directly).
+    pub output: GiantOutput,
+    /// The change-set that took the previous live version to this one.
+    pub delta: OntologyDelta,
+    /// Queries dirtied by the batch.
+    pub dirty_queries: usize,
+    /// Docs dirtied by the batch.
+    pub dirty_docs: usize,
+    /// Cached walks evicted by footprint intersection.
+    pub evicted_walks: usize,
+    /// Cache effectiveness of the rebuild.
+    pub cache: CacheStats,
+    /// Per-stage wall clock of the rebuild.
+    pub timings: StageTimings,
+    /// End-to-end fold wall clock (validate + ingest + rebuild + diff +
+    /// apply).
+    pub secs: f64,
+}
+
+/// The long-lived incremental pipeline state: accumulated input, warm
+/// caches, and the live (delta-applied) ontology.
+///
+/// The live ontology is **never** replaced by the rebuilt one — each fold
+/// applies the diff to the previous live version, exactly the path a
+/// remote replica consuming shipped deltas would take, so any delta
+/// infidelity surfaces immediately as a divergence from the rebuilt
+/// reference (asserted in debug builds, proptested in release).
+pub struct IncrementalState {
+    input: PipelineInput,
+    models: GiantModels,
+    cfg: GiantConfig,
+    caches: PipelineCaches,
+    ontology: Ontology,
+    folds: u64,
+}
+
+impl fmt::Debug for IncrementalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IncrementalState")
+            .field("folds", &self.folds)
+            .field("n_docs", &self.input.docs.len())
+            .field("n_queries", &self.input.click_graph.n_queries())
+            .field("n_nodes", &self.ontology.n_nodes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl IncrementalState {
+    /// A fresh state over a fixed category tree and annotator, with no
+    /// corpus yet. The first fold is the bootstrap build (everything is
+    /// mined, caches fill); every later fold is incremental.
+    pub fn new(
+        categories: Vec<CategoryRecord>,
+        annotator: Annotator,
+        models: GiantModels,
+        cfg: GiantConfig,
+    ) -> Self {
+        Self {
+            input: PipelineInput {
+                click_graph: ClickGraph::new(),
+                docs: Vec::new(),
+                categories,
+                sessions: Vec::new(),
+                entities: Vec::new(),
+                annotator,
+            },
+            models,
+            cfg,
+            caches: PipelineCaches::new(),
+            ontology: Ontology::new(),
+            folds: 0,
+        }
+    }
+
+    /// Folds one batch: validate → ingest → invalidate → cached rebuild →
+    /// diff → apply. On error the state is untouched.
+    pub fn fold(&mut self, batch: DeltaBatch) -> Result<FoldReport, FoldError> {
+        let t0 = Instant::now();
+        // Validate everything before mutating anything.
+        let n_docs_after = self.input.docs.len() + batch.docs.len();
+        for (k, d) in batch.docs.iter().enumerate() {
+            let expected = self.input.docs.len() + k;
+            if d.id != expected {
+                return Err(FoldError::NonContiguousDoc {
+                    expected,
+                    got: d.id,
+                });
+            }
+        }
+        for c in &batch.clicks {
+            if c.doc >= n_docs_after {
+                return Err(FoldError::ClickToMissingDoc {
+                    query: c.query.clone(),
+                    doc: c.doc,
+                    n_docs: n_docs_after,
+                });
+            }
+            if c.count < 0.0 {
+                return Err(FoldError::NegativeClicks {
+                    query: c.query.clone(),
+                });
+            }
+        }
+
+        // Ingest, recording the dirty set: every endpoint of a click edit
+        // has changed adjacency/totals. New docs and new queries carry no
+        // cached footprint; what protects old caches from them is that
+        // attaching a new node dirties its old-side neighbour.
+        self.input.docs.extend(batch.docs);
+        let mut dirty = DirtySet::new();
+        for c in &batch.clicks {
+            let q = self
+                .input
+                .click_graph
+                .add_clicks(&c.query, DocId(c.doc as u32), c.count);
+            dirty.mark_query(q.index());
+            dirty.mark_doc(c.doc);
+        }
+        self.input.sessions.extend(batch.sessions);
+        self.input.entities.extend(batch.entities);
+
+        // Drop exactly the cached walks the batch could have changed.
+        let evicted_walks = self.caches.invalidate(&dirty);
+
+        // Rebuild over the accumulated input; clean clusters come from
+        // the caches, dirty ones are re-mined.
+        let output =
+            giant_core::run_pipeline_cached(&self.input, &self.models, &self.cfg, &mut self.caches);
+
+        // Ship the difference: the live version advances by delta
+        // application, never by wholesale replacement.
+        let mut timings = output.timings.clone();
+        let t = Instant::now();
+        let delta = OntologyDelta::diff(&self.ontology, &output.ontology);
+        timings.record("delta.diff", t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let next = delta
+            .apply(&self.ontology)
+            .expect("a delta produced by diff always applies to its own base");
+        timings.record("delta.apply", t.elapsed().as_secs_f64());
+        debug_assert_eq!(
+            giant_ontology::io::dump(&next),
+            giant_ontology::io::dump(&output.ontology),
+            "delta application diverged from the rebuilt reference"
+        );
+        self.ontology = next;
+        self.folds += 1;
+
+        Ok(FoldReport {
+            dirty_queries: dirty.n_dirty_queries(),
+            dirty_docs: dirty.n_dirty_docs(),
+            evicted_walks,
+            cache: output.cache_stats,
+            timings,
+            secs: t0.elapsed().as_secs_f64(),
+            delta,
+            output,
+        })
+    }
+
+    /// The live (delta-applied) ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The accumulated pipeline input.
+    pub fn input(&self) -> &PipelineInput {
+        &self.input
+    }
+
+    /// The pipeline configuration folds run under.
+    pub fn cfg(&self) -> &GiantConfig {
+        &self.cfg
+    }
+
+    /// The trained models folds run under.
+    pub fn models(&self) -> &GiantModels {
+        &self.models
+    }
+
+    /// Completed folds.
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// Cache occupancy `(cached walks, cached minings)`.
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        (self.caches.cached_plans(), self.caches.cached_minings())
+    }
+}

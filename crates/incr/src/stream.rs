@@ -1,0 +1,412 @@
+//! Replayable corpus streams: the harness for the convergence contract.
+//!
+//! A [`CorpusStream`] is the raw, ordered material a pipeline input is
+//! built from — documents, click events, sessions, entities — before any
+//! click graph exists. [`CorpusStream::split`] cuts it into an initial
+//! batch plus delta batches (the shape `IncrementalState::fold` consumes),
+//! and [`union_input`] replays any batch sequence into the equivalent
+//! batch-built [`PipelineInput`] — the full-rebuild reference the
+//! convergence tests compare against.
+
+use crate::batch::{ClickEvent, DeltaBatch};
+use giant_core::pipeline::{CategoryRecord, DocRecord, PipelineInput};
+use giant_graph::{ClickGraph, DocId};
+use giant_text::{Annotator, NerTag};
+use std::collections::{HashMap, HashSet};
+
+/// True when `text` tokenizes to a sequence containing `tokens` as a
+/// contiguous subsequence.
+fn contains_tokens(text: &str, tokens: &[String]) -> bool {
+    if tokens.is_empty() {
+        return false;
+    }
+    let toks = giant_text::tokenize(text);
+    toks.windows(tokens.len()).any(|w| w == tokens)
+}
+
+/// How [`CorpusStream::split_with`] assigns a click to a batch.
+#[derive(Clone, Copy)]
+enum ClickAssignment {
+    /// Positional like every other list, deferred to the document's batch
+    /// when the document arrives later.
+    PositionalDeferred,
+    /// Always the document's batch ("fresh content plus the attention it
+    /// received").
+    RideWithDoc,
+}
+
+/// The raw ordered corpus material (see [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct CorpusStream {
+    /// The fixed category tree.
+    pub categories: Vec<CategoryRecord>,
+    /// The fixed annotator.
+    pub annotator: Annotator,
+    /// Documents in id order (`docs[i].id == i`).
+    pub docs: Vec<DocRecord>,
+    /// Click events in log order.
+    pub clicks: Vec<ClickEvent>,
+    /// Session streams in log order.
+    pub sessions: Vec<Vec<String>>,
+    /// Entity dictionary in registration order.
+    pub entities: Vec<(Vec<String>, NerTag)>,
+}
+
+impl CorpusStream {
+    /// Splits the stream at the given ascending fractions in `(0, 1)`,
+    /// producing `cuts.len() + 1` batches (the first is the initial
+    /// build). Every component list is cut positionally; a click whose
+    /// document would only be delivered in a later batch is deferred to
+    /// that batch, so every batch satisfies the fold validation rule
+    /// "clicks never precede their documents". Relative order is preserved
+    /// within each batch, and replaying the batches in order visits every
+    /// element of the stream exactly once.
+    pub fn split(&self, cuts: &[f64]) -> Vec<DeltaBatch> {
+        self.split_with(cuts, ClickAssignment::PositionalDeferred)
+    }
+
+    /// Splits the stream by **document arrival**: docs are cut
+    /// positionally as in [`CorpusStream::split`], and every click travels
+    /// with its document — the batch that delivers doc `d` carries all of
+    /// `d`'s clicks, in stream order. Sessions and entities stay
+    /// positional.
+    ///
+    /// This is the production ingest shape ("fresh content plus the
+    /// attention it received"), and it is what keeps a delta *local*: the
+    /// [`split`](CorpusStream::split) assignment instead sweeps the
+    /// position tail into the last batch, which on generated logs means
+    /// nearly all uniform noise clicks — a delta that touches every
+    /// component of the click graph and therefore legitimately invalidates
+    /// nearly every cached walk (convergence still holds; reuse does not).
+    pub fn split_on_doc_arrival(&self, cuts: &[f64]) -> Vec<DeltaBatch> {
+        self.split_with(cuts, ClickAssignment::RideWithDoc)
+    }
+
+    /// The shared positional split core: every component list is cut at
+    /// the same fractions; `clicks` decides how a click picks its batch
+    /// relative to its document's.
+    fn split_with(&self, cuts: &[f64], clicks: ClickAssignment) -> Vec<DeltaBatch> {
+        assert!(
+            cuts.windows(2).all(|w| w[0] <= w[1])
+                && cuts.iter().all(|c| (0.0..=1.0).contains(c)),
+            "cuts must be ascending fractions in [0, 1]"
+        );
+        let n_seg = cuts.len() + 1;
+        let seg_of = |pos: usize, len: usize| -> usize {
+            if len == 0 {
+                return 0;
+            }
+            let f = pos as f64 / len as f64;
+            cuts.iter().position(|&c| f < c).unwrap_or(n_seg - 1)
+        };
+        let mut batches: Vec<DeltaBatch> = (0..n_seg).map(|_| DeltaBatch::new()).collect();
+        let mut doc_seg = vec![0usize; self.docs.len()];
+        for (i, d) in self.docs.iter().enumerate() {
+            debug_assert_eq!(d.id, i, "stream docs must be dense and id-ordered");
+            let s = seg_of(i, self.docs.len());
+            doc_seg[i] = s;
+            batches[s].docs.push(d.clone());
+        }
+        for (i, c) in self.clicks.iter().enumerate() {
+            let ds = doc_seg.get(c.doc).copied();
+            let s = match clicks {
+                // Positional, but a click never precedes its document.
+                ClickAssignment::PositionalDeferred => {
+                    seg_of(i, self.clicks.len()).max(ds.unwrap_or(0))
+                }
+                // The batch that delivers the doc carries its clicks.
+                ClickAssignment::RideWithDoc => ds.unwrap_or(n_seg - 1),
+            };
+            batches[s].clicks.push(c.clone());
+        }
+        for (i, sess) in self.sessions.iter().enumerate() {
+            batches[seg_of(i, self.sessions.len())].sessions.push(sess.clone());
+        }
+        for (i, e) in self.entities.iter().enumerate() {
+            batches[seg_of(i, self.entities.len())].entities.push(e.clone());
+        }
+        batches
+    }
+
+    /// Splits the stream into **(established corpus, newly launched
+    /// topics)**: roughly `tail_fraction` of the documents, chosen as
+    /// whole leaf-category blocks, arrive as the delta together with their
+    /// clicks, their exclusive queries' sessions and the entities that
+    /// only those documents mention. Document ids are remapped so each
+    /// batch is a dense id block (the union is a content-identical
+    /// relabeling of the stream — the convergence reference is the union
+    /// of the returned batches, as always).
+    ///
+    /// This is the delta shape under which incrementality pays off:
+    /// fresh attention concentrated on new content, touching the
+    /// established graph only through stray (noise) clicks — GIANT's
+    /// "new events and topics emerge continuously" regime. Contrast with
+    /// [`CorpusStream::split_on_doc_arrival`], where a tail-of-corpus
+    /// delta can legitimately dirty most clusters.
+    pub fn split_new_topics(&self, tail_fraction: f64) -> Vec<DeltaBatch> {
+        assert!((0.0..1.0).contains(&tail_fraction), "tail fraction in [0, 1)");
+        let n = self.docs.len();
+        let target = ((n as f64) * tail_fraction).round() as usize;
+        // Choose whole leaf categories from the back of the doc list until
+        // the target doc count is covered (one counting pass, then one
+        // selection pass — O(docs)).
+        let mut cat_docs: HashMap<usize, usize> = HashMap::new();
+        for d in &self.docs {
+            *cat_docs.entry(d.leaf_category).or_insert(0) += 1;
+        }
+        let mut tail_cats: HashSet<usize> = HashSet::new();
+        let mut tail_docs = 0usize;
+        for d in self.docs.iter().rev() {
+            if tail_docs >= target {
+                break;
+            }
+            if tail_cats.insert(d.leaf_category) {
+                tail_docs += cat_docs[&d.leaf_category];
+            }
+        }
+        let is_tail_doc: Vec<bool> = self
+            .docs
+            .iter()
+            .map(|d| tail_cats.contains(&d.leaf_category))
+            .collect();
+        // Remap: head docs keep relative order and take ids 0..h; tail
+        // docs follow.
+        let head_count = is_tail_doc.iter().filter(|t| !**t).count();
+        let mut remap = vec![0usize; n];
+        let (mut next_head, mut next_tail) = (0usize, head_count);
+        for (i, tail) in is_tail_doc.iter().enumerate() {
+            if *tail {
+                remap[i] = next_tail;
+                next_tail += 1;
+            } else {
+                remap[i] = next_head;
+                next_head += 1;
+            }
+        }
+        let mut batches = vec![DeltaBatch::new(), DeltaBatch::new()];
+        for (i, d) in self.docs.iter().enumerate() {
+            let mut d = d.clone();
+            d.id = remap[i];
+            batches[usize::from(is_tail_doc[i])].docs.push(d);
+        }
+        batches[0].docs.sort_by_key(|d| d.id);
+        batches[1].docs.sort_by_key(|d| d.id);
+        // Clicks ride with their document; a query clicking both sides
+        // appears in both batches (an established query probing new
+        // content — exactly the boundary dirtiness the planner must
+        // handle).
+        for c in &self.clicks {
+            let tail = is_tail_doc.get(c.doc).copied().unwrap_or(true);
+            let mut c = c.clone();
+            c.doc = remap[c.doc];
+            batches[usize::from(tail)].clicks.push(c);
+        }
+        // A query is "tail-only" when every one of its clicks lands on a
+        // new-topic doc; sessions touching only established queries stay
+        // in the initial batch.
+        let mut clicked: HashSet<&str> = HashSet::new();
+        let mut seen_head: HashSet<&str> = HashSet::new();
+        for c in &self.clicks {
+            clicked.insert(c.query.as_str());
+            if !is_tail_doc.get(c.doc).copied().unwrap_or(true) {
+                seen_head.insert(c.query.as_str());
+            }
+        }
+        for s in &self.sessions {
+            let tail = s
+                .iter()
+                .any(|q| clicked.contains(q.as_str()) && !seen_head.contains(q.as_str()));
+            batches[usize::from(tail)].sessions.push(s.clone());
+        }
+        // An entity launches with the new topics when only tail documents
+        // mention it.
+        for (etoks, ner) in &self.entities {
+            let in_head = self.docs.iter().enumerate().any(|(i, d)| {
+                !is_tail_doc[i]
+                    && (contains_tokens(&d.title, etoks)
+                        || d.sentences.iter().any(|s| contains_tokens(s, etoks)))
+            });
+            batches[usize::from(!in_head)].entities.push((etoks.clone(), *ner));
+        }
+        batches
+    }
+
+    /// The whole stream as one batch.
+    pub fn as_one_batch(&self) -> DeltaBatch {
+        DeltaBatch {
+            docs: self.docs.clone(),
+            clicks: self.clicks.clone(),
+            sessions: self.sessions.clone(),
+            entities: self.entities.clone(),
+        }
+    }
+}
+
+/// Replays a batch sequence into the equivalent batch-built
+/// [`PipelineInput`]: the union a full `run_pipeline` consumes. Bit-exact
+/// with respect to folding the same batches incrementally — queries are
+/// interned, doc ids assigned and click mass accumulated in the identical
+/// order.
+pub fn union_input(
+    categories: Vec<CategoryRecord>,
+    annotator: Annotator,
+    batches: &[DeltaBatch],
+) -> PipelineInput {
+    let mut input = PipelineInput {
+        click_graph: ClickGraph::new(),
+        docs: Vec::new(),
+        categories,
+        sessions: Vec::new(),
+        entities: Vec::new(),
+        annotator,
+    };
+    for b in batches {
+        input.docs.extend(b.docs.iter().cloned());
+        for c in &b.clicks {
+            input.click_graph.add_clicks(&c.query, DocId(c.doc as u32), c.count);
+        }
+        input.sessions.extend(b.sessions.iter().cloned());
+        input.entities.extend(b.entities.iter().cloned());
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: usize) -> DocRecord {
+        DocRecord {
+            id,
+            title: format!("title {id}"),
+            sentences: vec![format!("body of {id}")],
+            leaf_category: 0,
+            day: id as u32,
+        }
+    }
+
+    fn click(q: &str, d: usize) -> ClickEvent {
+        ClickEvent {
+            query: q.into(),
+            doc: d,
+            count: 1.0,
+        }
+    }
+
+    fn stream() -> CorpusStream {
+        CorpusStream {
+            categories: Vec::new(),
+            annotator: Annotator::default(),
+            docs: (0..10).map(doc).collect(),
+            // Click 1 references doc 9 early: it must be deferred to the
+            // batch that delivers doc 9.
+            clicks: vec![
+                click("q0", 0),
+                click("q9", 9),
+                click("q1", 1),
+                click("q8", 8),
+                click("q2", 2),
+            ],
+            sessions: vec![vec!["q0".into(), "q1".into()], vec!["q2".into()]],
+            entities: vec![(vec!["alpha".into()], NerTag::None), (vec!["beta".into()], NerTag::None)],
+        }
+    }
+
+    #[test]
+    fn split_preserves_everything_and_defers_early_clicks() {
+        let s = stream();
+        let batches = s.split(&[0.5]);
+        assert_eq!(batches.len(), 2);
+        // Docs split positionally 5/5.
+        assert_eq!(batches[0].docs.len(), 5);
+        assert_eq!(batches[1].docs.len(), 5);
+        assert_eq!(batches[1].docs[0].id, 5);
+        // Clicks to docs 8 and 9 deferred to batch 1 despite early
+        // positions.
+        let b0: Vec<&str> = batches[0].clicks.iter().map(|c| c.query.as_str()).collect();
+        let b1: Vec<&str> = batches[1].clicks.iter().map(|c| c.query.as_str()).collect();
+        // Positions 0 and 2 (fractions 0.0, 0.4) stay in batch 0; the
+        // q9 click sits at fraction 0.2 but its doc arrives in batch 1,
+        // so it is deferred; fractions 0.6 and 0.8 are batch 1 anyway.
+        assert_eq!(b0, vec!["q0", "q1"]);
+        assert_eq!(b1, vec!["q9", "q8", "q2"]);
+        // Union replay covers the whole stream.
+        let input = union_input(Vec::new(), Annotator::default(), &batches);
+        assert_eq!(input.docs.len(), 10);
+        assert_eq!(input.click_graph.n_queries(), 5);
+        assert_eq!(input.sessions.len(), 2);
+        assert_eq!(input.entities.len(), 2);
+    }
+
+    #[test]
+    fn every_batch_is_foldable_in_order() {
+        // The split contract: folding the batches in order never trips
+        // validation.
+        let s = stream();
+        for cuts in [vec![0.3], vec![0.2, 0.7], vec![0.1, 0.2, 0.9]] {
+            let batches = s.split(&cuts);
+            let mut n_docs = 0usize;
+            for b in &batches {
+                for (k, d) in b.docs.iter().enumerate() {
+                    assert_eq!(d.id, n_docs + k);
+                }
+                n_docs += b.docs.len();
+                for c in &b.clicks {
+                    assert!(c.doc < n_docs, "click precedes its doc");
+                }
+            }
+            assert_eq!(n_docs, s.docs.len());
+        }
+    }
+
+    #[test]
+    fn new_topics_split_moves_whole_categories_and_stays_foldable() {
+        let mut s = stream();
+        // Docs 0–4 are category 0, docs 5–9 category 1.
+        for (i, d) in s.docs.iter_mut().enumerate() {
+            d.leaf_category = usize::from(i >= 5);
+        }
+        // A click from a head query probing a tail doc (boundary click).
+        s.clicks.push(click("q0", 7));
+        let batches = s.split_new_topics(0.5);
+        assert_eq!(batches.len(), 2);
+        // Category 1 (docs 5–9) launches as the delta.
+        assert_eq!(batches[0].docs.len(), 5);
+        assert_eq!(batches[1].docs.len(), 5);
+        assert!(batches[0].docs.iter().all(|d| d.leaf_category == 0));
+        assert!(batches[1].docs.iter().all(|d| d.leaf_category == 1));
+        // Dense remapped id blocks.
+        for (k, d) in batches[0].docs.iter().enumerate() {
+            assert_eq!(d.id, k);
+        }
+        for (k, d) in batches[1].docs.iter().enumerate() {
+            assert_eq!(d.id, 5 + k);
+        }
+        // Every click references a doc its own or an earlier batch
+        // delivers, and the boundary click rode into the delta.
+        assert!(batches[0].clicks.iter().all(|c| c.doc < 5));
+        assert!(batches[1].clicks.iter().any(|c| c.query == "q0"));
+        // Union replay covers everything.
+        let input = union_input(Vec::new(), Annotator::default(), &batches);
+        assert_eq!(input.docs.len(), 10);
+        assert_eq!(
+            batches[0].clicks.len() + batches[1].clicks.len(),
+            s.clicks.len()
+        );
+        // Docs arrive in dense order across the fold sequence.
+        for (i, d) in input.docs.iter().enumerate() {
+            assert_eq!(d.id, i);
+        }
+    }
+
+    #[test]
+    fn degenerate_cuts_put_everything_in_one_batch() {
+        let s = stream();
+        let batches = s.split(&[]);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].docs.len(), 10);
+        assert_eq!(batches[0].clicks.len(), 5);
+        let all = s.as_one_batch();
+        assert_eq!(all.docs.len(), 10);
+    }
+}

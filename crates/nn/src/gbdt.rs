@@ -91,6 +91,30 @@ impl Gbdt {
         let p = (pos / n).clamp(1e-6, 1.0 - 1e-6);
         let base_score = (p / (1.0 - p)).ln();
 
+        // Global stable value order per feature, computed once. Node-local
+        // orders are recovered by filtering these through a membership
+        // mask at O(n) per node-feature, instead of O(m log m) sorts
+        // repeated per node per tree. Tie-breaking note: equal feature
+        // values now scan in ascending example order everywhere. The old
+        // per-node buffer was re-sorted in place feature after feature,
+        // so ties on feature f inherited the feature f-1 ordering — an
+        // accident of buffer reuse, not a chosen semantic. The change is
+        // deterministic and observed output-neutral on every golden and
+        // table in the repo (the seed-42 goldens pass unchanged), but on
+        // inputs with tied feature values inside a node the selected
+        // split may differ from the pre-presort code in the last ULP of
+        // its gain comparison.
+        let orders: Vec<Vec<u32>> = (0..n_features)
+            .map(|f| {
+                let mut o: Vec<u32> = (0..features.len() as u32).collect();
+                o.sort_by(|&a, &b| {
+                    features[a as usize][f].total_cmp(&features[b as usize][f])
+                });
+                o
+            })
+            .collect();
+        let mut mark = vec![false; features.len()];
+
         let mut scores = vec![base_score; features.len()];
         let mut trees = Vec::with_capacity(cfg.n_trees);
         for _ in 0..cfg.n_trees {
@@ -104,7 +128,7 @@ impl Gbdt {
             }
             let idx: Vec<usize> = (0..features.len()).collect();
             let mut tree = Tree { nodes: Vec::new() };
-            Self::build_node(&mut tree, features, &grad, &hess, &idx, 0, &cfg);
+            Self::build_node(&mut tree, features, &grad, &hess, &idx, 0, &cfg, &orders, &mut mark);
             for (i, s) in scores.iter_mut().enumerate() {
                 *s += cfg.learning_rate * tree.predict(&features[i]);
             }
@@ -133,6 +157,8 @@ impl Gbdt {
         idx: &[usize],
         depth: usize,
         cfg: &GbdtConfig,
+        orders: &[Vec<u32>],
+        mark: &mut Vec<bool>,
     ) -> usize {
         let make_leaf = |tree: &mut Tree| {
             tree.nodes
@@ -148,12 +174,16 @@ impl Gbdt {
 
         let n_features = features[idx[0]].len();
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
-        let mut order = idx.to_vec();
+        for &i in idx {
+            mark[i] = true;
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(idx.len());
         // `f` ranges over feature *columns* of the row-major `features`;
         // clippy's iterate-over-`features` suggestion would walk rows.
         #[allow(clippy::needless_range_loop)]
         for f in 0..n_features {
-            order.sort_by(|&a, &b| features[a][f].total_cmp(&features[b][f]));
+            order.clear();
+            order.extend(orders[f].iter().map(|&i| i as usize).filter(|&i| mark[i]));
             let mut gl = 0.0;
             let mut hl = 0.0;
             for k in 0..order.len() - 1 {
@@ -181,6 +211,9 @@ impl Gbdt {
                 }
             }
         }
+        for &i in idx {
+            mark[i] = false;
+        }
         let Some((_, feature, threshold)) = best else {
             return make_leaf(tree);
         };
@@ -190,8 +223,8 @@ impl Gbdt {
         // Reserve this node, then build children.
         let me = tree.nodes.len();
         tree.nodes.push(Node::Leaf(0.0)); // placeholder
-        let left = Self::build_node(tree, features, grad, hess, &left_idx, depth + 1, cfg);
-        let right = Self::build_node(tree, features, grad, hess, &right_idx, depth + 1, cfg);
+        let left = Self::build_node(tree, features, grad, hess, &left_idx, depth + 1, cfg, orders, mark);
+        let right = Self::build_node(tree, features, grad, hess, &right_idx, depth + 1, cfg, orders, mark);
         tree.nodes[me] = Node::Split {
             feature,
             threshold,

@@ -1,0 +1,628 @@
+//! Structural deltas between two ontology versions.
+//!
+//! The incremental pipeline (`giant-incr`) maintains a live ontology by
+//! folding click-log batches: each fold rebuilds the ontology cheaply from
+//! caches, then ships the *difference* to the serving side as an
+//! [`OntologyDelta`] — the change-set idiom of incremental ontology stores
+//! (WebProtégé serves edits the same way) with the batch-reference
+//! correctness guarantee of alignment systems: applying the delta to the
+//! previous version must reproduce the batch-built ontology **exactly**.
+//!
+//! Node identity across versions is the `(kind, canonical surface)` pair —
+//! the same key the store itself deduplicates on, so it is unique within
+//! any [`Ontology`]. A delta records, in new-id order, whether each node is
+//! carried (payload untouched), updated (same identity, new
+//! support/aliases/time) or added; old nodes with no counterpart are
+//! removed. Adjacency is recorded per node as the **full replacement list**
+//! whenever the remapped old list would not reproduce the new one — edge
+//! lists are ordered (serving ranks and the dump both observe the order),
+//! so fine-grained edge ops would have to encode positions anyway.
+//!
+//! [`OntologyDelta::apply`] is total over deltas produced by
+//! [`OntologyDelta::diff`]: `apply(old, &diff(old, new)) == new` down to
+//! byte-identical [`crate::io::dump`] output *and* identical in-adjacency
+//! (the part the dump does not show but snapshot freezing observes).
+
+use crate::edge::EdgeKind;
+use crate::node::{AttentionNode, NodeId, NodeKind, Phrase};
+use crate::ontology::Ontology;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One adjacency edge as stored: `(neighbour, kind, weight)`.
+type Edge = (NodeId, EdgeKind, f64);
+/// A full per-node adjacency list.
+type EdgeList = Vec<Edge>;
+
+/// A node's full payload as carried by a delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePayload {
+    /// Granularity.
+    pub kind: NodeKind,
+    /// Canonical phrase (the identity surface).
+    pub phrase: Phrase,
+    /// Merged variant phrases.
+    pub aliases: Vec<Phrase>,
+    /// Mining support.
+    pub support: f64,
+    /// Event day, if any.
+    pub time: Option<u32>,
+}
+
+impl NodePayload {
+    fn of(n: &AttentionNode) -> Self {
+        Self {
+            kind: n.kind,
+            phrase: n.phrase.clone(),
+            aliases: n.aliases.clone(),
+            support: n.support,
+            time: n.time,
+        }
+    }
+
+    fn into_node(self, id: NodeId) -> AttentionNode {
+        AttentionNode {
+            id,
+            kind: self.kind,
+            phrase: self.phrase,
+            aliases: self.aliases,
+            support: self.support,
+            time: self.time,
+        }
+    }
+
+    /// Bit-exact payload equality (support compared by bits: the dump
+    /// prints the full value, so any ULP drift is a real difference).
+    fn same_as(&self, n: &AttentionNode) -> bool {
+        self.kind == n.kind
+            && self.phrase == n.phrase
+            && self.aliases == n.aliases
+            && self.support.to_bits() == n.support.to_bits()
+            && self.time == n.time
+    }
+}
+
+/// One node of the new version, described relative to the old.
+#[derive(Debug, Clone)]
+pub enum NodeChange {
+    /// Same identity and payload as old node `old` (only the id may move).
+    Carry {
+        /// The node's id in the old version.
+        old: NodeId,
+    },
+    /// Same identity as old node `old`, payload changed (support
+    /// re-weighted, aliases gained/lost, time set).
+    Update {
+        /// The node's id in the old version.
+        old: NodeId,
+        /// The full new payload.
+        payload: NodePayload,
+    },
+    /// A node with no old counterpart.
+    Add {
+        /// The full payload.
+        payload: NodePayload,
+    },
+}
+
+/// Summary counts of a delta, for logs and ingest reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Nodes carried unchanged.
+    pub carried: usize,
+    /// Nodes kept but re-weighted / re-aliased.
+    pub updated: usize,
+    /// Nodes added.
+    pub added: usize,
+    /// Old nodes removed.
+    pub removed: usize,
+    /// Nodes whose out-adjacency was replaced.
+    pub rewired_out: usize,
+    /// Nodes whose in-adjacency was replaced.
+    pub rewired_in: usize,
+}
+
+impl fmt::Display for DeltaStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "+{} nodes, -{} nodes, {} updated, {} carried, {}/{} out/in lists rewired",
+            self.added, self.removed, self.updated, self.carried, self.rewired_out, self.rewired_in
+        )
+    }
+}
+
+/// Errors from [`OntologyDelta::apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A change references an old node id outside the old ontology.
+    UnknownOldNode(NodeId),
+    /// Two changes claim the same old node.
+    DuplicateOldNode(NodeId),
+    /// A kept node's adjacency references a removed old node but the delta
+    /// carries no replacement list for it.
+    DanglingEdge {
+        /// The node (new id) whose list references the removed node.
+        node: NodeId,
+    },
+    /// A replacement adjacency list targets a node outside the new version.
+    EdgeOutOfRange {
+        /// The node (new id) whose replacement list is bad.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownOldNode(n) => write!(f, "old node {} does not exist", n.0),
+            DeltaError::DuplicateOldNode(n) => {
+                write!(f, "old node {} claimed by two changes", n.0)
+            }
+            DeltaError::DanglingEdge { node } => write!(
+                f,
+                "node {} keeps an edge to a removed node and no replacement list was recorded",
+                node.0
+            ),
+            DeltaError::EdgeOutOfRange { node } => {
+                write!(f, "replacement edges of node {} leave the new id space", node.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The difference between two ontology versions. See the [module
+/// docs](self) for the format and guarantees.
+#[derive(Debug, Clone, Default)]
+pub struct OntologyDelta {
+    /// One change per node of the new version, in new-id order.
+    nodes: Vec<NodeChange>,
+    /// Replacement out-adjacency lists (new ids), ascending by node.
+    out_edges: Vec<(NodeId, EdgeList)>,
+    /// Replacement in-adjacency lists (new ids), ascending by node.
+    in_edges: Vec<(NodeId, EdgeList)>,
+    /// Old node ids with no counterpart in the new version, ascending.
+    removed: Vec<NodeId>,
+}
+
+impl OntologyDelta {
+    /// Computes the delta taking `old` to `new`.
+    pub fn diff(old: &Ontology, new: &Ontology) -> Self {
+        // Old identity key → old id. Canonical surfaces are unique per
+        // kind within one ontology (`add_node` dedups), so this is a map.
+        let old_by_key: HashMap<(NodeKind, &[String]), NodeId> = old
+            .nodes()
+            .iter()
+            .map(|n| ((n.kind, n.phrase.tokens.as_slice()), n.id))
+            .collect();
+        let mut old_to_new: Vec<Option<NodeId>> = vec![None; old.n_nodes()];
+        let mut nodes = Vec::with_capacity(new.n_nodes());
+        for n in new.nodes() {
+            match old_by_key.get(&(n.kind, n.phrase.tokens.as_slice())) {
+                Some(&oid) => {
+                    old_to_new[oid.index()] = Some(n.id);
+                    let o = old.node(oid);
+                    if NodePayload::of(o).same_as(n) {
+                        nodes.push(NodeChange::Carry { old: oid });
+                    } else {
+                        nodes.push(NodeChange::Update {
+                            old: oid,
+                            payload: NodePayload::of(n),
+                        });
+                    }
+                }
+                None => nodes.push(NodeChange::Add {
+                    payload: NodePayload::of(n),
+                }),
+            }
+        }
+        let removed: Vec<NodeId> = (0..old.n_nodes())
+            .filter(|&i| old_to_new[i].is_none())
+            .map(|i| NodeId(i as u32))
+            .collect();
+
+        // Adjacency: record the full new list wherever remapping the old
+        // one would not reproduce it.
+        let mut out_edges = Vec::new();
+        let mut in_edges = Vec::new();
+        for (table, changed) in [
+            (Table::Out, &mut out_edges),
+            (Table::In, &mut in_edges),
+        ] {
+            for n in new.nodes() {
+                let new_list = table.of(new, n.id);
+                let reproduced = match &nodes[n.id.index()] {
+                    NodeChange::Add { .. } => new_list.is_empty(),
+                    NodeChange::Carry { old: oid } | NodeChange::Update { old: oid, .. } => {
+                        same_list_remapped(table.of(old, *oid), new_list, &old_to_new)
+                    }
+                };
+                if !reproduced {
+                    changed.push((n.id, new_list.to_vec()));
+                }
+            }
+        }
+        Self {
+            nodes,
+            out_edges,
+            in_edges,
+            removed,
+        }
+    }
+
+    /// Applies the delta to `old`, reconstructing the new version.
+    pub fn apply(&self, old: &Ontology) -> Result<Ontology, DeltaError> {
+        // Old→new id map, with duplicate/range checks.
+        let mut old_to_new: Vec<Option<NodeId>> = vec![None; old.n_nodes()];
+        let mut claim = |oid: NodeId, nid: NodeId| -> Result<(), DeltaError> {
+            let slot = old_to_new
+                .get_mut(oid.index())
+                .ok_or(DeltaError::UnknownOldNode(oid))?;
+            if slot.is_some() {
+                return Err(DeltaError::DuplicateOldNode(oid));
+            }
+            *slot = Some(nid);
+            Ok(())
+        };
+        for (i, change) in self.nodes.iter().enumerate() {
+            let nid = NodeId(i as u32);
+            match change {
+                NodeChange::Carry { old: oid } | NodeChange::Update { old: oid, .. } => {
+                    claim(*oid, nid)?;
+                }
+                NodeChange::Add { .. } => {}
+            }
+        }
+
+        let n_new = self.nodes.len();
+        let mut nodes: Vec<AttentionNode> = Vec::with_capacity(n_new);
+        for (i, change) in self.nodes.iter().enumerate() {
+            let nid = NodeId(i as u32);
+            let node = match change {
+                NodeChange::Carry { old: oid } => {
+                    let mut n = old.node(*oid).clone();
+                    n.id = nid;
+                    n
+                }
+                NodeChange::Update { payload, .. } | NodeChange::Add { payload } => {
+                    payload.clone().into_node(nid)
+                }
+            };
+            nodes.push(node);
+        }
+
+        let out = self.rebuild_table(Table::Out, old, &old_to_new, n_new)?;
+        let inc = self.rebuild_table(Table::In, old, &old_to_new, n_new)?;
+        Ok(Ontology::from_parts(nodes, out, inc))
+    }
+
+    fn rebuild_table(
+        &self,
+        table: Table,
+        old: &Ontology,
+        old_to_new: &[Option<NodeId>],
+        n_new: usize,
+    ) -> Result<Vec<EdgeList>, DeltaError> {
+        let replacements: HashMap<NodeId, &EdgeList> = match table {
+            Table::Out => self.out_edges.iter().map(|(n, l)| (*n, l)).collect(),
+            Table::In => self.in_edges.iter().map(|(n, l)| (*n, l)).collect(),
+        };
+        let mut rows = Vec::with_capacity(n_new);
+        for (i, change) in self.nodes.iter().enumerate() {
+            let nid = NodeId(i as u32);
+            if let Some(list) = replacements.get(&nid) {
+                if list.iter().any(|(t, _, _)| t.index() >= n_new) {
+                    return Err(DeltaError::EdgeOutOfRange { node: nid });
+                }
+                rows.push((*list).clone());
+                continue;
+            }
+            let row = match change {
+                NodeChange::Add { .. } => Vec::new(),
+                NodeChange::Carry { old: oid } | NodeChange::Update { old: oid, .. } => table
+                    .of(old, *oid)
+                    .iter()
+                    .map(|&(t, k, w)| {
+                        old_to_new
+                            .get(t.index())
+                            .copied()
+                            .flatten()
+                            .map(|nt| (nt, k, w))
+                            .ok_or(DeltaError::DanglingEdge { node: nid })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    /// Summary counts.
+    pub fn stats(&self) -> DeltaStats {
+        let mut s = DeltaStats {
+            removed: self.removed.len(),
+            rewired_out: self.out_edges.len(),
+            rewired_in: self.in_edges.len(),
+            ..DeltaStats::default()
+        };
+        for c in &self.nodes {
+            match c {
+                NodeChange::Carry { .. } => s.carried += 1,
+                NodeChange::Update { .. } => s.updated += 1,
+                NodeChange::Add { .. } => s.added += 1,
+            }
+        }
+        s
+    }
+
+    /// Node count of the version this delta produces.
+    pub fn n_new_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Old node ids removed by this delta, ascending.
+    pub fn removed(&self) -> &[NodeId] {
+        &self.removed
+    }
+
+    /// True when applying the delta is a structural no-op (everything
+    /// carried, nothing removed, no adjacency rewired).
+    pub fn is_identity(&self) -> bool {
+        self.removed.is_empty()
+            && self.out_edges.is_empty()
+            && self.in_edges.is_empty()
+            && self.nodes.iter().all(|c| matches!(c, NodeChange::Carry { .. }))
+    }
+}
+
+/// Which adjacency table a pass works on.
+#[derive(Clone, Copy)]
+enum Table {
+    Out,
+    In,
+}
+
+impl Table {
+    fn of(self, o: &Ontology, id: NodeId) -> &[(NodeId, EdgeKind, f64)] {
+        match self {
+            Table::Out => &o.out_table()[id.index()],
+            Table::In => &o.in_table()[id.index()],
+        }
+    }
+}
+
+/// True when remapping `old_list` through `old_to_new` reproduces
+/// `new_list` exactly (same order, same kinds, bit-equal weights).
+fn same_list_remapped(
+    old_list: &[(NodeId, EdgeKind, f64)],
+    new_list: &[(NodeId, EdgeKind, f64)],
+    old_to_new: &[Option<NodeId>],
+) -> bool {
+    old_list.len() == new_list.len()
+        && old_list.iter().zip(new_list).all(|(&(ot, ok, ow), &(nt, nk, nw))| {
+            old_to_new.get(ot.index()).copied().flatten() == Some(nt)
+                && ok == nk
+                && ow.to_bits() == nw.to_bits()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io;
+
+    fn p(s: &str) -> Phrase {
+        Phrase::from_text(s)
+    }
+
+    fn base() -> Ontology {
+        let mut o = Ontology::new();
+        let cat = o.add_node(NodeKind::Category, p("autos"), 1.0);
+        let con = o.add_node(NodeKind::Concept, p("economy cars"), 3.0);
+        let civic = o.add_node(NodeKind::Entity, p("honda civic"), 2.0);
+        let fit = o.add_node(NodeKind::Entity, p("honda fit"), 1.5);
+        let ev = o.add_event(p("honda recalls civic"), 1.0, 9);
+        o.add_alias(con, p("fuel efficient cars"));
+        o.add_is_a(cat, con, 1.0).unwrap();
+        o.add_is_a(con, civic, 0.8).unwrap();
+        o.add_is_a(con, fit, 0.7).unwrap();
+        o.add_involve(ev, civic, 1.0).unwrap();
+        o.add_correlate(civic, fit, 0.5).unwrap();
+        o
+    }
+
+    /// Structural equality, including the in-adjacency the dump omits.
+    fn assert_same(a: &Ontology, b: &Ontology) {
+        assert_eq!(io::dump(a), io::dump(b));
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        for i in 0..a.n_nodes() {
+            let id = NodeId(i as u32);
+            assert_eq!(a.in_edges(id), b.in_edges(id), "in-adjacency of node {i}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        // Surface lookups agree for every canonical and alias surface.
+        for n in a.nodes() {
+            assert_eq!(
+                a.find(n.kind, &n.phrase.surface()),
+                b.find(n.kind, &n.phrase.surface())
+            );
+            for al in &n.aliases {
+                assert_eq!(a.find(n.kind, &al.surface()), b.find(n.kind, &al.surface()));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_delta_round_trips() {
+        let o = base();
+        let d = OntologyDelta::diff(&o, &o);
+        assert!(d.is_identity());
+        let s = d.stats();
+        assert_eq!(s.carried, o.n_nodes());
+        assert_eq!((s.added, s.removed, s.updated), (0, 0, 0));
+        assert_same(&d.apply(&o).unwrap(), &o);
+    }
+
+    #[test]
+    fn grown_version_applies_exactly() {
+        let old = base();
+        // The "new version": same mutation stream plus extra material, the
+        // way an incremental fold extends a previous build.
+        let mut new = base();
+        let con = new.find(NodeKind::Concept, "economy cars").unwrap();
+        let jazz = new.add_node(NodeKind::Entity, p("honda jazz"), 4.0);
+        new.add_is_a(con, jazz, 0.9).unwrap();
+        new.add_alias(con, p("thrifty cars"));
+        new.node_mut(con).support += 2.5;
+
+        let d = OntologyDelta::diff(&old, &new);
+        let s = d.stats();
+        assert_eq!(s.added, 1);
+        assert_eq!(s.removed, 0);
+        assert_eq!(s.updated, 1, "support + alias change is one update");
+        assert!(s.rewired_out >= 1, "the concept gained a child");
+        let applied = d.apply(&old).unwrap();
+        assert_same(&applied, &new);
+    }
+
+    #[test]
+    fn removed_nodes_and_id_compaction_apply_exactly() {
+        let old = base();
+        // New version drops "honda fit" entirely: later nodes shift down.
+        let mut new = Ontology::new();
+        let cat = new.add_node(NodeKind::Category, p("autos"), 1.0);
+        let con = new.add_node(NodeKind::Concept, p("economy cars"), 3.0);
+        let civic = new.add_node(NodeKind::Entity, p("honda civic"), 2.0);
+        let ev = new.add_event(p("honda recalls civic"), 1.0, 9);
+        new.add_alias(con, p("fuel efficient cars"));
+        new.add_is_a(cat, con, 1.0).unwrap();
+        new.add_is_a(con, civic, 0.8).unwrap();
+        new.add_involve(ev, civic, 1.0).unwrap();
+
+        let d = OntologyDelta::diff(&old, &new);
+        let s = d.stats();
+        assert_eq!(s.removed, 1);
+        assert_eq!(s.added, 0);
+        assert_eq!(d.removed(), &[NodeId(3)]);
+        let applied = d.apply(&old).unwrap();
+        assert_same(&applied, &new);
+    }
+
+    #[test]
+    fn reordered_ids_apply_exactly() {
+        // Same content, permuted creation order: every node carries but
+        // ids move, so every adjacency list must be rewired or remapped.
+        let old = base();
+        let mut new = Ontology::new();
+        let con = new.add_node(NodeKind::Concept, p("economy cars"), 3.0);
+        let cat = new.add_node(NodeKind::Category, p("autos"), 1.0);
+        let fit = new.add_node(NodeKind::Entity, p("honda fit"), 1.5);
+        let civic = new.add_node(NodeKind::Entity, p("honda civic"), 2.0);
+        let ev = new.add_event(p("honda recalls civic"), 1.0, 9);
+        new.add_alias(con, p("fuel efficient cars"));
+        new.add_is_a(cat, con, 1.0).unwrap();
+        new.add_is_a(con, civic, 0.8).unwrap();
+        new.add_is_a(con, fit, 0.7).unwrap();
+        new.add_involve(ev, civic, 1.0).unwrap();
+        new.add_correlate(civic, fit, 0.5).unwrap();
+
+        let d = OntologyDelta::diff(&old, &new);
+        assert_eq!(d.stats().carried + d.stats().updated, old.n_nodes());
+        assert_same(&d.apply(&old).unwrap(), &new);
+    }
+
+    /// Satellite contract: the io layer must round-trip *mutated*
+    /// ontologies exactly — dump → load → dump is a fixed point after any
+    /// delta application, including removed-node id compaction and
+    /// alias-conflict payloads.
+    #[test]
+    fn io_round_trips_delta_applied_ontologies() {
+        let old = base();
+        // Mutation 1: removal + growth + re-weighting in one delta.
+        let mut new = base();
+        let con = new.find(NodeKind::Concept, "economy cars").unwrap();
+        new.node_mut(con).support *= 1.5;
+        let jazz = new.add_node(NodeKind::Entity, p("honda jazz"), 4.0);
+        new.add_is_a(con, jazz, 0.9).unwrap();
+        let applied = OntologyDelta::diff(&old, &new).apply(&old).unwrap();
+        let first = io::dump(&applied);
+        let reloaded = io::load(&first).unwrap();
+        assert_eq!(first, io::dump(&reloaded), "dump → load → dump must be a fixed point");
+
+        // Mutation 2: removed node (ids compact downward).
+        let mut shrunk = Ontology::new();
+        let cat = shrunk.add_node(NodeKind::Category, p("autos"), 1.0);
+        let con2 = shrunk.add_node(NodeKind::Concept, p("economy cars"), 3.0);
+        shrunk.add_alias(con2, p("fuel efficient cars"));
+        shrunk.add_is_a(cat, con2, 1.0).unwrap();
+        let applied = OntologyDelta::diff(&old, &shrunk).apply(&old).unwrap();
+        let first = io::dump(&applied);
+        let reloaded = io::load(&first).unwrap();
+        assert_eq!(first, io::dump(&reloaded), "removed-node case must round-trip");
+
+        // Mutation 3: alias conflict — the loser's alias is absent from
+        // the payload, and the replayed dump preserves the winner.
+        let mut old2 = Ontology::new();
+        let a = old2.add_node(NodeKind::Concept, p("budget phones"), 1.0);
+        old2.add_alias(a, p("cheap phones"));
+        let mut new2 = Ontology::new();
+        let b = new2.add_node(NodeKind::Concept, p("cheap phones"), 2.0);
+        let a2 = new2.add_node(NodeKind::Concept, p("budget phones"), 1.0);
+        let _ = new2.add_alias(a2, p("cheap phones")); // conflict: b owns it
+        new2.add_is_a(b, a2, 1.0).unwrap();
+        let applied = OntologyDelta::diff(&old2, &new2).apply(&old2).unwrap();
+        let first = io::dump(&applied);
+        let reloaded = io::load(&first).unwrap();
+        assert_eq!(first, io::dump(&reloaded), "alias-conflict case must round-trip");
+        assert_eq!(reloaded.find(NodeKind::Concept, "cheap phones"), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn apply_rejects_corrupt_deltas() {
+        let old = base();
+        // A delta diffed against a *different* base: old ids out of range.
+        let mut bigger = base();
+        for i in 0..10 {
+            bigger.add_node(NodeKind::Entity, p(&format!("filler {i}")), 1.0);
+        }
+        let tiny = Ontology::new();
+        let d = OntologyDelta::diff(&bigger, &bigger);
+        assert!(matches!(
+            d.apply(&old),
+            Err(DeltaError::UnknownOldNode(_))
+        ));
+        // Identity delta of the empty ontology applies to anything — and
+        // produces the empty ontology (everything removed is not recorded;
+        // diff(empty → empty) simply has no nodes).
+        let d = OntologyDelta::diff(&tiny, &tiny);
+        assert_eq!(d.apply(&old).unwrap().n_nodes(), 0);
+    }
+
+    #[test]
+    fn delta_between_pipeline_like_rebuilds_is_exact_under_alias_churn() {
+        // Alias conflicts: in `new`, a node loses an alias because another
+        // node claimed the surface first (first-registration-wins).
+        let mut old = Ontology::new();
+        let a = old.add_node(NodeKind::Concept, p("budget phones"), 1.0);
+        old.add_alias(a, p("cheap phones"));
+        let mut new = Ontology::new();
+        let b = new.add_node(NodeKind::Concept, p("cheap phones"), 2.0);
+        let a2 = new.add_node(NodeKind::Concept, p("budget phones"), 1.0);
+        assert!(matches!(
+            new.add_alias(a2, p("cheap phones")),
+            crate::AliasOutcome::Conflict { .. }
+        ));
+        new.add_is_a(b, a2, 1.0).unwrap();
+
+        let d = OntologyDelta::diff(&old, &new);
+        let s = d.stats();
+        assert_eq!(s.added, 1);
+        assert_eq!(s.updated, 1, "alias loss is a payload update");
+        let applied = d.apply(&old).unwrap();
+        assert_same(&applied, &new);
+        // The surface resolves to its first registrant in the new version.
+        assert_eq!(applied.find(NodeKind::Concept, "cheap phones"), Some(NodeId(0)));
+    }
+}

@@ -11,12 +11,14 @@
 //! per-kind statistics behind Tables 1–2, and round-trips a plain-text
 //! serialisation ([`io`]).
 
+pub mod delta;
 pub mod edge;
 pub mod io;
 pub mod node;
 pub mod ontology;
 pub mod snapshot;
 
+pub use delta::{DeltaError, DeltaStats, NodeChange, NodePayload, OntologyDelta};
 pub use edge::EdgeKind;
 pub use node::{AttentionNode, EventRole, NodeId, NodeKind, Phrase};
 pub use ontology::{AliasOutcome, Ontology, OntologyError, OntologyStats};

@@ -200,6 +200,60 @@ impl Ontology {
         &self.by_surface
     }
 
+    /// Reconstructs an ontology directly from its structural parts (node
+    /// payloads in id order plus per-node out/in adjacency). Used by the
+    /// delta applier, which edits these parts wholesale instead of
+    /// replaying mutations.
+    ///
+    /// The surface index is rebuilt by replaying registrations in id order
+    /// (canonical phrase first, then recorded aliases, first-registration
+    /// wins) — the same order [`crate::io::load`] replays a dump in. For
+    /// any ontology built through the public mutation API this reproduces
+    /// `by_surface` exactly: `add_node` deduplicates against canonical
+    /// *and* alias surfaces, so canonical keys are unique, and losing
+    /// aliases are never recorded on their node, so every recorded alias
+    /// re-registers cleanly.
+    pub(crate) fn from_parts(
+        nodes: Vec<AttentionNode>,
+        out: Vec<Vec<(NodeId, EdgeKind, f64)>>,
+        inc: Vec<Vec<(NodeId, EdgeKind, f64)>>,
+    ) -> Self {
+        debug_assert_eq!(nodes.len(), out.len());
+        debug_assert_eq!(nodes.len(), inc.len());
+        let mut by_surface = HashMap::new();
+        for n in &nodes {
+            by_surface.entry((n.kind, n.phrase.surface())).or_insert(n.id);
+            for a in &n.aliases {
+                by_surface.entry((n.kind, a.surface())).or_insert(n.id);
+            }
+        }
+        let mut edge_counts = [0usize; 3];
+        for es in &out {
+            for &(_, k, _) in es {
+                edge_counts[k.index()] += 1;
+            }
+        }
+        // Correlates are stored in both directions but counted once.
+        edge_counts[EdgeKind::Correlate.index()] /= 2;
+        Self {
+            nodes,
+            by_surface,
+            out,
+            inc,
+            edge_counts,
+        }
+    }
+
+    /// The raw out-adjacency table, for the delta differ.
+    pub(crate) fn out_table(&self) -> &[Vec<(NodeId, EdgeKind, f64)>] {
+        &self.out
+    }
+
+    /// The raw in-adjacency table, for the delta differ.
+    pub(crate) fn in_table(&self) -> &[Vec<(NodeId, EdgeKind, f64)>] {
+        &self.inc
+    }
+
     fn check(&self, id: NodeId) -> Result<(), OntologyError> {
         if id.index() < self.nodes.len() {
             Ok(())

@@ -14,10 +14,10 @@ use giant_data::{
     concept_mining_dataset, event_mining_dataset, generate_clicks, generate_corpus, ClickConfig,
     ClickLog, Corpus, CorpusConfig, MiningDataset, MiningExample, World, WorldConfig,
 };
-use giant_ontology::{NodeId, NodeKind, OntologySnapshot};
+use giant_incr::{union_input, ClickEvent, CorpusStream};
+use giant_ontology::{NodeKind, OntologySnapshot};
 use giant_text::embedding::{PhraseEncoder, SgnsConfig, WordEmbeddings};
 use giant_text::{TfIdf, Vocab};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Everything needed to run experiments, generated from one seed.
@@ -96,9 +96,16 @@ pub fn to_training_clusters(examples: &[MiningExample]) -> Vec<TrainingCluster> 
 impl GiantSetup {
     /// Generates world, corpus, click log and datasets from `cfg`.
     pub fn generate(cfg: WorldConfig) -> Self {
+        Self::generate_with(cfg, &ClickConfig::default())
+    }
+
+    /// [`GiantSetup::generate`] with explicit click-log generation
+    /// parameters (noise fractions, sessions per member) — benches use
+    /// this to model, e.g., a spam-filtered ingest stream.
+    pub fn generate_with(cfg: WorldConfig, clicks: &ClickConfig) -> Self {
         let world = World::generate(cfg);
         let corpus = generate_corpus(&world, &CorpusConfig::default());
-        let log = generate_clicks(&world, &corpus, &ClickConfig::default());
+        let log = generate_clicks(&world, &corpus, clicks);
         let cmd = concept_mining_dataset(&world, &corpus, &log);
         let emd = event_mining_dataset(&world, &corpus, &log);
         Self {
@@ -110,22 +117,9 @@ impl GiantSetup {
         }
     }
 
-    /// The pipeline-input view of this setup.
-    pub fn pipeline_input(&self) -> PipelineInput {
-        let docs = self
-            .corpus
-            .docs
-            .iter()
-            .map(|d| DocRecord {
-                id: d.id,
-                title: d.title.clone(),
-                sentences: d.sentences.clone(),
-                leaf_category: d.leaf_category,
-                day: d.day,
-            })
-            .collect();
-        let categories = self
-            .world
+    /// The category tree, pipeline view.
+    pub fn category_records(&self) -> Vec<CategoryRecord> {
+        self.world
             .categories
             .iter()
             .map(|c| CategoryRecord {
@@ -134,21 +128,60 @@ impl GiantSetup {
                 level: c.level,
                 parent: c.parent,
             })
-            .collect();
-        let entities = self
-            .world
-            .entities
-            .iter()
-            .map(|e| (e.tokens.clone(), e.ner))
-            .collect();
-        PipelineInput {
-            click_graph: self.log.build_click_graph(),
-            docs,
-            categories,
-            sessions: self.log.sessions.clone(),
-            entities,
+            .collect()
+    }
+
+    /// The raw replayable stream view of this setup: documents, click
+    /// records, sessions and entities in log order, before any click graph
+    /// is built. This is what incremental folding splits into batches
+    /// (`giant_incr::CorpusStream::split`); replaying the whole stream
+    /// reproduces [`GiantSetup::pipeline_input`] bit for bit.
+    pub fn corpus_stream(&self) -> CorpusStream {
+        CorpusStream {
+            categories: self.category_records(),
             annotator: self.world.annotator(),
+            docs: self
+                .corpus
+                .docs
+                .iter()
+                .map(|d| DocRecord {
+                    id: d.id,
+                    title: d.title.clone(),
+                    sentences: d.sentences.clone(),
+                    leaf_category: d.leaf_category,
+                    day: d.day,
+                })
+                .collect(),
+            clicks: self
+                .log
+                .records
+                .iter()
+                .map(|r| ClickEvent {
+                    query: r.query.clone(),
+                    doc: r.doc,
+                    count: r.count,
+                })
+                .collect(),
+            sessions: self.log.sessions.clone(),
+            entities: self
+                .world
+                .entities
+                .iter()
+                .map(|e| (e.tokens.clone(), e.ner))
+                .collect(),
         }
+    }
+
+    /// The pipeline-input view of this setup: the corpus stream replayed
+    /// as one batch (identical to the historical direct construction —
+    /// `build_click_graph` folded the records in the same order).
+    pub fn pipeline_input(&self) -> PipelineInput {
+        let stream = self.corpus_stream();
+        union_input(
+            stream.categories.clone(),
+            stream.annotator.clone(),
+            &[stream.as_one_batch()],
+        )
     }
 
     /// Trains the phrase + role models on the CMD/EMD train splits.
@@ -226,19 +259,10 @@ pub fn train_duet(
     DuetMatcher::train(&examples, DuetConfig::default())
 }
 
-/// The mined events as story-tree inputs, in mining order.
+/// The mined events as story-tree inputs, in mining order (thin wrapper
+/// over the shared serving-metadata derivation in `giant_apps`).
 pub fn story_events(output: &GiantOutput) -> Vec<StoryEvent> {
-    output
-        .mined_of_kind(NodeKind::Event)
-        .into_iter()
-        .map(|m| StoryEvent {
-            node: m.node,
-            tokens: m.tokens.clone(),
-            trigger: m.trigger.clone(),
-            entities: m.entities.clone(),
-            day: m.day.unwrap_or(0),
-        })
-        .collect()
+    giant_apps::incremental::mined_metadata(output).stories
 }
 
 /// Assembles and publishes the full serving stack for one pipeline product:
@@ -264,46 +288,25 @@ pub fn build_serving(setup: &GiantSetup, output: &GiantOutput) -> ServingBuild {
     let tfidf = Arc::new(tfidf);
     let duet = Arc::new(train_duet(output, &encoder, &vocab));
 
-    // Tagging metadata from the mining product.
-    let mut concept_contexts: HashMap<NodeId, Vec<String>> = HashMap::new();
-    for m in output.mined_of_kind(NodeKind::Concept) {
-        let mut ctx = m.tokens.clone();
-        for t in &m.top_titles {
-            ctx.extend(giant_text::tokenize(t));
-        }
-        concept_contexts.insert(m.node, ctx);
-    }
-    let event_phrases: Vec<(NodeId, Vec<String>)> = output
-        .mined
-        .iter()
-        .filter(|m| matches!(m.kind, NodeKind::Event | NodeKind::Topic))
-        .map(|m| (m.node, m.tokens.clone()))
-        .collect();
-    // Noise concepts come from single odd clusters and carry little click
-    // mass; half the median support separates them from the real ones
-    // without assuming any ground truth.
-    let mut supports: Vec<f64> = output
-        .mined_of_kind(NodeKind::Concept)
-        .iter()
-        .map(|m| m.support)
-        .collect();
-    supports.sort_by(|a, b| a.total_cmp(b));
-    let min_support = supports.get(supports.len() / 2).copied().unwrap_or(0.0) * 0.5;
+    // Per-version serving metadata — the same derivation the incremental
+    // driver refreshes on every publish (`giant_apps::incremental`), so
+    // batch and incremental serving can never drift apart.
+    let meta = giant_apps::incremental::mined_metadata(output);
 
     let resources = ServeResources {
         tagging: TagResources {
-            concept_contexts,
-            event_phrases,
+            concept_contexts: meta.concept_contexts,
+            event_phrases: meta.event_phrases,
             tfidf: Arc::clone(&tfidf),
             duet,
             encoder: Arc::clone(&encoder),
             vocab: Arc::clone(&vocab),
             config: TaggingConfig {
-                min_concept_support: min_support,
+                min_concept_support: meta.min_concept_support,
                 ..TaggingConfig::default()
             },
         },
-        stories: story_events(output),
+        stories: meta.stories,
         story_config: StoryTreeConfig::default(),
         match_aliases: false,
         max_results: 5,

@@ -22,6 +22,7 @@
 //! | [`mining`] | QTIG, GCTSP-Net, ATSP decoding, the full pipeline (`giant-core`) |
 //! | [`baselines`] | TextRank, AutoPhrase, Match/Align, LSTM-CRF, TextSummary + metrics |
 //! | [`apps`] | story trees, document tagging, Duet, query understanding, feed simulator |
+//! | [`incr`] | incremental ontology maintenance: delta batches, dirty-cluster re-mining, ontology deltas |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use giant_baselines as baselines;
 pub use giant_core as mining;
 pub use giant_data as data;
 pub use giant_graph as graph;
+pub use giant_incr as incr;
 pub use giant_nn as nn;
 pub use giant_ontology as ontology;
 pub use giant_text as text;

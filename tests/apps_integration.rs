@@ -223,3 +223,67 @@ fn service_versioning_over_pipeline_worlds() {
     let b = format!("{:?}", f.serving.service.serve(&ServeRequest::Conceptualize { query: q }));
     assert_eq!(a, b);
 }
+
+#[test]
+fn incremental_driver_streams_batches_into_fresh_versions() {
+    // The end-to-end "log stream in, fresh versioned answers out" loop:
+    // bootstrap the driver from the first half of a tiny world's corpus
+    // stream, then ingest the remaining batches and watch versions, delta
+    // stats and history depth behave.
+    use giant::apps::incremental::IncrementalDriver;
+    use giant::incr::IncrementalState;
+
+    let f = fixture();
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let stream = setup.corpus_stream();
+    let all_batches = stream.split(&[0.55, 0.8]);
+    let mut batches = all_batches.clone().into_iter();
+    let state = IncrementalState::new(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        models,
+        GiantConfig::default(),
+    );
+    // Base resources: borrow the fixture's trained serving models — the
+    // driver refreshes all mined metadata per publish anyway.
+    let base = (*f.serving.service.resources()).clone();
+    let (mut driver, boot) =
+        IncrementalDriver::bootstrap(state, base, batches.next().unwrap(), 2).unwrap();
+    assert_eq!(boot.version, 1);
+    assert!(boot.delta.added > 0, "bootstrap adds every node");
+    assert_eq!(boot.delta.removed, 0);
+
+    let service = std::sync::Arc::clone(driver.service());
+    let before = service.version();
+    for batch in batches {
+        let report = driver.ingest(batch).unwrap();
+        assert_eq!(report.version, service.version());
+        assert!(report.retained_frames <= 2, "history must stay bounded");
+        let nodes = driver.state().ontology().n_nodes();
+        assert!(nodes > 0, "live ontology must never be empty mid-stream");
+    }
+    assert_eq!(service.version(), before + 2);
+
+    // The final published frame answers from the full-corpus ontology:
+    // byte-identical to a batch rebuild over the union of the batches (the
+    // split may defer clicks across batches, so the union — not the
+    // original stream order — is the reference).
+    let union = giant::incr::union_input(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        &all_batches,
+    );
+    let (models2, _) = setup.train_models(&ModelTrainConfig::small());
+    let full = giant_core::run_pipeline(&union, &models2, &GiantConfig::default());
+    assert_eq!(
+        giant::ontology::io::dump(&full.ontology),
+        giant::ontology::io::dump(driver.state().ontology()),
+        "driver's live ontology must converge to the batch rebuild"
+    );
+    // And the service serves from it.
+    let r = service.serve(&ServeRequest::Conceptualize {
+        query: "best phones".into(),
+    });
+    assert!(r.is_ok());
+}

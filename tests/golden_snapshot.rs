@@ -1,10 +1,13 @@
 //! Golden-snapshot regression: the seed-world pipeline must reproduce the
 //! checked-in ontology dump **byte for byte**.
 //!
-//! `tests/golden/ontology_seed42.txt` was serialised from the sequential
-//! pre-refactor pipeline (tiny world, small models, default config, seed 42)
-//! and is the proof that the plan→execute→merge refactor is output-neutral:
-//! any behavioural drift — reordered nodes, changed supports, lost edges —
+//! `tests/golden/ontology_seed42.txt` pins the exact output of the pipeline
+//! on the tiny world (small models, default config, seed 42). It was first
+//! serialised from the sequential pre-refactor pipeline to prove the
+//! plan→execute→merge refactor output-neutral, and regenerated when the
+//! walk kernel gained its `min_mass` frontier prune (an intentional,
+//! reviewed semantic change — see `giant_graph::WalkConfig::min_mass`).
+//! Any behavioural drift — reordered nodes, changed supports, lost edges —
 //! shows up here as a line-level diff, not as a statistics-level blur.
 //!
 //! To regenerate after an *intentional* output change:
