@@ -86,11 +86,12 @@ impl Default for DuetConfig {
     }
 }
 
-/// The trained matcher.
+/// The trained matcher. (Layers are `pub(crate)` so `crate::ckpt` can
+/// persist and restore the trained weights.)
 #[derive(Debug)]
 pub struct DuetMatcher {
-    l1: Linear,
-    l2: Linear,
+    pub(crate) l1: Linear,
+    pub(crate) l2: Linear,
 }
 
 impl DuetMatcher {

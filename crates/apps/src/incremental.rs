@@ -23,9 +23,14 @@ use crate::serving::{OntologyService, ServeResources};
 use crate::storytree::StoryEvent;
 use crate::tagging::{TagResources, TaggingConfig};
 use giant_core::pipeline::GiantOutput;
-use giant_incr::{DeltaBatch, FoldError, IncrementalState};
+use giant_core::train::GiantModels;
+use giant_incr::{Checkpoint, DeltaBatch, FoldError, IncrementalState};
+use giant_ontology::binio::{FileError, SectionFile};
 use giant_ontology::{DeltaStats, NodeId, NodeKind, OntologySnapshot};
+use giant_text::Annotator;
 use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -132,6 +137,36 @@ pub struct IngestReport {
     pub publish_secs: f64,
     /// Frames retained after pruning.
     pub retained_frames: usize,
+    /// Checkpoint-on-publish wall clock, when a checkpoint path is set.
+    pub checkpoint_secs: Option<f64>,
+}
+
+/// [`IncrementalDriver::ingest`] errors: the fold rejected the batch, or
+/// the post-publish checkpoint write failed (the publish itself
+/// succeeded — readers are already serving the new version).
+#[derive(Debug)]
+pub enum IngestError {
+    /// Batch validation failed; the state and service are untouched.
+    Fold(FoldError),
+    /// The fold published, but checkpoint-on-publish could not write.
+    Checkpoint(std::io::Error),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Fold(e) => write!(f, "fold rejected: {e}"),
+            IngestError::Checkpoint(e) => write!(f, "checkpoint-on-publish failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<FoldError> for IngestError {
+    fn from(e: FoldError) -> Self {
+        IngestError::Fold(e)
+    }
 }
 
 /// The end-to-end incremental serving loop. See the [module docs](self).
@@ -139,6 +174,7 @@ pub struct IncrementalDriver {
     state: IncrementalState,
     service: Arc<OntologyService>,
     keep_frames: usize,
+    checkpoint_path: Option<PathBuf>,
 }
 
 impl IncrementalDriver {
@@ -166,6 +202,7 @@ impl IncrementalDriver {
             state,
             service,
             keep_frames: keep_frames.max(1),
+            checkpoint_path: None,
         };
         let ingest = IngestReport {
             version: driver.service.version(),
@@ -175,12 +212,24 @@ impl IncrementalDriver {
             fold_secs: report.secs,
             publish_secs,
             retained_frames: driver.service.n_retained(),
+            checkpoint_secs: None,
         };
         Ok((driver, ingest))
     }
 
-    /// Folds one batch and publishes the resulting ontology version.
-    pub fn ingest(&mut self, batch: DeltaBatch) -> Result<IngestReport, FoldError> {
+    /// Enables checkpoint-on-publish: after every successful
+    /// [`IncrementalDriver::ingest`] publish, the driver writes a full
+    /// checkpoint (folding state + serving frame) to `path`, atomically
+    /// replacing the previous one — so a crash at any point leaves either
+    /// the old or the new checkpoint, never a torn file. `None` disables.
+    pub fn set_checkpoint_path(&mut self, path: Option<PathBuf>) {
+        self.checkpoint_path = path;
+    }
+
+    /// Folds one batch and publishes the resulting ontology version; with
+    /// a checkpoint path set, persists the post-publish state before
+    /// returning.
+    pub fn ingest(&mut self, batch: DeltaBatch) -> Result<IngestReport, IngestError> {
         let report = self.state.fold(batch)?;
         let t = Instant::now();
         let resources = refresh_resources(&self.service.resources(), &report.output);
@@ -188,6 +237,14 @@ impl IncrementalDriver {
         let version = self.service.publish(snapshot, resources);
         let retained_frames = self.service.retain_last(self.keep_frames);
         let publish_secs = t.elapsed().as_secs_f64();
+        let checkpoint_secs = match self.checkpoint_path.clone() {
+            Some(path) => {
+                let t = Instant::now();
+                self.checkpoint(&path).map_err(IngestError::Checkpoint)?;
+                Some(t.elapsed().as_secs_f64())
+            }
+            None => None,
+        };
         Ok(IngestReport {
             version,
             delta: report.delta.stats(),
@@ -196,6 +253,48 @@ impl IncrementalDriver {
             fold_secs: report.secs,
             publish_secs,
             retained_frames,
+            checkpoint_secs,
+        })
+    }
+
+    /// Writes one file carrying both halves of the loop: the folding
+    /// state's `incr.*` sections (accumulated corpus, warm caches, live
+    /// ontology) and the serving frame's `serve.*` sections (frozen
+    /// snapshot + model resources + version). Serialises the state by
+    /// reference — no transient deep clone, so checkpoint-on-publish adds
+    /// write time but not peak memory to an ingest.
+    pub fn checkpoint(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = SectionFile::new();
+        Checkpoint::write_state_sections(&self.state, &mut file);
+        self.service.checkpoint_sections(&mut file);
+        file.write_file(path)
+    }
+
+    /// Restore-on-start: rebuilds a driver from a
+    /// [`IncrementalDriver::checkpoint`] file. The host supplies the same
+    /// annotator and trained models it bootstrapped with (they are not
+    /// checkpointed — see `giant_incr::ckpt`); the serving frame resumes
+    /// at its checkpointed version and answers immediately, and the next
+    /// [`IncrementalDriver::ingest`] folds on warm caches.
+    ///
+    /// Checkpoint-on-publish is **re-armed to the same `path`** —
+    /// durability must survive the restart it exists for, so a restored
+    /// driver keeps persisting every ingest unless the host explicitly
+    /// disables it with [`IncrementalDriver::set_checkpoint_path`]`(None)`.
+    pub fn restore(
+        path: &Path,
+        annotator: Annotator,
+        models: GiantModels,
+        keep_frames: usize,
+    ) -> Result<Self, FileError> {
+        let file = SectionFile::read_file(path)?;
+        let state = Checkpoint::from_sections(&file)?.restore(annotator, models);
+        let service = OntologyService::restore_sections(&file)?;
+        Ok(Self {
+            state,
+            service: Arc::new(service),
+            keep_frames: keep_frames.max(1),
+            checkpoint_path: Some(path.to_path_buf()),
         })
     }
 

@@ -15,6 +15,7 @@
 //!   snapshots behind one typed request/response API, every app above
 //!   reachable through `ServeRequest`.
 
+pub(crate) mod ckpt;
 pub mod duet;
 pub mod incremental;
 pub mod query;
@@ -24,7 +25,9 @@ pub mod storytree;
 pub mod tagging;
 
 pub use duet::{duet_features, DuetConfig, DuetMatcher, DUET_FEATURE_DIM};
-pub use incremental::{mined_metadata, refresh_resources, IncrementalDriver, IngestReport, MinedMetadata};
+pub use incremental::{
+    mined_metadata, refresh_resources, IncrementalDriver, IngestError, IngestReport, MinedMetadata,
+};
 pub use query::{conceptualize, recommend as recommend_query, QueryUnderstanding, Recommendations};
 pub use recommend::{
     simulate_by_kind,

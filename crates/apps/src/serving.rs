@@ -42,8 +42,10 @@ use crate::storytree::{
     build_story_tree, retrieve_related, EventSimilarity, StoryEvent, StoryTree, StoryTreeConfig,
 };
 use crate::tagging::{DocTags, DocumentTagger, TagResources};
+use giant_ontology::binio::{self, BinError, FileError, SectionFile, Writer};
 use giant_ontology::{NodeId, OntologySnapshot};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -224,6 +226,73 @@ impl OntologyService {
         };
         svc.publish(snapshot, resources);
         svc
+    }
+
+    /// Builds a service whose live frame carries an explicit version —
+    /// checkpoint restore resumes the version sequence instead of
+    /// restarting it at 1.
+    fn with_frame(snapshot: OntologySnapshot, resources: ServeResources, version: u64) -> Self {
+        let frame = Arc::new(ServingFrame {
+            version,
+            snapshot: Arc::new(snapshot),
+            resources: Arc::new(resources),
+        });
+        let ptr = Arc::into_raw(Arc::clone(&frame)) as *mut ServingFrame;
+        Self {
+            current: AtomicPtr::new(ptr),
+            readers_acquiring: AtomicUsize::new(0),
+            history: Mutex::new(vec![frame]),
+        }
+    }
+
+    /// Writes the live frame — version, frozen snapshot, full serving
+    /// resources (trained models included) — as `serve.*` sections, so a
+    /// restored process serves byte-identical answers without re-freezing
+    /// or retraining. In-flight readers and publishers are unaffected
+    /// (this reads one frame through the same lock-free acquire they use).
+    pub fn checkpoint_sections(&self, file: &mut SectionFile) {
+        let frame = self.frame();
+        let mut w = Writer::new();
+        w.u64(frame.version);
+        file.add_writer("serve.meta", w);
+        let mut w = Writer::new();
+        binio::write_snapshot(&frame.snapshot, &mut w);
+        file.add_writer("serve.snapshot", w);
+        let mut w = Writer::new();
+        crate::ckpt::write_resources(&mut w, &frame.resources);
+        file.add_writer("serve.resources", w);
+    }
+
+    /// Checkpoints the live frame to `path` (atomic write; magic, format
+    /// version and per-section checksums per `giant_ontology::binio`).
+    pub fn checkpoint(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = SectionFile::new();
+        self.checkpoint_sections(&mut file);
+        file.write_file(path)
+    }
+
+    /// Rebuilds a service from `serve.*` sections: the snapshot is read
+    /// back directly (no re-freeze), the resources carry their trained
+    /// models, and the restored service resumes at the checkpointed
+    /// version.
+    pub fn restore_sections(file: &SectionFile) -> Result<Self, BinError> {
+        let mut r = file.section("serve.meta")?;
+        let version = r.u64()?;
+        r.expect_exhausted()?;
+        let mut r = file.section("serve.snapshot")?;
+        let snapshot = binio::read_snapshot(&mut r)?;
+        r.expect_exhausted()?;
+        let mut r = file.section("serve.resources")?;
+        let resources = crate::ckpt::read_resources(&mut r)?;
+        r.expect_exhausted()?;
+        Ok(Self::with_frame(snapshot, resources, version))
+    }
+
+    /// Restores a service from a checkpoint written by
+    /// [`OntologyService::checkpoint`].
+    pub fn restore(path: &Path) -> Result<Self, FileError> {
+        let file = SectionFile::read_file(path)?;
+        Ok(Self::restore_sections(&file)?)
     }
 
     /// Atomically replaces the live frame with a freshly built one and
@@ -648,6 +717,121 @@ mod tests {
             assert!(r.join().unwrap() > 0, "reader starved");
         }
         assert_eq!(svc.version(), 11);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_every_request_kind() {
+        let (svc, ev) = service();
+        // Advance the version so restore has something nontrivial to keep.
+        let snap = (*svc.snapshot()).clone();
+        let res = (*svc.resources()).clone();
+        svc.publish(snap, res);
+        assert_eq!(svc.version(), 2);
+
+        let dir = std::env::temp_dir().join("giant-serving-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("service.ckpt");
+        svc.checkpoint(&path).unwrap();
+        let restored = OntologyService::restore(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(restored.version(), 2, "restore resumes the version sequence");
+        let requests = vec![
+            ServeRequest::Conceptualize { query: "best electric cars".into() },
+            ServeRequest::Recommend { query: "veltro x9 review".into() },
+            ServeRequest::TagDocument {
+                title: "veltro x9 wins award".into(),
+                sentences: vec!["a great day for electric cars".into()],
+            },
+            ServeRequest::StoryTree { seed: ev },
+            ServeRequest::StoryTree { seed: NodeId(999) },
+        ];
+        for req in &requests {
+            let a = format!("{:?}", svc.serve(req));
+            let b = format!("{:?}", restored.serve(req));
+            assert_eq!(a, b, "restored frame diverged on {req:?}");
+        }
+        // A restored service publishes onward normally.
+        let snap = (*restored.snapshot()).clone();
+        let res = (*restored.resources()).clone();
+        assert_eq!(restored.publish(snap, res), 3);
+    }
+
+    #[test]
+    fn restore_rejects_corrupted_checkpoints() {
+        let (svc, _) = service();
+        let dir = std::env::temp_dir().join("giant-serving-ckpt-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("service.ckpt");
+        svc.checkpoint(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x41;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            OntologyService::restore(&path).is_err(),
+            "a flipped byte must fail restore, not serve corrupted answers"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The `retain_last` / `publish` interleaving under load: reader
+    /// threads hold in-flight frames across publishes and aggressive
+    /// pruning, and every answer from a held frame must equal the answer
+    /// that same frame gave before the prune — i.e. no in-flight reader
+    /// ever observes a freed (or swapped-out) frame.
+    #[test]
+    fn in_flight_frames_survive_publish_and_retain_last() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (svc, _) = service();
+        let svc = Arc::new(svc);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let req = ServeRequest::Conceptualize { query: "electric cars".into() };
+                let mut held = 0u64;
+                loop {
+                    // Acquire a frame and pin its identity *before* the
+                    // writer gets a chance to prune it away.
+                    let frame = svc.frame();
+                    let version = frame.version;
+                    let before = format!("{:?}", frame.serve(&req));
+                    // Let publishes and retain_last(1) land in between.
+                    std::thread::yield_now();
+                    // The held frame must be fully intact: same version,
+                    // byte-identical answer.
+                    assert_eq!(frame.version, version, "frame version mutated under reader");
+                    let after = format!("{:?}", frame.serve(&req));
+                    assert_eq!(before, after, "held frame changed answers mid-flight");
+                    held += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                held
+            }));
+        }
+        for _ in 0..50 {
+            let snap = (*svc.snapshot()).clone();
+            let res = (*svc.resources()).clone();
+            svc.publish(snap, res);
+            // Aggressive pruning while readers are mid-flight: must never
+            // free a frame a reader still holds, and must always keep the
+            // live one.
+            let retained = svc.retain_last(1);
+            assert!(retained >= 1);
+            assert!(svc.version() >= 2);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader starved");
+        }
+        assert_eq!(svc.version(), 51);
+        // Quiescent state: pruning converges to exactly the live frame.
+        assert!(svc.retain_last(1) >= 1);
     }
 
     #[test]

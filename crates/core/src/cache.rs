@@ -68,11 +68,11 @@ impl CacheStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct MineFingerprint {
     /// Cluster query ids in kept order.
-    queries: Vec<u32>,
+    pub(crate) queries: Vec<u32>,
     /// Cluster doc ids in kept order.
-    docs: Vec<u32>,
+    pub(crate) docs: Vec<u32>,
     /// The seed's total click mass (the candidate's support), bit-exact.
-    seed_total: u64,
+    pub(crate) seed_total: u64,
 }
 
 impl MineFingerprint {
@@ -134,7 +134,7 @@ pub(crate) struct MineEntry {
 /// so extending these structures reproduces bit-for-bit what a fresh
 /// whole-corpus pass builds — the sync is pure bookkeeping, never
 /// approximation.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct TextCache {
     /// Running TF-IDF over titles, fed in doc order.
     pub(crate) tfidf: TfIdf,
@@ -146,7 +146,7 @@ pub(crate) struct TextCache {
     /// `input.entities`) whose token sequence occurs in the sentence.
     pub(crate) entity_presence: Vec<Vec<Vec<u32>>>,
     /// Entity count the presence lists are complete up to.
-    entities_seen: usize,
+    pub(crate) entities_seen: usize,
 }
 
 impl TextCache {
@@ -205,7 +205,7 @@ impl TextCache {
 /// checked: when the dictionary grows, only the appended tail is scanned —
 /// the first match among new entities *is* the global first match, because
 /// every earlier entity already missed.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct EntityLookupCache {
     pub(crate) map: HashMap<String, (Option<u32>, usize)>,
 }
@@ -247,7 +247,7 @@ impl EntityLookupCache {
 
 /// The caches a long-lived incremental pipeline carries across runs. See
 /// the [module docs](self) for the validity contract.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PipelineCaches {
     /// Cluster-extraction cache (walks), footprint-invalidated.
     pub(crate) plan: PlanCache,

@@ -22,6 +22,7 @@
 pub mod align;
 pub mod bootstrap;
 pub mod cache;
+pub mod ckpt;
 pub mod config;
 pub mod decode;
 pub mod derive;

@@ -316,24 +316,24 @@ fn doc_category_chain(input: &PipelineInput, leaf: usize) -> Vec<usize> {
 #[derive(Debug, Clone)]
 pub(crate) struct ClusterCandidate {
     /// Decoded phrase tokens.
-    tokens: Vec<String>,
+    pub(crate) tokens: Vec<String>,
     /// True when the phrase contains a verb (event, not concept).
-    is_event: bool,
+    pub(crate) is_event: bool,
     /// Click support of the seed query.
-    support: f64,
+    pub(crate) support: f64,
     /// All cluster query texts (QTIG inputs, seed first).
-    queries: Vec<String>,
+    pub(crate) queries: Vec<String>,
     /// Top clicked titles (context-enriched representation).
-    top_titles: Vec<String>,
+    pub(crate) top_titles: Vec<String>,
     /// Clicked doc ids.
-    clicked: Vec<usize>,
+    pub(crate) clicked: Vec<usize>,
     /// Earliest clicked-document day.
-    day: Option<u32>,
+    pub(crate) day: Option<u32>,
     /// Context-enriched representation (phrase tokens + tokenized top
     /// titles), precomputed once at mining time so the merge phase never
     /// re-tokenizes; bit-equal to `Normalizer::context_repr` on the same
     /// inputs.
-    context: Vec<String>,
+    pub(crate) context: Vec<String>,
 }
 
 /// The expensive, **pure** per-cluster work of Algorithm 1: QTIG build,

@@ -204,6 +204,43 @@ impl ClickGraph {
         }
     }
 
+    /// Rebuilds a click graph from its serialized parts (checkpoint
+    /// restore): query strings in id order, per-query and per-doc edge
+    /// lists exactly as stored, and the historical running click total.
+    ///
+    /// The cached per-node totals are recomputed as in-order sums over the
+    /// supplied edge lists — which is bit-exact: [`ClickGraph::add_clicks`]
+    /// maintains each total as precisely that in-order sum (appends extend
+    /// the sum on the right; interior merges trigger a full in-order
+    /// resum), so after any mutation history the stored total *is* the
+    /// in-order sum of the final edge list. `total_clicks` is the one
+    /// value whose accumulation order is the (unrecoverable) global
+    /// arrival order, so it is carried through verbatim.
+    pub fn from_parts(
+        queries: Vec<String>,
+        q_edges: Vec<Vec<(DocId, f64)>>,
+        d_edges: Vec<Vec<(QueryId, f64)>>,
+        total_clicks: f64,
+    ) -> Self {
+        assert_eq!(queries.len(), q_edges.len(), "one edge row per query");
+        let query_index = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.clone(), QueryId(i as u32)))
+            .collect();
+        let q_totals = q_edges.iter().map(|es| es.iter().map(|(_, c)| c).sum()).collect();
+        let d_totals = d_edges.iter().map(|es| es.iter().map(|(_, c)| c).sum()).collect();
+        Self {
+            queries,
+            query_index,
+            q_edges,
+            d_edges,
+            q_totals,
+            d_totals,
+            total_clicks,
+        }
+    }
+
     /// Top-`k` documents of `q` by click count (ties broken by doc id for
     /// determinism). Used for context-enriched phrase representations.
     pub fn top_docs(&self, q: QueryId, k: usize) -> Vec<DocId> {

@@ -252,6 +252,41 @@ impl PlanCache {
         self.entries.is_empty()
     }
 
+    /// Every cached extraction as `(seed, cluster, footprint)`, in
+    /// ascending seed order — the checkpoint serialisation view. Sorted so
+    /// the same cache state always serialises to the same bytes.
+    pub fn entries(&self) -> Vec<(u32, &QueryDocCluster, &WalkFootprint)> {
+        let mut out: Vec<(u32, &QueryDocCluster, &WalkFootprint)> = self
+            .entries
+            .iter()
+            .map(|(&seed, e)| (seed, &e.cluster, &e.footprint))
+            .collect();
+        out.sort_by_key(|(seed, _, _)| *seed);
+        out
+    }
+
+    /// Rebuilds a cache from serialized entries plus the last pass's
+    /// reuse counters (checkpoint restore). An entry restored here is
+    /// trusted exactly as far as a surviving in-memory entry would be: the
+    /// caller must only feed back entries it previously obtained from
+    /// [`PlanCache::entries`] on the same (append-only) graph history.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (u32, QueryDocCluster, WalkFootprint)>,
+        reused: usize,
+        walked: usize,
+    ) -> Self {
+        Self {
+            entries: entries
+                .into_iter()
+                .map(|(seed, cluster, footprint)| {
+                    (seed, PlanCacheEntry { cluster, footprint })
+                })
+                .collect(),
+            reused,
+            walked,
+        }
+    }
+
     /// Evicts every entry whose footprint reads a dirty node; returns how
     /// many were evicted. Must be called with the batch's dirty set after
     /// each round of graph edits and before the next planning pass.

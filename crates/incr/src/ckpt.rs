@@ -1,0 +1,532 @@
+//! Durable binary checkpoints of the long-lived [`IncrementalState`]:
+//! capture → save → (process dies) → load → restore → keep folding, with
+//! the restored state converging **byte-identically** to the never-
+//! restarted one over the same delta stream.
+//!
+//! ## What is (and is not) checkpointed
+//!
+//! A [`Checkpoint`] carries everything that *accumulates* across folds:
+//!
+//! * the accumulated corpus — click graph (edge lists and the historical
+//!   running total, bit-exact), documents, category tree, sessions,
+//!   entity dictionary;
+//! * the live (delta-applied) [`Ontology`] and the fold counter;
+//! * the warm [`giant_core::cache::PipelineCaches`] — cached cluster
+//!   walks with their footprints, mining memos with fingerprints, the
+//!   append-only text/TF-IDF cache, role-inference and entity-lookup
+//!   memos — so the restored process resumes delta folding without
+//!   re-mining clean clusters;
+//! * the [`GiantConfig`] the folds ran under.
+//!
+//! **Not** checkpointed: the trained [`GiantModels`] and the
+//! [`Annotator`]. Both are immutable across folds (the cache soundness
+//! contract already depends on that) and owned by the host's model store —
+//! they are supplied again at [`Checkpoint::restore`] exactly as they were
+//! at [`IncrementalState::new`]. Supplying *different* models than the
+//! checkpoint was captured under voids the convergence guarantee the same
+//! way swapping models under a live state would.
+//!
+//! Framing, checksums and bit-exactness come from
+//! [`giant_ontology::binio`]; see that module for the container layout.
+
+use crate::state::IncrementalState;
+use giant_core::cache::PipelineCaches;
+use giant_core::pipeline::{CategoryRecord, DocRecord, PipelineInput};
+use giant_core::train::GiantModels;
+use giant_core::GiantConfig;
+use giant_graph::{ClickGraph, ClusterConfig, DocId, QueryId, WalkConfig};
+use giant_ontology::binio::{self, BinError, FileError, Reader, SectionFile, Writer};
+use giant_ontology::Ontology;
+use giant_text::{Annotator, NerTag};
+use std::path::Path;
+
+fn write_ner(w: &mut Writer, tag: NerTag) {
+    w.u8(tag.index() as u8);
+}
+
+fn read_ner(r: &mut Reader<'_>) -> Result<NerTag, BinError> {
+    let at = r.position();
+    let i = r.u8()? as usize;
+    NerTag::ALL.get(i).copied().ok_or_else(|| BinError {
+        at,
+        message: format!("bad NER tag {i}"),
+    })
+}
+
+fn write_config(w: &mut Writer, cfg: &GiantConfig) {
+    w.f64(cfg.cluster.delta_v);
+    w.f64(cfg.cluster.walk.restart);
+    w.usize(cfg.cluster.walk.max_iter);
+    w.f64(cfg.cluster.walk.tol);
+    w.f64(cfg.cluster.walk.min_mass);
+    w.usize(cfg.cluster.max_queries);
+    w.usize(cfg.cluster.max_docs);
+    w.f64(cfg.cluster.min_overlap);
+    w.f64(cfg.delta_m);
+    w.f64(cfg.delta_g);
+    w.usize(cfg.subtitle_min_tokens);
+    w.usize(cfg.subtitle_max_tokens);
+    w.usize(cfg.csd_min_children);
+    w.usize(cfg.cpd_min_events);
+    w.f64(cfg.topic_min_support);
+    w.f64(cfg.correlate_threshold_percentile);
+    w.u64(cfg.seed);
+    w.usize(cfg.threads);
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<GiantConfig, BinError> {
+    Ok(GiantConfig {
+        cluster: ClusterConfig {
+            delta_v: r.f64()?,
+            walk: WalkConfig {
+                restart: r.f64()?,
+                max_iter: r.usize()?,
+                tol: r.f64()?,
+                min_mass: r.f64()?,
+            },
+            max_queries: r.usize()?,
+            max_docs: r.usize()?,
+            min_overlap: r.f64()?,
+        },
+        delta_m: r.f64()?,
+        delta_g: r.f64()?,
+        subtitle_min_tokens: r.usize()?,
+        subtitle_max_tokens: r.usize()?,
+        csd_min_children: r.usize()?,
+        cpd_min_events: r.usize()?,
+        topic_min_support: r.f64()?,
+        correlate_threshold_percentile: r.f64()?,
+        seed: r.u64()?,
+        threads: r.usize()?,
+    })
+}
+
+fn write_click_graph(w: &mut Writer, g: &ClickGraph) {
+    w.u32(g.n_queries() as u32);
+    for q in g.query_ids() {
+        w.str(g.query_text(q));
+    }
+    for q in g.query_ids() {
+        let edges = g.docs_of(q);
+        w.u32(edges.len() as u32);
+        for &(d, c) in edges {
+            w.u32(d.0);
+            w.f64(c);
+        }
+    }
+    w.u32(g.n_docs() as u32);
+    for d in 0..g.n_docs() {
+        let edges = g.queries_of(DocId(d as u32));
+        w.u32(edges.len() as u32);
+        for &(q, c) in edges {
+            w.u32(q.0);
+            w.f64(c);
+        }
+    }
+    w.f64(g.total_clicks());
+}
+
+fn read_click_graph(r: &mut Reader<'_>) -> Result<ClickGraph, BinError> {
+    let n_queries = r.len(1, "click graph queries")?;
+    let mut queries = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        queries.push(r.str()?);
+    }
+    let mut q_edges = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        let m = r.len(12, "query edges")?;
+        let mut row = Vec::with_capacity(m);
+        for _ in 0..m {
+            let d = r.u32()?;
+            let c = r.f64()?;
+            row.push((DocId(d), c));
+        }
+        q_edges.push(row);
+    }
+    let n_docs = r.len(4, "click graph docs")?;
+    let mut d_edges = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        let m = r.len(12, "doc edges")?;
+        let mut row = Vec::with_capacity(m);
+        for _ in 0..m {
+            let q = r.u32()?;
+            if q as usize >= n_queries {
+                return Err(BinError {
+                    at: r.position(),
+                    message: format!("doc edge references query {q} out of range"),
+                });
+            }
+            let c = r.f64()?;
+            row.push((QueryId(q), c));
+        }
+        d_edges.push(row);
+    }
+    let total_clicks = r.f64()?;
+    Ok(ClickGraph::from_parts(queries, q_edges, d_edges, total_clicks))
+}
+
+fn write_docs(w: &mut Writer, docs: &[DocRecord]) {
+    w.u32(docs.len() as u32);
+    for d in docs {
+        w.usize(d.id);
+        w.str(&d.title);
+        w.str_slice(&d.sentences);
+        w.usize(d.leaf_category);
+        w.u32(d.day);
+    }
+}
+
+fn read_docs(r: &mut Reader<'_>) -> Result<Vec<DocRecord>, BinError> {
+    let n = r.len(25, "docs")?;
+    let mut docs = Vec::with_capacity(n);
+    for _ in 0..n {
+        docs.push(DocRecord {
+            id: r.usize()?,
+            title: r.str()?,
+            sentences: r.str_vec()?,
+            leaf_category: r.usize()?,
+            day: r.u32()?,
+        });
+    }
+    Ok(docs)
+}
+
+fn write_categories(w: &mut Writer, cats: &[CategoryRecord]) {
+    w.u32(cats.len() as u32);
+    for c in cats {
+        w.usize(c.id);
+        w.str_slice(&c.tokens);
+        w.u8(c.level);
+        match c.parent {
+            Some(p) => {
+                w.bool(true);
+                w.usize(p);
+            }
+            None => w.bool(false),
+        }
+    }
+}
+
+fn read_categories(r: &mut Reader<'_>) -> Result<Vec<CategoryRecord>, BinError> {
+    let n = r.len(14, "categories")?;
+    let mut cats = Vec::with_capacity(n);
+    for _ in 0..n {
+        cats.push(CategoryRecord {
+            id: r.usize()?,
+            tokens: r.str_vec()?,
+            level: r.u8()?,
+            parent: if r.bool()? { Some(r.usize()?) } else { None },
+        });
+    }
+    Ok(cats)
+}
+
+/// The shared section writer behind [`Checkpoint::add_sections`] and
+/// [`Checkpoint::write_state_sections`]: one byte-format definition,
+/// whether serialising an owned image or a live state by reference.
+#[allow(clippy::too_many_arguments)]
+fn write_sections(
+    file: &mut SectionFile,
+    cfg: &GiantConfig,
+    folds: u64,
+    click_graph: &ClickGraph,
+    docs: &[DocRecord],
+    categories: &[CategoryRecord],
+    sessions: &[Vec<String>],
+    entities: &[(Vec<String>, NerTag)],
+    caches: &PipelineCaches,
+    ontology: &Ontology,
+) {
+    let mut w = Writer::new();
+    write_config(&mut w, cfg);
+    w.u64(folds);
+    file.add_writer("incr.meta", w);
+
+    let mut w = Writer::new();
+    write_click_graph(&mut w, click_graph);
+    write_docs(&mut w, docs);
+    write_categories(&mut w, categories);
+    w.u32(sessions.len() as u32);
+    for s in sessions {
+        w.str_slice(s);
+    }
+    w.u32(entities.len() as u32);
+    for (tokens, ner) in entities {
+        w.str_slice(tokens);
+        write_ner(&mut w, *ner);
+    }
+    file.add_writer("incr.input", w);
+
+    let mut w = Writer::new();
+    caches.write_checkpoint(&mut w);
+    file.add_writer("incr.caches", w);
+
+    let mut w = Writer::new();
+    binio::write_ontology(ontology, &mut w);
+    file.add_writer("incr.ontology", w);
+}
+
+/// A captured, durable image of one [`IncrementalState`] (minus the
+/// trained models and annotator — see the [module docs](self) for the
+/// is/isn't-checkpointed contract).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    cfg: GiantConfig,
+    folds: u64,
+    click_graph: ClickGraph,
+    docs: Vec<DocRecord>,
+    categories: Vec<CategoryRecord>,
+    sessions: Vec<Vec<String>>,
+    entities: Vec<(Vec<String>, NerTag)>,
+    caches: PipelineCaches,
+    ontology: Ontology,
+}
+
+impl Checkpoint {
+    /// Captures the state's accumulated input, warm caches, live ontology
+    /// and configuration. The state is untouched (capture clones).
+    pub fn capture(state: &IncrementalState) -> Self {
+        let input = state.input();
+        Self {
+            cfg: *state.cfg(),
+            folds: state.folds(),
+            click_graph: input.click_graph.clone(),
+            docs: input.docs.clone(),
+            categories: input.categories.clone(),
+            sessions: input.sessions.clone(),
+            entities: input.entities.clone(),
+            caches: state.caches().clone(),
+            ontology: state.ontology().clone(),
+        }
+    }
+
+    /// Completed folds at capture time.
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// The live ontology at capture time.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The configuration the captured folds ran under.
+    pub fn cfg(&self) -> &GiantConfig {
+        &self.cfg
+    }
+
+    /// Reassembles a live state: the host supplies the same annotator and
+    /// trained models it folded under before the restart.
+    pub fn restore(self, annotator: Annotator, models: GiantModels) -> IncrementalState {
+        let input = PipelineInput {
+            click_graph: self.click_graph,
+            docs: self.docs,
+            categories: self.categories,
+            sessions: self.sessions,
+            entities: self.entities,
+            annotator,
+        };
+        IncrementalState::from_parts(
+            input,
+            models,
+            self.cfg,
+            self.caches,
+            self.ontology,
+            self.folds,
+        )
+    }
+
+    /// Adds this checkpoint's sections (all `incr.*`) to a container —
+    /// composable with other sections (the incremental driver files the
+    /// serving frame alongside).
+    pub fn add_sections(&self, file: &mut SectionFile) {
+        write_sections(
+            file,
+            &self.cfg,
+            self.folds,
+            &self.click_graph,
+            &self.docs,
+            &self.categories,
+            &self.sessions,
+            &self.entities,
+            &self.caches,
+            &self.ontology,
+        );
+    }
+
+    /// [`Checkpoint::add_sections`] straight off a live state, **without**
+    /// the deep clone [`Checkpoint::capture`] makes — the path for
+    /// checkpoint-on-publish, where cloning the whole accumulated corpus
+    /// and caches per ingest would double transient memory for nothing.
+    pub fn write_state_sections(state: &IncrementalState, file: &mut SectionFile) {
+        let input = state.input();
+        write_sections(
+            file,
+            state.cfg(),
+            state.folds(),
+            &input.click_graph,
+            &input.docs,
+            &input.categories,
+            &input.sessions,
+            &input.entities,
+            state.caches(),
+            state.ontology(),
+        );
+    }
+
+    /// Reads a checkpoint back out of a container's `incr.*` sections.
+    pub fn from_sections(file: &SectionFile) -> Result<Self, BinError> {
+        let mut r = file.section("incr.meta")?;
+        let cfg = read_config(&mut r)?;
+        let folds = r.u64()?;
+        r.expect_exhausted()?;
+
+        let mut r = file.section("incr.input")?;
+        let click_graph = read_click_graph(&mut r)?;
+        let docs = read_docs(&mut r)?;
+        let categories = read_categories(&mut r)?;
+        let n_sessions = r.len(4, "sessions")?;
+        let mut sessions = Vec::with_capacity(n_sessions);
+        for _ in 0..n_sessions {
+            sessions.push(r.str_vec()?);
+        }
+        let n_entities = r.len(5, "entities")?;
+        let mut entities = Vec::with_capacity(n_entities);
+        for _ in 0..n_entities {
+            let tokens = r.str_vec()?;
+            let ner = read_ner(&mut r)?;
+            entities.push((tokens, ner));
+        }
+        r.expect_exhausted()?;
+
+        let mut r = file.section("incr.caches")?;
+        let caches = PipelineCaches::read_checkpoint(&mut r)?;
+        r.expect_exhausted()?;
+
+        let mut r = file.section("incr.ontology")?;
+        let ontology = binio::read_ontology(&mut r)?;
+        r.expect_exhausted()?;
+
+        Ok(Self {
+            cfg,
+            folds,
+            click_graph,
+            docs,
+            categories,
+            sessions,
+            entities,
+            caches,
+            ontology,
+        })
+    }
+
+    /// Saves the checkpoint to `path` (atomic write; magic, format
+    /// version and per-section checksums per `giant_ontology::binio`).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = SectionFile::new();
+        self.add_sections(&mut file);
+        file.write_file(path)
+    }
+
+    /// Loads and verifies a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, FileError> {
+        let file = SectionFile::read_file(path)?;
+        Ok(Self::from_sections(&file)?)
+    }
+}
+
+impl IncrementalState {
+    /// Captures a durable [`Checkpoint`] of this state (see
+    /// [`Checkpoint::capture`]).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{ClickEvent, DeltaBatch};
+    use giant_core::gctsp::{GctspConfig, GctspNet};
+
+    /// Deterministically initialised (untrained) models — checkpoints only
+    /// need *a* fixed model pair, not a good one.
+    fn untrained_models() -> GiantModels {
+        GiantModels {
+            phrase_model: GctspNet::new(GctspConfig::default()),
+            role_model: GctspNet::new(GctspConfig {
+                n_classes: 4,
+                ..GctspConfig::default()
+            }),
+        }
+    }
+
+    fn tiny_state() -> IncrementalState {
+        let mut state = IncrementalState::new(
+            vec![CategoryRecord {
+                id: 0,
+                tokens: vec!["tech".into()],
+                level: 1,
+                parent: None,
+            }],
+            Annotator::default(),
+            untrained_models(),
+            GiantConfig::default(),
+        );
+        let mut batch = DeltaBatch::new();
+        batch.docs.push(DocRecord {
+            id: 0,
+            title: "quanta corp launches panel".into(),
+            sentences: vec!["the quanta corp panel is here".into()],
+            leaf_category: 0,
+            day: 1,
+        });
+        batch.clicks.push(ClickEvent {
+            query: "quanta panel".into(),
+            doc: 0,
+            count: 3.0,
+        });
+        batch.sessions.push(vec!["quanta panel".into(), "quanta corp".into()]);
+        batch
+            .entities
+            .push((vec!["quanta".into(), "corp".into()], NerTag::Organization));
+        state.fold(batch).expect("tiny batch folds");
+        state
+    }
+
+    #[test]
+    fn checkpoint_save_load_restore_round_trips() {
+        let state = tiny_state();
+        let before = giant_ontology::io::dump(state.ontology());
+        let ck = state.checkpoint();
+        let dir = std::env::temp_dir().join("giant-incr-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        ck.save(&path).unwrap();
+
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.folds(), state.folds());
+        assert_eq!(giant_ontology::io::dump(loaded.ontology()), before);
+        let restored = loaded.restore(Annotator::default(), untrained_models());
+        assert_eq!(restored.folds(), state.folds());
+        assert_eq!(restored.cache_sizes(), state.cache_sizes());
+        assert_eq!(giant_ontology::io::dump(restored.ontology()), before);
+        assert_eq!(
+            restored.input().click_graph.total_clicks().to_bits(),
+            state.input().click_graph.total_clicks().to_bits(),
+            "running click total must be bit-exact"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_fails_typed() {
+        let state = tiny_state();
+        let mut file = SectionFile::new();
+        state.checkpoint().add_sections(&mut file);
+        let mut bytes = file.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x42;
+        assert!(SectionFile::from_bytes(&bytes).is_err(), "checksum must catch the flip");
+    }
+}

@@ -41,9 +41,11 @@
 //! random worlds and pins the seed-42 experiment world as a golden.
 
 pub mod batch;
+pub mod ckpt;
 pub mod state;
 pub mod stream;
 
 pub use batch::{ClickEvent, DeltaBatch};
+pub use ckpt::Checkpoint;
 pub use state::{FoldError, FoldReport, IncrementalState};
 pub use stream::{union_input, CorpusStream};

@@ -253,4 +253,32 @@ impl IncrementalState {
     pub fn cache_sizes(&self) -> (usize, usize) {
         (self.caches.cached_plans(), self.caches.cached_minings())
     }
+
+    /// The warm caches, for checkpoint capture.
+    pub(crate) fn caches(&self) -> &PipelineCaches {
+        &self.caches
+    }
+
+    /// Reassembles a state from checkpointed parts (see
+    /// [`crate::ckpt::Checkpoint`]). The caller owns the invariant that
+    /// `caches` and `ontology` were captured from a state over exactly
+    /// this `input` — which [`crate::ckpt::Checkpoint`] guarantees by
+    /// capturing and restoring them together.
+    pub(crate) fn from_parts(
+        input: PipelineInput,
+        models: GiantModels,
+        cfg: GiantConfig,
+        caches: PipelineCaches,
+        ontology: Ontology,
+        folds: u64,
+    ) -> Self {
+        Self {
+            input,
+            models,
+            cfg,
+            caches,
+            ontology,
+            folds,
+        }
+    }
 }

@@ -24,6 +24,17 @@ impl Linear {
         }
     }
 
+    /// Wraps existing parameters (checkpoint restore): the forward cache
+    /// starts empty, exactly as after [`Linear::new`].
+    pub fn from_params(w: Parameter, b: Parameter) -> Self {
+        assert_eq!(w.value.cols(), b.value.cols(), "bias width must match W");
+        Self {
+            w,
+            b,
+            cache_x: None,
+        }
+    }
+
     /// Input dimensionality.
     pub fn d_in(&self) -> usize {
         self.w.value.rows()

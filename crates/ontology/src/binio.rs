@@ -1,0 +1,964 @@
+//! Versioned binary persistence: the compact length-prefixed format behind
+//! durable checkpoints and millisecond warm-starts.
+//!
+//! The text dump ([`crate::io`]) is the human-facing, diff-friendly
+//! serialisation; `binio` is the machine-facing one. A checkpoint file is a
+//! small container of named **sections**:
+//!
+//! ```text
+//! magic   "GIANTBIN"                     (8 bytes)
+//! version u32                           (format version, currently 1)
+//! count   u32                           (number of sections)
+//! per section:
+//!   name      str   (u32 length + UTF-8 bytes)
+//!   length    u64   (payload bytes)
+//!   checksum  u64   (FNV-1a 64 over the name bytes then the payload)
+//!   payload   [u8]
+//! ```
+//!
+//! Every primitive is little-endian and length-prefixed; `f64`/`f32` are
+//! serialised as their IEEE-754 bit patterns, so round trips are **bit
+//! exact** — the property the incremental subsystem's byte-identical
+//! convergence contract leans on. Checksums are validated per section at
+//! read time (a truncated or corrupted file fails with a typed
+//! [`BinError`], never a panic or a silently wrong ontology). Maps are
+//! written in sorted key order, so the same state always produces the same
+//! bytes.
+//!
+//! This module owns the codecs for the two ontology-level payloads —
+//! [`write_ontology`]/[`read_ontology`] and the frozen
+//! [`write_snapshot`]/[`read_snapshot`] (restore skips re-freezing: the
+//! inverted phrase index, CSR adjacency and ranking lists are read back
+//! directly) — and exports the primitives ([`Writer`], [`Reader`],
+//! [`SectionFile`]) the higher layers (`giant-core` caches, the
+//! `giant-incr` `Checkpoint`, the serving frame in `giant-apps`) build
+//! their own sections on.
+
+use crate::edge::EdgeKind;
+use crate::node::{AttentionNode, NodeId, NodeKind, Phrase};
+use crate::ontology::Ontology;
+use crate::snapshot::{Csr, OntologySnapshot, PhraseEntry};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// The 8-byte container magic.
+pub const MAGIC: [u8; 8] = *b"GIANTBIN";
+
+/// Current container format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A malformed or corrupted binary payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinError {
+    /// Byte offset (within the payload being decoded) where decoding failed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl BinError {
+    fn new(at: usize, message: impl Into<String>) -> Self {
+        Self {
+            at,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// Reading a checkpoint file: I/O failure or corrupted contents.
+#[derive(Debug)]
+pub enum FileError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The bytes were read but are not a valid checkpoint.
+    Corrupt(BinError),
+}
+
+impl fmt::Display for FileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            FileError::Corrupt(e) => write!(f, "checkpoint corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+impl From<std::io::Error> for FileError {
+    fn from(e: std::io::Error) -> Self {
+        FileError::Io(e)
+    }
+}
+
+impl From<BinError> for FileError {
+    fn from(e: BinError) -> Self {
+        FileError::Corrupt(e)
+    }
+}
+
+/// FNV-1a 64-bit checksum (dependency-free, deterministic).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-section checksum covering the section **name and** payload — a bit
+/// flip in the name (which would silently re-route lookups) is caught the
+/// same as one in the data.
+fn section_checksum(name: &str, payload: &[u8]) -> u64 {
+    let mut h = fnv1a64(name.as_bytes());
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian, length-prefixed binary writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes an `f32` as its IEEE-754 bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed slice of strings.
+    pub fn str_slice(&mut self, xs: &[String]) {
+        self.u32(xs.len() as u32);
+        for s in xs {
+            self.str(s);
+        }
+    }
+
+    /// Writes a length-prefixed `u32` slice.
+    pub fn u32_slice(&mut self, xs: &[u32]) {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.u32(x);
+        }
+    }
+
+    /// Writes a length-prefixed `f64` slice (bit patterns).
+    pub fn f64_slice(&mut self, xs: &[f64]) {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+
+    /// Writes a length-prefixed `f32` slice (bit patterns).
+    pub fn f32_slice(&mut self, xs: &[f32]) {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.f32(x);
+        }
+    }
+}
+
+/// Bounds-checked reader over a binary payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reads from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fails unless every byte has been consumed — catches truncated writes
+    /// and trailing garbage alike.
+    pub fn expect_exhausted(&self) -> Result<(), BinError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(BinError::new(
+                self.pos,
+                format!("{} trailing bytes after payload", self.buf.len() - self.pos),
+            ))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], BinError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                BinError::new(self.pos, format!("truncated payload reading {what}"))
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a bool (rejecting anything but 0/1).
+    pub fn bool(&mut self) -> Result<bool, BinError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(BinError::new(self.pos - 1, format!("bad bool byte {v}"))),
+        }
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, BinError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, BinError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` (written as `u64`).
+    pub fn usize(&mut self) -> Result<usize, BinError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| BinError::new(self.pos - 8, format!("usize {v} overflows this platform")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, BinError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn f32(&mut self) -> Result<f32, BinError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a length, sanity-capped by the bytes actually remaining so a
+    /// corrupted length can never trigger a huge allocation.
+    pub fn len(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, BinError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+            return Err(BinError::new(
+                self.pos - 4,
+                format!("{what} length {n} exceeds remaining {remaining} bytes"),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, BinError> {
+        let n = self.len(1, "string")?;
+        let at = self.pos;
+        let bytes = self.take(n, "string bytes")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| BinError::new(at, "invalid UTF-8 in string"))
+    }
+
+    /// Reads a length-prefixed vec of strings.
+    pub fn str_vec(&mut self) -> Result<Vec<String>, BinError> {
+        let n = self.len(4, "string vec")?;
+        (0..n).map(|_| self.str()).collect()
+    }
+
+    /// Reads a length-prefixed `u32` vec.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, BinError> {
+        let n = self.len(4, "u32 vec")?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a length-prefixed `f64` vec.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, BinError> {
+        let n = self.len(8, "f64 vec")?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads a length-prefixed `f32` vec.
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, BinError> {
+        let n = self.len(4, "f32 vec")?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+}
+
+/// A named-section checkpoint container (see the [module docs](self) for
+/// the byte layout).
+#[derive(Debug, Default)]
+pub struct SectionFile {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SectionFile {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section (names should be unique; lookup takes the first).
+    pub fn add(&mut self, name: &str, payload: Vec<u8>) {
+        self.sections.push((name.to_owned(), payload));
+    }
+
+    /// Appends a section from a [`Writer`].
+    pub fn add_writer(&mut self, name: &str, w: Writer) {
+        self.add(name, w.into_bytes());
+    }
+
+    /// Names of every section, in file order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// A reader over the named section's payload.
+    pub fn section(&self, name: &str) -> Result<Reader<'_>, BinError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| Reader::new(p))
+            .ok_or_else(|| BinError::new(0, format!("missing section {name:?}")))
+    }
+
+    /// Serialises the container (magic + version + checksummed sections).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(self.sections.len() as u32);
+        for (name, payload) in &self.sections {
+            w.str(name);
+            w.u64(payload.len() as u64);
+            w.u64(section_checksum(name, payload));
+            w.buf.extend_from_slice(payload);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses and verifies a container: magic, format version and every
+    /// section checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BinError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(MAGIC.len(), "magic")?;
+        if magic != MAGIC {
+            return Err(BinError::new(0, "bad magic: not a GIANT checkpoint"));
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(BinError::new(
+                8,
+                format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+            ));
+        }
+        let n = r.u32()? as usize;
+        let mut sections = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let name = r.str()?;
+            let len = r.usize()?;
+            let want = r.u64()?;
+            let at = r.position();
+            let payload = r.take(len, "section payload")?;
+            let got = section_checksum(&name, payload);
+            if got != want {
+                return Err(BinError::new(
+                    at,
+                    format!(
+                        "section {name:?} checksum mismatch \
+                         (stored {want:#018x}, computed {got:#018x})"
+                    ),
+                ));
+            }
+            sections.push((name, payload.to_vec()));
+        }
+        r.expect_exhausted()?;
+        Ok(Self { sections })
+    }
+
+    /// Writes the container to `path` atomically: temp file, `fsync`, then
+    /// rename (plus a best-effort directory sync), so a crash at any
+    /// instant leaves either the old or the new checkpoint — never a torn
+    /// one, and never a rename persisted ahead of its data blocks.
+    pub fn write_file(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write as _;
+        // Append to the full file name (never replace the extension):
+        // sibling checkpoints sharing a stem must not collide on one temp
+        // file.
+        let mut tmp_name = path
+            .file_name()
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "checkpoint path has no file name")
+            })?
+            .to_os_string();
+        tmp_name.push(".tmp-ckpt");
+        let tmp = path.with_file_name(tmp_name);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            // The durability half of atomicity: without this, many
+            // filesystems may persist the rename before the data, losing
+            // BOTH the old and the new checkpoint on power failure.
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Best-effort: persist the directory entry too. Failure here (an
+        // exotic filesystem refusing dir fsync) downgrades durability, not
+        // correctness, so it is not fatal.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and verifies a container from `path`.
+    pub fn read_file(path: &Path) -> Result<Self, FileError> {
+        let bytes = std::fs::read(path)?;
+        Ok(Self::from_bytes(&bytes)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared small codecs.
+
+fn write_kind(w: &mut Writer, k: NodeKind) {
+    w.u8(k.index() as u8);
+}
+
+fn read_kind(r: &mut Reader<'_>) -> Result<NodeKind, BinError> {
+    let at = r.position();
+    let i = r.u8()? as usize;
+    NodeKind::ALL
+        .get(i)
+        .copied()
+        .ok_or_else(|| BinError::new(at, format!("bad node kind {i}")))
+}
+
+fn write_edge_kind(w: &mut Writer, k: EdgeKind) {
+    w.u8(k.index() as u8);
+}
+
+fn read_edge_kind(r: &mut Reader<'_>) -> Result<EdgeKind, BinError> {
+    let at = r.position();
+    let i = r.u8()? as usize;
+    EdgeKind::ALL
+        .get(i)
+        .copied()
+        .ok_or_else(|| BinError::new(at, format!("bad edge kind {i}")))
+}
+
+fn write_node(w: &mut Writer, n: &AttentionNode) {
+    write_kind(w, n.kind);
+    match n.time {
+        Some(t) => {
+            w.bool(true);
+            w.u32(t);
+        }
+        None => w.bool(false),
+    }
+    w.f64(n.support);
+    w.str_slice(&n.phrase.tokens);
+    w.u32(n.aliases.len() as u32);
+    for a in &n.aliases {
+        w.str_slice(&a.tokens);
+    }
+}
+
+fn read_node(r: &mut Reader<'_>, id: u32) -> Result<AttentionNode, BinError> {
+    let kind = read_kind(r)?;
+    let time = if r.bool()? { Some(r.u32()?) } else { None };
+    let support = r.f64()?;
+    let phrase = Phrase::new(r.str_vec()?);
+    let n_aliases = r.len(4, "aliases")?;
+    let mut aliases = Vec::with_capacity(n_aliases);
+    for _ in 0..n_aliases {
+        aliases.push(Phrase::new(r.str_vec()?));
+    }
+    Ok(AttentionNode {
+        id: NodeId(id),
+        kind,
+        phrase,
+        aliases,
+        support,
+        time,
+    })
+}
+
+fn write_adjacency(w: &mut Writer, table: &[Vec<(NodeId, EdgeKind, f64)>]) {
+    w.u32(table.len() as u32);
+    for row in table {
+        w.u32(row.len() as u32);
+        for &(v, k, weight) in row {
+            w.u32(v.0);
+            write_edge_kind(w, k);
+            w.f64(weight);
+        }
+    }
+}
+
+type AdjacencyTable = Vec<Vec<(NodeId, EdgeKind, f64)>>;
+
+fn read_adjacency(r: &mut Reader<'_>, n_nodes: usize) -> Result<AdjacencyTable, BinError> {
+    let n = r.len(4, "adjacency table")?;
+    if n != n_nodes {
+        return Err(BinError::new(
+            r.position(),
+            format!("adjacency table rows {n} != node count {n_nodes}"),
+        ));
+    }
+    let mut table = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.len(13, "adjacency row")?;
+        let mut row = Vec::with_capacity(m);
+        for _ in 0..m {
+            let at = r.position();
+            let v = r.u32()?;
+            if v as usize >= n_nodes {
+                return Err(BinError::new(at, format!("edge target {v} out of range")));
+            }
+            let k = read_edge_kind(r)?;
+            let weight = r.f64()?;
+            row.push((NodeId(v), k, weight));
+        }
+        table.push(row);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Ontology.
+
+/// Serialises an [`Ontology`] (nodes + both adjacency tables, bit-exact
+/// weights).
+pub fn write_ontology(o: &Ontology, w: &mut Writer) {
+    let nodes = o.nodes();
+    w.u32(nodes.len() as u32);
+    for n in nodes {
+        write_node(w, n);
+    }
+    write_adjacency(w, o.out_table());
+    write_adjacency(w, o.in_table());
+}
+
+/// Reads an [`Ontology`] written by [`write_ontology`]. The surface index
+/// is rebuilt by replaying registrations in id order (identical to the
+/// text loader's replay; see `Ontology::from_parts`).
+pub fn read_ontology(r: &mut Reader<'_>) -> Result<Ontology, BinError> {
+    let n = r.len(10, "nodes")?;
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        nodes.push(read_node(r, i as u32)?);
+    }
+    let out = read_adjacency(r, n)?;
+    let inc = read_adjacency(r, n)?;
+    Ok(Ontology::from_parts(nodes, out, inc))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot.
+
+fn write_csr(w: &mut Writer, c: &Csr) {
+    w.u32_slice(&c.offsets);
+    w.u32(c.targets.len() as u32);
+    for t in &c.targets {
+        w.u32(t.0);
+    }
+    w.f64_slice(&c.weights);
+}
+
+fn read_csr(r: &mut Reader<'_>, n_rows: usize) -> Result<Csr, BinError> {
+    let offsets = r.u32_vec()?;
+    if offsets.len() != n_rows + 1 {
+        return Err(BinError::new(
+            r.position(),
+            format!("csr offsets {} != rows {} + 1", offsets.len(), n_rows),
+        ));
+    }
+    if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(BinError::new(r.position(), "csr offsets not monotonic from 0"));
+    }
+    let targets: Vec<NodeId> = r.u32_vec()?.into_iter().map(NodeId).collect();
+    let weights = r.f64_vec()?;
+    let total = *offsets.last().expect("offsets nonempty") as usize;
+    if targets.len() != total || weights.len() != total {
+        return Err(BinError::new(
+            r.position(),
+            format!(
+                "csr arrays disagree: {} offsets total, {} targets, {} weights",
+                total,
+                targets.len(),
+                weights.len()
+            ),
+        ));
+    }
+    Ok(Csr {
+        offsets,
+        targets,
+        weights,
+    })
+}
+
+/// Serialises a frozen [`OntologySnapshot`] — every read-optimised
+/// structure included, so [`read_snapshot`] restores without re-freezing.
+pub fn write_snapshot(s: &OntologySnapshot, w: &mut Writer) {
+    w.u32(s.nodes.len() as u32);
+    for n in &s.nodes {
+        write_node(w, n);
+    }
+    // Surface table, sorted for deterministic bytes.
+    let mut surfaces: Vec<(&(NodeKind, String), &NodeId)> = s.by_surface.iter().collect();
+    surfaces.sort_by(|a, b| (a.0 .0.index(), &a.0 .1).cmp(&(b.0 .0.index(), &b.0 .1)));
+    w.u32(surfaces.len() as u32);
+    for ((kind, surface), id) in surfaces {
+        write_kind(w, *kind);
+        w.str(surface);
+        w.u32(id.0);
+    }
+    for ids in &s.by_kind {
+        w.u32(ids.len() as u32);
+        for id in ids {
+            w.u32(id.0);
+        }
+    }
+    // Phrase index: sorted first-token keys; bucket order preserved (it is
+    // the deterministic freeze-time sort).
+    let mut keys: Vec<&String> = s.phrase_index.keys().collect();
+    keys.sort();
+    w.u32(keys.len() as u32);
+    for key in keys {
+        w.str(key);
+        let bucket = &s.phrase_index[key];
+        w.u32(bucket.len() as u32);
+        for e in bucket {
+            write_kind(w, e.kind);
+            w.u32(e.node.0);
+            w.str_slice(&e.tokens);
+            w.bool(e.alias);
+        }
+    }
+    for csr in s.out.iter().chain(s.inc.iter()) {
+        write_csr(w, csr);
+    }
+    write_csr(w, &s.ranked_children);
+    write_csr(w, &s.ranked_correlates);
+    let mut tokens: Vec<&String> = s.concept_tokens.keys().collect();
+    tokens.sort();
+    w.u32(tokens.len() as u32);
+    for t in tokens {
+        w.str(t);
+        let postings = &s.concept_tokens[t];
+        w.u32(postings.len() as u32);
+        for id in postings {
+            w.u32(id.0);
+        }
+    }
+    for c in s.stats.nodes_by_kind {
+        w.usize(c);
+    }
+    for c in s.stats.edges_by_kind {
+        w.usize(c);
+    }
+}
+
+/// Restores a snapshot written by [`write_snapshot`] without re-freezing.
+pub fn read_snapshot(r: &mut Reader<'_>) -> Result<OntologySnapshot, BinError> {
+    let n = r.len(10, "snapshot nodes")?;
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        nodes.push(read_node(r, i as u32)?);
+    }
+    let n_surfaces = r.len(10, "surface table")?;
+    let mut by_surface = HashMap::with_capacity(n_surfaces);
+    for _ in 0..n_surfaces {
+        let kind = read_kind(r)?;
+        let surface = r.str()?;
+        let id = r.u32()?;
+        if id as usize >= n {
+            return Err(BinError::new(r.position(), format!("surface node {id} out of range")));
+        }
+        by_surface.insert((kind, surface), NodeId(id));
+    }
+    let mut by_kind: [Vec<NodeId>; 5] = Default::default();
+    for slot in &mut by_kind {
+        *slot = r.u32_vec()?.into_iter().map(NodeId).collect();
+    }
+    let n_keys = r.len(10, "phrase index")?;
+    let mut phrase_index = HashMap::with_capacity(n_keys);
+    for _ in 0..n_keys {
+        let key = r.str()?;
+        let n_entries = r.len(10, "phrase bucket")?;
+        let mut bucket = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let kind = read_kind(r)?;
+            let node = NodeId(r.u32()?);
+            let tokens = r.str_vec()?;
+            let alias = r.bool()?;
+            bucket.push(PhraseEntry {
+                kind,
+                node,
+                tokens,
+                alias,
+            });
+        }
+        phrase_index.insert(key, bucket);
+    }
+    let mut csrs = Vec::with_capacity(6);
+    for _ in 0..6 {
+        csrs.push(read_csr(r, n)?);
+    }
+    let mut it = csrs.into_iter();
+    let out = [
+        it.next().expect("6 csrs"),
+        it.next().expect("6 csrs"),
+        it.next().expect("6 csrs"),
+    ];
+    let inc = [
+        it.next().expect("6 csrs"),
+        it.next().expect("6 csrs"),
+        it.next().expect("6 csrs"),
+    ];
+    let ranked_children = read_csr(r, n)?;
+    let ranked_correlates = read_csr(r, n)?;
+    let n_tokens = r.len(10, "concept tokens")?;
+    let mut concept_tokens = HashMap::with_capacity(n_tokens);
+    for _ in 0..n_tokens {
+        let t = r.str()?;
+        let postings: Vec<NodeId> = r.u32_vec()?.into_iter().map(NodeId).collect();
+        concept_tokens.insert(t, postings);
+    }
+    let mut stats = crate::ontology::OntologyStats::default();
+    for c in &mut stats.nodes_by_kind {
+        *c = r.usize()?;
+    }
+    for c in &mut stats.edges_by_kind {
+        *c = r.usize()?;
+    }
+    Ok(OntologySnapshot {
+        nodes,
+        by_surface,
+        by_kind,
+        phrase_index,
+        out,
+        inc,
+        ranked_children,
+        ranked_correlates,
+        concept_tokens,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io;
+
+    fn sample() -> Ontology {
+        let mut o = Ontology::new();
+        let cat = o.add_node(NodeKind::Category, Phrase::from_text("cars"), 5.0);
+        let con = o.add_node(NodeKind::Concept, Phrase::from_text("economy cars"), 3.25);
+        let ent = o.add_node(NodeKind::Entity, Phrase::from_text("honda civic"), 2.0);
+        let ev = o.add_event(Phrase::from_text("honda recalls civic"), 1.0, 17);
+        o.add_alias(con, Phrase::from_text("fuel efficient cars"));
+        o.add_is_a(cat, con, 1.0).unwrap();
+        o.add_is_a(con, ent, 0.8).unwrap();
+        o.add_involve(ev, ent, 1.0).unwrap();
+        o.add_correlate(ent, cat, 0.5).unwrap();
+        o
+    }
+
+    #[test]
+    fn ontology_round_trips_byte_identically() {
+        let o = sample();
+        let mut w = Writer::new();
+        write_ontology(&o, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let o2 = read_ontology(&mut r).unwrap();
+        r.expect_exhausted().unwrap();
+        assert_eq!(io::dump(&o), io::dump(&o2));
+        // The rebuilt surface index answers lookups identically.
+        assert_eq!(
+            o.find(NodeKind::Concept, "fuel efficient cars"),
+            o2.find(NodeKind::Concept, "fuel efficient cars")
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_answers_identically() {
+        let o = sample();
+        let s = OntologySnapshot::freeze(&o);
+        let mut w = Writer::new();
+        write_snapshot(&s, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let s2 = read_snapshot(&mut r).unwrap();
+        r.expect_exhausted().unwrap();
+        for i in 0..s.n_nodes() {
+            let id = NodeId(i as u32);
+            assert_eq!(s.children(id), s2.children(id));
+            assert_eq!(s.parents(id), s2.parents(id));
+            assert_eq!(s.correlates(id), s2.correlates(id));
+            assert_eq!(s.ranked_children(id), s2.ranked_children(id));
+            assert_eq!(s.ancestors(id), s2.ancestors(id));
+        }
+        assert_eq!(s.stats(), s2.stats());
+        let toks = giant_text::tokenize("best economy cars 2020");
+        assert_eq!(
+            s.find_contained(&toks, NodeKind::Concept, false),
+            s2.find_contained(&toks, NodeKind::Concept, false)
+        );
+        // Deterministic bytes: re-serialising the restored snapshot
+        // reproduces the original payload exactly.
+        let mut w2 = Writer::new();
+        write_snapshot(&s2, &mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+    }
+
+    #[test]
+    fn section_file_round_trips_and_detects_corruption() {
+        let mut f = SectionFile::new();
+        let mut w = Writer::new();
+        write_ontology(&sample(), &mut w);
+        f.add_writer("ontology", w);
+        f.add("extra", vec![1, 2, 3]);
+        let bytes = f.to_bytes();
+
+        let back = SectionFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.names().collect::<Vec<_>>(), vec!["ontology", "extra"]);
+        let o = read_ontology(&mut back.section("ontology").unwrap()).unwrap();
+        assert_eq!(io::dump(&o), io::dump(&sample()));
+        assert!(back.section("missing").is_err());
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut corrupted = bytes.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xff;
+        let err = SectionFile::from_bytes(&corrupted).unwrap_err();
+        assert!(err.message.contains("checksum"), "{err}");
+
+        // Truncation fails typed, not by panic.
+        assert!(SectionFile::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        // Bad magic.
+        assert!(SectionFile::from_bytes(b"NOTGIANT").is_err());
+        // Future format version is rejected.
+        let mut future = bytes;
+        future[8] = 0xff;
+        let err = SectionFile::from_bytes(&future).unwrap_err();
+        assert!(err.message.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn reader_rejects_absurd_lengths_without_allocating() {
+        // A tiny buffer claiming a 4-billion-element vec must fail fast.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.u32_vec().is_err());
+    }
+
+    #[test]
+    fn empty_ontology_round_trips() {
+        let o = Ontology::new();
+        let mut w = Writer::new();
+        write_ontology(&o, &mut w);
+        let bytes = w.into_bytes();
+        let o2 = read_ontology(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(o2.n_nodes(), 0);
+        assert_eq!(io::dump(&o), io::dump(&o2));
+        let s = OntologySnapshot::freeze(&o);
+        let mut w = Writer::new();
+        write_snapshot(&s, &mut w);
+        let bytes = w.into_bytes();
+        let s2 = read_snapshot(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(s2.n_nodes(), 0);
+    }
+}

@@ -26,6 +26,75 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Escapes one phrase token so the record framing survives any content:
+/// `\` itself, the field separator (tab), the record separator (newline,
+/// CR) and the token separator (space) are escaped, and an empty token
+/// becomes the `\e` marker. Tokens produced by the tokenizer (lowercase,
+/// no whitespace) pass through unchanged, so historical dumps and goldens
+/// are byte-identical under the escaped format.
+fn escape_token(token: &str) -> String {
+    if token.is_empty() {
+        return "\\e".to_owned();
+    }
+    let mut out = String::with_capacity(token.len());
+    for c in token.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            ' ' => out.push_str("\\_"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A phrase as one dump field: escaped tokens joined by single spaces.
+fn escape_phrase(p: &Phrase) -> String {
+    p.tokens.iter().map(|t| escape_token(t)).collect::<Vec<_>>().join(" ")
+}
+
+/// Inverse of [`escape_token`]; fails on dangling or unknown escapes.
+fn unescape_token(field: &str) -> Result<String, String> {
+    if field == "\\e" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('_') => out.push(' '),
+            Some('e') => return Err(format!("\\e marker inside token {field:?}")),
+            Some(c) => return Err(format!("unknown escape \\{c} in token {field:?}")),
+            None => return Err(format!("dangling escape at end of token {field:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`escape_phrase`]: splits on single spaces and unescapes
+/// each token. Equal to `Phrase::from_text` for tokenizer-canonical
+/// surfaces (which is what every historical dump contains), but exact for
+/// adversarial tokens too.
+fn unescape_phrase(field: &str) -> Result<Phrase, String> {
+    if field.is_empty() {
+        // An empty phrase dumps to an empty field (zero tokens).
+        return Ok(Phrase::new(Vec::<String>::new()));
+    }
+    let tokens: Result<Vec<String>, String> =
+        field.split(' ').map(unescape_token).collect();
+    Ok(Phrase::new(tokens?))
+}
+
 /// Serialises the ontology. Node lines come before edge lines so `load` can
 /// stream in one pass.
 ///
@@ -35,7 +104,12 @@ impl std::error::Error for ParseError {}
 /// ```
 ///
 /// Surfaces/aliases are tab-separated fields; tokens inside a surface are
-/// space-separated (the canonical [`Phrase::surface`] form).
+/// space-separated (the canonical [`Phrase::surface`] form) with framing
+/// characters escaped per token (`\` `\t` `\n` `\r`, space-in-token as
+/// `\_`, an empty token as `\e`) — a phrase containing a tab, newline or
+/// space-in-token can no longer corrupt the record framing, and `load`
+/// restores it exactly. Tokenizer-canonical phrases contain none of those
+/// characters, so historical dumps are byte-unchanged.
 pub fn dump(o: &Ontology) -> String {
     let mut out = String::new();
     for n in o.nodes() {
@@ -45,11 +119,11 @@ pub fn dump(o: &Ontology) -> String {
             n.kind.name(),
             n.time.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
             n.support,
-            n.phrase.surface()
+            escape_phrase(&n.phrase)
         ));
         for a in &n.aliases {
             out.push('\t');
-            out.push_str(&a.surface());
+            out.push_str(&escape_phrase(a));
         }
         out.push('\n');
     }
@@ -69,10 +143,14 @@ pub fn load(text: &str) -> Result<Ontology, ParseError> {
     };
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
-        if raw.trim().is_empty() {
+        if raw.is_empty() {
             continue;
         }
         let fields: Vec<&str> = raw.split('\t').collect();
+        // `split` always yields at least one (possibly empty) field, so
+        // `fields[0]` is safe; every record arm below length-checks before
+        // indexing any further field — malformed input is a typed
+        // `ParseError`, never a panic.
         match fields[0] {
             "N" => {
                 if fields.len() < 6 {
@@ -90,7 +168,8 @@ pub fn load(text: &str) -> Result<Ontology, ParseError> {
                     )
                 };
                 let support: f64 = fields[4].parse().map_err(|_| err(line_no, "bad support"))?;
-                let id = o.add_node(kind, Phrase::from_text(fields[5]), support);
+                let phrase = unescape_phrase(fields[5]).map_err(|m| err(line_no, &m))?;
+                let id = o.add_node(kind, phrase, support);
                 if let Some(t) = time {
                     o.node_mut(id).time = Some(t);
                 }
@@ -98,7 +177,8 @@ pub fn load(text: &str) -> Result<Ontology, ParseError> {
                     // Dumps were produced under first-registration-wins, so
                     // replaying in file order can only re-register or lose
                     // to the same earlier winner; either outcome is fine.
-                    let _ = o.add_alias(id, Phrase::from_text(alias));
+                    let alias = unescape_phrase(alias).map_err(|m| err(line_no, &m))?;
+                    let _ = o.add_alias(id, alias);
                 }
             }
             "E" => {
@@ -168,6 +248,88 @@ mod tests {
         assert!(load("E\t0\t1\tisA\tnot_a_number").is_err());
         let err = load("N\t0").unwrap_err();
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn load_rejects_truncated_and_malformed_lines_without_panicking() {
+        // Short E lines: every prefix of a valid edge record fails typed.
+        for line in ["E", "E\t0", "E\t0\t1", "E\t0\t1\tisA"] {
+            let err = load(line).unwrap_err();
+            assert_eq!(err.line, 1, "{line:?}");
+            assert!(err.message.contains("5 fields"), "{line:?}: {}", err.message);
+        }
+        // Overlong E line.
+        assert!(load("E\t0\t1\tisA\t0.5\textra").is_err());
+        // Short N lines.
+        for line in ["N", "N\t0", "N\t0\tconcept", "N\t0\tconcept\t-", "N\t0\tconcept\t-\t1"] {
+            let err = load(line).unwrap_err();
+            assert!(err.message.contains("6+ fields"), "{line:?}: {}", err.message);
+        }
+        // Unknown record tags, including a tab-only line (empty first field).
+        for line in ["Z\t1\t2", "\t", "\t\t\t", "NE\t0"] {
+            let err = load(line).unwrap_err();
+            assert!(err.message.contains("unknown record type"), "{line:?}");
+        }
+        // Edge fields that parse but reference impossible state.
+        assert!(load("E\t0\t1\tisA\t1.0").is_err(), "edge to nonexistent nodes");
+        assert!(load("N\t0\tconcept\tnot_a_time\t1\tfoo").is_err());
+        assert!(load("N\t0\tconcept\t-\tnot_a_number\tfoo").is_err());
+        // Bad escapes inside a surface are typed errors, not silent data.
+        assert!(load("N\t0\tconcept\t-\t1\tfoo\\q").is_err(), "unknown escape");
+        assert!(load("N\t0\tconcept\t-\t1\tfoo\\").is_err(), "dangling escape");
+        assert!(load("N\t0\tconcept\t-\t1\tfo\\eo").is_err(), "inline \\e marker");
+    }
+
+    #[test]
+    fn adversarial_surfaces_round_trip_exactly() {
+        // Tokens containing every framing character the text format uses:
+        // tabs, newlines, CRs, spaces, backslashes, plus empty tokens and
+        // leading/trailing spaces. Before escaping, the tab/newline cases
+        // silently corrupted the record framing.
+        let adversarial: Vec<Vec<&str>> = vec![
+            vec!["tab\there", "plain"],
+            vec!["new\nline"],
+            vec!["carriage\rreturn"],
+            vec!["space inside"],
+            vec!["back\\slash", "\\"],
+            vec!["", "empty", ""],
+            vec![" leading"],
+            vec!["trailing "],
+            vec!["\t", "\n", " "],
+            vec!["\\e", "\\_"],
+        ];
+        let mut o = Ontology::new();
+        let mut prev = None;
+        for (i, tokens) in adversarial.iter().enumerate() {
+            let id = o.add_node(
+                NodeKind::Concept,
+                Phrase::new(tokens.iter().copied()),
+                i as f64 + 1.0,
+            );
+            o.add_alias(id, Phrase::new(tokens.iter().map(|t| format!("{t}x"))));
+            if let Some(p) = prev {
+                o.add_is_a(p, id, 0.5).unwrap();
+            }
+            prev = Some(id);
+        }
+        let text = dump(&o);
+        let o2 = load(&text).expect("escaped dump must parse");
+        assert_eq!(o.n_nodes(), o2.n_nodes());
+        for (a, b) in o.nodes().iter().zip(o2.nodes()) {
+            assert_eq!(a.phrase, b.phrase, "phrase tokens must survive exactly");
+            assert_eq!(a.aliases, b.aliases);
+        }
+        assert_eq!(text, dump(&o2), "double round trip is identical text");
+    }
+
+    #[test]
+    fn canonical_phrases_dump_unchanged_by_escaping() {
+        // Tokenizer-canonical phrases (every historical dump and golden)
+        // must serialise exactly as before the escaping fix.
+        let o = sample();
+        let text = dump(&o);
+        assert!(!text.contains('\\'), "canonical dumps contain no escapes");
+        assert!(text.contains("N\t1\tconcept\t-\t3\teconomy cars\tfuel efficient cars\n"));
     }
 
     #[test]

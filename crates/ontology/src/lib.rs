@@ -11,6 +11,7 @@
 //! per-kind statistics behind Tables 1–2, and round-trips a plain-text
 //! serialisation ([`io`]).
 
+pub mod binio;
 pub mod delta;
 pub mod edge;
 pub mod io;

@@ -30,12 +30,13 @@ use crate::ontology::{Ontology, OntologyStats};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Compressed sparse rows over node ids: one row per node, parallel
-/// target/weight arrays.
+/// target/weight arrays. (`pub(crate)` so `crate::binio` can serialise a
+/// frozen snapshot field-for-field and restore it without re-freezing.)
 #[derive(Debug, Clone, Default)]
-struct Csr {
-    offsets: Vec<u32>,
-    targets: Vec<NodeId>,
-    weights: Vec<f64>,
+pub(crate) struct Csr {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<NodeId>,
+    pub(crate) weights: Vec<f64>,
 }
 
 impl Csr {
@@ -75,28 +76,31 @@ impl Csr {
 
 /// One indexed surface: a canonical phrase or an alias.
 #[derive(Debug, Clone)]
-struct PhraseEntry {
-    kind: NodeKind,
-    node: NodeId,
+pub(crate) struct PhraseEntry {
+    pub(crate) kind: NodeKind,
+    pub(crate) node: NodeId,
     /// Full token sequence of the surface (first token is the bucket key).
-    tokens: Vec<String>,
+    pub(crate) tokens: Vec<String>,
     /// True when this surface is an alias rather than the canonical phrase.
-    alias: bool,
+    pub(crate) alias: bool,
 }
 
 /// An immutable, read-optimized view of one built ontology.
+///
+/// Fields are `pub(crate)` so `crate::binio` can persist and restore a
+/// frozen snapshot directly (warm-start skips [`OntologySnapshot::freeze`]).
 #[derive(Debug, Clone)]
 pub struct OntologySnapshot {
-    nodes: Vec<AttentionNode>,
-    by_surface: HashMap<(NodeKind, String), NodeId>,
-    by_kind: [Vec<NodeId>; 5],
-    phrase_index: HashMap<String, Vec<PhraseEntry>>,
-    out: [Csr; 3],
-    inc: [Csr; 3],
-    ranked_children: Csr,
-    ranked_correlates: Csr,
-    concept_tokens: HashMap<String, Vec<NodeId>>,
-    stats: OntologyStats,
+    pub(crate) nodes: Vec<AttentionNode>,
+    pub(crate) by_surface: HashMap<(NodeKind, String), NodeId>,
+    pub(crate) by_kind: [Vec<NodeId>; 5],
+    pub(crate) phrase_index: HashMap<String, Vec<PhraseEntry>>,
+    pub(crate) out: [Csr; 3],
+    pub(crate) inc: [Csr; 3],
+    pub(crate) ranked_children: Csr,
+    pub(crate) ranked_correlates: Csr,
+    pub(crate) concept_tokens: HashMap<String, Vec<NodeId>>,
+    pub(crate) stats: OntologyStats,
 }
 
 impl OntologySnapshot {

@@ -143,6 +143,23 @@ impl WordEmbeddings {
         self.dim
     }
 
+    /// The raw row-major vector table (`vocab_size × dim`) — the
+    /// checkpoint serialisation view.
+    pub fn raw_vectors(&self) -> &[f32] {
+        &self.vectors
+    }
+
+    /// Rebuilds trained embeddings from serialized parts (checkpoint
+    /// restore). `vectors` is row-major, one `dim`-wide row per token.
+    pub fn from_parts(dim: usize, vocab_size: usize, vectors: Vec<f32>) -> Self {
+        assert_eq!(vectors.len(), dim * vocab_size, "vector table shape mismatch");
+        Self {
+            dim,
+            vectors,
+            vocab_size,
+        }
+    }
+
     /// Number of rows.
     pub fn vocab_size(&self) -> usize {
         self.vocab_size

@@ -71,6 +71,26 @@ impl TfIdf {
         self.n_docs
     }
 
+    /// Every `(term, document frequency)` pair, sorted by term — the
+    /// checkpoint serialisation view (sorted so the same table always
+    /// serialises to the same bytes).
+    pub fn doc_frequencies(&self) -> Vec<(&str, u32)> {
+        let mut out: Vec<(&str, u32)> =
+            self.df.iter().map(|(t, &c)| (t.as_str(), c)).collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// Rebuilds a table from serialized parts (checkpoint restore) —
+    /// exact: IDF depends only on the df map and the doc count, both
+    /// carried through verbatim.
+    pub fn from_parts(df: impl IntoIterator<Item = (String, u32)>, n_docs: u32) -> Self {
+        Self {
+            df: df.into_iter().collect(),
+            n_docs,
+        }
+    }
+
     /// Smoothed inverse document frequency: `ln(1 + N / (1 + df))`.
     pub fn idf(&self, term: &str) -> f64 {
         let df = self.df.get(term).copied().unwrap_or(0) as f64;
