@@ -24,8 +24,8 @@ use crate::storytree::StoryEvent;
 use crate::tagging::{TagResources, TaggingConfig};
 use giant_core::pipeline::GiantOutput;
 use giant_core::train::GiantModels;
-use giant_incr::{Checkpoint, DeltaBatch, FoldError, IncrementalState};
-use giant_ontology::binio::{FileError, SectionFile};
+use giant_incr::{Checkpoint, DeltaBatch, FoldError, IncrementalState, SyncMode, Wal, WalError, WalTruncation};
+use giant_ontology::binio::{self, FileError, SectionFile, Writer};
 use giant_ontology::{DeltaStats, NodeId, NodeKind, OntologySnapshot};
 use giant_text::Annotator;
 use std::collections::HashMap;
@@ -120,6 +120,108 @@ pub fn refresh_resources(prev: &ServeResources, output: &GiantOutput) -> ServeRe
     }
 }
 
+/// How [`IncrementalDriver`] persists across crashes: a write-ahead log
+/// of every ingested batch plus a periodic full checkpoint, both living
+/// under one directory (`state.ckpt` + `ingest.wal`).
+///
+/// The contract (proven by `tests/crash_consistency.rs`): kill the
+/// process at **any** instant, then [`IncrementalDriver::restore_durable`]
+/// converges byte-identically with the never-crashed run — the WAL is
+/// appended *before* the fold, so every acknowledged ingest is either in
+/// the checkpoint or replayable from the log tail.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `state.ckpt` and `ingest.wal` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// WAL fsync policy; see [`SyncMode`] for the survival table.
+    pub sync: SyncMode,
+    /// Checkpoint every N successful folds (≥ 1). Between checkpoints the
+    /// WAL alone carries the delta; after each checkpoint the log is
+    /// rotated down to a header.
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with per-append fsync and a checkpoint
+    /// every 8 folds.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            sync: SyncMode::Strict,
+            checkpoint_every: 8,
+        }
+    }
+
+    /// Path of the periodic checkpoint file.
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("state.ckpt")
+    }
+
+    /// Path of the write-ahead log.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("ingest.wal")
+    }
+}
+
+/// The live durability machinery behind an enabled [`DurabilityConfig`].
+struct Durability {
+    cfg: DurabilityConfig,
+    wal: Wal,
+    folds_since_checkpoint: u64,
+}
+
+/// What [`IncrementalDriver::restore_durable`] found and did.
+#[derive(Debug)]
+pub struct RestoreReport {
+    /// WAL entries folded on top of the checkpoint.
+    pub replayed: usize,
+    /// Set when lenient recovery dropped a corrupt WAL suffix.
+    pub truncation: Option<WalTruncation>,
+}
+
+/// [`IncrementalDriver::restore_durable`] failures.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The checkpoint file is unreadable or undecodable.
+    Checkpoint(FileError),
+    /// The WAL is unreadable or corrupt (strict open; see
+    /// [`giant_incr::Wal::open`]).
+    Wal(WalError),
+    /// A logged batch no longer folds — models/config drift between the
+    /// run that logged it and this restore.
+    Replay { seq: u64, source: FoldError },
+    /// Writing the post-replay checkpoint failed.
+    Persist(std::io::Error),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Checkpoint(e) => write!(f, "checkpoint unreadable: {e}"),
+            RestoreError::Wal(e) => write!(f, "wal unreadable: {e}"),
+            RestoreError::Replay { seq, source } => {
+                write!(f, "replay of wal entry {seq} rejected: {source}")
+            }
+            RestoreError::Persist(e) => write!(f, "post-replay checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<FileError> for RestoreError {
+    fn from(e: FileError) -> Self {
+        RestoreError::Checkpoint(e)
+    }
+}
+
+impl From<WalError> for RestoreError {
+    fn from(e: WalError) -> Self {
+        RestoreError::Wal(e)
+    }
+}
+
 /// What one [`IncrementalDriver::ingest`] did.
 #[derive(Debug)]
 pub struct IngestReport {
@@ -137,31 +239,66 @@ pub struct IngestReport {
     pub publish_secs: f64,
     /// Frames retained after pruning.
     pub retained_frames: usize,
-    /// Checkpoint-on-publish wall clock, when a checkpoint path is set.
+    /// WAL append wall clock, when durability is enabled.
+    pub wal_secs: Option<f64>,
+    /// Checkpoint wall clock, when this ingest checkpointed (legacy
+    /// checkpoint-on-publish, or a durable ingest hitting its
+    /// `checkpoint_every` boundary).
     pub checkpoint_secs: Option<f64>,
 }
 
-/// [`IncrementalDriver::ingest`] errors: the fold rejected the batch, or
-/// the post-publish checkpoint write failed (the publish itself
-/// succeeded — readers are already serving the new version).
+/// [`IncrementalDriver::ingest`] errors.
+///
+/// The variants split along the publish boundary: [`IngestError::Fold`]
+/// and [`IngestError::Wal`] reject the batch **before** anything is
+/// served — state, service and (for `Fold` in durable mode) the WAL are
+/// rolled back, and retrying the batch is safe. [`IngestError::Checkpoint`]
+/// fires **after** the fold already published: readers are serving the new
+/// version and the batch is folded for good. It therefore carries the
+/// successful [`IngestReport`] — the publish stands; do **not** retry the
+/// batch (that would fold it twice). In durable mode a failed checkpoint
+/// leaves the WAL un-rotated, so no durability is lost either: the entry
+/// replays on restore.
 #[derive(Debug)]
 pub enum IngestError {
     /// Batch validation failed; the state and service are untouched.
     Fold(FoldError),
-    /// The fold published, but checkpoint-on-publish could not write.
-    Checkpoint(std::io::Error),
+    /// The WAL append failed; the batch was not folded or published.
+    Wal(WalError),
+    /// The fold published, but the checkpoint (or WAL rotation after it)
+    /// could not complete. `report` is the report of the **successful**
+    /// ingest.
+    Checkpoint {
+        /// The report of the ingest that published (version, stats, …).
+        report: Box<IngestReport>,
+        /// Why persisting failed.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for IngestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IngestError::Fold(e) => write!(f, "fold rejected: {e}"),
-            IngestError::Checkpoint(e) => write!(f, "checkpoint-on-publish failed: {e}"),
+            IngestError::Wal(e) => write!(f, "wal append failed: {e}"),
+            IngestError::Checkpoint { report, source } => write!(
+                f,
+                "checkpoint failed after version {} published (the publish stands, do not retry the batch): {source}",
+                report.version
+            ),
         }
     }
 }
 
-impl std::error::Error for IngestError {}
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Fold(e) => Some(e),
+            IngestError::Wal(e) => Some(e),
+            IngestError::Checkpoint { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<FoldError> for IngestError {
     fn from(e: FoldError) -> Self {
@@ -175,7 +312,14 @@ pub struct IncrementalDriver {
     service: Arc<OntologyService>,
     keep_frames: usize,
     checkpoint_path: Option<PathBuf>,
+    durability: Option<Durability>,
 }
+
+/// Section name carrying the WAL watermark inside a durable checkpoint:
+/// the sequence number of the last WAL entry folded into the checkpointed
+/// state. Replay skips entries at or below it. Absent from legacy
+/// checkpoints (treated as watermark 0).
+const WAL_WATERMARK_SECTION: &str = "driver.wal";
 
 impl IncrementalDriver {
     /// Bootstraps the loop: folds `initial` into a fresh `state`, derives
@@ -203,6 +347,7 @@ impl IncrementalDriver {
             service,
             keep_frames: keep_frames.max(1),
             checkpoint_path: None,
+            durability: None,
         };
         let ingest = IngestReport {
             version: driver.service.version(),
@@ -212,9 +357,48 @@ impl IncrementalDriver {
             fold_secs: report.secs,
             publish_secs,
             retained_frames: driver.service.n_retained(),
+            wal_secs: None,
             checkpoint_secs: None,
         };
         Ok((driver, ingest))
+    }
+
+    /// Turns on WAL-backed durability: every subsequent
+    /// [`IncrementalDriver::ingest`] appends the batch to
+    /// `cfg.wal_path()` **before** folding, and the driver checkpoints to
+    /// `cfg.checkpoint_path()` every `cfg.checkpoint_every` folds
+    /// (rotating the log after each successful checkpoint).
+    ///
+    /// The directory is created if missing; any existing log there is
+    /// **truncated** and an immediate baseline checkpoint of the current
+    /// state is written — this call starts a fresh durability epoch. To
+    /// *resume* a previous epoch, use
+    /// [`IncrementalDriver::restore_durable`] instead. Durable mode and
+    /// legacy [`IncrementalDriver::set_checkpoint_path`] are exclusive;
+    /// enabling durability clears the legacy path.
+    pub fn enable_durability(&mut self, cfg: DurabilityConfig) -> Result<(), RestoreError> {
+        std::fs::create_dir_all(&cfg.dir).map_err(RestoreError::Persist)?;
+        let wal = Wal::create(&cfg.wal_path(), cfg.sync, 1)?;
+        self.write_checkpoint(&cfg.checkpoint_path(), Some(0))
+            .map_err(RestoreError::Persist)?;
+        self.checkpoint_path = None;
+        self.durability = Some(Durability {
+            cfg,
+            wal,
+            folds_since_checkpoint: 0,
+        });
+        Ok(())
+    }
+
+    /// The enabled durability configuration, if any.
+    pub fn durability(&self) -> Option<&DurabilityConfig> {
+        self.durability.as_ref().map(|d| &d.cfg)
+    }
+
+    /// The WAL sequence number of the last acknowledged ingest (0 when
+    /// durability is off or nothing was logged yet).
+    pub fn wal_seq(&self) -> u64 {
+        self.durability.as_ref().map(|d| d.wal.last_seq()).unwrap_or(0)
     }
 
     /// Enables checkpoint-on-publish: after every successful
@@ -226,26 +410,45 @@ impl IncrementalDriver {
         self.checkpoint_path = path;
     }
 
-    /// Folds one batch and publishes the resulting ontology version; with
-    /// a checkpoint path set, persists the post-publish state before
-    /// returning.
+    /// Folds one batch and publishes the resulting ontology version.
+    ///
+    /// In durable mode the batch is validated, appended to the WAL, and
+    /// only then folded — so a crash at any instant after `append`
+    /// returns leaves the batch recoverable, and a crash before leaves
+    /// state and log both without it. Every `checkpoint_every`-th fold
+    /// checkpoints and rotates the log. With a legacy checkpoint path set
+    /// instead, the driver checkpoints after every publish.
     pub fn ingest(&mut self, batch: DeltaBatch) -> Result<IngestReport, IngestError> {
-        let report = self.state.fold(batch)?;
+        let mut wal_secs = None;
+        let mut logged_seq = None;
+        if let Some(d) = self.durability.as_mut() {
+            // Validate up front: a batch the fold would reject must never
+            // enter the log (replay would re-reject it on every restore).
+            self.state.validate(&batch).map_err(IngestError::Fold)?;
+            let t = Instant::now();
+            logged_seq = Some(d.wal.append(&batch).map_err(IngestError::Wal)?);
+            wal_secs = Some(t.elapsed().as_secs_f64());
+            binio::crash_point("driver.post-append");
+        }
+        let report = match self.state.fold(batch) {
+            Ok(r) => r,
+            Err(e) => {
+                // Validation passed but the fold still rejected (a
+                // diff/apply invariant failure): compensate the append so
+                // log and state stay in agreement, then surface the error.
+                if let (Some(d), Some(seq)) = (self.durability.as_mut(), logged_seq) {
+                    let _ = d.wal.rollback_last(seq);
+                }
+                return Err(IngestError::Fold(e));
+            }
+        };
         let t = Instant::now();
         let resources = refresh_resources(&self.service.resources(), &report.output);
         let snapshot = OntologySnapshot::freeze(self.state.ontology());
         let version = self.service.publish(snapshot, resources);
         let retained_frames = self.service.retain_last(self.keep_frames);
         let publish_secs = t.elapsed().as_secs_f64();
-        let checkpoint_secs = match self.checkpoint_path.clone() {
-            Some(path) => {
-                let t = Instant::now();
-                self.checkpoint(&path).map_err(IngestError::Checkpoint)?;
-                Some(t.elapsed().as_secs_f64())
-            }
-            None => None,
-        };
-        Ok(IngestReport {
+        let mut out = IngestReport {
             version,
             delta: report.delta.stats(),
             clusters_mined: report.cache.clusters_mined,
@@ -253,8 +456,60 @@ impl IncrementalDriver {
             fold_secs: report.secs,
             publish_secs,
             retained_frames,
-            checkpoint_secs,
-        })
+            wal_secs,
+            checkpoint_secs: None,
+        };
+        if self.durability.is_some() {
+            let due = {
+                let d = self.durability.as_mut().expect("checked");
+                d.folds_since_checkpoint += 1;
+                d.folds_since_checkpoint >= d.cfg.checkpoint_every.max(1)
+            };
+            if due {
+                binio::crash_point("driver.pre-checkpoint");
+                let t = Instant::now();
+                match self.checkpoint_and_rotate() {
+                    Ok(()) => out.checkpoint_secs = Some(t.elapsed().as_secs_f64()),
+                    // The publish stands and the WAL still holds the
+                    // entry (rotation only follows a *successful*
+                    // checkpoint), so nothing is lost — report it.
+                    Err(source) => {
+                        return Err(IngestError::Checkpoint {
+                            report: Box::new(out),
+                            source,
+                        })
+                    }
+                }
+            }
+        } else if let Some(path) = self.checkpoint_path.clone() {
+            let t = Instant::now();
+            if let Err(source) = self.checkpoint(&path) {
+                return Err(IngestError::Checkpoint {
+                    report: Box::new(out),
+                    source,
+                });
+            }
+            out.checkpoint_secs = Some(t.elapsed().as_secs_f64());
+        }
+        Ok(out)
+    }
+
+    /// Checkpoints the durable state (watermark = last logged seq), then
+    /// rotates the WAL down to a header. Ordering is the durability
+    /// argument: the checkpoint holds every logged entry *before* the log
+    /// forgets them, and a crash between the two steps only means replay
+    /// skips the whole (already-checkpointed) log.
+    fn checkpoint_and_rotate(&mut self) -> std::io::Result<()> {
+        let d = self.durability.as_ref().expect("durable mode");
+        let path = d.cfg.checkpoint_path();
+        let watermark = d.wal.last_seq();
+        self.write_checkpoint(&path, Some(watermark))?;
+        binio::crash_point("driver.pre-rotate");
+        let d = self.durability.as_mut().expect("durable mode");
+        d.wal.rotate().map_err(std::io::Error::other)?;
+        binio::crash_point("driver.post-rotate");
+        d.folds_since_checkpoint = 0;
+        Ok(())
     }
 
     /// Writes one file carrying both halves of the loop: the folding
@@ -264,9 +519,21 @@ impl IncrementalDriver {
     /// reference — no transient deep clone, so checkpoint-on-publish adds
     /// write time but not peak memory to an ingest.
     pub fn checkpoint(&self, path: &Path) -> std::io::Result<()> {
+        self.write_checkpoint(path, None)
+    }
+
+    /// The one checkpoint writer: state + serving sections, plus (in
+    /// durable mode) the [`WAL_WATERMARK_SECTION`] recording how much of
+    /// the log the image already contains.
+    fn write_checkpoint(&self, path: &Path, watermark: Option<u64>) -> std::io::Result<()> {
         let mut file = SectionFile::new();
         Checkpoint::write_state_sections(&self.state, &mut file);
         self.service.checkpoint_sections(&mut file);
+        if let Some(seq) = watermark {
+            let mut w = Writer::new();
+            w.u64(seq);
+            file.add_writer(WAL_WATERMARK_SECTION, w);
+        }
         file.write_file(path)
     }
 
@@ -295,7 +562,79 @@ impl IncrementalDriver {
             service: Arc::new(service),
             keep_frames: keep_frames.max(1),
             checkpoint_path: Some(path.to_path_buf()),
+            durability: None,
         })
+    }
+
+    /// Crash recovery for a durable driver: loads `state.ckpt`, replays
+    /// the WAL tail (every entry past the checkpoint's watermark) through
+    /// the normal fold+publish path, then re-checkpoints and rotates so
+    /// the recovered process starts from a clean epoch.
+    ///
+    /// Replay reproduces the exact fold sequence the crashed process ran,
+    /// so the restored ontology, serving frames and version numbers are
+    /// byte-identical with a process that never crashed (the
+    /// `tests/crash_consistency.rs` contract). The host supplies the same
+    /// annotator and trained models as the original run.
+    pub fn restore_durable(
+        cfg: DurabilityConfig,
+        annotator: Annotator,
+        models: GiantModels,
+        keep_frames: usize,
+    ) -> Result<(Self, RestoreReport), RestoreError> {
+        let file = SectionFile::read_file(&cfg.checkpoint_path())?;
+        let state = Checkpoint::from_sections(&file)
+            .map_err(FileError::from)?
+            .restore(annotator, models);
+        let service = OntologyService::restore_sections(&file).map_err(FileError::from)?;
+        let watermark = match file.section(WAL_WATERMARK_SECTION) {
+            Ok(mut r) => r.u64().map_err(FileError::from)?,
+            Err(_) => 0,
+        };
+        // Lenient open: a torn tail is the expected crash artifact and a
+        // corrupt suffix cannot be trusted anyway — recovery resumes at
+        // the last valid entry and the drop is surfaced in the report.
+        let (wal, entries, truncation) = Wal::recover(&cfg.wal_path(), cfg.sync)?;
+        let mut driver = Self {
+            state,
+            service: Arc::new(service),
+            keep_frames: keep_frames.max(1),
+            checkpoint_path: None,
+            durability: Some(Durability {
+                cfg,
+                wal,
+                folds_since_checkpoint: 0,
+            }),
+        };
+        let mut replayed = 0;
+        for entry in entries {
+            if entry.seq <= watermark {
+                continue;
+            }
+            driver
+                .replay_one(entry.batch)
+                .map_err(|source| RestoreError::Replay {
+                    seq: entry.seq,
+                    source,
+                })?;
+            replayed += 1;
+        }
+        if replayed > 0 {
+            driver.checkpoint_and_rotate().map_err(RestoreError::Persist)?;
+        }
+        Ok((driver, RestoreReport { replayed, truncation }))
+    }
+
+    /// One replayed WAL entry: the fold+publish half of
+    /// [`IncrementalDriver::ingest`], **without** re-appending to the log
+    /// (the entry is already there) and without per-entry checkpoints.
+    fn replay_one(&mut self, batch: DeltaBatch) -> Result<(), FoldError> {
+        let report = self.state.fold(batch)?;
+        let resources = refresh_resources(&self.service.resources(), &report.output);
+        let snapshot = OntologySnapshot::freeze(self.state.ontology());
+        self.service.publish(snapshot, resources);
+        self.service.retain_last(self.keep_frames);
+        Ok(())
     }
 
     /// The serving endpoint (shared: clone the `Arc` into reader threads).

@@ -26,7 +26,8 @@ pub mod tagging;
 
 pub use duet::{duet_features, DuetConfig, DuetMatcher, DUET_FEATURE_DIM};
 pub use incremental::{
-    mined_metadata, refresh_resources, IncrementalDriver, IngestError, IngestReport, MinedMetadata,
+    mined_metadata, refresh_resources, DurabilityConfig, IncrementalDriver, IngestError,
+    IngestReport, MinedMetadata, RestoreError, RestoreReport,
 };
 pub use query::{conceptualize, recommend as recommend_query, QueryUnderstanding, Recommendations};
 pub use recommend::{

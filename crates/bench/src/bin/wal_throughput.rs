@@ -1,0 +1,278 @@
+//! Write-ahead-log benchmark: what does durability cost per sync mode,
+//! and does the log give back exactly what went in?
+//!
+//! ## What it measures
+//!
+//! * **raw append latency** — `Wal::append` over real `DeltaBatch`
+//!   payloads from the scaled bench world, p50/p99 per
+//!   [`giant::incr::SyncMode`] (`Strict` = fsync every append,
+//!   `Batched(8)` = group commit, `None` = OS-paced);
+//! * **driver ingest latency** — full durable
+//!   `IncrementalDriver::ingest` (WAL append + fold + publish +
+//!   periodic checkpoint) per sync mode, with the WAL share split out.
+//!
+//! ## What it asserts
+//!
+//! * **Strict is durable**: exactly one fsync per acknowledged append;
+//! * **group commit pays**: `Batched(8)` p50 append latency is ≥2× lower
+//!   than `Strict` (this is the point of the mode — if fsync were free
+//!   the knob would be noise);
+//! * **replay integrity**: reopening each log returns every batch
+//!   byte-identical (`encode_batch`) with monotonic sequence numbers.
+//!
+//! Results land in `BENCH_wal.json`.
+//!
+//! ```text
+//! cargo run --release -p giant-bench --bin wal_throughput [-- --smoke]
+//! ```
+
+use giant::adapter::{build_serving, GiantSetup, ModelTrainConfig};
+use giant::apps::incremental::{DurabilityConfig, IncrementalDriver};
+use giant::incr::{wal::encode_batch, DeltaBatch, IncrementalState, SyncMode, Wal};
+use giant::mining::GiantConfig;
+use giant_data::{ClickConfig, WorldConfig};
+use std::path::Path;
+use std::time::Instant;
+
+/// Raw-append reps per sync mode (latencies pooled across reps).
+const APPEND_REPS: usize = 3;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct AppendStats {
+    p50_us: f64,
+    p99_us: f64,
+    appends: u64,
+    syncs: u64,
+    bytes: u64,
+}
+
+/// Appends every batch to a fresh log under `mode`, pooling per-append
+/// latencies over [`APPEND_REPS`] reps, then reopens the final log and
+/// byte-asserts replay integrity.
+fn bench_appends(dir: &Path, mode: SyncMode, batches: &[DeltaBatch]) -> AppendStats {
+    let path = dir.join(format!("bench-{}.wal", mode.label().replace(':', "-")));
+    let mut latencies = Vec::with_capacity(APPEND_REPS * batches.len());
+    let mut appends = 0u64;
+    let mut syncs = 0u64;
+    for _ in 0..APPEND_REPS {
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, mode).expect("open wal");
+        for b in batches {
+            let t = Instant::now();
+            wal.append(b).expect("append");
+            latencies.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        // Pending group-commit bytes flushed before the handle drops, so
+        // every mode ends the rep fully on disk.
+        wal.sync().expect("final sync");
+        appends = wal.last_seq();
+        syncs = wal.syncs();
+    }
+    let bytes = std::fs::metadata(&path).expect("stat wal").len();
+
+    // Replay integrity: everything comes back, byte for byte, in order.
+    let (_, entries) = Wal::open(&path, SyncMode::None).expect("reopen wal");
+    assert_eq!(entries.len(), batches.len(), "replay must return every entry");
+    for (i, (entry, batch)) in entries.iter().zip(batches).enumerate() {
+        assert_eq!(entry.seq, i as u64 + 1, "sequence numbers must be monotonic");
+        assert_eq!(
+            encode_batch(&entry.batch),
+            encode_batch(batch),
+            "entry {i} must replay byte-identically"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    AppendStats {
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        appends,
+        syncs,
+        bytes,
+    }
+}
+
+struct IngestStats {
+    p50_s: f64,
+    wal_p50_us: f64,
+}
+
+/// Full durable ingest loop under `mode`: bootstrap, enable durability,
+/// ingest every delta batch, report ingest p50 and the WAL share.
+fn bench_ingest(
+    dir: &Path,
+    mode: SyncMode,
+    setup: &GiantSetup,
+    base: &giant::apps::ServeResources,
+    models: &giant::mining::GiantModels,
+    batches: &[DeltaBatch],
+) -> IngestStats {
+    let stream = setup.corpus_stream();
+    let state = IncrementalState::new(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        models.clone(),
+        GiantConfig::default(),
+    );
+    let (mut driver, _) =
+        IncrementalDriver::bootstrap(state, base.clone(), batches[0].clone(), 2)
+            .expect("bootstrap");
+    let durable_dir = dir.join(format!("ingest-{}", mode.label().replace(':', "-")));
+    std::fs::remove_dir_all(&durable_dir).ok();
+    driver
+        .enable_durability(DurabilityConfig {
+            dir: durable_dir.clone(),
+            sync: mode,
+            checkpoint_every: 4,
+        })
+        .expect("enable durability");
+    let mut ingest_secs = Vec::new();
+    let mut wal_us = Vec::new();
+    for batch in &batches[1..] {
+        let t = Instant::now();
+        let report = driver.ingest(batch.clone()).expect("ingest");
+        ingest_secs.push(t.elapsed().as_secs_f64());
+        wal_us.push(report.wal_secs.expect("durable ingest logs wal time") * 1e6);
+    }
+    std::fs::remove_dir_all(&durable_dir).ok();
+    ingest_secs.sort_by(|a, b| a.total_cmp(b));
+    wal_us.sort_by(|a, b| a.total_cmp(b));
+    IngestStats {
+        p50_s: percentile(&ingest_secs, 0.50),
+        wal_p50_us: percentile(&wal_us, 0.50),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let world = if smoke {
+        WorldConfig::tiny()
+    } else {
+        WorldConfig {
+            entities_per_sub: 24,
+            concepts_per_sub: 10,
+            ..WorldConfig::experiment()
+        }
+    };
+    let clicks = ClickConfig {
+        noise_fraction: 0.01,
+        ..ClickConfig::default()
+    };
+    eprintln!("[wal_throughput] building world + models (smoke={smoke})...");
+    let setup = GiantSetup::generate_with(world, &clicks);
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let output = setup.run_pipeline(&models, &GiantConfig::default());
+    let serving = build_serving(&setup, &output);
+    let base = (*serving.service.resources()).clone();
+    let stream = setup.corpus_stream();
+
+    // Many small batches: the WAL's unit of work is one delta, so the
+    // append distribution should be over realistic per-delta payloads.
+    let n_append_batches = if smoke { 32 } else { 64 };
+    let cuts: Vec<f64> = (1..n_append_batches)
+        .map(|i| i as f64 / n_append_batches as f64)
+        .collect();
+    let append_batches = stream.split(&cuts);
+    let n_ingest_batches = if smoke { 5 } else { 9 };
+    let cuts: Vec<f64> = (1..n_ingest_batches)
+        .map(|i| i as f64 / n_ingest_batches as f64)
+        .collect();
+    let ingest_batches = stream.split(&cuts);
+
+    println!("=== WAL throughput per sync mode ===");
+    println!(
+        "world: {} docs, {} clicks; {} append batches × {APPEND_REPS} reps, {} driver ingests",
+        stream.docs.len(),
+        stream.clicks.len(),
+        append_batches.len(),
+        ingest_batches.len() - 1,
+    );
+
+    let dir = std::env::temp_dir().join("giant-wal-bench");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let modes = [SyncMode::Strict, SyncMode::Batched(8), SyncMode::None];
+    let mut rows = Vec::new();
+    for mode in modes {
+        let a = bench_appends(&dir, mode, &append_batches);
+        let i = bench_ingest(&dir, mode, &setup, &base, &models, &ingest_batches);
+        println!(
+            "{:<10}  append p50 {:>9.1}µs  p99 {:>9.1}µs  ({} appends, {} fsyncs, {} KiB)  \
+             ingest p50 {:>7.4}s (wal share {:>7.1}µs)",
+            mode.label(),
+            a.p50_us,
+            a.p99_us,
+            a.appends,
+            a.syncs,
+            a.bytes / 1024,
+            i.p50_s,
+            i.wal_p50_us,
+        );
+        rows.push((mode, a, i));
+    }
+
+    // --- Assertions: the modes must actually mean what they claim.
+    let strict = &rows[0].1;
+    let batched = &rows[1].1;
+    assert_eq!(
+        strict.syncs, strict.appends,
+        "Strict must fsync exactly once per acknowledged append (durable)"
+    );
+    assert!(
+        batched.syncs < strict.syncs,
+        "group commit must issue fewer fsyncs than Strict"
+    );
+    assert!(
+        batched.p50_us * 2.0 <= strict.p50_us,
+        "Batched(8) p50 append latency must be ≥2× lower than Strict \
+         (batched {:.1}µs vs strict {:.1}µs)",
+        batched.p50_us,
+        strict.p50_us
+    );
+    println!(
+        "durability check: strict fsyncs/appends = {}/{}; batched speedup {:.1}×",
+        strict.syncs,
+        strict.appends,
+        strict.p50_us / rows[1].1.p50_us
+    );
+
+    // Hand-rolled JSON: the workspace is offline, no serde.
+    let mode_json: Vec<String> = rows
+        .iter()
+        .map(|(mode, a, i)| {
+            format!(
+                "    {{\n      \"mode\": \"{}\",\n      \"append_p50_us\": {:.3},\n      \
+                 \"append_p99_us\": {:.3},\n      \"appends\": {},\n      \"fsyncs\": {},\n      \
+                 \"log_bytes\": {},\n      \"ingest_p50_secs\": {:.6},\n      \
+                 \"ingest_wal_p50_us\": {:.3}\n    }}",
+                mode.label(),
+                a.p50_us,
+                a.p99_us,
+                a.appends,
+                a.syncs,
+                a.bytes,
+                i.p50_s,
+                i.wal_p50_us,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"wal_throughput\",\n  \"smoke\": {smoke},\n  \"n_docs\": {},\n  \
+         \"n_clicks\": {},\n  \"append_batches\": {},\n  \"append_reps\": {APPEND_REPS},\n  \
+         \"batched_vs_strict_p50_speedup\": {:.3},\n  \"modes\": [\n{}\n  ]\n}}\n",
+        stream.docs.len(),
+        stream.clicks.len(),
+        append_batches.len(),
+        rows[0].1.p50_us / rows[1].1.p50_us,
+        mode_json.join(",\n"),
+    );
+    std::fs::write("BENCH_wal.json", &json).expect("write BENCH_wal.json");
+    println!("wrote BENCH_wal.json");
+}

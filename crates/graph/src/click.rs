@@ -36,6 +36,20 @@ impl DocId {
     }
 }
 
+/// A saved endpoint row: its edge list and cached total at savepoint time.
+type SavedRow<Id, Peer> = (Id, Vec<(Peer, f64)>, f64);
+
+/// A bit-exact rollback point for a batch of click edits — see
+/// [`ClickGraph::savepoint`].
+#[derive(Debug)]
+pub struct ClickSavepoint {
+    n_queries: usize,
+    n_docs: usize,
+    total_clicks_bits: u64,
+    saved_queries: Vec<SavedRow<QueryId, DocId>>,
+    saved_docs: Vec<SavedRow<DocId, QueryId>>,
+}
+
 /// Weighted bipartite query–document click graph.
 #[derive(Debug, Clone, Default)]
 pub struct ClickGraph {
@@ -241,6 +255,68 @@ impl ClickGraph {
         }
     }
 
+    /// Captures a bit-exact savepoint covering a prospective batch of
+    /// click edits: the current node counts, the running total, and a
+    /// verbatim copy of every edge row (plus cached total) the batch's
+    /// `queries`/`docs` endpoints would touch. New queries and new doc
+    /// slots need no saved rows — [`ClickGraph::rollback`] truncates them
+    /// wholesale.
+    ///
+    /// The savepoint is only valid for rolling back edits whose endpoints
+    /// were all declared here; cost is O(touched rows), not O(graph).
+    pub fn savepoint<'a>(
+        &self,
+        queries: impl IntoIterator<Item = &'a str>,
+        docs: impl IntoIterator<Item = usize>,
+    ) -> ClickSavepoint {
+        let mut saved_queries = Vec::new();
+        let mut seen_q = std::collections::HashSet::new();
+        for text in queries {
+            if let Some(q) = self.query_id(text) {
+                if seen_q.insert(q) {
+                    saved_queries.push((q, self.q_edges[q.index()].clone(), self.q_totals[q.index()]));
+                }
+            }
+        }
+        let mut saved_docs = Vec::new();
+        let mut seen_d = std::collections::HashSet::new();
+        for d in docs {
+            if d < self.d_edges.len() && seen_d.insert(d) {
+                saved_docs.push((DocId(d as u32), self.d_edges[d].clone(), self.d_totals[d]));
+            }
+        }
+        ClickSavepoint {
+            n_queries: self.queries.len(),
+            n_docs: self.d_edges.len(),
+            total_clicks_bits: self.total_clicks.to_bits(),
+            saved_queries,
+            saved_docs,
+        }
+    }
+
+    /// Rolls the graph back to `sp`, bit-exactly: queries and doc slots
+    /// created since the savepoint are dropped (including their interned
+    /// strings), every saved edge row and cached total is restored
+    /// verbatim, and the running click total reverts to its saved bits.
+    pub fn rollback(&mut self, sp: ClickSavepoint) {
+        for q in self.queries.drain(sp.n_queries..) {
+            self.query_index.remove(&q);
+        }
+        self.q_edges.truncate(sp.n_queries);
+        self.q_totals.truncate(sp.n_queries);
+        self.d_edges.truncate(sp.n_docs);
+        self.d_totals.truncate(sp.n_docs);
+        for (q, row, total) in sp.saved_queries {
+            self.q_edges[q.index()] = row;
+            self.q_totals[q.index()] = total;
+        }
+        for (d, row, total) in sp.saved_docs {
+            self.d_edges[d.index()] = row;
+            self.d_totals[d.index()] = total;
+        }
+        self.total_clicks = f64::from_bits(sp.total_clicks_bits);
+    }
+
     /// Top-`k` documents of `q` by click count (ties broken by doc id for
     /// determinism). Used for context-enriched phrase representations.
     pub fn top_docs(&self, q: QueryId, k: usize) -> Vec<DocId> {
@@ -302,7 +378,82 @@ mod tests {
         assert_eq!(g.top_docs(q0, 1), vec![DocId(1)]);
     }
 
+    #[test]
+    fn savepoint_rolls_back_bit_exactly() {
+        let mut g = sample();
+        let before_edges: Vec<Vec<(DocId, f64)>> =
+            g.query_ids().map(|q| g.docs_of(q).to_vec()).collect();
+        let before_total = g.total_clicks().to_bits();
+        // A batch touching an existing edge, a new edge on an existing
+        // query, a brand-new query and a brand-new doc slot.
+        let batch: Vec<(&str, usize, f64)> = vec![
+            ("family road trip vehicles", 0, 2.5),
+            ("honda odyssey review", 0, 1.0),
+            ("toyota sienna cargo space", 5, 4.0),
+        ];
+        let sp = g.savepoint(
+            batch.iter().map(|(q, _, _)| *q),
+            batch.iter().map(|(_, d, _)| *d),
+        );
+        for (q, d, c) in &batch {
+            g.add_clicks(q, DocId(*d as u32), *c);
+        }
+        assert_eq!(g.n_queries(), 3);
+        assert_eq!(g.n_docs(), 6);
+        g.rollback(sp);
+        assert_eq!(g.n_queries(), 2);
+        assert_eq!(g.n_docs(), 3);
+        assert!(g.query_id("toyota sienna cargo space").is_none());
+        assert_eq!(g.total_clicks().to_bits(), before_total);
+        for (i, q) in g.query_ids().enumerate() {
+            assert_eq!(g.docs_of(q), before_edges[i].as_slice());
+            let resum: f64 = g.docs_of(q).iter().map(|(_, c)| c).sum();
+            assert_eq!(g.query_clicks(q).to_bits(), resum.to_bits());
+        }
+        // The graph still behaves normally after rollback.
+        let q = g.add_clicks("family road trip vehicles", DocId(0), 5.0);
+        assert_eq!(g.clicks(q, DocId(0)), 15.0);
+    }
+
     proptest! {
+        /// Rolling back a random batch restores every observable — node
+        /// counts, edge rows, cached totals, running total — bit for bit.
+        #[test]
+        fn savepoint_rollback_is_identity(
+            base in proptest::collection::vec((0u32..5, 0u32..5, 1u32..20), 0..25),
+            batch in proptest::collection::vec((0u32..8, 0u32..8, 1u32..20), 1..25),
+        ) {
+            let mut g = ClickGraph::new();
+            for (q, d, c) in &base {
+                g.add_clicks(&format!("q{q}"), DocId(*d), *c as f64);
+            }
+            let dump = |g: &ClickGraph| -> String {
+                let mut s = format!("{} {} {:x}\n", g.n_queries(), g.n_docs(),
+                    g.total_clicks().to_bits());
+                for q in g.query_ids() {
+                    s.push_str(&format!("{} {:x} {:?}\n", g.query_text(q),
+                        g.query_clicks(q).to_bits(), g.docs_of(q)));
+                }
+                for d in 0..g.n_docs() {
+                    let d = DocId(d as u32);
+                    s.push_str(&format!("{:x} {:?}\n", g.doc_clicks(d).to_bits(),
+                        g.queries_of(d)));
+                }
+                s
+            };
+            let before = dump(&g);
+            let texts: Vec<String> = batch.iter().map(|(q, _, _)| format!("q{q}")).collect();
+            let sp = g.savepoint(
+                texts.iter().map(|s| s.as_str()),
+                batch.iter().map(|(_, d, _)| *d as usize),
+            );
+            for (i, (_, d, c)) in batch.iter().enumerate() {
+                g.add_clicks(&texts[i], DocId(*d), *c as f64);
+            }
+            g.rollback(sp);
+            prop_assert_eq!(dump(&g), before);
+        }
+
         /// P(·|q) over the clicked docs of q always sums to 1 (or q has no mass).
         #[test]
         fn doc_distribution_normalizes(edges in proptest::collection::vec(

@@ -22,7 +22,7 @@ pub mod digraph;
 pub mod plan;
 pub mod walk;
 
-pub use click::{ClickGraph, DocId, QueryId};
+pub use click::{ClickGraph, ClickSavepoint, DocId, QueryId};
 pub use cluster::{extract_cluster, extract_cluster_tracked, extract_cluster_with, ClusterConfig, QueryDocCluster};
 pub use digraph::DiGraph;
 pub use plan::{plan_clusters, plan_clusters_cached, plan_clusters_parallel, ClusterPlan, ClusterWorkItem, DirtySet, PlanCache};

@@ -40,11 +40,11 @@ use giant_ontology::Ontology;
 use giant_text::{Annotator, NerTag};
 use std::path::Path;
 
-fn write_ner(w: &mut Writer, tag: NerTag) {
+pub(crate) fn write_ner(w: &mut Writer, tag: NerTag) {
     w.u8(tag.index() as u8);
 }
 
-fn read_ner(r: &mut Reader<'_>) -> Result<NerTag, BinError> {
+pub(crate) fn read_ner(r: &mut Reader<'_>) -> Result<NerTag, BinError> {
     let at = r.position();
     let i = r.u8()? as usize;
     NerTag::ALL.get(i).copied().ok_or_else(|| BinError {
@@ -165,7 +165,7 @@ fn read_click_graph(r: &mut Reader<'_>) -> Result<ClickGraph, BinError> {
     Ok(ClickGraph::from_parts(queries, q_edges, d_edges, total_clicks))
 }
 
-fn write_docs(w: &mut Writer, docs: &[DocRecord]) {
+pub(crate) fn write_docs(w: &mut Writer, docs: &[DocRecord]) {
     w.u32(docs.len() as u32);
     for d in docs {
         w.usize(d.id);
@@ -176,7 +176,7 @@ fn write_docs(w: &mut Writer, docs: &[DocRecord]) {
     }
 }
 
-fn read_docs(r: &mut Reader<'_>) -> Result<Vec<DocRecord>, BinError> {
+pub(crate) fn read_docs(r: &mut Reader<'_>) -> Result<Vec<DocRecord>, BinError> {
     let n = r.len(25, "docs")?;
     let mut docs = Vec::with_capacity(n);
     for _ in 0..n {

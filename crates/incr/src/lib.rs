@@ -44,8 +44,10 @@ pub mod batch;
 pub mod ckpt;
 pub mod state;
 pub mod stream;
+pub mod wal;
 
 pub use batch::{ClickEvent, DeltaBatch};
 pub use ckpt::Checkpoint;
 pub use state::{FoldError, FoldReport, IncrementalState};
 pub use stream::{union_input, CorpusStream};
+pub use wal::{SyncMode, Wal, WalEntry, WalError, WalTruncation};

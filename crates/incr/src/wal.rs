@@ -1,0 +1,772 @@
+//! Append-only write-ahead log of [`DeltaBatch`] entries: the durability
+//! layer between checkpoints.
+//!
+//! A checkpoint ([`crate::Checkpoint`]) is point-in-time; every batch
+//! folded after it would die with the process. The WAL closes that window:
+//! the driver appends each batch here **before** folding, so after a crash
+//! `restore = checkpoint + replay of the WAL tail` reproduces the
+//! never-crashed state byte-identically (the fold sequence is the same
+//! sequence, so the convergence contract of [`crate`] carries over).
+//!
+//! ## On-disk format
+//!
+//! Little-endian throughout, reusing the [`binio`] primitive encodings:
+//!
+//! ```text
+//! header   := magic "GIANTWAL" (8) | format version u32 (4)
+//! entry    := len u32 | seq u64 | checksum u64 | payload (len bytes)
+//! payload  := DeltaBatch via the checkpoint codecs (docs, clicks,
+//!             sessions, entities)
+//! checksum := FNV-1a-64 over seq_le ++ payload
+//! ```
+//!
+//! `seq` starts at 1 and is strictly monotonic **across rotations**: the
+//! log is truncated after a successful checkpoint, but sequence numbers
+//! keep counting, so a checkpoint's recorded watermark unambiguously says
+//! which WAL entries are already folded into it.
+//!
+//! ## Torn tails vs. corruption
+//!
+//! A crash mid-append leaves a *torn tail*: the file ends before the final
+//! frame completes. That is the expected crash artifact — [`Wal::open`]
+//! silently truncates it (the entry was never acknowledged). A frame that
+//! is fully present but fails its checksum is *corruption* — bits changed
+//! under us — and [`Wal::open`] rejects the log with [`WalError::Corrupt`].
+//! [`Wal::recover`] is the lenient path: it truncates at the last valid
+//! entry, reports what it dropped, and the log is usable again.
+//!
+//! ## Sync modes
+//!
+//! [`SyncMode`] trades append latency for the power-failure window. Note
+//! the distinction between *process* death and *power* loss: once
+//! `write(2)` returns, the bytes live in the OS page cache and survive
+//! `kill -9` in **every** mode; fsync only changes what survives losing
+//! the machine. See DESIGN.md §10 for the guarantees table.
+
+use crate::batch::{ClickEvent, DeltaBatch};
+use crate::ckpt::{read_docs, read_ner, write_docs, write_ner};
+use giant_ontology::binio::{self, fnv1a64, BinError, Reader, Writer};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+/// WAL file magic (first 8 bytes).
+pub const WAL_MAGIC: [u8; 8] = *b"GIANTWAL";
+
+/// Bump on incompatible WAL layout changes.
+pub const WAL_FORMAT_VERSION: u32 = 1;
+
+/// Fixed byte sizes of the header and per-entry frame prefix.
+const HEADER_LEN: u64 = 8 + 4;
+const FRAME_LEN: u64 = 4 + 8 + 8;
+
+/// When `append` pushes bytes to stable storage.
+///
+/// | mode | fsync | survives `kill -9` | survives power loss |
+/// |------|-------|--------------------|---------------------|
+/// | `Strict` | every append | yes | every acked append |
+/// | `Batched(n)` | every `n` appends | yes | up to `n-1` acked appends lost |
+/// | `None` | never | yes | anything since open may be lost |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// `fdatasync` after every append: an acked append is on stable
+    /// storage before `append` returns.
+    Strict,
+    /// Group commit: `fdatasync` once every `n` appends (and on
+    /// [`Wal::sync`] / rotation). `Batched(1)` behaves like `Strict`;
+    /// `Batched(0)` is normalised to `Batched(1)`.
+    Batched(u32),
+    /// Never fsync from `append`; the OS flushes on its own schedule.
+    None,
+}
+
+impl SyncMode {
+    /// Parses `"strict"`, `"batched:N"` or `"none"` (the spelling used by
+    /// the crash-harness child process env / CLI).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "strict" => Some(Self::Strict),
+            "none" => Some(Self::None),
+            _ => {
+                let n = s.strip_prefix("batched:")?.parse().ok()?;
+                Some(Self::Batched(n))
+            }
+        }
+    }
+
+    /// Inverse of [`SyncMode::parse`].
+    pub fn label(&self) -> String {
+        match self {
+            Self::Strict => "strict".into(),
+            Self::Batched(n) => format!("batched:{n}"),
+            Self::None => "none".into(),
+        }
+    }
+}
+
+/// One decoded log record.
+#[derive(Debug, Clone)]
+pub struct WalEntry {
+    /// Monotonic sequence number (1-based, survives rotation).
+    pub seq: u64,
+    /// The logged batch, exactly as appended.
+    pub batch: DeltaBatch,
+}
+
+/// What [`Wal::recover`] dropped, when it dropped anything.
+#[derive(Debug, Clone)]
+pub struct WalTruncation {
+    /// Byte offset the log was truncated back to.
+    pub offset: u64,
+    /// Why the scan stopped there.
+    pub reason: String,
+}
+
+/// Typed WAL failures.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file exists but does not start with [`WAL_MAGIC`].
+    BadMagic { found: Vec<u8> },
+    /// Unknown [`WAL_FORMAT_VERSION`].
+    BadVersion { found: u32 },
+    /// A fully-present frame failed its checksum or sequence check —
+    /// bits changed after they were acknowledged (strict open only;
+    /// [`Wal::recover`] truncates instead).
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// What failed the check.
+        reason: String,
+    },
+    /// The frame checksum held but the payload did not decode as a
+    /// [`DeltaBatch`] — a writer/reader version skew, not bit rot.
+    Decode(BinError),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "wal i/o error: {e}"),
+            Self::BadMagic { found } => {
+                write!(f, "not a GIANT wal file (magic {found:02x?})")
+            }
+            Self::BadVersion { found } => {
+                write!(f, "unsupported wal format version {found}")
+            }
+            Self::Corrupt { offset, reason } => {
+                write!(f, "wal corrupt at byte {offset}: {reason}")
+            }
+            Self::Decode(e) => write!(f, "wal entry payload undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Decode(e) => Some(e),
+            _ => Option::None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<BinError> for WalError {
+    fn from(e: BinError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+/// Serialises a batch with the same codecs the checkpoint uses, so a WAL
+/// payload and a checkpointed corpus can never drift apart byte-wise.
+pub(crate) fn write_batch(w: &mut Writer, b: &DeltaBatch) {
+    write_docs(w, &b.docs);
+    w.u32(b.clicks.len() as u32);
+    for c in &b.clicks {
+        w.str(&c.query);
+        w.usize(c.doc);
+        w.f64(c.count);
+    }
+    w.u32(b.sessions.len() as u32);
+    for s in &b.sessions {
+        w.str_slice(s);
+    }
+    w.u32(b.entities.len() as u32);
+    for (tokens, ner) in &b.entities {
+        w.str_slice(tokens);
+        write_ner(w, *ner);
+    }
+}
+
+/// Inverse of [`write_batch`].
+pub(crate) fn read_batch(r: &mut Reader<'_>) -> Result<DeltaBatch, BinError> {
+    let docs = read_docs(r)?;
+    let n = r.len(20, "wal clicks")?;
+    let mut clicks = Vec::with_capacity(n);
+    for _ in 0..n {
+        clicks.push(ClickEvent {
+            query: r.str()?,
+            doc: r.usize()?,
+            count: r.f64()?,
+        });
+    }
+    let n = r.len(4, "wal sessions")?;
+    let mut sessions = Vec::with_capacity(n);
+    for _ in 0..n {
+        sessions.push(r.str_vec()?);
+    }
+    let n = r.len(5, "wal entities")?;
+    let mut entities = Vec::with_capacity(n);
+    for _ in 0..n {
+        entities.push((r.str_vec()?, read_ner(r)?));
+    }
+    Ok(DeltaBatch {
+        docs,
+        clicks,
+        sessions,
+        entities,
+    })
+}
+
+/// The canonical WAL payload bytes of a batch — what [`Wal::append`]
+/// writes and what replay decodes. Public so tests and benches can
+/// byte-compare batches (a [`DeltaBatch`] has no `PartialEq`; two batches
+/// are equal iff their encodings are).
+pub fn encode_batch(b: &DeltaBatch) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_batch(&mut w, b);
+    w.into_bytes()
+}
+
+fn frame_checksum(seq: u64, payload: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(payload);
+    fnv1a64(&buf)
+}
+
+/// Outcome of scanning a log image.
+struct Scan {
+    entries: Vec<WalEntry>,
+    /// First byte past the last valid frame — where appends resume.
+    valid_end: u64,
+    /// Set when the scan stopped before end-of-file.
+    stopped: std::option::Option<(u64, String, bool)>, // (offset, reason, is_torn_tail)
+}
+
+fn scan(bytes: &[u8]) -> Result<Scan, WalError> {
+    if bytes.len() < HEADER_LEN as usize {
+        // A header torn mid-write: nothing was ever acknowledged on this
+        // log, treat like an empty file.
+        return Ok(Scan {
+            entries: Vec::new(),
+            valid_end: 0,
+            stopped: Some((0, "torn header".into(), true)),
+        });
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return Err(WalError::BadMagic {
+            found: bytes[..8].to_vec(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != WAL_FORMAT_VERSION {
+        return Err(WalError::BadVersion { found: version });
+    }
+
+    let mut entries = Vec::new();
+    let mut off = HEADER_LEN as usize;
+    let mut expect_seq: std::option::Option<u64> = Option::None;
+    while off < bytes.len() {
+        let remaining = bytes.len() - off;
+        if remaining < FRAME_LEN as usize {
+            return Ok(Scan {
+                entries,
+                valid_end: off as u64,
+                stopped: Some((off as u64, "torn frame prefix".into(), true)),
+            });
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[off + 12..off + 20].try_into().unwrap());
+        let body = off + FRAME_LEN as usize;
+        if bytes.len() - body < len {
+            return Ok(Scan {
+                entries,
+                valid_end: off as u64,
+                stopped: Some((off as u64, format!("torn payload ({} of {len} bytes)", bytes.len() - body), true)),
+            });
+        }
+        let payload = &bytes[body..body + len];
+        if frame_checksum(seq, payload) != checksum {
+            return Ok(Scan {
+                entries,
+                valid_end: off as u64,
+                stopped: Some((off as u64, format!("checksum mismatch on seq {seq}"), false)),
+            });
+        }
+        if let Some(want) = expect_seq {
+            if seq != want {
+                return Ok(Scan {
+                    entries,
+                    valid_end: off as u64,
+                    stopped: Some((
+                        off as u64,
+                        format!("sequence gap: found {seq}, expected {want}"),
+                        false,
+                    )),
+                });
+            }
+        }
+        expect_seq = Some(seq + 1);
+        let mut r = Reader::new(payload);
+        let batch = read_batch(&mut r)?;
+        r.expect_exhausted()?;
+        entries.push(WalEntry { seq, batch });
+        off = body + len;
+    }
+    Ok(Scan {
+        entries,
+        valid_end: off as u64,
+        stopped: Option::None,
+    })
+}
+
+/// What opening a log yields besides the handle: the decoded entries and,
+/// on the lenient path, the truncation report.
+type Opened = (Vec<WalEntry>, std::option::Option<WalTruncation>);
+
+/// An open write-ahead log, positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    sync: SyncMode,
+    next_seq: u64,
+    pending: u32,
+    syncs: u64,
+    /// Byte offset of the most recent append's frame (0 = none since
+    /// open/rotate), for [`Wal::rollback_last`].
+    last_frame_start: u64,
+}
+
+impl Wal {
+    /// Creates a fresh, empty log at `path` (truncating any existing
+    /// file), with the header synced to stable storage. `first_seq` is the
+    /// sequence number the next append will get — `1` for a brand-new log,
+    /// or the continuation point when re-creating after a checkpoint.
+    pub fn create(path: &Path, sync: SyncMode, first_seq: u64) -> Result<Self, WalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.write_all(&WAL_FORMAT_VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            binio::fsync_dir(dir)?;
+        }
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            sync,
+            next_seq: first_seq.max(1),
+            pending: 0,
+            syncs: 0,
+            last_frame_start: 0,
+        })
+    }
+
+    /// Opens the log at `path` (creating it empty if absent), returning
+    /// the decoded entries. A torn tail — the file ends before the final
+    /// frame completes — is silently truncated: that entry was never
+    /// acknowledged. A *complete* frame failing its checksum or sequence
+    /// check is rejected with [`WalError::Corrupt`]; use [`Wal::recover`]
+    /// to salvage the valid prefix instead.
+    pub fn open(path: &Path, sync: SyncMode) -> Result<(Self, Vec<WalEntry>), WalError> {
+        let (wal, (entries, _)) = Self::open_impl(path, sync, true)?;
+        Ok((wal, entries))
+    }
+
+    /// Lenient open: like [`Wal::open`], but mid-log corruption truncates
+    /// the log back to the last valid entry instead of failing, and the
+    /// drop is reported so the host can log/alert. Appends then resume at
+    /// the sequence number after the last valid entry.
+    pub fn recover(
+        path: &Path,
+        sync: SyncMode,
+    ) -> Result<(Self, Vec<WalEntry>, std::option::Option<WalTruncation>), WalError> {
+        let (wal, (entries, trunc)) = Self::open_impl(path, sync, false)?;
+        Ok((wal, entries, trunc))
+    }
+
+    fn open_impl(path: &Path, sync: SyncMode, strict: bool) -> Result<(Self, Opened), WalError> {
+        if !path.exists() {
+            return Ok((Self::create(path, sync, 1)?, (Vec::new(), Option::None)));
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let scan = scan(&bytes)?;
+        let mut truncation = Option::None;
+        if let Some((offset, reason, is_torn)) = scan.stopped {
+            if strict && !is_torn {
+                return Err(WalError::Corrupt { offset, reason });
+            }
+            if !is_torn {
+                truncation = Some(WalTruncation { offset, reason });
+            }
+        }
+        if scan.valid_end < HEADER_LEN {
+            // Torn header: rewrite it from scratch.
+            return Ok((Self::create(path, sync, 1)?, (Vec::new(), truncation)));
+        }
+        if scan.valid_end < bytes.len() as u64 {
+            file.set_len(scan.valid_end)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_end))?;
+        let next_seq = scan.entries.last().map(|e| e.seq + 1).unwrap_or(1);
+        Ok((
+            Self {
+                file,
+                path: path.to_path_buf(),
+                sync,
+                next_seq,
+                pending: 0,
+                syncs: 0,
+                last_frame_start: 0,
+            },
+            (scan.entries, truncation),
+        ))
+    }
+
+    /// Appends one batch, returning its sequence number. Bytes reach the
+    /// OS before return in every mode (surviving process death); fsync
+    /// follows the [`SyncMode`] policy.
+    pub fn append(&mut self, batch: &DeltaBatch) -> Result<u64, WalError> {
+        let seq = self.next_seq;
+        let mut w = Writer::new();
+        write_batch(&mut w, batch);
+        let payload = w.into_bytes();
+        let mut frame = Vec::with_capacity(FRAME_LEN as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(&frame_checksum(seq, &payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let start = self.file.stream_position()?;
+        // Split the write so the fault harness can abort with a genuinely
+        // torn frame on disk (prefix written, remainder lost).
+        let mid = frame.len() / 2;
+        self.file.write_all(&frame[..mid])?;
+        binio::crash_point("wal.append.mid");
+        self.file.write_all(&frame[mid..])?;
+        binio::crash_point("wal.append.pre-sync");
+        self.next_seq += 1;
+        self.last_frame_start = start;
+        self.pending += 1;
+        match self.sync {
+            SyncMode::Strict => self.sync_now()?,
+            SyncMode::Batched(n) => {
+                if self.pending >= n.max(1) {
+                    self.sync_now()?;
+                }
+            }
+            SyncMode::None => {}
+        }
+        Ok(seq)
+    }
+
+    /// Forces outstanding appends to stable storage regardless of mode
+    /// (a no-op when nothing is unsynced — [`Wal::syncs`] counts real
+    /// fsyncs only).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        self.sync_now()
+    }
+
+    /// Undoes the **most recent** append by truncating its frame off the
+    /// tail — the compensation a WAL-first host applies when the fold
+    /// rejects a batch it already logged, keeping log and state in
+    /// agreement. `seq` must be the value that append returned.
+    pub fn rollback_last(&mut self, seq: u64) -> Result<(), WalError> {
+        if seq + 1 != self.next_seq || self.last_frame_start == 0 {
+            return Err(WalError::Corrupt {
+                offset: self.last_frame_start,
+                reason: format!(
+                    "rollback_last({seq}) does not match the last append (next_seq {})",
+                    self.next_seq
+                ),
+            });
+        }
+        self.file.set_len(self.last_frame_start)?;
+        self.file.seek(SeekFrom::Start(self.last_frame_start))?;
+        self.file.sync_data()?;
+        self.next_seq = seq;
+        self.last_frame_start = 0;
+        self.pending = self.pending.saturating_sub(1);
+        Ok(())
+    }
+
+    fn sync_now(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        self.pending = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Truncates the log after a successful checkpoint: atomically
+    /// replaces the file with a fresh header-only log (temp + rename +
+    /// directory fsync, same recipe as `binio::SectionFile::write_file`).
+    /// Sequence numbers continue — rotation never reuses a seq.
+    pub fn rotate(&mut self) -> Result<(), WalError> {
+        let tmp = self.path.with_extension("wal.tmp");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.write_all(&WAL_FORMAT_VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        binio::crash_point("wal.rotate.pre-rename");
+        std::fs::rename(&tmp, &self.path)?;
+        binio::crash_point("wal.rotate.post-rename");
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            binio::fsync_dir(dir)?;
+        }
+        // The renamed temp handle IS the new log file; the old fd points
+        // at the unlinked inode and is dropped here.
+        self.file = file;
+        self.pending = 0;
+        self.last_frame_start = 0;
+        Ok(())
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the last acknowledged append (0 if none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// fsync calls issued so far (bench/test observability).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giant_core::pipeline::DocRecord;
+    use giant_text::NerTag;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("giant-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn batch(i: usize) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        b.docs.push(DocRecord {
+            id: i,
+            title: format!("doc {i} arrives"),
+            sentences: vec![format!("sentence for doc {i}")],
+            leaf_category: 0,
+            day: i as u32,
+        });
+        b.clicks.push(ClickEvent {
+            query: format!("query {i}"),
+            doc: i,
+            count: 1.5 + i as f64,
+        });
+        b.sessions.push(vec![format!("query {i}"), "followup".into()]);
+        b.entities
+            .push((vec![format!("entity{i}")], NerTag::Organization));
+        b
+    }
+
+    fn encode(b: &DeltaBatch) -> Vec<u8> {
+        encode_batch(b)
+    }
+
+    #[test]
+    fn append_reopen_round_trips_bit_exactly() {
+        let path = tmp("roundtrip.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, entries) = Wal::open(&path, SyncMode::Strict).unwrap();
+        assert!(entries.is_empty());
+        for i in 0..4 {
+            assert_eq!(wal.append(&batch(i)).unwrap(), i as u64 + 1);
+        }
+        assert_eq!(wal.syncs(), 4, "strict mode syncs every append");
+        drop(wal);
+        let (wal, entries) = Wal::open(&path, SyncMode::None).unwrap();
+        assert_eq!(entries.len(), 4);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1);
+            assert_eq!(encode(&e.batch), encode(&batch(i)), "payload bit-exact");
+        }
+        assert_eq!(wal.next_seq(), 5);
+    }
+
+    #[test]
+    fn batched_mode_groups_syncs() {
+        let path = tmp("batched.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, SyncMode::Batched(3)).unwrap();
+        for i in 0..7 {
+            wal.append(&batch(i)).unwrap();
+        }
+        assert_eq!(wal.syncs(), 2, "7 appends at n=3 -> 2 group commits");
+        wal.sync().unwrap();
+        assert_eq!(wal.syncs(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_an_error() {
+        let path = tmp("torn.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, SyncMode::Strict).unwrap();
+        for i in 0..3 {
+            wal.append(&batch(i)).unwrap();
+        }
+        drop(wal);
+        let len = std::fs::metadata(&path).unwrap().len();
+        // Chop into the middle of the last frame's payload.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+        let (mut wal, entries) = Wal::open(&path, SyncMode::Strict).unwrap();
+        assert_eq!(entries.len(), 2, "torn final entry discarded");
+        assert_eq!(wal.next_seq(), 3, "seq resumes after last valid entry");
+        // The truncated log must accept fresh appends at the reused slot.
+        assert_eq!(wal.append(&batch(9)).unwrap(), 3);
+        drop(wal);
+        let (_, entries) = Wal::open(&path, SyncMode::Strict).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(encode(&entries[2].batch), encode(&batch(9)));
+    }
+
+    #[test]
+    fn flipped_byte_rejected_strict_recovered_lenient() {
+        let path = tmp("flip.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, SyncMode::Strict).unwrap();
+        let mut offsets = vec![HEADER_LEN];
+        for i in 0..3 {
+            wal.append(&batch(i)).unwrap();
+            offsets.push(std::fs::metadata(&path).unwrap().len());
+        }
+        drop(wal);
+        // Flip a payload byte inside the *middle* (complete) entry.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid_entry = (offsets[1] + FRAME_LEN) as usize + 3;
+        bytes[mid_entry] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match Wal::open(&path, SyncMode::Strict) {
+            Err(WalError::Corrupt { offset, .. }) => assert_eq!(offset, offsets[1]),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        let (mut wal, entries, trunc) = Wal::recover(&path, SyncMode::Strict).unwrap();
+        assert_eq!(entries.len(), 1, "recovery keeps the valid prefix");
+        assert_eq!(entries[0].seq, 1);
+        let trunc = trunc.expect("recovery reports the drop");
+        assert_eq!(trunc.offset, offsets[1]);
+        assert_eq!(wal.next_seq(), 2, "appends resume at last valid entry + 1");
+        wal.append(&batch(5)).unwrap();
+        drop(wal);
+        let (_, entries) = Wal::open(&path, SyncMode::Strict).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(encode(&entries[1].batch), encode(&batch(5)));
+    }
+
+    #[test]
+    fn rotation_truncates_but_seq_continues() {
+        let path = tmp("rotate.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, SyncMode::Strict).unwrap();
+        wal.append(&batch(0)).unwrap();
+        wal.append(&batch(1)).unwrap();
+        wal.rotate().unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            HEADER_LEN,
+            "rotation leaves a header-only log"
+        );
+        assert_eq!(wal.append(&batch(2)).unwrap(), 3, "seq survives rotation");
+        drop(wal);
+        let (_, entries) = Wal::open(&path, SyncMode::Strict).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].seq, 3);
+    }
+
+    #[test]
+    fn rollback_last_undoes_exactly_one_append() {
+        let path = tmp("rollback.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, SyncMode::Strict).unwrap();
+        wal.append(&batch(0)).unwrap();
+        let seq = wal.append(&batch(1)).unwrap();
+        wal.rollback_last(seq).unwrap();
+        assert_eq!(wal.next_seq(), 2);
+        // Only the latest append is undoable, and only once.
+        assert!(wal.rollback_last(1).is_err());
+        assert_eq!(wal.append(&batch(7)).unwrap(), 2, "slot is reused");
+        drop(wal);
+        let (_, entries) = Wal::open(&path, SyncMode::Strict).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(encode(&entries[1].batch), encode(&batch(7)));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let path = tmp("magic.wal");
+        std::fs::write(&path, b"NOTAGIANTWALFILE").unwrap();
+        assert!(matches!(
+            Wal::open(&path, SyncMode::None),
+            Err(WalError::BadMagic { .. })
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Wal::open(&path, SyncMode::None),
+            Err(WalError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn sync_mode_labels_round_trip() {
+        for mode in [SyncMode::Strict, SyncMode::Batched(8), SyncMode::None] {
+            assert_eq!(SyncMode::parse(&mode.label()), Some(mode));
+        }
+        assert_eq!(SyncMode::parse("bogus"), Option::None);
+    }
+}

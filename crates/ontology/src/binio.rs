@@ -106,6 +106,54 @@ impl From<BinError> for FileError {
     }
 }
 
+/// Fsyncs a directory so a preceding rename (or create/unlink) in it is
+/// durable. Renaming over a file persists the *data* only after the file
+/// was fsynced, and the *directory entry* only after the directory is —
+/// without this, a power failure can roll the rename back, losing both the
+/// old and the new file. No-op on platforms where directories cannot be
+/// opened for syncing.
+///
+/// Shared by [`SectionFile::write_file`] and the WAL rotation in
+/// `giant-incr` — every temp-file + rename in the durability surface goes
+/// through the same helper.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Fault-injection support for crash-consistency tests: aborts the process
+/// (no unwinding, no buffer flushing — the filesystem state is exactly what
+/// a `kill -9` at this instant would leave) when the environment variable
+/// `GIANT_CRASH_POINT` is set to `"<label>:<n>"` and this is the `n`-th
+/// (1-based) hit of that label.
+///
+/// When the variable is unset the cost is one relaxed atomic load — the
+/// hooks stay compiled into release builds so the crash-consistency suite
+/// exercises the exact binaries that ship.
+pub fn crash_point(label: &str) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    static TARGET: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    let target = TARGET.get_or_init(|| {
+        let spec = std::env::var("GIANT_CRASH_POINT").ok()?;
+        let (name, nth) = spec.rsplit_once(':')?;
+        Some((name.to_owned(), nth.parse().ok()?))
+    });
+    if let Some((name, nth)) = target {
+        if name == label && HITS.fetch_add(1, Ordering::Relaxed) + 1 == *nth {
+            std::process::abort();
+        }
+    }
+}
+
 /// FNV-1a 64-bit checksum (dependency-free, deterministic).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -487,14 +535,13 @@ impl SectionFile {
             // BOTH the old and the new checkpoint on power failure.
             f.sync_all()?;
         }
+        crash_point("binio.write_file.pre-rename");
         std::fs::rename(&tmp, path)?;
-        // Best-effort: persist the directory entry too. Failure here (an
-        // exotic filesystem refusing dir fsync) downgrades durability, not
-        // correctness, so it is not fatal.
+        crash_point("binio.write_file.post-rename");
+        // Persist the directory entry too: the rename itself is only
+        // durable once the directory's own metadata reaches disk.
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
+            fsync_dir(dir)?;
         }
         Ok(())
     }

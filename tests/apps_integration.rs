@@ -299,6 +299,79 @@ fn incremental_driver_checkpoints_on_publish_and_restores_mid_stream() {
 }
 
 #[test]
+fn failed_checkpoint_carries_the_report_and_does_not_lose_the_batch() {
+    // Regression: a checkpoint failure fires *after* the fold has
+    // published, so the error must carry the successful `IngestReport`
+    // (the publish stands) rather than inviting the caller to retry and
+    // double-fold the batch.
+    use giant::apps::incremental::{IncrementalDriver, IngestError};
+    use giant::incr::IncrementalState;
+
+    let f = fixture();
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let stream = setup.corpus_stream();
+    let batches = stream.split(&[0.6, 0.85]);
+    let state = IncrementalState::new(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        models,
+        GiantConfig::default(),
+    );
+    let base = (*f.serving.service.resources()).clone();
+    let (mut driver, _) =
+        IncrementalDriver::bootstrap(state, base, batches[0].clone(), 2).unwrap();
+
+    // A checkpoint path whose parent directory does not exist: the write
+    // fails, the fold+publish do not.
+    let bad = std::env::temp_dir()
+        .join("giant-no-such-dir-for-ckpt")
+        .join("missing")
+        .join("driver.ckpt");
+    driver.set_checkpoint_path(Some(bad));
+    let folds_before = driver.state().folds();
+    let err = driver.ingest(batches[1].clone()).unwrap_err();
+    let IngestError::Checkpoint { report, source: _ } = err else {
+        panic!("expected IngestError::Checkpoint, got a different variant")
+    };
+    // The report describes the ingest that *succeeded*: version 2 is
+    // published and being served, the fold counter advanced exactly once.
+    assert_eq!(report.version, 2);
+    assert_eq!(driver.service().version(), 2, "the publish stands");
+    assert_eq!(driver.state().folds(), folds_before + 1, "folded exactly once");
+
+    // The batch is not lost and must not be retried: the *next* batch
+    // folds normally once the checkpoint path is fixed, and the stream
+    // converges as if the failure never happened.
+    let good = std::env::temp_dir().join("giant-ckpt-after-failure.ckpt");
+    driver.set_checkpoint_path(Some(good.clone()));
+    let report = driver.ingest(batches[2].clone()).unwrap();
+    assert_eq!(report.version, 3);
+    assert!(report.checkpoint_secs.is_some());
+    assert_eq!(driver.state().folds(), folds_before + 2);
+
+    // Byte-identity with a never-failing control driver over the same
+    // stream: the failed checkpoint neither lost nor re-applied batch 1.
+    let state2 = IncrementalState::new(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        setup.train_models(&ModelTrainConfig::small()).0,
+        GiantConfig::default(),
+    );
+    let base2 = (*f.serving.service.resources()).clone();
+    let (mut control, _) =
+        IncrementalDriver::bootstrap(state2, base2, batches[0].clone(), 2).unwrap();
+    control.ingest(batches[1].clone()).unwrap();
+    control.ingest(batches[2].clone()).unwrap();
+    assert_eq!(
+        giant::ontology::io::dump(driver.state().ontology()),
+        giant::ontology::io::dump(control.state().ontology()),
+        "checkpoint failure perturbed the fold stream"
+    );
+    std::fs::remove_file(&good).ok();
+}
+
+#[test]
 fn incremental_driver_streams_batches_into_fresh_versions() {
     // The end-to-end "log stream in, fresh versioned answers out" loop:
     // bootstrap the driver from the first half of a tiny world's corpus
