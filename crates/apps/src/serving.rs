@@ -410,6 +410,12 @@ impl OntologyService {
     /// an `IncrementalDriver` publishing from one thread while readers
     /// serve from others.
     ///
+    /// `keep = 0` is **not** "drop everything": it clamps to 1, because
+    /// the newest history entry is the live frame and dropping it would
+    /// leave `current` dangling. Likewise, pruning while the live frame is
+    /// the only frame is a no-op. Both are pinned by
+    /// `retain_last_zero_on_a_single_frame_service_never_drops_the_live_frame`.
+    ///
     /// Safety mirrors `publish`'s opportunistic reclamation: superseded
     /// frames are dropped only inside a quiet window (the `SeqCst`
     /// presence counter reads zero, so no reader can be holding a bare
@@ -677,6 +683,35 @@ mod tests {
         // keep = 0 clamps to the live frame.
         assert_eq!(svc.retain_last(0), 1);
         assert_eq!(svc.version(), 6);
+    }
+
+    #[test]
+    fn retain_last_zero_on_a_single_frame_service_never_drops_the_live_frame() {
+        // The edge this pins: `retain_last(0)` — and pruning in general —
+        // while the current frame is the ONLY frame must be a no-op that
+        // keeps serving. `keep` clamps to 1 because the newest history
+        // entry is the live frame; dropping it would leave `current`
+        // dangling.
+        let (svc, _) = service();
+        let svc = Arc::new(svc);
+        let probe = ServeRequest::Conceptualize {
+            query: "electric cars".into(),
+        };
+        assert_eq!(svc.n_retained(), 1);
+        assert_eq!(svc.retain_last(0), 1, "keep=0 clamps to the live frame");
+        assert_eq!(svc.retain_last(0), 1, "and is idempotent");
+        assert_eq!(svc.retain_last(5), 1, "keep beyond depth changes nothing");
+        assert_eq!(svc.n_retained(), 1);
+        assert_eq!(svc.version(), 1, "live frame must survive");
+        assert!(svc.serve(&probe).is_ok(), "service must keep answering");
+        // The exclusive-access pruning path has the same contract.
+        let mut svc = match Arc::try_unwrap(svc) {
+            Ok(svc) => svc,
+            Err(_) => unreachable!("sole owner"),
+        };
+        svc.prune_history();
+        assert_eq!(svc.n_retained(), 1);
+        assert!(svc.serve(&probe).is_ok());
     }
 
     #[test]

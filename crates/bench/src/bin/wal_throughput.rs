@@ -83,8 +83,8 @@ fn bench_appends(dir: &Path, mode: SyncMode, batches: &[DeltaBatch]) -> AppendSt
     for (i, (entry, batch)) in entries.iter().zip(batches).enumerate() {
         assert_eq!(entry.seq, i as u64 + 1, "sequence numbers must be monotonic");
         assert_eq!(
-            encode_batch(&entry.batch),
-            encode_batch(batch),
+            encode_batch(&entry.batch).expect("encode replayed batch"),
+            encode_batch(batch).expect("encode source batch"),
             "entry {i} must replay byte-identically"
         );
     }

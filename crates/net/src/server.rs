@@ -1,0 +1,361 @@
+//! The serving front door: accept/read threads, a bounded admission
+//! queue, and a request-coalescing worker pool.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! accept thread ──► one reader thread per connection
+//!                        │  decode frame → Job ──► bounded queue ──► workers
+//!                        │  (queue full → Reply::Shed, not queued)     │
+//!                        └─ Request::Stats answered inline             │
+//!                                         drain ≤ batch_max jobs ◄─────┘
+//!                                         OntologyService::serve_batch
+//!                                         reply frames → per-conn mutex
+//! ```
+//!
+//! Workers drain whatever has accumulated (up to `batch_max`) into a
+//! single [`OntologyService::serve_batch`] call, which acquires **one**
+//! serving frame for the whole batch and fans out through
+//! `giant_exec::run_ordered`. Because each answer depends only on
+//! (request, frame), coalescing is invisible in the response bytes: any
+//! worker count, batch composition, or executor thread count produces
+//! byte-identical replies.
+//!
+//! ## Overload semantics
+//!
+//! Admission is a bounded queue. The read thread rejects — it never
+//! blocks and never buffers beyond the bound — so server memory under
+//! overload is O(queue_cap + open connections), and a client always gets
+//! a prompt, typed answer:
+//!
+//! | condition                    | client sees                          |
+//! |------------------------------|--------------------------------------|
+//! | queue has room               | reply, after queue + compute         |
+//! | queue full                   | [`Reply::Shed`] immediately          |
+//! | malformed / oversized frame  | [`Reply::Bad`], then connection close|
+//! | `Request::Stats`, any load   | [`Reply::Stats`] inline (never shed) |
+
+use giant_apps::serving::{OntologyService, ServeRequest};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::stats::{ServerStats, StatsReport};
+use crate::wire::{
+    decode_request, encode_reply_frame, kind_index, read_frame, NetError, Reply, Request,
+};
+
+/// Tuning for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue (each issues its own
+    /// `serve_batch` calls).
+    pub workers: usize,
+    /// Threads handed to `serve_batch` for intra-batch fan-out.
+    pub exec_threads: usize,
+    /// Largest batch one worker coalesces per drain.
+    pub batch_max: usize,
+    /// Admission queue bound; requests arriving past it are shed.
+    pub queue_cap: usize,
+    /// Test/bench hook: artificial delay (µs) each worker sleeps before
+    /// serving a drained batch, to make overload reproducible on fast
+    /// machines. 0 (the default) in production.
+    pub debug_batch_delay_us: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            exec_threads: 4,
+            batch_max: 32,
+            queue_cap: 256,
+            debug_batch_delay_us: 0,
+        }
+    }
+}
+
+/// One admitted request waiting for a worker.
+struct Job {
+    id: u64,
+    req: ServeRequest,
+    kind: usize,
+    conn: Arc<Conn>,
+    enqueued: Instant,
+}
+
+/// A connection's write half. Replies from the worker pool and inline
+/// stats answers interleave, so every frame write holds this mutex —
+/// frames are atomic on the wire.
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Encodes and writes one reply frame. Errors are swallowed: a peer
+    /// that hung up forfeits its replies, which is its problem, not the
+    /// batch's.
+    fn send(&self, id: u64, reply: &Reply) {
+        if let Ok(frame) = encode_reply_frame(id, reply) {
+            use std::io::Write as _;
+            let mut stream = self.stream.lock().expect("conn stream poisoned");
+            let _ = stream.write_all(&frame);
+        }
+    }
+}
+
+/// State shared by the accept thread, reader threads, and workers.
+struct Shared {
+    svc: Arc<OntologyService>,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    stop: AtomicBool,
+    stats: ServerStats,
+    /// Read halves of live connections, so shutdown can unblock readers.
+    readers: Mutex<Vec<TcpStream>>,
+    reader_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`])
+/// stops accepting, unblocks all threads, and joins them.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept, reader, and worker threads.
+    pub fn start(
+        svc: Arc<OntologyService>,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let queue_cap = u32::try_from(cfg.queue_cap).unwrap_or(u32::MAX);
+        let shared = Arc::new(Shared {
+            svc,
+            cfg: cfg.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            stop: AtomicBool::new(false),
+            stats: ServerStats::new(queue_cap),
+            readers: Mutex::new(Vec::new()),
+            reader_handles: Mutex::new(Vec::new()),
+        });
+
+        let worker_handles = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("giant-net-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("giant-net-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A stats snapshot, as the wire endpoint would report it.
+    pub fn stats_report(&self) -> StatsReport {
+        self.shared.stats.report(self.shared.svc.frame().version)
+    }
+
+    /// Stops the server: no new connections, in-flight work drains, all
+    /// threads joined.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept thread with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        // Unblock reader threads by shutting their sockets down.
+        for s in self.shared.readers.lock().expect("readers poisoned").iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        // Unblock workers parked on the condvar.
+        self.shared.not_empty.notify_all();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .shared
+                .reader_handles
+                .lock()
+                .expect("reader handles poisoned"),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.shared.stop.load(Ordering::SeqCst) {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared
+            .readers
+            .lock()
+            .expect("readers poisoned")
+            .push(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            });
+        let conn = Arc::new(Conn {
+            stream: Mutex::new(stream),
+        });
+        let reader_shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("giant-net-reader".into())
+            .spawn(move || reader_loop(read_half, conn, &reader_shared))
+        {
+            shared
+                .reader_handles
+                .lock()
+                .expect("reader handles poisoned")
+                .push(handle);
+        }
+    }
+}
+
+fn reader_loop(mut read_half: TcpStream, conn: Arc<Conn>, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let (id, payload) = match read_frame(&mut read_half) {
+            Ok(frame) => frame,
+            // Peer hung up (or shutdown unblocked us): close quietly.
+            Err(NetError::Io(_)) => return,
+            // The stream survived but the frame is bad; after a length or
+            // checksum failure we cannot trust the stream position, so
+            // reply (best effort) and close.
+            Err(e) => {
+                conn.send(0, &Reply::Bad {
+                    reason: e.to_string(),
+                });
+                let _ = read_half.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        match decode_request(&payload) {
+            Ok(Request::Stats) => {
+                // Answered inline on the read thread: stats must respond
+                // even when the admission queue is saturated.
+                let report = shared.stats.report(shared.svc.frame().version);
+                conn.send(id, &Reply::Stats(report));
+            }
+            Ok(Request::Serve(req)) => {
+                let mut queue = shared.queue.lock().expect("admission queue poisoned");
+                if queue.len() >= shared.cfg.queue_cap {
+                    let depth = queue.len();
+                    drop(queue);
+                    shared.stats.record_shed();
+                    conn.send(id, &Reply::Shed {
+                        depth: depth as u32,
+                        cap: shared.cfg.queue_cap as u32,
+                    });
+                } else {
+                    queue.push_back(Job {
+                        id,
+                        kind: kind_index(&req),
+                        req,
+                        conn: Arc::clone(&conn),
+                        enqueued: Instant::now(),
+                    });
+                    shared.stats.record_queue_depth(queue.len());
+                    drop(queue);
+                    shared.not_empty.notify_one();
+                }
+            }
+            // A frame that decodes to garbage is recoverable (framing is
+            // intact), so reply and keep the connection.
+            Err(e) => conn.send(id, &Reply::Bad {
+                reason: e.to_string(),
+            }),
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("admission queue poisoned");
+            while queue.is_empty() && !shared.stop.load(Ordering::SeqCst) {
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .expect("admission queue poisoned");
+            }
+            if queue.is_empty() {
+                return; // stop requested and nothing left to drain
+            }
+            let n = queue.len().min(shared.cfg.batch_max.max(1));
+            let batch: Vec<Job> = queue.drain(..n).collect();
+            shared.stats.record_queue_depth(queue.len());
+            batch
+        };
+        if shared.cfg.debug_batch_delay_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(
+                shared.cfg.debug_batch_delay_us,
+            ));
+        }
+        shared.stats.record_batch(batch.len());
+        let requests: Vec<ServeRequest> = batch.iter().map(|j| j.req.clone()).collect();
+        // One frame, one ordered fan-out for the whole batch — results
+        // come back in request order, so zip matches job to answer.
+        let results = shared.svc.serve_batch(&requests, shared.cfg.exec_threads);
+        for (job, result) in batch.into_iter().zip(results) {
+            let reply = match result {
+                Ok(resp) => Reply::Ok(resp),
+                Err(e) => Reply::Err(e),
+            };
+            // Record before sending: a client that has seen every reply
+            // must also see consistent counters from the stats endpoint.
+            let us = job.enqueued.elapsed().as_secs_f64() * 1e6;
+            shared.stats.record_served(job.kind, us);
+            job.conn.send(job.id, &reply);
+        }
+    }
+}

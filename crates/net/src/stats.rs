@@ -1,0 +1,253 @@
+//! Per-request-kind latency accounting.
+//!
+//! The server records one latency sample per served request — measured
+//! from admission (the read thread enqueuing the job) to the reply frame
+//! being handed to the socket, so queueing delay under load is visible,
+//! not just compute. Samples land in lock-free log-scale histograms
+//! (four buckets per octave of microseconds), from which the stats
+//! endpoint derives p50/p99 per kind.
+//!
+//! Everything here is atomics: recording a sample on the serving path is
+//! two relaxed `fetch_add`s, and a [`StatsReport`] is a snapshot — it
+//! never blocks the workers.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::wire::{KIND_LABELS, N_KINDS};
+
+/// Buckets per histogram: 4 per octave × 32 octaves covers <1 µs through
+/// ~4000 s in one fixed array.
+const BUCKETS: usize = 128;
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+
+/// One log-scale latency histogram.
+struct Histogram {
+    count: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_of(us: f64) -> usize {
+        if us <= 1.0 {
+            return 0;
+        }
+        let idx = (us.log2() * BUCKETS_PER_OCTAVE).floor() as isize;
+        idx.clamp(0, BUCKETS as isize - 1) as usize
+    }
+
+    /// Lower edge of bucket `idx` in microseconds — the conservative
+    /// (under-)estimate reported for percentiles.
+    fn bucket_floor_us(idx: usize) -> f64 {
+        (2f64).powf(idx as f64 / BUCKETS_PER_OCTAVE)
+    }
+
+    fn record(&self, us: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The latency at quantile `q` (0..=1), or 0 when empty. Resolution
+    /// is one bucket (±~19%), which is plenty for p50/p99 curves.
+    fn quantile_us(&self, q: f64) -> f64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_floor_us(idx);
+            }
+        }
+        Self::bucket_floor_us(BUCKETS - 1)
+    }
+}
+
+/// Shared counters the server threads write and the stats endpoint reads.
+pub struct ServerStats {
+    per_kind: [Histogram; N_KINDS],
+    served: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU32,
+    queue_depth: AtomicU32,
+    queue_max_depth: AtomicU32,
+    queue_cap: u32,
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters for a server with the given admission bound.
+    pub fn new(queue_cap: u32) -> Self {
+        ServerStats {
+            per_kind: std::array::from_fn(|_| Histogram::new()),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU32::new(0),
+            queue_depth: AtomicU32::new(0),
+            queue_max_depth: AtomicU32::new(0),
+            queue_cap,
+        }
+    }
+
+    /// Records one served request of kind `kind_idx` ([`crate::wire::kind_index`]).
+    pub fn record_served(&self, kind_idx: usize, latency_us: f64) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.per_kind[kind_idx].record(latency_us);
+    }
+
+    /// Records one shed (rejected at admission).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one drained batch of `n` requests.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(n as u32, Ordering::Relaxed);
+    }
+
+    /// Tracks the admission queue's depth high-water mark.
+    pub fn record_queue_depth(&self, depth: usize) {
+        let d = depth as u32;
+        self.queue_depth.store(d, Ordering::Relaxed);
+        self.queue_max_depth.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Total sheds so far (overload tests poll this).
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for the wire. `version` is the serving frame's version at
+    /// snapshot time (the caller owns that — stats does not know frames).
+    pub fn report(&self, version: u64) -> StatsReport {
+        StatsReport {
+            version,
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_max_depth: self.queue_max_depth.load(Ordering::Relaxed),
+            queue_cap: self.queue_cap,
+            kinds: (0..N_KINDS)
+                .map(|i| KindRow {
+                    kind: KIND_LABELS[i].to_string(),
+                    count: self.per_kind[i].count.load(Ordering::Relaxed),
+                    p50_us: self.per_kind[i].quantile_us(0.50),
+                    p99_us: self.per_kind[i].quantile_us(0.99),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One request kind's latency summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindRow {
+    /// Stable label ("conceptualize", "recommend", ...).
+    pub kind: String,
+    /// Requests of this kind served.
+    pub count: u64,
+    /// Median admission-to-reply latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile admission-to-reply latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// The stats endpoint's answer — a consistent-enough snapshot of the
+/// server's counters (individual fields are atomically read; the set is
+/// not fenced, which is fine for monitoring).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Serving frame version the server was publishing at snapshot time.
+    pub version: u64,
+    /// Requests answered from the serving path.
+    pub served: u64,
+    /// Requests rejected at admission with [`crate::wire::Reply::Shed`].
+    pub shed: u64,
+    /// Batches drained by workers.
+    pub batches: u64,
+    /// Largest coalesced batch so far.
+    pub max_batch: u32,
+    /// Admission queue depth at snapshot time.
+    pub queue_depth: u32,
+    /// Queue depth high-water mark — overload tests assert this never
+    /// exceeds `queue_cap`.
+    pub queue_max_depth: u32,
+    /// The configured admission bound.
+    pub queue_cap: u32,
+    /// Per-kind rows in [`crate::wire::kind_index`] order.
+    pub kinds: Vec<KindRow>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_clamped() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(1.0), 0);
+        let mut last = 0;
+        for us in [2.0, 10.0, 100.0, 1e4, 1e6, 1e9, 1e30] {
+            let b = Histogram::bucket_of(us);
+            assert!(b >= last, "bucket_of({us}) went backwards");
+            last = b;
+        }
+        assert!(Histogram::bucket_of(1e300) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10.0);
+        }
+        h.record(10_000.0);
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        // Bucket floors under-report by at most one bucket width (~19%).
+        assert!((8.0..=10.0).contains(&p50), "p50 = {p50}");
+        assert!((8.0..=10.0).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile_us(1.0) > 8_000.0);
+    }
+
+    #[test]
+    fn report_reflects_recorded_traffic() {
+        let s = ServerStats::new(64);
+        s.record_served(0, 5.0);
+        s.record_served(0, 7.0);
+        s.record_served(3, 900.0);
+        s.record_shed();
+        s.record_batch(2);
+        s.record_batch(1);
+        s.record_queue_depth(9);
+        s.record_queue_depth(3);
+        let r = s.report(42);
+        assert_eq!(r.version, 42);
+        assert_eq!(r.served, 3);
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.max_batch, 2);
+        assert_eq!(r.queue_depth, 3);
+        assert_eq!(r.queue_max_depth, 9);
+        assert_eq!(r.queue_cap, 64);
+        assert_eq!(r.kinds.len(), N_KINDS);
+        assert_eq!(r.kinds[0].kind, "conceptualize");
+        assert_eq!(r.kinds[0].count, 2);
+        assert_eq!(r.kinds[3].count, 1);
+        assert_eq!(r.kinds[1].count, 0);
+        assert_eq!(r.kinds[1].p50_us, 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Fuzz-style hardening of the wire layer, in the flip-a-byte discipline
+//! of `tests/persistence_roundtrip.rs`:
+//!
+//! * encode → decode is the identity, and the codec is **canonical**:
+//!   anything that decodes re-encodes to exactly the input bytes;
+//! * any single flipped byte in a frame is detected (typed error, never a
+//!   panic and never a silently different message);
+//! * arbitrary garbage payloads never panic the decoder — they either
+//!   decode (and then re-encode canonically) or fail with a typed error;
+//! * announced lengths beyond the cap are rejected before allocation.
+
+use giant_apps::serving::ServeRequest;
+use giant_net::wire::{
+    decode_reply, decode_request, encode_frame, read_frame, write_request, Request, MAX_PAYLOAD,
+};
+use giant_net::NetError;
+use giant_ontology::binio::Writer;
+use giant_ontology::NodeId;
+use proptest::prelude::*;
+
+/// Adversarial text: separators, escapes, multi-byte UTF-8, empties.
+const PALETTE: [&str; 8] = ["a", "bc", " ", "\n", "\t", "\\", "é", ""];
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..PALETTE.len(), 0..4)
+        .prop_map(|ixs| ixs.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0usize..5,
+        arb_text(),
+        proptest::collection::vec(arb_text(), 0..3),
+        0u32..=u32::MAX,
+    )
+        .prop_map(|(kind, text, texts, id)| match kind {
+            0 => Request::Serve(ServeRequest::Conceptualize { query: text }),
+            1 => Request::Serve(ServeRequest::Recommend { query: text }),
+            2 => Request::Serve(ServeRequest::TagDocument {
+                title: text,
+                sentences: texts,
+            }),
+            3 => Request::Serve(ServeRequest::StoryTree { seed: NodeId(id) }),
+            _ => Request::Stats,
+        })
+}
+
+fn encode_request_payload(req: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_request(&mut w, req);
+    w.into_bytes_checked().expect("small message")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode → decode → encode is the identity on request bytes.
+    #[test]
+    fn request_codec_is_canonical(req in arb_request()) {
+        let bytes = encode_request_payload(&req);
+        let back = decode_request(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(bytes, encode_request_payload(&back));
+    }
+
+    /// Any single flipped byte anywhere in a frame — header or payload —
+    /// fails typed. No flip may yield a different request silently,
+    /// because the checksum covers id + payload and the header fields
+    /// must agree with it.
+    #[test]
+    fn any_single_byte_flip_in_a_frame_is_detected(
+        req in arb_request(),
+        id in 0u64..=u64::MAX,
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let frame = encode_frame(id, encode_request_payload(&req)).expect("frame");
+        let mut bad = frame.clone();
+        let pos = ((bad.len() - 1) as f64 * pos_frac) as usize;
+        bad[pos] ^= flip;
+        match read_frame(&mut &bad[..]) {
+            Err(_) => {} // typed rejection: Io (short read), TooLarge, or ChecksumMismatch
+            Ok(_) => prop_assert!(false, "flip at byte {} of {} went undetected", pos, frame.len()),
+        }
+    }
+
+    /// Garbage in, typed error (or a canonical decode) out — the decoders
+    /// must never panic and never accept a non-canonical encoding.
+    #[test]
+    fn garbage_payloads_never_panic_the_decoders(bytes in proptest::collection::vec(0u8..=u8::MAX, 0..64)) {
+        if let Ok(req) = decode_request(&bytes) {
+            prop_assert_eq!(&bytes, &encode_request_payload(&req));
+        }
+        if let Ok(reply) = decode_reply(&bytes) {
+            let mut w = Writer::new();
+            giant_net::wire::write_reply(&mut w, &reply);
+            prop_assert_eq!(&bytes, &w.into_bytes_checked().expect("small message"));
+        }
+    }
+
+    /// A header announcing an oversized payload is rejected from the
+    /// header alone — the payload allocation never happens.
+    #[test]
+    fn oversized_announcements_are_rejected_before_allocation(
+        over in 1u32..=u32::MAX - MAX_PAYLOAD,
+        id in 0u64..=u64::MAX,
+    ) {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(MAX_PAYLOAD + over).to_le_bytes());
+        frame.extend_from_slice(&id.to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        match read_frame(&mut &frame[..]) {
+            Err(NetError::TooLarge { len, max }) => {
+                prop_assert_eq!(len, u64::from(MAX_PAYLOAD + over));
+                prop_assert_eq!(max, u64::from(MAX_PAYLOAD));
+            }
+            other => prop_assert!(false, "expected TooLarge, got {:?}", other.map(|_| ())),
+        }
+    }
+}

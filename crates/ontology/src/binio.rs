@@ -177,9 +177,20 @@ fn section_checksum(name: &str, payload: &[u8]) -> u64 {
 }
 
 /// Little-endian, length-prefixed binary writer.
+///
+/// Every length prefix in the format is a `u32`. Since sequence lengths
+/// arrive as `usize`, the writer checks each cast instead of wrapping: an
+/// oversized count records a **sticky overflow** ([`Writer::overflow`])
+/// rather than silently truncating the prefix — an unchecked `as u32`
+/// here would write a frame that later scans as "corruption" (the
+/// checksum holds but the decoded lengths lie). Durability surfaces
+/// (checkpoints, the WAL, the network wire codecs) consult the flag via
+/// [`Writer::into_bytes_checked`] / [`SectionFile::write_file`] and turn
+/// it into their own typed errors before any byte reaches disk or wire.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    overflow: Option<BinError>,
 }
 
 impl Writer {
@@ -188,9 +199,51 @@ impl Writer {
         Self::default()
     }
 
-    /// The bytes written so far.
+    /// The bytes written so far. Callers on durability paths should
+    /// prefer [`Writer::into_bytes_checked`], which refuses to hand out
+    /// bytes carrying a length-prefix overflow.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Like [`Writer::into_bytes`], but fails if any length prefix
+    /// overflowed the `u32` it is stored in.
+    pub fn into_bytes_checked(self) -> Result<Vec<u8>, BinError> {
+        match self.overflow {
+            Some(e) => Err(e),
+            None => Ok(self.buf),
+        }
+    }
+
+    /// The first length-prefix overflow recorded, if any. Sticky: once a
+    /// count failed to fit in `u32`, the writer's output is unusable and
+    /// every checked consumer will reject it.
+    pub fn overflow(&self) -> Option<&BinError> {
+        self.overflow.as_ref()
+    }
+
+    /// Writes the `u32` length prefix for a sequence of `n` elements,
+    /// returning whether it fit. On overflow a zero prefix is written and
+    /// the error recorded (see [`Writer::overflow`]) — never a wrapped
+    /// count. Exposed so callers encoding their own sequences (WAL
+    /// frames, wire messages) share the same checked discipline.
+    pub fn len_prefix(&mut self, n: usize, what: &str) -> bool {
+        match u32::try_from(n) {
+            Ok(v) => {
+                self.u32(v);
+                true
+            }
+            Err(_) => {
+                if self.overflow.is_none() {
+                    self.overflow = Some(BinError::new(
+                        self.buf.len(),
+                        format!("{what} length {n} overflows the u32 length prefix"),
+                    ));
+                }
+                self.u32(0);
+                false
+            }
+        }
     }
 
     /// Number of bytes written so far.
@@ -240,39 +293,44 @@ impl Writer {
 
     /// Writes a length-prefixed UTF-8 string.
     pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
+        if self.len_prefix(s.len(), "string") {
+            self.buf.extend_from_slice(s.as_bytes());
+        }
     }
 
     /// Writes a length-prefixed slice of strings.
     pub fn str_slice(&mut self, xs: &[String]) {
-        self.u32(xs.len() as u32);
-        for s in xs {
-            self.str(s);
+        if self.len_prefix(xs.len(), "string slice") {
+            for s in xs {
+                self.str(s);
+            }
         }
     }
 
     /// Writes a length-prefixed `u32` slice.
     pub fn u32_slice(&mut self, xs: &[u32]) {
-        self.u32(xs.len() as u32);
-        for &x in xs {
-            self.u32(x);
+        if self.len_prefix(xs.len(), "u32 slice") {
+            for &x in xs {
+                self.u32(x);
+            }
         }
     }
 
     /// Writes a length-prefixed `f64` slice (bit patterns).
     pub fn f64_slice(&mut self, xs: &[f64]) {
-        self.u32(xs.len() as u32);
-        for &x in xs {
-            self.f64(x);
+        if self.len_prefix(xs.len(), "f64 slice") {
+            for &x in xs {
+                self.f64(x);
+            }
         }
     }
 
     /// Writes a length-prefixed `f32` slice (bit patterns).
     pub fn f32_slice(&mut self, xs: &[f32]) {
-        self.u32(xs.len() as u32);
-        for &x in xs {
-            self.f32(x);
+        if self.len_prefix(xs.len(), "f32 slice") {
+            for &x in xs {
+                self.f32(x);
+            }
         }
     }
 }
@@ -424,6 +482,10 @@ impl<'a> Reader<'a> {
 #[derive(Debug, Default)]
 pub struct SectionFile {
     sections: Vec<(String, Vec<u8>)>,
+    /// Sticky: the first length-prefix overflow any added [`Writer`]
+    /// carried. A container holding one is refused by
+    /// [`SectionFile::write_file`] — it would persist lying lengths.
+    overflow: Option<BinError>,
 }
 
 impl SectionFile {
@@ -437,9 +499,18 @@ impl SectionFile {
         self.sections.push((name.to_owned(), payload));
     }
 
-    /// Appends a section from a [`Writer`].
+    /// Appends a section from a [`Writer`], adopting its overflow flag
+    /// (see [`SectionFile::overflow`]).
     pub fn add_writer(&mut self, name: &str, w: Writer) {
+        if self.overflow.is_none() {
+            self.overflow = w.overflow().cloned();
+        }
         self.add(name, w.into_bytes());
+    }
+
+    /// The first length-prefix overflow recorded by any added writer.
+    pub fn overflow(&self) -> Option<&BinError> {
+        self.overflow.as_ref()
     }
 
     /// Names of every section, in file order.
@@ -461,7 +532,7 @@ impl SectionFile {
         let mut w = Writer::new();
         w.buf.extend_from_slice(&MAGIC);
         w.u32(FORMAT_VERSION);
-        w.u32(self.sections.len() as u32);
+        w.len_prefix(self.sections.len(), "section count");
         for (name, payload) in &self.sections {
             w.str(name);
             w.u64(payload.len() as u64);
@@ -507,7 +578,10 @@ impl SectionFile {
             sections.push((name, payload.to_vec()));
         }
         r.expect_exhausted()?;
-        Ok(Self { sections })
+        Ok(Self {
+            sections,
+            overflow: None,
+        })
     }
 
     /// Writes the container to `path` atomically: temp file, `fsync`, then
@@ -516,6 +590,15 @@ impl SectionFile {
     /// one, and never a rename persisted ahead of its data blocks.
     pub fn write_file(&self, path: &Path) -> std::io::Result<()> {
         use std::io::Write as _;
+        // Refuse to persist a container whose sections carry overflowed
+        // length prefixes — the checksums would validate but the decoded
+        // lengths would lie, surfacing much later as "corruption".
+        if let Some(e) = &self.overflow {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("refusing to write checkpoint: {e}"),
+            ));
+        }
         // Append to the full file name (never replace the extension):
         // sibling checkpoints sharing a stem must not collide on one temp
         // file.
@@ -886,6 +969,47 @@ pub fn read_snapshot(r: &mut Reader<'_>) -> Result<OntologySnapshot, BinError> {
 mod tests {
     use super::*;
     use crate::io;
+
+    #[test]
+    fn length_prefix_overflow_is_sticky_and_typed() {
+        // Size-faking: `len_prefix` sees only the count, so the overflow
+        // path is testable without allocating 4 GiB.
+        let mut w = Writer::new();
+        w.str("fine");
+        assert!(w.overflow().is_none());
+        assert!(!w.len_prefix(u32::MAX as usize + 1, "giant vec"));
+        let e = w.overflow().expect("overflow recorded").clone();
+        assert!(e.message.contains("giant vec"), "{e}");
+        // Sticky: later successful writes don't clear it, and the first
+        // report wins.
+        w.str("still fine");
+        w.len_prefix(u32::MAX as usize + 2, "second overflow");
+        assert_eq!(w.overflow(), Some(&e), "first overflow is the one reported");
+        assert_eq!(w.into_bytes_checked(), Err(e));
+    }
+
+    #[test]
+    fn section_file_refuses_to_persist_overflowed_writers() {
+        let dir = std::env::temp_dir().join("giant-binio-overflow");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overflow.ckpt");
+        let mut file = SectionFile::new();
+        let mut w = Writer::new();
+        w.len_prefix(u32::MAX as usize + 1, "faked oversized section");
+        file.add_writer("bad", w);
+        assert!(file.overflow().is_some());
+        let err = file.write_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(!path.exists(), "nothing may reach disk on overflow");
+        // A clean container still writes.
+        let mut file = SectionFile::new();
+        let mut w = Writer::new();
+        w.str("payload");
+        file.add_writer("good", w);
+        file.write_file(&path).unwrap();
+        assert!(SectionFile::read_file(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
 
     fn sample() -> Ontology {
         let mut o = Ontology::new();

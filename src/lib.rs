@@ -23,6 +23,7 @@
 //! | [`baselines`] | TextRank, AutoPhrase, Match/Align, LSTM-CRF, TextSummary + metrics |
 //! | [`apps`] | story trees, document tagging, Duet, query understanding, feed simulator |
 //! | [`incr`] | incremental ontology maintenance: delta batches, dirty-cluster re-mining, ontology deltas |
+//! | [`net`] | network front door: checksummed binary wire protocol, request-coalescing server, bounded admission, latency stats |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use giant_core as mining;
 pub use giant_data as data;
 pub use giant_graph as graph;
 pub use giant_incr as incr;
+pub use giant_net as net;
 pub use giant_nn as nn;
 pub use giant_ontology as ontology;
 pub use giant_text as text;
