@@ -24,9 +24,13 @@ use crate::storytree::StoryEvent;
 use crate::tagging::{TagResources, TaggingConfig};
 use giant_core::pipeline::GiantOutput;
 use giant_core::train::GiantModels;
-use giant_incr::{Checkpoint, DeltaBatch, FoldError, IncrementalState, SyncMode, Wal, WalError, WalTruncation};
+use giant_incr::{
+    screen_batch, BatchRejection, Checkpoint, DeltaBatch, FoldError, IncrementalState, SyncMode,
+    Wal, WalError, WalTruncation,
+};
 use giant_ontology::binio::{self, FileError, SectionFile, Writer};
 use giant_ontology::{DeltaStats, NodeId, NodeKind, OntologySnapshot};
+use giant_schema::Schema;
 use giant_text::Annotator;
 use std::collections::HashMap;
 use std::fmt;
@@ -245,6 +249,10 @@ pub struct IngestReport {
     /// checkpoint-on-publish, or a durable ingest hitting its
     /// `checkpoint_every` boundary).
     pub checkpoint_secs: Option<f64>,
+    /// Batch items the schema screen rejected (empty unless
+    /// [`IncrementalDriver::set_schema`] armed a schema). Rejected items
+    /// never reach the WAL or the fold; the rest of the batch proceeds.
+    pub rejections: Vec<BatchRejection>,
 }
 
 /// [`IncrementalDriver::ingest`] errors.
@@ -313,6 +321,7 @@ pub struct IncrementalDriver {
     keep_frames: usize,
     checkpoint_path: Option<PathBuf>,
     durability: Option<Durability>,
+    schema: Option<Arc<Schema>>,
 }
 
 /// Section name carrying the WAL watermark inside a durable checkpoint:
@@ -348,6 +357,7 @@ impl IncrementalDriver {
             keep_frames: keep_frames.max(1),
             checkpoint_path: None,
             durability: None,
+            schema: None,
         };
         let ingest = IngestReport {
             version: driver.service.version(),
@@ -359,6 +369,7 @@ impl IncrementalDriver {
             retained_frames: driver.service.n_retained(),
             wal_secs: None,
             checkpoint_secs: None,
+            rejections: Vec::new(),
         };
         Ok((driver, ingest))
     }
@@ -401,6 +412,24 @@ impl IncrementalDriver {
         self.durability.as_ref().map(|d| d.wal.last_seq()).unwrap_or(0)
     }
 
+    /// Arms (or disarms, with `None`) schema screening on ingest: every
+    /// subsequent [`IncrementalDriver::ingest`] runs the batch through
+    /// [`giant_incr::screen_batch`] first, drops the items that violate
+    /// `schema` (reported per item in [`IngestReport::rejections`]), and
+    /// folds only the surviving remainder. Screening happens **before**
+    /// the WAL append, so the log only ever holds accepted batches and
+    /// replay needs no schema. With no schema armed, ingest is
+    /// byte-identical to a driver without this feature (the schema-off
+    /// fast path; pinned by `tests/schema_interchange.rs`).
+    pub fn set_schema(&mut self, schema: Option<Arc<Schema>>) {
+        self.schema = schema;
+    }
+
+    /// The schema armed by [`IncrementalDriver::set_schema`], if any.
+    pub fn schema(&self) -> Option<&Arc<Schema>> {
+        self.schema.as_ref()
+    }
+
     /// Enables checkpoint-on-publish: after every successful
     /// [`IncrementalDriver::ingest`] publish, the driver writes a full
     /// checkpoint (folding state + serving frame) to `path`, atomically
@@ -419,6 +448,18 @@ impl IncrementalDriver {
     /// checkpoints and rotates the log. With a legacy checkpoint path set
     /// instead, the driver checkpoints after every publish.
     pub fn ingest(&mut self, batch: DeltaBatch) -> Result<IngestReport, IngestError> {
+        // Schema screen first (when armed): salvage the valid items and
+        // collect typed per-item rejections. The accepted remainder is what
+        // gets logged and folded — the WAL never holds a rejected item.
+        let mut rejections = Vec::new();
+        let batch = match self.schema.as_deref() {
+            Some(schema) => {
+                let screened = screen_batch(schema, self.state.input().docs.len(), &batch);
+                rejections = screened.rejections;
+                screened.accepted
+            }
+            None => batch,
+        };
         let mut wal_secs = None;
         let mut logged_seq = None;
         if let Some(d) = self.durability.as_mut() {
@@ -458,6 +499,7 @@ impl IncrementalDriver {
             retained_frames,
             wal_secs,
             checkpoint_secs: None,
+            rejections,
         };
         if self.durability.is_some() {
             let due = {
@@ -563,6 +605,7 @@ impl IncrementalDriver {
             keep_frames: keep_frames.max(1),
             checkpoint_path: Some(path.to_path_buf()),
             durability: None,
+            schema: None,
         })
     }
 
@@ -605,6 +648,7 @@ impl IncrementalDriver {
                 wal,
                 folds_since_checkpoint: 0,
             }),
+            schema: None,
         };
         let mut replayed = 0;
         for entry in entries {

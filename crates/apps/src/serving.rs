@@ -43,7 +43,9 @@ use crate::storytree::{
 };
 use crate::tagging::{DocTags, DocumentTagger, TagResources};
 use giant_ontology::binio::{self, BinError, FileError, SectionFile, Writer};
-use giant_ontology::{NodeId, OntologySnapshot};
+use giant_ontology::{AttentionNode, EdgeKind, NodeId, OntologySnapshot};
+use giant_schema::{export_json_view, Schema};
+use std::collections::HashSet;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
@@ -92,6 +94,14 @@ pub enum ServeRequest {
         /// The seed event's ontology node.
         seed: NodeId,
     },
+    /// Schema-checked JSON export of the frame's ontology (DESIGN.md §12):
+    /// the whole graph, or the isA-closure under `root`. Opt-in at the
+    /// network layer — see `giant_net::ServerConfig::allow_export`.
+    ExportSubgraph {
+        /// Export root: `None` exports every node; `Some(id)` exports `id`
+        /// plus its transitive isA descendants (induced edges only).
+        root: Option<NodeId>,
+    },
 }
 
 /// The typed response for each [`ServeRequest`] kind.
@@ -105,6 +115,10 @@ pub enum ServeResponse {
     TagDocument(DocTags),
     /// Answer to [`ServeRequest::StoryTree`].
     StoryTree(StoryTree),
+    /// Answer to [`ServeRequest::ExportSubgraph`]: the interchange JSON
+    /// document (`giant_schema::export_json_view` against the builtin
+    /// schema).
+    ExportSubgraph(String),
 }
 
 /// Serving errors (requests referencing unknown nodes).
@@ -112,6 +126,14 @@ pub enum ServeResponse {
 pub enum ServeError {
     /// The story-tree seed is not a mined event in the current frame.
     UnknownStorySeed(NodeId),
+    /// The export root is not a node of the current frame.
+    UnknownExportRoot(NodeId),
+    /// Export was requested but the serving host has it disabled (the
+    /// giant-net default; see `ServerConfig::allow_export`).
+    ExportDisabled,
+    /// The frame's ontology failed schema validation or rendering during
+    /// export; the message carries the first violation.
+    ExportFailed(String),
 }
 
 impl fmt::Display for ServeError {
@@ -120,6 +142,11 @@ impl fmt::Display for ServeError {
             ServeError::UnknownStorySeed(n) => {
                 write!(f, "node {} is not a mined story event in this frame", n.0)
             }
+            ServeError::UnknownExportRoot(n) => {
+                write!(f, "export root {} is not a node in this frame", n.0)
+            }
+            ServeError::ExportDisabled => write!(f, "subgraph export is disabled on this host"),
+            ServeError::ExportFailed(msg) => write!(f, "export failed: {msg}"),
         }
     }
 }
@@ -188,7 +215,53 @@ impl ServingFrame {
                     &res.story_config,
                 )))
             }
+            ServeRequest::ExportSubgraph { root } => {
+                Ok(ServeResponse::ExportSubgraph(self.export_subgraph(*root)?))
+            }
         }
+    }
+
+    /// The [`ServeRequest::ExportSubgraph`] implementation: collects the
+    /// node set (everything, or `root` plus its isA closure), walks the
+    /// snapshot adjacency for the induced edges (correlates emitted once,
+    /// smaller id first — matching `Ontology::edges_iter`), and renders
+    /// through the builtin schema. Node ids keep their frame values, so a
+    /// subgraph export names the same nodes the full export does.
+    fn export_subgraph(&self, root: Option<NodeId>) -> Result<String, ServeError> {
+        let snap = &self.snapshot;
+        let ids: Vec<NodeId> = match root {
+            None => (0..snap.n_nodes()).map(|i| NodeId(i as u32)).collect(),
+            Some(r) => {
+                if r.index() >= snap.n_nodes() {
+                    return Err(ServeError::UnknownExportRoot(r));
+                }
+                let mut ids: Vec<NodeId> =
+                    snap.descendants(r).into_iter().map(|(id, _)| id).collect();
+                ids.push(r);
+                ids.sort_unstable_by_key(|id| id.0);
+                ids.dedup();
+                ids
+            }
+        };
+        let included: HashSet<u32> = ids.iter().map(|id| id.0).collect();
+        let nodes: Vec<AttentionNode> = ids.iter().map(|id| snap.node(*id).clone()).collect();
+        let mut edges: Vec<(NodeId, NodeId, EdgeKind, f64)> = Vec::new();
+        for &id in &ids {
+            for kind in EdgeKind::ALL {
+                let (targets, weights) = snap.out_edges(kind, id);
+                for (t, w) in targets.iter().zip(weights) {
+                    if !included.contains(&t.0) {
+                        continue;
+                    }
+                    if kind == EdgeKind::Correlate && t.0 < id.0 {
+                        continue; // symmetric pair: emit once
+                    }
+                    edges.push((id, *t, kind, *w));
+                }
+            }
+        }
+        export_json_view(&nodes, &edges, &Schema::builtin())
+            .map_err(|e| ServeError::ExportFailed(e.to_string()))
     }
 }
 

@@ -266,6 +266,7 @@ fn main() {
             batch_max: 32,
             queue_cap: 4096,
             debug_batch_delay_us: 0,
+            allow_export: false,
         },
     )
     .expect("start server");
@@ -300,6 +301,7 @@ fn main() {
             batch_max: 8,
             queue_cap: burst_cap,
             debug_batch_delay_us: 3000,
+            allow_export: false,
         },
     )
     .expect("start burst server");

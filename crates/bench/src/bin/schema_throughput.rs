@@ -1,0 +1,145 @@
+//! Cost of the schema layer (DESIGN.md §12), measured where it bites:
+//!
+//! * **validation overhead** — driver ingest of a clean delta batch with
+//!   the builtin schema armed vs schema-off, best of `REPS`. Screening a
+//!   clean stream is pure overhead, so this is the worst case; the
+//!   advertised budget is **<5%**, asserted in full mode.
+//! * **interchange throughput** — `export_json` / `import_json` MB/s over
+//!   the pipeline ontology, best of `REPS`.
+//!
+//! Both arms of the ingest comparison must fold to byte-identical
+//! ontologies — the overhead number is meaningless if the armed path
+//! computed something different.
+//!
+//! Results land in `BENCH_schema.json`. `--smoke` runs the tiny world for
+//! CI wiring and skips the overhead assertion (wall-clock ratios on a
+//! sub-second fold are noise).
+//!
+//! ```text
+//! cargo run --release -p giant-bench --bin schema_throughput [-- --smoke]
+//! ```
+
+use giant::adapter::{build_serving, GiantSetup, ModelTrainConfig};
+use giant::apps::incremental::IncrementalDriver;
+use giant::incr::IncrementalState;
+use giant::schema::{export_json, import_json, Schema};
+use giant_core::GiantConfig;
+use giant_data::WorldConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let world = if smoke {
+        WorldConfig::tiny()
+    } else {
+        WorldConfig {
+            entities_per_sub: 24,
+            concepts_per_sub: 10,
+            ..WorldConfig::experiment()
+        }
+    };
+    eprintln!("[schema_throughput] building world + models (smoke={smoke})...");
+    let setup = GiantSetup::generate(world);
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let output = setup.run_pipeline(&models, &GiantConfig::default());
+    let serving = build_serving(&setup, &output);
+    let base = (*serving.service.resources()).clone();
+    let stream = setup.corpus_stream();
+    let batches = stream.split(&[0.8]);
+    let (initial, delta) = (batches[0].clone(), batches[1].clone());
+
+    println!("=== Schema layer cost (clean-stream worst case) ===");
+    println!(
+        "world: {} docs ({} in delta), {} nodes in the base ontology",
+        stream.docs.len(),
+        delta.docs.len(),
+        output.ontology.n_nodes()
+    );
+
+    // Ingest with and without the schema armed. Fresh driver per rep —
+    // ingest mutates — and the bootstrap fold stays outside the clock.
+    let schema = Arc::new(Schema::builtin());
+    let time_ingest = |armed: Option<Arc<Schema>>| -> (f64, String) {
+        let mut best = f64::INFINITY;
+        let mut dump = String::new();
+        for _ in 0..REPS {
+            let state = IncrementalState::new(
+                stream.categories.clone(),
+                stream.annotator.clone(),
+                models.clone(),
+                GiantConfig::default(),
+            );
+            let (mut driver, _) =
+                IncrementalDriver::bootstrap(state, base.clone(), initial.clone(), 2)
+                    .expect("bootstrap fold");
+            driver.set_schema(armed.clone());
+            let t = Instant::now();
+            let report = driver.ingest(delta.clone()).expect("delta fold");
+            best = best.min(t.elapsed().as_secs_f64());
+            assert!(
+                report.rejections.is_empty(),
+                "a clean pipeline stream must screen clean: {:?}",
+                report.rejections
+            );
+            dump = giant::ontology::io::dump(driver.state().ontology());
+        }
+        (best, dump)
+    };
+    let (off_secs, off_dump) = time_ingest(None);
+    let (on_secs, on_dump) = time_ingest(Some(Arc::clone(&schema)));
+    assert_eq!(
+        off_dump, on_dump,
+        "armed and unarmed ingest diverged — overhead number is void"
+    );
+    println!("convergence: armed ingest byte-identical to schema-off ✓");
+    let overhead_pct = (on_secs - off_secs) / off_secs * 100.0;
+    println!("\ningest schema-off: {off_secs:>8.4}s (best of {REPS})");
+    println!("ingest schema-on:  {on_secs:>8.4}s (best of {REPS})  →  {overhead_pct:+.2}% overhead");
+    if !smoke {
+        assert!(
+            overhead_pct < 5.0,
+            "schema validation overhead must stay under 5% (got {overhead_pct:.2}%)"
+        );
+    }
+
+    // Interchange throughput over the full pipeline ontology.
+    let mut export_secs = f64::INFINITY;
+    let mut json = String::new();
+    for _ in 0..REPS {
+        let t = Instant::now();
+        json = export_json(&output.ontology, &schema).expect("export");
+        export_secs = export_secs.min(t.elapsed().as_secs_f64());
+    }
+    let mut import_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let back = import_json(&json, &schema).expect("import");
+        import_secs = import_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(back.n_nodes(), output.ontology.n_nodes());
+    }
+    let mb = json.len() as f64 / (1024.0 * 1024.0);
+    let export_mbs = mb / export_secs;
+    let import_mbs = mb / import_secs;
+    println!("\ninterchange document: {:.3} MiB ({} bytes)", mb, json.len());
+    println!("export: {export_secs:>8.4}s  →  {export_mbs:>8.2} MiB/s");
+    println!("import: {import_secs:>8.4}s  →  {import_mbs:>8.2} MiB/s");
+
+    // Hand-rolled JSON: the workspace is offline, no serde.
+    let report = format!(
+        "{{\n  \"bench\": \"schema_throughput\",\n  \"smoke\": {smoke},\n  \
+         \"n_docs\": {},\n  \"delta_docs\": {},\n  \"n_nodes\": {},\n  \
+         \"ingest_off_secs\": {off_secs:.6},\n  \"ingest_on_secs\": {on_secs:.6},\n  \
+         \"overhead_pct\": {overhead_pct:.3},\n  \"doc_bytes\": {},\n  \
+         \"export_secs\": {export_secs:.6},\n  \"export_mib_per_sec\": {export_mbs:.3},\n  \
+         \"import_secs\": {import_secs:.6},\n  \"import_mib_per_sec\": {import_mbs:.3}\n}}\n",
+        stream.docs.len(),
+        delta.docs.len(),
+        output.ontology.n_nodes(),
+        json.len()
+    );
+    std::fs::write("BENCH_schema.json", &report).expect("write BENCH_schema.json");
+    println!("wrote BENCH_schema.json");
+}

@@ -19,6 +19,9 @@
 //!   live version.
 //! * [`CorpusStream`] / [`union_input`] — replayable corpus splitting, the
 //!   harness for the convergence contract.
+//! * [`screen_batch`] — schema screening for third-party feeds: salvages
+//!   the valid items of a batch and reports typed per-item rejections,
+//!   leaving the fold itself untouched (DESIGN.md §12).
 //!
 //! ## The convergence contract
 //!
@@ -42,12 +45,14 @@
 
 pub mod batch;
 pub mod ckpt;
+pub mod screen;
 pub mod state;
 pub mod stream;
 pub mod wal;
 
 pub use batch::{ClickEvent, DeltaBatch};
 pub use ckpt::Checkpoint;
+pub use screen::{screen_batch, BatchItem, BatchRejection, RejectReason, ScreenReport};
 pub use state::{FoldError, FoldReport, IncrementalState};
 pub use stream::{union_input, CorpusStream};
 pub use wal::{SyncMode, Wal, WalEntry, WalError, WalTruncation};

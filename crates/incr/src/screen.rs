@@ -1,0 +1,414 @@
+//! Schema screening for [`DeltaBatch`] ingestion.
+//!
+//! [`screen_batch`] splits an incoming batch into an **accepted** batch
+//! (safe to append to the WAL and hand to the fold unchanged) and a list
+//! of typed per-item [`BatchRejection`]s. Unlike
+//! [`crate::IncrementalState::validate`], which rejects a whole batch,
+//! screening salvages the valid items: a bad document drops its cascading
+//! clicks and the remaining new docs are renumbered densely, so the
+//! accepted batch always satisfies the fold's contiguity contract.
+//!
+//! Screening is a pure function of `(schema, base_docs, batch)` — no
+//! graph state is read — so folding the accepted batch is byte-identical
+//! to folding the same batch on an unscreened driver (the rejection
+//! report is the only difference). It runs **before** the WAL append:
+//! the log only ever holds accepted batches, and replay needs no schema.
+
+use crate::batch::{ClickEvent, DeltaBatch};
+use giant_ontology::{AttentionNode, NodeId, NodeKind, Phrase};
+use giant_schema::{Schema, Validator, Violation};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which batch item a rejection refers to (index into the *incoming*
+/// batch's respective array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchItem {
+    /// `batch.docs[i]`
+    Doc(usize),
+    /// `batch.clicks[i]`
+    Click(usize),
+    /// `batch.sessions[i]`
+    Session(usize),
+    /// `batch.entities[i]`
+    Entity(usize),
+}
+
+impl fmt::Display for BatchItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchItem::Doc(i) => write!(f, "docs[{i}]"),
+            BatchItem::Click(i) => write!(f, "clicks[{i}]"),
+            BatchItem::Session(i) => write!(f, "sessions[{i}]"),
+            BatchItem::Entity(i) => write!(f, "entities[{i}]"),
+        }
+    }
+}
+
+/// Why an item was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// A document has an empty title — it could never mine a phrase.
+    EmptyTitle,
+    /// A document id does not densely extend the doc space.
+    NonContiguousId {
+        /// The id the document should have carried.
+        expected: usize,
+        /// The id it carried.
+        got: usize,
+    },
+    /// A click carries a non-finite count.
+    NonFiniteCount,
+    /// A click carries negative mass.
+    NegativeCount,
+    /// A click (or session entry) has an empty query.
+    EmptyQuery,
+    /// A click references a document beyond the accumulated + accepted
+    /// doc space.
+    MissingDoc {
+        /// The referenced doc id.
+        doc: usize,
+    },
+    /// A click references a batch document that was itself rejected.
+    ClickToRejectedDoc {
+        /// The rejected doc's incoming id.
+        doc: usize,
+    },
+    /// A session stream carries no queries.
+    EmptySession,
+    /// A dictionary entity fails the schema's entity object type.
+    Schema(Violation),
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::EmptyTitle => write!(f, "empty title"),
+            RejectReason::NonContiguousId { expected, got } => {
+                write!(f, "doc id {got} does not extend the doc space (expected {expected})")
+            }
+            RejectReason::NonFiniteCount => write!(f, "non-finite click count"),
+            RejectReason::NegativeCount => write!(f, "negative click count"),
+            RejectReason::EmptyQuery => write!(f, "empty query"),
+            RejectReason::MissingDoc { doc } => {
+                write!(f, "references missing document {doc}")
+            }
+            RejectReason::ClickToRejectedDoc { doc } => {
+                write!(f, "references rejected batch document {doc}")
+            }
+            RejectReason::EmptySession => write!(f, "empty session"),
+            RejectReason::Schema(v) => write!(f, "schema violation: {v}"),
+        }
+    }
+}
+
+/// One rejected batch item with its typed reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRejection {
+    /// Which item.
+    pub item: BatchItem,
+    /// Why.
+    pub reason: RejectReason,
+}
+
+impl fmt::Display for BatchRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.item, self.reason)
+    }
+}
+
+/// The outcome of screening one batch.
+#[derive(Debug, Clone, Default)]
+pub struct ScreenReport {
+    /// The accepted items, ready to fold (doc ids renumbered densely,
+    /// clicks remapped to follow).
+    pub accepted: DeltaBatch,
+    /// Every rejected item, in docs → clicks → sessions → entities order.
+    pub rejections: Vec<BatchRejection>,
+}
+
+/// Screens `batch` against `schema`, with `base_docs` documents already
+/// accumulated in the state the batch will fold into.
+pub fn screen_batch(schema: &Schema, base_docs: usize, batch: &DeltaBatch) -> ScreenReport {
+    let validator = Validator::new(schema);
+    let mut report = ScreenReport::default();
+
+    // Documents: reject unusable ones, renumber the keepers densely so
+    // the accepted batch still extends the doc space contiguously.
+    // `remap` translates incoming ids (as the batch's clicks refer to
+    // them) to accepted ids.
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    for (i, d) in batch.docs.iter().enumerate() {
+        let incoming_expected = base_docs + i;
+        let reason = if d.id != incoming_expected {
+            Some(RejectReason::NonContiguousId {
+                expected: incoming_expected,
+                got: d.id,
+            })
+        } else if d.title.is_empty() {
+            Some(RejectReason::EmptyTitle)
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => report.rejections.push(BatchRejection {
+                item: BatchItem::Doc(i),
+                reason,
+            }),
+            None => {
+                let new_id = base_docs + report.accepted.docs.len();
+                remap.insert(d.id, new_id);
+                let mut doc = d.clone();
+                doc.id = new_id;
+                report.accepted.docs.push(doc);
+            }
+        }
+    }
+    let accepted_docs = base_docs + report.accepted.docs.len();
+
+    // Clicks: value checks, then doc references — clicks onto rejected or
+    // missing batch docs cascade-reject.
+    for (i, c) in batch.clicks.iter().enumerate() {
+        let reject = |reason| BatchRejection {
+            item: BatchItem::Click(i),
+            reason,
+        };
+        if !c.count.is_finite() {
+            report.rejections.push(reject(RejectReason::NonFiniteCount));
+            continue;
+        }
+        if c.count < 0.0 {
+            report.rejections.push(reject(RejectReason::NegativeCount));
+            continue;
+        }
+        if c.query.is_empty() {
+            report.rejections.push(reject(RejectReason::EmptyQuery));
+            continue;
+        }
+        let doc = if c.doc < base_docs {
+            c.doc
+        } else if let Some(&mapped) = remap.get(&c.doc) {
+            mapped
+        } else if c.doc < base_docs + batch.docs.len() {
+            report
+                .rejections
+                .push(reject(RejectReason::ClickToRejectedDoc { doc: c.doc }));
+            continue;
+        } else {
+            report
+                .rejections
+                .push(reject(RejectReason::MissingDoc { doc: c.doc }));
+            continue;
+        };
+        debug_assert!(doc < accepted_docs);
+        report.accepted.clicks.push(ClickEvent {
+            query: c.query.clone(),
+            doc,
+            count: c.count,
+        });
+    }
+
+    // Sessions: must be non-empty streams of non-empty queries.
+    for (i, s) in batch.sessions.iter().enumerate() {
+        let reason = if s.is_empty() {
+            Some(RejectReason::EmptySession)
+        } else if s.iter().any(String::is_empty) {
+            Some(RejectReason::EmptyQuery)
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => report.rejections.push(BatchRejection {
+                item: BatchItem::Session(i),
+                reason,
+            }),
+            None => report.accepted.sessions.push(s.clone()),
+        }
+    }
+
+    // Dictionary entities: check the node they would become against the
+    // schema's entity object type (probe id 0 — ids are not assigned yet
+    // and violations report the batch index instead).
+    for (i, (tokens, tag)) in batch.entities.iter().enumerate() {
+        let probe = AttentionNode {
+            id: NodeId(0),
+            kind: NodeKind::Entity,
+            phrase: Phrase::new(tokens.iter().cloned()),
+            aliases: Vec::new(),
+            support: 0.0,
+            time: None,
+        };
+        match validator.check_node(&probe) {
+            Ok(()) => report.accepted.entities.push((tokens.clone(), *tag)),
+            Err(v) => report.rejections.push(BatchRejection {
+                item: BatchItem::Entity(i),
+                reason: RejectReason::Schema(v),
+            }),
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giant_core::pipeline::DocRecord;
+    use giant_text::NerTag;
+
+    fn doc(id: usize, title: &str) -> DocRecord {
+        DocRecord {
+            id,
+            title: title.to_owned(),
+            sentences: vec![format!("{title} body")],
+            leaf_category: 0,
+            day: 1,
+        }
+    }
+
+    fn click(query: &str, doc: usize, count: f64) -> ClickEvent {
+        ClickEvent {
+            query: query.to_owned(),
+            doc,
+            count,
+        }
+    }
+
+    #[test]
+    fn clean_batches_pass_through_unchanged() {
+        let schema = Schema::builtin();
+        let batch = DeltaBatch {
+            docs: vec![doc(10, "solar panels"), doc(11, "wind farms")],
+            clicks: vec![click("solar", 10, 2.0), click("wind", 3, 1.0)],
+            sessions: vec![vec!["solar".into(), "wind".into()]],
+            entities: vec![(vec!["tesla".into()], NerTag::Organization)],
+        };
+        let r = screen_batch(&schema, 10, &batch);
+        assert!(r.rejections.is_empty());
+        assert_eq!(r.accepted.docs.len(), 2);
+        assert_eq!(r.accepted.docs[0].id, 10);
+        assert_eq!(r.accepted.clicks.len(), 2);
+        assert_eq!(r.accepted.clicks[0].doc, 10);
+        assert_eq!(r.accepted.sessions.len(), 1);
+        assert_eq!(r.accepted.entities.len(), 1);
+    }
+
+    #[test]
+    fn rejected_docs_cascade_and_keepers_renumber() {
+        let schema = Schema::builtin();
+        let batch = DeltaBatch {
+            docs: vec![doc(5, ""), doc(6, "kept")],
+            clicks: vec![
+                click("to rejected", 5, 1.0),
+                click("to kept", 6, 1.0),
+                click("to base", 2, 1.0),
+                click("to nowhere", 9, 1.0),
+            ],
+            ..DeltaBatch::default()
+        };
+        let r = screen_batch(&schema, 5, &batch);
+        // The kept doc slides into the rejected one's slot.
+        assert_eq!(r.accepted.docs.len(), 1);
+        assert_eq!(r.accepted.docs[0].id, 5);
+        assert_eq!(r.accepted.docs[0].title, "kept");
+        // Its click follows; the base-space click is untouched.
+        assert_eq!(r.accepted.clicks.len(), 2);
+        assert_eq!(r.accepted.clicks[0].doc, 5);
+        assert_eq!(r.accepted.clicks[1].doc, 2);
+        // Typed reasons, in order.
+        let reasons: Vec<_> = r.rejections.iter().map(|x| (x.item, x.reason.clone())).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                (BatchItem::Doc(0), RejectReason::EmptyTitle),
+                (
+                    BatchItem::Click(0),
+                    RejectReason::ClickToRejectedDoc { doc: 5 }
+                ),
+                (BatchItem::Click(3), RejectReason::MissingDoc { doc: 9 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn value_defects_reject_per_item() {
+        let schema = Schema::builtin();
+        let batch = DeltaBatch {
+            clicks: vec![
+                click("nan", 0, f64::NAN),
+                click("neg", 0, -1.0),
+                click("", 0, 1.0),
+                click("fine", 0, 1.0),
+            ],
+            sessions: vec![vec![], vec!["ok".into(), "".into()], vec!["ok".into()]],
+            entities: vec![
+                (vec![], NerTag::Organization),
+                (vec!["fine".into()], NerTag::Person),
+            ],
+            ..DeltaBatch::default()
+        };
+        let r = screen_batch(&schema, 1, &batch);
+        assert_eq!(r.accepted.clicks.len(), 1);
+        assert_eq!(r.accepted.sessions.len(), 1);
+        assert_eq!(r.accepted.entities.len(), 1);
+        // Click(0..2), Session(0) empty, Session(1) empty query, Entity(0).
+        assert_eq!(r.rejections.len(), 6);
+        assert!(matches!(
+            r.rejections[0],
+            BatchRejection {
+                item: BatchItem::Click(0),
+                reason: RejectReason::NonFiniteCount
+            }
+        ));
+        assert!(matches!(
+            &r.rejections[5],
+            BatchRejection {
+                item: BatchItem::Entity(0),
+                reason: RejectReason::Schema(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn non_contiguous_ids_reject_the_offender_only() {
+        let schema = Schema::builtin();
+        let batch = DeltaBatch {
+            docs: vec![doc(3, "a"), doc(7, "b"), doc(5, "c")],
+            ..DeltaBatch::default()
+        };
+        let r = screen_batch(&schema, 3, &batch);
+        // docs[0] fine (id 3); docs[1] claims 7, expected 4 → rejected;
+        // docs[2] claims 5, expected 5 → kept as accepted id 4.
+        assert_eq!(r.accepted.docs.len(), 2);
+        assert_eq!(r.accepted.docs[1].id, 4);
+        assert_eq!(r.accepted.docs[1].title, "c");
+        assert_eq!(
+            r.rejections,
+            vec![BatchRejection {
+                item: BatchItem::Doc(1),
+                reason: RejectReason::NonContiguousId {
+                    expected: 4,
+                    got: 7
+                }
+            }]
+        );
+    }
+
+    #[test]
+    fn screening_is_deterministic() {
+        let schema = Schema::builtin();
+        let batch = DeltaBatch {
+            docs: vec![doc(0, ""), doc(1, "x")],
+            clicks: vec![click("q", 0, 1.0), click("q", 1, 1.0)],
+            ..DeltaBatch::default()
+        };
+        let a = screen_batch(&schema, 0, &batch);
+        let b = screen_batch(&schema, 0, &batch);
+        assert_eq!(a.rejections, b.rejections);
+        assert_eq!(a.accepted.docs.len(), b.accepted.docs.len());
+        assert_eq!(
+            a.accepted.clicks.iter().map(|c| c.doc).collect::<Vec<_>>(),
+            b.accepted.clicks.iter().map(|c| c.doc).collect::<Vec<_>>()
+        );
+    }
+}

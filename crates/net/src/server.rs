@@ -35,7 +35,7 @@
 //! | malformed / oversized frame  | [`Reply::Bad`], then connection close|
 //! | `Request::Stats`, any load   | [`Reply::Stats`] inline (never shed) |
 
-use giant_apps::serving::{OntologyService, ServeRequest};
+use giant_apps::serving::{OntologyService, ServeError, ServeRequest};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -65,6 +65,14 @@ pub struct ServerConfig {
     /// serving a drained batch, to make overload reproducible on fast
     /// machines. 0 (the default) in production.
     pub debug_batch_delay_us: u64,
+    /// Whether [`ServeRequest::ExportSubgraph`] is admitted. Off by
+    /// default: a full-graph export is orders of magnitude heavier than
+    /// any other request and dumps the whole ontology to the peer, so the
+    /// host must opt in (`giant_server --allow-export`). When disabled,
+    /// export requests get a typed
+    /// [`ServeError::ExportDisabled`](giant_apps::serving::ServeError)
+    /// reply without ever entering the admission queue.
+    pub allow_export: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +83,7 @@ impl Default for ServerConfig {
             batch_max: 32,
             queue_cap: 256,
             debug_batch_delay_us: 0,
+            allow_export: false,
         }
     }
 }
@@ -287,6 +296,13 @@ fn reader_loop(mut read_half: TcpStream, conn: Arc<Conn>, shared: &Arc<Shared>) 
                 conn.send(id, &Reply::Stats(report));
             }
             Ok(Request::Serve(req)) => {
+                // The export gate sits in front of admission: a disabled
+                // export is a policy refusal, not load, so it neither
+                // occupies a queue slot nor counts as shed.
+                if matches!(req, ServeRequest::ExportSubgraph { .. }) && !shared.cfg.allow_export {
+                    conn.send(id, &Reply::Err(ServeError::ExportDisabled));
+                    continue;
+                }
                 let mut queue = shared.queue.lock().expect("admission queue poisoned");
                 if queue.len() >= shared.cfg.queue_cap {
                     let depth = queue.len();

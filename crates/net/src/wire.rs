@@ -51,7 +51,7 @@ pub const FRAME_HEADER: usize = 4 + 8 + 8;
 
 /// Number of [`ServeRequest`] kinds (the per-kind stats arrays index by
 /// [`kind_index`]).
-pub const N_KINDS: usize = 4;
+pub const N_KINDS: usize = 5;
 
 /// Typed failures of the wire layer.
 #[derive(Debug)]
@@ -169,6 +169,7 @@ pub fn kind_label(req: &ServeRequest) -> &'static str {
         ServeRequest::Recommend { .. } => "recommend",
         ServeRequest::TagDocument { .. } => "tag_document",
         ServeRequest::StoryTree { .. } => "story_tree",
+        ServeRequest::ExportSubgraph { .. } => "export_subgraph",
     }
 }
 
@@ -179,11 +180,13 @@ pub fn kind_index(req: &ServeRequest) -> usize {
         ServeRequest::Recommend { .. } => 1,
         ServeRequest::TagDocument { .. } => 2,
         ServeRequest::StoryTree { .. } => 3,
+        ServeRequest::ExportSubgraph { .. } => 4,
     }
 }
 
 /// Labels in [`kind_index`] order.
-pub const KIND_LABELS: [&str; N_KINDS] = ["conceptualize", "recommend", "tag_document", "story_tree"];
+pub const KIND_LABELS: [&str; N_KINDS] =
+    ["conceptualize", "recommend", "tag_document", "story_tree", "export_subgraph"];
 
 // ---------------------------------------------------------------------------
 // Small shared codecs.
@@ -271,6 +274,7 @@ const REQ_RECOMMEND: u8 = 1;
 const REQ_TAG_DOCUMENT: u8 = 2;
 const REQ_STORY_TREE: u8 = 3;
 const REQ_STATS: u8 = 4;
+const REQ_EXPORT_SUBGRAPH: u8 = 5;
 
 /// Serialises one request payload (kind byte + body).
 pub fn write_request(w: &mut Writer, req: &Request) {
@@ -292,6 +296,10 @@ pub fn write_request(w: &mut Writer, req: &Request) {
             w.u8(REQ_STORY_TREE);
             w.u32(seed.0);
         }
+        Request::Serve(ServeRequest::ExportSubgraph { root }) => {
+            w.u8(REQ_EXPORT_SUBGRAPH);
+            write_opt_node(w, root);
+        }
         Request::Stats => w.u8(REQ_STATS),
     }
 }
@@ -312,6 +320,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, NetError> {
             seed: NodeId(r.u32()?),
         }),
         REQ_STATS => Request::Stats,
+        REQ_EXPORT_SUBGRAPH => Request::Serve(ServeRequest::ExportSubgraph {
+            root: read_opt_node(&mut r)?,
+        }),
         kind => return Err(NetError::BadKind { kind }),
     };
     r.expect_exhausted()?;
@@ -329,6 +340,10 @@ const REP_ERR_UNKNOWN_SEED: u8 = 4;
 const REP_SHED: u8 = 5;
 const REP_STATS: u8 = 6;
 const REP_BAD: u8 = 7;
+const REP_EXPORT_SUBGRAPH: u8 = 8;
+const REP_ERR_UNKNOWN_EXPORT_ROOT: u8 = 9;
+const REP_ERR_EXPORT_DISABLED: u8 = 10;
+const REP_ERR_EXPORT_FAILED: u8 = 11;
 
 /// Serialises one reply payload (kind byte + body).
 pub fn write_reply(w: &mut Writer, reply: &Reply) {
@@ -365,9 +380,22 @@ pub fn write_reply(w: &mut Writer, reply: &Reply) {
                 }
             }
         }
+        Reply::Ok(ServeResponse::ExportSubgraph(json)) => {
+            w.u8(REP_EXPORT_SUBGRAPH);
+            w.str(json);
+        }
         Reply::Err(ServeError::UnknownStorySeed(n)) => {
             w.u8(REP_ERR_UNKNOWN_SEED);
             w.u32(n.0);
+        }
+        Reply::Err(ServeError::UnknownExportRoot(n)) => {
+            w.u8(REP_ERR_UNKNOWN_EXPORT_ROOT);
+            w.u32(n.0);
+        }
+        Reply::Err(ServeError::ExportDisabled) => w.u8(REP_ERR_EXPORT_DISABLED),
+        Reply::Err(ServeError::ExportFailed(msg)) => {
+            w.u8(REP_ERR_EXPORT_FAILED);
+            w.str(msg);
         }
         Reply::Shed { depth, cap } => {
             w.u8(REP_SHED);
@@ -434,6 +462,10 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, NetError> {
             Reply::Ok(ServeResponse::StoryTree(StoryTree { events, branches }))
         }
         REP_ERR_UNKNOWN_SEED => Reply::Err(ServeError::UnknownStorySeed(NodeId(r.u32()?))),
+        REP_EXPORT_SUBGRAPH => Reply::Ok(ServeResponse::ExportSubgraph(r.str()?)),
+        REP_ERR_UNKNOWN_EXPORT_ROOT => Reply::Err(ServeError::UnknownExportRoot(NodeId(r.u32()?))),
+        REP_ERR_EXPORT_DISABLED => Reply::Err(ServeError::ExportDisabled),
+        REP_ERR_EXPORT_FAILED => Reply::Err(ServeError::ExportFailed(r.str()?)),
         REP_SHED => Reply::Shed {
             depth: r.u32()?,
             cap: r.u32()?,
@@ -575,6 +607,10 @@ mod tests {
                 sentences: vec!["a great day".into(), "for electric cars".into()],
             }),
             Request::Serve(ServeRequest::StoryTree { seed: NodeId(7) }),
+            Request::Serve(ServeRequest::ExportSubgraph { root: None }),
+            Request::Serve(ServeRequest::ExportSubgraph {
+                root: Some(NodeId(12)),
+            }),
             Request::Stats,
         ]
     }
@@ -607,6 +643,12 @@ mod tests {
                 branches: vec![vec![0], vec![]],
             })),
             Reply::Err(ServeError::UnknownStorySeed(NodeId(999))),
+            Reply::Ok(ServeResponse::ExportSubgraph(
+                "{\n  \"nodes\": []\n}".into(),
+            )),
+            Reply::Err(ServeError::UnknownExportRoot(NodeId(404))),
+            Reply::Err(ServeError::ExportDisabled),
+            Reply::Err(ServeError::ExportFailed("node 3: missing property".into())),
             Reply::Shed { depth: 64, cap: 64 },
             Reply::Stats(StatsReport {
                 version: 3,

@@ -28,7 +28,7 @@ fn arb_text() -> impl Strategy<Value = String> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..5,
+        0usize..6,
         arb_text(),
         proptest::collection::vec(arb_text(), 0..3),
         0u32..=u32::MAX,
@@ -41,6 +41,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 sentences: texts,
             }),
             3 => Request::Serve(ServeRequest::StoryTree { seed: NodeId(id) }),
+            // Reuse the id draw for both the root choice and its value, so
+            // None and Some roots are each exercised.
+            4 => Request::Serve(ServeRequest::ExportSubgraph {
+                root: (id % 2 == 0).then_some(NodeId(id)),
+            }),
             _ => Request::Stats,
         })
 }

@@ -58,7 +58,8 @@ pub struct BinError {
 }
 
 impl BinError {
-    fn new(at: usize, message: impl Into<String>) -> Self {
+    /// An error at byte `at`.
+    pub fn new(at: usize, message: impl Into<String>) -> Self {
         Self {
             at,
             message: message.into(),

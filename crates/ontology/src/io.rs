@@ -14,13 +14,15 @@ use std::fmt;
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
+    /// Byte offset of the start of the offending line within the input.
+    pub offset: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {} (byte {}): {}", self.line, self.offset, self.message)
     }
 }
 
@@ -137,12 +139,20 @@ pub fn dump(o: &Ontology) -> String {
 /// file order, so a dump/load round trip preserves ids.
 pub fn load(text: &str) -> Result<Ontology, ParseError> {
     let mut o = Ontology::new();
-    let err = |line: usize, message: &str| ParseError {
-        line,
-        message: message.to_owned(),
-    };
-    for (i, raw) in text.lines().enumerate() {
+    let mut offset = 0usize;
+    // `split('\n')` instead of `lines()` so each piece's byte offset is the
+    // running sum of piece lengths + separators; a final empty piece (from a
+    // trailing newline) is skipped by the blank-line check like any other.
+    for (i, piece) in text.split('\n').enumerate() {
         let line_no = i + 1;
+        let line_offset = offset;
+        offset += piece.len() + 1;
+        let err = |line: usize, message: &str| ParseError {
+            line,
+            offset: line_offset,
+            message: message.to_owned(),
+        };
+        let raw = piece.strip_suffix('\r').unwrap_or(piece);
         if raw.is_empty() {
             continue;
         }
@@ -248,6 +258,26 @@ mod tests {
         assert!(load("E\t0\t1\tisA\tnot_a_number").is_err());
         let err = load("N\t0").unwrap_err();
         assert_eq!(err.line, 1);
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_byte_offset() {
+        // First line valid, second line malformed: the error points at the
+        // byte where the bad line starts, not just its ordinal.
+        let good = "N\t0\tconcept\t-\t1\tfoo\n";
+        let text = format!("{good}E\t0\t1\tbogus\t1.0\n");
+        let err = load(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.offset, good.len());
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains(&format!("byte {}", good.len())));
+
+        // Blank lines (and \r\n endings) still advance the offset exactly.
+        let text = format!("\n\r\n{good}N\tbad\n");
+        let err = load(&text).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert_eq!(err.offset, 3 + good.len());
     }
 
     #[test]

@@ -1,0 +1,581 @@
+//! Minimal JSON value model, parser and renderer.
+//!
+//! Dependency note (DESIGN.md §1): the workspace deliberately avoids
+//! `serde`, so the schema interchange layer (DESIGN.md §12) carries its own
+//! JSON support. The parser is strict (RFC 8259 grammar, no trailing
+//! commas, no comments, no duplicate tolerance at this layer) and returns a
+//! typed [`JsonError`] with a byte offset for every failure — it never
+//! panics, mirroring the wire-decoder discipline in `giant-net`. The
+//! renderer is deterministic: object keys are emitted in insertion order
+//! and numbers use Rust's shortest-round-trip `f64` formatting, so
+//! parse → render is canonical for documents this crate produced.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Deeper documents fail typed
+/// instead of overflowing the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value. Objects preserve insertion order (`Vec`, not a
+/// map) so render output is deterministic and duplicate keys are visible
+/// to callers that care.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number. Parsed through `f64`; non-finite results are a
+    /// parse error, so every held value is finite.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object (first match). `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs, if it is one.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// A typed JSON failure: where (byte offset into the input for parse
+/// errors, 0 for render errors) and what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where the problem was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document. The whole input must be consumed (trailing
+/// whitespace excepted); anything else is a typed error.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new(p.pos, "trailing data after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(got) => Err(JsonError::new(
+                self.pos,
+                format!("expected {:?}, found {:?}", b as char, got as char),
+            )),
+            None => Err(JsonError::new(
+                self.pos,
+                format!("expected {:?}, found end of input", b as char),
+            )),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::new(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(JsonError::new(self.pos, "unexpected end of input")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(JsonError::new(
+                self.pos,
+                format!("unexpected byte {:?}", b as char),
+            )),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(self.pos, format!("expected {word:?}")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key_at = self.pos;
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError::new(key_at, format!("duplicate key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(JsonError::new(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        let mut run = self.pos; // start of the current unescaped run
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(JsonError::new(self.pos, "unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    out.extend_from_slice(&self.bytes[run..self.pos]);
+                    self.pos += 1;
+                    // The input is a &str and runs are split at ASCII
+                    // bytes, so the collected bytes are valid UTF-8; keep
+                    // the typed-error discipline anyway.
+                    return String::from_utf8(out)
+                        .map_err(|_| JsonError::new(self.pos, "invalid UTF-8 in string"));
+                }
+                b'\\' => {
+                    out.extend_from_slice(&self.bytes[run..self.pos]);
+                    self.pos += 1;
+                    let esc_at = self.pos;
+                    let Some(e) = self.peek() else {
+                        return Err(JsonError::new(esc_at, "dangling escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0C),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let c = self.unicode_escape(esc_at)?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        other => {
+                            return Err(JsonError::new(
+                                esc_at,
+                                format!("unknown escape \\{}", other as char),
+                            ))
+                        }
+                    }
+                    run = self.pos;
+                }
+                0x00..=0x1F => {
+                    return Err(JsonError::new(self.pos, "raw control character in string"))
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let at = self.pos;
+        let Some(chunk) = self.bytes.get(self.pos..self.pos + 4) else {
+            return Err(JsonError::new(at, "truncated \\u escape"));
+        };
+        let mut v: u16 = 0;
+        for &b in chunk {
+            let d = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(JsonError::new(at, "non-hex digit in \\u escape")),
+            };
+            v = v << 4 | u16::from(d);
+        }
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self, esc_at: usize) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if self.bytes.get(self.pos) != Some(&b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u')
+            {
+                return Err(JsonError::new(esc_at, "unpaired high surrogate"));
+            }
+            self.pos += 2;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(JsonError::new(esc_at, "invalid low surrogate"));
+            }
+            let c = 0x10000 + ((u32::from(hi) - 0xD800) << 10) + (u32::from(lo) - 0xDC00);
+            char::from_u32(c).ok_or_else(|| JsonError::new(esc_at, "invalid surrogate pair"))
+        } else if (0xDC00..0xE000).contains(&hi) {
+            Err(JsonError::new(esc_at, "unpaired low surrogate"))
+        } else {
+            char::from_u32(u32::from(hi)).ok_or_else(|| JsonError::new(esc_at, "invalid \\u escape"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(JsonError::new(start, "malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::new(start, "malformed number"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::new(start, "malformed number"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new(start, "malformed number"))?;
+        let n: f64 = lexeme
+            .parse()
+            .map_err(|_| JsonError::new(start, "malformed number"))?;
+        if !n.is_finite() {
+            return Err(JsonError::new(start, "number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+/// Renders a value as pretty-printed JSON (two-space indent, `\n` line
+/// ends, no trailing newline). Deterministic: keys stay in insertion
+/// order. Fails typed on non-finite numbers — JSON cannot carry them.
+pub fn render(value: &Json) -> Result<String, JsonError> {
+    let mut out = String::new();
+    render_into(value, 0, &mut out)?;
+    Ok(out)
+}
+
+fn render_into(value: &Json, indent: usize, out: &mut String) -> Result<(), JsonError> {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if !n.is_finite() {
+                return Err(JsonError::new(0, format!("non-finite number {n}")));
+            }
+            // Shortest-round-trip f64 formatting: parse recovers the bits.
+            out.push_str(&format!("{n}"));
+        }
+        Json::Str(s) => render_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(indent + 1, out);
+                    render_into(item, indent + 1, out)?;
+                }
+                out.push('\n');
+                push_indent(indent, out);
+                out.push(']');
+            }
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(indent + 1, out);
+                    render_string(k, out);
+                    out.push_str(": ");
+                    render_into(v, indent + 1, out)?;
+                }
+                out.push('\n');
+                push_indent(indent, out);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> Json {
+        parse(text).unwrap_or_else(|e| panic!("{text:?}: {e}"))
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(roundtrip("null"), Json::Null);
+        assert_eq!(roundtrip(" true "), Json::Bool(true));
+        assert_eq!(roundtrip("false"), Json::Bool(false));
+        assert_eq!(roundtrip("0"), Json::Num(0.0));
+        assert_eq!(roundtrip("-0"), Json::Num(-0.0));
+        assert_eq!(roundtrip("3.25e2"), Json::Num(325.0));
+        assert_eq!(roundtrip("\"a\\nb\""), Json::Str("a\nb".into()));
+        assert_eq!(roundtrip("\"\\u00e9\""), Json::Str("é".into()));
+        assert_eq!(roundtrip("\"\\ud83d\\ude00\""), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn parses_containers_in_order() {
+        let v = roundtrip("{\"b\": [1, 2], \"a\": {}}");
+        assert_eq!(
+            v,
+            Json::Obj(vec![
+                ("b".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+                ("a".into(), Json::Obj(vec![])),
+            ])
+        );
+        assert_eq!(v.get("b").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_with_offsets() {
+        for (text, offset_hint) in [
+            ("", 0),
+            ("{", 1),
+            ("[1,]", 3),
+            ("{\"a\":1,}", 7),
+            ("{\"a\" 1}", 5),
+            ("\"abc", 4),
+            ("01", 1),
+            ("1.", 0),
+            ("1e", 0),
+            ("-", 0),
+            ("nul", 0),
+            ("\"\\q\"", 2),
+            ("\"\\u12\"", 3),
+            ("\"\\ud800\"", 2),
+            ("1 2", 2),
+            ("{\"a\":1,\"a\":2}", 7),
+            ("1e999", 0),
+            ("\"\u{1}\"", 1),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert_eq!(err.offset, offset_hint, "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_is_typed() {
+        let deep = "[".repeat(MAX_DEPTH + 2);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"), "{err}");
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a\t\"b\"\\\u{1}é".into())),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::Num(1.5), Json::Null, Json::Bool(false)]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+            ("n".into(), Json::Num(-0.0)),
+        ]);
+        let text = render(&v).unwrap();
+        assert_eq!(parse(&text).unwrap(), v);
+        // -0.0 survives by bits, not just by PartialEq.
+        let back = parse(&text).unwrap();
+        let n = back.get("n").and_then(Json::as_num).unwrap();
+        assert_eq!(n.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn render_rejects_non_finite() {
+        assert!(render(&Json::Num(f64::NAN)).is_err());
+        assert!(render(&Json::Num(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let v = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::Num(3.0)]))]);
+        assert_eq!(render(&v).unwrap(), "{\n  \"a\": [\n    3\n  ]\n}");
+    }
+}

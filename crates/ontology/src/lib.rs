@@ -15,6 +15,7 @@ pub mod binio;
 pub mod delta;
 pub mod edge;
 pub mod io;
+pub mod json;
 pub mod node;
 pub mod ontology;
 pub mod snapshot;

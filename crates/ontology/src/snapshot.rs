@@ -361,6 +361,13 @@ impl OntologySnapshot {
         self.out[EdgeKind::Correlate.index()].row(id.index())
     }
 
+    /// Outgoing edges of `id` for one edge kind, with weights, in insertion
+    /// order. Correlate rows list each symmetric pair from both endpoints,
+    /// exactly as [`crate::Ontology::out_edges`] stores them.
+    pub fn out_edges(&self, kind: EdgeKind, id: NodeId) -> (&[NodeId], &[f64]) {
+        self.out[kind.index()].row(id.index())
+    }
+
     /// Direct isA children pre-sorted by `(support desc, id asc)` — the
     /// query-rewrite ranking, precomputed.
     pub fn ranked_children(&self, id: NodeId) -> &[NodeId] {

@@ -1,0 +1,673 @@
+//! Schema-checked JSON interchange for the ontology.
+//!
+//! The document shape follows the `OntologyNode`/`OntologyEdge` form used
+//! by graph visualizers (SNIPPETS.md §1): a top-level object with a
+//! `schema` stamp and `nodes`/`edges` arrays, nodes as
+//! `{id, type, label, data}` and edges as
+//! `{id, source, target, type, weight}`. Node ids are `"n<id>"`, edge ids
+//! `"e<index>"`; the edge `type` is the matched link-type name (so
+//! `belongTo` is visible in exports even though it is stored as an `IsA`
+//! edge).
+//!
+//! Contract (proven by proptest and the seed-42 golden):
+//! `dump(import_json(export_json(o))) == dump(o)` byte-identical. Export
+//! writes nodes in id order and edges in [`Ontology::edges_iter`] order;
+//! import replays both arrays in document order through the same
+//! registration paths `io::load` uses, so ids, alias ownership and edge
+//! insertion order — everything the text dump serialises — are preserved
+//! exactly. Support, time and weight values survive because both JSON and
+//! the dump use Rust's shortest-round-trip `f64`/`u32` formatting.
+//!
+//! Import is strict: unknown keys, duplicate ids, label/tokens mismatch,
+//! dangling edge endpoints, type confusion and schema violations are all
+//! typed [`ImportError`]s — never a panic (the parser mirrors the
+//! `wire_fuzz.rs` discipline).
+
+use crate::schema::Schema;
+use crate::validate::{Validator, Violation};
+use giant_ontology::json::{self, Json, JsonError};
+use giant_ontology::{AttentionNode, EdgeKind, NodeId, NodeKind, Ontology, Phrase};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Export failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExportError {
+    /// The graph does not satisfy the schema.
+    Invalid(Vec<Violation>),
+    /// An edge references a node outside the exported node set
+    /// (subgraph-view export only).
+    DanglingEdge {
+        /// Source node id.
+        src: u32,
+        /// Target node id.
+        dst: u32,
+    },
+    /// JSON rendering failed (non-finite number reached the renderer).
+    Render(JsonError),
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Invalid(vs) => write!(
+                f,
+                "graph violates schema ({} violations, first: {})",
+                vs.len(),
+                vs[0]
+            ),
+            ExportError::DanglingEdge { src, dst } => {
+                write!(f, "edge {src}->{dst} leaves the exported node set")
+            }
+            ExportError::Render(e) => write!(f, "render: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Import failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportError {
+    /// The text is not valid JSON.
+    Json(JsonError),
+    /// The JSON is valid but not a well-formed interchange document.
+    Shape {
+        /// Where and what, e.g. `nodes[3]: missing key "label"`.
+        what: String,
+    },
+    /// The document stamps a different schema than the one importing.
+    SchemaMismatch {
+        /// The importing schema (`name v<version>`).
+        expected: String,
+        /// The document's stamp.
+        got: String,
+    },
+    /// Two nodes (or two edges) share an id.
+    DuplicateId {
+        /// The repeated id.
+        id: String,
+    },
+    /// Two nodes share a `(kind, surface)` — they would silently merge.
+    DuplicateSurface {
+        /// The contested surface.
+        surface: String,
+    },
+    /// An alias surface is already owned by another node (or repeats).
+    AliasConflict {
+        /// The contested alias surface.
+        surface: String,
+    },
+    /// An edge endpoint references an id no node declares.
+    UnknownNodeRef {
+        /// The missing id.
+        id: String,
+    },
+    /// A node or edge fails schema validation.
+    Schema(Violation),
+    /// The graph store rejected an edge (isA cycle, self-loop).
+    Graph {
+        /// The store's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Json(e) => write!(f, "{e}"),
+            ImportError::Shape { what } => write!(f, "malformed document: {what}"),
+            ImportError::SchemaMismatch { expected, got } => {
+                write!(f, "document is for schema {got}, importing with {expected}")
+            }
+            ImportError::DuplicateId { id } => write!(f, "duplicate id {id:?}"),
+            ImportError::DuplicateSurface { surface } => {
+                write!(f, "two nodes of one kind share surface {surface:?}")
+            }
+            ImportError::AliasConflict { surface } => {
+                write!(f, "alias {surface:?} conflicts with an existing surface")
+            }
+            ImportError::UnknownNodeRef { id } => write!(f, "edge references unknown node {id:?}"),
+            ImportError::Schema(v) => write!(f, "schema violation: {v}"),
+            ImportError::Graph { message } => write!(f, "graph rejected edge: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn shape(what: impl Into<String>) -> ImportError {
+    ImportError::Shape { what: what.into() }
+}
+
+/// Exports a whole ontology as a schema-stamped JSON document. The graph
+/// is fully validated first (including cardinality hints); nodes are
+/// written in id order, edges in [`Ontology::edges_iter`] order, which is
+/// what makes the byte-identity contract hold.
+pub fn export_json(o: &Ontology, schema: &Schema) -> Result<String, ExportError> {
+    Validator::new(schema)
+        .validate(o)
+        .map_err(ExportError::Invalid)?;
+    let edges: Vec<_> = o.edges_iter().collect();
+    render_document(o.nodes(), &edges, schema)
+}
+
+/// Exports an explicit node/edge view (e.g. a snapshot subgraph) with
+/// per-node and per-edge checks but no whole-graph cardinality audit.
+/// Node ids keep their original values, so a subgraph export names the
+/// same nodes the full export does.
+pub fn export_json_view(
+    nodes: &[AttentionNode],
+    edges: &[(NodeId, NodeId, EdgeKind, f64)],
+    schema: &Schema,
+) -> Result<String, ExportError> {
+    let v = Validator::new(schema);
+    let mut violations = Vec::new();
+    let by_id: HashMap<u32, &AttentionNode> = nodes.iter().map(|n| (n.id.0, n)).collect();
+    for n in nodes {
+        if let Err(vi) = v.check_node(n) {
+            violations.push(vi);
+        }
+    }
+    for &(src, dst, kind, w) in edges {
+        let (Some(s), Some(d)) = (by_id.get(&src.0), by_id.get(&dst.0)) else {
+            return Err(ExportError::DanglingEdge {
+                src: src.0,
+                dst: dst.0,
+            });
+        };
+        if let Err(vi) = v.check_edge(s, d, kind, w) {
+            violations.push(vi);
+        }
+    }
+    if !violations.is_empty() {
+        return Err(ExportError::Invalid(violations));
+    }
+    render_document(nodes, edges, schema)
+}
+
+fn render_document(
+    nodes: &[AttentionNode],
+    edges: &[(NodeId, NodeId, EdgeKind, f64)],
+    schema: &Schema,
+) -> Result<String, ExportError> {
+    let by_id: HashMap<u32, &AttentionNode> = nodes.iter().map(|n| (n.id.0, n)).collect();
+    let node_values: Vec<Json> = nodes
+        .iter()
+        .map(|n| {
+            let mut data = vec![
+                (
+                    "tokens".to_owned(),
+                    Json::Arr(n.phrase.tokens.iter().map(|t| Json::Str(t.clone())).collect()),
+                ),
+                ("support".to_owned(), Json::Num(n.support)),
+            ];
+            if let Some(t) = n.time {
+                data.push(("time".to_owned(), Json::Num(f64::from(t))));
+            }
+            if !n.aliases.is_empty() {
+                data.push((
+                    "aliases".to_owned(),
+                    Json::Arr(
+                        n.aliases
+                            .iter()
+                            .map(|a| {
+                                Json::Arr(a.tokens.iter().map(|t| Json::Str(t.clone())).collect())
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::Obj(vec![
+                ("id".to_owned(), Json::Str(format!("n{}", n.id.0))),
+                ("type".to_owned(), Json::Str(n.kind.name().to_owned())),
+                ("label".to_owned(), Json::Str(n.phrase.surface())),
+                ("data".to_owned(), Json::Obj(data)),
+            ])
+        })
+        .collect();
+    let edge_values: Vec<Json> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(src, dst, kind, w))| {
+            // Endpoints exist: callers validated (or mapped) them already.
+            let link_name = by_id
+                .get(&src.0)
+                .zip(by_id.get(&dst.0))
+                .and_then(|(s, d)| schema.match_link(kind, s.kind, d.kind))
+                .map_or_else(|| kind.name().to_owned(), |l| l.name.clone());
+            Json::Obj(vec![
+                ("id".to_owned(), Json::Str(format!("e{i}"))),
+                ("source".to_owned(), Json::Str(format!("n{}", src.0))),
+                ("target".to_owned(), Json::Str(format!("n{}", dst.0))),
+                ("type".to_owned(), Json::Str(link_name)),
+                ("weight".to_owned(), Json::Num(w)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        (
+            "schema".to_owned(),
+            Json::Obj(vec![
+                ("name".to_owned(), Json::Str(schema.name().to_owned())),
+                ("version".to_owned(), Json::Num(f64::from(schema.version()))),
+            ]),
+        ),
+        ("nodes".to_owned(), Json::Arr(node_values)),
+        ("edges".to_owned(), Json::Arr(edge_values)),
+    ]);
+    json::render(&doc).map_err(ExportError::Render)
+}
+
+/// Imports a document produced by [`export_json`] (or hand-edited to the
+/// same shape), validating every node and edge against `schema` and
+/// finishing with a whole-graph audit. Node ids are reassigned densely in
+/// array order — exactly like `io::load` — so importing an unmodified
+/// export reproduces the original dump byte for byte.
+pub fn import_json(text: &str, schema: &Schema) -> Result<Ontology, ImportError> {
+    let doc = json::parse(text).map_err(ImportError::Json)?;
+    let validator = Validator::new(schema);
+    let top = doc
+        .as_obj()
+        .ok_or_else(|| shape(format!("top level must be an object, found {}", doc.type_name())))?;
+    for (k, _) in top {
+        if !matches!(k.as_str(), "schema" | "nodes" | "edges") {
+            return Err(shape(format!("unknown top-level key {k:?}")));
+        }
+    }
+    if let Some(stamp) = doc.get("schema") {
+        check_schema_stamp(stamp, schema)?;
+    }
+    let nodes = require_arr(&doc, "nodes")?;
+    let edges = require_arr(&doc, "edges")?;
+
+    let mut o = Ontology::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for (i, nj) in nodes.iter().enumerate() {
+        import_node(nj, i, schema, &validator, &mut o, &mut ids)?;
+    }
+    let mut edge_ids: HashSet<String> = HashSet::new();
+    for (i, ej) in edges.iter().enumerate() {
+        import_edge(ej, i, schema, &validator, &mut o, &ids, &mut edge_ids)?;
+    }
+    validator.validate(&o).map_err(|mut vs| {
+        // Per-item checks already passed, so only whole-graph findings
+        // (cardinality hints) can land here.
+        ImportError::Schema(vs.remove(0))
+    })?;
+    Ok(o)
+}
+
+fn check_schema_stamp(stamp: &Json, schema: &Schema) -> Result<(), ImportError> {
+    let pairs = stamp
+        .as_obj()
+        .ok_or_else(|| shape(format!("schema stamp must be an object, found {}", stamp.type_name())))?;
+    for (k, _) in pairs {
+        if !matches!(k.as_str(), "name" | "version") {
+            return Err(shape(format!("unknown schema-stamp key {k:?}")));
+        }
+    }
+    let name = stamp
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| shape("schema stamp needs a string \"name\""))?;
+    let version = stamp
+        .get("version")
+        .and_then(Json::as_num)
+        .ok_or_else(|| shape("schema stamp needs a numeric \"version\""))?;
+    if name != schema.name() || version != f64::from(schema.version()) {
+        return Err(ImportError::SchemaMismatch {
+            expected: format!("{} v{}", schema.name(), schema.version()),
+            got: format!("{name} v{version}"),
+        });
+    }
+    Ok(())
+}
+
+fn require_arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], ImportError> {
+    let v = doc
+        .get(key)
+        .ok_or_else(|| shape(format!("missing top-level key {key:?}")))?;
+    v.as_arr()
+        .ok_or_else(|| shape(format!("{key:?} must be an array, found {}", v.type_name())))
+}
+
+fn obj_fields<'a>(
+    value: &'a Json,
+    at: &str,
+    allowed: &[&str],
+) -> Result<&'a [(String, Json)], ImportError> {
+    let pairs = value
+        .as_obj()
+        .ok_or_else(|| shape(format!("{at}: must be an object, found {}", value.type_name())))?;
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(shape(format!("{at}: unknown key {k:?}")));
+        }
+    }
+    Ok(pairs)
+}
+
+fn field_str<'a>(value: &'a Json, at: &str, key: &str) -> Result<&'a str, ImportError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| shape(format!("{at}: needs a string {key:?}")))
+}
+
+fn field_num(value: &Json, at: &str, key: &str) -> Result<f64, ImportError> {
+    value
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| shape(format!("{at}: needs a number {key:?}")))
+}
+
+fn tokens_of(value: &Json, at: &str) -> Result<Vec<String>, ImportError> {
+    let items = value
+        .as_arr()
+        .ok_or_else(|| shape(format!("{at}: must be an array of strings")))?;
+    items
+        .iter()
+        .map(|t| {
+            t.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| shape(format!("{at}: tokens must be strings, found {}", t.type_name())))
+        })
+        .collect()
+}
+
+fn import_node(
+    nj: &Json,
+    index: usize,
+    schema: &Schema,
+    validator: &Validator<'_>,
+    o: &mut Ontology,
+    ids: &mut HashMap<String, NodeId>,
+) -> Result<(), ImportError> {
+    let at = format!("nodes[{index}]");
+    obj_fields(nj, &at, &["id", "type", "label", "data"])?;
+    let id_str = field_str(nj, &at, "id")?;
+    let type_str = field_str(nj, &at, "type")?;
+    let label = field_str(nj, &at, "label")?;
+    let kind = resolve_node_kind(type_str, schema)
+        .ok_or_else(|| shape(format!("{at}: unknown node type {type_str:?}")))?;
+    let data = nj
+        .get("data")
+        .ok_or_else(|| shape(format!("{at}: missing key \"data\"")))?;
+    let data_at = format!("{at}.data");
+    obj_fields(data, &data_at, &["tokens", "support", "time", "aliases"])?;
+    let tokens = tokens_of(
+        data.get("tokens")
+            .ok_or_else(|| shape(format!("{data_at}: missing key \"tokens\"")))?,
+        &format!("{data_at}.tokens"),
+    )?;
+    let support = field_num(data, &data_at, "support")?;
+    let time = match data.get("time") {
+        None => None,
+        Some(t) => {
+            let n = t
+                .as_num()
+                .ok_or_else(|| shape(format!("{data_at}: \"time\" must be a number")))?;
+            if n.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&n) {
+                return Err(shape(format!("{data_at}: \"time\" {n} is not a day index")));
+            }
+            Some(n as u32)
+        }
+    };
+    let aliases = match data.get("aliases") {
+        None => Vec::new(),
+        Some(a) => {
+            let at = format!("{data_at}.aliases");
+            a.as_arr()
+                .ok_or_else(|| shape(format!("{at}: must be an array")))?
+                .iter()
+                .map(|entry| tokens_of(entry, &at).map(Phrase::new))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+
+    let phrase = Phrase::new(tokens);
+    if label != phrase.surface() {
+        return Err(shape(format!(
+            "{at}: label {label:?} does not match tokens (surface {:?})",
+            phrase.surface()
+        )));
+    }
+    if ids.contains_key(id_str) {
+        return Err(ImportError::DuplicateId {
+            id: id_str.to_owned(),
+        });
+    }
+    let expected = o.n_nodes();
+    let surface = phrase.surface();
+    let id = o.add_node(kind, phrase, support);
+    if id.index() != expected {
+        return Err(ImportError::DuplicateSurface { surface });
+    }
+    o.node_mut(id).time = time;
+    for alias in aliases {
+        let surface = alias.surface();
+        if !matches!(o.add_alias(id, alias), giant_ontology::AliasOutcome::Registered) {
+            return Err(ImportError::AliasConflict { surface });
+        }
+    }
+    validator.check_node(o.node(id)).map_err(ImportError::Schema)?;
+    ids.insert(id_str.to_owned(), id);
+    Ok(())
+}
+
+/// A node `type` resolves through the schema's object-type names first,
+/// then through the stored kind names — so documents can use either the
+/// schema vocabulary or the raw `NodeKind` names.
+fn resolve_node_kind(name: &str, schema: &Schema) -> Option<NodeKind> {
+    schema
+        .objects()
+        .iter()
+        .find(|obj| obj.name == name)
+        .map(|obj| obj.kind)
+        .or_else(|| NodeKind::parse(name))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn import_edge(
+    ej: &Json,
+    index: usize,
+    schema: &Schema,
+    validator: &Validator<'_>,
+    o: &mut Ontology,
+    ids: &HashMap<String, NodeId>,
+    edge_ids: &mut HashSet<String>,
+) -> Result<(), ImportError> {
+    let at = format!("edges[{index}]");
+    obj_fields(ej, &at, &["id", "source", "target", "type", "weight"])?;
+    let id_str = field_str(ej, &at, "id")?;
+    let source = field_str(ej, &at, "source")?;
+    let target = field_str(ej, &at, "target")?;
+    let type_str = field_str(ej, &at, "type")?;
+    let weight = field_num(ej, &at, "weight")?;
+    if !edge_ids.insert(id_str.to_owned()) {
+        return Err(ImportError::DuplicateId {
+            id: id_str.to_owned(),
+        });
+    }
+    let resolve = |id: &str| {
+        ids.get(id).copied().ok_or(ImportError::UnknownNodeRef {
+            id: id.to_owned(),
+        })
+    };
+    let src = resolve(source)?;
+    let dst = resolve(target)?;
+    // The `type` names the relation (link-type vocabulary or raw edge-kind
+    // name); admission is decided by endpoint matching, like export.
+    let kind = schema
+        .link_named(type_str)
+        .map(|l| l.kind)
+        .or_else(|| EdgeKind::parse(type_str))
+        .ok_or_else(|| shape(format!("{at}: unknown link type {type_str:?}")))?;
+    validator
+        .check_edge(o.node(src), o.node(dst), kind, weight)
+        .map_err(ImportError::Schema)?;
+    let res = match kind {
+        EdgeKind::IsA => o.add_is_a(src, dst, weight),
+        EdgeKind::Involve => o.add_involve(src, dst, weight),
+        EdgeKind::Correlate => o.add_correlate(src, dst, weight),
+    };
+    res.map_err(|e| ImportError::Graph {
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giant_ontology::io;
+
+    fn sample() -> Ontology {
+        let mut o = Ontology::new();
+        let cat = o.add_node(NodeKind::Category, Phrase::from_text("cars"), 5.0);
+        let con = o.add_node(NodeKind::Concept, Phrase::from_text("economy cars"), 3.0);
+        let ent = o.add_node(NodeKind::Entity, Phrase::from_text("honda civic"), 2.0);
+        let ev = o.add_event(Phrase::from_text("honda recalls civic"), 1.0, 17);
+        o.add_alias(con, Phrase::from_text("fuel efficient cars"));
+        o.add_is_a(cat, con, 1.0).unwrap();
+        o.add_is_a(con, ent, 0.8).unwrap();
+        o.add_involve(ev, ent, 1.0).unwrap();
+        o
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let o = sample();
+        let schema = Schema::builtin();
+        let text = export_json(&o, &schema).unwrap();
+        let back = import_json(&text, &schema).unwrap();
+        assert_eq!(io::dump(&back), io::dump(&o));
+        // And the re-export matches too (canonical document).
+        assert_eq!(export_json(&back, &schema).unwrap(), text);
+    }
+
+    #[test]
+    fn export_uses_link_type_vocabulary() {
+        let o = sample();
+        let text = export_json(&o, &Schema::builtin()).unwrap();
+        assert!(text.contains("\"belongTo\""), "category isA surfaces as belongTo");
+        assert!(text.contains("\"isA\""));
+        assert!(text.contains("\"involve\""));
+    }
+
+    #[test]
+    fn export_refuses_invalid_graphs() {
+        let mut o = sample();
+        o.node_mut(NodeId(0)).support = -1.0;
+        match export_json(&o, &Schema::builtin()) {
+            Err(ExportError::Invalid(vs)) => assert!(!vs.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn import_rejects_type_confusion_with_typed_errors() {
+        let schema = Schema::builtin();
+        let text = export_json(&sample(), &schema).unwrap();
+
+        // Whole-document type confusion.
+        for bad in ["5", "[]", "\"x\"", "{\"nodes\": 5, \"edges\": []}"] {
+            assert!(matches!(
+                import_json(bad, &schema),
+                Err(ImportError::Shape { .. })
+            ), "{bad:?}");
+        }
+        // Malformed JSON is a Json error.
+        assert!(matches!(
+            import_json(&text[..text.len() / 2], &schema),
+            Err(ImportError::Json(_))
+        ));
+        // Wrong schema stamp.
+        let other = import_json(&text, &Schema::permissive());
+        assert!(matches!(other, Err(ImportError::SchemaMismatch { .. })));
+        // Type confusion inside a node: support as a string.
+        let confused = text.replace("\"support\": 5", "\"support\": \"5\"");
+        assert!(matches!(
+            import_json(&confused, &schema),
+            Err(ImportError::Shape { .. })
+        ));
+        // Unknown keys are rejected.
+        let extra = text.replace("\"nodes\"", "\"bogus\": 1,\n  \"nodes\"");
+        assert!(matches!(
+            import_json(&extra, &schema),
+            Err(ImportError::Shape { .. })
+        ));
+        // Label must agree with tokens.
+        let mislabeled = text.replace("\"label\": \"cars\"", "\"label\": \"trucks\"");
+        assert!(matches!(
+            import_json(&mislabeled, &schema),
+            Err(ImportError::Shape { .. })
+        ));
+        // Dangling edge endpoint.
+        let dangling = text.replace("\"source\": \"n0\"", "\"source\": \"n99\"");
+        assert!(matches!(
+            import_json(&dangling, &schema),
+            Err(ImportError::UnknownNodeRef { .. })
+        ));
+        // Schema violations are caught per node.
+        let negative = text.replace("\"support\": 5", "\"support\": -5");
+        assert!(matches!(
+            import_json(&negative, &schema),
+            Err(ImportError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn import_rejects_surface_and_alias_collisions() {
+        let schema = Schema::builtin();
+        let mut o = Ontology::new();
+        o.add_node(NodeKind::Concept, Phrase::from_text("same"), 1.0);
+        o.add_node(NodeKind::Concept, Phrase::from_text("other"), 1.0);
+        let text = export_json(&o, &schema).unwrap();
+        let collided = text.replace("\"other\"", "\"same\"");
+        assert!(matches!(
+            import_json(&collided, &schema),
+            Err(ImportError::DuplicateSurface { .. })
+        ));
+    }
+
+    #[test]
+    fn import_rejects_is_a_cycles() {
+        let schema = Schema::permissive();
+        let mut o = Ontology::new();
+        let a = o.add_node(NodeKind::Concept, Phrase::from_text("a"), 1.0);
+        let b = o.add_node(NodeKind::Concept, Phrase::from_text("b"), 1.0);
+        o.add_is_a(a, b, 1.0).unwrap();
+        let text = export_json(&o, &schema).unwrap();
+        // Append the reverse edge by hand.
+        let cyclic = text.replace(
+            "\"weight\": 1\n    }",
+            "\"weight\": 1\n    },\n    {\n      \"id\": \"e9\",\n      \"source\": \"n1\",\n      \"target\": \"n0\",\n      \"type\": \"isA\",\n      \"weight\": 1\n    }",
+        );
+        assert!(matches!(
+            import_json(&cyclic, &schema),
+            Err(ImportError::Graph { .. })
+        ));
+    }
+
+    #[test]
+    fn subgraph_view_export_round_trips_through_import() {
+        let o = sample();
+        let schema = Schema::builtin();
+        // A view over a node subset: the concept, its entity child, and
+        // the edge between them (original ids preserved).
+        let nodes: Vec<AttentionNode> = vec![o.node(NodeId(1)).clone(), o.node(NodeId(2)).clone()];
+        let edges = vec![(NodeId(1), NodeId(2), EdgeKind::IsA, 0.8)];
+        let text = export_json_view(&nodes, &edges, &schema).unwrap();
+        let back = import_json(&text, &schema).unwrap();
+        assert_eq!(back.n_nodes(), 2);
+        assert_eq!(back.node(NodeId(0)).phrase.surface(), "economy cars");
+        assert_eq!(back.children_of(NodeId(0)), vec![NodeId(1)]);
+        // Dangling edges are refused.
+        let bad = vec![(NodeId(1), NodeId(3), EdgeKind::IsA, 0.8)];
+        assert!(matches!(
+            export_json_view(&nodes, &bad, &schema),
+            Err(ExportError::DanglingEdge { .. })
+        ));
+    }
+}

@@ -1,0 +1,496 @@
+//! The [`Schema`] registry: a validated set of object and link types with
+//! a binio codec and file persistence, plus the two stock schemas — the
+//! built-in GIANT schema derived from the pipeline's implicit structure,
+//! and a permissive schema for adversarial/interchange testing.
+
+use crate::types::{Cardinality, LinkType, ObjectType, PropType, PropertySpec};
+use giant_ontology::binio::{BinError, FileError, Reader, SectionFile, Writer};
+use giant_ontology::{EdgeKind, NodeKind};
+use std::fmt;
+use std::path::Path;
+
+/// Section name inside a schema [`SectionFile`].
+const SECTION: &str = "schema.registry";
+
+/// Registry construction failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// An object or link type has an empty name.
+    EmptyName,
+    /// Two object types share a name.
+    DuplicateObjectName(String),
+    /// Two object types govern the same node kind.
+    DuplicateObjectKind(NodeKind),
+    /// Two link types share a name.
+    DuplicateLinkName(String),
+    /// A link type admits no endpoint pairs.
+    NoEndpoints {
+        /// The offending link type.
+        link: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::EmptyName => write!(f, "schema type with empty name"),
+            SchemaError::DuplicateObjectName(n) => write!(f, "duplicate object type name {n:?}"),
+            SchemaError::DuplicateObjectKind(k) => {
+                write!(f, "two object types govern node kind {:?}", k.name())
+            }
+            SchemaError::DuplicateLinkName(n) => write!(f, "duplicate link type name {n:?}"),
+            SchemaError::NoEndpoints { link } => {
+                write!(f, "link type {link:?} admits no endpoint pairs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A validated schema: at most one object type per node kind, uniquely
+/// named link types, and open/closed policies for kinds the schema does
+/// not mention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    name: String,
+    version: u32,
+    objects: Vec<ObjectType>,
+    links: Vec<LinkType>,
+    /// When true, nodes whose kind has no object type are admitted.
+    open_objects: bool,
+    /// When true, edges no link type admits are admitted.
+    open_links: bool,
+}
+
+impl Schema {
+    /// Builds a schema, checking registry invariants.
+    pub fn new(
+        name: impl Into<String>,
+        version: u32,
+        objects: Vec<ObjectType>,
+        links: Vec<LinkType>,
+        open_objects: bool,
+        open_links: bool,
+    ) -> Result<Self, SchemaError> {
+        for (i, o) in objects.iter().enumerate() {
+            if o.name.is_empty() {
+                return Err(SchemaError::EmptyName);
+            }
+            for prior in &objects[..i] {
+                if prior.name == o.name {
+                    return Err(SchemaError::DuplicateObjectName(o.name.clone()));
+                }
+                if prior.kind == o.kind {
+                    return Err(SchemaError::DuplicateObjectKind(o.kind));
+                }
+            }
+        }
+        for (i, l) in links.iter().enumerate() {
+            if l.name.is_empty() {
+                return Err(SchemaError::EmptyName);
+            }
+            if links[..i].iter().any(|prior| prior.name == l.name) {
+                return Err(SchemaError::DuplicateLinkName(l.name.clone()));
+            }
+            if l.sources.is_empty() || l.targets.is_empty() {
+                return Err(SchemaError::NoEndpoints {
+                    link: l.name.clone(),
+                });
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            version,
+            objects,
+            links,
+            open_objects,
+            open_links,
+        })
+    }
+
+    /// Schema name (carried by interchange documents).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// All object types, in declaration order.
+    pub fn objects(&self) -> &[ObjectType] {
+        &self.objects
+    }
+
+    /// All link types, in declaration order.
+    pub fn links(&self) -> &[LinkType] {
+        &self.links
+    }
+
+    /// Whether unmentioned node kinds are admitted.
+    pub fn open_objects(&self) -> bool {
+        self.open_objects
+    }
+
+    /// Whether unmatched edges are admitted.
+    pub fn open_links(&self) -> bool {
+        self.open_links
+    }
+
+    /// The object type governing `kind`, if declared.
+    pub fn object_for(&self, kind: NodeKind) -> Option<&ObjectType> {
+        self.objects.iter().find(|o| o.kind == kind)
+    }
+
+    /// A link type by name.
+    pub fn link_named(&self, name: &str) -> Option<&LinkType> {
+        self.links.iter().find(|l| l.name == name)
+    }
+
+    /// The first declared link type admitting a `kind` edge from `src` to
+    /// `dst` — declaration order is the tiebreak, so more specific types
+    /// (e.g. `belongTo`) must be declared before general ones (`isA`).
+    pub fn match_link(&self, kind: EdgeKind, src: NodeKind, dst: NodeKind) -> Option<&LinkType> {
+        self.links.iter().find(|l| l.admits(kind, src, dst))
+    }
+
+    /// The built-in GIANT schema, derived from the structure the pipeline
+    /// actually builds (see DESIGN.md §12):
+    ///
+    /// * object types for all five node kinds — every node carries a
+    ///   non-empty `phrase` and a finite non-negative `support`; events
+    ///   additionally require `time`; `aliases` are always optional; all
+    ///   types are closed (a `time` on a non-event is a violation);
+    /// * link types `belongTo` (category taxonomy membership, stored as
+    ///   `IsA` from a category), `isA` (concept/topic instantiation),
+    ///   `involve` (event/topic participation) and `correlate`
+    ///   (entity–entity relatedness).
+    pub fn builtin() -> Schema {
+        let base = |name: &str, kind: NodeKind| ObjectType {
+            name: name.to_owned(),
+            kind,
+            closed: true,
+            properties: vec![
+                PropertySpec::new("phrase", PropType::Tokens, true).with_min_items(1),
+                PropertySpec::new("support", PropType::Float, true).with_min(0.0),
+                PropertySpec::new("aliases", PropType::TokensList, false).with_min_items(1),
+            ],
+        };
+        let mut event = base("event", NodeKind::Event);
+        event
+            .properties
+            .push(PropertySpec::new("time", PropType::Int, true));
+        let objects = vec![
+            base("category", NodeKind::Category),
+            base("concept", NodeKind::Concept),
+            base("entity", NodeKind::Entity),
+            base("topic", NodeKind::Topic),
+            event,
+        ];
+        use NodeKind::{Category, Concept, Entity, Event, Topic};
+        let links = vec![
+            // Declared before `isA`: category-sourced IsA edges are the
+            // taxonomy membership relation, not phrase instantiation.
+            LinkType::new(
+                "belongTo",
+                EdgeKind::IsA,
+                [Category],
+                [Category, Concept, Event],
+            ),
+            LinkType::new("isA", EdgeKind::IsA, [Concept, Topic], [Concept, Entity, Event]),
+            LinkType::new("involve", EdgeKind::Involve, [Event, Topic], [Entity, Concept]),
+            LinkType::new("correlate", EdgeKind::Correlate, [Entity], [Entity]),
+        ];
+        Schema::new("giant", 1, objects, links, false, false).expect("builtin schema is valid")
+    }
+
+    /// A permissive schema: open object types for every kind with no
+    /// required properties, and one link type per edge kind admitting
+    /// every endpoint pair. Useful for interchange over graphs the
+    /// built-in schema would reject (adversarial/property tests).
+    pub fn permissive() -> Schema {
+        let objects = NodeKind::ALL
+            .iter()
+            .map(|&kind| ObjectType {
+                name: kind.name().to_owned(),
+                kind,
+                closed: false,
+                properties: Vec::new(),
+            })
+            .collect();
+        let links = EdgeKind::ALL
+            .iter()
+            .map(|&kind| LinkType::new(kind.name(), kind, NodeKind::ALL, NodeKind::ALL))
+            .collect();
+        Schema::new("permissive", 1, objects, links, true, true)
+            .expect("permissive schema is valid")
+    }
+
+    /// Serialises the registry (binio, little-endian, length-prefixed).
+    pub fn write(&self, w: &mut Writer) {
+        w.str(&self.name);
+        w.u32(self.version);
+        w.bool(self.open_objects);
+        w.bool(self.open_links);
+        if w.len_prefix(self.objects.len(), "object types") {
+            for o in &self.objects {
+                w.str(&o.name);
+                w.u8(o.kind.index() as u8);
+                w.bool(o.closed);
+                if w.len_prefix(o.properties.len(), "properties") {
+                    for p in &o.properties {
+                        w.str(&p.name);
+                        w.u8(p.ptype.index() as u8);
+                        w.bool(p.required);
+                        match p.min {
+                            Some(m) => {
+                                w.bool(true);
+                                w.f64(m);
+                            }
+                            None => w.bool(false),
+                        }
+                        w.usize(p.min_items);
+                    }
+                }
+            }
+        }
+        if w.len_prefix(self.links.len(), "link types") {
+            for l in &self.links {
+                w.str(&l.name);
+                w.u8(l.kind.index() as u8);
+                write_kinds(w, &l.sources);
+                write_kinds(w, &l.targets);
+                w.u8(l.source_cardinality.index() as u8);
+                w.u8(l.target_cardinality.index() as u8);
+            }
+        }
+    }
+
+    /// Inverse of [`Schema::write`], re-checking registry invariants.
+    pub fn read(r: &mut Reader<'_>) -> Result<Schema, BinError> {
+        let name = r.str()?;
+        let version = r.u32()?;
+        let open_objects = r.bool()?;
+        let open_links = r.bool()?;
+        let n_objects = r.len(7, "object types")?;
+        let mut objects = Vec::with_capacity(n_objects);
+        for _ in 0..n_objects {
+            let name = r.str()?;
+            let kind = read_node_kind(r)?;
+            let closed = r.bool()?;
+            let n_props = r.len(15, "properties")?;
+            let mut properties = Vec::with_capacity(n_props);
+            for _ in 0..n_props {
+                let name = r.str()?;
+                let ptype = read_enum(r, &PropType::ALL, "property type")?;
+                let required = r.bool()?;
+                let min = if r.bool()? { Some(r.f64()?) } else { None };
+                let min_items = r.usize()?;
+                properties.push(PropertySpec {
+                    name,
+                    ptype,
+                    required,
+                    min,
+                    min_items,
+                });
+            }
+            objects.push(ObjectType {
+                name,
+                kind,
+                closed,
+                properties,
+            });
+        }
+        let n_links = r.len(16, "link types")?;
+        let mut links = Vec::with_capacity(n_links);
+        for _ in 0..n_links {
+            let name = r.str()?;
+            let kind = read_enum(r, &EdgeKind::ALL, "edge kind")?;
+            let sources = read_kinds(r)?;
+            let targets = read_kinds(r)?;
+            let source_cardinality = read_enum(r, &Cardinality::ALL, "cardinality")?;
+            let target_cardinality = read_enum(r, &Cardinality::ALL, "cardinality")?;
+            links.push(LinkType {
+                name,
+                kind,
+                sources,
+                targets,
+                source_cardinality,
+                target_cardinality,
+            });
+        }
+        let at = r.position();
+        Schema::new(name, version, objects, links, open_objects, open_links)
+            .map_err(|e| BinError::new(at, e.to_string()))
+    }
+
+    /// Writes the schema to a [`SectionFile`] container at `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut w = Writer::new();
+        self.write(&mut w);
+        let mut file = SectionFile::new();
+        file.add_writer(SECTION, w);
+        file.write_file(path)
+    }
+
+    /// Loads a schema previously written by [`Schema::save`].
+    pub fn load(path: &Path) -> Result<Schema, FileError> {
+        let file = SectionFile::read_file(path)?;
+        let mut r = file.section(SECTION)?;
+        let schema = Schema::read(&mut r)?;
+        r.expect_exhausted()?;
+        Ok(schema)
+    }
+}
+
+fn write_kinds(w: &mut Writer, kinds: &[NodeKind]) {
+    if w.len_prefix(kinds.len(), "node kinds") {
+        for k in kinds {
+            w.u8(k.index() as u8);
+        }
+    }
+}
+
+fn read_kinds(r: &mut Reader<'_>) -> Result<Vec<NodeKind>, BinError> {
+    let n = r.len(1, "node kinds")?;
+    (0..n).map(|_| read_node_kind(r)).collect()
+}
+
+fn read_node_kind(r: &mut Reader<'_>) -> Result<NodeKind, BinError> {
+    read_enum(r, &NodeKind::ALL, "node kind")
+}
+
+fn read_enum<T: Copy, const N: usize>(
+    r: &mut Reader<'_>,
+    all: &[T; N],
+    what: &str,
+) -> Result<T, BinError> {
+    let at = r.position();
+    let b = r.u8()?;
+    all.get(b as usize)
+        .copied()
+        .ok_or_else(|| BinError::new(at, format!("bad {what} byte {b}")))
+}
+
+/// Dense codec index for [`PropType`].
+impl PropType {
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|t| *t == self).expect("in ALL")
+    }
+}
+
+/// Dense codec index for [`Cardinality`].
+impl Cardinality {
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("in ALL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_and_permissive_construct() {
+        let b = Schema::builtin();
+        assert_eq!(b.objects().len(), 5);
+        assert_eq!(b.links().len(), 4);
+        assert!(!b.open_objects() && !b.open_links());
+        let p = Schema::permissive();
+        assert!(p.open_objects() && p.open_links());
+    }
+
+    #[test]
+    fn builtin_link_matching_prefers_belong_to() {
+        let b = Schema::builtin();
+        use NodeKind::{Category, Concept, Entity};
+        let l = b.match_link(EdgeKind::IsA, Category, Concept).unwrap();
+        assert_eq!(l.name, "belongTo");
+        let l = b.match_link(EdgeKind::IsA, Concept, Entity).unwrap();
+        assert_eq!(l.name, "isA");
+        assert!(b.match_link(EdgeKind::IsA, Entity, Concept).is_none());
+        assert!(b.match_link(EdgeKind::Correlate, Concept, Concept).is_none());
+    }
+
+    #[test]
+    fn registry_invariants_are_enforced() {
+        let dup_kind = vec![
+            ObjectType {
+                name: "a".into(),
+                kind: NodeKind::Concept,
+                closed: true,
+                properties: vec![],
+            },
+            ObjectType {
+                name: "b".into(),
+                kind: NodeKind::Concept,
+                closed: true,
+                properties: vec![],
+            },
+        ];
+        assert_eq!(
+            Schema::new("s", 1, dup_kind, vec![], false, false),
+            Err(SchemaError::DuplicateObjectKind(NodeKind::Concept))
+        );
+        let no_ends = vec![LinkType::new("x", EdgeKind::IsA, [], [NodeKind::Concept])];
+        assert_eq!(
+            Schema::new("s", 1, vec![], no_ends, false, false),
+            Err(SchemaError::NoEndpoints { link: "x".into() })
+        );
+        let dup_link = vec![
+            LinkType::new("x", EdgeKind::IsA, [NodeKind::Concept], [NodeKind::Concept]),
+            LinkType::new("x", EdgeKind::Involve, [NodeKind::Event], [NodeKind::Entity]),
+        ];
+        assert_eq!(
+            Schema::new("s", 1, vec![], dup_link, false, false),
+            Err(SchemaError::DuplicateLinkName("x".into()))
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        for schema in [Schema::builtin(), Schema::permissive()] {
+            let mut w = Writer::new();
+            schema.write(&mut w);
+            let bytes = w.into_bytes_checked().unwrap();
+            let mut r = Reader::new(&bytes);
+            let back = Schema::read(&mut r).unwrap();
+            r.expect_exhausted().unwrap();
+            assert_eq!(back, schema);
+            // Re-encoding is byte-identical (canonical codec).
+            let mut w2 = Writer::new();
+            back.write(&mut w2);
+            assert_eq!(w2.into_bytes_checked().unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_fail_typed() {
+        let mut w = Writer::new();
+        Schema::builtin().write(&mut w);
+        let bytes = w.into_bytes_checked().unwrap();
+        // Truncations never panic.
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            if Schema::read(&mut r).is_ok() {
+                assert!(r.expect_exhausted().is_err(), "cut {cut}");
+            }
+        }
+        // A bad kind byte is a typed error.
+        let mut r = Reader::new(&[0, 0, 0, 0, 9, 0, 0, 0]);
+        assert!(Schema::read(&mut r).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("giant_schema_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("schema.bin");
+        let schema = Schema::builtin();
+        schema.save(&path).unwrap();
+        assert_eq!(Schema::load(&path).unwrap(), schema);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

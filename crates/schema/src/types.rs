@@ -1,0 +1,251 @@
+//! The type model: object types (what a node of some kind may look like)
+//! and link types (which endpoint kinds an edge kind may connect), plus
+//! the fixed *property view* that maps an [`AttentionNode`] onto named,
+//! typed properties.
+
+use giant_ontology::{AttentionNode, EdgeKind, NodeKind, Phrase};
+
+/// The value type of one declared property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropType {
+    /// A finite `f64` (e.g. `support`).
+    Float,
+    /// A `u32` (e.g. `time`, the event day index).
+    Int,
+    /// A token list (e.g. `phrase`).
+    Tokens,
+    /// A list of token lists (e.g. `aliases`).
+    TokensList,
+}
+
+impl PropType {
+    /// Every type in stable order (codec indices).
+    pub const ALL: [PropType; 4] = [
+        PropType::Float,
+        PropType::Int,
+        PropType::Tokens,
+        PropType::TokensList,
+    ];
+
+    /// Short stable name for serialisation and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            PropType::Float => "float",
+            PropType::Int => "int",
+            PropType::Tokens => "tokens",
+            PropType::TokensList => "tokens_list",
+        }
+    }
+}
+
+/// One declared property of an object type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertySpec {
+    /// Property name (a key of the property view, e.g. `"support"`).
+    pub name: String,
+    /// Value type.
+    pub ptype: PropType,
+    /// Required properties must be present on every node of the type;
+    /// optional ones are checked only when present.
+    pub required: bool,
+    /// Inclusive lower bound for [`PropType::Float`] values.
+    pub min: Option<f64>,
+    /// Minimum element count for [`PropType::Tokens`] /
+    /// [`PropType::TokensList`] values (checked when present).
+    pub min_items: usize,
+}
+
+impl PropertySpec {
+    /// An unconstrained property of `ptype`.
+    pub fn new(name: impl Into<String>, ptype: PropType, required: bool) -> Self {
+        Self {
+            name: name.into(),
+            ptype,
+            required,
+            min: None,
+            min_items: 0,
+        }
+    }
+
+    /// Sets the float lower bound.
+    pub fn with_min(mut self, min: f64) -> Self {
+        self.min = Some(min);
+        self
+    }
+
+    /// Sets the minimum element count.
+    pub fn with_min_items(mut self, n: usize) -> Self {
+        self.min_items = n;
+        self
+    }
+}
+
+/// What nodes of one [`NodeKind`] may look like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectType {
+    /// Type name (serialised as the node `"type"` in interchange).
+    pub name: String,
+    /// The node kind this type governs.
+    pub kind: NodeKind,
+    /// Closed types reject properties they do not declare; open types
+    /// admit extras unchecked.
+    pub closed: bool,
+    /// Declared properties.
+    pub properties: Vec<PropertySpec>,
+}
+
+impl ObjectType {
+    /// Looks up a declared property by name.
+    pub fn property(&self, name: &str) -> Option<&PropertySpec> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+}
+
+/// How many link instances an endpoint may carry — a schema-level hint
+/// enforced by the full-graph audit, not per insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cardinality {
+    /// At most one instance of the link per node on this end.
+    AtMostOne,
+    /// Unbounded.
+    Many,
+}
+
+impl Cardinality {
+    /// Every cardinality in stable order (codec indices).
+    pub const ALL: [Cardinality; 2] = [Cardinality::AtMostOne, Cardinality::Many];
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cardinality::AtMostOne => "at_most_one",
+            Cardinality::Many => "many",
+        }
+    }
+}
+
+/// Which endpoint kinds an [`EdgeKind`] may connect, under a name. Several
+/// link types may share one edge kind (`belongTo` and `isA` both ride on
+/// `IsA`); an edge matches the first declared link type that admits its
+/// endpoint pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkType {
+    /// Link name (serialised as the edge `"type"` in interchange).
+    pub name: String,
+    /// The stored edge kind.
+    pub kind: EdgeKind,
+    /// Admitted source kinds.
+    pub sources: Vec<NodeKind>,
+    /// Admitted target kinds.
+    pub targets: Vec<NodeKind>,
+    /// How many instances one source may fan out to.
+    pub source_cardinality: Cardinality,
+    /// How many instances one target may fan in from.
+    pub target_cardinality: Cardinality,
+}
+
+impl LinkType {
+    /// A `Many`/`Many` link type.
+    pub fn new(
+        name: impl Into<String>,
+        kind: EdgeKind,
+        sources: impl IntoIterator<Item = NodeKind>,
+        targets: impl IntoIterator<Item = NodeKind>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            sources: sources.into_iter().collect(),
+            targets: targets.into_iter().collect(),
+            source_cardinality: Cardinality::Many,
+            target_cardinality: Cardinality::Many,
+        }
+    }
+
+    /// True when this link type admits a `kind` edge from `src` to `dst`.
+    pub fn admits(&self, kind: EdgeKind, src: NodeKind, dst: NodeKind) -> bool {
+        self.kind == kind && self.sources.contains(&src) && self.targets.contains(&dst)
+    }
+}
+
+/// One property value as seen through the node property view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PropValue<'a> {
+    /// A float.
+    Float(f64),
+    /// An integer.
+    Int(u32),
+    /// A token list.
+    Tokens(&'a [String]),
+    /// A list of token lists.
+    TokensList(&'a [Phrase]),
+}
+
+impl PropValue<'_> {
+    /// The view type of this value.
+    pub fn ptype(&self) -> PropType {
+        match self {
+            PropValue::Float(_) => PropType::Float,
+            PropValue::Int(_) => PropType::Int,
+            PropValue::Tokens(_) => PropType::Tokens,
+            PropValue::TokensList(_) => PropType::TokensList,
+        }
+    }
+}
+
+/// The fixed property view of a node: `phrase` and `support` always;
+/// `time` when set; `aliases` when non-empty. Schemas constrain nodes
+/// through this view — absent entries count as missing for `required`
+/// checks.
+pub fn node_properties(n: &AttentionNode) -> Vec<(&'static str, PropValue<'_>)> {
+    let mut props = vec![
+        ("phrase", PropValue::Tokens(&n.phrase.tokens)),
+        ("support", PropValue::Float(n.support)),
+    ];
+    if let Some(t) = n.time {
+        props.push(("time", PropValue::Int(t)));
+    }
+    if !n.aliases.is_empty() {
+        props.push(("aliases", PropValue::TokensList(&n.aliases)));
+    }
+    props
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giant_ontology::NodeId;
+
+    #[test]
+    fn property_view_reflects_optionals() {
+        let mut n = AttentionNode {
+            id: NodeId(0),
+            kind: NodeKind::Concept,
+            phrase: Phrase::from_text("economy cars"),
+            aliases: Vec::new(),
+            support: 2.0,
+            time: None,
+        };
+        let names: Vec<_> = node_properties(&n).iter().map(|(k, _)| *k).collect();
+        assert_eq!(names, ["phrase", "support"]);
+
+        n.time = Some(7);
+        n.aliases.push(Phrase::from_text("cheap cars"));
+        let names: Vec<_> = node_properties(&n).iter().map(|(k, _)| *k).collect();
+        assert_eq!(names, ["phrase", "support", "time", "aliases"]);
+    }
+
+    #[test]
+    fn link_admission_checks_all_three_parts() {
+        let l = LinkType::new(
+            "isA",
+            EdgeKind::IsA,
+            [NodeKind::Concept],
+            [NodeKind::Entity],
+        );
+        assert!(l.admits(EdgeKind::IsA, NodeKind::Concept, NodeKind::Entity));
+        assert!(!l.admits(EdgeKind::Involve, NodeKind::Concept, NodeKind::Entity));
+        assert!(!l.admits(EdgeKind::IsA, NodeKind::Entity, NodeKind::Entity));
+        assert!(!l.admits(EdgeKind::IsA, NodeKind::Concept, NodeKind::Concept));
+    }
+}

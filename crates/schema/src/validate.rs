@@ -1,0 +1,480 @@
+//! Schema validation: per-node and per-edge checks, plus a full-graph
+//! audit (including cardinality hints). Every failure is a typed
+//! [`Violation`] naming the offending node/edge — never a panic.
+
+use crate::schema::Schema;
+use crate::types::{node_properties, LinkType, PropType, PropValue};
+use giant_ontology::{AttentionNode, EdgeKind, NodeKind, Ontology};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One schema violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The node's kind has no object type and the schema is closed.
+    UnknownObjectType {
+        /// Offending node id.
+        node: u32,
+        /// Its kind.
+        kind: NodeKind,
+    },
+    /// A required property is absent.
+    MissingProperty {
+        /// Offending node id.
+        node: u32,
+        /// Governing object type.
+        object: String,
+        /// The absent property.
+        prop: String,
+    },
+    /// A closed object type saw a property it does not declare.
+    UnexpectedProperty {
+        /// Offending node id.
+        node: u32,
+        /// Governing object type.
+        object: String,
+        /// The undeclared property.
+        prop: String,
+    },
+    /// A property is present with the wrong value type.
+    WrongPropertyType {
+        /// Offending node id.
+        node: u32,
+        /// The property.
+        prop: String,
+        /// Declared type.
+        expected: PropType,
+        /// Actual type.
+        got: PropType,
+    },
+    /// A property value fails its constraints (non-finite, below `min`,
+    /// fewer than `min_items` elements).
+    BadPropertyValue {
+        /// Offending node id.
+        node: u32,
+        /// The property.
+        prop: String,
+        /// What failed.
+        reason: String,
+    },
+    /// No link type admits the edge's kind/endpoint combination.
+    UnknownLink {
+        /// Source node id.
+        src: u32,
+        /// Target node id.
+        dst: u32,
+        /// Edge kind.
+        kind: EdgeKind,
+        /// Source node kind.
+        src_kind: NodeKind,
+        /// Target node kind.
+        dst_kind: NodeKind,
+    },
+    /// An edge weight is not finite.
+    BadWeight {
+        /// Source node id.
+        src: u32,
+        /// Target node id.
+        dst: u32,
+        /// The weight.
+        weight: f64,
+    },
+    /// An `AtMostOne` endpoint carries more than one instance of a link.
+    CardinalityExceeded {
+        /// The overloaded node id.
+        node: u32,
+        /// The link type.
+        link: String,
+        /// `"source"` or `"target"`.
+        end: &'static str,
+        /// How many instances it carries.
+        count: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnknownObjectType { node, kind } => {
+                write!(f, "node {node}: no object type for kind {:?}", kind.name())
+            }
+            Violation::MissingProperty { node, object, prop } => {
+                write!(f, "node {node} ({object}): missing required property {prop:?}")
+            }
+            Violation::UnexpectedProperty { node, object, prop } => {
+                write!(f, "node {node} ({object}): undeclared property {prop:?}")
+            }
+            Violation::WrongPropertyType {
+                node,
+                prop,
+                expected,
+                got,
+            } => write!(
+                f,
+                "node {node}: property {prop:?} is {} but schema declares {}",
+                got.name(),
+                expected.name()
+            ),
+            Violation::BadPropertyValue { node, prop, reason } => {
+                write!(f, "node {node}: property {prop:?}: {reason}")
+            }
+            Violation::UnknownLink {
+                src,
+                dst,
+                kind,
+                src_kind,
+                dst_kind,
+            } => write!(
+                f,
+                "edge {src}->{dst}: no link type admits {} from {} to {}",
+                kind.name(),
+                src_kind.name(),
+                dst_kind.name()
+            ),
+            Violation::BadWeight { src, dst, weight } => {
+                write!(f, "edge {src}->{dst}: non-finite weight {weight}")
+            }
+            Violation::CardinalityExceeded {
+                node,
+                link,
+                end,
+                count,
+            } => write!(
+                f,
+                "node {node}: {count} instances of link {link:?} on its {end} end (at most one allowed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks nodes, edges and whole graphs against one [`Schema`].
+#[derive(Debug, Clone, Copy)]
+pub struct Validator<'a> {
+    schema: &'a Schema,
+}
+
+impl<'a> Validator<'a> {
+    /// A validator over `schema`.
+    pub fn new(schema: &'a Schema) -> Self {
+        Self { schema }
+    }
+
+    /// The schema being enforced.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// Checks one node against its object type (property presence, value
+    /// types, constraints).
+    pub fn check_node(&self, n: &AttentionNode) -> Result<(), Violation> {
+        let node = n.id.0;
+        let Some(obj) = self.schema.object_for(n.kind) else {
+            return if self.schema.open_objects() {
+                Ok(())
+            } else {
+                Err(Violation::UnknownObjectType { node, kind: n.kind })
+            };
+        };
+        let props = node_properties(n);
+        for spec in &obj.properties {
+            if spec.required && !props.iter().any(|(name, _)| *name == spec.name) {
+                return Err(Violation::MissingProperty {
+                    node,
+                    object: obj.name.clone(),
+                    prop: spec.name.clone(),
+                });
+            }
+        }
+        for (name, value) in props {
+            let Some(spec) = obj.property(name) else {
+                if obj.closed {
+                    return Err(Violation::UnexpectedProperty {
+                        node,
+                        object: obj.name.clone(),
+                        prop: name.to_owned(),
+                    });
+                }
+                continue;
+            };
+            if spec.ptype != value.ptype() {
+                return Err(Violation::WrongPropertyType {
+                    node,
+                    prop: name.to_owned(),
+                    expected: spec.ptype,
+                    got: value.ptype(),
+                });
+            }
+            let bad = |reason: String| Violation::BadPropertyValue {
+                node,
+                prop: name.to_owned(),
+                reason,
+            };
+            match value {
+                PropValue::Float(v) => {
+                    if !v.is_finite() {
+                        return Err(bad(format!("non-finite value {v}")));
+                    }
+                    if let Some(min) = spec.min {
+                        if v < min {
+                            return Err(bad(format!("value {v} below minimum {min}")));
+                        }
+                    }
+                }
+                PropValue::Int(_) => {}
+                PropValue::Tokens(ts) => {
+                    if ts.len() < spec.min_items {
+                        return Err(bad(format!(
+                            "{} tokens, minimum {}",
+                            ts.len(),
+                            spec.min_items
+                        )));
+                    }
+                }
+                PropValue::TokensList(ps) => {
+                    if ps.len() < spec.min_items {
+                        return Err(bad(format!(
+                            "{} entries, minimum {}",
+                            ps.len(),
+                            spec.min_items
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks one edge: some link type must admit the kind/endpoint
+    /// combination (unless the schema is link-open) and the weight must
+    /// be finite. Returns the matching link type, when one exists.
+    pub fn check_edge(
+        &self,
+        src: &AttentionNode,
+        dst: &AttentionNode,
+        kind: EdgeKind,
+        weight: f64,
+    ) -> Result<Option<&'a LinkType>, Violation> {
+        if !weight.is_finite() {
+            return Err(Violation::BadWeight {
+                src: src.id.0,
+                dst: dst.id.0,
+                weight,
+            });
+        }
+        match self.schema.match_link(kind, src.kind, dst.kind) {
+            Some(link) => Ok(Some(link)),
+            None if self.schema.open_links() => Ok(None),
+            None => Err(Violation::UnknownLink {
+                src: src.id.0,
+                dst: dst.id.0,
+                kind,
+                src_kind: src.kind,
+                dst_kind: dst.kind,
+            }),
+        }
+    }
+
+    /// Audits a whole graph: every node, every edge, then the cardinality
+    /// hints (an `AtMostOne` endpoint may carry at most one instance of
+    /// the link, counting edges as [`Ontology::edges_iter`] lists them —
+    /// symmetric correlate pairs once). Returns every violation found, in
+    /// node-then-edge-then-cardinality order.
+    pub fn validate(&self, o: &Ontology) -> Result<(), Vec<Violation>> {
+        let mut violations = Vec::new();
+        for n in o.nodes() {
+            if let Err(v) = self.check_node(n) {
+                violations.push(v);
+            }
+        }
+        // (link declaration index, node id, end) -> instance count
+        let mut counts: HashMap<(usize, u32, bool), usize> = HashMap::new();
+        let links = self.schema.links();
+        for (src, dst, kind, w) in o.edges_iter() {
+            match self.check_edge(o.node(src), o.node(dst), kind, w) {
+                Err(v) => violations.push(v),
+                Ok(None) => {}
+                Ok(Some(link)) => {
+                    use crate::types::Cardinality::AtMostOne;
+                    let li = links.iter().position(|l| std::ptr::eq(l, link)).expect("from links");
+                    if link.source_cardinality == AtMostOne {
+                        *counts.entry((li, src.0, false)).or_insert(0) += 1;
+                    }
+                    if link.target_cardinality == AtMostOne {
+                        *counts.entry((li, dst.0, true)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut over: Vec<_> = counts.into_iter().filter(|(_, c)| *c > 1).collect();
+        over.sort_by_key(|&((li, node, is_target), _)| (li, node, is_target));
+        for ((li, node, is_target), count) in over {
+            violations.push(Violation::CardinalityExceeded {
+                node,
+                link: links[li].name.clone(),
+                end: if is_target { "target" } else { "source" },
+                count,
+            });
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Cardinality, LinkType, ObjectType, PropertySpec};
+    use giant_ontology::Phrase;
+
+    fn sample() -> Ontology {
+        let mut o = Ontology::new();
+        let cat = o.add_node(NodeKind::Category, Phrase::from_text("cars"), 5.0);
+        let con = o.add_node(NodeKind::Concept, Phrase::from_text("economy cars"), 3.0);
+        let ent = o.add_node(NodeKind::Entity, Phrase::from_text("honda civic"), 2.0);
+        let ev = o.add_event(Phrase::from_text("honda recalls civic"), 1.0, 17);
+        o.add_alias(con, Phrase::from_text("fuel efficient cars"));
+        o.add_is_a(cat, con, 1.0).unwrap();
+        o.add_is_a(con, ent, 0.8).unwrap();
+        o.add_involve(ev, ent, 1.0).unwrap();
+        o
+    }
+
+    #[test]
+    fn builtin_accepts_the_canonical_shape() {
+        let schema = Schema::builtin();
+        Validator::new(&schema).validate(&sample()).unwrap();
+    }
+
+    #[test]
+    fn builtin_rejects_each_defect_with_the_right_violation() {
+        let schema = Schema::builtin();
+        let v = Validator::new(&schema);
+
+        // Empty phrase.
+        let mut o = sample();
+        o.node_mut(giant_ontology::NodeId(1)).phrase = Phrase::new(Vec::<String>::new());
+        match &v.validate(&o).unwrap_err()[0] {
+            Violation::BadPropertyValue { node: 1, prop, .. } => assert_eq!(prop, "phrase"),
+            other => panic!("{other:?}"),
+        }
+
+        // Negative support.
+        let mut o = sample();
+        o.node_mut(giant_ontology::NodeId(0)).support = -1.0;
+        match &v.validate(&o).unwrap_err()[0] {
+            Violation::BadPropertyValue { node: 0, prop, .. } => assert_eq!(prop, "support"),
+            other => panic!("{other:?}"),
+        }
+
+        // Non-finite support.
+        let mut o = sample();
+        o.node_mut(giant_ontology::NodeId(2)).support = f64::NAN;
+        assert!(matches!(
+            &v.validate(&o).unwrap_err()[0],
+            Violation::BadPropertyValue { node: 2, .. }
+        ));
+
+        // Time on a non-event (closed object type).
+        let mut o = sample();
+        o.node_mut(giant_ontology::NodeId(1)).time = Some(3);
+        match &v.validate(&o).unwrap_err()[0] {
+            Violation::UnexpectedProperty { node: 1, prop, .. } => assert_eq!(prop, "time"),
+            other => panic!("{other:?}"),
+        }
+
+        // Event without time.
+        let mut o = sample();
+        o.node_mut(giant_ontology::NodeId(3)).time = None;
+        match &v.validate(&o).unwrap_err()[0] {
+            Violation::MissingProperty { node: 3, prop, .. } => assert_eq!(prop, "time"),
+            other => panic!("{other:?}"),
+        }
+
+        // An edge no link type admits: entity as an isA source.
+        let mut o = sample();
+        o.add_is_a(giant_ontology::NodeId(2), giant_ontology::NodeId(3), 0.5)
+            .unwrap();
+        assert!(matches!(
+            &v.validate(&o).unwrap_err()[0],
+            Violation::UnknownLink {
+                src: 2,
+                kind: EdgeKind::IsA,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn open_schemas_admit_what_closed_ones_reject() {
+        let schema = Schema::permissive();
+        let v = Validator::new(&schema);
+        let mut o = sample();
+        o.node_mut(giant_ontology::NodeId(1)).time = Some(3); // fine when open
+        o.add_is_a(giant_ontology::NodeId(2), giant_ontology::NodeId(3), 0.5)
+            .unwrap();
+        v.validate(&o).unwrap();
+        // But non-finite weights are never admitted.
+        o.add_correlate(giant_ontology::NodeId(0), giant_ontology::NodeId(3), f64::NAN)
+            .unwrap();
+        assert!(matches!(
+            &v.validate(&o).unwrap_err()[0],
+            Violation::BadWeight { .. }
+        ));
+    }
+
+    #[test]
+    fn at_most_one_cardinality_is_audited() {
+        // A custom schema where concepts may have at most one parent.
+        let schema = Schema::new(
+            "single-parent",
+            1,
+            vec![ObjectType {
+                name: "concept".into(),
+                kind: NodeKind::Concept,
+                closed: false,
+                properties: vec![PropertySpec::new(
+                    "phrase",
+                    crate::types::PropType::Tokens,
+                    true,
+                )],
+            }],
+            vec![{
+                let mut l = LinkType::new(
+                    "isA",
+                    EdgeKind::IsA,
+                    [NodeKind::Concept],
+                    [NodeKind::Concept],
+                );
+                l.target_cardinality = Cardinality::AtMostOne;
+                l
+            }],
+            false,
+            false,
+        )
+        .unwrap();
+        let mut o = Ontology::new();
+        let a = o.add_node(NodeKind::Concept, Phrase::from_text("a"), 1.0);
+        let b = o.add_node(NodeKind::Concept, Phrase::from_text("b"), 1.0);
+        let c = o.add_node(NodeKind::Concept, Phrase::from_text("c"), 1.0);
+        o.add_is_a(a, c, 1.0).unwrap();
+        let v = Validator::new(&schema);
+        v.validate(&o).unwrap();
+        o.add_is_a(b, c, 1.0).unwrap();
+        match &v.validate(&o).unwrap_err()[0] {
+            Violation::CardinalityExceeded {
+                node,
+                link,
+                end,
+                count,
+            } => {
+                assert_eq!((*node, link.as_str(), *end, *count), (c.0, "isA", "target", 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates `tests/golden/export_seed42.json`: the schema-checked
+//! interchange JSON of the seed-42 tiny-world ontology, as
+//! `giant-export --world tiny --seed 42` emits it. The schema-interchange
+//! suite asserts this file byte-for-byte and that importing it reproduces
+//! `tests/golden/ontology_seed42.txt` exactly — pinning the JSON format
+//! itself, not just the round-trip property.
+//!
+//! ```text
+//! cargo run --release --example regen_export_golden
+//! ```
+
+use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::data::WorldConfig;
+use giant::schema::{export_json, Schema};
+
+fn main() {
+    let setup = GiantSetup::generate(WorldConfig::tiny());
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let output = setup.run_pipeline(&models, &Default::default());
+    let json = export_json(&output.ontology, &Schema::builtin()).expect("export");
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/export_seed42.json");
+    std::fs::write(&path, &json).expect("write golden");
+    println!("wrote {} ({} bytes)", path.display(), json.len());
+    for l in json.lines().take(6) {
+        println!("  {l}");
+    }
+}

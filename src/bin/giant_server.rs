@@ -22,6 +22,9 @@
 //! * `--seed U64` — world seed when building fresh (default 42)
 //! * `--workers N` / `--exec-threads N` / `--batch-max N` / `--queue-cap N`
 //!   — server tuning (defaults 2/4/32/256)
+//! * `--allow-export` — admit `ExportSubgraph` requests (schema-checked
+//!   JSON dumps of the served ontology; off by default because a full
+//!   export is far heavier than any other request)
 
 use giant::adapter::{build_serving, GiantSetup, ModelTrainConfig};
 use giant::apps::serving::OntologyService;
@@ -61,6 +64,7 @@ fn parse_args() -> Args {
             queue_cap: get("--queue-cap")
                 .map_or(defaults.queue_cap, |s| s.parse().expect("--queue-cap usize")),
             debug_batch_delay_us: 0,
+            allow_export: argv.iter().any(|a| a == "--allow-export"),
         },
     }
 }

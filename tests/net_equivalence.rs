@@ -107,6 +107,7 @@ fn socket_replies_are_byte_identical_to_in_process_at_any_concurrency() {
                     batch_max,
                     queue_cap: 4096,
                     debug_batch_delay_us: 0,
+                    allow_export: false,
                 },
             )
             .expect("start server");
@@ -159,6 +160,7 @@ fn overload_sheds_typed_replies_and_keeps_the_queue_bounded() {
             // Slow the lone worker so the blast overruns the queue
             // deterministically even on a fast machine.
             debug_batch_delay_us: 5000,
+            allow_export: false,
         },
     )
     .expect("start server");
