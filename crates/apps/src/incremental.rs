@@ -36,7 +36,6 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Serving metadata derived from one pipeline product.
 #[derive(Debug)]
@@ -227,6 +226,11 @@ impl From<WalError> for RestoreError {
 }
 
 /// What one [`IncrementalDriver::ingest`] did.
+///
+/// The `*_secs` fields are fed from the same `giant-obs` span guards
+/// that populate the `ingest.*` span histograms when observability is
+/// armed — one clock, two views (DESIGN.md §13). They stay filled even
+/// when recording is disarmed.
 #[derive(Debug)]
 pub struct IngestReport {
     /// The version the fold published.
@@ -346,11 +350,11 @@ impl IncrementalDriver {
         keep_frames: usize,
     ) -> Result<(Self, IngestReport), FoldError> {
         let report = state.fold(initial)?;
-        let t = Instant::now();
+        let publish_span = giant_obs::span("ingest.publish");
         let resources = refresh_resources(&base, &report.output);
         let snapshot = OntologySnapshot::freeze(state.ontology());
         let service = Arc::new(OntologyService::new(snapshot, resources));
-        let publish_secs = t.elapsed().as_secs_f64();
+        let publish_secs = publish_span.finish_secs();
         let driver = Self {
             state,
             service,
@@ -448,13 +452,20 @@ impl IncrementalDriver {
     /// checkpoints and rotates the log. With a legacy checkpoint path set
     /// instead, the driver checkpoints after every publish.
     pub fn ingest(&mut self, batch: DeltaBatch) -> Result<IngestReport, IngestError> {
+        // Root span for the whole ingest; the stage spans below nest under
+        // it, so a profiling run attributes screen/WAL/fold/publish/
+        // checkpoint time separately (DESIGN.md §13). The report's
+        // `*_secs` fields are fed from the same guards — one clock.
+        let _ingest_span = giant_obs::span("ingest");
         // Schema screen first (when armed): salvage the valid items and
         // collect typed per-item rejections. The accepted remainder is what
         // gets logged and folded — the WAL never holds a rejected item.
         let mut rejections = Vec::new();
         let batch = match self.schema.as_deref() {
             Some(schema) => {
+                let screen_span = giant_obs::span("ingest.screen");
                 let screened = screen_batch(schema, self.state.input().docs.len(), &batch);
+                drop(screen_span);
                 rejections = screened.rejections;
                 screened.accepted
             }
@@ -466,11 +477,12 @@ impl IncrementalDriver {
             // Validate up front: a batch the fold would reject must never
             // enter the log (replay would re-reject it on every restore).
             self.state.validate(&batch).map_err(IngestError::Fold)?;
-            let t = Instant::now();
+            let wal_span = giant_obs::span("ingest.wal_append");
             logged_seq = Some(d.wal.append(&batch).map_err(IngestError::Wal)?);
-            wal_secs = Some(t.elapsed().as_secs_f64());
+            wal_secs = Some(wal_span.finish_secs());
             binio::crash_point("driver.post-append");
         }
+        let fold_span = giant_obs::span("ingest.fold");
         let report = match self.state.fold(batch) {
             Ok(r) => r,
             Err(e) => {
@@ -483,12 +495,16 @@ impl IncrementalDriver {
                 return Err(IngestError::Fold(e));
             }
         };
-        let t = Instant::now();
+        drop(fold_span);
+        let publish_span = giant_obs::span("ingest.publish");
         let resources = refresh_resources(&self.service.resources(), &report.output);
         let snapshot = OntologySnapshot::freeze(self.state.ontology());
         let version = self.service.publish(snapshot, resources);
         let retained_frames = self.service.retain_last(self.keep_frames);
-        let publish_secs = t.elapsed().as_secs_f64();
+        let publish_secs = publish_span.finish_secs();
+        let m = giant_obs::registry();
+        m.counter("ingest.batches").inc();
+        m.counter("ingest.rejections").add(rejections.len() as u64);
         let mut out = IngestReport {
             version,
             delta: report.delta.stats(),
@@ -509,9 +525,9 @@ impl IncrementalDriver {
             };
             if due {
                 binio::crash_point("driver.pre-checkpoint");
-                let t = Instant::now();
+                let ckpt_span = giant_obs::span("ingest.checkpoint");
                 match self.checkpoint_and_rotate() {
-                    Ok(()) => out.checkpoint_secs = Some(t.elapsed().as_secs_f64()),
+                    Ok(()) => out.checkpoint_secs = Some(ckpt_span.finish_secs()),
                     // The publish stands and the WAL still holds the
                     // entry (rotation only follows a *successful*
                     // checkpoint), so nothing is lost — report it.
@@ -524,14 +540,14 @@ impl IncrementalDriver {
                 }
             }
         } else if let Some(path) = self.checkpoint_path.clone() {
-            let t = Instant::now();
+            let ckpt_span = giant_obs::span("ingest.checkpoint");
             if let Err(source) = self.checkpoint(&path) {
                 return Err(IngestError::Checkpoint {
                     report: Box::new(out),
                     source,
                 });
             }
-            out.checkpoint_secs = Some(t.elapsed().as_secs_f64());
+            out.checkpoint_secs = Some(ckpt_span.finish_secs());
         }
         Ok(out)
     }
@@ -625,6 +641,7 @@ impl IncrementalDriver {
         models: GiantModels,
         keep_frames: usize,
     ) -> Result<(Self, RestoreReport), RestoreError> {
+        let _restore_span = giant_obs::span("restore");
         let file = SectionFile::read_file(&cfg.checkpoint_path())?;
         let state = Checkpoint::from_sections(&file)
             .map_err(FileError::from)?
@@ -655,14 +672,19 @@ impl IncrementalDriver {
             if entry.seq <= watermark {
                 continue;
             }
+            let replay_span = giant_obs::span("restore.replay");
             driver
                 .replay_one(entry.batch)
                 .map_err(|source| RestoreError::Replay {
                     seq: entry.seq,
                     source,
                 })?;
+            drop(replay_span);
             replayed += 1;
         }
+        // Distinct from `wal.replayed` (entries *decoded* from the log):
+        // this counts entries actually folded past the watermark.
+        giant_obs::registry().counter("ingest.replayed").add(replayed as u64);
         if replayed > 0 {
             driver.checkpoint_and_rotate().map_err(RestoreError::Persist)?;
         }

@@ -466,8 +466,11 @@ impl OntologyService {
         requests: &[ServeRequest],
         threads: usize,
     ) -> Vec<Result<ServeResponse, ServeError>> {
+        let span = giant_obs::span("serve_batch");
         let frame = self.frame();
-        giant_exec::run_ordered(requests, threads, |_, req| frame.serve(req))
+        let replies = giant_exec::run_ordered(requests, threads, |_, req| frame.serve(req));
+        drop(span);
+        replies
     }
 
     /// Number of frames currently retained (1 in the steady state; more

@@ -1,0 +1,155 @@
+//! Cost of armed observability (DESIGN.md §13), measured on the two hot
+//! paths it instruments:
+//!
+//! * **pipeline overhead** — a full `run_pipeline` with span recording
+//!   armed vs disarmed, best of `REPS`. Every stage span, the mine
+//!   sub-spans and the root `pipeline` span fire on the armed arm.
+//! * **serving overhead** — repeated `serve_batch` rounds armed vs
+//!   disarmed, best of `REPS`. The `serve_batch` span fires per round.
+//!
+//! Both comparisons must produce byte-identical outputs across the arms —
+//! the ontology dump for the pipeline, the debug-rendered reply vector
+//! for serving — because an overhead number over divergent work is void.
+//! The advertised budget is **<2%** on each path, asserted in full mode.
+//!
+//! Results land in `BENCH_obs.json`. `--smoke` runs the tiny world for CI
+//! wiring and skips the overhead assertions (wall-clock ratios on
+//! sub-second runs are noise).
+//!
+//! ```text
+//! cargo run --release -p giant-bench --bin obs_overhead [-- --smoke]
+//! ```
+
+use giant::adapter::{build_serving, GiantSetup, ModelTrainConfig};
+use giant::apps::serving::ServeRequest;
+use giant_core::GiantConfig;
+use giant_data::WorldConfig;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let serve_rounds: usize = if smoke { 100 } else { 400 };
+    let world = if smoke {
+        WorldConfig::tiny()
+    } else {
+        WorldConfig {
+            entities_per_sub: 24,
+            concepts_per_sub: 10,
+            ..WorldConfig::experiment()
+        }
+    };
+    eprintln!("[obs_overhead] building world + models (smoke={smoke})...");
+    let setup = GiantSetup::generate(world);
+    let (models, _) = setup.train_models(&ModelTrainConfig::small());
+    let cfg = GiantConfig::default();
+    let stream = setup.corpus_stream();
+
+    println!("=== Armed observability cost ===");
+    println!("world: {} docs", stream.docs.len());
+
+    // Pipeline: full mine with spans armed vs disarmed.
+    let time_pipeline = |armed: bool| -> (f64, String) {
+        giant::obs::arm(armed);
+        let mut best = f64::INFINITY;
+        let mut dump = String::new();
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let output = setup.run_pipeline(&models, &cfg);
+            best = best.min(t.elapsed().as_secs_f64());
+            dump = giant::ontology::io::dump(&output.ontology);
+        }
+        (best, dump)
+    };
+    let (pipe_off_secs, off_dump) = time_pipeline(false);
+    let (pipe_on_secs, on_dump) = time_pipeline(true);
+    assert_eq!(
+        off_dump, on_dump,
+        "armed and disarmed pipeline runs diverged — overhead number is void"
+    );
+    println!("convergence: armed pipeline byte-identical to disarmed ✓");
+    let pipe_pct = (pipe_on_secs - pipe_off_secs) / pipe_off_secs * 100.0;
+    println!("\npipeline disarmed: {pipe_off_secs:>8.4}s (best of {REPS})");
+    println!("pipeline armed:    {pipe_on_secs:>8.4}s (best of {REPS})  →  {pipe_pct:+.2}% overhead");
+
+    // Serving: the batch endpoint under a fixed mixed workload. The
+    // pipeline output feeds the serving frame, so build it once (armed
+    // state during the build is irrelevant to the timed section).
+    giant::obs::arm(false);
+    let output = setup.run_pipeline(&models, &cfg);
+    let serving = build_serving(&setup, &output);
+    let svc = serving.service;
+    let requests: Vec<ServeRequest> = stream
+        .docs
+        .iter()
+        .take(48)
+        .enumerate()
+        .map(|(i, d)| match i % 3 {
+            0 => ServeRequest::Conceptualize {
+                query: d.title.clone(),
+            },
+            1 => ServeRequest::Recommend {
+                query: d.title.clone(),
+            },
+            _ => ServeRequest::TagDocument {
+                title: d.title.clone(),
+                sentences: d.sentences.clone(),
+            },
+        })
+        .collect();
+    let time_serving = |armed: bool| -> (f64, String) {
+        giant::obs::arm(armed);
+        let fingerprint = format!("{:?}", svc.serve_batch(&requests, 2));
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            for _ in 0..serve_rounds {
+                let replies = svc.serve_batch(&requests, 2);
+                assert_eq!(replies.len(), requests.len());
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (best, fingerprint)
+    };
+    let (serve_off_secs, off_replies) = time_serving(false);
+    let (serve_on_secs, on_replies) = time_serving(true);
+    assert_eq!(
+        off_replies, on_replies,
+        "armed and disarmed serving answers diverged — overhead number is void"
+    );
+    println!("convergence: armed serving answers byte-identical to disarmed ✓");
+    let serve_pct = (serve_on_secs - serve_off_secs) / serve_off_secs * 100.0;
+    println!(
+        "\nserving disarmed: {serve_off_secs:>8.4}s for {serve_rounds} rounds × {} reqs (best of {REPS})",
+        requests.len()
+    );
+    println!("serving armed:    {serve_on_secs:>8.4}s  →  {serve_pct:+.2}% overhead");
+
+    if !smoke {
+        assert!(
+            pipe_pct < 2.0,
+            "armed pipeline overhead must stay under 2% (got {pipe_pct:.2}%)"
+        );
+        assert!(
+            serve_pct < 2.0,
+            "armed serving overhead must stay under 2% (got {serve_pct:.2}%)"
+        );
+    }
+
+    // Hand-rolled JSON: the workspace is offline, no serde.
+    let report = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"smoke\": {smoke},\n  \
+         \"n_docs\": {},\n  \"serve_rounds\": {serve_rounds},\n  \"serve_batch_size\": {},\n  \
+         \"pipeline_disarmed_secs\": {pipe_off_secs:.6},\n  \
+         \"pipeline_armed_secs\": {pipe_on_secs:.6},\n  \
+         \"pipeline_overhead_pct\": {pipe_pct:.3},\n  \
+         \"serving_disarmed_secs\": {serve_off_secs:.6},\n  \
+         \"serving_armed_secs\": {serve_on_secs:.6},\n  \
+         \"serving_overhead_pct\": {serve_pct:.3}\n}}\n",
+        stream.docs.len(),
+        requests.len()
+    );
+    std::fs::write("BENCH_obs.json", &report).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+}

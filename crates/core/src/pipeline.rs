@@ -28,7 +28,6 @@ use giant_text::{Annotator, NerTag, PosTag};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 /// One document, pipeline view.
 #[derive(Debug, Clone)]
@@ -106,6 +105,11 @@ pub struct MinedAttention {
 /// Wall-clock spent per pipeline stage, in execution order. Purely
 /// diagnostic — never part of the determinism contract (two identical runs
 /// produce identical ontologies and *different* timings).
+///
+/// Since the `giant-obs` integration (DESIGN.md §13) every entry is fed
+/// from a [`giant_obs::span()`] guard — one clock serves both this compat
+/// structure and the observability layer (span ring, `span.*`
+/// histograms, folded-stacks profile) when obs is armed.
 #[derive(Debug, Clone, Default)]
 pub struct StageTimings {
     entries: Vec<(&'static str, f64)>,
@@ -196,6 +200,9 @@ fn run_impl(
     cfg: &GiantConfig,
     caches: Option<&mut PipelineCaches>,
 ) -> GiantOutput {
+    // Root span for the whole build: armed runs see stage spans nest as
+    // `pipeline;mine.execute` etc. in the ring and the profile.
+    let pipeline_span = giant_obs::span("pipeline");
     let mut out = GiantOutput {
         ontology: Ontology::new(),
         mined: Vec::new(),
@@ -249,14 +256,17 @@ fn run_impl(
     timed(&mut timings, "derive_topics", || derive_topics(input, cfg, &mut out));
     timed(&mut timings, "link_correlates", || link_correlates(input, cfg, &mut out, text));
     out.timings = timings;
+    drop(pipeline_span);
     out
 }
 
-/// Runs `f`, recording its wall clock against `name`.
+/// Runs `f` inside an obs span named `name`, recording the span's wall
+/// clock against `name` in `timings` — compat field and obs share the
+/// same measurement.
 fn timed<R>(timings: &mut StageTimings, name: &'static str, f: impl FnOnce() -> R) -> R {
-    let t = Instant::now();
+    let span = giant_obs::span(name);
     let r = f();
-    timings.record(name, t.elapsed().as_secs_f64());
+    timings.record(name, span.finish_secs());
     r
 }
 
@@ -461,7 +471,7 @@ fn mine_attentions(
     // bytes exactly (see `crate::cache`).
     let candidates: Vec<Option<ClusterCandidate>> = match caches {
         Some((plan_cache, mine_cache)) => {
-            let t = Instant::now();
+            let span = giant_obs::span("mine.plan");
             let plan = plan_clusters_cached(
                 &input.click_graph,
                 stopwords,
@@ -469,8 +479,8 @@ fn mine_attentions(
                 cfg.threads,
                 plan_cache,
             );
-            timings.record("mine.plan", t.elapsed().as_secs_f64());
-            let t = Instant::now();
+            timings.record("mine.plan", span.finish_secs());
+            let span = giant_obs::span("mine.execute");
             let mine = &*mine_cache;
             let plan_reused = &plan.reused;
             let results: Vec<(Option<ClusterCandidate>, Option<MineEntry>)> =
@@ -515,15 +525,15 @@ fn mine_attentions(
                 candidates.push(cand);
             }
             out.cache_stats = stats;
-            timings.record("mine.execute", t.elapsed().as_secs_f64());
+            timings.record("mine.execute", span.finish_secs());
             candidates
         }
         None => {
-            let t = Instant::now();
+            let span = giant_obs::span("mine.plan");
             let plan =
                 plan_clusters_parallel(&input.click_graph, stopwords, &cfg.cluster, cfg.threads);
-            timings.record("mine.plan", t.elapsed().as_secs_f64());
-            let t = Instant::now();
+            timings.record("mine.plan", span.finish_secs());
+            let span = giant_obs::span("mine.execute");
             let candidates = giant_exec::run_ordered(&plan.items, cfg.threads, |_, item| {
                 mine_cluster(input, models, &entity_surfaces, item)
             });
@@ -532,12 +542,12 @@ fn mine_attentions(
                 clusters_mined: plan.items.len(),
                 ..CacheStats::default()
             };
-            timings.record("mine.execute", t.elapsed().as_secs_f64());
+            timings.record("mine.execute", span.finish_secs());
             candidates
         }
     };
     // Merge, in plan order.
-    let t = Instant::now();
+    let merge_span = giant_obs::span("mine.merge");
     for cand in candidates.into_iter().flatten() {
         let (norm, meta) = if cand.is_event {
             (&mut event_norm, &mut event_meta)
@@ -593,7 +603,7 @@ fn mine_attentions(
             });
         }
     }
-    timings.record("mine.merge", t.elapsed().as_secs_f64());
+    timings.record("mine.merge", merge_span.finish_secs());
 }
 
 /// Phase 2a: 4-class GCTSP over event clusters → trigger/entity/location +

@@ -55,4 +55,4 @@ pub use ckpt::Checkpoint;
 pub use screen::{screen_batch, BatchItem, BatchRejection, RejectReason, ScreenReport};
 pub use state::{FoldError, FoldReport, IncrementalState};
 pub use stream::{union_input, CorpusStream};
-pub use wal::{SyncMode, Wal, WalEntry, WalError, WalTruncation};
+pub use wal::{wal_metrics, SyncMode, Wal, WalEntry, WalError, WalMetrics, WalTruncation};

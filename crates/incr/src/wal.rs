@@ -45,10 +45,50 @@
 
 use crate::batch::{ClickEvent, DeltaBatch};
 use crate::ckpt::{read_docs, read_ner, write_docs, write_ner};
+use giant_obs::Counter;
 use giant_ontology::binio::{self, fnv1a64, BinError, Reader, Writer};
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide WAL counters, registered once in the global
+/// [`giant_obs::registry`] under stable `wal.*` names (DESIGN.md §13).
+///
+/// These are *cumulative across every log the process opens* — the
+/// observability view of the per-handle [`Wal::syncs`] accessor. Counters
+/// are plain relaxed atomics, so they stay on even when span recording is
+/// disarmed; they never influence what the WAL writes.
+#[derive(Debug)]
+pub struct WalMetrics {
+    /// `wal.appends` — acknowledged [`Wal::append`] calls.
+    pub appends: Arc<Counter>,
+    /// `wal.syncs` — real `fdatasync` calls (group commit counts once).
+    pub syncs: Arc<Counter>,
+    /// `wal.rotations` — successful [`Wal::rotate`] truncations.
+    pub rotations: Arc<Counter>,
+    /// `wal.replayed` — entries decoded by [`Wal::open`] / [`Wal::recover`].
+    pub replayed: Arc<Counter>,
+    /// `wal.truncations` — opens that cut bytes off the tail, torn or
+    /// corrupt (strict opens that *reject* corruption do not count: the
+    /// file is left untouched).
+    pub truncations: Arc<Counter>,
+}
+
+/// The lazily-registered [`WalMetrics`] singleton.
+pub fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = giant_obs::registry();
+        WalMetrics {
+            appends: r.counter("wal.appends"),
+            syncs: r.counter("wal.syncs"),
+            rotations: r.counter("wal.rotations"),
+            replayed: r.counter("wal.replayed"),
+            truncations: r.counter("wal.truncations"),
+        }
+    })
+}
 
 /// WAL file magic (first 8 bytes).
 pub const WAL_MAGIC: [u8; 8] = *b"GIANTWAL";
@@ -457,7 +497,11 @@ impl Wal {
             if !is_torn {
                 truncation = Some(WalTruncation { offset, reason });
             }
+            // Past the strict-rejection return: this open WILL cut the
+            // tail back to `valid_end` (torn or salvaged-corrupt alike).
+            wal_metrics().truncations.inc();
         }
+        wal_metrics().replayed.add(scan.entries.len() as u64);
         if scan.valid_end < HEADER_LEN {
             // Torn header: rewrite it from scratch.
             return Ok((Self::create(path, sync, 1)?, (Vec::new(), truncation)));
@@ -517,6 +561,7 @@ impl Wal {
             }
             SyncMode::None => {}
         }
+        wal_metrics().appends.inc();
         Ok(seq)
     }
 
@@ -557,6 +602,7 @@ impl Wal {
         self.file.sync_data()?;
         self.pending = 0;
         self.syncs += 1;
+        wal_metrics().syncs.inc();
         Ok(())
     }
 
@@ -586,6 +632,7 @@ impl Wal {
         self.file = file;
         self.pending = 0;
         self.last_frame_start = 0;
+        wal_metrics().rotations.inc();
         Ok(())
     }
 
@@ -840,6 +887,35 @@ mod tests {
             Wal::open(&path, SyncMode::None),
             Err(WalError::BadVersion { found: 99 })
         ));
+    }
+
+    #[test]
+    fn wal_metrics_count_appends_syncs_and_replay() {
+        // The counters are process-global and other WAL tests run in
+        // parallel in this binary, so assert on deltas with `>=`: foreign
+        // increments only push the deltas up, never down.
+        let path = tmp("metrics.wal");
+        std::fs::remove_file(&path).ok();
+        let m = wal_metrics();
+        let (appends0, syncs0, rotations0, replayed0) = (
+            m.appends.get(),
+            m.syncs.get(),
+            m.rotations.get(),
+            m.replayed.get(),
+        );
+        let (mut wal, _) = Wal::open(&path, SyncMode::Strict).unwrap();
+        for i in 0..3 {
+            wal.append(&batch(i)).unwrap();
+        }
+        wal.rotate().unwrap();
+        wal.append(&batch(3)).unwrap();
+        drop(wal);
+        let (_, entries) = Wal::open(&path, SyncMode::Strict).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(m.appends.get() >= appends0 + 4);
+        assert!(m.syncs.get() >= syncs0 + 4, "strict mode fsyncs each append");
+        assert!(m.rotations.get() > rotations0);
+        assert!(m.replayed.get() > replayed0, "the reopen replayed one entry");
     }
 
     #[test]

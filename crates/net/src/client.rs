@@ -83,4 +83,15 @@ impl NetClient {
             }),
         }
     }
+
+    /// Fetches the server's unified metrics snapshot (`net.*` rows plus
+    /// every registered `giant-obs` metric in its process).
+    pub fn metrics(&mut self) -> Result<giant_obs::MetricsSnapshot, NetError> {
+        match self.call(&Request::Metrics)? {
+            Reply::Metrics(snap) => Ok(snap),
+            other => Err(NetError::Rejected {
+                reason: format!("expected a metrics reply, got {other:?}"),
+            }),
+        }
+    }
 }

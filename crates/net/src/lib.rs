@@ -20,8 +20,11 @@
 //!   gets a typed [`Reply::Shed`](wire::Reply) immediately instead of the
 //!   server queuing without bound.
 //! * [`stats`] — per-request-kind latency accounting (p50/p99 over
-//!   log-scale histograms) served over the wire as a stats endpoint, so
-//!   operators can watch SLOs without touching the serving path.
+//!   `giant-obs` log-scale histograms) served over the wire as a stats
+//!   endpoint, so operators can watch SLOs without touching the serving
+//!   path. The wider `Request::Metrics` endpoint merges these `net.*`
+//!   rows with the process-wide `giant-obs` registry — WAL counters,
+//!   span histograms, ingest counters — into one report (DESIGN.md §13).
 //! * [`client`] — a small blocking client supporting both one-shot calls
 //!   and pipelined send/receive (what the load generator and the
 //!   equivalence suite drive).

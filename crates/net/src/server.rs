@@ -193,6 +193,16 @@ impl Server {
         self.shared.stats.report(self.shared.svc.frame().version)
     }
 
+    /// The unified metrics snapshot, as [`Request::Metrics`] would
+    /// report it: this server's `net.*` rows merged with the
+    /// process-wide `giant-obs` registry.
+    pub fn metrics_report(&self) -> giant_obs::MetricsSnapshot {
+        self.shared
+            .stats
+            .metrics_snapshot(self.shared.svc.frame().version)
+            .merge(giant_obs::registry().snapshot())
+    }
+
     /// Stops the server: no new connections, in-flight work drains, all
     /// threads joined.
     pub fn shutdown(mut self) {
@@ -295,6 +305,17 @@ fn reader_loop(mut read_half: TcpStream, conn: Arc<Conn>, shared: &Arc<Shared>) 
                 let report = shared.stats.report(shared.svc.frame().version);
                 conn.send(id, &Reply::Stats(report));
             }
+            Ok(Request::Metrics) => {
+                // Same inline discipline as Stats. This server's
+                // namespaced `net.*` rows merged with the process-wide
+                // registry (WAL counters, span histograms, ingest
+                // counters) — the one-report cross-layer view.
+                let snap = shared
+                    .stats
+                    .metrics_snapshot(shared.svc.frame().version)
+                    .merge(giant_obs::registry().snapshot());
+                conn.send(id, &Reply::Metrics(snap));
+            }
             Ok(Request::Serve(req)) => {
                 // The export gate sits in front of admission: a disabled
                 // export is a policy refusal, not load, so it neither
@@ -358,10 +379,22 @@ fn worker_loop(shared: &Arc<Shared>) {
             ));
         }
         shared.stats.record_batch(batch.len());
+        // Queue wait is measured at drain time — the span between
+        // admission and a worker picking the job up, the number the
+        // ROADMAP's admission-quota work needs.
+        for job in &batch {
+            shared
+                .stats
+                .record_queue_wait(job.enqueued.elapsed().as_secs_f64() * 1e6);
+        }
+        let batch_span = giant_obs::span("net.batch");
         let requests: Vec<ServeRequest> = batch.iter().map(|j| j.req.clone()).collect();
         // One frame, one ordered fan-out for the whole batch — results
         // come back in request order, so zip matches job to answer.
+        let serve_span = giant_obs::span("net.serve");
         let results = shared.svc.serve_batch(&requests, shared.cfg.exec_threads);
+        drop(serve_span);
+        let reply_span = giant_obs::span("net.reply");
         for (job, result) in batch.into_iter().zip(results) {
             let reply = match result {
                 Ok(resp) => Reply::Ok(resp),
@@ -373,5 +406,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             shared.stats.record_served(job.kind, us);
             job.conn.send(job.id, &reply);
         }
+        drop(reply_span);
+        drop(batch_span);
     }
 }

@@ -1,86 +1,39 @@
-//! Per-request-kind latency accounting.
+//! Per-request-kind latency accounting, now a thin wrapper over the
+//! `giant-obs` primitives (DESIGN.md §13).
 //!
 //! The server records one latency sample per served request — measured
 //! from admission (the read thread enqueuing the job) to the reply frame
 //! being handed to the socket, so queueing delay under load is visible,
 //! not just compute. Samples land in lock-free log-scale histograms
-//! (four buckets per octave of microseconds), from which the stats
-//! endpoint derives p50/p99 per kind.
+//! ([`giant_obs::Histogram`] — four buckets per octave of microseconds,
+//! the design this module originated and `giant-obs` generalised), from
+//! which the stats endpoint derives p50/p99 per kind.
+//!
+//! Counters are **instance-owned**, not global-registry entries: tests
+//! and embedders run several servers per process, and each server's
+//! [`StatsReport`] must describe that server alone. The wire `Metrics`
+//! endpoint merges these rows (namespaced `net.*`, via
+//! [`ServerStats::metrics_snapshot`]) with the process-wide registry
+//! snapshot.
 //!
 //! Everything here is atomics: recording a sample on the serving path is
-//! two relaxed `fetch_add`s, and a [`StatsReport`] is a snapshot — it
+//! a few relaxed `fetch_add`s, and a [`StatsReport`] is a snapshot — it
 //! never blocks the workers.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use giant_obs::{Counter, Gauge, Histogram, MetricRow, MetricValue, MetricsSnapshot};
 
 use crate::wire::{KIND_LABELS, N_KINDS};
-
-/// Buckets per histogram: 4 per octave × 32 octaves covers <1 µs through
-/// ~4000 s in one fixed array.
-const BUCKETS: usize = 128;
-const BUCKETS_PER_OCTAVE: f64 = 4.0;
-
-/// One log-scale latency histogram.
-struct Histogram {
-    count: AtomicU64,
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Histogram {
-    fn new() -> Self {
-        Histogram {
-            count: AtomicU64::new(0),
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    fn bucket_of(us: f64) -> usize {
-        if us <= 1.0 {
-            return 0;
-        }
-        let idx = (us.log2() * BUCKETS_PER_OCTAVE).floor() as isize;
-        idx.clamp(0, BUCKETS as isize - 1) as usize
-    }
-
-    /// Lower edge of bucket `idx` in microseconds — the conservative
-    /// (under-)estimate reported for percentiles.
-    fn bucket_floor_us(idx: usize) -> f64 {
-        (2f64).powf(idx as f64 / BUCKETS_PER_OCTAVE)
-    }
-
-    fn record(&self, us: f64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The latency at quantile `q` (0..=1), or 0 when empty. Resolution
-    /// is one bucket (±~19%), which is plenty for p50/p99 curves.
-    fn quantile_us(&self, q: f64) -> f64 {
-        let total = self.count.load(Ordering::Relaxed);
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Self::bucket_floor_us(idx);
-            }
-        }
-        Self::bucket_floor_us(BUCKETS - 1)
-    }
-}
 
 /// Shared counters the server threads write and the stats endpoint reads.
 pub struct ServerStats {
     per_kind: [Histogram; N_KINDS],
-    served: AtomicU64,
-    shed: AtomicU64,
-    batches: AtomicU64,
-    max_batch: AtomicU32,
-    queue_depth: AtomicU32,
-    queue_max_depth: AtomicU32,
+    queue_wait: Histogram,
+    served: Counter,
+    shed: Counter,
+    batches: Counter,
+    max_batch: Gauge,
+    queue_depth: Gauge,
+    queue_max_depth: Gauge,
     queue_cap: u32,
 }
 
@@ -89,43 +42,49 @@ impl ServerStats {
     pub fn new(queue_cap: u32) -> Self {
         ServerStats {
             per_kind: std::array::from_fn(|_| Histogram::new()),
-            served: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            max_batch: AtomicU32::new(0),
-            queue_depth: AtomicU32::new(0),
-            queue_max_depth: AtomicU32::new(0),
+            queue_wait: Histogram::new(),
+            served: Counter::new(),
+            shed: Counter::new(),
+            batches: Counter::new(),
+            max_batch: Gauge::new(),
+            queue_depth: Gauge::new(),
+            queue_max_depth: Gauge::new(),
             queue_cap,
         }
     }
 
     /// Records one served request of kind `kind_idx` ([`crate::wire::kind_index`]).
     pub fn record_served(&self, kind_idx: usize, latency_us: f64) {
-        self.served.fetch_add(1, Ordering::Relaxed);
+        self.served.inc();
         self.per_kind[kind_idx].record(latency_us);
     }
 
     /// Records one shed (rejected at admission).
     pub fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     /// Records one drained batch of `n` requests.
     pub fn record_batch(&self, n: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.max_batch.fetch_max(n as u32, Ordering::Relaxed);
+        self.batches.inc();
+        self.max_batch.record_max(n as i64);
+    }
+
+    /// Records one job's admission-queue wait (enqueue to drain).
+    pub fn record_queue_wait(&self, us: f64) {
+        self.queue_wait.record(us);
     }
 
     /// Tracks the admission queue's depth high-water mark.
     pub fn record_queue_depth(&self, depth: usize) {
-        let d = depth as u32;
-        self.queue_depth.store(d, Ordering::Relaxed);
-        self.queue_max_depth.fetch_max(d, Ordering::Relaxed);
+        let d = depth as i64;
+        self.queue_depth.set(d);
+        self.queue_max_depth.record_max(d);
     }
 
     /// Total sheds so far (overload tests poll this).
     pub fn shed_count(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.get()
     }
 
     /// Snapshot for the wire. `version` is the serving frame's version at
@@ -133,22 +92,73 @@ impl ServerStats {
     pub fn report(&self, version: u64) -> StatsReport {
         StatsReport {
             version,
-            served: self.served.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            queue_max_depth: self.queue_max_depth.load(Ordering::Relaxed),
+            served: self.served.get(),
+            shed: self.shed.get(),
+            batches: self.batches.get(),
+            max_batch: self.max_batch.get() as u32,
+            queue_depth: self.queue_depth.get() as u32,
+            queue_max_depth: self.queue_max_depth.get() as u32,
             queue_cap: self.queue_cap,
             kinds: (0..N_KINDS)
                 .map(|i| KindRow {
                     kind: KIND_LABELS[i].to_string(),
-                    count: self.per_kind[i].count.load(Ordering::Relaxed),
+                    count: self.per_kind[i].count(),
                     p50_us: self.per_kind[i].quantile_us(0.50),
                     p99_us: self.per_kind[i].quantile_us(0.99),
                 })
                 .collect(),
         }
+    }
+
+    /// This server's counters as namespaced `net.*` metric rows — what
+    /// the wire `Metrics` endpoint merges with the process registry.
+    pub fn metrics_snapshot(&self, version: u64) -> MetricsSnapshot {
+        let mut rows = vec![
+            MetricRow {
+                name: "net.frame.version".to_string(),
+                value: MetricValue::Gauge(version as i64),
+            },
+            MetricRow {
+                name: "net.served".to_string(),
+                value: MetricValue::Counter(self.served.get()),
+            },
+            MetricRow {
+                name: "net.shed".to_string(),
+                value: MetricValue::Counter(self.shed.get()),
+            },
+            MetricRow {
+                name: "net.batches".to_string(),
+                value: MetricValue::Counter(self.batches.get()),
+            },
+            MetricRow {
+                name: "net.batch.max".to_string(),
+                value: MetricValue::Gauge(self.max_batch.get()),
+            },
+            MetricRow {
+                name: "net.queue.depth".to_string(),
+                value: MetricValue::Gauge(self.queue_depth.get()),
+            },
+            MetricRow {
+                name: "net.queue.depth.max".to_string(),
+                value: MetricValue::Gauge(self.queue_max_depth.get()),
+            },
+            MetricRow {
+                name: "net.queue.cap".to_string(),
+                value: MetricValue::Gauge(i64::from(self.queue_cap)),
+            },
+            MetricRow {
+                name: "net.queue.wait_us".to_string(),
+                value: MetricValue::Histogram(self.queue_wait.summary()),
+            },
+        ];
+        for (label, hist) in KIND_LABELS.iter().zip(self.per_kind.iter()) {
+            rows.push(MetricRow {
+                name: format!("net.latency.{label}"),
+                value: MetricValue::Histogram(hist.summary()),
+            });
+        }
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { rows }
     }
 }
 
@@ -196,34 +206,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_monotone_and_clamped() {
-        assert_eq!(Histogram::bucket_of(0.0), 0);
-        assert_eq!(Histogram::bucket_of(1.0), 0);
-        let mut last = 0;
-        for us in [2.0, 10.0, 100.0, 1e4, 1e6, 1e9, 1e30] {
-            let b = Histogram::bucket_of(us);
-            assert!(b >= last, "bucket_of({us}) went backwards");
-            last = b;
-        }
-        assert!(Histogram::bucket_of(1e300) < BUCKETS);
-    }
-
-    #[test]
-    fn quantiles_bracket_the_samples() {
-        let h = Histogram::new();
-        for _ in 0..99 {
-            h.record(10.0);
-        }
-        h.record(10_000.0);
-        let p50 = h.quantile_us(0.50);
-        let p99 = h.quantile_us(0.99);
-        // Bucket floors under-report by at most one bucket width (~19%).
-        assert!((8.0..=10.0).contains(&p50), "p50 = {p50}");
-        assert!((8.0..=10.0).contains(&p99), "p99 = {p99}");
-        assert!(h.quantile_us(1.0) > 8_000.0);
-    }
-
-    #[test]
     fn report_reflects_recorded_traffic() {
         let s = ServerStats::new(64);
         s.record_served(0, 5.0);
@@ -249,5 +231,44 @@ mod tests {
         assert_eq!(r.kinds[3].count, 1);
         assert_eq!(r.kinds[1].count, 0);
         assert_eq!(r.kinds[1].p50_us, 0.0);
+    }
+
+    /// The generalised histogram must report the same percentiles the
+    /// private implementation always did — the byte-compat contract.
+    #[test]
+    fn quantiles_match_the_pre_obs_implementation() {
+        let s = ServerStats::new(8);
+        for _ in 0..99 {
+            s.record_served(1, 10.0);
+        }
+        s.record_served(1, 10_000.0);
+        let r = s.report(0);
+        assert!((8.0..=10.0).contains(&r.kinds[1].p50_us), "p50 = {}", r.kinds[1].p50_us);
+        assert!((8.0..=10.0).contains(&r.kinds[1].p99_us), "p99 = {}", r.kinds[1].p99_us);
+    }
+
+    #[test]
+    fn metrics_snapshot_rows_are_namespaced_and_sorted() {
+        let s = ServerStats::new(16);
+        s.record_served(0, 5.0);
+        s.record_queue_wait(2.5);
+        s.record_shed();
+        let snap = s.metrics_snapshot(7);
+        let names: Vec<&str> = snap.rows.iter().map(|r| r.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "rows must come out sorted");
+        assert!(names.contains(&"net.queue.wait_us"));
+        assert!(names.contains(&"net.latency.conceptualize"));
+        assert_eq!(snap.counter("net.served"), Some(1));
+        assert_eq!(snap.counter("net.shed"), Some(1));
+        assert_eq!(snap.get("net.frame.version"), Some(&MetricValue::Gauge(7)));
+        match snap.get("net.queue.wait_us") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum_us, 3); // 2.5 µs rounds to 3
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 }

@@ -32,6 +32,7 @@ use giant_apps::query::{QueryUnderstanding, Recommendations};
 use giant_apps::serving::{ServeError, ServeRequest, ServeResponse};
 use giant_apps::storytree::{StoryEvent, StoryTree};
 use giant_apps::tagging::DocTags;
+use giant_obs::{HistogramSummary, MetricRow, MetricValue, MetricsSnapshot};
 use giant_ontology::binio::{fnv1a64, BinError, Reader, Writer};
 use giant_ontology::NodeId;
 use std::fmt;
@@ -135,6 +136,11 @@ pub enum Request {
     /// shed counts. Answered inline by the connection's read thread, so
     /// it works even when the admission queue is saturated.
     Stats,
+    /// The unified metrics endpoint (DESIGN.md §13): every registered
+    /// `giant-obs` metric — WAL counters, span histograms, ingest
+    /// counters — merged with this server's namespaced `net.*` rows.
+    /// Like [`Request::Stats`], answered inline by the read thread.
+    Metrics,
 }
 
 /// A server → client message.
@@ -154,6 +160,9 @@ pub enum Reply {
     },
     /// Answer to [`Request::Stats`].
     Stats(StatsReport),
+    /// Answer to [`Request::Metrics`]: name-sorted rows of counters,
+    /// gauges, and histogram summaries.
+    Metrics(MetricsSnapshot),
     /// Protocol-level rejection of a malformed frame; the server closes
     /// the connection after sending this (the stream may be desynced).
     Bad {
@@ -275,6 +284,7 @@ const REQ_TAG_DOCUMENT: u8 = 2;
 const REQ_STORY_TREE: u8 = 3;
 const REQ_STATS: u8 = 4;
 const REQ_EXPORT_SUBGRAPH: u8 = 5;
+const REQ_METRICS: u8 = 6;
 
 /// Serialises one request payload (kind byte + body).
 pub fn write_request(w: &mut Writer, req: &Request) {
@@ -301,6 +311,7 @@ pub fn write_request(w: &mut Writer, req: &Request) {
             write_opt_node(w, root);
         }
         Request::Stats => w.u8(REQ_STATS),
+        Request::Metrics => w.u8(REQ_METRICS),
     }
 }
 
@@ -323,6 +334,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, NetError> {
         REQ_EXPORT_SUBGRAPH => Request::Serve(ServeRequest::ExportSubgraph {
             root: read_opt_node(&mut r)?,
         }),
+        REQ_METRICS => Request::Metrics,
         kind => return Err(NetError::BadKind { kind }),
     };
     r.expect_exhausted()?;
@@ -344,6 +356,61 @@ const REP_EXPORT_SUBGRAPH: u8 = 8;
 const REP_ERR_UNKNOWN_EXPORT_ROOT: u8 = 9;
 const REP_ERR_EXPORT_DISABLED: u8 = 10;
 const REP_ERR_EXPORT_FAILED: u8 = 11;
+const REP_METRICS: u8 = 12;
+
+/// Tag bytes for [`MetricValue`] rows inside a `Metrics` reply.
+const METRIC_COUNTER: u8 = 0;
+const METRIC_GAUGE: u8 = 1;
+const METRIC_HISTOGRAM: u8 = 2;
+
+fn write_metrics_snapshot(w: &mut Writer, snap: &MetricsSnapshot) {
+    w.len_prefix(snap.rows.len(), "metric rows");
+    for row in &snap.rows {
+        w.str(&row.name);
+        match &row.value {
+            MetricValue::Counter(n) => {
+                w.u8(METRIC_COUNTER);
+                w.u64(*n);
+            }
+            // binio carries no signed integers; gauges ride as
+            // two's-complement u64, losslessly.
+            MetricValue::Gauge(v) => {
+                w.u8(METRIC_GAUGE);
+                w.u64(*v as u64);
+            }
+            MetricValue::Histogram(h) => {
+                w.u8(METRIC_HISTOGRAM);
+                w.u64(h.count);
+                w.u64(h.sum_us);
+                w.f64(h.p50_us);
+                w.f64(h.p99_us);
+            }
+        }
+    }
+}
+
+fn read_metrics_snapshot(r: &mut Reader<'_>) -> Result<MetricsSnapshot, NetError> {
+    // Min row size: 4-byte name length + 1 tag + 8 value bytes.
+    let n = r.len(13, "metric rows")?;
+    let rows = (0..n)
+        .map(|_| {
+            let name = r.str()?;
+            let value = match r.u8()? {
+                METRIC_COUNTER => MetricValue::Counter(r.u64()?),
+                METRIC_GAUGE => MetricValue::Gauge(r.u64()? as i64),
+                METRIC_HISTOGRAM => MetricValue::Histogram(HistogramSummary {
+                    count: r.u64()?,
+                    sum_us: r.u64()?,
+                    p50_us: r.f64()?,
+                    p99_us: r.f64()?,
+                }),
+                kind => return Err(NetError::BadKind { kind }),
+            };
+            Ok(MetricRow { name, value })
+        })
+        .collect::<Result<Vec<_>, NetError>>()?;
+    Ok(MetricsSnapshot { rows })
+}
 
 /// Serialises one reply payload (kind byte + body).
 pub fn write_reply(w: &mut Writer, reply: &Reply) {
@@ -419,6 +486,10 @@ pub fn write_reply(w: &mut Writer, reply: &Reply) {
                 w.f64(row.p50_us);
                 w.f64(row.p99_us);
             }
+        }
+        Reply::Metrics(snap) => {
+            w.u8(REP_METRICS);
+            write_metrics_snapshot(w, snap);
         }
         Reply::Bad { reason } => {
             w.u8(REP_BAD);
@@ -502,6 +573,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, NetError> {
                 kinds,
             })
         }
+        REP_METRICS => Reply::Metrics(read_metrics_snapshot(&mut r)?),
         REP_BAD => Reply::Bad { reason: r.str()? },
         kind => return Err(NetError::BadKind { kind }),
     };
@@ -612,6 +684,7 @@ mod tests {
                 root: Some(NodeId(12)),
             }),
             Request::Stats,
+            Request::Metrics,
         ]
     }
 
@@ -666,6 +739,28 @@ mod tests {
                     p99_us: 80.0,
                 }],
             }),
+            Reply::Metrics(MetricsSnapshot {
+                rows: vec![
+                    MetricRow {
+                        name: "net.queue.depth".into(),
+                        value: MetricValue::Gauge(-3),
+                    },
+                    MetricRow {
+                        name: "net.queue.wait_us".into(),
+                        value: MetricValue::Histogram(HistogramSummary {
+                            count: 4,
+                            sum_us: 52,
+                            p50_us: 9.513656920021768,
+                            p99_us: 26.908685288118864,
+                        }),
+                    },
+                    MetricRow {
+                        name: "wal.appends".into(),
+                        value: MetricValue::Counter(128),
+                    },
+                ],
+            }),
+            Reply::Metrics(MetricsSnapshot { rows: vec![] }),
             Reply::Bad {
                 reason: "checksum mismatch".into(),
             },

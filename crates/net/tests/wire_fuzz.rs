@@ -28,7 +28,7 @@ fn arb_text() -> impl Strategy<Value = String> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..6,
+        0usize..7,
         arb_text(),
         proptest::collection::vec(arb_text(), 0..3),
         0u32..=u32::MAX,
@@ -46,7 +46,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
             4 => Request::Serve(ServeRequest::ExportSubgraph {
                 root: (id % 2 == 0).then_some(NodeId(id)),
             }),
-            _ => Request::Stats,
+            5 => Request::Stats,
+            _ => Request::Metrics,
         })
 }
 

@@ -1,0 +1,132 @@
+//! Deterministic renderings of a [`MetricsSnapshot`]: a line-oriented
+//! text format and JSON via `giant_ontology::json` (the workspace's own
+//! writer — no serde, per the offline-dependency policy).
+//!
+//! Both renderings are pure functions of the snapshot: same rows in,
+//! same bytes out, so goldens and diffs over metric dumps are stable.
+
+use giant_ontology::json::{render, Json};
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+
+/// Renders one row per metric:
+///
+/// ```text
+/// ingest.batches counter 12
+/// net.queue.depth gauge 3
+/// span.fold histogram count=12 sum_us=8123 p50_us=512 p99_us=1024
+/// ```
+///
+/// Floats use Rust's shortest-round-trip formatting, like every other
+/// deterministic dump in the workspace.
+pub fn render_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for row in &snapshot.rows {
+        match &row.value {
+            MetricValue::Counter(n) => {
+                out.push_str(&format!("{} counter {n}\n", row.name));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("{} gauge {v}\n", row.name));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{} histogram count={} sum_us={} p50_us={} p99_us={}\n",
+                    row.name, h.count, h.sum_us, h.p50_us, h.p99_us
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as a JSON document:
+///
+/// ```json
+/// {
+///   "metrics": [
+///     {"name": "wal.appends", "type": "counter", "value": 12},
+///     {"name": "span.fold", "type": "histogram",
+///      "count": 12, "sum_us": 8123, "p50_us": 512.0, "p99_us": 1024.0}
+///   ]
+/// }
+/// ```
+pub fn render_json(snapshot: &MetricsSnapshot) -> String {
+    let rows = snapshot
+        .rows
+        .iter()
+        .map(|row| {
+            let mut pairs = vec![("name".to_string(), Json::Str(row.name.clone()))];
+            match &row.value {
+                MetricValue::Counter(n) => {
+                    pairs.push(("type".to_string(), Json::Str("counter".to_string())));
+                    pairs.push(("value".to_string(), Json::Num(*n as f64)));
+                }
+                MetricValue::Gauge(v) => {
+                    pairs.push(("type".to_string(), Json::Str("gauge".to_string())));
+                    pairs.push(("value".to_string(), Json::Num(*v as f64)));
+                }
+                MetricValue::Histogram(h) => {
+                    pairs.push(("type".to_string(), Json::Str("histogram".to_string())));
+                    pairs.push(("count".to_string(), Json::Num(h.count as f64)));
+                    pairs.push(("sum_us".to_string(), Json::Num(h.sum_us as f64)));
+                    pairs.push(("p50_us".to_string(), Json::Num(h.p50_us)));
+                    pairs.push(("p99_us".to_string(), Json::Num(h.p99_us)));
+                }
+            }
+            Json::Obj(pairs)
+        })
+        .collect();
+    let doc = Json::Obj(vec![("metrics".to_string(), Json::Arr(rows))]);
+    // Every held number is finite by construction (counts, sums, bucket
+    // floors), so rendering cannot fail.
+    render(&doc).expect("metric values are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let reg = Registry::new();
+        reg.counter("wal.appends").add(12);
+        reg.gauge("net.queue.depth").set(3);
+        let h = reg.histogram("span.fold");
+        h.record(500.0);
+        h.record(900.0);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn text_rendering_is_stable() {
+        let snap = sample();
+        // The quantile fields are bucket floors; read them back from the
+        // snapshot instead of hard-coding the float formatting.
+        let (p50, p99) = match snap.get("span.fold") {
+            Some(MetricValue::Histogram(h)) => (h.p50_us, h.p99_us),
+            other => panic!("expected histogram, got {other:?}"),
+        };
+        let text = render_text(&snap);
+        assert_eq!(
+            text,
+            format!(
+                "net.queue.depth gauge 3\n\
+                 span.fold histogram count=2 sum_us=1400 p50_us={p50} p99_us={p99}\n\
+                 wal.appends counter 12\n"
+            )
+        );
+        // Same snapshot, same bytes.
+        assert_eq!(text, render_text(&snap));
+    }
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let json = render_json(&sample());
+        let doc = giant_ontology::json::parse(&json).expect("own rendering parses");
+        let rows = doc.get("metrics").and_then(|m| m.as_arr()).expect("metrics array");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get("name").and_then(|n| n.as_str()), Some("net.queue.depth"));
+        assert_eq!(rows[2].get("value").and_then(|v| v.as_num()), Some(12.0));
+    }
+}

@@ -1,0 +1,452 @@
+//! The lock-free metrics registry: counters, gauges, log-scale
+//! histograms, and point-in-time snapshots.
+//!
+//! Metric handles are `Arc`s handed out by a [`Registry`]; callers cache
+//! the handle and update it with relaxed atomics — the registry's lock
+//! is only taken to register a new name or to [`Registry::snapshot`].
+//! Names are stable strings (`wal.appends`, `net.queue.wait_us`, ...);
+//! DESIGN.md §13 carries the full name registry.
+//!
+//! The histogram is the log-scale design proven in `giant-net`'s stats
+//! (four buckets per octave of microseconds, bucket-floor quantiles);
+//! that crate now wraps this one, and the bucket math here must stay
+//! byte-compatible with what its `StatsReport` always reported.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Buckets per histogram: 4 per octave × 32 octaves covers <1 µs through
+/// ~4000 s in one fixed array.
+pub const BUCKETS: usize = 128;
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-value (or high-water-mark) gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger — a high-water mark.
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One log-scale latency/duration histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index a sample of `us` microseconds lands in.
+    pub fn bucket_of(us: f64) -> usize {
+        if us <= 1.0 {
+            return 0;
+        }
+        let idx = (us.log2() * BUCKETS_PER_OCTAVE).floor() as isize;
+        idx.clamp(0, BUCKETS as isize - 1) as usize
+    }
+
+    /// Lower edge of bucket `idx` in microseconds — the conservative
+    /// (under-)estimate reported for percentiles.
+    pub fn bucket_floor_us(idx: usize) -> f64 {
+        (2f64).powf(idx as f64 / BUCKETS_PER_OCTAVE)
+    }
+
+    /// Records one sample of `us` microseconds.
+    pub fn record(&self, us: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Micros round to integers for the running sum: exact addition
+        // under concurrency (floats would race-drop precision), and 2^64
+        // µs of accumulated time is not a practical overflow.
+        self.sum_us.fetch_add(us.max(0.0).round() as u64, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded microseconds (each sample rounded to whole µs).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// The latency at quantile `q` (0..=1), or 0 when empty. Resolution
+    /// is one bucket (±~19%), which is plenty for p50/p99 curves.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_floor_us(idx);
+            }
+        }
+        Self::bucket_floor_us(BUCKETS - 1)
+    }
+
+    /// The snapshot row this histogram exposes.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum_us: self.sum_us(),
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+        }
+    }
+}
+
+/// A histogram's exposition row: count, total time, and the two
+/// percentiles every dashboard actually reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples, microseconds (per-sample rounded).
+    pub sum_us: u64,
+    /// Median, microseconds (bucket floor).
+    pub p50_us: f64,
+    /// 99th percentile, microseconds (bucket floor).
+    pub p99_us: f64,
+}
+
+/// A registered metric handle.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name → metric table. Most code uses the process-wide [`registry`];
+/// tests construct private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind —
+    /// metric names are a static contract (DESIGN.md §13), so a kind
+    /// clash is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// On a metric-kind clash, as for [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// On a metric-kind clash, as for [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name (the `BTreeMap` iteration order — deterministic given the
+    /// same set of registered names).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            rows: map
+                .iter()
+                .map(|(name, m)| MetricRow {
+                    name: name.clone(),
+                    value: match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+/// The process-wide registry every subsystem reports into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// One snapshot row: a stable name and the value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// The registered metric name.
+    pub name: String,
+    /// The value read at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A snapshot value, tagged by metric kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotone counter total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's summary row.
+    Histogram(HistogramSummary),
+}
+
+/// A consistent-enough snapshot (each row is atomically read; the set is
+/// not fenced — fine for monitoring). Rows are sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// The rows, sorted by `name`.
+    pub rows: Vec<MetricRow>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a row by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| &r.value)
+    }
+
+    /// A counter row's total, if `name` is a registered counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Merges two snapshots into one, re-sorted by name. Duplicate names
+    /// keep `self`'s row — callers namespace to avoid collisions.
+    pub fn merge(mut self, other: MetricsSnapshot) -> MetricsSnapshot {
+        for row in other.rows {
+            if self.rows.iter().all(|r| r.name != row.name) {
+                self.rows.push(row);
+            }
+        }
+        self.rows.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { rows: self.rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn buckets_are_monotone_and_clamped() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(1.0), 0);
+        let mut last = 0;
+        for us in [2.0, 10.0, 100.0, 1e4, 1e6, 1e9, 1e30] {
+            let b = Histogram::bucket_of(us);
+            assert!(b >= last, "bucket_of({us}) went backwards");
+            last = b;
+        }
+        assert!(Histogram::bucket_of(1e300) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10.0);
+        }
+        h.record(10_000.0);
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        // Bucket floors under-report by at most one bucket width (~19%).
+        assert!((8.0..=10.0).contains(&p50), "p50 = {p50}");
+        assert!((8.0..=10.0).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile_us(1.0) > 8_000.0);
+        assert_eq!(h.sum_us(), 99 * 10 + 10_000);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles_and_sorted_snapshots() {
+        let reg = Registry::new();
+        let a = reg.counter("z.last");
+        let b = reg.counter("z.last");
+        a.inc();
+        b.add(2);
+        reg.gauge("a.first").set(-7);
+        reg.histogram("m.mid").record(100.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+        assert_eq!(snap.counter("z.last"), Some(3));
+        assert_eq!(snap.get("a.first"), Some(&MetricValue::Gauge(-7)));
+        match snap.get("m.mid") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_clashes_panic() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn merge_prefers_self_and_resorts() {
+        let a = Registry::new();
+        a.counter("b.same").add(1);
+        a.counter("z.mine").add(9);
+        let b = Registry::new();
+        b.counter("b.same").add(100);
+        b.counter("a.theirs").add(5);
+        let merged = a.snapshot().merge(b.snapshot());
+        let names: Vec<&str> = merged.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["a.theirs", "b.same", "z.mine"]);
+        assert_eq!(merged.counter("b.same"), Some(1));
+    }
+
+    /// N threads hammer one counter and one histogram; totals are exact —
+    /// the ISSUE's concurrent-correctness requirement.
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("hammer.count");
+                    let h = reg.histogram("hammer.lat");
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record((t * PER_THREAD + i) as f64 % 1000.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hammer.count"), Some((THREADS * PER_THREAD) as u64));
+        match snap.get("hammer.lat") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, (THREADS * PER_THREAD) as u64);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Profiling hooks: fold span stacks into flamegraph-compatible
+//! folded-stacks text.
+//!
+//! When both [`crate::arm`] and [`set_profiling`] are on, every closing
+//! span adds its *self time* (duration minus child-span time) to the
+//! accumulator under its full `root;child;leaf` path. [`folded_stacks`]
+//! renders the classic format — one `path count` line per stack, the
+//! count in microseconds — which `flamegraph.pl` or any compatible
+//! viewer turns into a flame graph directly:
+//!
+//! ```text
+//! pipeline;mine.execute 512345
+//! pipeline;mine.plan 2345
+//! ```
+//!
+//! The accumulator is a `BTreeMap` behind a mutex: profiling is
+//! explicitly opt-in (a sampler you arm for a profiling run, not an
+//! always-on path), so a short critical section per span exit is the
+//! right trade against the complexity of a lock-free aggregator.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+fn accumulator() -> &'static Mutex<BTreeMap<String, f64>> {
+    static ACC: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+    ACC.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Switches the folded-stacks accumulator on or off. Spans only feed it
+/// while the layer is also armed ([`crate::arm`]).
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::SeqCst);
+}
+
+/// Whether profiling is currently enabled.
+pub fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Accumulates `self_secs` of self time under `path` (span-exit hook).
+pub(crate) fn record_stack(path: &str, self_secs: f64) {
+    let mut acc = accumulator().lock().expect("profile accumulator poisoned");
+    match acc.get_mut(path) {
+        Some(total) => *total += self_secs,
+        None => {
+            acc.insert(path.to_string(), self_secs);
+        }
+    }
+}
+
+/// Renders the accumulated profile as folded-stacks text: one
+/// `path self_us` line per distinct stack, sorted by path (the BTreeMap
+/// order), self time in whole microseconds.
+pub fn folded_stacks() -> String {
+    let acc = accumulator().lock().expect("profile accumulator poisoned");
+    let mut out = String::new();
+    for (path, secs) in acc.iter() {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&format!("{}", (secs * 1e6).round() as u64));
+        out.push('\n');
+    }
+    out
+}
+
+/// Empties the accumulator (bench/test isolation between runs).
+pub fn clear_profile() {
+    accumulator().lock().expect("profile accumulator poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_output_is_sorted_and_cumulative() {
+        // Drive the accumulator directly — arming the span layer here
+        // would race the span-module tests over the global flag.
+        clear_profile();
+        set_profiling(true);
+        record_stack("b.root;b.leaf", 0.002);
+        record_stack("a.root", 0.001);
+        record_stack("b.root;b.leaf", 0.003);
+        let text = folded_stacks();
+        set_profiling(false);
+        clear_profile();
+        assert_eq!(text, "a.root 1000\nb.root;b.leaf 5000\n");
+    }
+}

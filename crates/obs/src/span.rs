@@ -1,0 +1,245 @@
+//! Structured spans: scoped timers with per-thread parent/child nesting
+//! and a bounded ring of recent spans.
+//!
+//! A [`span`] guard *always* measures — [`SpanGuard::finish_secs`] is
+//! how subsystems feed their pre-existing public timing fields
+//! (`GiantOutput.timings`, `IngestReport.wal_secs`, ...), so the compat
+//! accessors and the observability layer read the same clock by
+//! construction. What arming adds, on span **exit** only:
+//!
+//! * a [`SpanRecord`] in the global ring (most recent [`RING_CAP`]
+//!   spans, for post-hoc inspection);
+//! * one sample in the registry histogram `span.<name>`;
+//! * when profiling is also enabled, the span's *self time* (duration
+//!   minus time attributed to child spans) accumulated under its full
+//!   `parent;child` stack path — the folded-stacks format.
+//!
+//! Nesting is tracked per thread in a thread-local stack, so guards
+//! must be dropped in LIFO order on the thread that created them (the
+//! guard is `!Send` to make cross-thread misuse impossible, and scope
+//! guards are LIFO by construction).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::registry;
+use crate::profile;
+
+/// Capacity of the recent-span ring.
+pub const RING_CAP: usize = 512;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn ensure_env_init() {
+    ENV_INIT.call_once(|| {
+        if std::env::var("GIANT_OBS").map(|v| v == "1" || v == "true").unwrap_or(false) {
+            ARMED.store(true, Ordering::SeqCst);
+        }
+    });
+}
+
+/// Switches span recording (ring, per-span histograms, profiler feed)
+/// on or off process-wide. Counters and gauges are always live.
+pub fn arm(on: bool) {
+    ensure_env_init();
+    ARMED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the observability layer is armed (via [`arm`] or the
+/// `GIANT_OBS=1` environment variable, read once at first use).
+pub fn armed() -> bool {
+    ensure_env_init();
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// One completed span, as kept in the recent-span ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The full stack path, `root;child;leaf` — folded-stacks syntax.
+    pub path: String,
+    /// The leaf span's own name.
+    pub name: &'static str,
+    /// Nesting depth on its thread (0 = root).
+    pub depth: u32,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: f64,
+    /// Duration minus time spent in child spans, microseconds.
+    pub self_us: f64,
+}
+
+struct Frame {
+    name: &'static str,
+    child_secs: f64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+fn ring() -> &'static Mutex<VecDeque<SpanRecord>> {
+    static RING: OnceLock<Mutex<VecDeque<SpanRecord>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RING_CAP)))
+}
+
+/// Opens a span named `name` on the current thread. Drop the guard (or
+/// call [`SpanGuard::finish_secs`]) to close it.
+pub fn span(name: &'static str) -> SpanGuard {
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            name,
+            child_secs: 0.0,
+        })
+    });
+    SpanGuard {
+        start: Instant::now(),
+        open: true,
+        _not_send: PhantomData,
+    }
+}
+
+/// An open span; closing it records the measurement.
+#[must_use = "dropping immediately times nothing"]
+pub struct SpanGuard {
+    start: Instant,
+    open: bool,
+    // Nesting lives in a thread-local stack: moving the guard to another
+    // thread would pop someone else's frame.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Closes the span and returns its duration in seconds — the value
+    /// to feed any pre-existing public timing field, so compat and obs
+    /// share one clock.
+    pub fn finish_secs(mut self) -> f64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> f64 {
+        self.open = false;
+        let dur_secs = self.start.elapsed().as_secs_f64();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let frame = stack.pop().expect("span stack underflow: guards must close LIFO");
+            if let Some(parent) = stack.last_mut() {
+                parent.child_secs += dur_secs;
+            }
+            if armed() {
+                let self_secs = (dur_secs - frame.child_secs).max(0.0);
+                let depth = stack.len() as u32;
+                let mut path = String::with_capacity(16 * (depth as usize + 1));
+                for f in stack.iter() {
+                    path.push_str(f.name);
+                    path.push(';');
+                }
+                path.push_str(frame.name);
+                let record = SpanRecord {
+                    path,
+                    name: frame.name,
+                    depth,
+                    dur_us: dur_secs * 1e6,
+                    self_us: self_secs * 1e6,
+                };
+                if profile::profiling() {
+                    profile::record_stack(&record.path, self_secs);
+                }
+                registry()
+                    .histogram(&format!("span.{}", frame.name))
+                    .record(record.dur_us);
+                let mut ring = ring().lock().expect("span ring poisoned");
+                if ring.len() == RING_CAP {
+                    ring.pop_front();
+                }
+                ring.push_back(record);
+            }
+        });
+        dur_secs
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.open {
+            self.close();
+        }
+    }
+}
+
+/// The recent-span ring's contents, oldest first. Empty when disarmed.
+pub fn recent_spans() -> Vec<SpanRecord> {
+    ring().lock().expect("span ring poisoned").iter().cloned().collect()
+}
+
+/// Empties the recent-span ring (tests and bench isolation).
+pub fn clear_recent_spans() {
+    ring().lock().expect("span ring poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises the armed-state tests: arming is process-global, and
+    /// the harness runs tests concurrently.
+    fn armed_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().expect("armed lock")
+    }
+
+    #[test]
+    fn disarmed_spans_time_but_record_nothing() {
+        let _g = armed_lock();
+        arm(false);
+        clear_recent_spans();
+        let g = span("test.quiet");
+        let secs = g.finish_secs();
+        assert!(secs >= 0.0);
+        assert!(recent_spans().is_empty());
+    }
+
+    #[test]
+    fn armed_spans_nest_and_attribute_self_time() {
+        let _g = armed_lock();
+        arm(true);
+        clear_recent_spans();
+        {
+            let _root = span("test.root");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _child = span("test.child");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let spans = recent_spans();
+        arm(false);
+        // Children close first: ring order is child, then root.
+        let child = spans.iter().find(|s| s.name == "test.child").expect("child span");
+        let root = spans.iter().find(|s| s.name == "test.root").expect("root span");
+        assert_eq!(child.path, "test.root;test.child");
+        assert_eq!(child.depth, 1);
+        assert_eq!(root.path, "test.root");
+        assert_eq!(root.depth, 0);
+        assert!(root.dur_us >= child.dur_us);
+        // Root self time excludes the child's 2ms sleep.
+        assert!(root.self_us <= root.dur_us - child.dur_us + 1.0);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _g = armed_lock();
+        arm(true);
+        clear_recent_spans();
+        for _ in 0..RING_CAP + 10 {
+            span("test.flood").finish_secs();
+        }
+        let n = recent_spans().iter().filter(|s| s.name == "test.flood").count();
+        arm(false);
+        assert!(n <= RING_CAP);
+        assert!(n >= RING_CAP - 32, "ring kept only {n} of {RING_CAP}");
+    }
+}

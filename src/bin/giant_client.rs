@@ -12,6 +12,8 @@
 //!   --tag "TITLE" [--sentence S]...      document tagging
 //!   --story NODE_ID                      story tree around a seed event
 //!   --stats                              server latency/queue/shed stats
+//!   --metrics                            unified giant-obs metrics report
+//!                                        (net.* + wal.* + ingest.* + span.*)
 //! ```
 
 use giant::apps::serving::ServeRequest;
@@ -45,10 +47,12 @@ fn main() {
         })
     } else if argv.iter().any(|a| a == "--stats") {
         Request::Stats
+    } else if argv.iter().any(|a| a == "--metrics") {
+        Request::Metrics
     } else {
         eprintln!(
             "usage: giant-client [--addr HOST:PORT] \
-             (--conceptualize Q | --recommend Q | --tag TITLE [--sentence S]... | --story ID | --stats)"
+             (--conceptualize Q | --recommend Q | --tag TITLE [--sentence S]... | --story ID | --stats | --metrics)"
         );
         std::process::exit(2);
     };
@@ -81,6 +85,9 @@ fn main() {
                     row.kind, row.count, row.p50_us, row.p99_us
                 );
             }
+        }
+        Reply::Metrics(snapshot) => {
+            print!("{}", giant::obs::render_text(&snapshot));
         }
         Reply::Bad { reason } => {
             println!("protocol error: {reason}");

@@ -25,12 +25,22 @@
 //! * `--allow-export` — admit `ExportSubgraph` requests (schema-checked
 //!   JSON dumps of the served ontology; off by default because a full
 //!   export is far heavier than any other request)
+//! * `--metrics-file PATH` — on SIGTERM/SIGINT, write the unified
+//!   `giant-obs` metrics report (text exposition) to PATH before exiting
+//!   (the same rows `giant-client --metrics` fetches live)
+//! * `--profile PATH` — enable the `giant-obs` span profiler and write
+//!   flamegraph-compatible folded stacks to PATH on SIGTERM/SIGINT
+//!
+//! The server arms `giant-obs` span recording unconditionally — the
+//! <2% overhead budget is asserted by `obs_overhead` — so `--metrics`
+//! reports include span histograms without any env setup.
 
 use giant::adapter::{build_serving, GiantSetup, ModelTrainConfig};
 use giant::apps::serving::OntologyService;
 use giant::data::WorldConfig;
 use giant::net::{Server, ServerConfig};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,7 +49,31 @@ struct Args {
     checkpoint: Option<PathBuf>,
     world: String,
     seed: u64,
+    metrics_file: Option<PathBuf>,
+    profile: Option<PathBuf>,
     config: ServerConfig,
+}
+
+/// Set by the signal handler; polled by the main loop. Signal-safe: the
+/// handler only stores a relaxed atomic flag, all real work (file writes)
+/// happens back on the main thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs `on_signal` for SIGTERM (15) and SIGINT (2) via the libc
+/// `signal(2)` symbol — declared directly so the binary stays free of
+/// extra crates.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_signal as *const () as usize); // SIGTERM
+        signal(2, on_signal as *const () as usize); // SIGINT
+    }
 }
 
 fn parse_args() -> Args {
@@ -55,6 +89,8 @@ fn parse_args() -> Args {
         checkpoint: get("--checkpoint").map(PathBuf::from),
         world: get("--world").unwrap_or_else(|| "tiny".into()),
         seed: get("--seed").map_or(42, |s| s.parse().expect("--seed u64")),
+        metrics_file: get("--metrics-file").map(PathBuf::from),
+        profile: get("--profile").map(PathBuf::from),
         config: ServerConfig {
             workers: get("--workers").map_or(defaults.workers, |s| s.parse().expect("--workers usize")),
             exec_threads: get("--exec-threads")
@@ -119,14 +155,37 @@ fn load_service(args: &Args) -> OntologyService {
 
 fn main() {
     let args = parse_args();
+    // Span recording on from the start: the cold-start pipeline run below
+    // then shows up in `span.*` histograms and the profiler output.
+    giant::obs::arm(true);
+    if args.profile.is_some() {
+        giant::obs::set_profiling(true);
+    }
+    // Register the WAL counters up front so `--metrics` reports always
+    // carry the `wal.*` rows (zeroed until durable ingestion runs) —
+    // otherwise they'd only appear after the first WAL touch.
+    giant::incr::wal_metrics();
+    install_signal_handlers();
     let svc = Arc::new(load_service(&args));
     let server = Server::start(Arc::clone(&svc), &args.addr, args.config.clone())
         .unwrap_or_else(|e| panic!("bind {}: {e}", args.addr));
     // Machine-parseable startup lines (the quickstart and tests read these).
     println!("LISTENING {}", server.local_addr());
     println!("VERSION {}", svc.version());
-    // Serve until killed; all work happens on the server's threads.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    // Serve until signalled; all work happens on the server's threads.
+    while !SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    eprintln!("[giant-server] shutting down");
+    if let Some(path) = &args.metrics_file {
+        let report = giant::obs::render_text(&server.metrics_report());
+        std::fs::write(path, report)
+            .unwrap_or_else(|e| eprintln!("[giant-server] metrics dump {}: {e}", path.display()));
+        eprintln!("[giant-server] metrics written to {}", path.display());
+    }
+    if let Some(path) = &args.profile {
+        std::fs::write(path, giant::obs::folded_stacks())
+            .unwrap_or_else(|e| eprintln!("[giant-server] profile dump {}: {e}", path.display()));
+        eprintln!("[giant-server] folded stacks written to {}", path.display());
     }
 }

@@ -168,6 +168,19 @@ fn main() {
             report.replayed,
             report.truncation.is_some()
         );
+        // Fresh process, so absolute counter reads are exact: the obs
+        // counters must agree with the restore report — every folded
+        // replay was counted, and the WAL decoded at least that many.
+        let snap = giant::obs::registry().snapshot();
+        assert_eq!(
+            snap.counter("ingest.replayed").unwrap_or(0),
+            report.replayed as u64,
+            "ingest.replayed metric tracks RestoreReport.replayed"
+        );
+        assert!(
+            snap.counter("wal.replayed").unwrap_or(0) >= report.replayed as u64,
+            "wal.replayed counts every decoded entry, folded or skipped"
+        );
         // folds counts the bootstrap batch too, so it doubles as the
         // index of the next batch to ingest.
         let from = driver.state().folds() as usize;
@@ -191,5 +204,18 @@ fn main() {
     };
 
     std::fs::write(&args.emit, fingerprint(&driver)).expect("write fingerprint");
+    // The WAL counters of this whole process, for the parent harness to
+    // compare against its fault-injection ground truth (fresh process →
+    // absolute values are exact).
+    let snap = giant::obs::registry().snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    println!(
+        "WALMETRICS appends={} syncs={} rotations={} replayed={} truncations={}",
+        c("wal.appends"),
+        c("wal.syncs"),
+        c("wal.rotations"),
+        c("wal.replayed"),
+        c("wal.truncations")
+    );
     println!("DONE");
 }

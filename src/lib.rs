@@ -25,6 +25,7 @@
 //! | [`incr`] | incremental ontology maintenance: delta batches, dirty-cluster re-mining, ontology deltas |
 //! | [`net`] | network front door: checksummed binary wire protocol, request-coalescing server, bounded admission, latency stats |
 //! | [`schema`] | typed schema layer: object/link types, validation, JSON interchange |
+//! | [`obs`] | unified observability: metrics registry, structured spans, profiling hooks, text/JSON exposition |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@ pub use giant_graph as graph;
 pub use giant_incr as incr;
 pub use giant_net as net;
 pub use giant_nn as nn;
+pub use giant_obs as obs;
 pub use giant_ontology as ontology;
 pub use giant_schema as schema;
 pub use giant_text as text;

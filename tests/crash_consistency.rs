@@ -300,6 +300,82 @@ fn corrupt_wal_suffix_is_dropped_reported_and_reconverges() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Extracts the child's `WALMETRICS ...` line.
+fn wal_metrics_line(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("WALMETRICS "))
+        .unwrap_or_else(|| panic!("child printed no WALMETRICS line:\n{stdout}"))
+}
+
+/// The `wal.*` obs counters against the harness's own ground truth, on a
+/// clean durable run: 5 batches = bootstrap + 4 ingests, so 4 appends,
+/// 4 strict fsyncs, and a rotation every 2 folds; nothing replayed or
+/// truncated (`Wal::create`, never reopened).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "child-process fault injection; run in release")]
+fn wal_metrics_match_the_clean_run_ground_truth() {
+    let dir = trial_dir("metrics-clean");
+    let out = run_child(
+        &dir.join("durable"),
+        &dir.join("fp.txt"),
+        "strict",
+        5,
+        1,
+        2,
+        &[],
+        None,
+    );
+    assert!(out.success, "durable run failed:\n{}", out.stdout);
+    assert_eq!(
+        wal_metrics_line(&out.stdout),
+        "WALMETRICS appends=4 syncs=4 rotations=2 replayed=0 truncations=0"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The same counters across a genuine torn-frame crash: the crashed run
+/// dies mid-append of its second entry, so the resume's `Wal::recover`
+/// decodes 1 entry, truncates the torn tail, replays the entry, rotates
+/// (post-replay checkpoint), then ingests the two remaining batches.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "child-process fault injection; run in release")]
+fn wal_metrics_match_the_crash_resume_ground_truth() {
+    let dir = trial_dir("metrics-crash");
+    let durable = dir.join("durable");
+    // checkpoint_every=99: no rotation before the crash, so the resume
+    // sees exactly what the appends left behind.
+    let out = run_child(
+        &durable,
+        &dir.join("crashed.txt"),
+        "strict",
+        4,
+        1,
+        99,
+        &[],
+        Some("wal.append.mid:2"),
+    );
+    assert!(!out.success, "armed crash point must abort the child");
+    let resume = run_child(
+        &durable,
+        &dir.join("resumed.txt"),
+        "strict",
+        4,
+        1,
+        99,
+        &["--resume"],
+        None,
+    );
+    assert!(resume.success, "resume failed:\n{}", resume.stdout);
+    assert_eq!(
+        wal_metrics_line(&resume.stdout),
+        "WALMETRICS appends=2 syncs=2 rotations=1 replayed=1 truncations=1"
+    );
+    let recovered = std::fs::read_to_string(dir.join("resumed.txt")).expect("fingerprint");
+    assert_eq!(recovered, reference(4, 1), "metrics trial still converges");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
