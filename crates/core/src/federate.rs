@@ -1,0 +1,321 @@
+//! Aligning and merging per-shard ontologies into one (the federate stage
+//! of the sharded pipeline, DESIGN.md §14).
+//!
+//! Following the instance/schema split of Suchanek-style ontology
+//! alignment (PAPERS.md), the stage runs two passes:
+//!
+//! * **`federate.align`** — establish, per shard, a total map from shard
+//!   node ids to merged node ids:
+//!   - *schema anchors*: category nodes map by category id (every shard
+//!     registered the identical tree), entity nodes map by surface
+//!     (dictionary entities are shared; entities discovered inside a shard
+//!     are matched to same-surface nodes from earlier shards or created);
+//!   - *instance matching*: every shard's mined Concepts and Events are
+//!     re-run through the global [`Normalizer`] machinery — exact-surface
+//!     buckets plus TF-IDF context cosine at the same `δ_m` the per-shard
+//!     merge used — so near-duplicate attentions mined on different sides
+//!     of a boundary collapse into one merged group, accumulating support
+//!     and variants exactly like a single-shard merge would;
+//!   - *schema-level reconciliation*: derived Topics and the CSD-derived
+//!     parent concepts (nodes that exist in a shard's ontology but not in
+//!     its `mined` list) are deduplicated by `(kind, surface)` across
+//!     shards, summing support — the duplicated-near-boundary concepts the
+//!     tentpole calls out.
+//! * **`federate.merge`** — replay every shard's aliases and edges through
+//!   the maps into the merged ontology: first registration wins for
+//!   aliases, first shard wins for duplicate edges, and the merged
+//!   ontology's own cycle guard arbitrates isA conflicts (rejections are
+//!   counted, never panic).
+//!
+//! Everything iterates in (shard id, node id / mined order) — both
+//! creation orders — so the merged output is a pure function of the
+//! per-shard outputs, which are themselves deterministic: the whole
+//! sharded build is byte-stable for any `(threads, scheduling)`.
+
+use crate::cache::TextCache;
+use crate::config::GiantConfig;
+use crate::normalize::Normalizer;
+use crate::pipeline::{
+    register_categories, register_entities, GiantOutput, MinedAttention, PipelineInput,
+    StageTimings,
+};
+use giant_graph::shard::ShardPlan;
+use giant_ontology::{AliasOutcome, EdgeKind, NodeId, NodeKind, Ontology};
+use std::collections::HashMap;
+
+/// Per-merged-group metadata accumulated during alignment.
+#[derive(Default)]
+struct FedMeta {
+    queries: Vec<String>,
+    titles: Vec<String>,
+    docs: Vec<usize>,
+    day: Option<u32>,
+    trigger: Option<String>,
+    entities: Vec<NodeId>,
+    location: Option<Vec<String>>,
+    creator_shard: usize,
+    /// `(shard, shard-local node)` contributors, for the node maps.
+    sources: Vec<(usize, NodeId)>,
+}
+
+/// Aligns `shard_outs` and merges them into one [`GiantOutput`] over the
+/// *global* input. `text` supplies the global title TF-IDF the instance
+/// matcher scores contexts against.
+pub(crate) fn federate(
+    input: &PipelineInput,
+    cfg: &GiantConfig,
+    text: &TextCache,
+    plan: &ShardPlan,
+    shard_outs: Vec<GiantOutput>,
+    timings: &mut StageTimings,
+) -> GiantOutput {
+    let align_span = giant_obs::span("federate.align");
+    let mut out = GiantOutput {
+        ontology: Ontology::new(),
+        mined: Vec::new(),
+        category_nodes: HashMap::new(),
+        entity_nodes: HashMap::new(),
+        rejected_edges: 0,
+        alias_conflicts: 0,
+        timings: StageTimings::default(),
+        cache_stats: Default::default(),
+    };
+    register_categories(input, &mut out);
+    register_entities(input, &mut out);
+
+    let mut node_maps: Vec<HashMap<NodeId, NodeId>> =
+        shard_outs.iter().map(|_| HashMap::new()).collect();
+
+    // --- schema anchors: categories by id, entities by surface ----------
+    for (si, so) in shard_outs.iter().enumerate() {
+        let mut cats: Vec<(usize, NodeId)> =
+            so.category_nodes.iter().map(|(&c, &n)| (c, n)).collect();
+        cats.sort_unstable();
+        for (cat, snode) in cats {
+            node_maps[si].insert(snode, out.category_nodes[&cat]);
+        }
+        // Shard entity nodes in creation (node id) order: dictionary
+        // entities resolve to the merged dictionary nodes; entities the
+        // shard discovered mid-pipeline match earlier shards by surface or
+        // create a merged node.
+        let mut ents: Vec<(NodeId, &String)> =
+            so.entity_nodes.iter().map(|(s, &n)| (n, s)).collect();
+        ents.sort_unstable_by_key(|&(n, _)| n);
+        for (snode, surface) in ents {
+            let mnode = match out.entity_nodes.get(surface) {
+                Some(&m) => m,
+                None => {
+                    let n = so.ontology.node(snode);
+                    let m = out
+                        .ontology
+                        .add_node(NodeKind::Entity, n.phrase.clone(), n.support);
+                    out.entity_nodes.insert(surface.clone(), m);
+                    m
+                }
+            };
+            node_maps[si].insert(snode, mnode);
+        }
+    }
+
+    // --- instance matching: mined Concepts/Events through Normalizers ---
+    let stopwords = &input.annotator.stopwords;
+    let mut concept_norm = Normalizer::new(&text.tfidf, stopwords.clone(), cfg.delta_m);
+    let mut event_norm = Normalizer::new(&text.tfidf, stopwords.clone(), cfg.delta_m);
+    let mut concept_meta: Vec<FedMeta> = Vec::new();
+    let mut event_meta: Vec<FedMeta> = Vec::new();
+    let mut topics: Vec<(usize, &MinedAttention)> = Vec::new();
+    let mut cross_shard_merges = 0u64;
+    for (si, so) in shard_outs.iter().enumerate() {
+        for m in &so.mined {
+            let (norm, meta) = match m.kind {
+                NodeKind::Concept => (&mut concept_norm, &mut concept_meta),
+                NodeKind::Event => (&mut event_norm, &mut event_meta),
+                _ => {
+                    topics.push((si, m));
+                    continue;
+                }
+            };
+            let context = norm.context_repr(&m.tokens, &m.top_titles);
+            let gi = norm.merge_or_insert_with_context(m.tokens.clone(), context, m.support);
+            if gi == meta.len() {
+                meta.push(FedMeta {
+                    creator_shard: si,
+                    ..FedMeta::default()
+                });
+            } else if meta[gi].creator_shard != si {
+                cross_shard_merges += 1;
+            }
+            let fm = &mut meta[gi];
+            fm.queries.extend(m.source_queries.iter().cloned());
+            fm.titles = m.top_titles.clone();
+            fm.docs.extend(
+                m.clicked_docs
+                    .iter()
+                    .map(|&ld| plan.shards[si].doc_map[ld] as usize),
+            );
+            fm.day = match (fm.day, m.day) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            if fm.trigger.is_none() {
+                fm.trigger = m.trigger.clone();
+            }
+            if fm.location.is_none() {
+                fm.location = m.location.clone();
+            }
+            for e in &m.entities {
+                let me = node_maps[si][e];
+                if !fm.entities.contains(&me) {
+                    fm.entities.push(me);
+                }
+            }
+            fm.sources.push((si, m.node));
+        }
+    }
+
+    // Materialise merged groups: concepts first, then events — the same
+    // order the single-shard merge uses.
+    for (norm, meta, kind) in [
+        (concept_norm, concept_meta, NodeKind::Concept),
+        (event_norm, event_meta, NodeKind::Event),
+    ] {
+        for (g, fm) in norm.into_groups().into_iter().zip(meta) {
+            let phrase = giant_ontology::Phrase::new(g.tokens.iter().cloned());
+            let node = if kind == NodeKind::Event {
+                out.ontology
+                    .add_event(phrase, g.support, fm.day.unwrap_or(0))
+            } else {
+                out.ontology.add_node(kind, phrase, g.support)
+            };
+            for v in &g.variants {
+                if let AliasOutcome::Conflict { .. } = out
+                    .ontology
+                    .add_alias(node, giant_ontology::Phrase::new(v.iter().cloned()))
+                {
+                    out.alias_conflicts += 1;
+                }
+            }
+            for &(si, snode) in &fm.sources {
+                node_maps[si].insert(snode, node);
+            }
+            out.mined.push(MinedAttention {
+                node,
+                kind,
+                tokens: g.tokens,
+                trigger: fm.trigger,
+                entities: fm.entities,
+                location: fm.location,
+                day: fm.day,
+                support: g.support,
+                source_queries: fm.queries,
+                top_titles: fm.titles,
+                clicked_docs: fm.docs,
+            });
+        }
+    }
+
+    // --- schema-level reconciliation: topics by exact surface ------------
+    let mut topic_by_surface: HashMap<String, (NodeId, usize)> = HashMap::new();
+    for (si, m) in topics {
+        let surface = m.tokens.join(" ");
+        match topic_by_surface.get(&surface) {
+            Some(&(node, mi)) => {
+                out.ontology.node_mut(node).support += m.support;
+                out.mined[mi].support += m.support;
+                node_maps[si].insert(m.node, node);
+                cross_shard_merges += 1;
+            }
+            None => {
+                let node = out.ontology.add_node(
+                    NodeKind::Topic,
+                    giant_ontology::Phrase::new(m.tokens.iter().cloned()),
+                    m.support,
+                );
+                topic_by_surface.insert(surface, (node, out.mined.len()));
+                node_maps[si].insert(m.node, node);
+                out.mined.push(MinedAttention {
+                    node,
+                    ..m.clone()
+                });
+            }
+        }
+    }
+
+    // --- schema-level reconciliation: leftover nodes by (kind, surface) --
+    // Nodes a shard's ontology holds without a `mined` record — CSD-derived
+    // parent concepts, chiefly. The same parent discovered on both sides of
+    // a boundary is one merged node with summed support.
+    let mut leftover: HashMap<(usize, String), NodeId> = HashMap::new();
+    for (si, so) in shard_outs.iter().enumerate() {
+        for n in so.ontology.nodes() {
+            if node_maps[si].contains_key(&n.id) {
+                continue;
+            }
+            let key = (n.kind.index(), n.phrase.tokens.join(" "));
+            let mnode = match leftover.get(&key) {
+                Some(&m) => {
+                    out.ontology.node_mut(m).support += n.support;
+                    cross_shard_merges += 1;
+                    m
+                }
+                None => {
+                    let m = if n.kind == NodeKind::Event {
+                        out.ontology
+                            .add_event(n.phrase.clone(), n.support, n.time.unwrap_or(0))
+                    } else {
+                        out.ontology.add_node(n.kind, n.phrase.clone(), n.support)
+                    };
+                    leftover.insert(key, m);
+                    m
+                }
+            };
+            node_maps[si].insert(n.id, mnode);
+        }
+    }
+    giant_obs::registry()
+        .counter("federate.merged_concepts")
+        .add(cross_shard_merges);
+    timings.record("federate.align", align_span.finish_secs());
+
+    // --- merge: replay aliases and edges through the maps ----------------
+    let merge_span = giant_obs::span("federate.merge");
+    for (si, so) in shard_outs.iter().enumerate() {
+        for n in so.ontology.nodes() {
+            let mnode = node_maps[si][&n.id];
+            for a in &n.aliases {
+                if let AliasOutcome::Conflict { .. } = out.ontology.add_alias(mnode, a.clone()) {
+                    out.alias_conflicts += 1;
+                }
+            }
+        }
+        for (src, dst, ek, w) in so.ontology.edges_iter() {
+            let (ms, md) = (node_maps[si][&src], node_maps[si][&dst]);
+            if ms == md || out.ontology.has_edge(ms, md, ek) {
+                continue;
+            }
+            let r = match ek {
+                EdgeKind::IsA => out.ontology.add_is_a(ms, md, w),
+                EdgeKind::Involve => out.ontology.add_involve(ms, md, w),
+                EdgeKind::Correlate => out.ontology.add_correlate(ms, md, w),
+            };
+            if r.is_err() {
+                out.rejected_edges += 1;
+            }
+        }
+    }
+    timings.record("federate.merge", merge_span.finish_secs());
+
+    // Aggregate per-shard diagnostics into the federated output.
+    for so in &shard_outs {
+        out.rejected_edges += so.rejected_edges;
+        out.alias_conflicts += so.alias_conflicts;
+        out.cache_stats.plan_reused += so.cache_stats.plan_reused;
+        out.cache_stats.plan_walked += so.cache_stats.plan_walked;
+        out.cache_stats.clusters_reused += so.cache_stats.clusters_reused;
+        out.cache_stats.clusters_mined += so.cache_stats.clusters_mined;
+        for &(stage, secs) in so.timings.entries() {
+            timings.record(stage, secs);
+        }
+    }
+    out
+}

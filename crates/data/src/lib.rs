@@ -14,15 +14,19 @@
 //! * [`corpus`] — document generation ([`Corpus`]).
 //! * [`clicks`] — queries, click records, session streams ([`ClickLog`]).
 //! * [`datasets`] — CMD/EMD analogues with 80/10/10 splits.
+//! * [`scale`] — tile-based scaled generation: N independent worlds from
+//!   derived seeds, streamed one at a time for bounded memory.
 
 pub mod clicks;
 pub mod corpus;
 pub mod datasets;
 pub mod domain;
 pub mod names;
+pub mod scale;
 pub mod world;
 
 pub use clicks::{generate_clicks, ClickConfig, ClickLog, ClickRecord, Intent};
+pub use scale::{tile_config, tile_seed, tile_worlds};
 pub use corpus::{generate_corpus, Corpus, CorpusConfig, DocSource, SynthDoc};
 pub use datasets::{concept_mining_dataset, event_mining_dataset, MiningDataset, MiningExample};
 pub use domain::{DomainSpec, EntityFlavor, DOMAINS};

@@ -506,6 +506,14 @@ impl World {
     /// Builds the POS lexicon covering the whole world vocabulary.
     pub fn lexicon(&self) -> Lexicon {
         let mut lx = Lexicon::with_closed_class();
+        self.extend_lexicon(&mut lx);
+        lx
+    }
+
+    /// Inserts this world's vocabulary into an existing lexicon — the
+    /// building block multi-tile (scaled) generation uses to give all
+    /// tiles one shared annotator without holding every tile in memory.
+    pub fn extend_lexicon(&self, lx: &mut Lexicon) {
         for d in &self.domains {
             for h in d.heads {
                 for t in h.split(' ') {
@@ -546,19 +554,24 @@ impl World {
         for w in crate::domain::DECORATION_NOUNS {
             lx.insert(w, PosTag::Noun);
         }
-        lx
     }
 
     /// Builds the NER gazetteer (entities + locations).
     pub fn gazetteer(&self) -> Gazetteer {
         let mut g = Gazetteer::new();
+        self.extend_gazetteer(&mut g);
+        g
+    }
+
+    /// Inserts this world's entities and locations into an existing
+    /// gazetteer (the multi-tile counterpart of [`World::gazetteer`]).
+    pub fn extend_gazetteer(&self, g: &mut Gazetteer) {
         for e in &self.entities {
             g.insert(&e.tokens.join(" "), e.ner);
         }
         for l in &self.locations {
             g.insert(&l.join(" "), NerTag::Location);
         }
-        g
     }
 
     /// The stop-word list used throughout.

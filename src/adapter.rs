@@ -184,6 +184,74 @@ impl GiantSetup {
         )
     }
 
+    /// The raw stream of a **scaled** world: `tiles` independently
+    /// generated tile worlds (derived seeds — `giant_data::scale`),
+    /// concatenated into one corpus with category- and doc-id offsets and
+    /// one merged annotator. Tiles are generated one at a time and dropped
+    /// after conversion, so peak memory is one tile plus the flat records —
+    /// the path the shard-throughput bench uses to grow the corpus ~2
+    /// orders of magnitude past a single world's template capacity.
+    ///
+    /// Each tile owns its own level-1 category roots, so the sharded
+    /// pipeline's document-led partition aligns shards with tile groups,
+    /// while repeated concept surfaces across tiles (the domain templates
+    /// repeat) keep genuine cross-shard queries in the click graph.
+    pub fn scaled_corpus_stream(
+        base: WorldConfig,
+        clicks: &ClickConfig,
+        tiles: usize,
+    ) -> CorpusStream {
+        let mut categories: Vec<CategoryRecord> = Vec::new();
+        let mut docs: Vec<DocRecord> = Vec::new();
+        let mut click_events: Vec<ClickEvent> = Vec::new();
+        let mut sessions: Vec<Vec<String>> = Vec::new();
+        let mut entities: Vec<(Vec<String>, giant_text::NerTag)> = Vec::new();
+        let mut lexicon = giant_text::Lexicon::with_closed_class();
+        let mut gazetteer = giant_text::Gazetteer::new();
+        for world in giant_data::tile_worlds(base, tiles.max(1)) {
+            let corpus = generate_corpus(&world, &CorpusConfig::default());
+            let log = generate_clicks(&world, &corpus, clicks);
+            let cat_off = categories.len();
+            let doc_off = docs.len();
+            categories.extend(world.categories.iter().map(|c| CategoryRecord {
+                id: cat_off + c.id,
+                tokens: c.tokens.clone(),
+                level: c.level,
+                parent: c.parent.map(|p| p + cat_off),
+            }));
+            docs.extend(corpus.docs.iter().map(|d| DocRecord {
+                id: doc_off + d.id,
+                title: d.title.clone(),
+                sentences: d.sentences.clone(),
+                leaf_category: d.leaf_category + cat_off,
+                day: d.day,
+            }));
+            click_events.extend(log.records.iter().map(|r| ClickEvent {
+                query: r.query.clone(),
+                doc: r.doc + doc_off,
+                count: r.count,
+            }));
+            sessions.extend(log.sessions.iter().cloned());
+            entities.extend(world.entities.iter().map(|e| (e.tokens.clone(), e.ner)));
+            world.extend_lexicon(&mut lexicon);
+            world.extend_gazetteer(&mut gazetteer);
+            // `world`, `corpus`, `log` drop here — one tile in memory at a
+            // time.
+        }
+        CorpusStream {
+            categories,
+            annotator: giant_text::Annotator::new(
+                lexicon,
+                gazetteer,
+                giant_text::StopWords::standard(),
+            ),
+            docs,
+            clicks: click_events,
+            sessions,
+            entities,
+        }
+    }
+
     /// Trains the phrase + role models on the CMD/EMD train splits.
     /// Returns the models and the pair of final-epoch losses.
     pub fn train_models(&self, cfg: &ModelTrainConfig) -> (GiantModels, (f64, f64)) {

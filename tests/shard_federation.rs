@@ -1,0 +1,305 @@
+//! The sharded-build contract (`GiantConfig::shards`, DESIGN.md §14):
+//!
+//! * **K = 1 is the identity**: an explicit single-shard config runs the
+//!   classic pipeline path and reproduces the committed golden byte for
+//!   byte — sharding at K=1 is structurally not a behaviour change.
+//! * **K > 1 is deterministic**: for a fixed K the federated ontology is
+//!   byte-identical across runs and across worker counts (the shared
+//!   worker budget reshapes scheduling only).
+//! * **Cached ≡ uncached**: a sharded `run_pipeline_cached` — cold or
+//!   warm — produces the same bytes as the uncached sharded run, and
+//!   populates one cache slot per shard.
+//! * **Serving equivalence at any K**: the read-optimized snapshot of a
+//!   federated ontology answers exactly like the legacy linear scans over
+//!   the mutable store (the same invariant `serving_equivalence` pins for
+//!   K=1).
+//! * **Incremental convergence at K > 1**: folding a split stream under
+//!   `shards = 2` — including through a full binary checkpoint
+//!   restart — converges byte-identically to the sharded full rebuild.
+
+use giant::adapter::{GiantSetup, ModelTrainConfig};
+use giant::data::WorldConfig;
+use giant::incr::{union_input, Checkpoint, IncrementalState};
+use giant::mining::{GiantConfig, GiantModels, PipelineCaches};
+use giant::ontology::binio::SectionFile;
+use giant::ontology::{NodeId, NodeKind, Ontology, OntologySnapshot};
+use std::sync::OnceLock;
+
+mod common;
+
+/// World + trained models, built once per test binary (training dominates
+/// the suite's wall-clock; every test reruns only the pipeline).
+fn harness() -> &'static (GiantSetup, GiantModels) {
+    static H: OnceLock<(GiantSetup, GiantModels)> = OnceLock::new();
+    H.get_or_init(|| {
+        let setup = GiantSetup::generate(WorldConfig::tiny());
+        let (models, _) = setup.train_models(&ModelTrainConfig::small());
+        (setup, models)
+    })
+}
+
+fn dump_at(shards: usize, threads: usize) -> String {
+    let (setup, models) = harness();
+    let cfg = GiantConfig {
+        shards,
+        threads,
+        ..GiantConfig::default()
+    };
+    giant::ontology::io::dump(&setup.run_pipeline(models, &cfg).ontology)
+}
+
+/// An explicit `shards: 1` (and the degenerate `shards: 0`) must travel
+/// the classic code path and reproduce the committed golden exactly.
+#[test]
+fn explicit_single_shard_reproduces_the_golden_ontology() {
+    let golden = include_str!("golden/ontology_seed42.txt");
+    for shards in [0usize, 1] {
+        let dump = dump_at(shards, 1);
+        if dump != golden {
+            let at = common::first_divergence(&dump, golden, "sharded cfg", "golden");
+            panic!("shards={shards} diverged from the golden; first divergence at {at}");
+        }
+    }
+}
+
+/// For each K > 1 the federated output is byte-stable across repeated runs
+/// and across thread counts — and genuinely non-empty.
+#[test]
+fn sharded_output_is_deterministic_and_thread_invariant() {
+    for k in [2usize, 4] {
+        let base = dump_at(k, 1);
+        assert!(!base.is_empty(), "K={k} produced an empty ontology dump");
+        assert_eq!(base, dump_at(k, 1), "K={k} not reproducible at threads=1");
+        for threads in [2usize, 4] {
+            let dump = dump_at(k, threads);
+            if dump != base {
+                let at = common::first_divergence(
+                    &base,
+                    &dump,
+                    "threads=1",
+                    &format!("threads={threads}"),
+                );
+                panic!("K={k} output depends on thread count; first divergence at {at}");
+            }
+        }
+    }
+}
+
+/// The cached sharded run — cold caches, then warm — equals the uncached
+/// sharded run byte for byte, and maintains one slot per shard.
+#[test]
+fn sharded_cached_run_equals_uncached() {
+    let (setup, models) = harness();
+    let cfg = GiantConfig {
+        shards: 2,
+        ..GiantConfig::default()
+    };
+    let input = setup.pipeline_input();
+    let uncached =
+        giant::ontology::io::dump(&giant::mining::run_pipeline(&input, models, &cfg).ontology);
+    let mut caches = PipelineCaches::new();
+    let cold = giant::ontology::io::dump(
+        &giant::mining::run_pipeline_cached(&input, models, &cfg, &mut caches).ontology,
+    );
+    assert_eq!(cold, uncached, "cold cached sharded run diverged");
+    assert_eq!(caches.shard_slots().len(), 2, "one cache slot per shard");
+    assert!(
+        caches.cached_plans() > 0 && caches.cached_minings() > 0,
+        "sharded run must fill the per-shard caches"
+    );
+    let warm = giant::ontology::io::dump(
+        &giant::mining::run_pipeline_cached(&input, models, &cfg, &mut caches).ontology,
+    );
+    assert_eq!(warm, uncached, "warm cached sharded run diverged");
+}
+
+/// The legacy contained-phrase scan (the reference the serving-equivalence
+/// suite uses), applied to a federated ontology.
+fn ref_find_contained(o: &Ontology, query_tokens: &[String], kind: NodeKind) -> Option<NodeId> {
+    let mut best: Option<(usize, NodeId)> = None;
+    for node in o.nodes_of_kind(kind) {
+        let toks = &node.phrase.tokens;
+        if toks.is_empty() || toks.len() > query_tokens.len() {
+            continue;
+        }
+        let contained = (0..=query_tokens.len() - toks.len())
+            .any(|i| &query_tokens[i..i + toks.len()] == toks.as_slice());
+        if contained && best.map(|(l, _)| toks.len() > l).unwrap_or(true) {
+            best = Some((toks.len(), node.id));
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+/// Serving equivalence holds at every K: the frozen snapshot of a
+/// federated ontology answers phrase lookups, kind listings and stats
+/// exactly like the mutable store.
+#[test]
+fn federated_snapshot_serves_equivalently_at_k2_and_k4() {
+    let (setup, models) = harness();
+    for k in [2usize, 4] {
+        let cfg = GiantConfig {
+            shards: k,
+            ..GiantConfig::default()
+        };
+        let output = setup.run_pipeline(models, &cfg);
+        let snap = OntologySnapshot::freeze(&output.ontology);
+        assert_eq!(snap.n_nodes(), output.ontology.n_nodes());
+        assert_eq!(snap.stats(), &output.ontology.stats(), "stats diverged at K={k}");
+        for kind in NodeKind::ALL {
+            let legacy: Vec<NodeId> =
+                output.ontology.nodes_of_kind(kind).map(|n| n.id).collect();
+            assert_eq!(snap.ids_of_kind(kind), legacy.as_slice());
+        }
+        // Probe with real surfaces: every doc title plus every mined phrase.
+        let mut probes: Vec<Vec<String>> = setup
+            .corpus
+            .docs
+            .iter()
+            .map(|d| giant::text::tokenize(&d.title))
+            .collect();
+        probes.extend(output.mined.iter().map(|m| m.tokens.clone()));
+        for tokens in &probes {
+            for kind in [NodeKind::Concept, NodeKind::Entity, NodeKind::Event] {
+                assert_eq!(
+                    snap.find_contained(tokens, kind, false),
+                    ref_find_contained(&output.ontology, tokens, kind),
+                    "lookup diverged at K={k} for {kind:?} on {tokens:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Incremental folding under `shards = 2` converges byte-identically to
+/// the sharded full rebuild, with and without a binary checkpoint restart
+/// between the folds — the K>1 extension of the incremental-convergence
+/// and crash-recovery contracts.
+#[test]
+fn incremental_fold_converges_and_restores_at_k2() {
+    let (setup, models) = harness();
+    let cfg = GiantConfig {
+        shards: 2,
+        ..GiantConfig::default()
+    };
+    let stream = setup.corpus_stream();
+    let batches = stream.split(&[0.6]);
+
+    let full_input = union_input(stream.categories.clone(), stream.annotator.clone(), &batches);
+    let full = giant::ontology::io::dump(
+        &giant::mining::run_pipeline(&full_input, models, &cfg).ontology,
+    );
+
+    let mut state = IncrementalState::new(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        models.clone(),
+        cfg,
+    );
+    for batch in &batches {
+        state.fold(batch.clone()).expect("split batches fold");
+    }
+    let folded = giant::ontology::io::dump(state.ontology());
+    if folded != full {
+        let at = common::first_divergence(&full, &folded, "full rebuild", "incremental");
+        panic!("K=2 incremental fold diverged from sharded rebuild; first divergence at {at}");
+    }
+
+    // Checkpoint restart between the folds: serialise → bytes → restore.
+    let mut state = IncrementalState::new(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        models.clone(),
+        cfg,
+    );
+    state.fold(batches[0].clone()).expect("bootstrap batch folds");
+    assert_eq!(
+        state.caches().shard_slots().len(),
+        2,
+        "sharded fold must leave one warm slot per shard"
+    );
+    let mut file = SectionFile::new();
+    state.checkpoint().add_sections(&mut file);
+    drop(state);
+    let reread = SectionFile::from_bytes(&file.to_bytes()).expect("container round trip");
+    let mut state = Checkpoint::from_sections(&reread)
+        .expect("sharded checkpoint parses")
+        .restore(stream.annotator.clone(), models.clone());
+    assert_eq!(state.caches().shard_slots().len(), 2, "slots survive restore");
+    state.fold(batches[1].clone()).expect("post-restart batch folds");
+    let restored = giant::ontology::io::dump(state.ontology());
+    if restored != full {
+        let at = common::first_divergence(&full, &restored, "full rebuild", "restored fold");
+        panic!("K=2 restored fold diverged; first divergence at {at}");
+    }
+}
+
+/// The apps-layer loop under sharding: an `IncrementalDriver` whose state
+/// folds with `shards = 2` keeps the WAL/checkpoint/restore contract — a
+/// "restarted process" (`restore_durable` over the baseline checkpoint +
+/// WAL tail) replays the logged batch through the sharded fold path and
+/// converges byte-identically with the driver that never restarted, warm
+/// per-shard slots included.
+#[test]
+fn sharded_driver_restores_durably_and_converges() {
+    use giant::adapter::build_serving;
+    use giant::apps::incremental::{DurabilityConfig, IncrementalDriver};
+    use giant::apps::serving::ServeRequest;
+
+    let (setup, models) = harness();
+    let stream = setup.corpus_stream();
+    let batches = stream.split(&[0.6, 0.85]);
+    let cfg = GiantConfig {
+        shards: 2,
+        ..GiantConfig::default()
+    };
+    // Base serving resources come from a sharded batch build, like any
+    // host bootstrapping the loop would derive them.
+    let output = setup.run_pipeline(models, &cfg);
+    let base = (*build_serving(setup, &output).service.resources()).clone();
+
+    let state = IncrementalState::new(
+        stream.categories.clone(),
+        stream.annotator.clone(),
+        models.clone(),
+        cfg,
+    );
+    let (mut driver, _) =
+        IncrementalDriver::bootstrap(state, base, batches[0].clone(), 2).expect("bootstrap folds");
+    let dir = std::env::temp_dir().join("giant-shard-driver-test");
+    std::fs::remove_dir_all(&dir).ok();
+    // Baseline checkpoint (format v2: per-shard slots) + fresh WAL.
+    let dcfg = DurabilityConfig::new(&dir);
+    driver.enable_durability(dcfg.clone()).expect("durability enables");
+    let report = driver.ingest(batches[1].clone()).expect("durable ingest folds");
+    assert_eq!(report.version, 2);
+    assert!(report.wal_secs.is_some(), "durable ingest must hit the WAL");
+
+    // "Restart": checkpoint_every=8 means the logged batch is only in the
+    // WAL, so recovery must replay it through a sharded fold.
+    let (restored, rr) =
+        IncrementalDriver::restore_durable(dcfg, stream.annotator.clone(), models.clone(), 2)
+            .expect("durable restore");
+    assert_eq!(rr.replayed, 1, "the logged batch must replay");
+    assert_eq!(restored.service().version(), 2);
+    assert_eq!(
+        restored.state().caches().shard_slots().len(),
+        2,
+        "replayed sharded folds must rebuild one warm slot per shard"
+    );
+    let live = giant::ontology::io::dump(driver.state().ontology());
+    let back = giant::ontology::io::dump(restored.state().ontology());
+    if live != back {
+        let at = common::first_divergence(&live, &back, "never-restarted", "restored");
+        panic!("sharded durable restore diverged; first divergence at {at}");
+    }
+    let probe = ServeRequest::Conceptualize {
+        query: "best phones".into(),
+    };
+    assert_eq!(
+        format!("{:?}", driver.service().serve(&probe)),
+        format!("{:?}", restored.service().serve(&probe)),
+        "restored sharded frame must answer byte-identically"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
